@@ -1,0 +1,252 @@
+//! Synthetic workload generators.
+//!
+//! Each generator reproduces the *structural* property of the paper's
+//! datasets that the corresponding experiment depends on: clustered bands
+//! and blocks for Harwell-Boeing matrices, skewed degree distributions for
+//! SNAP graphs, white backgrounds with clustered strokes for Omniglot, and
+//! dense noisy drawings for the human-sketches dataset.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG so that experiments are reproducible run to run.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A dense vector with randomly placed nonzeros at the given fraction
+/// (Figure 7a's `x` with "10% fraction nonzero").
+pub fn random_sparse_vector(n: usize, fraction: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|_| if r.gen::<f64>() < fraction { r.gen_range(0.5..10.0) } else { 0.0 })
+        .collect()
+}
+
+/// A dense vector with exactly `count` randomly placed nonzeros
+/// (Figure 7b's `x` with "count of 10 nonzeros").
+pub fn counted_sparse_vector(n: usize, count: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut out = vec![0.0; n];
+    let mut placed = 0usize;
+    while placed < count.min(n) {
+        let i = r.gen_range(0..n);
+        if out[i] == 0.0 {
+            out[i] = r.gen_range(0.5..10.0);
+            placed += 1;
+        }
+    }
+    out
+}
+
+/// A "scientific computing" matrix in the spirit of the Harwell-Boeing
+/// collection: a banded diagonal region, a few dense rectangular blocks,
+/// and some random scatter.  Returned as a dense row-major array.
+pub fn scientific_matrix(n: usize, band: usize, nblocks: usize, scatter: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut a = vec![0.0; n * n];
+    // Band around the diagonal.
+    for i in 0..n {
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n - 1);
+        for j in lo..=hi {
+            a[i * n + j] = r.gen_range(0.1..10.0);
+        }
+    }
+    // Dense blocks.
+    for _ in 0..nblocks {
+        let size = r.gen_range(2..=(n / 8).max(2));
+        let top = r.gen_range(0..n.saturating_sub(size).max(1));
+        let left = r.gen_range(0..n.saturating_sub(size).max(1));
+        for i in top..(top + size).min(n) {
+            for j in left..(left + size).min(n) {
+                a[i * n + j] = r.gen_range(0.1..10.0);
+            }
+        }
+    }
+    // Random scatter.
+    let extra = ((n * n) as f64 * scatter) as usize;
+    for _ in 0..extra {
+        let i = r.gen_range(0..n);
+        let j = r.gen_range(0..n);
+        a[i * n + j] = r.gen_range(0.1..10.0);
+    }
+    a
+}
+
+/// A symmetric 0/1 adjacency matrix with a power-law degree distribution
+/// built by preferential attachment (the SNAP stand-in for triangle
+/// counting).  Returned as a dense row-major array.
+pub fn power_law_graph(n: usize, edges_per_node: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut adj = vec![0.0; n * n];
+    let mut targets: Vec<usize> = Vec::new();
+    for v in 0..n {
+        let m = edges_per_node.min(v.max(1));
+        for _ in 0..m {
+            // Preferential attachment: pick an endpoint weighted by its
+            // current degree (the repeated-targets trick), falling back to a
+            // uniform choice for the first nodes.
+            let u = if targets.is_empty() || r.gen_bool(0.2) {
+                r.gen_range(0..(v.max(1)))
+            } else {
+                targets[r.gen_range(0..targets.len())]
+            };
+            if u != v {
+                adj[v * n + u] = 1.0;
+                adj[u * n + v] = 1.0;
+                targets.push(u);
+                targets.push(v);
+            }
+        }
+    }
+    adj
+}
+
+/// A random sparse grid for the convolution experiment: each cell is
+/// nonzero with probability `density`.
+pub fn sparse_grid(nrows: usize, ncols: usize, density: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..nrows * ncols)
+        .map(|_| if r.gen::<f64>() < density { r.gen_range(0.5..2.0) } else { 0.0 })
+        .collect()
+}
+
+/// An Omniglot-like image: a white (zero) background with a handful of
+/// dark strokes drawn by random walks, producing clustered nonzeros and
+/// long zero runs.
+pub fn stroke_image(size: usize, strokes: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut img = vec![0.0; size * size];
+    for _ in 0..strokes {
+        let mut x = r.gen_range(0..size) as isize;
+        let mut y = r.gen_range(0..size) as isize;
+        let len = r.gen_range(size / 2..size * 2);
+        for _ in 0..len {
+            for dx in -1isize..=1 {
+                for dy in -1isize..=1 {
+                    let (px, py) = (x + dx, y + dy);
+                    if px >= 0 && px < size as isize && py >= 0 && py < size as isize {
+                        img[(px as usize) * size + py as usize] = r.gen_range(100.0..255.0_f64).round();
+                    }
+                }
+            }
+            x = (x + r.gen_range(-1..=1)).clamp(0, size as isize - 1);
+            y = (y + r.gen_range(-1..=1)).clamp(0, size as isize - 1);
+        }
+    }
+    img
+}
+
+/// A human-sketches-like image: denser strokes over a noisy background, so
+/// runs are shorter and sparsity lower than [`stroke_image`].
+pub fn sketch_image(size: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut img = stroke_image(size, 6, seed ^ 0x5EED);
+    for v in img.iter_mut() {
+        if *v == 0.0 && r.gen_bool(0.05) {
+            *v = r.gen_range(1.0..40.0_f64).round();
+        }
+    }
+    img
+}
+
+/// An MNIST-like image: a centred blob of nonzero pixels on a zero
+/// background.
+pub fn blob_image(size: usize, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let mut img = vec![0.0; size * size];
+    let cx = size as f64 / 2.0 + r.gen_range(-2.0..2.0);
+    let cy = size as f64 / 2.0 + r.gen_range(-2.0..2.0);
+    let radius = size as f64 * r.gen_range(0.2..0.35);
+    for i in 0..size {
+        for j in 0..size {
+            let d = ((i as f64 - cx).powi(2) + (j as f64 - cy).powi(2)).sqrt();
+            if d < radius {
+                img[i * size + j] = ((1.0 - d / radius) * 255.0).round();
+            }
+        }
+    }
+    img
+}
+
+/// Stack `count` linearised images (rows) generated by `gen` into an
+/// `count × (size*size)` dense matrix.
+pub fn image_batch(count: usize, size: usize, seed: u64, gen: impl Fn(usize, u64) -> Vec<f64>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(count * size * size);
+    for k in 0..count {
+        out.extend(gen(size, seed.wrapping_add(k as u64)));
+    }
+    out
+}
+
+/// The density (fraction of nonzeros) of a dense array.
+pub fn density(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().filter(|&&v| v != 0.0).count() as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vectors_have_requested_density() {
+        let v = random_sparse_vector(10_000, 0.1, 1);
+        let d = density(&v);
+        assert!(d > 0.07 && d < 0.13, "density {d}");
+        let v = counted_sparse_vector(1000, 10, 2);
+        assert_eq!(v.iter().filter(|&&x| x != 0.0).count(), 10);
+    }
+
+    #[test]
+    fn scientific_matrices_are_clustered() {
+        let n = 64;
+        let a = scientific_matrix(n, 2, 3, 0.005, 3);
+        let d = density(&a);
+        assert!(d > 0.03 && d < 0.6, "density {d}");
+        // The diagonal band must be fully populated.
+        for i in 0..n {
+            assert_ne!(a[i * n + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn power_law_graph_is_symmetric_and_skewed() {
+        let n = 200;
+        let adj = power_law_graph(n, 4, 7);
+        let mut degrees = vec![0usize; n];
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(adj[i * n + j], adj[j * n + i]);
+                assert_eq!(adj[i * n + i], 0.0);
+                if adj[i * n + j] != 0.0 {
+                    degrees[i] += 1;
+                }
+            }
+        }
+        let max = *degrees.iter().max().unwrap();
+        let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+        assert!(max as f64 > 2.5 * mean, "max degree {max}, mean {mean}");
+    }
+
+    #[test]
+    fn images_have_the_expected_structure() {
+        let omni = stroke_image(32, 2, 11);
+        assert!(density(&omni) < 0.6, "stroke images are mostly background");
+        let sketch = sketch_image(32, 11);
+        assert!(density(&sketch) > density(&omni), "sketches are denser than strokes");
+        let blob = blob_image(28, 5);
+        assert!(density(&blob) > 0.05 && density(&blob) < 0.6);
+        let batch = image_batch(3, 16, 1, |s, seed| blob_image(s, seed));
+        assert_eq!(batch.len(), 3 * 16 * 16);
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(sparse_grid(16, 16, 0.2, 9), sparse_grid(16, 16, 0.2, 9));
+        assert_ne!(sparse_grid(16, 16, 0.2, 9), sparse_grid(16, 16, 0.2, 10));
+    }
+}

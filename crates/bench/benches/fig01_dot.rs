@@ -1,0 +1,24 @@
+//! Figure 1: the motivating dot product — a scattered sparse list against a
+//! single dense band, comparing the looplet coiteration (list x band) with
+//! the iterator-over-nonzeros two-finger merge (list x list).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finch_bench::fig01_variants;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig01_dot");
+    group.sample_size(20);
+    for (width, variants) in fig01_variants(20_000, 400, &[50, 3_000]) {
+        for mut v in variants {
+            group.bench_with_input(
+                BenchmarkId::new(v.label.clone(), width),
+                &width,
+                |b, _| b.iter(|| v.kernel.run().expect("kernel runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

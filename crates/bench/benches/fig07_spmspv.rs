@@ -1,0 +1,24 @@
+//! Figure 7: SpMSpV coiteration strategies (follower, leader/gallop, VBL)
+//! against the two-finger TACO-style baseline, for a vector with 10% density
+//! (7a) and with a fixed count of 10 nonzeros (7b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finch_bench::{fig07_variants, fig07_vector};
+
+fn bench(c: &mut Criterion) {
+    let n = 128;
+    for (figure, fraction, count) in [("fig07a", Some(0.10), None), ("fig07b", None, Some(10))] {
+        let mut group = c.benchmark_group(figure);
+        group.sample_size(10);
+        let xv = fig07_vector(n, fraction, count, 71);
+        for mut v in fig07_variants(n, &xv, 1) {
+            group.bench_with_input(BenchmarkId::new(v.label.clone(), n), &n, |b, _| {
+                b.iter(|| v.kernel.run().expect("kernel runs"))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 8: triangle counting with two-finger versus galloping
+//! intersections on power-law graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finch_bench::fig08_variants;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_triangles");
+    group.sample_size(10);
+    for (n, epn, seed) in [(64usize, 3usize, 11u64), (96, 4, 12)] {
+        for mut v in fig08_variants(n, epn, seed) {
+            group.bench_with_input(BenchmarkId::new(v.label.clone(), n), &n, |b, _| {
+                b.iter(|| v.kernel.run().expect("kernel runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 9: dense versus masked sparse convolution as the input density
+//! increases (the crossover experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finch_bench::fig09_variants;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_conv");
+    group.sample_size(10);
+    for (density, variants) in fig09_variants(48, 5, &[0.01, 0.05, 0.40]) {
+        for mut v in variants {
+            group.bench_with_input(
+                BenchmarkId::new(v.label.clone(), format!("{density}")),
+                &density,
+                |b, _| b.iter(|| v.kernel.run().expect("kernel runs")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

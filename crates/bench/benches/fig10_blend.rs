@@ -1,0 +1,21 @@
+//! Figure 10: alpha blending over dense, sparse and run-length encoded
+//! images (Omniglot-like strokes and Humansketches-like drawings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finch_bench::fig10_variants;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_blend");
+    group.sample_size(10);
+    for (dataset, sketches) in [("omniglot-like", false), ("sketches-like", true)] {
+        for mut v in fig10_variants(64, sketches, 5) {
+            group.bench_with_input(BenchmarkId::new(v.label.clone(), dataset), &dataset, |b, _| {
+                b.iter(|| v.kernel.run().expect("kernel runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 11: all-pairs image similarity over dense, sparse list, VBL and
+//! RLE image batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use finch_bench::fig11_variants;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_allpairs");
+    group.sample_size(10);
+    for dataset in ["mnist", "omniglot"] {
+        for mut v in fig11_variants(12, 16, dataset) {
+            group.bench_with_input(BenchmarkId::new(v.label.clone(), dataset), &dataset, |b, _| {
+                b.iter(|| v.kernel.run().expect("kernel runs"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

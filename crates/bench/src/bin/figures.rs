@@ -1,0 +1,115 @@
+//! Regenerate every figure of the paper's evaluation as a text table.
+//!
+//! ```bash
+//! cargo run --release -p finch-bench --bin figures            # all figures
+//! cargo run --release -p finch-bench --bin figures -- --fig 8 # one figure
+//! ```
+//!
+//! Each table reports median wall-clock of the instrumented interpreter,
+//! the machine-independent work counter, and the speedup relative to the
+//! figure's baseline strategy (the quantity the paper plots).
+
+use finch_bench::*;
+
+fn wants(figure: &str) -> bool {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--fig") {
+        Some(k) => args.get(k + 1).map(|f| figure.starts_with(f.as_str())).unwrap_or(true),
+        None => true,
+    }
+}
+
+fn runs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--runs") {
+        Some(k) => args.get(k + 1).and_then(|v| v.parse().ok()).unwrap_or(3),
+        None => 3,
+    }
+}
+
+fn header(title: &str) {
+    println!("\n== {title} ==");
+    println!("{:<28} {:>12} {:>14} {:>10}", "strategy", "time (ms)", "total work", "speedup");
+}
+
+/// Time a group of variants and print them with speedups relative to the
+/// first one.
+fn table(variants: Vec<Variant>, reps: usize) {
+    let mut rows = Vec::new();
+    for mut v in variants {
+        let (secs, stats) = time_kernel(&mut v.kernel, reps);
+        rows.push((v.label, secs, stats.total_work()));
+    }
+    let base = rows[0].1;
+    for (label, secs, work) in rows {
+        println!("{:<28} {:>12.3} {:>14} {:>9.2}x", label, secs * 1e3, work, base / secs);
+    }
+}
+
+fn main() {
+    let reps = runs();
+
+    if wants("1") {
+        println!("\n#### Figure 1 — motivating dot product: sparse list x sparse band");
+        for (width, variants) in fig01_variants(20_000, 400, &[50, 400, 3_000]) {
+            header(&format!("band width {width}"));
+            table(variants, reps);
+        }
+    }
+
+    if wants("7a") || wants("7") {
+        println!("\n#### Figure 7a — SpMSpV, x with 10% nonzeros (speedup vs two-finger)");
+        let n = 128;
+        for seed in [1u64, 2, 3] {
+            let xv = fig07_vector(n, Some(0.10), None, 70 + seed);
+            header(&format!("synthetic HB-like matrix #{seed}"));
+            table(fig07_variants(n, &xv, seed), reps);
+        }
+    }
+
+    if wants("7b") || wants("7") {
+        println!("\n#### Figure 7b — SpMSpV, x with 10 nonzeros (speedup vs two-finger)");
+        let n = 128;
+        for seed in [1u64, 2, 3] {
+            let xv = fig07_vector(n, None, Some(10), 80 + seed);
+            header(&format!("synthetic HB-like matrix #{seed}"));
+            table(fig07_variants(n, &xv, seed), reps);
+        }
+    }
+
+    if wants("8") {
+        println!("\n#### Figure 8 — triangle counting on power-law graphs (speedup vs two-finger)");
+        for (n, epn, seed) in [(64usize, 3usize, 11u64), (96, 4, 12), (128, 3, 13)] {
+            header(&format!("graph: {n} vertices, ~{epn} edges/vertex"));
+            table(fig08_variants(n, epn, seed), reps);
+        }
+    }
+
+    if wants("9") {
+        println!("\n#### Figure 9 — dense vs sparse convolution as density increases");
+        let size = 48;
+        let ksize = 5;
+        for (density, variants) in fig09_variants(size, ksize, &[0.002, 0.01, 0.05, 0.15, 0.40]) {
+            header(&format!("grid {size}x{size}, filter {ksize}x{ksize}, density {density}"));
+            table(variants, reps);
+        }
+    }
+
+    if wants("10") {
+        println!("\n#### Figure 10 — alpha blending (speedup vs dense)");
+        header("Omniglot-like stroke images (64x64)");
+        table(fig10_variants(64, false, 5), reps);
+        header("Humansketches-like images (64x64)");
+        table(fig10_variants(64, true, 6), reps);
+    }
+
+    if wants("11") {
+        println!("\n#### Figure 11 — all-pairs image similarity (speedup vs dense)");
+        header("MNIST-like blobs (16 images, 20x20)");
+        table(fig11_variants(16, 20, "mnist"), reps);
+        header("EMNIST-like blobs (16 images, 20x20)");
+        table(fig11_variants(16, 20, "emnist"), reps);
+        header("Omniglot-like strokes (16 images, 20x20)");
+        table(fig11_variants(16, 20, "omniglot"), reps);
+    }
+}

@@ -1,0 +1,213 @@
+//! A small builder DSL for constructing CIN programs in Rust.
+//!
+//! The paper writes kernels like
+//!
+//! ```text
+//! @∀ i j  y[i] += A[i, j] * x[j]
+//! ```
+//!
+//! With this module the same kernel is written as
+//!
+//! ```
+//! use finch_cin::build::*;
+//! let (i, j) = (idx("i"), idx("j"));
+//! let kernel = forall(
+//!     i.clone(),
+//!     forall(
+//!         j.clone(),
+//!         add_assign(
+//!             access("y", [i.clone()]),
+//!             mul(access("A", [i, j.clone()]), access("x", [j])),
+//!         ),
+//!     ),
+//! );
+//! assert!(format!("{kernel}").contains("y[i] += (A[i, j] * x[j])"));
+//! ```
+
+use finch_ir::Value;
+
+use crate::expr::{CinExpr, CinOp};
+use crate::index::{Access, IndexExpr, IndexVar, TensorRef};
+use crate::stmt::{CinStmt, Reduction};
+
+/// Create an index variable.
+pub fn idx(name: &str) -> IndexVar {
+    IndexVar::new(name)
+}
+
+/// Create an access `tensor[indices...]`.
+pub fn access<I>(tensor: impl Into<TensorRef>, indices: I) -> Access
+where
+    I: IntoIterator,
+    I::Item: Into<IndexExpr>,
+{
+    Access::new(tensor, indices.into_iter().map(Into::into).collect())
+}
+
+/// An access to a zero-dimensional (scalar) tensor, `tensor[]`.
+pub fn scalar(tensor: impl Into<TensorRef>) -> Access {
+    Access::new(tensor, Vec::new())
+}
+
+/// A float literal.
+pub fn lit(x: f64) -> CinExpr {
+    CinExpr::Literal(Value::Float(x))
+}
+
+/// An integer literal.
+pub fn lit_int(x: i64) -> CinExpr {
+    CinExpr::Literal(Value::Int(x))
+}
+
+/// n-ary addition.
+pub fn add(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Add, vec![a.into(), b.into()])
+}
+
+/// Binary subtraction.
+pub fn sub(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Sub, vec![a.into(), b.into()])
+}
+
+/// n-ary multiplication.
+pub fn mul(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Mul, vec![a.into(), b.into()])
+}
+
+/// Multiplication of three factors.
+pub fn mul3(a: impl Into<CinExpr>, b: impl Into<CinExpr>, c: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Mul, vec![a.into(), b.into(), c.into()])
+}
+
+/// `coalesce(args...)`: the first non-missing argument.
+pub fn coalesce(args: Vec<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Coalesce, args)
+}
+
+/// `sqrt(a)`.
+pub fn sqrt(a: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Sqrt, vec![a.into()])
+}
+
+/// `round(UInt8, a)` — round and clamp to `0..=255`.
+pub fn round_u8(a: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Round, vec![a.into()])
+}
+
+/// `a != 0` as a 0/1 mask (used by the paper's masked convolution kernel).
+pub fn nonzero_mask(a: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Ne, vec![a.into(), lit(0.0)])
+}
+
+/// Equality comparison.
+pub fn eq(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Eq, vec![a.into(), b.into()])
+}
+
+/// `A[...] = rhs`.
+pub fn assign(lhs: Access, rhs: impl Into<CinExpr>) -> CinStmt {
+    CinStmt::Assign { lhs, reduction: Reduction::Overwrite, rhs: rhs.into() }
+}
+
+/// `A[...] += rhs`.
+pub fn add_assign(lhs: Access, rhs: impl Into<CinExpr>) -> CinStmt {
+    CinStmt::Assign { lhs, reduction: Reduction::Reduce(CinOp::Add), rhs: rhs.into() }
+}
+
+/// `A[...] <<op>>= rhs`.
+pub fn reduce_assign(lhs: Access, op: CinOp, rhs: impl Into<CinExpr>) -> CinStmt {
+    CinStmt::Assign { lhs, reduction: Reduction::Reduce(op), rhs: rhs.into() }
+}
+
+/// `@∀ index body`.
+pub fn forall(index: IndexVar, body: CinStmt) -> CinStmt {
+    CinStmt::Forall { index, extent: None, body: Box::new(body) }
+}
+
+/// `@∀ index ∈ lo:hi body`.
+pub fn forall_in(
+    index: IndexVar,
+    lo: impl Into<CinExpr>,
+    hi: impl Into<CinExpr>,
+    body: CinStmt,
+) -> CinStmt {
+    CinStmt::Forall { index, extent: Some((lo.into(), hi.into())), body: Box::new(body) }
+}
+
+/// `consumer where producer`.
+pub fn where_(consumer: CinStmt, producer: CinStmt) -> CinStmt {
+    CinStmt::Where { consumer: Box::new(consumer), producer: Box::new(producer) }
+}
+
+/// `@sieve cond body`.
+pub fn sieve(cond: impl Into<CinExpr>, body: CinStmt) -> CinStmt {
+    CinStmt::Sieve { cond: cond.into(), body: Box::new(body) }
+}
+
+/// `@multi stmts...`.
+pub fn multi(stmts: Vec<CinStmt>) -> CinStmt {
+    CinStmt::Multi(stmts)
+}
+
+/// `@pass outputs...`.
+pub fn pass(outputs: Vec<TensorRef>) -> CinStmt {
+    CinStmt::Pass(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Protocol;
+
+    #[test]
+    fn spmspv_kernel_builds() {
+        let (i, j) = (idx("i"), idx("j"));
+        let kernel = forall(
+            i.clone(),
+            forall(
+                j.clone(),
+                add_assign(
+                    access("y", [i.clone()]),
+                    mul(access("A", [i.into(), j.gallop()]), access("x", [j.gallop()])),
+                ),
+            ),
+        );
+        let reads = kernel.read_accesses();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].indices[1].protocol(), Protocol::Gallop);
+    }
+
+    #[test]
+    fn convolution_kernel_with_modifiers_builds() {
+        let (i, j) = (idx("i"), idx("j"));
+        // B[i] += coalesce(A[permit[offset(2 - i)[j]]], 0) * F[permit[j]]
+        let a_idx = j.clone().walk().offset(sub(lit_int(2), CinExpr::Index(i.clone()))).permit();
+        let stmt = forall(
+            i.clone(),
+            forall(
+                j.clone(),
+                add_assign(
+                    access("B", [i]),
+                    mul(
+                        coalesce(vec![access("A", [a_idx]).into(), lit(0.0)]),
+                        coalesce(vec![access("F", [j.walk().permit()]).into(), lit(0.0)]),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(stmt.read_accesses().len(), 2);
+    }
+
+    #[test]
+    fn explicit_extents_are_recorded() {
+        let i = idx("i");
+        let s = forall_in(i.clone(), lit_int(0), lit_int(9), add_assign(scalar("C"), lit(1.0)));
+        match s {
+            CinStmt::Forall { extent: Some((lo, hi)), .. } => {
+                assert_eq!(lo.as_literal().unwrap().as_int().unwrap(), 0);
+                assert_eq!(hi.as_literal().unwrap().as_int().unwrap(), 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

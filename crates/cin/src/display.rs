@@ -1,0 +1,154 @@
+//! Textual rendering of CIN programs, approximating the paper's notation
+//! (`@∀` is written `@forall`, `<<op>>=` as `op=`).
+
+use std::fmt;
+
+use crate::expr::{CinExpr, CinOp};
+use crate::index::{Access, IndexExpr, Protocol};
+use crate::stmt::{CinStmt, Reduction};
+
+impl fmt::Display for IndexExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexExpr::Var { index, protocol } => match protocol {
+                Protocol::Default => write!(f, "{index}"),
+                other => write!(f, "{index}::{other}"),
+            },
+            IndexExpr::Offset { delta, base } => write!(f, "offset({delta})[{base}]"),
+            IndexExpr::Window { lo, hi, base } => write!(f, "window({lo}, {hi})[{base}]"),
+            IndexExpr::Permit { base } => write!(f, "permit[{base}]"),
+        }
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[", self.tensor)?;
+        for (k, ix) in self.indices.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{ix}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for CinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CinExpr::Literal(v) => write!(f, "{v}"),
+            CinExpr::Index(i) => write!(f, "{i}"),
+            CinExpr::Dyn(e) => write!(f, "$({e:?})"),
+            CinExpr::Access(a) => write!(f, "{a}"),
+            CinExpr::Call { op, args } => match op {
+                CinOp::Add | CinOp::Sub | CinOp::Mul | CinOp::Div | CinOp::And | CinOp::Or
+                | CinOp::Eq | CinOp::Ne | CinOp::Lt | CinOp::Le | CinOp::Gt | CinOp::Ge => {
+                    write!(f, "(")?;
+                    for (k, a) in args.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, " {} ", op.name())?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+                _ => {
+                    write!(f, "{}(", op.name())?;
+                    for (k, a) in args.iter().enumerate() {
+                        if k > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, ")")
+                }
+            },
+        }
+    }
+}
+
+impl fmt::Display for CinStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CinStmt::Assign { lhs, reduction, rhs } => match reduction {
+                Reduction::Overwrite => write!(f, "{lhs} = {rhs}"),
+                Reduction::Reduce(op) => write!(f, "{lhs} {}= {rhs}", op.name()),
+            },
+            CinStmt::Forall { index, extent, body } => match extent {
+                Some((lo, hi)) => write!(f, "@forall {index} in {lo}:{hi} {body}"),
+                None => write!(f, "@forall {index} {body}"),
+            },
+            CinStmt::Where { consumer, producer } => write!(f, "({consumer}) where ({producer})"),
+            CinStmt::Multi(stmts) => {
+                write!(f, "@multi ")?;
+                for (k, s) in stmts.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+            CinStmt::Sieve { cond, body } => write!(f, "@sieve {cond} {body}"),
+            CinStmt::Pass(ts) => {
+                write!(f, "@pass")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+    use crate::expr::CinExpr;
+
+    #[test]
+    fn renders_the_paper_style_notation() {
+        let (i, j) = (idx("i"), idx("j"));
+        let s = forall(
+            i.clone(),
+            forall(
+                j.clone(),
+                add_assign(
+                    access("y", [i.clone()]),
+                    mul(access("A", [i.into(), j.gallop()]), access("x", [j.gallop()])),
+                ),
+            ),
+        );
+        let text = format!("{s}");
+        assert_eq!(text, "@forall i @forall j y[i] += (A[i, j::gallop] * x[j::gallop])");
+    }
+
+    #[test]
+    fn renders_index_modifiers() {
+        let j = idx("j");
+        let e = access("A", [j.walk().offset(lit_int(2)).permit()]);
+        assert_eq!(format!("{e}"), "A[permit[offset(2)[j::walk]]]");
+    }
+
+    #[test]
+    fn renders_where_sieve_multi_and_pass() {
+        let s = where_(
+            assign(scalar("O"), lit(1.0)),
+            add_assign(scalar("o"), lit(2.0)),
+        );
+        assert_eq!(format!("{s}"), "(O[] = 1.0) where (o[] += 2.0)");
+        let s = sieve(eq(lit(1.0), lit(1.0)), pass(vec!["C".into()]));
+        assert_eq!(format!("{s}"), "@sieve (1.0 == 1.0) @pass C");
+        let s = multi(vec![pass(vec!["A".into()]), pass(vec!["B".into()])]);
+        assert_eq!(format!("{s}"), "@multi @pass A; @pass B");
+    }
+
+    #[test]
+    fn renders_function_style_calls() {
+        let e = coalesce(vec![CinExpr::float(1.0), CinExpr::float(2.0)]);
+        assert_eq!(format!("{e}"), "coalesce(1.0, 2.0)");
+        let e = sqrt(lit(4.0));
+        assert_eq!(format!("{e}"), "sqrt(4.0)");
+    }
+}

@@ -1,0 +1,119 @@
+//! Compile-time errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while compiling a concrete-index-notation program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The program references a tensor that was never bound.
+    UnknownTensor {
+        /// The missing tensor's name.
+        name: String,
+    },
+    /// An access uses a different number of indices than the tensor's rank.
+    RankMismatch {
+        /// The tensor's name.
+        name: String,
+        /// Its rank.
+        rank: usize,
+        /// The number of indices in the access.
+        indices: usize,
+    },
+    /// An access could not be fully resolved by the enclosing loops; this
+    /// usually means the iteration order does not match the tensor's level
+    /// order (non-concordant iteration).  Transpose the tensor or reorder
+    /// the loops.
+    NonConcordantAccess {
+        /// The tensor's name.
+        name: String,
+    },
+    /// Writes are only supported into dense output tensors bound with
+    /// [`Kernel::bind_output`](crate::Kernel::bind_output).
+    UnsupportedWrite {
+        /// The tensor written to.
+        name: String,
+    },
+    /// The extent of a `forall` could not be inferred from its accesses;
+    /// provide it explicitly with `forall_in`.
+    CannotInferExtent {
+        /// The index variable whose extent is missing.
+        index: String,
+    },
+    /// An index variable was used as a value before any enclosing loop bound
+    /// it.
+    UnboundIndex {
+        /// The index variable's name.
+        index: String,
+    },
+    /// The compiler reached a looplet arrangement it cannot lower.
+    UnsupportedLooplet {
+        /// Description of the situation.
+        detail: String,
+    },
+    /// A feature of the surface language that this reproduction does not
+    /// implement (e.g. writes through index modifiers).
+    Unsupported {
+        /// Description of the unsupported feature.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownTensor { name } => write!(f, "tensor `{name}` is not bound"),
+            CompileError::RankMismatch { name, rank, indices } => write!(
+                f,
+                "tensor `{name}` has rank {rank} but was accessed with {indices} indices"
+            ),
+            CompileError::NonConcordantAccess { name } => write!(
+                f,
+                "access to `{name}` is not concordant with the loop order; transpose the tensor or reorder the loops"
+            ),
+            CompileError::UnsupportedWrite { name } => {
+                write!(f, "writes into `{name}` are not supported; bind it as a dense output")
+            }
+            CompileError::CannotInferExtent { index } => {
+                write!(f, "cannot infer the extent of index `{index}`; use an explicit extent")
+            }
+            CompileError::UnboundIndex { index } => {
+                write!(f, "index `{index}` used before any enclosing loop bound it")
+            }
+            CompileError::UnsupportedLooplet { detail } => {
+                write!(f, "cannot lower looplet arrangement: {detail}")
+            }
+            CompileError::Unsupported { detail } => write!(f, "unsupported program: {detail}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_useful_messages() {
+        let errs = vec![
+            CompileError::UnknownTensor { name: "A".into() },
+            CompileError::RankMismatch { name: "A".into(), rank: 2, indices: 3 },
+            CompileError::NonConcordantAccess { name: "A".into() },
+            CompileError::UnsupportedWrite { name: "A".into() },
+            CompileError::CannotInferExtent { index: "i".into() },
+            CompileError::UnboundIndex { index: "i".into() },
+            CompileError::UnsupportedLooplet { detail: "x".into() },
+            CompileError::Unsupported { detail: "x".into() },
+        ];
+        for e in errs {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CompileError>();
+    }
+}

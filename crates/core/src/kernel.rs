@@ -1,0 +1,365 @@
+//! The user-facing compiler API: bind tensors, compile a CIN program, run
+//! the generated code.
+
+use std::collections::HashMap;
+
+use finch_cin::CinStmt;
+use finch_formats::{BoundTensor, Tensor};
+use finch_ir::{Buffer, BufferSet, ExecStats, Interpreter, Names, RuntimeError, Stmt, Value};
+use finch_ir::pretty::Printer;
+use finch_rewrite::Rewriter;
+
+use crate::error::CompileError;
+use crate::lower::statements::lower_stmt;
+use crate::lower::{Binding, LowerCtx, OutputBinding};
+
+/// A kernel under construction: tensors are bound to it, then a CIN program
+/// is compiled against those bindings.
+///
+/// ```
+/// use finch::build::*;
+/// use finch::{Kernel, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Tensor::sparse_list_vector("A", &[0.0, 1.5, 0.0, 2.0]);
+/// let b = Tensor::dense_vector("B", &[1.0, 10.0, 100.0, 1000.0]);
+///
+/// let mut kernel = Kernel::new();
+/// kernel.bind_input(&a).bind_input(&b).bind_output_scalar("C");
+///
+/// let i = idx("i");
+/// let program = forall(i.clone(), add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))));
+/// let mut compiled = kernel.compile(&program)?;
+/// compiled.run()?;
+/// assert_eq!(compiled.output_scalar("C"), Some(2015.0));
+/// # Ok(()) }
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    names: Names,
+    bufs: BufferSet,
+    bindings: HashMap<String, Binding>,
+    rewriter: Rewriter,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Kernel {
+    /// An empty kernel with the default rewrite rule set.
+    pub fn new() -> Self {
+        Kernel {
+            names: Names::new(),
+            bufs: BufferSet::new(),
+            bindings: HashMap::new(),
+            rewriter: Rewriter::with_default_rules(),
+        }
+    }
+
+    /// Bind a structured input tensor under its own name.
+    pub fn bind_input(&mut self, tensor: &Tensor) -> &mut Self {
+        let bound = BoundTensor::bind(tensor, &mut self.bufs);
+        self.bindings.insert(tensor.name().to_string(), Binding::Input(bound));
+        self
+    }
+
+    /// Bind a dense output tensor of the given shape, re-initialised to
+    /// `init` before every run.
+    pub fn bind_output(&mut self, name: &str, shape: &[usize], init: f64) -> &mut Self {
+        let len = shape.iter().product::<usize>().max(1);
+        let buf = self.bufs.add(&format!("{name}_val"), Buffer::F64(vec![init; len]));
+        self.bindings.insert(
+            name.to_string(),
+            Binding::Output(OutputBinding { buf, shape: shape.to_vec(), init }),
+        );
+        self
+    }
+
+    /// Bind a scalar output, re-initialised to zero before every run.
+    pub fn bind_output_scalar(&mut self, name: &str) -> &mut Self {
+        self.bind_output(name, &[], 0.0)
+    }
+
+    /// Access the rewrite engine to register domain-specific rules before
+    /// compiling (paper §6.1: "users can add custom rules").
+    pub fn rewriter_mut(&mut self) -> &mut Rewriter {
+        &mut self.rewriter
+    }
+
+    /// Compile a CIN program against the bound tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] when the program references unbound
+    /// tensors, is not concordant with the tensors' level orders, or uses
+    /// unsupported features.
+    pub fn compile(self, program: &CinStmt) -> Result<CompiledKernel, CompileError> {
+        let Kernel { names, bufs, bindings, rewriter } = self;
+        let outputs: HashMap<String, OutputBinding> = bindings
+            .iter()
+            .filter_map(|(name, b)| match b {
+                Binding::Output(o) => Some((name.clone(), o.clone())),
+                Binding::Input(_) => None,
+            })
+            .collect();
+        let mut ctx = LowerCtx::new(names, bufs, bindings, rewriter);
+        let code = lower_stmt(program, &mut ctx)?;
+        // Finch relies on Julia to hoist loop-invariant loads (run values,
+        // fiber positions) out of inner loops; our interpreter needs the
+        // same motion done explicitly.
+        let code = finch_ir::opt::hoist_invariant_loads(&code, &mut ctx.names);
+        let source = Printer::new(&ctx.names, &ctx.bufs).program(&code);
+        Ok(CompiledKernel {
+            code,
+            names: ctx.names,
+            bufs: ctx.bufs,
+            outputs,
+            source,
+            program: format!("{program}"),
+        })
+    }
+}
+
+/// A compiled kernel: generated code plus the buffers it runs against.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    code: Vec<Stmt>,
+    names: Names,
+    bufs: BufferSet,
+    outputs: HashMap<String, OutputBinding>,
+    source: String,
+    program: String,
+}
+
+impl CompiledKernel {
+    /// The generated code, rendered as pseudo-Rust (the reproduction of the
+    /// paper's Figure 1b listings).
+    pub fn code(&self) -> &str {
+        &self.source
+    }
+
+    /// The CIN program this kernel was compiled from.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// The generated statements (for structural assertions in tests).
+    pub fn stmts(&self) -> &[Stmt] {
+        &self.code
+    }
+
+    /// Re-initialise the outputs and execute the kernel, returning the
+    /// interpreter's work counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] if the generated code faults (which the
+    /// test suite treats as a compiler bug).
+    pub fn run(&mut self) -> Result<ExecStats, RuntimeError> {
+        for out in self.outputs.values() {
+            self.bufs.get_mut(out.buf).fill(Value::Float(out.init))?;
+        }
+        let mut interp = Interpreter::new(&self.names);
+        interp.run(&self.code, &mut self.bufs)?;
+        Ok(interp.stats())
+    }
+
+    /// The contents of a named output after the last run.
+    pub fn output(&self, name: &str) -> Option<Vec<f64>> {
+        self.outputs.get(name).map(|o| self.bufs.get(o.buf).to_f64_vec())
+    }
+
+    /// The value of a scalar output after the last run.
+    pub fn output_scalar(&self, name: &str) -> Option<f64> {
+        self.output(name).and_then(|v| v.first().copied())
+    }
+
+    /// Names of all outputs.
+    pub fn output_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.outputs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finch_cin::build::*;
+
+    fn dot_product(a: &Tensor, b: &Tensor) -> CompiledKernel {
+        let mut kernel = Kernel::new();
+        kernel.bind_input(a).bind_input(b).bind_output_scalar("C");
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            add_assign(
+                scalar("C"),
+                mul(access(a.name(), [i.clone()]), access(b.name(), [i])),
+            ),
+        );
+        kernel.compile(&program).expect("dot product compiles")
+    }
+
+    fn reference_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn dense_dot_product_matches_reference() {
+        let av = vec![1.0, 2.0, 3.0, 4.0];
+        let bv = vec![0.5, 0.0, 2.0, 10.0];
+        let a = Tensor::dense_vector("A", &av);
+        let b = Tensor::dense_vector("B", &bv);
+        let mut k = dot_product(&a, &b);
+        k.run().unwrap();
+        assert_eq!(k.output_scalar("C"), Some(reference_dot(&av, &bv)));
+    }
+
+    #[test]
+    fn sparse_times_dense_dot_product() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv: Vec<f64> = (0..11).map(|x| x as f64 * 0.5).collect();
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::dense_vector("B", &bv);
+        let mut k = dot_product(&a, &b);
+        k.run().unwrap();
+        let got = k.output_scalar("C").unwrap();
+        assert!((got - reference_dot(&av, &bv)).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn sparse_times_sparse_dot_product_is_a_two_finger_merge() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::sparse_list_vector("B", &bv);
+        let mut k = dot_product(&a, &b);
+        k.run().unwrap();
+        let got = k.output_scalar("C").unwrap();
+        assert!((got - reference_dot(&av, &bv)).abs() < 1e-9, "got {got}");
+        // The generated code contains a while loop (the merge) rather than a
+        // dense for loop over the whole dimension.
+        assert!(k.code().contains("while"), "generated code:\n{}", k.code());
+    }
+
+    #[test]
+    fn sparse_list_times_band_reproduces_figure_1() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::band_vector("B", &bv);
+        let mut k = dot_product(&a, &b);
+        let stats = k.run().unwrap();
+        let got = k.output_scalar("C").unwrap();
+        assert!((got - reference_dot(&av, &bv)).abs() < 1e-9, "got {got}");
+        // The looplet code skips to the band: the number of loop iterations
+        // should be far below the dense dimension times nonzeros.
+        assert!(stats.loop_iters < 64, "stats {stats:?}\ncode:\n{}", k.code());
+    }
+
+    #[test]
+    fn gallop_protocol_compiles_and_matches() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 0.0, 0.0, 3.7, 0.0, 9.2, 0.0, 8.7, 0.0, 0.0, 5.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::sparse_list_vector("B", &bv);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_input(&b).bind_output_scalar("C");
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            add_assign(scalar("C"), mul(access("A", [i.gallop()]), access("B", [i.gallop()]))),
+        );
+        let mut k = kernel.compile(&program).expect("gallop dot compiles");
+        k.run().unwrap();
+        let got = k.output_scalar("C").unwrap();
+        assert!((got - reference_dot(&av, &bv)).abs() < 1e-9, "got {got}\ncode:\n{}", k.code());
+        assert!(k.code().contains("search"), "galloping should binary search:\n{}", k.code());
+    }
+
+    #[test]
+    fn spmv_over_csr_matches_reference() {
+        let nrows = 5;
+        let ncols = 7;
+        let data: Vec<f64> = (0..nrows * ncols)
+            .map(|k| if k % 3 == 0 { (k % 11) as f64 } else { 0.0 })
+            .collect();
+        let xv: Vec<f64> = (0..ncols).map(|k| (k as f64) - 2.5).collect();
+        let a = Tensor::csr_matrix("A", nrows, ncols, &data);
+        let x = Tensor::dense_vector("x", &xv);
+
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_input(&x).bind_output("y", &[nrows], 0.0);
+        let (i, j) = (idx("i"), idx("j"));
+        let program = forall(
+            i.clone(),
+            forall(
+                j.clone(),
+                add_assign(
+                    access("y", [i.clone()]),
+                    mul(access("A", [i, j.clone()]), access("x", [j])),
+                ),
+            ),
+        );
+        let mut k = kernel.compile(&program).expect("spmv compiles");
+        k.run().unwrap();
+        let y = k.output("y").unwrap();
+        for r in 0..nrows {
+            let expect: f64 = (0..ncols).map(|c| data[r * ncols + c] * xv[c]).sum();
+            assert!((y[r] - expect).abs() < 1e-9, "row {r}: {} vs {expect}", y[r]);
+        }
+    }
+
+    #[test]
+    fn unknown_tensor_is_reported() {
+        let kernel = Kernel::new();
+        let i = idx("i");
+        let program = forall(i.clone(), add_assign(scalar("C"), access("A", [i])));
+        let err = kernel.compile(&program).unwrap_err();
+        assert!(matches!(err, CompileError::UnknownTensor { .. }));
+    }
+
+    #[test]
+    fn writing_to_an_input_is_reported() {
+        let a = Tensor::dense_vector("A", &[1.0]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a);
+        let i = idx("i");
+        let program = forall(i.clone(), add_assign(access("A", [i]), lit(1.0)));
+        let err = kernel.compile(&program).unwrap_err();
+        assert!(matches!(err, CompileError::UnsupportedWrite { .. } | CompileError::UnknownTensor { .. }));
+    }
+
+    #[test]
+    fn non_concordant_access_is_reported() {
+        // forall i forall j C[] += A[j, i] cannot be driven concordantly.
+        let a = Tensor::csr_matrix("A", 3, 3, &[1.0; 9]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_output_scalar("C");
+        let (i, j) = (idx("i"), idx("j"));
+        let program = forall(
+            i.clone(),
+            forall(j.clone(), add_assign(scalar("C"), access("A", [j, i]))),
+        );
+        let err = kernel.compile(&program).unwrap_err();
+        assert!(
+            matches!(err, CompileError::NonConcordantAccess { .. } | CompileError::CannotInferExtent { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn generated_code_is_printable_and_mentions_buffers() {
+        let a = Tensor::sparse_list_vector("A", &[0.0, 1.0, 0.0, 2.0]);
+        let b = Tensor::dense_vector("B", &[1.0; 4]);
+        let k = dot_product(&a, &b);
+        let code = k.code();
+        assert!(code.contains("A_idx"), "{code}");
+        assert!(code.contains("C_val"), "{code}");
+        assert!(!k.program().is_empty());
+    }
+}

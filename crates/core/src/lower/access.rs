@@ -1,0 +1,177 @@
+//! Access bookkeeping: unfurling the accesses driven by a `forall` and
+//! applying index modifiers (paper §8).
+
+use finch_cin::{Access, IndexExpr, IndexVar, TensorRef};
+use finch_formats::UnfurlLeaf;
+use finch_ir::Expr;
+use finch_looplets::{Looplet, Phase};
+
+use crate::error::CompileError;
+use crate::lower::{Binding, LowerCtx};
+
+/// The lowering state of one access within the current loop.
+#[derive(Debug, Clone)]
+pub(crate) struct AccessState {
+    /// The placeholder key identifying this access inside the loop body.
+    pub key: String,
+    /// The original tensor's name.
+    pub tensor: String,
+    /// The level currently being iterated.
+    pub level: usize,
+    /// Accumulated coordinate shift: `loop coordinate = array coordinate +
+    /// shift` (introduced by `offset`/`window` modifiers and `Shift`
+    /// looplets).
+    pub shift: Expr,
+    /// The looplet nest describing the current dimension, in array
+    /// coordinates.
+    pub nest: Looplet<UnfurlLeaf>,
+}
+
+impl AccessState {
+    /// The current loop region translated into this access's array
+    /// coordinates.
+    pub fn to_array(&self, ext: &finch_ir::Extent) -> finch_ir::Extent {
+        let neg = Expr::sub(Expr::int(0), self.shift.clone()).simplified();
+        finch_ir::Extent {
+            lo: Expr::add(ext.lo.clone(), neg.clone()).simplified(),
+            hi: Expr::add(ext.hi.clone(), neg).simplified(),
+        }
+    }
+
+    /// Translate an array-coordinate expression into loop coordinates.
+    pub fn to_loop(&self, e: &Expr) -> Expr {
+        Expr::add(e.clone(), self.shift.clone()).simplified()
+    }
+}
+
+/// Should this access be unfurled by a `forall` over `index`?
+///
+/// True when the access has unconsumed indices, its first unconsumed index
+/// is driven by `index`, and its tensor is a structured input (dense output
+/// reads are resolved directly at expression-resolution time).
+pub(crate) fn driven_by(access: &Access, index: &IndexVar, ctx: &LowerCtx) -> bool {
+    let Some(first) = access.indices.first() else { return false };
+    if first.index_var() != index {
+        return false;
+    }
+    let name = access.tensor.name();
+    if LowerCtx::is_placeholder(name) {
+        return true;
+    }
+    // Unknown tensors are claimed too, so that unfurling reports a precise
+    // "tensor is not bound" error instead of a missing-extent error.
+    !matches!(ctx.bindings.get(name), Some(Binding::Output(_)))
+}
+
+/// Unfurl one access for a `forall` over its first unconsumed index,
+/// producing the placeholder key and the access state.
+pub(crate) fn unfurl_access(access: &Access, ctx: &mut LowerCtx) -> Result<AccessState, CompileError> {
+    let name = access.tensor.name().to_string();
+    // Identify the tensor, the level to unfurl, and the fiber position.
+    let (tensor_name, level, pos) = if LowerCtx::is_placeholder(&name) {
+        let handle = ctx
+            .fibers
+            .get(&name)
+            .cloned()
+            .ok_or_else(|| CompileError::UnknownTensor { name: name.clone() })?;
+        (handle.tensor, handle.level, handle.pos)
+    } else {
+        let bound = ctx.input(&name)?;
+        if access.indices.len() != bound.ndim() {
+            return Err(CompileError::RankMismatch {
+                name: name.clone(),
+                rank: bound.ndim(),
+                indices: access.indices.len(),
+            });
+        }
+        (name.clone(), 0, Expr::int(0))
+    };
+    let first = access.indices.first().expect("driven access has an index");
+    let (nest, shift) = apply_index_expr(&tensor_name, level, &pos, first, ctx)?;
+    let key = ctx.fresh_access_key();
+    Ok(AccessState { key, tensor: tensor_name, level, shift, nest })
+}
+
+/// Apply an index expression (protocol annotation plus modifiers) to obtain
+/// the looplet nest and coordinate shift of one access mode.
+fn apply_index_expr(
+    tensor: &str,
+    level: usize,
+    pos: &Expr,
+    index_expr: &IndexExpr,
+    ctx: &mut LowerCtx,
+) -> Result<(Looplet<UnfurlLeaf>, Expr), CompileError> {
+    match index_expr {
+        IndexExpr::Var { protocol, .. } => {
+            let bound = ctx.input(tensor)?.clone();
+            let nest = bound.unfurl(level, pos, *protocol, &mut ctx.names);
+            Ok((nest, Expr::int(0)))
+        }
+        IndexExpr::Offset { delta, base } => {
+            let (nest, shift) = apply_index_expr(tensor, level, pos, base, ctx)?;
+            let delta = ctx.resolve_expr(delta)?;
+            Ok((nest, Expr::add(shift, delta).simplified()))
+        }
+        IndexExpr::Window { lo, hi, base } => {
+            let (nest, shift) = apply_index_expr(tensor, level, pos, base, ctx)?;
+            let lo = ctx.resolve_expr(lo)?;
+            let _hi = ctx.resolve_expr(hi)?;
+            // window(lo, hi)[k] accesses array coordinate lo + k, so the
+            // loop coordinate is the array coordinate minus lo.
+            Ok((nest, Expr::sub(shift, lo).simplified()))
+        }
+        IndexExpr::Permit { base } => {
+            let (nest, shift) = apply_index_expr(tensor, level, pos, base, ctx)?;
+            let dim = ctx.input(tensor)?.dim(level);
+            let missing = || Looplet::Run {
+                body: Box::new(Looplet::Leaf(UnfurlLeaf::Value(Expr::missing()))),
+            };
+            // The paper's permit protocol: missing before 0, the array's own
+            // nest over its dimension, missing after the end.
+            let wrapped = Looplet::Pipeline {
+                phases: vec![
+                    Phase { stride: Some(Expr::int(-1)), body: missing() },
+                    Phase { stride: Some(Expr::int(dim as i64 - 1)), body: nest },
+                    Phase { stride: None, body: missing() },
+                ],
+            };
+            Ok((wrapped, shift))
+        }
+    }
+}
+
+/// Replace each matched access in the loop body with its placeholder.
+pub(crate) fn substitute_placeholders(
+    body: &finch_cin::CinStmt,
+    table: &[(Access, String)],
+) -> finch_cin::CinStmt {
+    body.map_exprs(&mut |e| match e {
+        finch_cin::CinExpr::Access(a) => table.iter().find(|(orig, _)| orig == a).map(|(_, key)| {
+            finch_cin::CinExpr::Access(Access {
+                tensor: TensorRef::new(key.clone()),
+                indices: a.indices[1..].to_vec(),
+            })
+        }),
+        _ => None,
+    })
+}
+
+/// Replace placeholder accesses by their resolved expressions.
+pub(crate) fn substitute_resolved(
+    body: &finch_cin::CinStmt,
+    table: &[(String, finch_cin::CinExpr)],
+) -> finch_cin::CinStmt {
+    body.map_exprs(&mut |e| match e {
+        finch_cin::CinExpr::Access(a) =>
+
+            table.iter().find(|(key, _)| a.tensor.name() == key).map(|(_, repl)| repl.clone()),
+        _ => None,
+    })
+}
+
+/// Does the statement still mention an access with the given placeholder
+/// key?  Used to drop iteration machinery for accesses that simplification
+/// deleted (e.g. everything multiplied by a zero run).
+pub(crate) fn mentions_key(body: &finch_cin::CinStmt, key: &str) -> bool {
+    body.read_accesses().iter().any(|a| a.tensor.name() == key)
+}

@@ -1,0 +1,263 @@
+//! The lowering compiler: concrete index notation → target IR.
+//!
+//! Lowering proceeds exactly as described in the paper's §6: statements are
+//! lowered node by node until a `forall` is reached; the forall's accesses
+//! are unfurled into looplet nests; and the loop is then lowered by
+//! repeatedly choosing the highest-priority looplet style present and
+//! running the corresponding lowerer, which carves the region into
+//! subregions, truncates the other looplets, and recurses.
+
+pub(crate) mod access;
+pub(crate) mod loops;
+pub(crate) mod statements;
+
+use std::collections::HashMap;
+
+use finch_cin::{Access, CinExpr, CinOp, IndexVar};
+use finch_formats::BoundTensor;
+use finch_ir::{BinOp, BufId, BufferSet, Expr, Names, UnOp};
+use finch_rewrite::Rewriter;
+
+use crate::error::CompileError;
+
+/// A tensor bound into a kernel: either a structured input or a dense
+/// output.
+#[derive(Debug, Clone)]
+pub(crate) enum Binding {
+    /// A read-only structured input.
+    Input(BoundTensor),
+    /// A dense (or scalar) output buffer.
+    Output(OutputBinding),
+}
+
+/// A dense output tensor: its buffer, shape, and the value it is
+/// (re)initialised to.
+#[derive(Debug, Clone)]
+pub(crate) struct OutputBinding {
+    pub buf: BufId,
+    pub shape: Vec<usize>,
+    pub init: f64,
+}
+
+impl OutputBinding {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product::<usize>().max(1)
+    }
+}
+
+/// A partially-resolved access: the next level of `tensor` to unfurl and
+/// the position of the fiber within it.
+#[derive(Debug, Clone)]
+pub(crate) struct FiberHandle {
+    pub tensor: String,
+    pub level: usize,
+    pub pos: Expr,
+}
+
+/// The state threaded through lowering.
+pub(crate) struct LowerCtx {
+    pub names: Names,
+    pub bufs: BufferSet,
+    pub bindings: HashMap<String, Binding>,
+    pub index_bindings: HashMap<IndexVar, Expr>,
+    pub fibers: HashMap<String, FiberHandle>,
+    pub rewriter: Rewriter,
+    next_acc: usize,
+}
+
+impl LowerCtx {
+    /// Create a context over already-bound tensors.
+    pub fn new(
+        names: Names,
+        bufs: BufferSet,
+        bindings: HashMap<String, Binding>,
+        rewriter: Rewriter,
+    ) -> Self {
+        LowerCtx {
+            names,
+            bufs,
+            bindings,
+            index_bindings: HashMap::new(),
+            fibers: HashMap::new(),
+            rewriter,
+            next_acc: 0,
+        }
+    }
+
+    /// A fresh placeholder name for a partially-resolved access.
+    pub fn fresh_access_key(&mut self) -> String {
+        let key = format!("__acc{}", self.next_acc);
+        self.next_acc += 1;
+        key
+    }
+
+    /// Is this tensor name a compiler-internal placeholder?
+    pub fn is_placeholder(name: &str) -> bool {
+        name.starts_with("__acc")
+    }
+
+    /// Look up a bound input tensor.
+    pub fn input(&self, name: &str) -> Result<&BoundTensor, CompileError> {
+        match self.bindings.get(name) {
+            Some(Binding::Input(t)) => Ok(t),
+            Some(Binding::Output(_)) => Err(CompileError::Unsupported {
+                detail: format!("tensor `{name}` is an output, expected an input"),
+            }),
+            None => Err(CompileError::UnknownTensor { name: name.to_string() }),
+        }
+    }
+
+    /// Look up a bound output tensor.
+    pub fn output(&self, name: &str) -> Result<&OutputBinding, CompileError> {
+        match self.bindings.get(name) {
+            Some(Binding::Output(o)) => Ok(o),
+            Some(Binding::Input(_)) => Err(CompileError::UnsupportedWrite { name: name.to_string() }),
+            None => Err(CompileError::UnknownTensor { name: name.to_string() }),
+        }
+    }
+
+    /// The currently-bound target expression of an index variable.
+    pub fn index_expr(&self, index: &IndexVar) -> Result<Expr, CompileError> {
+        self.index_bindings
+            .get(index)
+            .cloned()
+            .ok_or_else(|| CompileError::UnboundIndex { index: index.name().to_string() })
+    }
+
+    /// Resolve a CIN expression, all of whose accesses must already be
+    /// resolved (or refer to readable dense outputs / scalar inputs), to a
+    /// target-IR expression.
+    pub fn resolve_expr(&self, expr: &CinExpr) -> Result<Expr, CompileError> {
+        match expr {
+            CinExpr::Literal(v) => Ok(Expr::Lit(*v)),
+            CinExpr::Dyn(e) => Ok(e.clone()),
+            CinExpr::Index(i) => self.index_expr(i),
+            CinExpr::Access(a) => self.resolve_access_expr(a),
+            CinExpr::Call { op, args } => {
+                let args: Vec<Expr> =
+                    args.iter().map(|a| self.resolve_expr(a)).collect::<Result<_, _>>()?;
+                self.resolve_call(*op, args)
+            }
+        }
+    }
+
+    fn resolve_access_expr(&self, a: &Access) -> Result<Expr, CompileError> {
+        let name = a.tensor.name();
+        if Self::is_placeholder(name) {
+            // A placeholder that survived to expression resolution still has
+            // unconsumed indices: the loop order cannot drive it.
+            let original = self
+                .fibers
+                .get(name)
+                .map(|h| h.tensor.clone())
+                .unwrap_or_else(|| name.to_string());
+            return Err(CompileError::NonConcordantAccess { name: original });
+        }
+        match self.bindings.get(name) {
+            None => Err(CompileError::UnknownTensor { name: name.to_string() }),
+            Some(Binding::Output(out)) => {
+                let pos = self.linearize(name, &out.shape, a)?;
+                Ok(Expr::load(out.buf, pos))
+            }
+            Some(Binding::Input(t)) => {
+                if t.ndim() == 0 && a.indices.is_empty() {
+                    Ok(t.scalar_value())
+                } else {
+                    Err(CompileError::NonConcordantAccess { name: name.to_string() })
+                }
+            }
+        }
+    }
+
+    /// Row-major linearisation of a plain (modifier-free) access into a
+    /// dense tensor of the given shape.
+    pub fn linearize(&self, name: &str, shape: &[usize], a: &Access) -> Result<Expr, CompileError> {
+        if a.indices.len() != shape.len() {
+            return Err(CompileError::RankMismatch {
+                name: name.to_string(),
+                rank: shape.len(),
+                indices: a.indices.len(),
+            });
+        }
+        let mut pos = Expr::int(0);
+        for (ix, &dim) in a.indices.iter().zip(shape.iter()) {
+            let coord = match ix {
+                finch_cin::IndexExpr::Var { index, .. } => self.index_expr(index)?,
+                _ => {
+                    return Err(CompileError::Unsupported {
+                        detail: format!("index modifiers are not supported on dense access `{name}`"),
+                    })
+                }
+            };
+            pos = Expr::add(Expr::mul(pos, Expr::int(dim as i64)), coord).simplified();
+        }
+        Ok(pos)
+    }
+
+    fn resolve_call(&self, op: CinOp, args: Vec<Expr>) -> Result<Expr, CompileError> {
+        let fold = |bin: BinOp, args: Vec<Expr>| -> Result<Expr, CompileError> {
+            let mut it = args.into_iter();
+            let first = it.next().ok_or_else(|| CompileError::Unsupported {
+                detail: format!("operator `{}` applied to no arguments", op.name()),
+            })?;
+            Ok(it.fold(first, |acc, e| Expr::binary(bin, acc, e)))
+        };
+        let exactly2 = |bin: BinOp, args: Vec<Expr>| -> Result<Expr, CompileError> {
+            if args.len() != 2 {
+                return Err(CompileError::Unsupported {
+                    detail: format!("operator `{}` expects two arguments", op.name()),
+                });
+            }
+            let mut it = args.into_iter();
+            let a = it.next().expect("two arguments");
+            let b = it.next().expect("two arguments");
+            Ok(Expr::binary(bin, a, b))
+        };
+        let exactly1 = |un: UnOp, mut args: Vec<Expr>| -> Result<Expr, CompileError> {
+            if args.len() != 1 {
+                return Err(CompileError::Unsupported {
+                    detail: format!("operator `{}` expects one argument", op.name()),
+                });
+            }
+            Ok(Expr::unary(un, args.remove(0)))
+        };
+        match op {
+            CinOp::Add => fold(BinOp::Add, args),
+            CinOp::Mul => fold(BinOp::Mul, args),
+            CinOp::Min => fold(BinOp::Min, args),
+            CinOp::Max => fold(BinOp::Max, args),
+            CinOp::And => fold(BinOp::And, args),
+            CinOp::Or => fold(BinOp::Or, args),
+            CinOp::Sub => exactly2(BinOp::Sub, args),
+            CinOp::Div => exactly2(BinOp::Div, args),
+            CinOp::Eq => exactly2(BinOp::Eq, args),
+            CinOp::Ne => exactly2(BinOp::Ne, args),
+            CinOp::Lt => exactly2(BinOp::Lt, args),
+            CinOp::Le => exactly2(BinOp::Le, args),
+            CinOp::Gt => exactly2(BinOp::Gt, args),
+            CinOp::Ge => exactly2(BinOp::Ge, args),
+            CinOp::Coalesce => Ok(Expr::Coalesce(args)),
+            CinOp::Sqrt => exactly1(UnOp::Sqrt, args),
+            CinOp::Abs => exactly1(UnOp::Abs, args),
+            CinOp::Round => exactly1(UnOp::Round, args),
+            CinOp::Neg => exactly1(UnOp::Neg, args),
+            CinOp::Not => exactly1(UnOp::Not, args),
+        }
+    }
+
+    /// Map a CIN reduction operator onto a target-IR store reduction.
+    pub fn reduce_op(op: CinOp) -> Result<BinOp, CompileError> {
+        match op {
+            CinOp::Add => Ok(BinOp::Add),
+            CinOp::Mul => Ok(BinOp::Mul),
+            CinOp::Min => Ok(BinOp::Min),
+            CinOp::Max => Ok(BinOp::Max),
+            CinOp::And => Ok(BinOp::And),
+            CinOp::Or => Ok(BinOp::Or),
+            other => Err(CompileError::Unsupported {
+                detail: format!("`{}` is not a supported reduction operator", other.name()),
+            }),
+        }
+    }
+}

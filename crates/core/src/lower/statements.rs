@@ -1,0 +1,93 @@
+//! Lowering of the non-loop statement forms: assignments, `where`, `multi`,
+//! `sieve` and `pass`.
+
+use finch_cin::{CinStmt, Reduction};
+use finch_ir::{Expr, Stmt, Value};
+
+use crate::error::CompileError;
+use crate::lower::{loops, Binding, LowerCtx};
+
+/// Lower a CIN statement to target IR.
+pub(crate) fn lower_stmt(stmt: &CinStmt, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, CompileError> {
+    match stmt {
+        CinStmt::Pass(_) => Ok(Vec::new()),
+        CinStmt::Multi(stmts) => {
+            let mut out = Vec::new();
+            for s in stmts {
+                out.extend(lower_stmt(s, ctx)?);
+            }
+            Ok(out)
+        }
+        CinStmt::Sieve { cond, body } => {
+            let cond = ctx.resolve_expr(cond)?;
+            let inner = lower_stmt(body, ctx)?;
+            if inner.is_empty() {
+                Ok(Vec::new())
+            } else {
+                Ok(vec![Stmt::if_then(cond, inner)])
+            }
+        }
+        CinStmt::Where { consumer, producer } => {
+            let mut out = Vec::new();
+            // Result arrays are initialised as soon as they enter scope
+            // (paper §5.1): re-initialise the producer's results here so a
+            // `where` nested under a forall accumulates from scratch on
+            // every iteration.
+            for result in producer.results() {
+                match ctx.bindings.get(result.name()) {
+                    Some(Binding::Output(ob)) => {
+                        out.extend(init_output(ob.buf, ob.len(), ob.init, ctx));
+                    }
+                    Some(Binding::Input(_)) => {
+                        return Err(CompileError::UnsupportedWrite { name: result.name().to_string() })
+                    }
+                    None => {
+                        return Err(CompileError::UnknownTensor { name: result.name().to_string() })
+                    }
+                }
+            }
+            out.extend(lower_stmt(producer, ctx)?);
+            out.extend(lower_stmt(consumer, ctx)?);
+            Ok(out)
+        }
+        CinStmt::Forall { index, extent, body } => loops::lower_forall(index, extent.as_ref(), body, ctx),
+        CinStmt::Assign { lhs, reduction, rhs } => {
+            let out = ctx.output(lhs.tensor.name())?.clone();
+            let pos = if out.shape.is_empty() {
+                Expr::int(0)
+            } else {
+                ctx.linearize(lhs.tensor.name(), &out.shape, lhs)?
+            };
+            let value = ctx.resolve_expr(rhs)?;
+            let reduce = match reduction {
+                Reduction::Overwrite => None,
+                Reduction::Reduce(op) => Some(LowerCtx::reduce_op(*op)?),
+            };
+            Ok(vec![Stmt::Store { buf: out.buf, index: pos, value, reduce }])
+        }
+    }
+}
+
+/// Emit code that fills an output buffer with its initial value.
+pub(crate) fn init_output(buf: finch_ir::BufId, len: usize, init: f64, ctx: &mut LowerCtx) -> Vec<Stmt> {
+    if len == 1 {
+        return vec![Stmt::Store {
+            buf,
+            index: Expr::int(0),
+            value: Expr::Lit(Value::Float(init)),
+            reduce: None,
+        }];
+    }
+    let q = ctx.names.fresh("init_q");
+    vec![Stmt::For {
+        var: q,
+        lo: Expr::int(0),
+        hi: Expr::int(len as i64 - 1),
+        body: vec![Stmt::Store {
+            buf,
+            index: Expr::Var(q),
+            value: Expr::Lit(Value::Float(init)),
+            reduce: None,
+        }],
+    }]
+}

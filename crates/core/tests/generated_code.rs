@@ -1,0 +1,177 @@
+//! Structural and asymptotic properties of the generated code: these tests
+//! check that the lowering reproduces the *shape* of the code listings in
+//! the paper (Figures 1b and 6) and the asymptotic behaviour those shapes
+//! exist to deliver.
+
+use finch::build::*;
+use finch::{CompiledKernel, Kernel, Protocol, Tensor};
+
+fn dot(a: &Tensor, b: &Tensor, pa: Protocol, pb: Protocol) -> CompiledKernel {
+    let mut kernel = Kernel::new();
+    kernel.bind_input(a).bind_input(b).bind_output_scalar("C");
+    let i = idx("i");
+    let with = |p: Protocol, v: &finch::IndexVar| match p {
+        Protocol::Gallop => v.gallop(),
+        Protocol::Walk => v.walk(),
+        Protocol::Locate => v.locate(),
+        Protocol::Default => v.clone().into(),
+    };
+    let program = forall(
+        i.clone(),
+        add_assign(
+            scalar("C"),
+            mul(access(a.name(), [with(pa, &i)]), access(b.name(), [with(pb, &i)])),
+        ),
+    );
+    kernel.compile(&program).expect("dot compiles")
+}
+
+#[test]
+fn two_finger_merge_has_the_figure_1_shape() {
+    // Two sparse lists walked together: the generated code must contain a
+    // while loop, a min over the two declared strides, and guarded
+    // position increments — the classic two-finger merge.
+    let a = Tensor::sparse_list_vector("A", &[0.0, 1.0, 0.0, 2.0, 0.0, 3.0]);
+    let b = Tensor::sparse_list_vector("B", &[4.0, 0.0, 5.0, 0.0, 0.0, 6.0]);
+    let k = dot(&a, &b, Protocol::Walk, Protocol::Walk);
+    let code = k.code();
+    assert!(code.contains("while"), "{code}");
+    assert!(code.contains("min("), "{code}");
+    assert!(code.contains("A_idx0["), "{code}");
+    assert!(code.contains("B_idx0["), "{code}");
+    // Guarded advancement: each list only advances when its stride was the
+    // chosen boundary.
+    assert!(code.matches("if (stride").count() >= 2, "{code}");
+}
+
+#[test]
+fn galloping_merge_uses_max_and_binary_search() {
+    let a = Tensor::sparse_list_vector("A", &[0.0, 1.0, 0.0, 2.0, 0.0, 3.0]);
+    let b = Tensor::sparse_list_vector("B", &[4.0, 0.0, 5.0, 0.0, 0.0, 6.0]);
+    let k = dot(&a, &b, Protocol::Gallop, Protocol::Gallop);
+    let code = k.code();
+    assert!(code.contains("max("), "leaders use the largest stride:\n{code}");
+    assert!(code.contains("search("), "seek functions binary search:\n{code}");
+    // The galloping nest's switch produces an if/else on whether this list's
+    // next coordinate is exactly the region boundary.
+    assert!(code.contains("} else {"), "{code}");
+}
+
+#[test]
+fn dense_times_sparse_skips_nothing_but_visits_only_nonzeros_of_the_list() {
+    let n = 1000;
+    let mut a_data = vec![0.0; n];
+    for k in (0..n).step_by(97) {
+        a_data[k] = 1.0;
+    }
+    let b_data: Vec<f64> = (0..n).map(|x| x as f64).collect();
+    let a = Tensor::sparse_list_vector("A", &a_data);
+    let b = Tensor::dense_vector("B", &b_data);
+    let mut k = dot(&a, &b, Protocol::Walk, Protocol::Locate);
+    let stats = k.run().expect("runs");
+    let expect: f64 = a_data.iter().zip(&b_data).map(|(x, y)| x * y).sum();
+    assert_eq!(k.output_scalar("C"), Some(expect));
+    // Work is proportional to the number of stored nonzeros of A (11), not
+    // to the dense dimension (1000).
+    assert!(stats.loop_iters < 100, "iterations {}", stats.loop_iters);
+}
+
+#[test]
+fn rle_reduction_collapses_runs_with_the_invariant_loop_rule() {
+    // Summing a run-length-encoded vector should do work proportional to
+    // the number of runs, because `C[] += v` over a run of length L is
+    // rewritten to `C[] += v * L`.
+    let n = 4096;
+    let mut data = vec![1.5; n];
+    for k in 0..8 {
+        data[k * 512] = (k + 2) as f64;
+    }
+    let t = Tensor::rle_vector("V", &data);
+    assert!(t.stored() < 32, "few runs expected");
+    let mut kernel = Kernel::new();
+    kernel.bind_input(&t).bind_output_scalar("S");
+    let i = idx("i");
+    let program = forall(i.clone(), add_assign(scalar("S"), access("V", [i])));
+    let mut compiled = kernel.compile(&program).expect("sum compiles");
+    let stats = compiled.run().expect("sum runs");
+    let expect: f64 = data.iter().sum();
+    assert!((compiled.output_scalar("S").unwrap() - expect).abs() < 1e-6);
+    assert!(
+        stats.loop_iters < 64,
+        "work should scale with runs, not elements: {} iterations\n{}",
+        stats.loop_iters,
+        compiled.code()
+    );
+    // The generated code contains the collapsed multiplication by the run
+    // length rather than a per-element loop over each run.
+    assert!(compiled.code().contains("max("), "{}", compiled.code());
+}
+
+#[test]
+fn zero_regions_are_deleted_not_executed() {
+    // A sparse list multiplied by an all-zero band: after simplification
+    // nothing at all should execute inside the loop nest.
+    let a = Tensor::sparse_list_vector("A", &[0.0, 1.0, 0.0, 2.0]);
+    let b = Tensor::band_vector("B", &[0.0, 0.0, 0.0, 0.0]);
+    let mut k = dot(&a, &b, Protocol::Walk, Protocol::Default);
+    let stats = k.run().expect("runs");
+    assert_eq!(k.output_scalar("C"), Some(0.0));
+    assert!(stats.loop_iters <= 1, "zero band should produce no iteration: {stats:?}\n{}", k.code());
+}
+
+#[test]
+fn bitmap_switch_specialises_the_zero_case() {
+    let data = vec![0.0, 3.0, 0.0, 0.0, 7.0, 0.0];
+    let a = Tensor::bitmap_vector("A", &data);
+    let b = Tensor::dense_vector("B", &[1.0; 6]);
+    let mut k = dot(&a, &b, Protocol::Locate, Protocol::Locate);
+    k.run().expect("runs");
+    assert_eq!(k.output_scalar("C"), Some(10.0));
+    // The bitmap's zero check appears in the generated code.
+    assert!(k.code().contains("A_tbl0["), "{}", k.code());
+}
+
+#[test]
+fn generated_code_for_spmspv_nests_the_row_loop_outside_the_merge() {
+    let data = vec![
+        0.0, 1.0, 0.0, 2.0, //
+        3.0, 0.0, 0.0, 0.0, //
+        0.0, 0.0, 4.0, 0.0,
+    ];
+    let a = Tensor::csr_matrix("A", 3, 4, &data);
+    let x = Tensor::sparse_list_vector("x", &[1.0, 0.0, 2.0, 3.0]);
+    let mut kernel = Kernel::new();
+    kernel.bind_input(&a).bind_input(&x).bind_output("y", &[3], 0.0);
+    let (i, j) = (idx("i"), idx("j"));
+    let program = forall(
+        i.clone(),
+        forall(
+            j.clone(),
+            add_assign(
+                access("y", [i.clone()]),
+                mul(access("A", [i.into(), j.walk()]), access("x", [j.walk()])),
+            ),
+        ),
+    );
+    let mut compiled = kernel.compile(&program).expect("spmspv compiles");
+    compiled.run().expect("spmspv runs");
+    assert_eq!(compiled.output("y"), Some(vec![6.0, 3.0, 8.0]));
+    let code = compiled.code();
+    // The outer dense row loop is a for; the inner coiteration is a while.
+    let for_pos = code.find("for i").expect("outer for loop");
+    let while_pos = code.find("while").expect("inner merge loop");
+    assert!(for_pos < while_pos, "{code}");
+}
+
+#[test]
+fn compiled_kernels_can_be_rerun_and_are_deterministic() {
+    let a = Tensor::sparse_list_vector("A", &[0.0, 1.0, 2.0, 0.0, 4.0]);
+    let b = Tensor::sparse_list_vector("B", &[1.0, 1.0, 0.0, 1.0, 0.5]);
+    let mut k = dot(&a, &b, Protocol::Walk, Protocol::Walk);
+    let s1 = k.run().expect("first run");
+    let v1 = k.output_scalar("C");
+    let s2 = k.run().expect("second run");
+    let v2 = k.output_scalar("C");
+    assert_eq!(v1, v2, "outputs must be reset between runs");
+    assert_eq!(s1, s2, "work counters are deterministic");
+}

@@ -1,0 +1,550 @@
+//! Conversions between dense data and the structured formats.
+//!
+//! These constructors are what a user of the library reaches for first:
+//! give them a dense vector / matrix (or a COO triple list) and get back a
+//! [`Tensor`] in the requested format.  Each conversion is written so that
+//! `to_dense()` of the result reproduces the input exactly, which the
+//! property tests in `tests/` rely on.
+
+use crate::level::Level;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    // -- vectors ------------------------------------------------------------
+
+    /// A sparse-list ("compressed") vector holding the nonzeros of `data`.
+    pub fn sparse_list_vector(name: impl Into<String>, data: &[f64]) -> Self {
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            if v != 0.0 {
+                idx.push(i as i64);
+                vals.push(v);
+            }
+        }
+        let pos = vec![0, idx.len() as i64];
+        Tensor::new(
+            name,
+            vec![Level::SparseList { size: data.len(), pos, idx }],
+            vals,
+            0.0,
+        )
+        .expect("sparse list conversion is well-formed")
+    }
+
+    /// A sparse-band vector: stores the (single) contiguous range spanning
+    /// the first to the last nonzero of `data`.
+    pub fn band_vector(name: impl Into<String>, data: &[f64]) -> Self {
+        let first = data.iter().position(|&v| v != 0.0);
+        let (start, vals) = match first {
+            None => (0i64, Vec::new()),
+            Some(first) => {
+                let last = data.iter().rposition(|&v| v != 0.0).expect("nonzero exists");
+                (first as i64, data[first..=last].to_vec())
+            }
+        };
+        let pos = vec![0, vals.len() as i64];
+        Tensor::new(
+            name,
+            vec![Level::SparseBand { size: data.len(), pos, start: vec![start] }],
+            vals,
+            0.0,
+        )
+        .expect("band conversion is well-formed")
+    }
+
+    /// A variable-block-list (VBL) vector: stores each maximal contiguous
+    /// group of nonzeros as one dense block.
+    pub fn vbl_vector(name: impl Into<String>, data: &[f64]) -> Self {
+        let (pos, idx, ofs, vals) = vbl_rows(&[data.to_vec()]);
+        Tensor::new(
+            name,
+            vec![Level::SparseVbl { size: data.len(), pos, idx, ofs }],
+            vals,
+            0.0,
+        )
+        .expect("vbl conversion is well-formed")
+    }
+
+    /// A run-length-encoded vector: stores one value per maximal run of
+    /// equal values.
+    pub fn rle_vector(name: impl Into<String>, data: &[f64]) -> Self {
+        let (pos, idx, vals) = rle_rows(&[data.to_vec()]);
+        Tensor::new(name, vec![Level::RunLength { size: data.len(), pos, idx }], vals, 0.0)
+            .expect("rle conversion is well-formed")
+    }
+
+    /// A PackBits-encoded vector: long runs of equal values become run
+    /// segments, everything else becomes literal segments.
+    pub fn packbits_vector(name: impl Into<String>, data: &[f64]) -> Self {
+        let (pos, idx, ofs, vals) = packbits_rows(&[data.to_vec()], 3);
+        Tensor::new(name, vec![Level::PackBits { size: data.len(), pos, idx, ofs }], vals, 0.0)
+            .expect("packbits conversion is well-formed")
+    }
+
+    /// A bitmap (bytemap + dense values) vector.
+    pub fn bitmap_vector(name: impl Into<String>, data: &[f64]) -> Self {
+        let tbl: Vec<bool> = data.iter().map(|&v| v != 0.0).collect();
+        Tensor::new(name, vec![Level::Bitmap { size: data.len(), tbl }], data.to_vec(), 0.0)
+            .expect("bitmap conversion is well-formed")
+    }
+
+    // -- matrices (dense outer rows) -----------------------------------------
+
+    /// CSR: dense rows over sparse-list columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn csr_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let mut pos = vec![0i64];
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..nrows {
+            for c in 0..ncols {
+                let v = data[r * ncols + c];
+                if v != 0.0 {
+                    idx.push(c as i64);
+                    vals.push(v);
+                }
+            }
+            pos.push(idx.len() as i64);
+        }
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::SparseList { size: ncols, pos, idx }],
+            vals,
+            0.0,
+        )
+        .expect("csr conversion is well-formed")
+    }
+
+    /// CSR built from sorted-or-unsorted COO triples `(row, col, value)`.
+    /// Later duplicates overwrite earlier ones.
+    pub fn csr_from_coo(
+        name: impl Into<String>,
+        nrows: usize,
+        ncols: usize,
+        triples: &[(usize, usize, f64)],
+    ) -> Self {
+        let mut dense = vec![0.0; nrows * ncols];
+        for &(r, c, v) in triples {
+            dense[r * ncols + c] = v;
+        }
+        Tensor::csr_matrix(name, nrows, ncols, &dense)
+    }
+
+    /// Dense rows over VBL columns (the paper's clustered format, Fig. 3b).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn vbl_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let rows: Vec<Vec<f64>> = (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
+        let (pos, idx, ofs, vals) = vbl_rows(&rows);
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::SparseVbl { size: ncols, pos, idx, ofs }],
+            vals,
+            0.0,
+        )
+        .expect("vbl conversion is well-formed")
+    }
+
+    /// Dense rows over single-band columns (the paper's banded format,
+    /// Fig. 3f).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn band_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let mut pos = vec![0i64];
+        let mut start = Vec::new();
+        let mut vals = Vec::new();
+        for r in 0..nrows {
+            let row = &data[r * ncols..(r + 1) * ncols];
+            match row.iter().position(|&v| v != 0.0) {
+                None => start.push(0),
+                Some(first) => {
+                    let last = row.iter().rposition(|&v| v != 0.0).expect("nonzero exists");
+                    start.push(first as i64);
+                    vals.extend_from_slice(&row[first..=last]);
+                }
+            }
+            pos.push(vals.len() as i64);
+        }
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::SparseBand { size: ncols, pos, start }],
+            vals,
+            0.0,
+        )
+        .expect("band conversion is well-formed")
+    }
+
+    /// Dense rows over run-length-encoded columns (Fig. 3g).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn rle_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let rows: Vec<Vec<f64>> = (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
+        let (pos, idx, vals) = rle_rows(&rows);
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::RunLength { size: ncols, pos, idx }],
+            vals,
+            0.0,
+        )
+        .expect("rle conversion is well-formed")
+    }
+
+    /// Dense rows over PackBits columns (Fig. 3h).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn packbits_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let rows: Vec<Vec<f64>> = (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
+        let (pos, idx, ofs, vals) = packbits_rows(&rows, 3);
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::PackBits { size: ncols, pos, idx, ofs }],
+            vals,
+            0.0,
+        )
+        .expect("packbits conversion is well-formed")
+    }
+
+    /// Dense rows over bitmap columns (Fig. 6c).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn bitmap_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let tbl: Vec<bool> = data.iter().map(|&v| v != 0.0).collect();
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::Bitmap { size: ncols, tbl }],
+            data.to_vec(),
+            0.0,
+        )
+        .expect("bitmap conversion is well-formed")
+    }
+
+    /// Packed lower-triangular storage (Fig. 3a): entries above the diagonal
+    /// are not stored and read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != n * n`.
+    pub fn triangular_matrix(name: impl Into<String>, n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "dense matrix data must match its shape");
+        let mut vals = Vec::with_capacity(n * (n + 1) / 2);
+        for r in 0..n {
+            for c in 0..=r {
+                vals.push(data[r * n + c]);
+            }
+        }
+        Tensor::new(name, vec![Level::Dense { size: n }, Level::Triangular { size: n }], vals, 0.0)
+            .expect("triangular conversion is well-formed")
+    }
+
+    /// Packed symmetric storage (Fig. 3c): only the lower triangle is
+    /// stored, reads above the diagonal are mirrored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != n * n`.
+    pub fn symmetric_matrix(name: impl Into<String>, n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n, "dense matrix data must match its shape");
+        let mut vals = Vec::with_capacity(n * (n + 1) / 2);
+        for r in 0..n {
+            for c in 0..=r {
+                vals.push(data[r * n + c]);
+            }
+        }
+        Tensor::new(name, vec![Level::Dense { size: n }, Level::Symmetric { size: n }], vals, 0.0)
+            .expect("symmetric conversion is well-formed")
+    }
+
+    /// Ragged rows (Fig. 3e): each row stores its prefix up to the last
+    /// nonzero, the rest reads as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != nrows * ncols`.
+    pub fn ragged_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
+        let mut pos = vec![0i64];
+        let mut vals = Vec::new();
+        for r in 0..nrows {
+            let row = &data[r * ncols..(r + 1) * ncols];
+            let len = row.iter().rposition(|&v| v != 0.0).map_or(0, |p| p + 1);
+            vals.extend_from_slice(&row[..len]);
+            pos.push(vals.len() as i64);
+        }
+        Tensor::new(
+            name,
+            vec![Level::Dense { size: nrows }, Level::Ragged { size: ncols, pos }],
+            vals,
+            0.0,
+        )
+        .expect("ragged conversion is well-formed")
+    }
+
+    /// Convert a matrix tensor to its transpose, materialised densely and
+    /// re-encoded with the provided converter.  Used by the triangle
+    /// counting benchmark, which (like the paper) transposes its last
+    /// argument before the kernel runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tensor is not two-dimensional.
+    pub fn transposed_dense(&self, name: impl Into<String>) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose requires a matrix");
+        let shape = self.shape();
+        let (nrows, ncols) = (shape[0], shape[1]);
+        let dense = self.to_dense();
+        let mut out = vec![0.0; nrows * ncols];
+        for r in 0..nrows {
+            for c in 0..ncols {
+                out[c * nrows + r] = dense[r * ncols + c];
+            }
+        }
+        Tensor::dense_matrix(name, ncols, nrows, &out)
+    }
+}
+
+/// Shared helper: encode rows as maximal contiguous nonzero blocks.
+fn vbl_rows(rows: &[Vec<f64>]) -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<f64>) {
+    let mut pos = vec![0i64];
+    let mut idx = Vec::new();
+    let mut ofs = vec![0i64];
+    let mut vals = Vec::new();
+    for row in rows {
+        let mut c = 0usize;
+        while c < row.len() {
+            if row[c] != 0.0 {
+                let begin = c;
+                while c < row.len() && row[c] != 0.0 {
+                    c += 1;
+                }
+                let end = c - 1;
+                idx.push(end as i64);
+                vals.extend_from_slice(&row[begin..=end]);
+                ofs.push(vals.len() as i64);
+            } else {
+                c += 1;
+            }
+        }
+        pos.push(idx.len() as i64);
+    }
+    (pos, idx, ofs, vals)
+}
+
+/// Shared helper: encode rows as runs of equal values covering each row.
+fn rle_rows(rows: &[Vec<f64>]) -> (Vec<i64>, Vec<i64>, Vec<f64>) {
+    let mut pos = vec![0i64];
+    let mut idx = Vec::new();
+    let mut vals = Vec::new();
+    for row in rows {
+        let mut c = 0usize;
+        while c < row.len() {
+            let v = row[c];
+            let begin = c;
+            while c < row.len() && row[c] == v {
+                c += 1;
+            }
+            let _ = begin;
+            idx.push((c - 1) as i64);
+            vals.push(v);
+        }
+        pos.push(idx.len() as i64);
+    }
+    (pos, idx, vals)
+}
+
+/// Shared helper: PackBits encoding with a minimum run length.
+fn packbits_rows(rows: &[Vec<f64>], min_run: usize) -> (Vec<i64>, Vec<i64>, Vec<i64>, Vec<f64>) {
+    let mut pos = vec![0i64];
+    let mut idx = Vec::new();
+    let mut ofs = vec![0i64];
+    let mut vals = Vec::new();
+    for row in rows {
+        let mut c = 0usize;
+        let mut literal_start: Option<usize> = None;
+        while c < row.len() {
+            // Measure the run starting at c.
+            let v = row[c];
+            let mut end = c;
+            while end + 1 < row.len() && row[end + 1] == v {
+                end += 1;
+            }
+            let run_len = end - c + 1;
+            if run_len >= min_run {
+                // Flush any pending literal segment first.
+                if let Some(ls) = literal_start.take() {
+                    idx.push(-(c as i64)); // segment covering ls..=c-1, marker -(end+1)
+                    vals.extend_from_slice(&row[ls..c]);
+                    ofs.push(vals.len() as i64);
+                }
+                idx.push((end + 1) as i64);
+                vals.push(v);
+                ofs.push(vals.len() as i64);
+            } else if literal_start.is_none() {
+                literal_start = Some(c);
+            }
+            c = end + 1;
+            if run_len < min_run {
+                // The short run stays pending as part of the literal segment.
+                continue;
+            }
+        }
+        if let Some(ls) = literal_start.take() {
+            idx.push(-(row.len() as i64));
+            vals.extend_from_slice(&row[ls..]);
+            ofs.push(vals.len() as i64);
+        }
+        pos.push(idx.len() as i64);
+    }
+    (pos, idx, ofs, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_vec() -> Vec<f64> {
+        vec![0.0, 1.9, 0.0, 3.0, 2.7, 0.0, 0.0, 0.0, 5.5, 0.0, 0.0]
+    }
+
+    fn banded_vec() -> Vec<f64> {
+        vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0]
+    }
+
+    #[test]
+    fn vector_formats_roundtrip() {
+        let data = sample_vec();
+        for t in [
+            Tensor::sparse_list_vector("x", &data),
+            Tensor::vbl_vector("x", &data),
+            Tensor::rle_vector("x", &data),
+            Tensor::packbits_vector("x", &data),
+            Tensor::bitmap_vector("x", &data),
+        ] {
+            assert_eq!(t.to_dense(), data, "format {}", t.levels()[0].format_name());
+        }
+        // The band format stores one contiguous range, so it only roundtrips
+        // banded data exactly.
+        let banded = banded_vec();
+        assert_eq!(Tensor::band_vector("b", &banded).to_dense(), banded);
+    }
+
+    #[test]
+    fn band_vector_of_scattered_data_stores_the_hull() {
+        let data = sample_vec();
+        let t = Tensor::band_vector("b", &data);
+        // The hull from the first to the last nonzero is stored explicitly,
+        // including interior zeros, so the roundtrip is still exact.
+        assert_eq!(t.to_dense(), data);
+        assert_eq!(t.stored(), 8);
+    }
+
+    #[test]
+    fn matrix_formats_roundtrip() {
+        // The clustered example of the paper's Figure 1c, as two rows.
+        let data = vec![
+            0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0, //
+            0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0,
+        ];
+        for t in [
+            Tensor::csr_matrix("A", 2, 11, &data),
+            Tensor::vbl_matrix("A", 2, 11, &data),
+            Tensor::band_matrix("A", 2, 11, &data),
+            Tensor::rle_matrix("A", 2, 11, &data),
+            Tensor::packbits_matrix("A", 2, 11, &data),
+            Tensor::bitmap_matrix("A", 2, 11, &data),
+            Tensor::ragged_matrix("A", 2, 11, &data),
+        ] {
+            assert_eq!(t.to_dense(), data, "format {}", t.levels()[1].format_name());
+        }
+    }
+
+    #[test]
+    fn csr_from_coo_places_triples() {
+        let t = Tensor::csr_from_coo("A", 3, 3, &[(0, 1, 2.0), (2, 0, 4.0), (2, 2, 6.0)]);
+        assert_eq!(t.to_dense(), vec![0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 4.0, 0.0, 6.0]);
+        assert_eq!(t.nnz(), 3);
+    }
+
+    #[test]
+    fn triangular_and_symmetric_roundtrip() {
+        let n = 4;
+        let mut lower = vec![0.0; n * n];
+        let mut sym = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..=r {
+                let v = (r * n + c + 1) as f64;
+                lower[r * n + c] = v;
+                sym[r * n + c] = v;
+                sym[c * n + r] = v;
+            }
+        }
+        assert_eq!(Tensor::triangular_matrix("L", n, &lower).to_dense(), lower);
+        assert_eq!(Tensor::symmetric_matrix("S", n, &sym).to_dense(), sym);
+    }
+
+    #[test]
+    fn rle_compresses_repeated_values() {
+        let data = vec![3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 2.0, 2.0, 5.0, 2.0, 4.0];
+        let t = Tensor::rle_vector("img", &data);
+        assert_eq!(t.to_dense(), data);
+        assert_eq!(t.stored(), 6, "six runs expected");
+    }
+
+    #[test]
+    fn packbits_mixes_runs_and_literals() {
+        let data = vec![1.0, 1.0, 1.0, 1.0, 9.0, 7.0, 2.0, 2.0, 2.0, 2.0, 3.0];
+        let t = Tensor::packbits_vector("img", &data);
+        assert_eq!(t.to_dense(), data);
+        // Storage: run(1.0) + literal(9,7) + run(2.0) + literal(3) = 6 values,
+        // versus 11 dense.
+        assert!(t.stored() < data.len());
+    }
+
+    #[test]
+    fn transpose_matches_manual_transpose() {
+        let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let a = Tensor::csr_matrix("A", 2, 3, &data);
+        let at = a.transposed_dense("At");
+        assert_eq!(at.shape(), vec![3, 2]);
+        assert_eq!(at.value_at(&[2, 1]), 6.0);
+        assert_eq!(at.value_at(&[0, 1]), 4.0);
+    }
+
+    #[test]
+    fn empty_rows_are_handled_by_every_matrix_format() {
+        let data = vec![
+            0.0, 0.0, 0.0, 0.0, //
+            0.0, 7.0, 8.0, 0.0, //
+            0.0, 0.0, 0.0, 0.0,
+        ];
+        for t in [
+            Tensor::csr_matrix("A", 3, 4, &data),
+            Tensor::vbl_matrix("A", 3, 4, &data),
+            Tensor::band_matrix("A", 3, 4, &data),
+            Tensor::rle_matrix("A", 3, 4, &data),
+            Tensor::packbits_matrix("A", 3, 4, &data),
+            Tensor::ragged_matrix("A", 3, 4, &data),
+        ] {
+            assert_eq!(t.to_dense(), data, "format {}", t.levels()[1].format_name());
+        }
+    }
+}

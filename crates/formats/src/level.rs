@@ -1,0 +1,403 @@
+//! Level formats: the per-dimension storage schemes of Figure 3.
+//!
+//! A level describes how the fibers of one dimension are stored.  Positions
+//! are 0-based everywhere; a level maps a *parent position* `p` (which fiber
+//! of this level) and a coordinate `i` to a *child position* (an entry in
+//! the next level, or in the values array for the innermost level), or to
+//! the fill value when the coordinate is not stored.
+
+use finch_ir::Value;
+
+/// The storage scheme of one dimension of a [`Tensor`](crate::Tensor).
+///
+/// Array fields follow the paper's naming: `pos` delimits the entries of
+/// each fiber, `idx` stores coordinates (or block/run end coordinates),
+/// `ofs` stores value offsets, `start` stores band starts, `tbl` is a
+/// bytemap.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Level {
+    /// Every coordinate `0..size` is stored: child position `p * size + i`.
+    Dense {
+        /// The dimension size.
+        size: usize,
+    },
+    /// Sorted coordinate list ("compressed"): fiber `p` owns entries
+    /// `pos[p]..pos[p+1]`, entry `q` has coordinate `idx[q]` and child
+    /// position `q`.
+    SparseList {
+        /// The dimension size.
+        size: usize,
+        /// Fiber boundaries, length `nfibers + 1`.
+        pos: Vec<i64>,
+        /// Sorted coordinates of stored entries.
+        idx: Vec<i64>,
+    },
+    /// A single variably-wide dense block per fiber: fiber `p` stores
+    /// coordinates `start[p] .. start[p] + (pos[p+1]-pos[p]) - 1`, child
+    /// positions `pos[p]..pos[p+1]`.
+    SparseBand {
+        /// The dimension size.
+        size: usize,
+        /// Value boundaries per fiber, length `nfibers + 1`.
+        pos: Vec<i64>,
+        /// First stored coordinate per fiber, length `nfibers`.
+        start: Vec<i64>,
+    },
+    /// Variable block list: fiber `p` owns blocks `pos[p]..pos[p+1]`; block
+    /// `q` ends at coordinate `idx[q]` and stores `ofs[q+1]-ofs[q]`
+    /// contiguous values ending at child position `ofs[q+1]-1`.
+    SparseVbl {
+        /// The dimension size.
+        size: usize,
+        /// Block boundaries per fiber, length `nfibers + 1`.
+        pos: Vec<i64>,
+        /// Inclusive end coordinate of each block.
+        idx: Vec<i64>,
+        /// Value offsets, length `nblocks + 1`.
+        ofs: Vec<i64>,
+    },
+    /// Run-length encoding: fiber `p` owns runs `pos[p]..pos[p+1]`; run `q`
+    /// ends at coordinate `idx[q]` (inclusive) and repeats the value at
+    /// child position `q`.  The last run of a fiber ends at `size - 1`.
+    RunLength {
+        /// The dimension size.
+        size: usize,
+        /// Run boundaries per fiber, length `nfibers + 1`.
+        pos: Vec<i64>,
+        /// Inclusive end coordinate of each run.
+        idx: Vec<i64>,
+    },
+    /// PackBits-style mix of runs and literal (dense) segments: fiber `p`
+    /// owns segments `pos[p]..pos[p+1]`.  Segment `q` ends at coordinate
+    /// `|idx[q]| - 1`; a positive `idx[q]` marks a run repeating the value
+    /// at child position `ofs[q]`, a negative `idx[q]` marks a literal
+    /// segment whose values are stored contiguously starting at child
+    /// position `ofs[q]`.
+    ///
+    /// (The paper's Figure 3h overlays segment and value positions; this
+    /// reproduction keeps an explicit `ofs` array so that coordinates can be
+    /// 0-based, which is recorded as a deviation in DESIGN.md.)
+    PackBits {
+        /// The dimension size.
+        size: usize,
+        /// Segment boundaries per fiber, length `nfibers + 1`.
+        pos: Vec<i64>,
+        /// Signed segment end markers (`±(end + 1)`).
+        idx: Vec<i64>,
+        /// Value offset of each segment, length `nsegments + 1`.
+        ofs: Vec<i64>,
+    },
+    /// A dense bytemap alongside dense values: coordinate `i` of fiber `p`
+    /// is stored iff `tbl[p * size + i]`, at child position `p * size + i`.
+    Bitmap {
+        /// The dimension size.
+        size: usize,
+        /// The bytemap, length `nfibers * size`.
+        tbl: Vec<bool>,
+    },
+    /// Packed lower-triangular storage: fiber `p` stores coordinates
+    /// `0..=p` at child positions `p * (p + 1) / 2 + i`; coordinates above
+    /// the diagonal read as the fill value.
+    Triangular {
+        /// The dimension size (the matrix is `size × size`).
+        size: usize,
+    },
+    /// Packed symmetric storage: like [`Level::Triangular`] below the
+    /// diagonal, and mirrored (`A[i, j] = A[j, i]`) above it.
+    Symmetric {
+        /// The dimension size.
+        size: usize,
+    },
+    /// Ragged rows: fiber `p` stores its first `pos[p+1]-pos[p]` coordinates
+    /// contiguously (child positions `pos[p]..`), the rest read as fill.
+    Ragged {
+        /// The dimension size (maximum row length).
+        size: usize,
+        /// Row boundaries, length `nfibers + 1`.
+        pos: Vec<i64>,
+    },
+}
+
+impl Level {
+    /// The dimension size this level represents.
+    pub fn size(&self) -> usize {
+        match self {
+            Level::Dense { size }
+            | Level::SparseList { size, .. }
+            | Level::SparseBand { size, .. }
+            | Level::SparseVbl { size, .. }
+            | Level::RunLength { size, .. }
+            | Level::PackBits { size, .. }
+            | Level::Bitmap { size, .. }
+            | Level::Triangular { size }
+            | Level::Symmetric { size }
+            | Level::Ragged { size, .. } => *size,
+        }
+    }
+
+    /// A short name for the format (used in reports and benchmark labels).
+    pub fn format_name(&self) -> &'static str {
+        match self {
+            Level::Dense { .. } => "dense",
+            Level::SparseList { .. } => "sparse-list",
+            Level::SparseBand { .. } => "sparse-band",
+            Level::SparseVbl { .. } => "sparse-vbl",
+            Level::RunLength { .. } => "rle",
+            Level::PackBits { .. } => "packbits",
+            Level::Bitmap { .. } => "bitmap",
+            Level::Triangular { .. } => "triangular",
+            Level::Symmetric { .. } => "symmetric",
+            Level::Ragged { .. } => "ragged",
+        }
+    }
+
+    /// The number of child positions (entries in the next level / values
+    /// array) used by the first `nfibers` fibers of this level.
+    pub fn child_span(&self, nfibers: usize) -> usize {
+        match self {
+            Level::Dense { size } | Level::Bitmap { size, .. } => nfibers * size,
+            Level::SparseList { pos, .. }
+            | Level::SparseBand { pos, .. }
+            | Level::RunLength { pos, .. }
+            | Level::Ragged { pos, .. } => pos[nfibers] as usize,
+            Level::SparseVbl { pos, ofs, .. } => ofs[pos[nfibers] as usize] as usize,
+            Level::PackBits { pos, ofs, .. } => ofs[pos[nfibers] as usize] as usize,
+            Level::Triangular { .. } | Level::Symmetric { .. } => {
+                // Fiber p stores p + 1 entries; the whole triangle is packed
+                // once and shared across the (single) parent fiber.
+                nfibers * (nfibers + 1) / 2
+            }
+        }
+    }
+
+    /// Reference semantics of the level: the child position of coordinate
+    /// `i` in fiber `p`, or `None` when the coordinate is not stored.
+    ///
+    /// This is the slow-path oracle used by [`Tensor::value_at`](crate::Tensor::value_at)
+    /// and by the test suite; the compiler never calls it.
+    pub fn locate(&self, p: usize, i: usize) -> Option<usize> {
+        if i >= self.size() {
+            return None;
+        }
+        match self {
+            Level::Dense { size } => Some(p * size + i),
+            Level::SparseList { pos, idx, .. } => {
+                let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);
+                idx[lo..hi].binary_search(&(i as i64)).ok().map(|k| lo + k)
+            }
+            Level::SparseBand { pos, start, .. } => {
+                let width = (pos[p + 1] - pos[p]) as usize;
+                let s = start[p] as usize;
+                if width > 0 && i >= s && i < s + width {
+                    Some(pos[p] as usize + (i - s))
+                } else {
+                    None
+                }
+            }
+            Level::SparseVbl { pos, idx, ofs, .. } => {
+                let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);
+                for q in lo..hi {
+                    let end = idx[q] as usize;
+                    let width = (ofs[q + 1] - ofs[q]) as usize;
+                    let begin = end + 1 - width;
+                    if i >= begin && i <= end {
+                        return Some(ofs[q] as usize + (i - begin));
+                    }
+                }
+                None
+            }
+            Level::RunLength { pos, idx, .. } => {
+                let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);
+                (lo..hi).find(|&q| i as i64 <= idx[q])
+            }
+            Level::PackBits { pos, idx, ofs, .. } => {
+                let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);
+                let mut begin = 0usize;
+                for q in lo..hi {
+                    let end = (idx[q].unsigned_abs() as usize) - 1;
+                    if i <= end {
+                        return if idx[q] > 0 {
+                            Some(ofs[q] as usize)
+                        } else {
+                            Some(ofs[q] as usize + (i - begin))
+                        };
+                    }
+                    begin = end + 1;
+                }
+                None
+            }
+            Level::Bitmap { size, tbl } => {
+                if tbl[p * size + i] {
+                    Some(p * size + i)
+                } else {
+                    None
+                }
+            }
+            Level::Triangular { .. } => {
+                if i <= p {
+                    Some(p * (p + 1) / 2 + i)
+                } else {
+                    None
+                }
+            }
+            Level::Symmetric { .. } => {
+                if i <= p {
+                    Some(p * (p + 1) / 2 + i)
+                } else {
+                    Some(i * (i + 1) / 2 + p)
+                }
+            }
+            Level::Ragged { pos, .. } => {
+                let len = (pos[p + 1] - pos[p]) as usize;
+                if i < len {
+                    Some(pos[p] as usize + i)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The number of explicitly stored entries in fiber `p` (used for
+    /// statistics and tests).
+    pub fn stored_in_fiber(&self, p: usize) -> usize {
+        match self {
+            Level::Dense { size } => *size,
+            Level::Bitmap { size, tbl } => tbl[p * size..(p + 1) * size].iter().filter(|&&b| b).count(),
+            Level::SparseList { pos, .. }
+            | Level::SparseBand { pos, .. }
+            | Level::Ragged { pos, .. } => (pos[p + 1] - pos[p]) as usize,
+            Level::SparseVbl { pos, ofs, .. } => {
+                (ofs[pos[p + 1] as usize] - ofs[pos[p] as usize]) as usize
+            }
+            Level::RunLength { pos, .. } => (pos[p + 1] - pos[p]) as usize,
+            Level::PackBits { pos, .. } => (pos[p + 1] - pos[p]) as usize,
+            Level::Triangular { .. } | Level::Symmetric { .. } => p + 1,
+        }
+    }
+
+    /// The natural fill value of a level (all the paper's formats use zero).
+    pub fn default_fill() -> Value {
+        Value::Float(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_locate_is_row_major() {
+        let l = Level::Dense { size: 4 };
+        assert_eq!(l.locate(2, 3), Some(11));
+        assert_eq!(l.locate(0, 4), None);
+        assert_eq!(l.child_span(3), 12);
+    }
+
+    #[test]
+    fn sparse_list_locate_finds_stored_coordinates_only() {
+        let l = Level::SparseList { size: 10, pos: vec![0, 2, 5], idx: vec![1, 7, 0, 3, 9] };
+        assert_eq!(l.locate(0, 1), Some(0));
+        assert_eq!(l.locate(0, 7), Some(1));
+        assert_eq!(l.locate(0, 3), None);
+        assert_eq!(l.locate(1, 3), Some(3));
+        assert_eq!(l.locate(1, 9), Some(4));
+        assert_eq!(l.stored_in_fiber(1), 3);
+        assert_eq!(l.child_span(2), 5);
+    }
+
+    #[test]
+    fn band_locate_covers_exactly_the_band() {
+        let l = Level::SparseBand { size: 11, pos: vec![0, 5], start: vec![3] };
+        assert_eq!(l.locate(0, 2), None);
+        assert_eq!(l.locate(0, 3), Some(0));
+        assert_eq!(l.locate(0, 7), Some(4));
+        assert_eq!(l.locate(0, 8), None);
+    }
+
+    #[test]
+    fn vbl_locate_handles_multiple_blocks() {
+        // Fiber 0: block ending at 4 of width 3 (coords 2,3,4 -> vals 0,1,2),
+        //          block ending at 8 of width 2 (coords 7,8   -> vals 3,4).
+        let l = Level::SparseVbl { size: 11, pos: vec![0, 2], idx: vec![4, 8], ofs: vec![0, 3, 5] };
+        assert_eq!(l.locate(0, 2), Some(0));
+        assert_eq!(l.locate(0, 4), Some(2));
+        assert_eq!(l.locate(0, 5), None);
+        assert_eq!(l.locate(0, 7), Some(3));
+        assert_eq!(l.locate(0, 8), Some(4));
+        assert_eq!(l.stored_in_fiber(0), 5);
+    }
+
+    #[test]
+    fn rle_locate_returns_the_covering_run() {
+        let l = Level::RunLength { size: 11, pos: vec![0, 3], idx: vec![2, 5, 10] };
+        assert_eq!(l.locate(0, 0), Some(0));
+        assert_eq!(l.locate(0, 2), Some(0));
+        assert_eq!(l.locate(0, 3), Some(1));
+        assert_eq!(l.locate(0, 10), Some(2));
+    }
+
+    #[test]
+    fn packbits_locate_distinguishes_runs_and_literals() {
+        // Fiber 0: run over coords 0..=2 (value at ofs 0), literal over 3..=5
+        // (values at ofs 1..=3), run over 6..=10 (value at ofs 4).
+        let l = Level::PackBits {
+            size: 11,
+            pos: vec![0, 3],
+            idx: vec![3, -6, 11],
+            ofs: vec![0, 1, 4, 5],
+        };
+        assert_eq!(l.locate(0, 1), Some(0));
+        assert_eq!(l.locate(0, 3), Some(1));
+        assert_eq!(l.locate(0, 5), Some(3));
+        assert_eq!(l.locate(0, 9), Some(4));
+    }
+
+    #[test]
+    fn triangular_and_symmetric_locate() {
+        let t = Level::Triangular { size: 4 };
+        assert_eq!(t.locate(2, 1), Some(4));
+        assert_eq!(t.locate(1, 2), None);
+        let s = Level::Symmetric { size: 4 };
+        assert_eq!(s.locate(2, 1), Some(4));
+        assert_eq!(s.locate(1, 2), Some(4));
+        assert_eq!(s.locate(3, 3), Some(9));
+    }
+
+    #[test]
+    fn ragged_locate_respects_row_lengths() {
+        let l = Level::Ragged { size: 6, pos: vec![0, 3, 3, 5] };
+        assert_eq!(l.locate(0, 2), Some(2));
+        assert_eq!(l.locate(0, 3), None);
+        assert_eq!(l.locate(1, 0), None);
+        assert_eq!(l.locate(2, 1), Some(4));
+    }
+
+    #[test]
+    fn bitmap_locate_checks_the_table() {
+        let l = Level::Bitmap { size: 3, tbl: vec![true, false, true, false, true, false] };
+        assert_eq!(l.locate(0, 0), Some(0));
+        assert_eq!(l.locate(0, 1), None);
+        assert_eq!(l.locate(1, 1), Some(4));
+        assert_eq!(l.stored_in_fiber(1), 1);
+    }
+
+    #[test]
+    fn format_names_are_distinct() {
+        use std::collections::HashSet;
+        let levels = vec![
+            Level::Dense { size: 1 },
+            Level::SparseList { size: 1, pos: vec![0, 0], idx: vec![] },
+            Level::SparseBand { size: 1, pos: vec![0, 0], start: vec![0] },
+            Level::SparseVbl { size: 1, pos: vec![0, 0], idx: vec![], ofs: vec![0] },
+            Level::RunLength { size: 1, pos: vec![0, 1], idx: vec![0] },
+            Level::PackBits { size: 1, pos: vec![0, 1], idx: vec![1], ofs: vec![0, 1] },
+            Level::Bitmap { size: 1, tbl: vec![false] },
+            Level::Triangular { size: 1 },
+            Level::Symmetric { size: 1 },
+            Level::Ragged { size: 1, pos: vec![0, 0] },
+        ];
+        let names: HashSet<_> = levels.iter().map(|l| l.format_name()).collect();
+        assert_eq!(names.len(), levels.len());
+    }
+}

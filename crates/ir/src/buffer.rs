@@ -1,0 +1,295 @@
+//! Typed flat buffers: the runtime storage the generated code reads and
+//! writes.
+//!
+//! Every array mentioned by a level format (`pos`, `idx`, `ofs`, `val`, ...)
+//! and every output tensor becomes one [`Buffer`] registered in a
+//! [`BufferSet`].  Buffers are monomorphically typed so the interpreter's
+//! inner loop avoids boxing every element.
+
+use std::fmt;
+
+use crate::error::RuntimeError;
+use crate::expr::BinOp;
+use crate::value::Value;
+
+/// Identifier of a buffer within a [`BufferSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub(crate) u32);
+
+impl BufId {
+    /// The dense index of this buffer in its [`BufferSet`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BufId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A typed, flat runtime array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Buffer {
+    /// Signed 64-bit integers (positions, coordinates, run boundaries).
+    I64(Vec<i64>),
+    /// 64-bit floats (most values arrays).
+    F64(Vec<f64>),
+    /// Unsigned bytes (image data).
+    U8(Vec<u8>),
+    /// Booleans (bitmaps / bytemaps).
+    Bool(Vec<bool>),
+}
+
+impl Buffer {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            Buffer::I64(v) => v.len(),
+            Buffer::F64(v) => v.len(),
+            Buffer::U8(v) => v.len(),
+            Buffer::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the buffer has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Load element `i` as a [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of bounds; the interpreter performs its own
+    /// bounds check first in order to report a friendlier error.
+    pub fn load(&self, i: usize) -> Value {
+        match self {
+            Buffer::I64(v) => Value::Int(v[i]),
+            Buffer::F64(v) => Value::Float(v[i]),
+            Buffer::U8(v) => Value::Float(v[i] as f64),
+            Buffer::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Store `value` into element `i`, optionally combining with the current
+    /// element through `reduce` (e.g. `Some(BinOp::Add)` for `+=`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value cannot be represented in the buffer's
+    /// element type (including storing `Missing`).
+    pub fn store(&mut self, i: usize, value: Value, reduce: Option<BinOp>) -> Result<(), RuntimeError> {
+        let value = match reduce {
+            Some(op) => Value::binop(op, self.load(i), value)?,
+            None => value,
+        };
+        if value.is_missing() {
+            return Err(RuntimeError::UnexpectedMissing { context: "a buffer store".into() });
+        }
+        match self {
+            Buffer::I64(v) => v[i] = value.as_int()?,
+            Buffer::F64(v) => v[i] = value.as_float()?,
+            Buffer::U8(v) => v[i] = value.as_float()?.clamp(0.0, 255.0).round() as u8,
+            Buffer::Bool(v) => v[i] = value.as_bool()?,
+        }
+        Ok(())
+    }
+
+    /// Fill every element with `value` (used to re-initialise outputs
+    /// between benchmark repetitions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value cannot be represented.
+    pub fn fill(&mut self, value: Value) -> Result<(), RuntimeError> {
+        match self {
+            Buffer::I64(v) => {
+                let x = value.as_int()?;
+                v.iter_mut().for_each(|e| *e = x);
+            }
+            Buffer::F64(v) => {
+                let x = value.as_float()?;
+                v.iter_mut().for_each(|e| *e = x);
+            }
+            Buffer::U8(v) => {
+                let x = value.as_float()?.clamp(0.0, 255.0).round() as u8;
+                v.iter_mut().for_each(|e| *e = x);
+            }
+            Buffer::Bool(v) => {
+                let x = value.as_bool()?;
+                v.iter_mut().for_each(|e| *e = x);
+            }
+        }
+        Ok(())
+    }
+
+    /// View the buffer as a slice of floats, converting lazily.
+    ///
+    /// This is a convenience for tests and benchmark harnesses that want to
+    /// compare outputs regardless of element type.
+    pub fn to_f64_vec(&self) -> Vec<f64> {
+        match self {
+            Buffer::I64(v) => v.iter().map(|&x| x as f64).collect(),
+            Buffer::F64(v) => v.clone(),
+            Buffer::U8(v) => v.iter().map(|&x| x as f64).collect(),
+            Buffer::Bool(v) => v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect(),
+        }
+    }
+
+    /// Borrow the underlying `i64` data, if this is an integer buffer.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            Buffer::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the underlying `f64` data, if this is a float buffer.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            Buffer::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The set of all buffers a compiled kernel reads and writes.
+#[derive(Debug, Clone, Default)]
+pub struct BufferSet {
+    bufs: Vec<Buffer>,
+    names: Vec<String>,
+}
+
+impl BufferSet {
+    /// Create an empty buffer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a buffer under `name`, returning its id.
+    pub fn add(&mut self, name: &str, buf: Buffer) -> BufId {
+        let id = BufId(self.bufs.len() as u32);
+        self.bufs.push(buf);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Number of registered buffers.
+    pub fn len(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Whether no buffers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.bufs.is_empty()
+    }
+
+    /// Borrow a buffer.
+    pub fn get(&self, id: BufId) -> &Buffer {
+        &self.bufs[id.index()]
+    }
+
+    /// Mutably borrow a buffer.
+    pub fn get_mut(&mut self, id: BufId) -> &mut Buffer {
+        &mut self.bufs[id.index()]
+    }
+
+    /// Replace the contents of a buffer (used to rebind inputs between
+    /// benchmark repetitions without recompiling).
+    pub fn replace(&mut self, id: BufId, buf: Buffer) {
+        self.bufs[id.index()] = buf;
+    }
+
+    /// The registered name of a buffer.
+    pub fn name(&self, id: BufId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Find a buffer id by its registered name, if present.
+    pub fn lookup(&self, name: &str) -> Option<BufId> {
+        self.names.iter().position(|n| n == name).map(|i| BufId(i as u32))
+    }
+
+    /// Iterate over `(id, name, buffer)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (BufId, &str, &Buffer)> + '_ {
+        self.bufs
+            .iter()
+            .zip(self.names.iter())
+            .enumerate()
+            .map(|(i, (b, n))| (BufId(i as u32), n.as_str(), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip_all_types() {
+        let mut bufs = BufferSet::new();
+        let a = bufs.add("a", Buffer::I64(vec![0; 3]));
+        let b = bufs.add("b", Buffer::F64(vec![0.0; 3]));
+        let c = bufs.add("c", Buffer::U8(vec![0; 3]));
+        let d = bufs.add("d", Buffer::Bool(vec![false; 3]));
+
+        bufs.get_mut(a).store(1, Value::Int(7), None).unwrap();
+        bufs.get_mut(b).store(2, Value::Float(2.5), None).unwrap();
+        bufs.get_mut(c).store(0, Value::Float(300.0), None).unwrap();
+        bufs.get_mut(d).store(1, Value::Bool(true), None).unwrap();
+
+        assert_eq!(bufs.get(a).load(1), Value::Int(7));
+        assert_eq!(bufs.get(b).load(2), Value::Float(2.5));
+        assert_eq!(bufs.get(c).load(0), Value::Float(255.0)); // clamped
+        assert_eq!(bufs.get(d).load(1), Value::Bool(true));
+    }
+
+    #[test]
+    fn reducing_store_accumulates() {
+        let mut buf = Buffer::F64(vec![1.0]);
+        buf.store(0, Value::Float(2.0), Some(BinOp::Add)).unwrap();
+        buf.store(0, Value::Float(4.0), Some(BinOp::Max)).unwrap();
+        assert_eq!(buf.load(0), Value::Float(4.0));
+    }
+
+    #[test]
+    fn storing_missing_is_an_error() {
+        let mut buf = Buffer::F64(vec![0.0]);
+        let err = buf.store(0, Value::Missing, None).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnexpectedMissing { .. }));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut bufs = BufferSet::new();
+        let a = bufs.add("A_pos", Buffer::I64(vec![]));
+        assert_eq!(bufs.lookup("A_pos"), Some(a));
+        assert_eq!(bufs.lookup("nope"), None);
+        assert_eq!(bufs.name(a), "A_pos");
+    }
+
+    #[test]
+    fn fill_resets_contents() {
+        let mut buf = Buffer::F64(vec![1.0, 2.0, 3.0]);
+        buf.fill(Value::Float(0.0)).unwrap();
+        assert_eq!(buf.to_f64_vec(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn to_f64_vec_converts_all_types() {
+        assert_eq!(Buffer::I64(vec![1, 2]).to_f64_vec(), vec![1.0, 2.0]);
+        assert_eq!(Buffer::U8(vec![3]).to_f64_vec(), vec![3.0]);
+        assert_eq!(Buffer::Bool(vec![true, false]).to_f64_vec(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_buffers() {
+        let mut bufs = BufferSet::new();
+        bufs.add("x", Buffer::I64(vec![1]));
+        bufs.add("y", Buffer::F64(vec![2.0]));
+        let names: Vec<_> = bufs.iter().map(|(_, n, _)| n.to_string()).collect();
+        assert_eq!(names, vec!["x", "y"]);
+        assert_eq!(bufs.len(), 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Runtime errors produced by the interpreter.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::value::ValueKind;
+
+/// Errors raised while executing target IR.
+///
+/// These indicate either malformed input data (e.g. an index buffer pointing
+/// outside its values buffer) or a compiler bug (ill-typed generated code);
+/// they are never expected during normal operation on well-formed tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A value had the wrong runtime type for the operation.
+    TypeMismatch {
+        /// What the operation expected.
+        expected: &'static str,
+        /// The kind that was actually found.
+        found: ValueKind,
+    },
+    /// A buffer access was out of bounds.
+    OutOfBounds {
+        /// Name of the buffer.
+        buffer: String,
+        /// The offending index.
+        index: i64,
+        /// The buffer length.
+        len: usize,
+    },
+    /// Integer division by zero.
+    DivisionByZero,
+    /// A variable was read before being assigned.
+    UnboundVariable {
+        /// The printed name of the variable.
+        name: String,
+    },
+    /// A `Missing` value escaped into a context that cannot represent it
+    /// (e.g. a store into an integer buffer).
+    UnexpectedMissing {
+        /// Description of the context.
+        context: String,
+    },
+    /// The interpreter exceeded its configured step budget (used by tests to
+    /// guard against non-terminating generated code).
+    StepBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            RuntimeError::OutOfBounds { buffer, index, len } => {
+                write!(f, "index {index} out of bounds for buffer `{buffer}` of length {len}")
+            }
+            RuntimeError::DivisionByZero => write!(f, "integer division by zero"),
+            RuntimeError::UnboundVariable { name } => {
+                write!(f, "variable `{name}` read before assignment")
+            }
+            RuntimeError::UnexpectedMissing { context } => {
+                write!(f, "missing value reached {context}")
+            }
+            RuntimeError::StepBudgetExceeded { budget } => {
+                write!(f, "interpreter exceeded step budget of {budget}")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty_lowercase_messages() {
+        let errs: Vec<RuntimeError> = vec![
+            RuntimeError::TypeMismatch { expected: "int", found: ValueKind::Missing },
+            RuntimeError::OutOfBounds { buffer: "idx".into(), index: 9, len: 3 },
+            RuntimeError::DivisionByZero,
+            RuntimeError::UnboundVariable { name: "p".into() },
+            RuntimeError::UnexpectedMissing { context: "a store".into() },
+            RuntimeError::StepBudgetExceeded { budget: 10 },
+        ];
+        for e in errs {
+            let msg = format!("{e}");
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<RuntimeError>();
+    }
+}

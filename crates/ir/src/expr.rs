@@ -1,0 +1,526 @@
+//! Expressions of the target IR.
+//!
+//! Expressions are pure (they never mutate buffers or variables) and are
+//! built from literals, variables, buffer loads, unary/binary operators, a
+//! ternary select, an n-ary `coalesce` (the paper's `missing`-eliminating
+//! operator, §8), and a sorted-search intrinsic used by stepper/jumper
+//! `seek` functions to implement skipping and galloping.
+
+use std::fmt;
+
+use crate::buffer::BufId;
+use crate::value::Value;
+use crate::var::Var;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Logical and (operands coerced to booleans).
+    And,
+    /// Logical or.
+    Or,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+impl BinOp {
+    /// The source-level symbol of the operator (used by the pretty-printer).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+        }
+    }
+
+    /// Whether the operator is printed as a function call (`min(a, b)`)
+    /// rather than infix.
+    pub fn is_call_style(self) -> bool {
+        matches!(self, BinOp::Min | BinOp::Max)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical negation.
+    Not,
+    /// Absolute value (used by the PackBits format's signed run lengths).
+    Abs,
+    /// Square root (used by the all-pairs image similarity kernel).
+    Sqrt,
+    /// Round-and-clamp to `0..=255` (the alpha blending kernel's
+    /// `round(UInt8, ...)`).
+    Round,
+    /// Sign.
+    Sign,
+}
+
+impl UnOp {
+    /// The source-level name of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+            UnOp::Round => "round_u8",
+            UnOp::Sign => "sign",
+        }
+    }
+}
+
+/// A pure expression of the target IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Value),
+    /// A variable read.
+    Var(Var),
+    /// `buf[index]`.
+    Load {
+        /// The buffer read from.
+        buf: BufId,
+        /// Element index (0-based).
+        index: Box<Expr>,
+    },
+    /// The length of a buffer, as an integer.
+    BufLen(
+        /// The buffer whose length is taken.
+        BufId,
+    ),
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        arg: Box<Expr>,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `if cond { then } else { otherwise }` as an expression.
+    Select {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        otherwise: Box<Expr>,
+    },
+    /// The first non-`missing` argument (all-`missing` yields `missing`).
+    Coalesce(
+        /// Candidate expressions, in priority order.
+        Vec<Expr>,
+    ),
+    /// Lower-bound binary search: the first position `p` in `lo..=hi` such
+    /// that `buf[p] >= key`, or `hi + 1` when no such position exists.
+    ///
+    /// When `on_abs` is set the comparison uses `abs(buf[p])`, which the
+    /// PackBits format needs because it stores literal-region boundaries as
+    /// negated coordinates.
+    Search {
+        /// The sorted coordinate buffer searched.
+        buf: BufId,
+        /// Lowest candidate position (inclusive).
+        lo: Box<Expr>,
+        /// Highest candidate position (inclusive).
+        hi: Box<Expr>,
+        /// The key searched for.
+        key: Box<Expr>,
+        /// Compare against `abs(buf[p])` instead of `buf[p]`.
+        on_abs: bool,
+    },
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn int(x: i64) -> Expr {
+        Expr::Lit(Value::Int(x))
+    }
+
+    /// Float literal.
+    pub fn float(x: f64) -> Expr {
+        Expr::Lit(Value::Float(x))
+    }
+
+    /// Boolean literal.
+    pub fn bool(x: bool) -> Expr {
+        Expr::Lit(Value::Bool(x))
+    }
+
+    /// The `missing` literal.
+    pub fn missing() -> Expr {
+        Expr::Lit(Value::Missing)
+    }
+
+    /// `buf[index]`.
+    pub fn load(buf: BufId, index: Expr) -> Expr {
+        Expr::Load { buf, index: Box::new(index) }
+    }
+
+    /// Build a binary operation.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// Build a unary operation.
+    pub fn unary(op: UnOp, arg: Expr) -> Expr {
+        Expr::Unary { op, arg: Box::new(arg) }
+    }
+
+    /// `lhs + rhs`.
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Add, lhs, rhs)
+    }
+
+    /// `lhs - rhs`.
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Sub, lhs, rhs)
+    }
+
+    /// `lhs * rhs`.
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `min(lhs, rhs)`.
+    pub fn min(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Min, lhs, rhs)
+    }
+
+    /// `max(lhs, rhs)`.
+    pub fn max(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Max, lhs, rhs)
+    }
+
+    /// `lhs == rhs`.
+    pub fn eq(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, lhs, rhs)
+    }
+
+    /// `lhs <= rhs`.
+    pub fn le(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Le, lhs, rhs)
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Lt, lhs, rhs)
+    }
+
+    /// `lhs >= rhs`.
+    pub fn ge(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::binary(BinOp::Ge, lhs, rhs)
+    }
+
+    /// `if cond { then } else { otherwise }`.
+    pub fn select(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Select { cond: Box::new(cond), then: Box::new(then), otherwise: Box::new(otherwise) }
+    }
+
+    /// Is this expression the literal value `v`?
+    pub fn is_lit(&self, v: Value) -> bool {
+        matches!(self, Expr::Lit(x) if *x == v)
+    }
+
+    /// If the expression is a literal, return it.
+    pub fn as_lit(&self) -> Option<Value> {
+        match self {
+            Expr::Lit(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Substitute every occurrence of variable `var` with `replacement`,
+    /// returning the rewritten expression.
+    ///
+    /// Variables are globally unique (see [`crate::Names`]) so no capture can
+    /// occur.
+    pub fn substitute(&self, var: Var, replacement: &Expr) -> Expr {
+        self.map(&mut |e| match e {
+            Expr::Var(v) if *v == var => Some(replacement.clone()),
+            _ => None,
+        })
+    }
+
+    /// Rewrite the expression bottom-up: `f` is applied to every node after
+    /// its children have been rewritten; returning `Some` replaces the node.
+    pub fn map(&self, f: &mut dyn FnMut(&Expr) -> Option<Expr>) -> Expr {
+        let rebuilt = match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::BufLen(_) => self.clone(),
+            Expr::Load { buf, index } => Expr::Load { buf: *buf, index: Box::new(index.map(f)) },
+            Expr::Unary { op, arg } => Expr::Unary { op: *op, arg: Box::new(arg.map(f)) },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.map(f)),
+                rhs: Box::new(rhs.map(f)),
+            },
+            Expr::Select { cond, then, otherwise } => Expr::Select {
+                cond: Box::new(cond.map(f)),
+                then: Box::new(then.map(f)),
+                otherwise: Box::new(otherwise.map(f)),
+            },
+            Expr::Coalesce(args) => Expr::Coalesce(args.iter().map(|a| a.map(f)).collect()),
+            Expr::Search { buf, lo, hi, key, on_abs } => Expr::Search {
+                buf: *buf,
+                lo: Box::new(lo.map(f)),
+                hi: Box::new(hi.map(f)),
+                key: Box::new(key.map(f)),
+                on_abs: *on_abs,
+            },
+        };
+        f(&rebuilt).unwrap_or(rebuilt)
+    }
+
+    /// Collect the free variables of the expression into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+        });
+    }
+
+    /// Does the expression mention variable `var`?
+    pub fn mentions(&self, var: Var) -> bool {
+        let mut found = false;
+        self.visit(&mut |e| {
+            if let Expr::Var(v) = e {
+                if *v == var {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+
+    /// Visit every node of the expression tree (pre-order).
+    pub fn visit(&self, f: &mut dyn FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Lit(_) | Expr::Var(_) | Expr::BufLen(_) => {}
+            Expr::Load { index, .. } => index.visit(f),
+            Expr::Unary { arg, .. } => arg.visit(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.visit(f);
+                rhs.visit(f);
+            }
+            Expr::Select { cond, then, otherwise } => {
+                cond.visit(f);
+                then.visit(f);
+                otherwise.visit(f);
+            }
+            Expr::Coalesce(args) => args.iter().for_each(|a| a.visit(f)),
+            Expr::Search { lo, hi, key, .. } => {
+                lo.visit(f);
+                hi.visit(f);
+                key.visit(f);
+            }
+        }
+    }
+
+    /// Perform a handful of purely syntactic simplifications that keep
+    /// generated code readable: constant folding of integer arithmetic and
+    /// `x + 0` / `x - 0` / `min(x, x)` style identities.
+    ///
+    /// This is *not* the structural rewrite engine of the paper (that lives
+    /// in `finch-rewrite`); it only tidies index arithmetic.
+    pub fn simplified(&self) -> Expr {
+        self.map(&mut |e| match e {
+            Expr::Binary { op, lhs, rhs } => {
+                if let (Some(Value::Int(a)), Some(Value::Int(b))) = (lhs.as_lit(), rhs.as_lit()) {
+                    if let Ok(v) = Value::binop(*op, Value::Int(a), Value::Int(b)) {
+                        return Some(Expr::Lit(v));
+                    }
+                }
+                match op {
+                    BinOp::Add => {
+                        if rhs.is_lit(Value::Int(0)) {
+                            return Some((**lhs).clone());
+                        }
+                        if lhs.is_lit(Value::Int(0)) {
+                            return Some((**rhs).clone());
+                        }
+                        None
+                    }
+                    BinOp::Sub if rhs.is_lit(Value::Int(0)) => Some((**lhs).clone()),
+                    BinOp::Min | BinOp::Max if lhs == rhs => Some((**lhs).clone()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+    }
+}
+
+impl From<Value> for Expr {
+    fn from(v: Value) -> Self {
+        Expr::Lit(v)
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Self {
+        Expr::Var(v)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Names;
+
+    #[test]
+    fn substitution_replaces_all_occurrences() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let e = Expr::add(Expr::Var(i), Expr::mul(Expr::Var(i), Expr::int(2)));
+        let s = e.substitute(i, &Expr::int(5));
+        assert!(!s.mentions(i));
+        let mut vars = Vec::new();
+        s.collect_vars(&mut vars);
+        assert!(vars.is_empty());
+    }
+
+    #[test]
+    fn substitution_does_not_touch_other_vars() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let j = names.fresh("j");
+        let e = Expr::add(Expr::Var(i), Expr::Var(j));
+        let s = e.substitute(i, &Expr::int(1));
+        assert!(s.mentions(j));
+    }
+
+    #[test]
+    fn simplify_folds_integer_arithmetic() {
+        let e = Expr::add(Expr::int(2), Expr::int(3)).simplified();
+        assert_eq!(e, Expr::int(5));
+        let e = Expr::sub(Expr::mul(Expr::int(4), Expr::int(2)), Expr::int(0)).simplified();
+        assert_eq!(e, Expr::int(8));
+    }
+
+    #[test]
+    fn simplify_removes_additive_identity() {
+        let mut names = Names::new();
+        let x = names.fresh("x");
+        let e = Expr::add(Expr::Var(x), Expr::int(0)).simplified();
+        assert_eq!(e, Expr::Var(x));
+        let e = Expr::add(Expr::int(0), Expr::Var(x)).simplified();
+        assert_eq!(e, Expr::Var(x));
+    }
+
+    #[test]
+    fn simplify_collapses_min_of_equal_operands() {
+        let mut names = Names::new();
+        let x = names.fresh("x");
+        let e = Expr::min(Expr::Var(x), Expr::Var(x)).simplified();
+        assert_eq!(e, Expr::Var(x));
+    }
+
+    #[test]
+    fn collect_vars_deduplicates() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let j = names.fresh("j");
+        let e = Expr::add(Expr::Var(i), Expr::add(Expr::Var(j), Expr::Var(i)));
+        let mut vars = Vec::new();
+        e.collect_vars(&mut vars);
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn literal_predicates() {
+        assert!(Expr::int(0).is_lit(Value::Int(0)));
+        assert!(!Expr::int(1).is_lit(Value::Int(0)));
+        assert_eq!(Expr::float(2.0).as_lit(), Some(Value::Float(2.0)));
+        assert_eq!(Expr::missing().as_lit(), Some(Value::Missing));
+    }
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let e = Expr::select(Expr::bool(true), Expr::int(1), Expr::int(2));
+        assert!(matches!(e, Expr::Select { .. }));
+        let e = Expr::Coalesce(vec![Expr::missing(), Expr::int(3)]);
+        assert!(matches!(e, Expr::Coalesce(args) if args.len() == 2));
+    }
+
+    #[test]
+    fn operator_symbols_are_distinct() {
+        use std::collections::HashSet;
+        let ops = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Min,
+            BinOp::Max,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+        ];
+        let set: HashSet<_> = ops.iter().map(|o| o.symbol()).collect();
+        assert_eq!(set.len(), ops.len());
+    }
+}

@@ -1,0 +1,287 @@
+//! A small optimisation pass over the target IR: loop-invariant load
+//! hoisting.
+//!
+//! The original Finch implementation emits Julia source, and Julia's
+//! compiler hoists loop-invariant buffer loads (such as the value of a run
+//! being broadcast over its region) out of inner loops for free.  Our
+//! interpreter executes the IR as written, so this pass performs the same
+//! hoisting explicitly: a `buf[index]` load inside a loop whose index does
+//! not depend on anything assigned in the loop, and whose buffer is never
+//! written in the loop, is evaluated once before the loop and reused.
+//!
+//! Only loads appearing in *unconditionally executed* positions of the loop
+//! body (top-level statements and the conditions of top-level `if`/`while`
+//! statements) are hoisted, so a load that the generated code guards with a
+//! bounds check is never moved ahead of its guard.
+
+use std::collections::HashSet;
+
+use crate::buffer::BufId;
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+use crate::var::{Names, Var};
+
+/// Hoist loop-invariant loads out of every loop in the program.
+pub fn hoist_invariant_loads(stmts: &[Stmt], names: &mut Names) -> Vec<Stmt> {
+    stmts.iter().map(|s| hoist_stmt(s, names)).collect()
+}
+
+fn hoist_stmt(stmt: &Stmt, names: &mut Names) -> Stmt {
+    match stmt {
+        Stmt::For { var, lo, hi, body } => {
+            let body: Vec<Stmt> = body.iter().map(|s| hoist_stmt(s, names)).collect();
+            let (pre, body) = hoist_loop_body(&body, Some(*var), names);
+            let rebuilt = Stmt::For { var: *var, lo: lo.clone(), hi: hi.clone(), body };
+            if pre.is_empty() {
+                rebuilt
+            } else {
+                Stmt::Block(pre.into_iter().chain(std::iter::once(rebuilt)).collect())
+            }
+        }
+        Stmt::While { cond, body } => {
+            let body: Vec<Stmt> = body.iter().map(|s| hoist_stmt(s, names)).collect();
+            let (pre, body) = hoist_loop_body(&body, None, names);
+            let rebuilt = Stmt::While { cond: cond.clone(), body };
+            if pre.is_empty() {
+                rebuilt
+            } else {
+                Stmt::Block(pre.into_iter().chain(std::iter::once(rebuilt)).collect())
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+            cond: cond.clone(),
+            then_branch: then_branch.iter().map(|s| hoist_stmt(s, names)).collect(),
+            else_branch: else_branch.iter().map(|s| hoist_stmt(s, names)).collect(),
+        },
+        Stmt::Block(body) => Stmt::Block(body.iter().map(|s| hoist_stmt(s, names)).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Split a loop body into hoisted `let` statements and the rewritten body.
+fn hoist_loop_body(body: &[Stmt], loop_var: Option<Var>, names: &mut Names) -> (Vec<Stmt>, Vec<Stmt>) {
+    // Variables assigned anywhere in the body (plus the loop variable) make
+    // an expression loop-variant.
+    let mut defined: HashSet<Var> = HashSet::new();
+    if let Some(v) = loop_var {
+        defined.insert(v);
+    }
+    let mut stored: HashSet<BufId> = HashSet::new();
+    for s in body {
+        s.visit(&mut |node| match node {
+            Stmt::Let { var, .. } | Stmt::Assign { var, .. } | Stmt::For { var, .. } => {
+                defined.insert(*var);
+            }
+            Stmt::Store { buf, .. } => {
+                stored.insert(*buf);
+            }
+            _ => {}
+        });
+    }
+
+    // Collect candidate loads from unconditionally executed expressions.
+    // The traversal stops at `select` branches and at all but the first
+    // `coalesce` argument: those positions are only conditionally
+    // evaluated, and a guarded load must never move ahead of its guard.
+    fn collect_unconditional(
+        e: &Expr,
+        defined: &HashSet<Var>,
+        stored: &HashSet<BufId>,
+        out: &mut Vec<Expr>,
+    ) {
+        if let Expr::Load { buf, index } = e {
+            let mut vars = Vec::new();
+            index.collect_vars(&mut vars);
+            let invariant = !stored.contains(buf) && vars.iter().all(|v| !defined.contains(v));
+            if invariant && !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+        match e {
+            Expr::Select { cond, .. } => collect_unconditional(cond, defined, stored, out),
+            Expr::Coalesce(args) => {
+                if let Some(first) = args.first() {
+                    collect_unconditional(first, defined, stored, out);
+                }
+            }
+            Expr::Load { index, .. } => collect_unconditional(index, defined, stored, out),
+            Expr::Unary { arg, .. } => collect_unconditional(arg, defined, stored, out),
+            Expr::Binary { op, lhs, rhs } => {
+                collect_unconditional(lhs, defined, stored, out);
+                // `&&` / `||` short-circuit: their right operand is only
+                // conditionally evaluated.
+                if !matches!(op, crate::expr::BinOp::And | crate::expr::BinOp::Or) {
+                    collect_unconditional(rhs, defined, stored, out);
+                }
+            }
+            Expr::Search { lo, hi, key, .. } => {
+                collect_unconditional(lo, defined, stored, out);
+                collect_unconditional(hi, defined, stored, out);
+                collect_unconditional(key, defined, stored, out);
+            }
+            Expr::Lit(_) | Expr::Var(_) | Expr::BufLen(_) => {}
+        }
+    }
+    let mut candidates: Vec<Expr> = Vec::new();
+    let mut consider = |e: &Expr| collect_unconditional(e, &defined, &stored, &mut candidates);
+    for s in body {
+        match s {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => consider(init),
+            Stmt::Store { index, value, .. } => {
+                consider(index);
+                consider(value);
+            }
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => consider(cond),
+            Stmt::For { lo, hi, .. } => {
+                consider(lo);
+                consider(hi);
+            }
+            Stmt::Block(_) | Stmt::Comment(_) => {}
+        }
+    }
+
+    if candidates.is_empty() {
+        return (Vec::new(), body.to_vec());
+    }
+
+    let mut pre = Vec::new();
+    let mut rewritten = body.to_vec();
+    for load in candidates {
+        let var = names.fresh("hoisted");
+        pre.push(Stmt::Let { var, init: load.clone() });
+        rewritten = rewritten
+            .iter()
+            .map(|s| {
+                s.map_exprs(&mut |e| {
+                    e.map(&mut |node| if node == &load { Some(Expr::Var(var)) } else { None })
+                })
+            })
+            .collect();
+    }
+    (pre, rewritten)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, BufferSet};
+    use crate::expr::BinOp;
+    use crate::interp::Interpreter;
+    use crate::value::Value;
+
+    /// Build `for i { out[i] = vals[p] * x[i] }` where `vals[p]` is
+    /// invariant, and check that hoisting reduces the number of loads
+    /// without changing the result.
+    #[test]
+    fn invariant_load_is_hoisted_and_result_unchanged() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let vals = bufs.add("vals", Buffer::F64(vec![2.0, 3.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0; 4]));
+        let p = names.fresh("p");
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::Let { var: p, init: Expr::int(1) },
+            Stmt::For {
+                var: i,
+                lo: Expr::int(0),
+                hi: Expr::int(3),
+                body: vec![Stmt::Store {
+                    buf: out,
+                    index: Expr::Var(i),
+                    value: Expr::mul(Expr::load(vals, Expr::Var(p)), Expr::load(x, Expr::Var(i))),
+                    reduce: None,
+                }],
+            },
+        ];
+
+        let mut plain = Interpreter::new(&names);
+        let mut plain_bufs = bufs.clone();
+        plain.run(&prog, &mut plain_bufs).unwrap();
+
+        let optimised = hoist_invariant_loads(&prog, &mut names);
+        let mut opt = Interpreter::new(&names);
+        let mut opt_bufs = bufs.clone();
+        opt.run(&optimised, &mut opt_bufs).unwrap();
+
+        assert_eq!(plain_bufs.get(out), opt_bufs.get(out));
+        assert!(opt.stats().loads < plain.stats().loads);
+        // The program changed shape: the loop is now preceded by a `let`.
+        assert_ne!(optimised, prog);
+    }
+
+    #[test]
+    fn loads_depending_on_loop_state_are_not_hoisted() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let vals = bufs.add("vals", Buffer::F64(vec![1.0, 2.0, 3.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(2),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(vals, Expr::Var(i)),
+                reduce: Some(BinOp::Add),
+            }],
+        }];
+        let optimised = hoist_invariant_loads(&prog, &mut names);
+        assert_eq!(optimised, prog, "nothing to hoist");
+    }
+
+    #[test]
+    fn loads_from_stored_buffers_are_not_hoisted() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let acc = bufs.add("acc", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(2),
+            body: vec![Stmt::Store {
+                buf: acc,
+                index: Expr::int(0),
+                value: Expr::add(Expr::load(acc, Expr::int(0)), Expr::int(1)),
+                reduce: None,
+            }],
+        }];
+        let optimised = hoist_invariant_loads(&prog, &mut names);
+        assert_eq!(optimised, prog);
+        let mut interp = Interpreter::new(&names);
+        interp.run(&optimised, &mut bufs).unwrap();
+        assert_eq!(bufs.get(acc).load(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn guarded_loads_inside_branches_are_left_alone() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let idx = bufs.add("idx", Buffer::I64(vec![5]));
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let i = names.fresh("i");
+        // The load idx[9] would fault; it is guarded by `false` and must not
+        // be hoisted out of the branch.
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(1),
+            body: vec![Stmt::if_then(
+                Expr::bool(false),
+                vec![Stmt::Store {
+                    buf: out,
+                    index: Expr::int(0),
+                    value: Expr::load(idx, Expr::int(9)),
+                    reduce: None,
+                }],
+            )],
+        }];
+        let optimised = hoist_invariant_loads(&prog, &mut names);
+        let mut interp = Interpreter::new(&names);
+        assert!(interp.run(&optimised, &mut bufs).is_ok());
+    }
+}

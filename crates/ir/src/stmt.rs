@@ -1,0 +1,317 @@
+//! Statements of the target IR, and the [`Extent`] type describing loop
+//! regions.
+
+use crate::buffer::BufId;
+use crate::expr::{BinOp, Expr};
+use crate::var::Var;
+
+/// A loop region with inclusive bounds.
+///
+/// Looplets are "defined with respect to the extent of the target region"
+/// (paper §3); the compiler threads an `Extent` through every lowering pass.
+/// Bounds are arbitrary expressions because subregion boundaries (phase
+/// strides, stepper positions) are usually only known at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Extent {
+    /// Inclusive lower bound.
+    pub lo: Expr,
+    /// Inclusive upper bound.
+    pub hi: Expr,
+}
+
+impl Extent {
+    /// Create an extent from inclusive bounds.
+    pub fn new(lo: Expr, hi: Expr) -> Self {
+        Extent { lo, hi }
+    }
+
+    /// The extent `lo..=hi` with constant integer bounds.
+    pub fn literal(lo: i64, hi: i64) -> Self {
+        Extent { lo: Expr::int(lo), hi: Expr::int(hi) }
+    }
+
+    /// A single-point extent `at..=at`.
+    pub fn point(at: Expr) -> Self {
+        Extent { lo: at.clone(), hi: at }
+    }
+
+    /// Whether the bounds are syntactically identical, i.e. the extent is
+    /// statically known to contain exactly one index.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// The number of indices in the extent (`hi - lo + 1`), clamped at zero,
+    /// as an expression.
+    pub fn length(&self) -> Expr {
+        Expr::max(
+            Expr::add(Expr::sub(self.hi.clone(), self.lo.clone()), Expr::int(1)),
+            Expr::int(0),
+        )
+        .simplified()
+    }
+
+    /// The condition `lo <= hi`, i.e. the extent is nonempty.
+    pub fn nonempty(&self) -> Expr {
+        Expr::le(self.lo.clone(), self.hi.clone()).simplified()
+    }
+
+    /// Intersect with another extent: `max(lo, other.lo) ..= min(hi, other.hi)`.
+    pub fn intersect(&self, other: &Extent) -> Extent {
+        Extent {
+            lo: Expr::max(self.lo.clone(), other.lo.clone()).simplified(),
+            hi: Expr::min(self.hi.clone(), other.hi.clone()).simplified(),
+        }
+    }
+
+    /// The extent with both bounds shifted by `delta`.
+    pub fn shifted(&self, delta: &Expr) -> Extent {
+        Extent {
+            lo: Expr::add(self.lo.clone(), delta.clone()).simplified(),
+            hi: Expr::add(self.hi.clone(), delta.clone()).simplified(),
+        }
+    }
+}
+
+/// A statement of the target IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Declare a variable and initialise it.
+    Let {
+        /// The variable declared.
+        var: Var,
+        /// Its initial value.
+        init: Expr,
+    },
+    /// Assign a new value to an existing variable.
+    Assign {
+        /// The variable assigned.
+        var: Var,
+        /// The new value.
+        value: Expr,
+    },
+    /// `buf[index] op= value` (or plain assignment when `reduce` is `None`).
+    Store {
+        /// The destination buffer.
+        buf: BufId,
+        /// Destination element index.
+        index: Expr,
+        /// The value stored or combined.
+        value: Expr,
+        /// Reduction operator (`Some(Add)` means `+=`).
+        reduce: Option<BinOp>,
+    },
+    /// Conditional execution.
+    If {
+        /// The branch condition.
+        cond: Expr,
+        /// Statements executed when the condition holds.
+        then_branch: Vec<Stmt>,
+        /// Statements executed otherwise.
+        else_branch: Vec<Stmt>,
+    },
+    /// A `while` loop.
+    While {
+        /// Loop condition, evaluated before each iteration.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A counted `for` loop over `lo..=hi` (inclusive, may be empty).
+    For {
+        /// Loop variable.
+        var: Var,
+        /// Inclusive lower bound.
+        lo: Expr,
+        /// Inclusive upper bound.
+        hi: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A sequence of statements (no new scope semantics; variables are
+    /// globally unique).
+    Block(
+        /// The statements executed in order.
+        Vec<Stmt>,
+    ),
+    /// A comment carried through to the pretty-printer, used to annotate
+    /// generated code with the looplet pass that produced each region.
+    Comment(
+        /// Comment text.
+        String,
+    ),
+}
+
+impl Stmt {
+    /// An `if` with no else branch.
+    pub fn if_then(cond: Expr, then_branch: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then_branch, else_branch: Vec::new() }
+    }
+
+    /// Visit every statement node (pre-order), including nested bodies.
+    pub fn visit(&self, f: &mut dyn FnMut(&Stmt)) {
+        f(self);
+        match self {
+            Stmt::If { then_branch, else_branch, .. } => {
+                then_branch.iter().for_each(|s| s.visit(f));
+                else_branch.iter().for_each(|s| s.visit(f));
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } | Stmt::Block(body) => {
+                body.iter().for_each(|s| s.visit(f));
+            }
+            _ => {}
+        }
+    }
+
+    /// Count statements of the program matching a predicate (used by tests
+    /// that assert on the *structure* of generated code, e.g. "the galloping
+    /// kernel contains a binary search").
+    pub fn count_matching(stmts: &[Stmt], pred: &dyn Fn(&Stmt) -> bool) -> usize {
+        let mut n = 0;
+        for s in stmts {
+            s.visit(&mut |node| {
+                if pred(node) {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+
+    /// Rewrite every expression contained in the statement (recursively in
+    /// nested bodies) with `f`.
+    pub fn map_exprs(&self, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
+        match self {
+            Stmt::Comment(_) => self.clone(),
+            Stmt::Let { var, init } => Stmt::Let { var: *var, init: f(init) },
+            Stmt::Assign { var, value } => Stmt::Assign { var: *var, value: f(value) },
+            Stmt::Store { buf, index, value, reduce } => Stmt::Store {
+                buf: *buf,
+                index: f(index),
+                value: f(value),
+                reduce: *reduce,
+            },
+            Stmt::If { cond, then_branch, else_branch } => Stmt::If {
+                cond: f(cond),
+                then_branch: then_branch.iter().map(|s| s.map_exprs(f)).collect(),
+                else_branch: else_branch.iter().map(|s| s.map_exprs(f)).collect(),
+            },
+            Stmt::While { cond, body } => Stmt::While {
+                cond: f(cond),
+                body: body.iter().map(|s| s.map_exprs(f)).collect(),
+            },
+            Stmt::For { var, lo, hi, body } => Stmt::For {
+                var: *var,
+                lo: f(lo),
+                hi: f(hi),
+                body: body.iter().map(|s| s.map_exprs(f)).collect(),
+            },
+            Stmt::Block(body) => Stmt::Block(body.iter().map(|s| s.map_exprs(f)).collect()),
+        }
+    }
+
+    /// Substitute variable `var` with `replacement` in every expression of
+    /// the statement.  Binder positions (loop variables, `let` targets) are
+    /// left untouched; the compiler only ever creates globally-fresh
+    /// variables so capture cannot occur.
+    pub fn substitute(&self, var: Var, replacement: &Expr) -> Stmt {
+        self.map_exprs(&mut |e| e.substitute(var, replacement))
+    }
+
+    /// Substitute a variable in a sequence of statements.
+    pub fn substitute_all(stmts: &[Stmt], var: Var, replacement: &Expr) -> Vec<Stmt> {
+        stmts.iter().map(|s| s.substitute(var, replacement)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use crate::var::Names;
+
+    #[test]
+    fn extent_length_of_literals_folds() {
+        let ext = Extent::literal(3, 7);
+        assert_eq!(ext.length(), Expr::Lit(Value::Int(5)));
+        let empty = Extent::literal(5, 3);
+        // max(3 - 5 + 1, 0) = 0
+        assert_eq!(empty.length(), Expr::Lit(Value::Int(0)));
+    }
+
+    #[test]
+    fn point_extents_are_detected_syntactically() {
+        let mut names = Names::new();
+        let v = names.fresh("s");
+        assert!(Extent::point(Expr::Var(v)).is_point());
+        assert!(!Extent::literal(0, 1).is_point());
+    }
+
+    #[test]
+    fn intersect_takes_max_lo_and_min_hi() {
+        let a = Extent::literal(0, 10);
+        let b = Extent::literal(3, 20);
+        let c = a.intersect(&b);
+        assert_eq!(c.lo, Expr::int(3));
+        assert_eq!(c.hi, Expr::int(10));
+    }
+
+    #[test]
+    fn shifted_moves_both_bounds() {
+        let a = Extent::literal(2, 5).shifted(&Expr::int(10));
+        assert_eq!(a.lo, Expr::int(12));
+        assert_eq!(a.hi, Expr::int(15));
+    }
+
+    #[test]
+    fn count_matching_finds_nested_statements() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(3),
+            body: vec![
+                Stmt::Comment("inner".into()),
+                Stmt::if_then(Expr::bool(true), vec![Stmt::Comment("nested".into())]),
+            ],
+        }];
+        let n = Stmt::count_matching(&prog, &|s| matches!(s, Stmt::Comment(_)));
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn substitution_reaches_nested_statements() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let p = names.fresh("p");
+        let stmt = Stmt::While {
+            cond: Expr::lt(Expr::Var(p), Expr::Var(i)),
+            body: vec![Stmt::Assign { var: p, value: Expr::add(Expr::Var(p), Expr::Var(i)) }],
+        };
+        let replaced = stmt.substitute(i, &Expr::int(10));
+        let mentions = |s: &Stmt| {
+            let mut found = false;
+            s.visit(&mut |node| {
+                if let Stmt::Assign { value, .. } = node {
+                    if value.mentions(i) {
+                        found = true;
+                    }
+                }
+            });
+            found
+        };
+        assert!(!mentions(&replaced));
+        if let Stmt::While { cond, .. } = &replaced {
+            assert!(!cond.mentions(i));
+        } else {
+            panic!("shape changed");
+        }
+    }
+
+    #[test]
+    fn nonempty_condition_folds_for_literals() {
+        assert_eq!(Extent::literal(0, 3).nonempty(), Expr::bool(true));
+        assert_eq!(Extent::literal(4, 3).nonempty(), Expr::bool(false));
+    }
+}

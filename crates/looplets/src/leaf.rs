@@ -1,0 +1,42 @@
+//! The leaf payload abstraction.
+//!
+//! A [`Looplet`](crate::Looplet) is generic over what lives at its leaves.
+//! In the simplest case that is a target-IR expression (`finch_ir::Expr`) —
+//! the value of the sequence in the described region.  The Finch compiler
+//! instead uses a richer leaf type that can also hold an *unresolved
+//! subfiber* (the next level of a fiber-tree tensor, paper §4), so the same
+//! looplet machinery works at every level of a multidimensional format.
+
+use finch_ir::{Expr, Var};
+
+/// Types that can appear at the leaves of a looplet nest.
+///
+/// The single requirement is variable substitution: when a lowerer binds a
+/// `Lookup` looplet's coordinate variable (or a `Thunk`'s position variable)
+/// to a concrete loop index, the binding must reach into the leaves.
+pub trait Leaf: Clone {
+    /// Substitute `var` with `replacement` in every expression the leaf
+    /// contains.
+    fn substitute_var(&self, var: Var, replacement: &Expr) -> Self;
+}
+
+impl Leaf for Expr {
+    fn substitute_var(&self, var: Var, replacement: &Expr) -> Self {
+        self.substitute(var, replacement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finch_ir::Names;
+
+    #[test]
+    fn expr_leaves_substitute() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let leaf = Expr::add(Expr::Var(i), Expr::int(1));
+        let out = leaf.substitute_var(i, &Expr::int(41));
+        assert_eq!(out, Expr::add(Expr::int(41), Expr::int(1)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Lowering styles and the pairwise style-resolution heuristic (paper §6.2).
+//!
+//! When several accesses in the same loop body are described by different
+//! looplets, the compiler must decide which looplet pass runs first.  Each
+//! looplet declares a [`Style`]; styles are resolved pairwise, and the
+//! winning style's lowerer runs, truncating or ignoring the other looplets
+//! as needed.  The priority order of the paper is
+//!
+//! ```text
+//! Switch > Run > Spike > Pipeline > Jumper > Stepper > Lookup
+//! ```
+//!
+//! with the implementation-level wrappers (`Thunk`, `BindExtent`, `Shift`)
+//! resolved before everything else since they merely unwrap.
+
+use crate::looplet::Looplet;
+
+/// The lowering style a looplet declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Style {
+    /// A terminal leaf: nothing left to lower.
+    Leaf,
+    /// Plain random-access iteration (emit a `for` loop).
+    Lookup,
+    /// Two-finger style iteration over children.
+    Stepper,
+    /// Leader-elected iteration (galloping).
+    Jumper,
+    /// Concatenated phases.
+    Pipeline,
+    /// A repeated value with a final scalar.
+    Spike,
+    /// A single repeated value.
+    Run,
+    /// A runtime choice between looplets.
+    Switch,
+    /// A shifted wrapper (unwrapped by the access bookkeeping).
+    Shift,
+    /// Binds the current region's bounds to variables.
+    BindExtent,
+    /// Hoisted preamble statements.
+    Thunk,
+}
+
+impl Style {
+    /// The numeric priority of the style: higher priorities are lowered
+    /// first.  Matches the paper's ordering, with wrappers first.
+    pub fn priority(self) -> u8 {
+        match self {
+            Style::Thunk => 110,
+            Style::BindExtent => 105,
+            Style::Shift => 100,
+            Style::Switch => 90,
+            Style::Run => 80,
+            Style::Spike => 70,
+            Style::Pipeline => 60,
+            Style::Jumper => 50,
+            Style::Stepper => 40,
+            Style::Lookup => 30,
+            Style::Leaf => 0,
+        }
+    }
+
+    /// Pairwise resolution: the style whose lowerer can handle both inputs.
+    pub fn resolve(self, other: Style) -> Style {
+        if self.priority() >= other.priority() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Resolve a collection of styles; `None` when the collection is empty.
+    pub fn resolve_all<I: IntoIterator<Item = Style>>(styles: I) -> Option<Style> {
+        styles.into_iter().reduce(Style::resolve)
+    }
+}
+
+impl<L> Looplet<L> {
+    /// The style declared by the outermost node of this nest.
+    pub fn style(&self) -> Style {
+        match self {
+            Looplet::Leaf(_) => Style::Leaf,
+            Looplet::Run { .. } => Style::Run,
+            Looplet::Spike { .. } => Style::Spike,
+            Looplet::Lookup { .. } => Style::Lookup,
+            Looplet::Pipeline { .. } => Style::Pipeline,
+            Looplet::Stepper(_) => Style::Stepper,
+            Looplet::Jumper(_) => Style::Jumper,
+            Looplet::Switch { .. } => Style::Switch,
+            Looplet::Shift { .. } => Style::Shift,
+            Looplet::Thunk { .. } => Style::Thunk,
+            Looplet::BindExtent { .. } => Style::BindExtent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finch_ir::Expr;
+
+    #[test]
+    fn paper_priority_order_is_respected() {
+        // Switch > Run > Spike > Pipeline > Jumper > Stepper > Lookup
+        let order = [
+            Style::Switch,
+            Style::Run,
+            Style::Spike,
+            Style::Pipeline,
+            Style::Jumper,
+            Style::Stepper,
+            Style::Lookup,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].priority() > w[1].priority(), "{:?} should outrank {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn resolution_is_commutative_and_picks_the_stronger_pass() {
+        assert_eq!(Style::Run.resolve(Style::Spike), Style::Run);
+        assert_eq!(Style::Spike.resolve(Style::Run), Style::Run);
+        assert_eq!(Style::Stepper.resolve(Style::Jumper), Style::Jumper);
+        assert_eq!(Style::Lookup.resolve(Style::Leaf), Style::Lookup);
+    }
+
+    #[test]
+    fn resolve_all_over_a_mixed_expression() {
+        let styles = vec![Style::Lookup, Style::Stepper, Style::Spike, Style::Leaf];
+        assert_eq!(Style::resolve_all(styles), Some(Style::Spike));
+        assert_eq!(Style::resolve_all(Vec::<Style>::new()), None);
+    }
+
+    #[test]
+    fn looplet_reports_its_outermost_style() {
+        let l: Looplet<Expr> = Looplet::run(Expr::int(0));
+        assert_eq!(l.style(), Style::Run);
+        let l: Looplet<Expr> = Looplet::spike(Expr::int(0), Expr::int(1));
+        assert_eq!(l.style(), Style::Spike);
+        let l: Looplet<Expr> = Looplet::run(Expr::int(0)).shifted(Expr::int(3));
+        assert_eq!(l.style(), Style::Shift);
+        let l: Looplet<Expr> = Looplet::Leaf(Expr::int(1));
+        assert_eq!(l.style(), Style::Leaf);
+    }
+
+    #[test]
+    fn wrappers_outrank_every_structural_style() {
+        for s in [Style::Switch, Style::Run, Style::Spike, Style::Pipeline, Style::Jumper] {
+            assert!(Style::Thunk.priority() > s.priority());
+            assert!(Style::BindExtent.priority() > s.priority());
+            assert!(Style::Shift.priority() > s.priority());
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! The default rule set (the reproduction of the paper's Figure 5).
+
+use finch_cin::{CinExpr, CinOp, CinStmt, Reduction};
+use finch_ir::{BinOp, UnOp, Value};
+
+use crate::Rewriter;
+
+/// Install every default rule into the given engine.
+pub fn install_default_rules(rw: &mut Rewriter) {
+    rw.add_expr_rule("normalize_dyn_literal", normalize_dyn_literal);
+    rw.add_expr_rule("flatten_variadic", flatten_variadic);
+    rw.add_expr_rule("missing_propagation", missing_propagation);
+    rw.add_expr_rule("coalesce_simplify", coalesce_simplify);
+    rw.add_expr_rule("annihilator", annihilator);
+    rw.add_expr_rule("identity_removal", identity_removal);
+    rw.add_expr_rule("constant_fold", constant_fold);
+
+    rw.add_stmt_rule("assign_identity_update", assign_identity_update);
+    rw.add_stmt_rule("assign_missing", assign_missing);
+    rw.add_stmt_rule("sieve_fold", sieve_fold);
+    rw.add_stmt_rule("invariant_loop", invariant_loop);
+    rw.add_stmt_rule("forall_over_pass", forall_over_pass);
+    rw.add_stmt_rule("sieve_over_pass", sieve_over_pass);
+    rw.add_stmt_rule("multi_of_passes", multi_of_passes);
+    rw.add_stmt_rule("where_trivial", where_trivial);
+}
+
+// ---------------------------------------------------------------------------
+// Expression rules
+// ---------------------------------------------------------------------------
+
+/// `$(literal)` → the literal, so that structural rules can see constants
+/// introduced by the lowering compiler (run values, truncated spike tails).
+fn normalize_dyn_literal(e: &CinExpr) -> Option<CinExpr> {
+    match e {
+        CinExpr::Dyn(inner) => inner.as_lit().map(CinExpr::Literal),
+        _ => None,
+    }
+}
+
+/// `+(a..., +(b...), c...) => +(a..., b..., c...)` and likewise for the other
+/// variadic operators.
+fn flatten_variadic(e: &CinExpr) -> Option<CinExpr> {
+    let CinExpr::Call { op, args } = e else { return None };
+    if !op.is_variadic() {
+        return None;
+    }
+    if !args.iter().any(|a| matches!(a, CinExpr::Call { op: inner, .. } if inner == op)) {
+        return None;
+    }
+    let mut flat = Vec::with_capacity(args.len());
+    for a in args {
+        match a {
+            CinExpr::Call { op: inner, args: inner_args } if inner == op => {
+                flat.extend(inner_args.iter().cloned())
+            }
+            other => flat.push(other.clone()),
+        }
+    }
+    Some(CinExpr::Call { op: *op, args: flat })
+}
+
+/// `f(a..., missing, b...) => missing` for every operator except `coalesce`.
+fn missing_propagation(e: &CinExpr) -> Option<CinExpr> {
+    let CinExpr::Call { op, args } = e else { return None };
+    if *op == CinOp::Coalesce {
+        return None;
+    }
+    if args.iter().any(|a| a.as_literal() == Some(Value::Missing)) {
+        Some(CinExpr::Literal(Value::Missing))
+    } else {
+        None
+    }
+}
+
+/// `coalesce(a..., missing, b...) => coalesce(a..., b...)`, plus: an empty
+/// coalesce is `missing`, a unary coalesce is its argument, and a coalesce
+/// whose first argument is a known (non-missing) literal is that literal.
+fn coalesce_simplify(e: &CinExpr) -> Option<CinExpr> {
+    let CinExpr::Call { op: CinOp::Coalesce, args } = e else { return None };
+    // Drop literal-missing arguments.
+    let kept: Vec<CinExpr> =
+        args.iter().filter(|a| a.as_literal() != Some(Value::Missing)).cloned().collect();
+    if kept.len() != args.len() {
+        return Some(CinExpr::Call { op: CinOp::Coalesce, args: kept });
+    }
+    if args.is_empty() {
+        return Some(CinExpr::Literal(Value::Missing));
+    }
+    if args.len() == 1 {
+        return Some(args[0].clone());
+    }
+    if let Some(v) = args[0].as_literal() {
+        if v != Value::Missing {
+            return Some(CinExpr::Literal(v));
+        }
+    }
+    None
+}
+
+/// `*(a..., 0, b...) => 0`, `and(a..., false, b...) => false`,
+/// `or(a..., true, b...) => true`.
+fn annihilator(e: &CinExpr) -> Option<CinExpr> {
+    let CinExpr::Call { op, args } = e else { return None };
+    let hit = |a: &CinExpr| -> bool {
+        match (op, a.as_literal()) {
+            (CinOp::Mul | CinOp::And, Some(v)) => v.is_zero(),
+            (CinOp::Or, Some(v)) => v == Value::Bool(true),
+            _ => false,
+        }
+    };
+    if args.iter().any(hit) {
+        op.annihilator().map(CinExpr::Literal)
+    } else {
+        None
+    }
+}
+
+/// `*(a..., 1, b...) => *(a..., b...)`, `+(a..., 0, b...) => +(a..., b...)`,
+/// and the unary/empty collapses `op(x) => x`, `op() => identity`.
+fn identity_removal(e: &CinExpr) -> Option<CinExpr> {
+    let CinExpr::Call { op, args } = e else { return None };
+    if !op.is_variadic() || *op == CinOp::Coalesce {
+        return None;
+    }
+    let Some(identity) = op.identity() else { return None };
+    let is_identity = |a: &CinExpr| -> bool {
+        match (op, a.as_literal()) {
+            (CinOp::Add, Some(v)) => v.is_zero(),
+            (CinOp::Mul | CinOp::And, Some(v)) => v.is_one(),
+            (CinOp::Or, Some(v)) => v == Value::Bool(false),
+            (CinOp::Min, Some(v)) => v == Value::Float(f64::INFINITY),
+            (CinOp::Max, Some(v)) => v == Value::Float(f64::NEG_INFINITY),
+            _ => false,
+        }
+    };
+    let kept: Vec<CinExpr> = args.iter().filter(|a| !is_identity(a)).cloned().collect();
+    if kept.len() == args.len() && args.len() > 1 {
+        return None;
+    }
+    match kept.len() {
+        0 => Some(CinExpr::Literal(identity)),
+        1 => Some(kept.into_iter().next().expect("one element")),
+        _ => Some(CinExpr::Call { op: *op, args: kept }),
+    }
+}
+
+fn binop_of(op: CinOp) -> Option<BinOp> {
+    Some(match op {
+        CinOp::Add => BinOp::Add,
+        CinOp::Sub => BinOp::Sub,
+        CinOp::Mul => BinOp::Mul,
+        CinOp::Div => BinOp::Div,
+        CinOp::Min => BinOp::Min,
+        CinOp::Max => BinOp::Max,
+        CinOp::And => BinOp::And,
+        CinOp::Or => BinOp::Or,
+        CinOp::Eq => BinOp::Eq,
+        CinOp::Ne => BinOp::Ne,
+        CinOp::Lt => BinOp::Lt,
+        CinOp::Le => BinOp::Le,
+        CinOp::Gt => BinOp::Gt,
+        CinOp::Ge => BinOp::Ge,
+        _ => return None,
+    })
+}
+
+fn unop_of(op: CinOp) -> Option<UnOp> {
+    Some(match op {
+        CinOp::Sqrt => UnOp::Sqrt,
+        CinOp::Abs => UnOp::Abs,
+        CinOp::Round => UnOp::Round,
+        CinOp::Neg => UnOp::Neg,
+        CinOp::Not => UnOp::Not,
+        _ => return None,
+    })
+}
+
+/// `f(a...) => eval(f(a...))` when every argument is a compile-time constant.
+fn constant_fold(e: &CinExpr) -> Option<CinExpr> {
+    let CinExpr::Call { op, args } = e else { return None };
+    let values: Option<Vec<Value>> = args.iter().map(|a| a.as_literal()).collect();
+    let values = values?;
+    if values.is_empty() {
+        return None;
+    }
+    let result = if *op == CinOp::Coalesce {
+        values.iter().copied().find(|v| !v.is_missing()).unwrap_or(Value::Missing)
+    } else if let Some(un) = unop_of(*op) {
+        if values.len() != 1 {
+            return None;
+        }
+        Value::unop(un, values[0]).ok()?
+    } else if let Some(bin) = binop_of(*op) {
+        let mut acc = values[0];
+        if values.len() == 1 {
+            return Some(CinExpr::Literal(acc));
+        }
+        for v in &values[1..] {
+            acc = Value::binop(bin, acc, *v).ok()?;
+        }
+        acc
+    } else {
+        return None;
+    };
+    Some(CinExpr::Literal(result))
+}
+
+// ---------------------------------------------------------------------------
+// Statement rules
+// ---------------------------------------------------------------------------
+
+/// `a[i...] += 0 => @pass(a)`, `a[i...] *= 1 => @pass(a)`, and likewise for
+/// the other reduction operators' identities.
+fn assign_identity_update(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Assign { lhs, reduction: Reduction::Reduce(op), rhs } = s else { return None };
+    let v = rhs.as_literal()?;
+    let is_identity = match op {
+        CinOp::Add => v.is_zero(),
+        CinOp::Mul => v.is_one(),
+        CinOp::And => v.is_one(),
+        CinOp::Or => v == Value::Bool(false),
+        CinOp::Min => v == Value::Float(f64::INFINITY),
+        CinOp::Max => v == Value::Float(f64::NEG_INFINITY),
+        _ => false,
+    };
+    if is_identity {
+        Some(CinStmt::Pass(vec![lhs.tensor.clone()]))
+    } else {
+        None
+    }
+}
+
+/// Assigning `missing` leaves the output unchanged (the paper treats
+/// out-of-bounds writes under `permit` as dropped).
+fn assign_missing(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Assign { lhs, rhs, .. } = s else { return None };
+    if rhs.as_literal() == Some(Value::Missing) {
+        Some(CinStmt::Pass(vec![lhs.tensor.clone()]))
+    } else {
+        None
+    }
+}
+
+/// `@sieve true s => s` and `@sieve false s => @pass(getresults(s))`.
+fn sieve_fold(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Sieve { cond, body } = s else { return None };
+    match cond.as_literal() {
+        Some(v) if v == Value::Bool(true) => Some((**body).clone()),
+        Some(v) if v == Value::Bool(false) => Some(CinStmt::Pass(body.results())),
+        _ => None,
+    }
+}
+
+/// `@forall i s => s` when `s` is a pass (nothing left to do in the loop).
+fn forall_over_pass(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Forall { body, .. } = s else { return None };
+    if body.is_pass() {
+        Some(CinStmt::Pass(body.results()))
+    } else {
+        None
+    }
+}
+
+/// A sieve around a pass is a pass.
+fn sieve_over_pass(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Sieve { body, .. } = s else { return None };
+    if body.is_pass() {
+        Some(CinStmt::Pass(body.results()))
+    } else {
+        None
+    }
+}
+
+/// A multi whose constituents are all passes is a pass over the union of
+/// their outputs.
+fn multi_of_passes(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Multi(stmts) = s else { return None };
+    if !stmts.is_empty() && stmts.iter().all(|st| st.is_pass()) {
+        Some(CinStmt::Pass(s.results()))
+    } else {
+        None
+    }
+}
+
+/// `a where @pass() => a`, and a `where` whose consumer is a pass does
+/// nothing observable.
+fn where_trivial(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Where { consumer, producer } = s else { return None };
+    if producer.is_pass() {
+        return Some((**consumer).clone());
+    }
+    if consumer.is_pass() {
+        return Some(CinStmt::Pass(consumer.results()));
+    }
+    None
+}
+
+/// The invariant-loop rule of Figure 5: adding the same value `n` times is
+/// adding `value * n` once, and idempotent or overwriting updates need only
+/// be performed once.  Only fires when the loop has an explicit extent (the
+/// lowering compiler always provides one before asking for simplification).
+fn invariant_loop(s: &CinStmt) -> Option<CinStmt> {
+    let CinStmt::Forall { index, extent: Some((lo, hi)), body } = s else { return None };
+    let CinStmt::Assign { lhs, reduction, rhs } = &**body else { return None };
+    // The update must not depend on the loop index, neither through the
+    // value nor through the output coordinates.
+    if rhs.mentions_index(index) {
+        return None;
+    }
+    if lhs.index_vars().iter().any(|v| v == index) {
+        return None;
+    }
+    if lo.mentions_index(index) || hi.mentions_index(index) {
+        return None;
+    }
+    let statically_nonempty = match (lo.as_literal(), hi.as_literal()) {
+        (Some(a), Some(b)) => match (a.as_int(), b.as_int()) {
+            (Ok(a), Ok(b)) => Some(a <= b),
+            _ => None,
+        },
+        _ => None,
+    };
+    match reduction {
+        Reduction::Reduce(CinOp::Add) => {
+            // length = max(hi - lo + 1, 0)
+            let len = CinExpr::call(
+                CinOp::Max,
+                vec![
+                    CinExpr::call(
+                        CinOp::Add,
+                        vec![
+                            CinExpr::call(CinOp::Sub, vec![hi.clone(), lo.clone()]),
+                            CinExpr::int(1),
+                        ],
+                    ),
+                    CinExpr::int(0),
+                ],
+            );
+            Some(CinStmt::Assign {
+                lhs: lhs.clone(),
+                reduction: Reduction::Reduce(CinOp::Add),
+                rhs: CinExpr::call(CinOp::Mul, vec![rhs.clone(), len]),
+            })
+        }
+        Reduction::Reduce(CinOp::Min | CinOp::Max | CinOp::Or | CinOp::And)
+        | Reduction::Overwrite => {
+            // Idempotent updates: safe to collapse only when the loop is
+            // known to execute at least once.
+            if statically_nonempty == Some(true) {
+                Some((**body).clone())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finch_cin::build::*;
+
+    #[test]
+    fn annihilator_covers_and_or() {
+        let rw = Rewriter::with_default_rules();
+        let e = CinExpr::call(
+            CinOp::And,
+            vec![access("A", [idx("i")]).into(), CinExpr::Literal(Value::Bool(false))],
+        );
+        assert_eq!(rw.simplify_expr(&e).as_literal(), Some(Value::Bool(false)));
+        let e = CinExpr::call(
+            CinOp::Or,
+            vec![access("A", [idx("i")]).into(), CinExpr::Literal(Value::Bool(true))],
+        );
+        assert_eq!(rw.simplify_expr(&e).as_literal(), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn unary_constant_folding() {
+        let rw = Rewriter::with_default_rules();
+        assert_eq!(rw.simplify_expr(&sqrt(lit(9.0))).as_literal(), Some(Value::Float(3.0)));
+        assert_eq!(rw.simplify_expr(&round_u8(lit(7.4))).as_literal(), Some(Value::Float(7.0)));
+    }
+
+    #[test]
+    fn overwrite_of_missing_is_dropped() {
+        let rw = Rewriter::with_default_rules();
+        let s = assign(scalar("C"), CinExpr::Literal(Value::Missing));
+        assert!(rw.simplify_stmt(&s).is_pass());
+    }
+
+    #[test]
+    fn min_update_with_plus_infinity_is_dropped() {
+        let rw = Rewriter::with_default_rules();
+        let s = reduce_assign(scalar("C"), CinOp::Min, lit(f64::INFINITY));
+        assert!(rw.simplify_stmt(&s).is_pass());
+    }
+
+    #[test]
+    fn where_with_pass_producer_reduces_to_consumer() {
+        let rw = Rewriter::with_default_rules();
+        let consumer = assign(scalar("O"), lit(1.0));
+        let s = where_(consumer.clone(), pass(vec!["o".into()]));
+        assert_eq!(rw.simplify_stmt(&s), consumer);
+    }
+
+    #[test]
+    fn invariant_overwrite_collapses_when_statically_nonempty() {
+        let rw = Rewriter::with_default_rules();
+        let i = idx("i");
+        let s = forall_in(i, lit_int(0), lit_int(4), assign(scalar("C"), lit(3.0)));
+        let out = rw.simplify_stmt(&s);
+        assert_eq!(out, assign(scalar("C"), lit(3.0)));
+    }
+
+    #[test]
+    fn invariant_loop_does_not_fire_when_the_body_depends_on_the_index() {
+        let rw = Rewriter::with_default_rules();
+        let i = idx("i");
+        let s = forall_in(
+            i.clone(),
+            lit_int(0),
+            lit_int(4),
+            add_assign(scalar("C"), access("x", [i])),
+        );
+        // The loop must survive.
+        assert!(matches!(rw.simplify_stmt(&s), CinStmt::Forall { .. }));
+    }
+
+    #[test]
+    fn multi_of_passes_collapses() {
+        let rw = Rewriter::with_default_rules();
+        let s = multi(vec![pass(vec!["A".into()]), pass(vec!["B".into()])]);
+        let out = rw.simplify_stmt(&s);
+        assert!(out.is_pass());
+        assert_eq!(out.results().len(), 2);
+    }
+}

@@ -1,0 +1,67 @@
+//! Galloping (leader) versus walking (follower) intersections — the
+//! protocol flexibility of the paper's §7, shown on skewed inputs where
+//! mutual lookahead wins asymptotically.
+//!
+//! ```bash
+//! cargo run --example galloping
+//! ```
+
+use looplets_repro::baseline::datagen;
+use looplets_repro::finch::build::*;
+use looplets_repro::finch::{CompiledKernel, ExecStats, IndexVar, Kernel, Protocol, Tensor};
+
+fn dot(a: &Tensor, b: &Tensor, pa: Protocol, pb: Protocol) -> CompiledKernel {
+    let mut kernel = Kernel::new();
+    kernel.bind_input(a).bind_input(b).bind_output_scalar("C");
+    let i = idx("i");
+    let with = |p: Protocol, v: &IndexVar| match p {
+        Protocol::Gallop => v.gallop(),
+        Protocol::Walk => v.walk(),
+        Protocol::Locate => v.locate(),
+        Protocol::Default => v.clone().into(),
+    };
+    let program = forall(
+        i.clone(),
+        add_assign(
+            scalar("C"),
+            mul(access(a.name(), [with(pa, &i)]), access(b.name(), [with(pb, &i)])),
+        ),
+    );
+    kernel.compile(&program).expect("dot compiles")
+}
+
+fn report(name: &str, stats: ExecStats, value: f64) {
+    println!(
+        "{:24} value {:>12.3}  iterations {:>8}  searches {:>6}",
+        name, value, stats.loop_iters, stats.searches
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 100_000;
+    // A long list intersected with a very short one: the classic case for
+    // galloping / worst-case-optimal intersections.
+    let long = datagen::random_sparse_vector(n, 0.5, 11);
+    let short = datagen::counted_sparse_vector(n, 12, 12);
+    let a = Tensor::sparse_list_vector("A", &long);
+    let b = Tensor::sparse_list_vector("B", &short);
+    println!("|A| = {} nonzeros, |B| = {} nonzeros\n", a.stored(), b.stored());
+
+    let mut walk = dot(&a, &b, Protocol::Walk, Protocol::Walk);
+    let walk_stats = walk.run()?;
+    report("two-finger (walk/walk)", walk_stats, walk.output_scalar("C").unwrap());
+
+    let mut gallop = dot(&a, &b, Protocol::Gallop, Protocol::Gallop);
+    let gallop_stats = gallop.run()?;
+    report("galloping (gallop x2)", gallop_stats, gallop.output_scalar("C").unwrap());
+
+    let mut leader = dot(&a, &b, Protocol::Walk, Protocol::Gallop);
+    let leader_stats = leader.run()?;
+    report("B leads, A follows", leader_stats, leader.output_scalar("C").unwrap());
+
+    println!(
+        "\ngalloping visited {:.1}x fewer positions than the two-finger merge",
+        walk_stats.loop_iters as f64 / gallop_stats.loop_iters.max(1) as f64
+    );
+    Ok(())
+}

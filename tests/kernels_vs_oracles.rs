@@ -1,0 +1,187 @@
+//! The paper's evaluation kernels (Figures 7, 8, 10 and 11), each checked
+//! against the native reference implementations in `finch-baseline`.
+
+mod common;
+
+use common::{all_pairs_kernel, assert_close, blend_kernel, spmspv_kernel, triangle_kernel};
+use looplets_repro::baseline::datagen;
+use looplets_repro::baseline::kernels::{
+    all_pairs_similarity_dense, alpha_blend_dense, spmv_dense, triangles_two_finger, CsrMatrix,
+};
+use looplets_repro::finch::{Protocol, Tensor};
+
+#[test]
+fn spmspv_all_strategies_match_the_dense_oracle() {
+    let n = 48;
+    let dense_a = datagen::scientific_matrix(n, 2, 3, 0.01, 41);
+    let xv = datagen::random_sparse_vector(n, 0.2, 42);
+    let expect = spmv_dense(n, n, &dense_a, &xv);
+
+    let strategies: Vec<(&str, Tensor, Protocol, Protocol)> = vec![
+        ("csr-follower", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Walk, Protocol::Walk),
+        ("csr-leader", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Gallop, Protocol::Walk),
+        ("csr-gallop-both", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Gallop, Protocol::Gallop),
+        ("vbl", Tensor::vbl_matrix("A", n, n, &dense_a), Protocol::Walk, Protocol::Walk),
+        ("dense-locate", Tensor::dense_matrix("A", n, n, &dense_a), Protocol::Locate, Protocol::Walk),
+    ];
+    let x_sparse = Tensor::sparse_list_vector("x", &xv);
+    for (name, a, pa, px) in strategies {
+        let mut k = spmspv_kernel(&a, &x_sparse, pa, px);
+        k.run().unwrap_or_else(|e| panic!("{name} failed to run: {e}\n{}", k.code()));
+        assert_close(&k.output("y").unwrap(), &expect, name);
+    }
+}
+
+#[test]
+fn spmspv_with_very_sparse_x_skips_most_of_the_matrix() {
+    // Figure 7b's situation: x has a constant number of nonzeros, so a
+    // strategy that leads with x (or can randomly access A's rows) should do
+    // much less work than scanning all of A.
+    let n = 96;
+    let dense_a = datagen::scientific_matrix(n, 2, 2, 0.01, 43);
+    let xv = datagen::counted_sparse_vector(n, 4, 44);
+    let expect = spmv_dense(n, n, &dense_a, &xv);
+    let x = Tensor::sparse_list_vector("x", &xv);
+
+    let a_walk = Tensor::csr_matrix("A", n, n, &dense_a);
+    let mut follower = spmspv_kernel(&a_walk, &x, Protocol::Walk, Protocol::Walk);
+    let follower_stats = follower.run().expect("follower runs");
+    assert_close(&follower.output("y").unwrap(), &expect, "follower");
+
+    let a_gallop = Tensor::csr_matrix("A", n, n, &dense_a);
+    let mut gallop = spmspv_kernel(&a_gallop, &x, Protocol::Gallop, Protocol::Gallop);
+    let gallop_stats = gallop.run().expect("gallop runs");
+    assert_close(&gallop.output("y").unwrap(), &expect, "gallop");
+
+    assert!(
+        gallop_stats.loop_iters < follower_stats.loop_iters,
+        "galloping should visit fewer positions when x is very sparse: {} vs {}",
+        gallop_stats.loop_iters,
+        follower_stats.loop_iters
+    );
+}
+
+#[test]
+fn triangle_counting_matches_the_merge_oracle() {
+    let n = 40;
+    let adj = datagen::power_law_graph(n, 3, 45);
+    let csr = CsrMatrix::from_dense(n, n, &adj);
+    let (expect, _) = triangles_two_finger(&csr);
+
+    let a = Tensor::csr_matrix("A", n, n, &adj);
+    let a2 = Tensor::csr_matrix("A2", n, n, &adj);
+    let at = Tensor::csr_matrix("At", n, n, &csr.transpose().to_dense());
+
+    for gallop in [false, true] {
+        let mut k = triangle_kernel(&a, &a2, &at, gallop);
+        k.run().unwrap_or_else(|e| panic!("triangle kernel failed: {e}\n{}", k.code()));
+        let got = k.output_scalar("C").unwrap();
+        assert!(
+            (got - expect).abs() < 1e-9,
+            "triangles (gallop={gallop}): got {got}, expected {expect}"
+        );
+    }
+}
+
+#[test]
+fn alpha_blending_matches_the_dense_oracle_across_formats() {
+    let size = 24;
+    let b_img = datagen::stroke_image(size, 2, 46);
+    let c_img = datagen::stroke_image(size, 3, 47);
+    let (alpha, beta) = (0.6, 0.4);
+    let expect = alpha_blend_dense(&b_img, &c_img, alpha, beta);
+
+    let cases: Vec<(&str, Tensor, Tensor)> = vec![
+        (
+            "dense",
+            Tensor::dense_matrix("B", size, size, &b_img),
+            Tensor::dense_matrix("Cimg", size, size, &c_img),
+        ),
+        (
+            "sparse-list",
+            Tensor::csr_matrix("B", size, size, &b_img),
+            Tensor::csr_matrix("Cimg", size, size, &c_img),
+        ),
+        (
+            "rle",
+            Tensor::rle_matrix("B", size, size, &b_img),
+            Tensor::rle_matrix("Cimg", size, size, &c_img),
+        ),
+        (
+            "packbits",
+            Tensor::packbits_matrix("B", size, size, &b_img),
+            Tensor::packbits_matrix("Cimg", size, size, &c_img),
+        ),
+    ];
+    for (name, b, c) in cases {
+        let mut k = blend_kernel(&b, &c, alpha, beta);
+        k.run().unwrap_or_else(|e| panic!("blend {name} failed to run: {e}"));
+        assert_close(&k.output("A").unwrap(), &expect, &format!("alpha blend over {name}"));
+    }
+}
+
+#[test]
+fn rle_blending_of_flat_images_does_less_work_than_dense() {
+    // Two images that are mostly flat: RLE processes runs, the dense kernel
+    // processes pixels.
+    let size = 32;
+    let mut b_img = vec![10.0; size * size];
+    let mut c_img = vec![200.0; size * size];
+    for k in 0..size {
+        b_img[k * size + k] = 55.0;
+        c_img[k * size + (size - 1 - k)] = 77.0;
+    }
+    let expect = alpha_blend_dense(&b_img, &c_img, 0.5, 0.5);
+
+    let dense_b = Tensor::dense_matrix("B", size, size, &b_img);
+    let dense_c = Tensor::dense_matrix("Cimg", size, size, &c_img);
+    let mut dense_kernel = blend_kernel(&dense_b, &dense_c, 0.5, 0.5);
+    let dense_stats = dense_kernel.run().expect("dense blend runs");
+    assert_close(&dense_kernel.output("A").unwrap(), &expect, "dense blend");
+
+    let rle_b = Tensor::rle_matrix("B", size, size, &b_img);
+    let rle_c = Tensor::rle_matrix("Cimg", size, size, &c_img);
+    let mut rle_kernel = blend_kernel(&rle_b, &rle_c, 0.5, 0.5);
+    let rle_stats = rle_kernel.run().expect("rle blend runs");
+    assert_close(&rle_kernel.output("A").unwrap(), &expect, "rle blend");
+
+    // NOTE: the output is still written densely, so the win shows up in
+    // loads (input traffic), not in stores.
+    assert!(
+        rle_stats.loads < dense_stats.loads,
+        "RLE blending should read fewer values: {} vs {}",
+        rle_stats.loads,
+        dense_stats.loads
+    );
+}
+
+#[test]
+fn all_pairs_similarity_matches_the_dense_oracle() {
+    let count = 6;
+    let size = 12;
+    let batch = datagen::image_batch(count, size, 48, datagen::blob_image);
+    let m = size * size;
+    let expect = all_pairs_similarity_dense(count, m, &batch);
+
+    for (name, a, a2) in [
+        (
+            "sparse-list",
+            Tensor::csr_matrix("A", count, m, &batch),
+            Tensor::csr_matrix("A2", count, m, &batch),
+        ),
+        (
+            "vbl",
+            Tensor::vbl_matrix("A", count, m, &batch),
+            Tensor::vbl_matrix("A2", count, m, &batch),
+        ),
+        (
+            "rle",
+            Tensor::rle_matrix("A", count, m, &batch),
+            Tensor::rle_matrix("A2", count, m, &batch),
+        ),
+    ] {
+        let mut k = all_pairs_kernel(&a, &a2);
+        k.run().unwrap_or_else(|e| panic!("all-pairs {name} failed to run: {e}"));
+        assert_close(&k.output("O").unwrap(), &expect, &format!("all-pairs over {name}"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests: for arbitrary data, every format stores the data
+//! faithfully and every compiled coiteration agrees with a dense oracle.
+
+mod common;
+
+use common::{dot_kernel, spmspv_kernel};
+use looplets_repro::baseline::kernels::{dot_dense, spmv_dense};
+use looplets_repro::finch::{Protocol, Tensor};
+use proptest::prelude::*;
+
+/// A vector with a controlled mix of zeros, repeated values and arbitrary
+/// values, so every format has something to compress.
+fn structured_vector(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => Just(0.0),
+            2 => Just(1.5),
+            2 => (1i32..100).prop_map(|x| x as f64 / 4.0),
+        ],
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vector_formats_roundtrip_arbitrary_data(data in structured_vector(64)) {
+        let candidates = vec![
+            Tensor::sparse_list_vector("V", &data),
+            Tensor::vbl_vector("V", &data),
+            Tensor::band_vector("V", &data),
+            Tensor::rle_vector("V", &data),
+            Tensor::packbits_vector("V", &data),
+            Tensor::bitmap_vector("V", &data),
+        ];
+        for t in candidates {
+            prop_assert_eq!(t.to_dense(), data.clone(), "format {}", t.levels()[0].format_name());
+        }
+    }
+
+    #[test]
+    fn matrix_formats_roundtrip_arbitrary_data(
+        data in structured_vector(60),
+        ncols in 1usize..12,
+    ) {
+        let ncols = ncols.min(data.len());
+        let nrows = data.len() / ncols;
+        let data = &data[..nrows * ncols];
+        if nrows == 0 {
+            return Ok(());
+        }
+        let candidates = vec![
+            Tensor::csr_matrix("A", nrows, ncols, data),
+            Tensor::vbl_matrix("A", nrows, ncols, data),
+            Tensor::band_matrix("A", nrows, ncols, data),
+            Tensor::rle_matrix("A", nrows, ncols, data),
+            Tensor::packbits_matrix("A", nrows, ncols, data),
+            Tensor::bitmap_matrix("A", nrows, ncols, data),
+            Tensor::ragged_matrix("A", nrows, ncols, data),
+        ];
+        for t in candidates {
+            prop_assert_eq!(t.to_dense(), data.to_vec(), "format {}", t.levels()[1].format_name());
+        }
+    }
+
+    #[test]
+    fn compiled_dot_products_agree_with_dense_for_any_data(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let expect = dot_dense(a_data, b_data);
+        let a_formats = vec![
+            Tensor::sparse_list_vector("A", a_data),
+            Tensor::vbl_vector("A", a_data),
+            Tensor::rle_vector("A", a_data),
+        ];
+        let b_formats = vec![
+            Tensor::sparse_list_vector("B", b_data),
+            Tensor::band_vector("B", b_data),
+            Tensor::bitmap_vector("B", b_data),
+        ];
+        for a in &a_formats {
+            for b in &b_formats {
+                let mut k = dot_kernel(a, b, Protocol::Default, Protocol::Default);
+                k.run().expect("dot runs");
+                let got = k.output_scalar("C").unwrap();
+                prop_assert!(
+                    (got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                    "dot {} x {}: got {got}, expected {expect}",
+                    a.levels()[0].format_name(),
+                    b.levels()[0].format_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_gallop_agrees_with_walk_for_any_data(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let expect = dot_dense(a_data, b_data);
+        let a = Tensor::sparse_list_vector("A", a_data);
+        let b = Tensor::sparse_list_vector("B", b_data);
+        for (pa, pb) in [
+            (Protocol::Gallop, Protocol::Walk),
+            (Protocol::Walk, Protocol::Gallop),
+            (Protocol::Gallop, Protocol::Gallop),
+        ] {
+            let mut k = dot_kernel(&a, &b, pa, pb);
+            k.run().expect("dot runs");
+            let got = k.output_scalar("C").unwrap();
+            prop_assert!(
+                (got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+                "protocols {pa:?} x {pb:?}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_spmv_agrees_with_dense_for_any_data(
+        data in structured_vector(72),
+        xseed in structured_vector(12),
+        ncols in 2usize..12,
+    ) {
+        let ncols = ncols.min(data.len());
+        let nrows = data.len() / ncols;
+        if nrows == 0 {
+            return Ok(());
+        }
+        let data = &data[..nrows * ncols];
+        let xv: Vec<f64> = (0..ncols).map(|c| xseed.get(c % xseed.len().max(1)).copied().unwrap_or(0.0)).collect();
+        let expect = spmv_dense(nrows, ncols, data, &xv);
+        let x = Tensor::sparse_list_vector("x", &xv);
+        for a in [
+            Tensor::csr_matrix("A", nrows, ncols, data),
+            Tensor::vbl_matrix("A", nrows, ncols, data),
+            Tensor::rle_matrix("A", nrows, ncols, data),
+        ] {
+            let mut k = spmspv_kernel(&a, &x, Protocol::Default, Protocol::Default);
+            k.run().expect("spmv runs");
+            let y = k.output("y").unwrap();
+            for r in 0..nrows {
+                prop_assert!(
+                    (y[r] - expect[r]).abs() < 1e-6 * (1.0 + expect[r].abs()),
+                    "row {r} of {}: got {}, expected {}",
+                    a.levels()[1].format_name(),
+                    y[r],
+                    expect[r]
+                );
+            }
+        }
+    }
+}
