@@ -240,7 +240,7 @@ mod tests {
         assert!(density(&sketch) > density(&omni), "sketches are denser than strokes");
         let blob = blob_image(28, 5);
         assert!(density(&blob) > 0.05 && density(&blob) < 0.6);
-        let batch = image_batch(3, 16, 1, |s, seed| blob_image(s, seed));
+        let batch = image_batch(3, 16, 1, blob_image);
         assert_eq!(batch.len(), 3 * 16 * 16);
     }
 

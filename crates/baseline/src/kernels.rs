@@ -194,13 +194,13 @@ fn lower_bound(slice: &[usize], key: usize) -> usize {
 pub fn spmspv_two_finger(a: &CsrMatrix, x: &SparseVec) -> (Vec<f64>, u64) {
     let mut y = vec![0.0; a.nrows];
     let mut work = 0u64;
-    for r in 0..a.nrows {
+    for (r, yr) in y.iter_mut().enumerate() {
         let (idx, val) = (a.row_idx(r), a.row_val(r));
         let (mut p, mut q) = (0usize, 0usize);
         while p < idx.len() && q < x.idx.len() {
             work += 1;
             if idx[p] == x.idx[q] {
-                y[r] += val[p] * x.val[q];
+                *yr += val[p] * x.val[q];
                 p += 1;
                 q += 1;
             } else if idx[p] < x.idx[q] {
@@ -217,13 +217,13 @@ pub fn spmspv_two_finger(a: &CsrMatrix, x: &SparseVec) -> (Vec<f64>, u64) {
 pub fn spmspv_gallop(a: &CsrMatrix, x: &SparseVec) -> (Vec<f64>, u64) {
     let mut y = vec![0.0; a.nrows];
     let mut work = 0u64;
-    for r in 0..a.nrows {
+    for (r, yr) in y.iter_mut().enumerate() {
         let (idx, val) = (a.row_idx(r), a.row_val(r));
         let (mut p, mut q) = (0usize, 0usize);
         while p < idx.len() && q < x.idx.len() {
             work += 1;
             if idx[p] == x.idx[q] {
-                y[r] += val[p] * x.val[q];
+                *yr += val[p] * x.val[q];
                 p += 1;
                 q += 1;
             } else if idx[p] < x.idx[q] {

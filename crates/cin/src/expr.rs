@@ -201,11 +201,10 @@ impl CinExpr {
         let mut found = false;
         self.visit(&mut |e| match e {
             CinExpr::Index(v) if v == index => found = true,
-            CinExpr::Access(a) => {
-                if a.index_vars().iter().any(|v| v == index) {
+            CinExpr::Access(a)
+                if a.index_vars().iter().any(|v| v == index) => {
                     found = true;
                 }
-            }
             _ => {}
         });
         found

@@ -239,14 +239,15 @@ impl Tensor {
                 }
                 Level::RunLength { size, pos, idx } | Level::PackBits { size, pos, idx, .. } => {
                     check_pos(k, pos, nfibers)?;
+                    check_pos_bound(k, pos, idx.len())?;
                     for p in 0..nfibers {
                         let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);
                         let mut prev = -1i64;
-                        for q in lo..hi {
+                        for &raw in &idx[lo..hi] {
                             let end = if matches!(level, Level::PackBits { .. }) {
-                                idx[q].abs() - 1
+                                raw.abs() - 1
                             } else {
-                                idx[q]
+                                raw
                             };
                             if end <= prev || end >= *size as i64 {
                                 return Err(TensorError::BadCoordinates {
@@ -328,18 +329,31 @@ fn check_pos(level: usize, pos: &[i64], nfibers: usize) -> Result<(), TensorErro
     Ok(())
 }
 
+/// A monotonic `pos` array must not point past the end of the array it
+/// indexes, or the per-fiber validation loops would go out of bounds.
+fn check_pos_bound(level: usize, pos: &[i64], len: usize) -> Result<(), TensorError> {
+    match pos.last() {
+        Some(&last) if last as usize > len => Err(TensorError::BadPositions {
+            level,
+            detail: format!("pos points past the end of the data ({last} > {len})"),
+        }),
+        _ => Ok(()),
+    }
+}
+
 fn check_sorted_coords(level: usize, pos: &[i64], idx: &[i64], size: usize) -> Result<(), TensorError> {
+    check_pos_bound(level, pos, idx.len())?;
     for p in 0..pos.len() - 1 {
         let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);
         let mut prev = -1i64;
-        for q in lo..hi {
-            if idx[q] <= prev || idx[q] >= size as i64 {
+        for &c in &idx[lo..hi] {
+            if c <= prev || c >= size as i64 {
                 return Err(TensorError::BadCoordinates {
                     level,
-                    detail: format!("coordinate {} out of order in fiber {p}", idx[q]),
+                    detail: format!("coordinate {c} out of order in fiber {p}"),
                 });
             }
-            prev = idx[q];
+            prev = c;
         }
     }
     Ok(())
@@ -420,6 +434,24 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, TensorError::BadCoordinates { .. }));
+    }
+
+    #[test]
+    fn validation_rejects_pos_past_end_of_idx() {
+        // pos claims 5 stored entries but idx only has 2; must be an Err,
+        // not an out-of-bounds panic, even when an early coordinate is
+        // also invalid.
+        let err = Tensor::new(
+            "x",
+            vec![
+                Level::Dense { size: 1 },
+                Level::SparseList { size: 4, pos: vec![0, 5], idx: vec![5, 1] },
+            ],
+            vec![1.0, 2.0],
+            0.0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TensorError::BadPositions { .. }));
     }
 
     #[test]

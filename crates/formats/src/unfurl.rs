@@ -250,6 +250,7 @@ impl BoundTensor {
 
     /// Figure 3b: the VBL (variable block list) format — a stepper over
     /// blocks, each block a zero gap followed by a dense lookup region.
+    #[allow(clippy::too_many_arguments)] // the format's three arrays plus lowering context
     fn unfurl_vbl(
         &self,
         level: usize,

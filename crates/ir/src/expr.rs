@@ -211,16 +211,19 @@ impl Expr {
     }
 
     /// `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)] // associated constructor, takes no `self`
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Add, lhs, rhs)
     }
 
     /// `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Sub, lhs, rhs)
     }
 
     /// `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Mul, lhs, rhs)
     }

@@ -458,12 +458,12 @@ mod tests {
 
     #[test]
     fn coalesce_returns_first_non_missing() {
-        let (names, mut bufs) = setup();
+        let (names, bufs) = setup();
         let mut interp = Interpreter::new(&names);
         let e = Expr::Coalesce(vec![Expr::missing(), Expr::float(5.0), Expr::float(7.0)]);
-        assert_eq!(interp.eval(&e, &mut bufs).unwrap(), Value::Float(5.0));
+        assert_eq!(interp.eval(&e, &bufs).unwrap(), Value::Float(5.0));
         let e = Expr::Coalesce(vec![Expr::missing(), Expr::missing()]);
-        assert!(interp.eval(&e, &mut bufs).unwrap().is_missing());
+        assert!(interp.eval(&e, &bufs).unwrap().is_missing());
     }
 
     #[test]
@@ -472,15 +472,15 @@ mod tests {
         let x = bufs.add("x", Buffer::F64(vec![1.0]));
         let mut interp = Interpreter::new(&names);
         let e = Expr::load(x, Expr::missing());
-        assert!(interp.eval(&e, &mut bufs).unwrap().is_missing());
+        assert!(interp.eval(&e, &bufs).unwrap().is_missing());
     }
 
     #[test]
     fn select_with_missing_condition_takes_else_branch() {
-        let (names, mut bufs) = setup();
+        let (names, bufs) = setup();
         let mut interp = Interpreter::new(&names);
         let e = Expr::select(Expr::missing(), Expr::int(1), Expr::int(2));
-        assert_eq!(interp.eval(&e, &mut bufs).unwrap(), Value::Int(2));
+        assert_eq!(interp.eval(&e, &bufs).unwrap(), Value::Int(2));
     }
 
     #[test]

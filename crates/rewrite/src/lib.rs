@@ -30,6 +30,12 @@ mod rules;
 
 use finch_cin::{CinExpr, CinStmt};
 
+/// The boxed rewrite function of an [`ExprRule`].
+pub type ExprRuleFn = Box<dyn Fn(&CinExpr) -> Option<CinExpr> + Send + Sync>;
+
+/// The boxed rewrite function of a [`StmtRule`].
+pub type StmtRuleFn = Box<dyn Fn(&CinStmt) -> Option<CinStmt> + Send + Sync>;
+
 /// A named expression-rewrite rule.
 ///
 /// The function receives an already-rebuilt node (its children have been
@@ -38,7 +44,7 @@ pub struct ExprRule {
     /// Human-readable rule name (shown in traces and tests).
     pub name: &'static str,
     /// The rewrite function.
-    pub apply: Box<dyn Fn(&CinExpr) -> Option<CinExpr> + Send + Sync>,
+    pub apply: ExprRuleFn,
 }
 
 /// A named statement-rewrite rule.
@@ -46,7 +52,7 @@ pub struct StmtRule {
     /// Human-readable rule name.
     pub name: &'static str,
     /// The rewrite function.
-    pub apply: Box<dyn Fn(&CinStmt) -> Option<CinStmt> + Send + Sync>,
+    pub apply: StmtRuleFn,
 }
 
 impl std::fmt::Debug for ExprRule {

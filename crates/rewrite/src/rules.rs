@@ -123,7 +123,7 @@ fn identity_removal(e: &CinExpr) -> Option<CinExpr> {
     if !op.is_variadic() || *op == CinOp::Coalesce {
         return None;
     }
-    let Some(identity) = op.identity() else { return None };
+    let identity = op.identity()?;
     let is_identity = |a: &CinExpr| -> bool {
         match (op, a.as_literal()) {
             (CinOp::Add, Some(v)) => v.is_zero(),
@@ -246,8 +246,8 @@ fn assign_missing(s: &CinStmt) -> Option<CinStmt> {
 fn sieve_fold(s: &CinStmt) -> Option<CinStmt> {
     let CinStmt::Sieve { cond, body } = s else { return None };
     match cond.as_literal() {
-        Some(v) if v == Value::Bool(true) => Some((**body).clone()),
-        Some(v) if v == Value::Bool(false) => Some(CinStmt::Pass(body.results())),
+        Some(Value::Bool(true)) => Some((**body).clone()),
+        Some(Value::Bool(false)) => Some(CinStmt::Pass(body.results())),
         _ => None,
     }
 }

@@ -1,0 +1,38 @@
+//! Smoke test for the workspace wiring: every example under `examples/`
+//! must build and run via the `looplets_repro::finch` / `::baseline` facade,
+//! so a missing re-export (or a broken example) fails this test instead of
+//! regressing silently.
+
+use std::process::Command;
+
+/// Each example plus a marker string its stdout must contain.
+const EXAMPLES: &[(&str, &str)] = &[
+    ("quickstart", "dot product"),
+    ("galloping", "fewer positions than the two-finger merge"),
+    ("spmspv", "two-finger merge (native)"),
+    ("convolution", "masked sparse convolution"),
+    ("image_blend", "all-pairs similarity"),
+];
+
+#[test]
+fn every_example_runs_and_prints_its_result() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for (name, marker) in EXAMPLES {
+        let out = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn `cargo run --example {name}`: {e}"));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            out.status.success(),
+            "example `{name}` exited with {:?}\n--- stdout ---\n{stdout}\n--- stderr ---\n{stderr}",
+            out.status.code()
+        );
+        assert!(
+            stdout.contains(marker),
+            "example `{name}` ran but its output is missing {marker:?}\n--- stdout ---\n{stdout}"
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the API subset the workspace's property tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, plus the [`Just`],
+//!   integer-range, weighted-union and [`collection::vec`] strategies,
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//!   [`prop_oneof!`], [`prop_assert!`] and [`prop_assert_eq!`], and
+//! * [`test_runner::TestCaseError`] / [`test_runner::TestRng`] /
+//!   [`prelude::ProptestConfig`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! regression files: each test runs `cases` deterministic random inputs and
+//! panics (with the generated case index) on the first failure.  That is
+//! sufficient for the oracle-comparison tests here, and keeps the shim tiny.
+//!
+//! [`Just`]: strategy::Just
+//! [`collection::vec`]: collection::vec
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s whose length is drawn from `len` and
+    /// whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Create a strategy for vectors of `element` values with a length in
+    /// `len` (mirrors `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below_in(self.len.start, self.len.end);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual one-stop import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Sub-namespace mirroring `proptest::prelude::prop` (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run one `proptest!`-generated test: `cases` iterations of generate +
+/// execute, panicking with the case number on the first failure.
+///
+/// This is the runtime entry point the [`proptest!`] macro expands to; it is
+/// public so the macro works from downstream crates, but is not part of the
+/// real proptest API.
+pub fn run_cases<F>(config: &test_runner::ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    // Deterministic per-test seed so failures are reproducible run-to-run.
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+        });
+    for i in 0..config.cases {
+        let mut rng = test_runner::TestRng::from_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(e) = case(&mut rng) {
+            panic!("proptest `{name}` failed at case {i}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// Define property tests (shim of `proptest::proptest!`).
+///
+/// Supports the subset used in this repository: an optional leading
+/// `#![proptest_config(expr)]`, then any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.  Each body is
+/// wrapped in a closure returning `Result<(), TestCaseError>`, so
+/// `prop_assert!`-style early returns and a trailing `return Ok(());` both
+/// work.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) $( $(#[$meta:meta])+ fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config = $cfg;
+                $crate::run_cases(&config, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    #[allow(unreachable_code, clippy::needless_return)]
+                    {
+                        $body
+                        return ::std::result::Result::Ok(());
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Weighted choice between strategies (shim of `proptest::prop_oneof!`).
+///
+/// Only the weighted form `prop_oneof![w1 => s1, w2 => s2, ...]` is
+/// implemented; all arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:expr => $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( ($weight as u32, $crate::strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body, failing the current case
+/// (not the whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body (shim of
+/// `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}

@@ -1,0 +1,118 @@
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type (shim of
+/// `proptest::strategy::Strategy`; no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f` (shim of `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, isize, u8, i8, u16, i16, u32, i32, u64, i64);
+
+/// Boxed strategies, so heterogeneous strategy types can share one `Value`.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Erase a strategy's concrete type (used by [`prop_oneof!`](crate::prop_oneof)).
+pub fn boxed<S>(s: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Weighted choice among boxed strategies, built by
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Build a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
