@@ -18,9 +18,7 @@ pub fn rng(seed: u64) -> StdRng {
 /// (Figure 7a's `x` with "10% fraction nonzero").
 pub fn random_sparse_vector(n: usize, fraction: f64, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
-    (0..n)
-        .map(|_| if r.gen::<f64>() < fraction { r.gen_range(0.5..10.0) } else { 0.0 })
-        .collect()
+    (0..n).map(|_| if r.gen::<f64>() < fraction { r.gen_range(0.5..10.0) } else { 0.0 }).collect()
 }
 
 /// A dense vector with exactly `count` randomly placed nonzeros
@@ -42,7 +40,13 @@ pub fn counted_sparse_vector(n: usize, count: usize, seed: u64) -> Vec<f64> {
 /// A "scientific computing" matrix in the spirit of the Harwell-Boeing
 /// collection: a banded diagonal region, a few dense rectangular blocks,
 /// and some random scatter.  Returned as a dense row-major array.
-pub fn scientific_matrix(n: usize, band: usize, nblocks: usize, scatter: f64, seed: u64) -> Vec<f64> {
+pub fn scientific_matrix(
+    n: usize,
+    band: usize,
+    nblocks: usize,
+    scatter: f64,
+    seed: u64,
+) -> Vec<f64> {
     let mut r = rng(seed);
     let mut a = vec![0.0; n * n];
     // Band around the diagonal.
@@ -127,7 +131,8 @@ pub fn stroke_image(size: usize, strokes: usize, seed: u64) -> Vec<f64> {
                 for dy in -1isize..=1 {
                     let (px, py) = (x + dx, y + dy);
                     if px >= 0 && px < size as isize && py >= 0 && py < size as isize {
-                        img[(px as usize) * size + py as usize] = r.gen_range(100.0..255.0_f64).round();
+                        img[(px as usize) * size + py as usize] =
+                            r.gen_range(100.0..255.0_f64).round();
                     }
                 }
             }
@@ -172,7 +177,12 @@ pub fn blob_image(size: usize, seed: u64) -> Vec<f64> {
 
 /// Stack `count` linearised images (rows) generated by `gen` into an
 /// `count × (size*size)` dense matrix.
-pub fn image_batch(count: usize, size: usize, seed: u64, gen: impl Fn(usize, u64) -> Vec<f64>) -> Vec<f64> {
+pub fn image_batch(
+    count: usize,
+    size: usize,
+    seed: u64,
+    gen: impl Fn(usize, u64) -> Vec<f64>,
+) -> Vec<f64> {
     let mut out = Vec::with_capacity(count * size * size);
     for k in 0..count {
         out.extend(gen(size, seed.wrapping_add(k as u64)));

@@ -362,10 +362,7 @@ pub fn conv2d_dense_full(
 
 /// Dense alpha blending: `A = round(α·B + β·C)` clamped to `0..=255`.
 pub fn alpha_blend_dense(b: &[f64], c: &[f64], alpha: f64, beta: f64) -> Vec<f64> {
-    b.iter()
-        .zip(c)
-        .map(|(&x, &y)| (alpha * x + beta * y).round().clamp(0.0, 255.0))
-        .collect()
+    b.iter().zip(c).map(|(&x, &y)| (alpha * x + beta * y).round().clamp(0.0, 255.0)).collect()
 }
 
 /// Run-length alpha blending: blends run-by-run over both images' runs
@@ -460,7 +457,8 @@ mod tests {
         let long: Vec<f64> = (0..10_000).map(|k| if k % 2 == 0 { 1.0 } else { 0.0 }).collect();
         let mut short = vec![0.0; 10_000];
         short[9_000] = 2.0;
-        let (v1, w1) = dot_two_finger(&SparseVec::from_dense(&long), &SparseVec::from_dense(&short));
+        let (v1, w1) =
+            dot_two_finger(&SparseVec::from_dense(&long), &SparseVec::from_dense(&short));
         let (v2, w2) = dot_gallop(&SparseVec::from_dense(&long), &SparseVec::from_dense(&short));
         assert_eq!(v1, v2);
         assert!(w2 * 10 < w1, "gallop {w2} vs two-finger {w1}");
@@ -471,7 +469,8 @@ mod tests {
         let nrows = 6;
         let ncols = 11;
         let (row, xv) = sample_sparse();
-        let dense: Vec<f64> = (0..nrows).flat_map(|r| row.iter().map(move |&v| v * (r as f64 + 1.0))).collect();
+        let dense: Vec<f64> =
+            (0..nrows).flat_map(|r| row.iter().map(move |&v| v * (r as f64 + 1.0))).collect();
         let a = CsrMatrix::from_dense(nrows, ncols, &dense);
         let x = SparseVec::from_dense(&xv);
         let expect = spmv_dense(nrows, ncols, &dense, &xv);
@@ -559,7 +558,8 @@ mod tests {
             }
         }
         // Spot check one distance.
-        let expect = ((1.0f64 - 0.0).powi(2) + (0.0f64 - 3.0).powi(2) + (2.0f64 - 0.0).powi(2)).sqrt();
+        let expect =
+            ((1.0f64 - 0.0).powi(2) + (0.0f64 - 3.0).powi(2) + (2.0f64 - 0.0).powi(2)).sqrt();
         assert!((d[1] - expect).abs() < 1e-9);
     }
 }

@@ -10,11 +10,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(20);
     for (width, variants) in fig01_variants(20_000, 400, &[50, 3_000]) {
         for mut v in variants {
-            group.bench_with_input(
-                BenchmarkId::new(v.label.clone(), width),
-                &width,
-                |b, _| b.iter(|| v.kernel.run().expect("kernel runs")),
-            );
+            group.bench_with_input(BenchmarkId::new(v.label.clone(), width), &width, |b, _| {
+                b.iter(|| v.kernel.run().expect("kernel runs"))
+            });
         }
     }
     group.finish();

@@ -1,14 +1,24 @@
-//! Regenerate every figure of the paper's evaluation as a text table.
+//! Regenerate every figure of the paper's evaluation as a text table,
+//! timing each variant on **both** execution engines — the tree-walking
+//! interpreter and the flat register bytecode VM — side by side.
 //!
 //! ```bash
-//! cargo run --release -p finch-bench --bin figures            # all figures
-//! cargo run --release -p finch-bench --bin figures -- --fig 8 # one figure
+//! cargo run --release -p finch-bench --bin figures              # all figures
+//! cargo run --release -p finch-bench --bin figures -- --fig 8   # one figure
+//! cargo run --release -p finch-bench --bin figures -- --tiny    # CI smoke sizes
+//! cargo run --release -p finch-bench --bin figures -- --json out.json
 //! ```
 //!
-//! Each table reports median wall-clock of the instrumented interpreter,
-//! the machine-independent work counter, and the speedup relative to the
-//! figure's baseline strategy (the quantity the paper plots).
+//! Each table reports the median wall-clock of both engines, the
+//! machine-independent work counter (asserted identical across engines),
+//! and the speedup relative to the figure's baseline strategy measured on
+//! the bytecode engine (the quantity the paper plots).  Every measurement
+//! is also appended to a machine-readable JSON report
+//! (`BENCH_figures.json` by default) so the perf trajectory is trackable
+//! across commits; see EXPERIMENTS.md for the schema.
 
+use finch::Engine;
+use finch_bench::report::{EngineReport, FigureGroup, Report, VariantReport};
 use finch_bench::*;
 
 fn wants(figure: &str) -> bool {
@@ -19,97 +29,168 @@ fn wants(figure: &str) -> bool {
     }
 }
 
-fn runs() -> usize {
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_after(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    match args.iter().position(|a| a == "--runs") {
-        Some(k) => args.get(k + 1).and_then(|v| v.parse().ok()).unwrap_or(3),
-        None => 3,
-    }
+    args.iter().position(|a| a == name).and_then(|k| args.get(k + 1).cloned())
+}
+
+fn runs() -> usize {
+    arg_after("--runs").and_then(|v| v.parse().ok()).unwrap_or(3)
 }
 
 fn header(title: &str) {
     println!("\n== {title} ==");
-    println!("{:<28} {:>12} {:>14} {:>10}", "strategy", "time (ms)", "total work", "speedup");
+    println!(
+        "{:<28} {:>14} {:>13} {:>14} {:>10}",
+        "strategy", "tree-walk (ms)", "bytecode (ms)", "total work", "speedup"
+    );
 }
 
-/// Time a group of variants and print them with speedups relative to the
-/// first one.
-fn table(variants: Vec<Variant>, reps: usize) {
+/// Time a group of variants on both engines, print them with speedups
+/// relative to the first one (bytecode wall-clock), and record them in the
+/// JSON report.
+fn table(figure: &str, group: &str, variants: Vec<Variant>, reps: usize, report: &mut Report) {
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for mut v in variants {
-        let (secs, stats) = time_kernel(&mut v.kernel, reps);
-        rows.push((v.label, secs, stats.total_work()));
+        let (tw_secs, tw_stats) = time_kernel_with(&mut v.kernel, reps, Engine::TreeWalk);
+        let (bc_secs, bc_stats) = time_kernel_with(&mut v.kernel, reps, Engine::Bytecode);
+        assert_eq!(
+            tw_stats, bc_stats,
+            "work counters diverge between engines for `{}` in {figure} ({group})",
+            v.label
+        );
+        records.push(VariantReport {
+            label: v.label.clone(),
+            engines: vec![
+                EngineReport { engine: Engine::TreeWalk, median_seconds: tw_secs, stats: tw_stats },
+                EngineReport { engine: Engine::Bytecode, median_seconds: bc_secs, stats: bc_stats },
+            ],
+        });
+        rows.push((v.label, tw_secs, bc_secs, bc_stats.total_work()));
     }
-    let base = rows[0].1;
-    for (label, secs, work) in rows {
-        println!("{:<28} {:>12.3} {:>14} {:>9.2}x", label, secs * 1e3, work, base / secs);
+    let base = rows[0].2;
+    for (label, tw_secs, bc_secs, work) in rows {
+        println!(
+            "{:<28} {:>14.3} {:>13.3} {:>14} {:>9.2}x",
+            label,
+            tw_secs * 1e3,
+            bc_secs * 1e3,
+            work,
+            base / bc_secs
+        );
     }
+    report.figures.push(FigureGroup {
+        figure: figure.to_string(),
+        group: group.to_string(),
+        variants: records,
+    });
 }
 
 fn main() {
     let reps = runs();
+    // `--tiny` shrinks every figure to smoke-test sizes (used by CI to
+    // exercise the whole path, including the JSON emission, in seconds).
+    let tiny = flag("--tiny");
+    let json_path = arg_after("--json").unwrap_or_else(|| "BENCH_figures.json".to_string());
+    let mut report = Report::new();
 
     if wants("1") {
         println!("\n#### Figure 1 — motivating dot product: sparse list x sparse band");
-        for (width, variants) in fig01_variants(20_000, 400, &[50, 400, 3_000]) {
+        let (n, nnz, widths): (usize, usize, &[usize]) =
+            if tiny { (200, 20, &[8]) } else { (20_000, 400, &[50, 400, 3_000]) };
+        for (width, variants) in fig01_variants(n, nnz, widths) {
             header(&format!("band width {width}"));
-            table(variants, reps);
+            table("fig01", &format!("band width {width}"), variants, reps, &mut report);
         }
     }
 
     if wants("7a") || wants("7") {
         println!("\n#### Figure 7a — SpMSpV, x with 10% nonzeros (speedup vs two-finger)");
-        let n = 128;
-        for seed in [1u64, 2, 3] {
+        let n = if tiny { 32 } else { 128 };
+        let seeds: &[u64] = if tiny { &[1] } else { &[1, 2, 3] };
+        for &seed in seeds {
             let xv = fig07_vector(n, Some(0.10), None, 70 + seed);
             header(&format!("synthetic HB-like matrix #{seed}"));
-            table(fig07_variants(n, &xv, seed), reps);
+            table(
+                "fig07a",
+                &format!("matrix #{seed}"),
+                fig07_variants(n, &xv, seed),
+                reps,
+                &mut report,
+            );
         }
     }
 
     if wants("7b") || wants("7") {
         println!("\n#### Figure 7b — SpMSpV, x with 10 nonzeros (speedup vs two-finger)");
-        let n = 128;
-        for seed in [1u64, 2, 3] {
+        let n = if tiny { 32 } else { 128 };
+        let seeds: &[u64] = if tiny { &[1] } else { &[1, 2, 3] };
+        for &seed in seeds {
             let xv = fig07_vector(n, None, Some(10), 80 + seed);
             header(&format!("synthetic HB-like matrix #{seed}"));
-            table(fig07_variants(n, &xv, seed), reps);
+            table(
+                "fig07b",
+                &format!("matrix #{seed}"),
+                fig07_variants(n, &xv, seed),
+                reps,
+                &mut report,
+            );
         }
     }
 
     if wants("8") {
         println!("\n#### Figure 8 — triangle counting on power-law graphs (speedup vs two-finger)");
-        for (n, epn, seed) in [(64usize, 3usize, 11u64), (96, 4, 12), (128, 3, 13)] {
+        let graphs: &[(usize, usize, u64)] =
+            if tiny { &[(24, 2, 3)] } else { &[(64, 3, 11), (96, 4, 12), (128, 3, 13)] };
+        for &(n, epn, seed) in graphs {
             header(&format!("graph: {n} vertices, ~{epn} edges/vertex"));
-            table(fig08_variants(n, epn, seed), reps);
+            table(
+                "fig08",
+                &format!("{n} vertices, ~{epn} edges/vertex"),
+                fig08_variants(n, epn, seed),
+                reps,
+                &mut report,
+            );
         }
     }
 
     if wants("9") {
         println!("\n#### Figure 9 — dense vs sparse convolution as density increases");
-        let size = 48;
-        let ksize = 5;
-        for (density, variants) in fig09_variants(size, ksize, &[0.002, 0.01, 0.05, 0.15, 0.40]) {
+        let (size, ksize) = if tiny { (12, 3) } else { (48, 5) };
+        let densities: &[f64] = if tiny { &[0.1] } else { &[0.002, 0.01, 0.05, 0.15, 0.40] };
+        for (density, variants) in fig09_variants(size, ksize, densities) {
             header(&format!("grid {size}x{size}, filter {ksize}x{ksize}, density {density}"));
-            table(variants, reps);
+            table("fig09", &format!("density {density}"), variants, reps, &mut report);
         }
     }
 
     if wants("10") {
         println!("\n#### Figure 10 — alpha blending (speedup vs dense)");
-        header("Omniglot-like stroke images (64x64)");
-        table(fig10_variants(64, false, 5), reps);
-        header("Humansketches-like images (64x64)");
-        table(fig10_variants(64, true, 6), reps);
+        let size = if tiny { 16 } else { 64 };
+        header(&format!("Omniglot-like stroke images ({size}x{size})"));
+        table("fig10", "omniglot-like strokes", fig10_variants(size, false, 5), reps, &mut report);
+        header(&format!("Humansketches-like images ({size}x{size})"));
+        table("fig10", "humansketches-like", fig10_variants(size, true, 6), reps, &mut report);
     }
 
     if wants("11") {
         println!("\n#### Figure 11 — all-pairs image similarity (speedup vs dense)");
-        header("MNIST-like blobs (16 images, 20x20)");
-        table(fig11_variants(16, 20, "mnist"), reps);
-        header("EMNIST-like blobs (16 images, 20x20)");
-        table(fig11_variants(16, 20, "emnist"), reps);
-        header("Omniglot-like strokes (16 images, 20x20)");
-        table(fig11_variants(16, 20, "omniglot"), reps);
+        let (count, img) = if tiny { (3, 8) } else { (16, 20) };
+        let datasets: &[&str] = if tiny { &["mnist"] } else { &["mnist", "emnist", "omniglot"] };
+        for dataset in datasets {
+            header(&format!("{dataset}-like images ({count} images, {img}x{img})"));
+            table("fig11", dataset, fig11_variants(count, img, dataset), reps, &mut report);
+        }
+    }
+
+    if let Err(e) = report.write(&json_path) {
+        eprintln!("warning: could not write {json_path}: {e}");
+    } else {
+        println!("\nwrote machine-readable report to {json_path}");
     }
 }

@@ -2,23 +2,27 @@
 //!
 //! Each module of this crate prepares the workloads and compiled kernels of
 //! one figure of the paper's evaluation (§9).  The `figures` binary times
-//! them and prints one table per figure (wall-clock of the interpreter plus
-//! machine-independent work counters); the Criterion benches in `benches/`
-//! time the same kernels under Criterion's statistics.
+//! them — on both execution engines, tree-walk and bytecode, side by side —
+//! prints one table per figure (wall-clock plus machine-independent work
+//! counters), and emits the machine-readable `BENCH_figures.json` (see
+//! [`report`]); the Criterion benches in `benches/` time the same kernels
+//! under Criterion's statistics.
 //!
 //! Problem sizes are scaled down from the paper (the substrate is an
-//! instrumented interpreter, not native code); the *relative* shapes are
-//! what EXPERIMENTS.md compares against the paper.
+//! instrumented VM, not native code); the *relative* shapes are what
+//! EXPERIMENTS.md compares against the paper.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
+
 use std::time::Instant;
 
+use finch::{CompiledKernel, Engine, Kernel, Tensor};
 use finch_baseline::datagen;
 use finch_cin::build::*;
 use finch_cin::{CinExpr, IndexVar, Protocol};
-use finch::{CompiledKernel, Kernel, Tensor};
 
 /// One prepared experiment variant: a label and a compiled kernel ready to
 /// be run repeatedly.
@@ -35,14 +39,27 @@ impl Variant {
     }
 }
 
-/// Median wall-clock seconds of `runs` executions of a compiled kernel,
-/// together with the work counters of one execution.
+/// Median wall-clock seconds of `runs` executions of a compiled kernel on
+/// its currently selected engine, together with the work counters of one
+/// execution.
 pub fn time_kernel(kernel: &mut CompiledKernel, runs: usize) -> (f64, finch::ExecStats) {
+    time_kernel_with(kernel, runs, kernel.engine())
+}
+
+/// Median wall-clock seconds of `runs` executions of a compiled kernel on
+/// an explicitly chosen engine, together with the work counters of one
+/// execution.  Used by the `figures` binary to report tree-walk and
+/// bytecode timings side by side.
+pub fn time_kernel_with(
+    kernel: &mut CompiledKernel,
+    runs: usize,
+    engine: Engine,
+) -> (f64, finch::ExecStats) {
     let mut times = Vec::with_capacity(runs);
     let mut stats = finch::ExecStats::default();
     for _ in 0..runs.max(1) {
         let start = Instant::now();
-        stats = kernel.run().expect("benchmark kernel runs");
+        stats = kernel.run_with(engine).expect("benchmark kernel runs");
         times.push(start.elapsed().as_secs_f64());
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
@@ -78,8 +95,14 @@ pub fn fig01_variants(n: usize, nnz: usize, band_widths: &[usize]) -> Vec<(usize
             let b_band = Tensor::band_vector("B", &b_data);
             let b_list = Tensor::sparse_list_vector("B", &b_data);
             let variants = vec![
-                Variant::new("looplets: list x band", dot_kernel(&a, &b_band, Protocol::Walk, Protocol::Default)),
-                Variant::new("iterator-over-nonzeros", dot_kernel(&a, &b_list, Protocol::Walk, Protocol::Walk)),
+                Variant::new(
+                    "looplets: list x band",
+                    dot_kernel(&a, &b_band, Protocol::Walk, Protocol::Default),
+                ),
+                Variant::new(
+                    "iterator-over-nonzeros",
+                    dot_kernel(&a, &b_list, Protocol::Walk, Protocol::Walk),
+                ),
             ];
             (w, variants)
         })
@@ -95,7 +118,10 @@ pub fn dot_kernel(a: &Tensor, b: &Tensor, pa: Protocol, pb: Protocol) -> Compile
         i.clone(),
         add_assign(
             scalar("C"),
-            mul(access(a.name(), [protocol_index(pa, &i)]), access(b.name(), [protocol_index(pb, &i)])),
+            mul(
+                access(a.name(), [protocol_index(pa, &i)]),
+                access(b.name(), [protocol_index(pb, &i)]),
+            ),
         ),
     );
     kernel.compile(&program).expect("dot kernel compiles")
@@ -117,7 +143,10 @@ pub fn spmspv_kernel(a: &Tensor, x: &Tensor, pa: Protocol, px: Protocol) -> Comp
             j.clone(),
             add_assign(
                 access("y", [i.clone()]),
-                mul(access(a.name(), [i.into(), protocol_index(pa, &j)]), access(x.name(), [protocol_index(px, &j)])),
+                mul(
+                    access(a.name(), [i.into(), protocol_index(pa, &j)]),
+                    access(x.name(), [protocol_index(px, &j)]),
+                ),
             ),
         ),
     );
@@ -133,9 +162,18 @@ pub fn fig07_variants(n: usize, xv: &[f64], seed: u64) -> Vec<Variant> {
     let csr = || Tensor::csr_matrix("A", n, n, &dense_a);
     let vbl = Tensor::vbl_matrix("A", n, n, &dense_a);
     vec![
-        Variant::new("two-finger (TACO-style)", spmspv_kernel(&csr(), &x, Protocol::Walk, Protocol::Walk)),
-        Variant::new("A leads (gallop)", spmspv_kernel(&csr(), &x, Protocol::Gallop, Protocol::Walk)),
-        Variant::new("x leads (gallop)", spmspv_kernel(&csr(), &x, Protocol::Walk, Protocol::Gallop)),
+        Variant::new(
+            "two-finger (TACO-style)",
+            spmspv_kernel(&csr(), &x, Protocol::Walk, Protocol::Walk),
+        ),
+        Variant::new(
+            "A leads (gallop)",
+            spmspv_kernel(&csr(), &x, Protocol::Gallop, Protocol::Walk),
+        ),
+        Variant::new(
+            "x leads (gallop)",
+            spmspv_kernel(&csr(), &x, Protocol::Walk, Protocol::Gallop),
+        ),
         Variant::new("gallop both", spmspv_kernel(&csr(), &x, Protocol::Gallop, Protocol::Gallop)),
         Variant::new("VBL", spmspv_kernel(&vbl, &x, Protocol::Walk, Protocol::Walk)),
     ]
@@ -143,7 +181,12 @@ pub fn fig07_variants(n: usize, xv: &[f64], seed: u64) -> Vec<Variant> {
 
 /// Figure 7a: `x` has a fraction of nonzeros; Figure 7b: `x` has a fixed
 /// count of nonzeros.
-pub fn fig07_vector(n: usize, dense_fraction: Option<f64>, count: Option<usize>, seed: u64) -> Vec<f64> {
+pub fn fig07_vector(
+    n: usize,
+    dense_fraction: Option<f64>,
+    count: Option<usize>,
+    seed: u64,
+) -> Vec<f64> {
     match (dense_fraction, count) {
         (Some(f), _) => datagen::random_sparse_vector(n, f, seed),
         (_, Some(c)) => datagen::counted_sparse_vector(n, c, seed),
@@ -175,7 +218,13 @@ pub fn triangle_kernel(adj: &[f64], n: usize, gallop: bool) -> CompiledKernel {
                 add_assign(
                     scalar("C"),
                     mul3(
-                        access("A", [finch_cin::IndexExpr::from(i.clone()), finch_cin::IndexExpr::from(j.clone())]),
+                        access(
+                            "A",
+                            [
+                                finch_cin::IndexExpr::from(i.clone()),
+                                finch_cin::IndexExpr::from(j.clone()),
+                            ],
+                        ),
                         access("A2", [finch_cin::IndexExpr::from(j), inner(&k)]),
                         access("At", [finch_cin::IndexExpr::from(i), inner(&k)]),
                     ),
@@ -201,7 +250,13 @@ pub fn fig08_variants(n: usize, edges_per_node: usize, seed: u64) -> Vec<Variant
 
 /// The masked sparse convolution kernel of Figure 9 (square filter of odd
 /// size `ksize`).
-pub fn conv_kernel(grid: &[f64], size: usize, ksize: usize, filter: &[f64], sparse: bool) -> CompiledKernel {
+pub fn conv_kernel(
+    grid: &[f64],
+    size: usize,
+    ksize: usize,
+    filter: &[f64],
+    sparse: bool,
+) -> CompiledKernel {
     let (a, aw) = if sparse {
         (Tensor::csr_matrix("A", size, size, grid), Tensor::csr_matrix("Aw", size, size, grid))
     } else {
@@ -236,7 +291,12 @@ pub fn conv_kernel(grid: &[f64], size: usize, ksize: usize, filter: &[f64], spar
         i,
         forall(
             k,
-            forall_in(j, lit_int(0), lit_int(ksize as i64 - 1), forall_in(l, lit_int(0), lit_int(ksize as i64 - 1), body)),
+            forall_in(
+                j,
+                lit_int(0),
+                lit_int(ksize as i64 - 1),
+                forall_in(l, lit_int(0), lit_int(ksize as i64 - 1), body),
+            ),
         ),
     );
     kernel.compile(&program).expect("convolution kernel compiles")
@@ -251,8 +311,14 @@ pub fn fig09_variants(size: usize, ksize: usize, densities: &[f64]) -> Vec<(f64,
         .map(|&d| {
             let grid = datagen::sparse_grid(size, size, d, 900 + (d * 1000.0) as u64);
             let variants = vec![
-                Variant::new("dense (OpenCV-style)", conv_kernel(&grid, size, ksize, &filter, false)),
-                Variant::new("sparse (masked, CSR)", conv_kernel(&grid, size, ksize, &filter, true)),
+                Variant::new(
+                    "dense (OpenCV-style)",
+                    conv_kernel(&grid, size, ksize, &filter, false),
+                ),
+                Variant::new(
+                    "sparse (masked, CSR)",
+                    conv_kernel(&grid, size, ksize, &filter, true),
+                ),
             ];
             (d, variants)
         })
@@ -367,7 +433,10 @@ pub fn all_pairs_kernel(a: &Tensor, a2: &Tensor) -> CompiledKernel {
                     ij2.clone(),
                     add_assign(
                         scalar("o"),
-                        mul(access(a.name(), [k.clone(), ij2.clone()]), access(a2.name(), [l.clone(), ij2])),
+                        mul(
+                            access(a.name(), [k.clone(), ij2.clone()]),
+                            access(a2.name(), [l.clone(), ij2]),
+                        ),
                     ),
                 ),
             ),
@@ -382,7 +451,9 @@ pub fn all_pairs_kernel(a: &Tensor, a2: &Tensor) -> CompiledKernel {
 pub fn fig11_variants(count: usize, img: usize, dataset: &str) -> Vec<Variant> {
     let m = img * img;
     let batch = match dataset {
-        "omniglot" => datagen::image_batch(count, img, 311, |s, seed| datagen::stroke_image(s, 2, seed)),
+        "omniglot" => {
+            datagen::image_batch(count, img, 311, |s, seed| datagen::stroke_image(s, 2, seed))
+        }
         "emnist" => datagen::image_batch(count, img, 251, datagen::blob_image),
         _ => datagen::image_batch(count, img, 211, datagen::blob_image),
     };
@@ -415,30 +486,54 @@ pub fn fig11_variants(count: usize, img: usize, dataset: &str) -> Vec<Variant> {
 mod tests {
     use super::*;
 
+    /// Run a variant on both engines and assert outputs and work counters
+    /// are bit-identical (the bench harness relies on this when printing
+    /// one shared work column).
+    fn assert_engine_parity(v: &mut Variant, what: &str) {
+        let tw = v.kernel.run_with(Engine::TreeWalk).expect("tree-walk runs");
+        let tw_outs: Vec<(String, Vec<f64>)> = v
+            .kernel
+            .output_names()
+            .into_iter()
+            .map(|n| {
+                let out = v.kernel.output(&n).unwrap();
+                (n, out)
+            })
+            .collect();
+        let bc = v.kernel.run_with(Engine::Bytecode).expect("bytecode runs");
+        assert_eq!(tw, bc, "{what} `{}`: work counters diverge", v.label);
+        for (name, tw_out) in tw_outs {
+            let bc_out = v.kernel.output(&name).unwrap();
+            let same = tw_out.len() == bc_out.len()
+                && tw_out.iter().zip(&bc_out).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{what} `{}`: output {name} diverges", v.label);
+        }
+    }
+
     #[test]
-    fn every_figure_builder_produces_runnable_kernels() {
+    fn every_figure_builder_produces_runnable_kernels_on_both_engines() {
         for (_, variants) in fig01_variants(200, 20, &[8]) {
             for mut v in variants {
-                v.kernel.run().expect("fig01 variant runs");
+                assert_engine_parity(&mut v, "fig01");
             }
         }
         let xv = fig07_vector(32, Some(0.2), None, 7);
         for mut v in fig07_variants(32, &xv, 7) {
-            v.kernel.run().expect("fig07 variant runs");
+            assert_engine_parity(&mut v, "fig07");
         }
         for mut v in fig08_variants(24, 2, 3) {
-            v.kernel.run().expect("fig08 variant runs");
+            assert_engine_parity(&mut v, "fig08");
         }
         for (_, variants) in fig09_variants(12, 3, &[0.1]) {
             for mut v in variants {
-                v.kernel.run().expect("fig09 variant runs");
+                assert_engine_parity(&mut v, "fig09");
             }
         }
         for mut v in fig10_variants(16, false, 5) {
-            v.kernel.run().expect("fig10 variant runs");
+            assert_engine_parity(&mut v, "fig10");
         }
         for mut v in fig11_variants(3, 8, "mnist") {
-            v.kernel.run().expect("fig11 variant runs");
+            assert_engine_parity(&mut v, "fig11");
         }
     }
 

@@ -1,0 +1,228 @@
+//! Machine-readable benchmark report: the `figures` binary serialises every
+//! measurement into `BENCH_figures.json` so the perf trajectory is
+//! trackable across commits.
+//!
+//! The JSON is hand-rolled (the build environment has no serde); the schema
+//! is documented in `EXPERIMENTS.md` and kept deliberately flat:
+//!
+//! ```json
+//! {
+//!   "figures": [
+//!     { "figure": "fig01", "group": "band width 50",
+//!       "variants": [
+//!         { "label": "looplets: list x band",
+//!           "engines": [
+//!             { "engine": "bytecode", "median_seconds": 0.0012,
+//!               "stmts": 10, "loop_iters": 4, "loads": 8, "stores": 4,
+//!               "searches": 0, "total_work": 22 } ] } ] } ] }
+//! ```
+
+use std::io::Write as _;
+
+use finch::{Engine, ExecStats};
+
+/// One engine's measurement of one variant.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// The engine measured.
+    pub engine: Engine,
+    /// Median wall-clock seconds across the configured repetitions.
+    pub median_seconds: f64,
+    /// Machine-independent work counters of one run.
+    pub stats: ExecStats,
+}
+
+/// One strategy/format variant of a figure, measured on every engine.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// Human-readable strategy/format label.
+    pub label: String,
+    /// Per-engine measurements (tree-walk and bytecode).
+    pub engines: Vec<EngineReport>,
+}
+
+/// One table of one figure (a figure may sweep a parameter and emit
+/// several groups).
+#[derive(Debug, Clone)]
+pub struct FigureGroup {
+    /// Figure identifier (`fig01`, `fig07a`, ...).
+    pub figure: String,
+    /// The parameter point or dataset of this table.
+    pub group: String,
+    /// The measured variants.
+    pub variants: Vec<VariantReport>,
+}
+
+/// The full report accumulated by one `figures` invocation.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every figure table measured, in print order.
+    pub figures: Vec<FigureGroup>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Serialise the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"figures\": [");
+        for (i, fig) in self.figures.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"figure\": {}, ", json_string(&fig.figure)));
+            out.push_str(&format!("\"group\": {},", json_string(&fig.group)));
+            out.push_str("\n     \"variants\": [");
+            for (j, v) in fig.variants.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n      {");
+                out.push_str(&format!("\"label\": {},", json_string(&v.label)));
+                out.push_str("\n       \"engines\": [");
+                for (k, e) in v.engines.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n        {{\"engine\": {}, \"median_seconds\": {}, \
+                         \"stmts\": {}, \"loop_iters\": {}, \"loads\": {}, \
+                         \"stores\": {}, \"searches\": {}, \"total_work\": {}}}",
+                        json_string(e.engine.label()),
+                        json_number(e.median_seconds),
+                        e.stats.stmts,
+                        e.stats.loop_iters,
+                        e.stats.loads,
+                        e.stats.stores,
+                        e.stats.searches,
+                        e.stats.total_work(),
+                    ));
+                }
+                out.push_str("\n       ]}");
+            }
+            out.push_str("\n     ]}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Write the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Escape a string for JSON (the labels are plain ASCII, but quotes and
+/// backslashes must not corrupt the document).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a float as a JSON number (Rust's `Display` for finite `f64` is
+/// valid JSON; non-finite values have no JSON encoding and become 0).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            figures: vec![FigureGroup {
+                figure: "fig01".into(),
+                group: "band width \"8\"".into(),
+                variants: vec![VariantReport {
+                    label: "looplets: list x band".into(),
+                    engines: vec![
+                        EngineReport {
+                            engine: Engine::TreeWalk,
+                            median_seconds: 0.25,
+                            stats: ExecStats {
+                                stmts: 10,
+                                loop_iters: 4,
+                                loads: 8,
+                                stores: 4,
+                                searches: 1,
+                            },
+                        },
+                        EngineReport {
+                            engine: Engine::Bytecode,
+                            median_seconds: 0.125,
+                            stats: ExecStats {
+                                stmts: 10,
+                                loop_iters: 4,
+                                loads: 8,
+                                stores: 4,
+                                searches: 1,
+                            },
+                        },
+                    ],
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_both_engines_and_escaped_strings() {
+        let j = sample().to_json();
+        assert!(j.contains("\"tree_walk\""));
+        assert!(j.contains("\"bytecode\""));
+        assert!(j.contains("\"median_seconds\": 0.125"));
+        assert!(j.contains("band width \\\"8\\\""), "{j}");
+        assert!(j.contains("\"total_work\": 23"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let j = sample().to_json();
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = j.matches(open).count();
+            let closes = j.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close} in:\n{j}");
+        }
+        // No trailing commas before a closer.
+        assert!(!j.contains(",]") && !j.contains(",}"));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_sanitised() {
+        assert_eq!(json_number(f64::NAN), "0");
+        assert_eq!(json_number(f64::INFINITY), "0");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("x\u{1}"), "\"x\\u0001\"");
+    }
+}

@@ -42,8 +42,18 @@ impl fmt::Display for CinExpr {
             CinExpr::Dyn(e) => write!(f, "$({e:?})"),
             CinExpr::Access(a) => write!(f, "{a}"),
             CinExpr::Call { op, args } => match op {
-                CinOp::Add | CinOp::Sub | CinOp::Mul | CinOp::Div | CinOp::And | CinOp::Or
-                | CinOp::Eq | CinOp::Ne | CinOp::Lt | CinOp::Le | CinOp::Gt | CinOp::Ge => {
+                CinOp::Add
+                | CinOp::Sub
+                | CinOp::Mul
+                | CinOp::Div
+                | CinOp::And
+                | CinOp::Or
+                | CinOp::Eq
+                | CinOp::Ne
+                | CinOp::Lt
+                | CinOp::Le
+                | CinOp::Gt
+                | CinOp::Ge => {
                     write!(f, "(")?;
                     for (k, a) in args.iter().enumerate() {
                         if k > 0 {
@@ -133,10 +143,7 @@ mod tests {
 
     #[test]
     fn renders_where_sieve_multi_and_pass() {
-        let s = where_(
-            assign(scalar("O"), lit(1.0)),
-            add_assign(scalar("o"), lit(2.0)),
-        );
+        let s = where_(assign(scalar("O"), lit(1.0)), add_assign(scalar("o"), lit(2.0)));
         assert_eq!(format!("{s}"), "(O[] = 1.0) where (o[] += 2.0)");
         let s = sieve(eq(lit(1.0), lit(1.0)), pass(vec!["C".into()]));
         assert_eq!(format!("{s}"), "@sieve (1.0 == 1.0) @pass C");

@@ -86,7 +86,13 @@ impl CinOp {
     pub fn is_variadic(self) -> bool {
         matches!(
             self,
-            CinOp::Add | CinOp::Mul | CinOp::Min | CinOp::Max | CinOp::And | CinOp::Or | CinOp::Coalesce
+            CinOp::Add
+                | CinOp::Mul
+                | CinOp::Min
+                | CinOp::Max
+                | CinOp::And
+                | CinOp::Or
+                | CinOp::Coalesce
         )
     }
 
@@ -201,10 +207,9 @@ impl CinExpr {
         let mut found = false;
         self.visit(&mut |e| match e {
             CinExpr::Index(v) if v == index => found = true,
-            CinExpr::Access(a)
-                if a.index_vars().iter().any(|v| v == index) => {
-                    found = true;
-                }
+            CinExpr::Access(a) if a.index_vars().iter().any(|v| v == index) => {
+                found = true;
+            }
             _ => {}
         });
         found
@@ -262,7 +267,10 @@ mod tests {
         let i = IndexVar::new("i");
         let a = Access::new("A", vec![i.clone().into()]);
         let b = Access::new("B", vec![i.clone().into()]);
-        let e = CinExpr::call(CinOp::Mul, vec![a.clone().into(), b.clone().into(), CinExpr::float(2.0)]);
+        let e = CinExpr::call(
+            CinOp::Mul,
+            vec![a.clone().into(), b.clone().into(), CinExpr::float(2.0)],
+        );
         let acc = e.accesses();
         assert_eq!(acc.len(), 2);
         assert!(e.mentions_index(&i));

@@ -114,11 +114,9 @@ impl CinStmt {
     /// [`CinExpr::map`], i.e. bottom-up within each expression).
     pub fn map_exprs(&self, f: &mut dyn FnMut(&CinExpr) -> Option<CinExpr>) -> CinStmt {
         match self {
-            CinStmt::Assign { lhs, reduction, rhs } => CinStmt::Assign {
-                lhs: lhs.clone(),
-                reduction: *reduction,
-                rhs: rhs.map(f),
-            },
+            CinStmt::Assign { lhs, reduction, rhs } => {
+                CinStmt::Assign { lhs: lhs.clone(), reduction: *reduction, rhs: rhs.map(f) }
+            }
             CinStmt::Forall { index, extent, body } => CinStmt::Forall {
                 index: index.clone(),
                 extent: extent.as_ref().map(|(lo, hi)| (lo.map(f), hi.map(f))),
@@ -217,7 +215,8 @@ mod tests {
             add_assign(access("y", [i.clone()]), mul(access("A", [i.clone()]), access("x", [i]))),
         );
         let reads: Vec<_> = s.read_accesses().iter().map(|a| a.tensor.name().to_string()).collect();
-        let writes: Vec<_> = s.write_accesses().iter().map(|a| a.tensor.name().to_string()).collect();
+        let writes: Vec<_> =
+            s.write_accesses().iter().map(|a| a.tensor.name().to_string()).collect();
         assert_eq!(reads, vec!["A", "x"]);
         assert_eq!(writes, vec!["y"]);
     }
@@ -238,7 +237,9 @@ mod tests {
         let s = forall(i.clone(), add_assign(scalar("C"), lit(0.0)));
         // Replace any assignment adding literal zero with a pass.
         let out = s.map_stmts(&mut |node| match node {
-            CinStmt::Assign { lhs, rhs, .. } if rhs.as_literal().map(|v| v.is_zero()) == Some(true) => {
+            CinStmt::Assign { lhs, rhs, .. }
+                if rhs.as_literal().map(|v| v.is_zero()) == Some(true) =>
+            {
                 Some(CinStmt::Pass(vec![lhs.tensor.clone()]))
             }
             _ => None,

@@ -5,16 +5,50 @@ use std::collections::HashMap;
 
 use finch_cin::CinStmt;
 use finch_formats::{BoundTensor, Tensor};
-use finch_ir::{Buffer, BufferSet, ExecStats, Interpreter, Names, RuntimeError, Stmt, Value};
 use finch_ir::pretty::Printer;
+use finch_ir::{
+    Buffer, BufferSet, ExecStats, Interpreter, Names, Program, RuntimeError, Stmt, Value, Vm,
+};
 use finch_rewrite::Rewriter;
 
 use crate::error::CompileError;
 use crate::lower::statements::lower_stmt;
 use crate::lower::{Binding, LowerCtx, OutputBinding};
 
+/// The execution engine a [`CompiledKernel`] runs on.
+///
+/// Both engines execute the same lowered IR and maintain identical
+/// [`ExecStats`] work counters; they are differential-tested against each
+/// other (outputs and counters bit-identical) in the workspace test suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The flat register bytecode VM (`finch_ir::vm`).  The default: the
+    /// kernel is compiled once to bytecode and runs in a tight dispatch
+    /// loop over unboxed typed registers.
+    #[default]
+    Bytecode,
+    /// The tree-walking interpreter (`finch_ir::interp`), retained as the
+    /// semantics oracle for differential testing.
+    TreeWalk,
+}
+
+impl Engine {
+    /// A short stable label, used by the benchmark harness and its JSON
+    /// report (`tree_walk` / `bytecode`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::Bytecode => "bytecode",
+            Engine::TreeWalk => "tree_walk",
+        }
+    }
+}
+
 /// A kernel under construction: tensors are bound to it, then a CIN program
 /// is compiled against those bindings.
+///
+/// [`Kernel::compile`] produces both the lowered IR tree and its flat
+/// register bytecode; the resulting [`CompiledKernel`] runs on the bytecode
+/// VM by default (see [`Engine`] for selecting the tree-walking oracle).
 ///
 /// ```
 /// use finch::build::*;
@@ -30,7 +64,7 @@ use crate::lower::{Binding, LowerCtx, OutputBinding};
 /// let i = idx("i");
 /// let program = forall(i.clone(), add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))));
 /// let mut compiled = kernel.compile(&program)?;
-/// compiled.run()?;
+/// compiled.run()?;   // executes on the bytecode VM
 /// assert_eq!(compiled.output_scalar("C"), Some(2015.0));
 /// # Ok(()) }
 /// ```
@@ -112,26 +146,60 @@ impl Kernel {
         // same motion done explicitly.
         let code = finch_ir::opt::hoist_invariant_loads(&code, &mut ctx.names);
         let source = Printer::new(&ctx.names, &ctx.bufs).program(&code);
+        // Compile the lowered tree once to flat register bytecode; the
+        // kernel carries both forms so either engine can run it.
+        let bytecode = Program::compile(&code, &ctx.names);
         Ok(CompiledKernel {
             code,
+            bytecode,
             names: ctx.names,
             bufs: ctx.bufs,
             outputs,
             source,
             program: format!("{program}"),
+            engine: Engine::default(),
+            step_budget: None,
         })
     }
 }
 
-/// A compiled kernel: generated code plus the buffers it runs against.
+/// A compiled kernel: generated code (both the IR tree and its bytecode)
+/// plus the buffers it runs against.
+///
+/// [`CompiledKernel::run`] executes on the flat register bytecode VM by
+/// default; select the tree-walking oracle with [`CompiledKernel::set_engine`]
+/// or a one-off [`CompiledKernel::run_with`]:
+///
+/// ```
+/// use finch::build::*;
+/// use finch::{Engine, Kernel, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Tensor::sparse_list_vector("A", &[0.0, 1.5, 0.0, 2.0]);
+/// let b = Tensor::dense_vector("B", &[1.0, 10.0, 100.0, 1000.0]);
+/// let mut kernel = Kernel::new();
+/// kernel.bind_input(&a).bind_input(&b).bind_output_scalar("C");
+/// let i = idx("i");
+/// let program = forall(i.clone(), add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))));
+///
+/// let mut compiled = kernel.compile(&program)?.with_step_budget(1_000_000);
+/// assert_eq!(compiled.engine(), Engine::Bytecode);      // the default
+/// let fast = compiled.run()?;                           // bytecode VM
+/// let oracle = compiled.run_with(Engine::TreeWalk)?;    // semantics oracle
+/// assert_eq!(fast, oracle);                             // identical work counters
+/// # Ok(()) }
+/// ```
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     code: Vec<Stmt>,
+    bytecode: Program,
     names: Names,
     bufs: BufferSet,
     outputs: HashMap<String, OutputBinding>,
     source: String,
     program: String,
+    engine: Engine,
+    step_budget: Option<u64>,
 }
 
 impl CompiledKernel {
@@ -151,20 +219,95 @@ impl CompiledKernel {
         &self.code
     }
 
-    /// Re-initialise the outputs and execute the kernel, returning the
-    /// interpreter's work counters.
+    /// The compiled bytecode (for structural assertions and debugging).
+    pub fn bytecode(&self) -> &Program {
+        &self.bytecode
+    }
+
+    /// The engine [`CompiledKernel::run`] dispatches to.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Select the engine used by subsequent [`CompiledKernel::run`] calls.
+    pub fn set_engine(&mut self, engine: Engine) -> &mut Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Builder-style variant of [`CompiledKernel::set_engine`].
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured step budget, if any.
+    pub fn step_budget(&self) -> Option<u64> {
+        self.step_budget
+    }
+
+    /// Bound the number of executed statements on either engine; a run that
+    /// exceeds the budget aborts with [`RuntimeError::StepBudgetExceeded`].
+    /// Useful to guard long-running kernels (or miscompiled non-terminating
+    /// code) at the call site.
+    pub fn set_step_budget(&mut self, budget: u64) -> &mut Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
+    /// Builder-style variant of [`CompiledKernel::set_step_budget`].
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
+    /// Remove a previously configured step budget.
+    pub fn clear_step_budget(&mut self) -> &mut Self {
+        self.step_budget = None;
+        self
+    }
+
+    /// Re-initialise the outputs and execute the kernel on the selected
+    /// engine (the bytecode VM unless changed), returning the engine's work
+    /// counters.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] if the generated code faults (which the
-    /// test suite treats as a compiler bug).
+    /// test suite treats as a compiler bug) or exceeds the step budget.
     pub fn run(&mut self) -> Result<ExecStats, RuntimeError> {
+        self.run_with(self.engine)
+    }
+
+    /// Re-initialise the outputs and execute the kernel on an explicitly
+    /// chosen engine, leaving the configured default untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] under the same conditions as
+    /// [`CompiledKernel::run`].
+    pub fn run_with(&mut self, engine: Engine) -> Result<ExecStats, RuntimeError> {
         for out in self.outputs.values() {
             self.bufs.get_mut(out.buf).fill(Value::Float(out.init))?;
         }
-        let mut interp = Interpreter::new(&self.names);
-        interp.run(&self.code, &mut self.bufs)?;
-        Ok(interp.stats())
+        match engine {
+            Engine::Bytecode => {
+                let mut vm = Vm::new(&self.bytecode);
+                if let Some(budget) = self.step_budget {
+                    vm = vm.with_step_budget(budget);
+                }
+                vm.run(&self.bytecode, &mut self.bufs)?;
+                Ok(vm.stats())
+            }
+            Engine::TreeWalk => {
+                let mut interp = Interpreter::new(&self.names);
+                if let Some(budget) = self.step_budget {
+                    interp = interp.with_step_budget(budget);
+                }
+                interp.run(&self.code, &mut self.bufs)?;
+                Ok(interp.stats())
+            }
+        }
     }
 
     /// The contents of a named output after the last run.
@@ -196,10 +339,7 @@ mod tests {
         let i = idx("i");
         let program = forall(
             i.clone(),
-            add_assign(
-                scalar("C"),
-                mul(access(a.name(), [i.clone()]), access(b.name(), [i])),
-            ),
+            add_assign(scalar("C"), mul(access(a.name(), [i.clone()]), access(b.name(), [i]))),
         );
         kernel.compile(&program).expect("dot product compiles")
     }
@@ -285,9 +425,8 @@ mod tests {
     fn spmv_over_csr_matches_reference() {
         let nrows = 5;
         let ncols = 7;
-        let data: Vec<f64> = (0..nrows * ncols)
-            .map(|k| if k % 3 == 0 { (k % 11) as f64 } else { 0.0 })
-            .collect();
+        let data: Vec<f64> =
+            (0..nrows * ncols).map(|k| if k % 3 == 0 { (k % 11) as f64 } else { 0.0 }).collect();
         let xv: Vec<f64> = (0..ncols).map(|k| (k as f64) - 2.5).collect();
         let a = Tensor::csr_matrix("A", nrows, ncols, &data);
         let x = Tensor::dense_vector("x", &xv);
@@ -331,7 +470,10 @@ mod tests {
         let i = idx("i");
         let program = forall(i.clone(), add_assign(access("A", [i]), lit(1.0)));
         let err = kernel.compile(&program).unwrap_err();
-        assert!(matches!(err, CompileError::UnsupportedWrite { .. } | CompileError::UnknownTensor { .. }));
+        assert!(matches!(
+            err,
+            CompileError::UnsupportedWrite { .. } | CompileError::UnknownTensor { .. }
+        ));
     }
 
     #[test]
@@ -341,15 +483,77 @@ mod tests {
         let mut kernel = Kernel::new();
         kernel.bind_input(&a).bind_output_scalar("C");
         let (i, j) = (idx("i"), idx("j"));
-        let program = forall(
-            i.clone(),
-            forall(j.clone(), add_assign(scalar("C"), access("A", [j, i]))),
-        );
+        let program =
+            forall(i.clone(), forall(j.clone(), add_assign(scalar("C"), access("A", [j, i]))));
         let err = kernel.compile(&program).unwrap_err();
         assert!(
-            matches!(err, CompileError::NonConcordantAccess { .. } | CompileError::CannotInferExtent { .. }),
+            matches!(
+                err,
+                CompileError::NonConcordantAccess { .. } | CompileError::CannotInferExtent { .. }
+            ),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn bytecode_engine_is_the_default() {
+        let a = Tensor::dense_vector("A", &[1.0, 2.0]);
+        let b = Tensor::dense_vector("B", &[3.0, 4.0]);
+        let k = dot_product(&a, &b);
+        assert_eq!(k.engine(), Engine::Bytecode);
+        assert!(k.bytecode().validate().is_ok(), "compiled bytecode validates");
+    }
+
+    #[test]
+    fn engines_agree_on_outputs_and_stats() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::band_vector("B", &bv);
+        let mut k = dot_product(&a, &b);
+        let fast = k.run_with(Engine::Bytecode).unwrap();
+        let fast_out = k.output_scalar("C").unwrap();
+        let oracle = k.run_with(Engine::TreeWalk).unwrap();
+        let oracle_out = k.output_scalar("C").unwrap();
+        assert_eq!(fast, oracle, "work counters must be identical");
+        assert_eq!(fast_out.to_bits(), oracle_out.to_bits(), "outputs must be bit-identical");
+    }
+
+    #[test]
+    fn set_engine_redirects_run() {
+        let a = Tensor::dense_vector("A", &[1.0, 2.0]);
+        let b = Tensor::dense_vector("B", &[3.0, 4.0]);
+        let mut k = dot_product(&a, &b);
+        k.set_engine(Engine::TreeWalk);
+        assert_eq!(k.engine(), Engine::TreeWalk);
+        k.run().unwrap();
+        assert_eq!(k.output_scalar("C"), Some(11.0));
+        let k2 = k.clone().with_engine(Engine::Bytecode);
+        assert_eq!(k2.engine(), Engine::Bytecode);
+    }
+
+    #[test]
+    fn step_budget_applies_to_both_engines() {
+        let a = Tensor::dense_vector("A", &[1.0; 64]);
+        let b = Tensor::dense_vector("B", &[2.0; 64]);
+        let mut k = dot_product(&a, &b).with_step_budget(3);
+        for engine in [Engine::Bytecode, Engine::TreeWalk] {
+            let err = k.run_with(engine).unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::StepBudgetExceeded { budget: 3 }),
+                "{engine:?}: got {err:?}"
+            );
+        }
+        k.clear_step_budget();
+        assert_eq!(k.step_budget(), None);
+        k.run().unwrap();
+    }
+
+    #[test]
+    fn engine_labels_are_stable() {
+        assert_eq!(Engine::Bytecode.label(), "bytecode");
+        assert_eq!(Engine::TreeWalk.label(), "tree_walk");
+        assert_eq!(Engine::default(), Engine::Bytecode);
     }
 
     #[test]

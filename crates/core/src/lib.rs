@@ -7,7 +7,9 @@
 //! (`finch-looplets`), progressively lowering the nests with
 //! style-resolved looplet lowerers, simplifying with **rewrite rules**
 //! (`finch-rewrite`), and emitting an imperative **target IR** (`finch-ir`)
-//! that is pretty-printed and executed by an instrumented interpreter.
+//! that is pretty-printed, compiled to a flat register **bytecode**, and
+//! executed by an instrumented register VM (the tree-walking interpreter is
+//! retained as a semantics oracle — see [`Engine`]).
 //!
 //! The workflow mirrors the paper's Figure 1:
 //!
@@ -46,11 +48,13 @@ mod kernel;
 mod lower;
 
 pub use error::CompileError;
-pub use kernel::{CompiledKernel, Kernel};
+pub use kernel::{CompiledKernel, Engine, Kernel};
 
 // Re-export the surface language, formats and runtime types.
 pub use finch_cin::build;
-pub use finch_cin::{Access, CinExpr, CinOp, CinStmt, IndexExpr, IndexVar, Protocol, Reduction, TensorRef};
+pub use finch_cin::{
+    Access, CinExpr, CinOp, CinStmt, IndexExpr, IndexVar, Protocol, Reduction, TensorRef,
+};
 pub use finch_formats::{BoundTensor, Level, Tensor, TensorError};
 pub use finch_ir::{ExecStats, RuntimeError, Value};
 pub use finch_looplets as looplets;

@@ -65,7 +65,10 @@ pub(crate) fn driven_by(access: &Access, index: &IndexVar, ctx: &LowerCtx) -> bo
 
 /// Unfurl one access for a `forall` over its first unconsumed index,
 /// producing the placeholder key and the access state.
-pub(crate) fn unfurl_access(access: &Access, ctx: &mut LowerCtx) -> Result<AccessState, CompileError> {
+pub(crate) fn unfurl_access(
+    access: &Access,
+    ctx: &mut LowerCtx,
+) -> Result<AccessState, CompileError> {
     let name = access.tensor.name().to_string();
     // Identify the tensor, the level to unfurl, and the fiber position.
     let (tensor_name, level, pos) = if LowerCtx::is_placeholder(&name) {
@@ -146,12 +149,14 @@ pub(crate) fn substitute_placeholders(
     table: &[(Access, String)],
 ) -> finch_cin::CinStmt {
     body.map_exprs(&mut |e| match e {
-        finch_cin::CinExpr::Access(a) => table.iter().find(|(orig, _)| orig == a).map(|(_, key)| {
-            finch_cin::CinExpr::Access(Access {
-                tensor: TensorRef::new(key.clone()),
-                indices: a.indices[1..].to_vec(),
+        finch_cin::CinExpr::Access(a) => {
+            table.iter().find(|(orig, _)| orig == a).map(|(_, key)| {
+                finch_cin::CinExpr::Access(Access {
+                    tensor: TensorRef::new(key.clone()),
+                    indices: a.indices[1..].to_vec(),
+                })
             })
-        }),
+        }
         _ => None,
     })
 }
@@ -162,9 +167,9 @@ pub(crate) fn substitute_resolved(
     table: &[(String, finch_cin::CinExpr)],
 ) -> finch_cin::CinStmt {
     body.map_exprs(&mut |e| match e {
-        finch_cin::CinExpr::Access(a) =>
-
-            table.iter().find(|(key, _)| a.tensor.name() == key).map(|(_, repl)| repl.clone()),
+        finch_cin::CinExpr::Access(a) => {
+            table.iter().find(|(key, _)| a.tensor.name() == key).map(|(_, repl)| repl.clone())
+        }
         _ => None,
     })
 }

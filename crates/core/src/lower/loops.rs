@@ -8,7 +8,8 @@ use finch_looplets::{Looplet, Stepped, Style};
 
 use crate::error::CompileError;
 use crate::lower::access::{
-    driven_by, mentions_key, substitute_placeholders, substitute_resolved, unfurl_access, AccessState,
+    driven_by, mentions_key, substitute_placeholders, substitute_resolved, unfurl_access,
+    AccessState,
 };
 use crate::lower::statements::lower_stmt;
 use crate::lower::{FiberHandle, LowerCtx};
@@ -281,7 +282,8 @@ fn lower_run(state: LoopState, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, CompileE
 
 fn lower_spike(state: LoopState, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, CompileError> {
     let ext = state.ext.clone();
-    let body_ext = Extent::new(ext.lo.clone(), Expr::sub(ext.hi.clone(), Expr::int(1)).simplified());
+    let body_ext =
+        Extent::new(ext.lo.clone(), Expr::sub(ext.hi.clone(), Expr::int(1)).simplified());
     let tail_ext = Extent::point(ext.hi.clone());
 
     let mut body_state = state.clone();
@@ -342,11 +344,10 @@ fn lower_pipeline(state: LoopState, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, Com
         // The phase ends at its declared stride (translated into loop
         // coordinates), clipped to the enclosing region.
         let stop_expr = match (&phase.stride, is_last) {
-            (Some(stride), _) => Expr::min(
-                Expr::add(stride.clone(), shift_k.clone()).simplified(),
-                ext.hi.clone(),
-            )
-            .simplified(),
+            (Some(stride), _) => {
+                Expr::min(Expr::add(stride.clone(), shift_k.clone()).simplified(), ext.hi.clone())
+                    .simplified()
+            }
             (None, _) => ext.hi.clone(),
         };
         let stop = ctx.names.fresh("phase_stop");
@@ -371,10 +372,8 @@ fn lower_pipeline(state: LoopState, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, Com
         if is_last && branch_stmts.is_empty() {
             continue;
         }
-        branch_stmts.push(Stmt::Assign {
-            var: cur,
-            value: Expr::add(Expr::Var(stop), Expr::int(1)),
-        });
+        branch_stmts
+            .push(Stmt::Assign { var: cur, value: Expr::add(Expr::Var(stop), Expr::int(1)) });
         out.push(Stmt::if_then(Expr::le(Expr::Var(cur), Expr::Var(stop)), branch_stmts));
     }
     Ok(out)
@@ -384,7 +383,11 @@ fn lower_pipeline(state: LoopState, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, Com
 // Stepper / Jumper lowerer (paper §6.1 "Steppers" and "Jumpers")
 // ---------------------------------------------------------------------------
 
-fn lower_stepped(state: LoopState, ctx: &mut LowerCtx, jumper: bool) -> Result<Vec<Stmt>, CompileError> {
+fn lower_stepped(
+    state: LoopState,
+    ctx: &mut LowerCtx,
+    jumper: bool,
+) -> Result<Vec<Stmt>, CompileError> {
     let wanted = if jumper { Style::Jumper } else { Style::Stepper };
     let participants: Vec<usize> = state
         .accesses

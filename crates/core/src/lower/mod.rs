@@ -112,7 +112,9 @@ impl LowerCtx {
     pub fn output(&self, name: &str) -> Result<&OutputBinding, CompileError> {
         match self.bindings.get(name) {
             Some(Binding::Output(o)) => Ok(o),
-            Some(Binding::Input(_)) => Err(CompileError::UnsupportedWrite { name: name.to_string() }),
+            Some(Binding::Input(_)) => {
+                Err(CompileError::UnsupportedWrite { name: name.to_string() })
+            }
             None => Err(CompileError::UnknownTensor { name: name.to_string() }),
         }
     }
@@ -147,11 +149,8 @@ impl LowerCtx {
         if Self::is_placeholder(name) {
             // A placeholder that survived to expression resolution still has
             // unconsumed indices: the loop order cannot drive it.
-            let original = self
-                .fibers
-                .get(name)
-                .map(|h| h.tensor.clone())
-                .unwrap_or_else(|| name.to_string());
+            let original =
+                self.fibers.get(name).map(|h| h.tensor.clone()).unwrap_or_else(|| name.to_string());
             return Err(CompileError::NonConcordantAccess { name: original });
         }
         match self.bindings.get(name) {
@@ -186,7 +185,9 @@ impl LowerCtx {
                 finch_cin::IndexExpr::Var { index, .. } => self.index_expr(index)?,
                 _ => {
                     return Err(CompileError::Unsupported {
-                        detail: format!("index modifiers are not supported on dense access `{name}`"),
+                        detail: format!(
+                            "index modifiers are not supported on dense access `{name}`"
+                        ),
                     })
                 }
             };

@@ -39,7 +39,9 @@ pub(crate) fn lower_stmt(stmt: &CinStmt, ctx: &mut LowerCtx) -> Result<Vec<Stmt>
                         out.extend(init_output(ob.buf, ob.len(), ob.init, ctx));
                     }
                     Some(Binding::Input(_)) => {
-                        return Err(CompileError::UnsupportedWrite { name: result.name().to_string() })
+                        return Err(CompileError::UnsupportedWrite {
+                            name: result.name().to_string(),
+                        })
                     }
                     None => {
                         return Err(CompileError::UnknownTensor { name: result.name().to_string() })
@@ -50,7 +52,9 @@ pub(crate) fn lower_stmt(stmt: &CinStmt, ctx: &mut LowerCtx) -> Result<Vec<Stmt>
             out.extend(lower_stmt(consumer, ctx)?);
             Ok(out)
         }
-        CinStmt::Forall { index, extent, body } => loops::lower_forall(index, extent.as_ref(), body, ctx),
+        CinStmt::Forall { index, extent, body } => {
+            loops::lower_forall(index, extent.as_ref(), body, ctx)
+        }
         CinStmt::Assign { lhs, reduction, rhs } => {
             let out = ctx.output(lhs.tensor.name())?.clone();
             let pos = if out.shape.is_empty() {
@@ -69,7 +73,12 @@ pub(crate) fn lower_stmt(stmt: &CinStmt, ctx: &mut LowerCtx) -> Result<Vec<Stmt>
 }
 
 /// Emit code that fills an output buffer with its initial value.
-pub(crate) fn init_output(buf: finch_ir::BufId, len: usize, init: f64, ctx: &mut LowerCtx) -> Vec<Stmt> {
+pub(crate) fn init_output(
+    buf: finch_ir::BufId,
+    len: usize,
+    init: f64,
+    ctx: &mut LowerCtx,
+) -> Vec<Stmt> {
     if len == 1 {
         return vec![Stmt::Store {
             buf,

@@ -116,7 +116,11 @@ fn zero_regions_are_deleted_not_executed() {
     let mut k = dot(&a, &b, Protocol::Walk, Protocol::Default);
     let stats = k.run().expect("runs");
     assert_eq!(k.output_scalar("C"), Some(0.0));
-    assert!(stats.loop_iters <= 1, "zero band should produce no iteration: {stats:?}\n{}", k.code());
+    assert!(
+        stats.loop_iters <= 1,
+        "zero band should produce no iteration: {stats:?}\n{}",
+        k.code()
+    );
 }
 
 #[test]

@@ -23,13 +23,8 @@ impl Tensor {
             }
         }
         let pos = vec![0, idx.len() as i64];
-        Tensor::new(
-            name,
-            vec![Level::SparseList { size: data.len(), pos, idx }],
-            vals,
-            0.0,
-        )
-        .expect("sparse list conversion is well-formed")
+        Tensor::new(name, vec![Level::SparseList { size: data.len(), pos, idx }], vals, 0.0)
+            .expect("sparse list conversion is well-formed")
     }
 
     /// A sparse-band vector: stores the (single) contiguous range spanning
@@ -57,13 +52,8 @@ impl Tensor {
     /// group of nonzeros as one dense block.
     pub fn vbl_vector(name: impl Into<String>, data: &[f64]) -> Self {
         let (pos, idx, ofs, vals) = vbl_rows(&[data.to_vec()]);
-        Tensor::new(
-            name,
-            vec![Level::SparseVbl { size: data.len(), pos, idx, ofs }],
-            vals,
-            0.0,
-        )
-        .expect("vbl conversion is well-formed")
+        Tensor::new(name, vec![Level::SparseVbl { size: data.len(), pos, idx, ofs }], vals, 0.0)
+            .expect("vbl conversion is well-formed")
     }
 
     /// A run-length-encoded vector: stores one value per maximal run of
@@ -142,7 +132,8 @@ impl Tensor {
     /// Panics when `data.len() != nrows * ncols`.
     pub fn vbl_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
-        let rows: Vec<Vec<f64>> = (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
         let (pos, idx, ofs, vals) = vbl_rows(&rows);
         Tensor::new(
             name,
@@ -192,7 +183,8 @@ impl Tensor {
     /// Panics when `data.len() != nrows * ncols`.
     pub fn rle_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
-        let rows: Vec<Vec<f64>> = (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
         let (pos, idx, vals) = rle_rows(&rows);
         Tensor::new(
             name,
@@ -208,9 +200,15 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics when `data.len() != nrows * ncols`.
-    pub fn packbits_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+    pub fn packbits_matrix(
+        name: impl Into<String>,
+        nrows: usize,
+        ncols: usize,
+        data: &[f64],
+    ) -> Self {
         assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
-        let rows: Vec<Vec<f64>> = (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..nrows).map(|r| data[r * ncols..(r + 1) * ncols].to_vec()).collect();
         let (pos, idx, ofs, vals) = packbits_rows(&rows, 3);
         Tensor::new(
             name,
@@ -226,7 +224,12 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics when `data.len() != nrows * ncols`.
-    pub fn bitmap_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+    pub fn bitmap_matrix(
+        name: impl Into<String>,
+        nrows: usize,
+        ncols: usize,
+        data: &[f64],
+    ) -> Self {
         assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
         let tbl: Vec<bool> = data.iter().map(|&v| v != 0.0).collect();
         Tensor::new(
@@ -280,7 +283,12 @@ impl Tensor {
     /// # Panics
     ///
     /// Panics when `data.len() != nrows * ncols`.
-    pub fn ragged_matrix(name: impl Into<String>, nrows: usize, ncols: usize, data: &[f64]) -> Self {
+    pub fn ragged_matrix(
+        name: impl Into<String>,
+        nrows: usize,
+        ncols: usize,
+        data: &[f64],
+    ) -> Self {
         assert_eq!(data.len(), nrows * ncols, "dense matrix data must match its shape");
         let mut pos = vec![0i64];
         let mut vals = Vec::new();

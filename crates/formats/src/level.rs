@@ -263,7 +263,9 @@ impl Level {
     pub fn stored_in_fiber(&self, p: usize) -> usize {
         match self {
             Level::Dense { size } => *size,
-            Level::Bitmap { size, tbl } => tbl[p * size..(p + 1) * size].iter().filter(|&&b| b).count(),
+            Level::Bitmap { size, tbl } => {
+                tbl[p * size..(p + 1) * size].iter().filter(|&&b| b).count()
+            }
             Level::SparseList { pos, .. }
             | Level::SparseBand { pos, .. }
             | Level::Ragged { pos, .. } => (pos[p + 1] - pos[p]) as usize,

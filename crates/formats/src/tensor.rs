@@ -229,7 +229,11 @@ impl Tensor {
                     if tbl.len() != nfibers * size {
                         return Err(TensorError::BadPositions {
                             level: k,
-                            detail: format!("bytemap has {} entries, expected {}", tbl.len(), nfibers * size),
+                            detail: format!(
+                                "bytemap has {} entries, expected {}",
+                                tbl.len(),
+                                nfibers * size
+                            ),
                         });
                     }
                 }
@@ -324,7 +328,10 @@ fn check_pos(level: usize, pos: &[i64], nfibers: usize) -> Result<(), TensorErro
         });
     }
     if pos.windows(2).any(|w| w[1] < w[0]) || pos[0] != 0 {
-        return Err(TensorError::BadPositions { level, detail: "pos is not monotonic from 0".into() });
+        return Err(TensorError::BadPositions {
+            level,
+            detail: "pos is not monotonic from 0".into(),
+        });
     }
     Ok(())
 }
@@ -341,7 +348,12 @@ fn check_pos_bound(level: usize, pos: &[i64], len: usize) -> Result<(), TensorEr
     }
 }
 
-fn check_sorted_coords(level: usize, pos: &[i64], idx: &[i64], size: usize) -> Result<(), TensorError> {
+fn check_sorted_coords(
+    level: usize,
+    pos: &[i64],
+    idx: &[i64],
+    size: usize,
+) -> Result<(), TensorError> {
     check_pos_bound(level, pos, idx.len())?;
     for p in 0..pos.len() - 1 {
         let (lo, hi) = (pos[p] as usize, pos[p + 1] as usize);

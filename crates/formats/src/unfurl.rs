@@ -32,12 +32,17 @@ impl BoundTensor {
         names: &mut Names,
     ) -> Nest {
         assert!(level < self.ndim(), "level {level} out of range");
-        let fill = || Looplet::Run { body: Box::new(Looplet::Leaf(UnfurlLeaf::Value(self.fill_expr()))) };
+        let fill =
+            || Looplet::Run { body: Box::new(Looplet::Leaf(UnfurlLeaf::Value(self.fill_expr()))) };
         match self.levels()[level].clone() {
             BoundLevel::Dense { size } => self.unfurl_dense(level, parent_pos, size, names),
-            BoundLevel::Bitmap { size, tbl } => self.unfurl_bitmap(level, parent_pos, size, tbl, names),
+            BoundLevel::Bitmap { size, tbl } => {
+                self.unfurl_bitmap(level, parent_pos, size, tbl, names)
+            }
             BoundLevel::SparseList { size: _, pos, idx } => match protocol {
-                Protocol::Gallop => self.unfurl_list_gallop(level, parent_pos, pos, idx, names, fill()),
+                Protocol::Gallop => {
+                    self.unfurl_list_gallop(level, parent_pos, pos, idx, names, fill())
+                }
                 Protocol::Locate if level + 1 == self.ndim() => {
                     self.unfurl_list_locate(level, parent_pos, pos, idx, names)
                 }
@@ -55,20 +60,27 @@ impl BoundTensor {
             BoundLevel::PackBits { size: _, pos, idx, ofs } => {
                 self.unfurl_packbits(level, parent_pos, pos, idx, ofs, names)
             }
-            BoundLevel::Triangular { size: _ } => self.unfurl_triangular(level, parent_pos, names, fill()),
+            BoundLevel::Triangular { size: _ } => {
+                self.unfurl_triangular(level, parent_pos, names, fill())
+            }
             BoundLevel::Symmetric { size: _ } => self.unfurl_symmetric(level, parent_pos, names),
-            BoundLevel::Ragged { size: _, pos } => self.unfurl_ragged(level, parent_pos, pos, names, fill()),
+            BoundLevel::Ragged { size: _, pos } => {
+                self.unfurl_ragged(level, parent_pos, pos, names, fill())
+            }
         }
     }
 
     /// Figure 6b: a locate protocol for a dense level.
-    fn unfurl_dense(&self, level: usize, parent_pos: &Expr, size: usize, names: &mut Names) -> Nest {
+    fn unfurl_dense(
+        &self,
+        level: usize,
+        parent_pos: &Expr,
+        size: usize,
+        names: &mut Names,
+    ) -> Nest {
         let j = names.fresh(&format!("{}_j{}", self.name(), level));
-        let pos = Expr::add(
-            Expr::mul(parent_pos.clone(), Expr::int(size as i64)),
-            Expr::Var(j),
-        )
-        .simplified();
+        let pos = Expr::add(Expr::mul(parent_pos.clone(), Expr::int(size as i64)), Expr::Var(j))
+            .simplified();
         Looplet::Lookup { var: j, body: Box::new(Looplet::Leaf(self.child_leaf(level, pos))) }
     }
 
@@ -83,17 +95,12 @@ impl BoundTensor {
         names: &mut Names,
     ) -> Nest {
         let j = names.fresh(&format!("{}_j{}", self.name(), level));
-        let pos = Expr::add(
-            Expr::mul(parent_pos.clone(), Expr::int(size as i64)),
-            Expr::Var(j),
-        )
-        .simplified();
+        let pos = Expr::add(Expr::mul(parent_pos.clone(), Expr::int(size as i64)), Expr::Var(j))
+            .simplified();
         let leaf = match self.child_leaf(level, pos.clone()) {
-            UnfurlLeaf::Value(value) => UnfurlLeaf::Value(Expr::select(
-                Expr::load(tbl, pos),
-                value,
-                self.fill_expr(),
-            )),
+            UnfurlLeaf::Value(value) => {
+                UnfurlLeaf::Value(Expr::select(Expr::load(tbl, pos), value, self.fill_expr()))
+            }
             sub => sub,
         };
         Looplet::Lookup { var: j, body: Box::new(Looplet::Leaf(leaf)) }
@@ -357,10 +364,8 @@ impl BoundTensor {
             Expr::int(0),
         );
         let run_value = self.child_leaf(level, Expr::load(ofs, Expr::Var(p)));
-        let literal_pos = Expr::add(
-            Expr::load(ofs, Expr::Var(p)),
-            Expr::sub(Expr::Var(j), seg_start),
-        );
+        let literal_pos =
+            Expr::add(Expr::load(ofs, Expr::Var(p)), Expr::sub(Expr::Var(j), seg_start));
         let switch = Looplet::Switch {
             cases: vec![
                 Case {
@@ -398,7 +403,13 @@ impl BoundTensor {
     }
 
     /// Figure 3a: packed lower-triangular storage.
-    fn unfurl_triangular(&self, level: usize, parent_pos: &Expr, names: &mut Names, fill: Nest) -> Nest {
+    fn unfurl_triangular(
+        &self,
+        level: usize,
+        parent_pos: &Expr,
+        names: &mut Names,
+        fill: Nest,
+    ) -> Nest {
         let j = names.fresh(&format!("{}_j{}", self.name(), level));
         let offset = triangle_offset(parent_pos);
         let pos = Expr::add(offset, Expr::Var(j));
@@ -542,7 +553,10 @@ mod tests {
 
     #[test]
     fn sparse_list_walk_matches_the_paper_shape() {
-        let t = Tensor::sparse_list_vector("A", &[0.0, 1.9, 0.0, 3.0, 2.7, 0.0, 0.0, 0.0, 5.5, 0.0, 0.0]);
+        let t = Tensor::sparse_list_vector(
+            "A",
+            &[0.0, 1.9, 0.0, 3.0, 2.7, 0.0, 0.0, 0.0, 5.5, 0.0, 0.0],
+        );
         let (nest, _) = unfurl_inner(&t, Protocol::Walk);
         // Pipeline(Phase(Thunk(Stepper(Spike(Run, tail)))), Phase(Run))
         let text = format!("{nest}");
@@ -595,7 +609,8 @@ mod tests {
 
     #[test]
     fn packbits_unfurls_into_a_stepper_of_switches() {
-        let t = Tensor::packbits_vector("P", &[1.0, 1.0, 1.0, 1.0, 9.0, 7.0, 2.0, 2.0, 2.0, 2.0, 3.0]);
+        let t =
+            Tensor::packbits_vector("P", &[1.0, 1.0, 1.0, 1.0, 9.0, 7.0, 2.0, 2.0, 2.0, 2.0, 3.0]);
         let (nest, _) = unfurl_inner(&t, Protocol::Default);
         let text = format!("{nest}");
         assert!(text.starts_with("Thunk(Stepper(Switch(Case(Run("), "got {text}");

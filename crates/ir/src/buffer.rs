@@ -80,7 +80,12 @@ impl Buffer {
     ///
     /// Returns an error when the value cannot be represented in the buffer's
     /// element type (including storing `Missing`).
-    pub fn store(&mut self, i: usize, value: Value, reduce: Option<BinOp>) -> Result<(), RuntimeError> {
+    pub fn store(
+        &mut self,
+        i: usize,
+        value: Value,
+        reduce: Option<BinOp>,
+    ) -> Result<(), RuntimeError> {
         let value = match reduce {
             Some(op) => Value::binop(op, self.load(i), value)?,
             None => value,

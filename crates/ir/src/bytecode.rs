@@ -1,0 +1,917 @@
+//! A flat register bytecode compiled from the target IR.
+//!
+//! The tree-walking interpreter in [`crate::interp`] pays pointer-chasing and
+//! enum-dispatch overhead for every IR node it revisits.  This module
+//! compiles a lowered [`Stmt`] tree *once* into a flat instruction stream
+//! with resolved jump offsets; the register VM in [`crate::vm`] then executes
+//! it in a tight dispatch loop over unboxed typed registers.
+//!
+//! Design notes:
+//!
+//! * **Registers, not a stack.**  Every IR variable owns the register with
+//!   its own [`Var`] index; expression temporaries are allocated above the
+//!   variables with a LIFO discipline, so the compiled program knows the
+//!   exact register-file size up front.
+//! * **Resolved jumps.**  Structured control flow (`if`/`while`/`for`,
+//!   short-circuit `&&`/`||`, `select`, `coalesce`) becomes conditional
+//!   jumps whose absolute targets are patched in a single pass; there is no
+//!   label table left at runtime.
+//! * **Stats parity.**  The instruction stream reproduces the tree-walker's
+//!   [`crate::interp::ExecStats`] exactly: a [`Instr::BumpStmt`] is emitted
+//!   per source statement, loop heads count `loop_iters`, loads/stores are
+//!   counted by the memory instructions, and the looplet `seek` lowers to
+//!   the dedicated [`Instr::Seek`] instruction which counts one search plus
+//!   one load per probe, exactly like the interpreter's binary search.
+//!
+//! Evaluation-order subtleties that the compiler preserves bit-for-bit:
+//! `&&`/`||` only evaluate their right operand when the left is `true`
+//! (resp. `false`) *or missing*; `select` and `if` treat a missing condition
+//! as false; `coalesce` stops evaluating at the first non-missing argument;
+//! `for` bounds are coerced to integers in evaluation order (`lo` before
+//! `hi` is even evaluated); a `store`'s index is coerced before the stored
+//! value is evaluated.
+
+use std::fmt;
+
+use crate::buffer::BufId;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::stmt::Stmt;
+use crate::value::Value;
+use crate::var::{Names, Var};
+
+/// A register of the bytecode VM, identified by a dense index.
+///
+/// Registers `0..num_vars` belong to the IR variables (the register index
+/// equals [`Var::index`]); higher registers are expression temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub(crate) u32);
+
+impl Reg {
+    /// The dense index of this register in the VM's register file.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Placeholder jump target used during compilation, patched before the
+/// [`Program`] is returned.  [`Program::validate`] checks none survive.
+const PENDING: u32 = u32::MAX;
+
+/// One bytecode instruction.
+///
+/// Jump targets are absolute instruction indices.  Every instruction either
+/// falls through to the next instruction or transfers control to its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Count one executed statement and enforce the step budget.  Emitted
+    /// once per source [`Stmt`], before the statement's own code.
+    BumpStmt,
+    /// `dst = consts[cidx]`.
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// Index into the program's constant pool.
+        cidx: u32,
+    },
+    /// `dst = src`.  Reading an unset register is an error (this is how an
+    /// unbound variable read surfaces).
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst = len(buf)` as an integer.
+    BufLen {
+        /// Destination register.
+        dst: Reg,
+        /// The buffer whose length is taken.
+        buf: BufId,
+    },
+    /// `dst = buf[idx]`.  A missing index yields missing (the `permit`
+    /// semantics); otherwise the index is coerced to an integer, bounds are
+    /// checked, and one load is counted.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// The buffer read from.
+        buf: BufId,
+        /// Register holding the element index.
+        idx: Reg,
+    },
+    /// Coerce the register to an integer in place (the interpreter's
+    /// `Value::as_int`): booleans widen, integral floats convert, anything
+    /// else (including missing) is a type error.
+    CoerceInt {
+        /// The register coerced.
+        reg: Reg,
+    },
+    /// `buf[idx] reduce= val` (plain store when `reduce` is `None`).  The
+    /// index register must already hold an integer (the compiler emits
+    /// [`Instr::CoerceInt`] first); bounds are checked and one store is
+    /// counted.
+    Store {
+        /// The destination buffer.
+        buf: BufId,
+        /// Register holding the (already integer) element index.
+        idx: Reg,
+        /// Register holding the stored value.
+        val: Reg,
+        /// Reduction operator (`Some(Add)` means `+=`).
+        reduce: Option<BinOp>,
+    },
+    /// `dst = op src`.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Destination register.
+        dst: Reg,
+        /// Operand register.
+        src: Reg,
+    },
+    /// `dst = lhs op rhs`.  `&&`/`||` appearing here are the *non*
+    /// short-circuit completion of the branchy lowering (both operands are
+    /// already evaluated).
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Jump when the register is falsy.  A missing value jumps when
+    /// `strict` is false (`if`/`select` semantics) and raises a type error
+    /// when `strict` is true.
+    JumpIfFalse {
+        /// The register tested.
+        src: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+        /// Whether a missing condition is a type error instead of false.
+        strict: bool,
+    },
+    /// Jump when the register is truthy; a missing value falls through.
+    /// Used by the short-circuit lowering of `||`.
+    JumpIfTrue {
+        /// The register tested.
+        src: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Jump when the register holds missing (short-circuit `&&`/`||`).
+    JumpIfMissing {
+        /// The register tested.
+        src: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// Jump when the register holds a non-missing value (`coalesce`).
+    JumpIfNotMissing {
+        /// The register tested.
+        src: Reg,
+        /// Absolute target instruction index.
+        target: u32,
+    },
+    /// `while` loop head: test the (strictly boolean-coercible) condition;
+    /// when true count one loop iteration and fall through into the body,
+    /// otherwise jump to `end`.
+    WhileTest {
+        /// Register holding the just-evaluated condition.
+        cond: Reg,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// `for` loop head: when `counter <= hi` (both already integers) count
+    /// one loop iteration, publish the counter into the loop variable's
+    /// register, and fall through; otherwise jump to `end`.
+    ForTest {
+        /// Register holding the hidden loop counter.
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// The loop variable's register, set to the counter each iteration.
+        var: Reg,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// `for` loop back-edge: increment the counter and jump to `test`.
+    ForStep {
+        /// Register holding the hidden loop counter.
+        counter: Reg,
+        /// Absolute index of the loop's [`Instr::ForTest`].
+        test: u32,
+    },
+    /// The looplet `seek`: lower-bound binary search for `key` over
+    /// `buf[lo..=hi]` (bounds and key already integers), writing the first
+    /// position with `buf[p] >= key` (or `hi + 1`) into `dst`.  Counts one
+    /// search plus one load per probe, exactly like the tree-walker.
+    Seek {
+        /// Destination register for the found position.
+        dst: Reg,
+        /// The sorted coordinate buffer searched.
+        buf: BufId,
+        /// Register holding the inclusive lower candidate position.
+        lo: Reg,
+        /// Register holding the inclusive upper candidate position.
+        hi: Reg,
+        /// Register holding the key searched for.
+        key: Reg,
+        /// Compare against `abs(buf[p])` (PackBits stores negated markers).
+        on_abs: bool,
+    },
+}
+
+/// A compiled bytecode program: the instruction stream, its constant pool,
+/// and the register-file layout.
+///
+/// Obtain one with [`Program::compile`] and execute it with
+/// [`crate::vm::Vm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    code: Vec<Instr>,
+    consts: Vec<Value>,
+    var_names: Vec<String>,
+    num_regs: usize,
+}
+
+impl Program {
+    /// Compile a lowered IR program into bytecode.
+    ///
+    /// `names` must be the same table the program's variables were created
+    /// from (it sizes the variable portion of the register file and
+    /// provides names for error messages).
+    pub fn compile(stmts: &[Stmt], names: &Names) -> Program {
+        let mut c = Compiler {
+            code: Vec::new(),
+            consts: Vec::new(),
+            num_vars: names.len(),
+            next_temp: 0,
+            max_temps: 0,
+        };
+        for s in stmts {
+            c.stmt(s);
+        }
+        debug_assert_eq!(c.next_temp, 0, "temp registers must be freed LIFO");
+        Program {
+            code: c.code,
+            consts: c.consts,
+            var_names: names.iter().map(|v| names.name(v).to_string()).collect(),
+            num_regs: c.num_vars + c.max_temps as usize,
+        }
+    }
+
+    /// The instruction stream.
+    pub fn code(&self) -> &[Instr] {
+        &self.code
+    }
+
+    /// The constant pool.
+    pub fn consts(&self) -> &[Value] {
+        &self.consts
+    }
+
+    /// Total number of registers the VM must allocate.
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// Number of registers owned by IR variables (the low registers).
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The printed name of a register: the variable's name for variable
+    /// registers, a synthetic `tN` for temporaries.
+    pub fn reg_name(&self, reg: Reg) -> String {
+        match self.var_names.get(reg.index()) {
+            Some(n) => n.clone(),
+            None => format!("t{}", reg.index() - self.var_names.len()),
+        }
+    }
+
+    /// Check structural invariants: every jump target is resolved and in
+    /// range, every register index fits the register file, and every
+    /// constant index is in the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let len = self.code.len() as u32;
+        let check_target = |pc: usize, t: u32| -> Result<(), String> {
+            if t == PENDING {
+                return Err(format!("unresolved jump at pc {pc}"));
+            }
+            if t > len {
+                return Err(format!("jump at pc {pc} targets {t}, past the end ({len})"));
+            }
+            Ok(())
+        };
+        let check_reg = |pc: usize, r: Reg| -> Result<(), String> {
+            if r.index() >= self.num_regs {
+                return Err(format!(
+                    "instruction at pc {pc} uses register {r} outside the file of {}",
+                    self.num_regs
+                ));
+            }
+            Ok(())
+        };
+        for (pc, instr) in self.code.iter().enumerate() {
+            match *instr {
+                Instr::BumpStmt => {}
+                Instr::Const { dst, cidx } => {
+                    check_reg(pc, dst)?;
+                    if cidx as usize >= self.consts.len() {
+                        return Err(format!("constant {cidx} at pc {pc} outside the pool"));
+                    }
+                }
+                Instr::Mov { dst, src } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, src)?;
+                }
+                Instr::BufLen { dst, .. } => check_reg(pc, dst)?,
+                Instr::Load { dst, idx, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, idx)?;
+                }
+                Instr::CoerceInt { reg } => check_reg(pc, reg)?,
+                Instr::Store { idx, val, .. } => {
+                    check_reg(pc, idx)?;
+                    check_reg(pc, val)?;
+                }
+                Instr::Unary { dst, src, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, src)?;
+                }
+                Instr::Binary { dst, lhs, rhs, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                }
+                Instr::Jump { target } => check_target(pc, target)?,
+                Instr::JumpIfFalse { src, target, .. }
+                | Instr::JumpIfTrue { src, target }
+                | Instr::JumpIfMissing { src, target }
+                | Instr::JumpIfNotMissing { src, target } => {
+                    check_reg(pc, src)?;
+                    check_target(pc, target)?;
+                }
+                Instr::WhileTest { cond, end } => {
+                    check_reg(pc, cond)?;
+                    check_target(pc, end)?;
+                }
+                Instr::ForTest { counter, hi, var, end } => {
+                    check_reg(pc, counter)?;
+                    check_reg(pc, hi)?;
+                    check_reg(pc, var)?;
+                    check_target(pc, end)?;
+                }
+                Instr::ForStep { counter, test } => {
+                    check_reg(pc, counter)?;
+                    check_target(pc, test)?;
+                }
+                Instr::Seek { dst, lo, hi, key, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lo)?;
+                    check_reg(pc, hi)?;
+                    check_reg(pc, key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A one-instruction-per-line disassembly, for debugging and tests.
+    pub fn disasm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (pc, instr) in self.code.iter().enumerate() {
+            let _ = writeln!(out, "{pc:4}: {instr:?}");
+        }
+        out
+    }
+}
+
+/// The Stmt/Expr → bytecode compiler.
+struct Compiler {
+    code: Vec<Instr>,
+    consts: Vec<Value>,
+    num_vars: usize,
+    next_temp: u32,
+    max_temps: u32,
+}
+
+impl Compiler {
+    fn emit(&mut self, instr: Instr) -> usize {
+        self.code.push(instr);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Resolve the pending jump target of the instruction at `at`.
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Instr::Jump { target: t }
+            | Instr::JumpIfFalse { target: t, .. }
+            | Instr::JumpIfTrue { target: t, .. }
+            | Instr::JumpIfMissing { target: t, .. }
+            | Instr::JumpIfNotMissing { target: t, .. } => *t = target,
+            Instr::WhileTest { end, .. } | Instr::ForTest { end, .. } => *end = target,
+            other => unreachable!("patching non-jump instruction {other:?}"),
+        }
+    }
+
+    fn var_reg(&self, var: Var) -> Reg {
+        Reg(var.index() as u32)
+    }
+
+    fn alloc(&mut self) -> Reg {
+        let r = Reg((self.num_vars as u32) + self.next_temp);
+        self.next_temp += 1;
+        self.max_temps = self.max_temps.max(self.next_temp);
+        r
+    }
+
+    fn free(&mut self, n: u32) {
+        debug_assert!(self.next_temp >= n);
+        self.next_temp -= n;
+    }
+
+    fn const_idx(&mut self, v: Value) -> u32 {
+        // Dedupe bit-exactly: `Value`'s derived `PartialEq` conflates -0.0
+        // with 0.0 (and never matches NaN), but the pool must reproduce the
+        // literal the tree-walker evaluates, bit for bit.
+        let same = |a: &Value, b: &Value| match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        };
+        match self.consts.iter().position(|c| same(c, &v)) {
+            Some(k) => k as u32,
+            None => {
+                self.consts.push(v);
+                (self.consts.len() - 1) as u32
+            }
+        }
+    }
+
+    fn emit_const(&mut self, dst: Reg, v: Value) {
+        let cidx = self.const_idx(v);
+        self.emit(Instr::Const { dst, cidx });
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.emit(Instr::BumpStmt);
+        match s {
+            Stmt::Comment(_) => {}
+            Stmt::Let { var, init } | Stmt::Assign { var, value: init } => {
+                let dst = self.var_reg(*var);
+                if init.mentions(*var) {
+                    // A self-referential initialiser (e.g. `p = p + 1` with a
+                    // multi-write expression) must not clobber the variable
+                    // before the expression finishes reading it.
+                    let t = self.alloc();
+                    self.expr(init, t);
+                    self.emit(Instr::Mov { dst, src: t });
+                    self.free(1);
+                } else {
+                    self.expr(init, dst);
+                }
+            }
+            Stmt::Store { buf, index, value, reduce } => {
+                let ti = self.alloc();
+                self.expr(index, ti);
+                // The tree-walker coerces the index before evaluating the
+                // stored value; keep that order for error parity.
+                self.emit(Instr::CoerceInt { reg: ti });
+                let tv = self.alloc();
+                self.expr(value, tv);
+                self.emit(Instr::Store { buf: *buf, idx: ti, val: tv, reduce: *reduce });
+                self.free(2);
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let tc = self.alloc();
+                self.expr(cond, tc);
+                let jf = self.emit(Instr::JumpIfFalse { src: tc, target: PENDING, strict: false });
+                self.free(1);
+                for s in then_branch {
+                    self.stmt(s);
+                }
+                if else_branch.is_empty() {
+                    let here = self.here();
+                    self.patch(jf, here);
+                } else {
+                    let jend = self.emit(Instr::Jump { target: PENDING });
+                    let here = self.here();
+                    self.patch(jf, here);
+                    for s in else_branch {
+                        self.stmt(s);
+                    }
+                    let here = self.here();
+                    self.patch(jend, here);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let test = self.here();
+                let tc = self.alloc();
+                self.expr(cond, tc);
+                let wt = self.emit(Instr::WhileTest { cond: tc, end: PENDING });
+                self.free(1);
+                for s in body {
+                    self.stmt(s);
+                }
+                self.emit(Instr::Jump { target: test });
+                let here = self.here();
+                self.patch(wt, here);
+            }
+            Stmt::For { var, lo, hi, body } => {
+                // A hidden counter register drives the loop so that body
+                // assignments to the loop variable cannot derail iteration,
+                // matching the tree-walker's private `i`.
+                let counter = self.alloc();
+                self.expr(lo, counter);
+                self.emit(Instr::CoerceInt { reg: counter });
+                let thi = self.alloc();
+                self.expr(hi, thi);
+                self.emit(Instr::CoerceInt { reg: thi });
+                let test = self.here();
+                let ft = self.emit(Instr::ForTest {
+                    counter,
+                    hi: thi,
+                    var: self.var_reg(*var),
+                    end: PENDING,
+                });
+                for s in body {
+                    self.stmt(s);
+                }
+                self.emit(Instr::ForStep { counter, test });
+                let here = self.here();
+                self.patch(ft, here);
+                self.free(2);
+            }
+            Stmt::Block(body) => {
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+        }
+    }
+
+    /// Compile an expression, leaving its value in `dst`.
+    ///
+    /// Operand sub-expressions always evaluate into fresh temporaries, so
+    /// `dst` is only ever written by this node itself (`select`, `coalesce`
+    /// and the short-circuit operators write it once per control-flow path).
+    fn expr(&mut self, e: &Expr, dst: Reg) {
+        match e {
+            Expr::Lit(v) => self.emit_const(dst, *v),
+            Expr::Var(v) => {
+                let src = self.var_reg(*v);
+                self.emit(Instr::Mov { dst, src });
+            }
+            Expr::BufLen(b) => {
+                self.emit(Instr::BufLen { dst, buf: *b });
+            }
+            Expr::Load { buf, index } => {
+                let t = self.alloc();
+                self.expr(index, t);
+                self.emit(Instr::Load { dst, buf: *buf, idx: t });
+                self.free(1);
+            }
+            Expr::Unary { op, arg } => {
+                let t = self.alloc();
+                self.expr(arg, t);
+                self.emit(Instr::Unary { op: *op, dst, src: t });
+                self.free(1);
+            }
+            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                // a && b: a non-missing false short-circuits to false; a
+                // missing still evaluates b (missing && b == missing).
+                let ta = self.alloc();
+                self.expr(lhs, ta);
+                let jm = self.emit(Instr::JumpIfMissing { src: ta, target: PENDING });
+                let jf = self.emit(Instr::JumpIfFalse { src: ta, target: PENDING, strict: false });
+                let rhs_at = self.here();
+                self.patch(jm, rhs_at);
+                let tb = self.alloc();
+                self.expr(rhs, tb);
+                self.emit(Instr::Binary { op: BinOp::And, dst, lhs: ta, rhs: tb });
+                self.free(1);
+                let jend = self.emit(Instr::Jump { target: PENDING });
+                let false_at = self.here();
+                self.patch(jf, false_at);
+                self.emit_const(dst, Value::Bool(false));
+                let end = self.here();
+                self.patch(jend, end);
+                self.free(1);
+            }
+            Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+                // a || b: a non-missing true short-circuits to true; a
+                // missing still evaluates b (missing || b == missing).
+                let ta = self.alloc();
+                self.expr(lhs, ta);
+                let jm = self.emit(Instr::JumpIfMissing { src: ta, target: PENDING });
+                let jt = self.emit(Instr::JumpIfTrue { src: ta, target: PENDING });
+                let rhs_at = self.here();
+                self.patch(jm, rhs_at);
+                let tb = self.alloc();
+                self.expr(rhs, tb);
+                self.emit(Instr::Binary { op: BinOp::Or, dst, lhs: ta, rhs: tb });
+                self.free(1);
+                let jend = self.emit(Instr::Jump { target: PENDING });
+                let true_at = self.here();
+                self.patch(jt, true_at);
+                self.emit_const(dst, Value::Bool(true));
+                let end = self.here();
+                self.patch(jend, end);
+                self.free(1);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let ta = self.alloc();
+                self.expr(lhs, ta);
+                let tb = self.alloc();
+                self.expr(rhs, tb);
+                self.emit(Instr::Binary { op: *op, dst, lhs: ta, rhs: tb });
+                self.free(2);
+            }
+            Expr::Select { cond, then, otherwise } => {
+                let tc = self.alloc();
+                self.expr(cond, tc);
+                let jf = self.emit(Instr::JumpIfFalse { src: tc, target: PENDING, strict: false });
+                self.free(1);
+                self.expr(then, dst);
+                let jend = self.emit(Instr::Jump { target: PENDING });
+                let else_at = self.here();
+                self.patch(jf, else_at);
+                self.expr(otherwise, dst);
+                let end = self.here();
+                self.patch(jend, end);
+            }
+            Expr::Coalesce(args) => {
+                if args.is_empty() {
+                    self.emit_const(dst, Value::Missing);
+                    return;
+                }
+                let mut exits = Vec::new();
+                for (k, a) in args.iter().enumerate() {
+                    self.expr(a, dst);
+                    if k + 1 < args.len() {
+                        exits
+                            .push(self.emit(Instr::JumpIfNotMissing { src: dst, target: PENDING }));
+                    }
+                }
+                let end = self.here();
+                for j in exits {
+                    self.patch(j, end);
+                }
+            }
+            Expr::Search { buf, lo, hi, key, on_abs } => {
+                let tlo = self.alloc();
+                self.expr(lo, tlo);
+                self.emit(Instr::CoerceInt { reg: tlo });
+                let thi = self.alloc();
+                self.expr(hi, thi);
+                self.emit(Instr::CoerceInt { reg: thi });
+                let tkey = self.alloc();
+                self.expr(key, tkey);
+                self.emit(Instr::CoerceInt { reg: tkey });
+                self.emit(Instr::Seek {
+                    dst,
+                    buf: *buf,
+                    lo: tlo,
+                    hi: thi,
+                    key: tkey,
+                    on_abs: *on_abs,
+                });
+                self.free(3);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, BufferSet};
+
+    fn compile(stmts: &[Stmt], names: &Names) -> Program {
+        let p = Program::compile(stmts, names);
+        p.validate().expect("compiled program validates");
+        p
+    }
+
+    /// Nested `for` inside `if` inside `while`: every jump offset must be
+    /// resolved, in range, and land where the structure demands.
+    #[test]
+    fn jump_resolution_on_nested_if_while_for() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let p = names.fresh("p");
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::Let { var: p, init: Expr::int(0) },
+            Stmt::While {
+                cond: Expr::lt(Expr::Var(p), Expr::int(3)),
+                body: vec![
+                    Stmt::If {
+                        cond: Expr::eq(Expr::Var(p), Expr::int(1)),
+                        then_branch: vec![Stmt::For {
+                            var: i,
+                            lo: Expr::int(0),
+                            hi: Expr::int(4),
+                            body: vec![Stmt::Store {
+                                buf: out,
+                                index: Expr::int(0),
+                                value: Expr::Var(i),
+                                reduce: Some(BinOp::Add),
+                            }],
+                        }],
+                        else_branch: vec![Stmt::Comment("skip".into())],
+                    },
+                    Stmt::Assign { var: p, value: Expr::add(Expr::Var(p), Expr::int(1)) },
+                ],
+            },
+        ];
+        let program = compile(&prog, &names);
+        // Structure probes beyond validate(): the while's back-edge jumps to
+        // the first instruction of its condition, and the for's ForStep
+        // jumps to its ForTest.
+        let code = program.code();
+        let (mut saw_while, mut saw_for) = (false, false);
+        for (pc, instr) in code.iter().enumerate() {
+            match *instr {
+                Instr::WhileTest { end, .. } => {
+                    saw_while = true;
+                    assert!((end as usize) > pc, "while end must be forward");
+                    assert_eq!(end as usize, code.len(), "while is the outermost loop");
+                }
+                Instr::ForStep { test, .. } => {
+                    saw_for = true;
+                    assert!(matches!(code[test as usize], Instr::ForTest { .. }));
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_while && saw_for);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let prog = vec![
+            Stmt::Let { var: a, init: Expr::int(0) },
+            Stmt::if_then(Expr::bool(true), vec![Stmt::Assign { var: a, value: Expr::int(1) }]),
+            Stmt::Assign { var: a, value: Expr::add(Expr::Var(a), Expr::int(10)) },
+        ];
+        let program = compile(&prog, &names);
+        let jf = program
+            .code()
+            .iter()
+            .find_map(|i| match i {
+                Instr::JumpIfFalse { target, .. } => Some(*target),
+                _ => None,
+            })
+            .expect("if compiles to a conditional jump");
+        // The else-less if jumps past the then-branch, into the trailing
+        // statement (which begins with its BumpStmt).
+        assert!(matches!(program.code()[jf as usize], Instr::BumpStmt));
+    }
+
+    #[test]
+    fn short_circuit_and_or_compile_to_branches() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let prog = vec![Stmt::Let {
+            var: a,
+            init: Expr::binary(
+                BinOp::Or,
+                Expr::binary(BinOp::And, Expr::bool(true), Expr::bool(false)),
+                Expr::bool(true),
+            ),
+        }];
+        let program = compile(&prog, &names);
+        let jumps = program
+            .code()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Instr::JumpIfMissing { .. }
+                        | Instr::JumpIfFalse { .. }
+                        | Instr::JumpIfTrue { .. }
+                )
+            })
+            .count();
+        assert!(jumps >= 4, "and/or should branch:\n{}", program.disasm());
+    }
+
+    #[test]
+    fn search_compiles_to_seek_with_coerced_operands() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let idx = bufs.add("idx", Buffer::I64(vec![1, 3, 5]));
+        let a = names.fresh("a");
+        let prog = vec![Stmt::Let {
+            var: a,
+            init: Expr::Search {
+                buf: idx,
+                lo: Box::new(Expr::int(0)),
+                hi: Box::new(Expr::int(2)),
+                key: Box::new(Expr::int(4)),
+                on_abs: false,
+            },
+        }];
+        let program = compile(&prog, &names);
+        let seeks = program.code().iter().filter(|i| matches!(i, Instr::Seek { .. })).count();
+        let coercions =
+            program.code().iter().filter(|i| matches!(i, Instr::CoerceInt { .. })).count();
+        assert_eq!(seeks, 1);
+        assert_eq!(coercions, 3, "lo, hi and key are all coerced");
+    }
+
+    #[test]
+    fn constant_pool_deduplicates() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let b = names.fresh("b");
+        let prog = vec![
+            Stmt::Let { var: a, init: Expr::int(7) },
+            Stmt::Let { var: b, init: Expr::add(Expr::int(7), Expr::int(7)) },
+        ];
+        let program = compile(&prog, &names);
+        assert_eq!(program.consts().len(), 1);
+    }
+
+    #[test]
+    fn constant_pool_keeps_negative_zero_distinct() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let b = names.fresh("b");
+        let prog = vec![
+            Stmt::Let { var: a, init: Expr::float(0.0) },
+            Stmt::Let { var: b, init: Expr::float(-0.0) },
+        ];
+        let program = compile(&prog, &names);
+        assert_eq!(program.consts().len(), 2, "-0.0 must not be interned as 0.0");
+        let bits: Vec<u64> = program
+            .consts()
+            .iter()
+            .map(|c| match c {
+                Value::Float(x) => x.to_bits(),
+                _ => panic!("expected float constants"),
+            })
+            .collect();
+        assert!(bits.contains(&0.0f64.to_bits()) && bits.contains(&(-0.0f64).to_bits()));
+    }
+
+    #[test]
+    fn register_file_is_sized_for_vars_plus_temps() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let deep = Expr::add(
+            Expr::add(Expr::int(1), Expr::int(2)),
+            Expr::add(Expr::int(3), Expr::add(Expr::int(4), Expr::int(5))),
+        );
+        let prog = vec![Stmt::Let { var: a, init: deep }];
+        let program = compile(&prog, &names);
+        assert_eq!(program.num_vars(), 1);
+        assert!(program.num_regs() > program.num_vars());
+        assert!(program.num_regs() <= 1 + 6, "LIFO reuse keeps the file small");
+    }
+
+    #[test]
+    fn reg_names_cover_vars_and_temps() {
+        let mut names = Names::new();
+        let a = names.fresh("acc");
+        let prog = vec![Stmt::Let { var: a, init: Expr::add(Expr::int(1), Expr::int(2)) }];
+        let program = compile(&prog, &names);
+        assert_eq!(program.reg_name(Reg(0)), "acc");
+        assert!(program.reg_name(Reg(1)).starts_with('t'));
+    }
+
+    #[test]
+    fn disasm_lists_every_instruction() {
+        let names = Names::new();
+        let prog = vec![Stmt::Comment("hi".into())];
+        let program = compile(&prog, &names);
+        assert_eq!(program.disasm().lines().count(), program.code().len());
+    }
+}

@@ -295,11 +295,9 @@ impl Expr {
             Expr::Lit(_) | Expr::Var(_) | Expr::BufLen(_) => self.clone(),
             Expr::Load { buf, index } => Expr::Load { buf: *buf, index: Box::new(index.map(f)) },
             Expr::Unary { op, arg } => Expr::Unary { op: *op, arg: Box::new(arg.map(f)) },
-            Expr::Binary { op, lhs, rhs } => Expr::Binary {
-                op: *op,
-                lhs: Box::new(lhs.map(f)),
-                rhs: Box::new(rhs.map(f)),
-            },
+            Expr::Binary { op, lhs, rhs } => {
+                Expr::Binary { op: *op, lhs: Box::new(lhs.map(f)), rhs: Box::new(rhs.map(f)) }
+            }
             Expr::Select { cond, then, otherwise } => Expr::Select {
                 cond: Box::new(cond.map(f)),
                 then: Box::new(then.map(f)),

@@ -250,11 +250,7 @@ impl Interpreter {
 
     fn read_var(&self, var: Var) -> Result<Value, RuntimeError> {
         self.env[var.index()].ok_or_else(|| RuntimeError::UnboundVariable {
-            name: self
-                .var_names
-                .get(var.index())
-                .cloned()
-                .unwrap_or_else(|| format!("{var}")),
+            name: self.var_names.get(var.index()).cloned().unwrap_or_else(|| format!("{var}")),
         })
     }
 
@@ -359,7 +355,12 @@ mod tests {
             var: i,
             lo: Expr::int(5),
             hi: Expr::int(2),
-            body: vec![Stmt::Store { buf: out, index: Expr::int(0), value: Expr::int(1), reduce: None }],
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::int(1),
+                reduce: None,
+            }],
         }];
         let mut interp = Interpreter::new(&names);
         interp.run(&prog, &mut bufs).unwrap();
@@ -399,7 +400,8 @@ mod tests {
     #[test]
     fn step_budget_catches_infinite_loops() {
         let (names, mut bufs) = setup();
-        let prog = vec![Stmt::While { cond: Expr::bool(true), body: vec![Stmt::Comment("spin".into())] }];
+        let prog =
+            vec![Stmt::While { cond: Expr::bool(true), body: vec![Stmt::Comment("spin".into())] }];
         let mut interp = Interpreter::new(&names).with_step_budget(1000);
         let err = interp.run(&prog, &mut bufs).unwrap_err();
         assert!(matches!(err, RuntimeError::StepBudgetExceeded { .. }));

@@ -7,10 +7,15 @@
 //! imperative IR defined in this crate, which can be
 //!
 //! * pretty-printed as readable pseudo-Rust (see [`pretty`]), reproducing the
-//!   code listings of the paper's Figures 1 and 6, and
+//!   code listings of the paper's Figures 1 and 6,
 //! * executed directly by the interpreter in [`interp`], which also counts
 //!   the work performed (loop iterations, loads, stores, binary searches) so
-//!   that the paper's *asymptotic* claims can be checked in tests.
+//!   that the paper's *asymptotic* claims can be checked in tests, and
+//! * compiled once to a flat register [`bytecode`] and executed by the
+//!   register VM in [`vm`] — the default execution engine, which maintains
+//!   the same work counters in a tight dispatch loop over unboxed typed
+//!   registers.  The tree-walker is retained as the semantics oracle the
+//!   bytecode engine is differential-tested against.
 //!
 //! The IR is deliberately tiny: scalar [`Value`]s, named [`Var`]iables,
 //! expressions ([`Expr`]) over typed flat [`Buffer`]s, and structured
@@ -51,6 +56,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod buffer;
+pub mod bytecode;
 pub mod error;
 pub mod expr;
 pub mod interp;
@@ -59,11 +65,14 @@ pub mod pretty;
 pub mod stmt;
 pub mod value;
 pub mod var;
+pub mod vm;
 
 pub use buffer::{BufId, Buffer, BufferSet};
+pub use bytecode::{Instr, Program, Reg};
 pub use error::RuntimeError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use interp::{ExecStats, Interpreter};
 pub use stmt::{Extent, Stmt};
 pub use value::{Value, ValueKind};
 pub use var::{Names, Var};
+pub use vm::Vm;

@@ -59,7 +59,11 @@ fn hoist_stmt(stmt: &Stmt, names: &mut Names) -> Stmt {
 }
 
 /// Split a loop body into hoisted `let` statements and the rewritten body.
-fn hoist_loop_body(body: &[Stmt], loop_var: Option<Var>, names: &mut Names) -> (Vec<Stmt>, Vec<Stmt>) {
+fn hoist_loop_body(
+    body: &[Stmt],
+    loop_var: Option<Var>,
+    names: &mut Names,
+) -> (Vec<Stmt>, Vec<Stmt>) {
     // Variables assigned anywhere in the body (plus the loop variable) make
     // an expression loop-variant.
     let mut defined: HashSet<Var> = HashSet::new();

@@ -185,21 +185,17 @@ impl Stmt {
             Stmt::Comment(_) => self.clone(),
             Stmt::Let { var, init } => Stmt::Let { var: *var, init: f(init) },
             Stmt::Assign { var, value } => Stmt::Assign { var: *var, value: f(value) },
-            Stmt::Store { buf, index, value, reduce } => Stmt::Store {
-                buf: *buf,
-                index: f(index),
-                value: f(value),
-                reduce: *reduce,
-            },
+            Stmt::Store { buf, index, value, reduce } => {
+                Stmt::Store { buf: *buf, index: f(index), value: f(value), reduce: *reduce }
+            }
             Stmt::If { cond, then_branch, else_branch } => Stmt::If {
                 cond: f(cond),
                 then_branch: then_branch.iter().map(|s| s.map_exprs(f)).collect(),
                 else_branch: else_branch.iter().map(|s| s.map_exprs(f)).collect(),
             },
-            Stmt::While { cond, body } => Stmt::While {
-                cond: f(cond),
-                body: body.iter().map(|s| s.map_exprs(f)).collect(),
-            },
+            Stmt::While { cond, body } => {
+                Stmt::While { cond: f(cond), body: body.iter().map(|s| s.map_exprs(f)).collect() }
+            }
             Stmt::For { var, lo, hi, body } => Stmt::For {
                 var: *var,
                 lo: f(lo),

@@ -91,10 +91,7 @@ impl Value {
             Value::Int(x) => Ok(x),
             Value::Bool(b) => Ok(b as i64),
             Value::Float(x) if x.fract() == 0.0 => Ok(x as i64),
-            other => Err(RuntimeError::TypeMismatch {
-                expected: "integer",
-                found: other.kind(),
-            }),
+            other => Err(RuntimeError::TypeMismatch { expected: "integer", found: other.kind() }),
         }
     }
 
@@ -108,10 +105,9 @@ impl Value {
             Value::Int(x) => Ok(x as f64),
             Value::Float(x) => Ok(x),
             Value::Bool(b) => Ok(if b { 1.0 } else { 0.0 }),
-            Value::Missing => Err(RuntimeError::TypeMismatch {
-                expected: "float",
-                found: ValueKind::Missing,
-            }),
+            Value::Missing => {
+                Err(RuntimeError::TypeMismatch { expected: "float", found: ValueKind::Missing })
+            }
         }
     }
 
@@ -128,10 +124,9 @@ impl Value {
             Value::Bool(b) => Ok(b),
             Value::Int(x) => Ok(x != 0),
             Value::Float(x) => Ok(x != 0.0),
-            Value::Missing => Err(RuntimeError::TypeMismatch {
-                expected: "bool",
-                found: ValueKind::Missing,
-            }),
+            Value::Missing => {
+                Err(RuntimeError::TypeMismatch { expected: "bool", found: ValueKind::Missing })
+            }
         }
     }
 

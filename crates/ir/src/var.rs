@@ -63,11 +63,7 @@ impl Names {
             .iter()
             .filter(|n| n.as_str() == prefix || n.starts_with(&format!("{prefix}_")))
             .count();
-        let name = if count == 0 {
-            prefix.to_string()
-        } else {
-            format!("{prefix}_{}", count + 1)
-        };
+        let name = if count == 0 { prefix.to_string() } else { format!("{prefix}_{}", count + 1) };
         let id = self.names.len() as u32;
         self.names.push(name);
         Var(id)

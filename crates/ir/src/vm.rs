@@ -1,0 +1,892 @@
+//! The register VM that executes compiled [`Program`]s.
+//!
+//! Where the tree-walker re-traverses `Stmt`/`Expr` nodes and keeps its
+//! environment as `Vec<Option<Value>>`, the VM runs a flat instruction
+//! stream over an *unboxed* register file: parallel int/float/bool lanes
+//! selected by a one-byte tag, so the hot loop never allocates and scalar
+//! fast paths skip [`Value`] dispatch entirely.
+//!
+//! The VM maintains [`ExecStats`] identically to the interpreter — same
+//! counters, same increments in the same places — so the two engines can be
+//! differential-tested for bit-identical outputs *and* work counters (see
+//! `tests/proptests.rs` at the workspace root).
+
+use crate::buffer::{BufId, Buffer, BufferSet};
+use crate::bytecode::{Instr, Program, Reg};
+use crate::error::RuntimeError;
+use crate::expr::BinOp;
+use crate::interp::ExecStats;
+use crate::value::{Value, ValueKind};
+use crate::var::Var;
+
+/// The runtime type tag of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    /// Never written (reading it is an unbound-variable error).
+    Unset,
+    /// The int lane holds the value.
+    Int,
+    /// The float lane holds the value.
+    Float,
+    /// The bool lane holds the value.
+    Bool,
+    /// The `missing` marker (no lane payload).
+    Missing,
+}
+
+/// A register virtual machine for compiled bytecode.
+///
+/// The VM owns the register file; buffers are passed to [`Vm::run`] so the
+/// same program can execute repeatedly against different data — mirroring
+/// [`crate::interp::Interpreter`]'s API.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    tags: Vec<Tag>,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Vec<bool>,
+    stats: ExecStats,
+    step_budget: Option<u64>,
+}
+
+impl Vm {
+    /// Create a VM with a register file sized for `program`.
+    pub fn new(program: &Program) -> Self {
+        let n = program.num_regs();
+        Vm {
+            tags: vec![Tag::Unset; n],
+            ints: vec![0; n],
+            floats: vec![0.0; n],
+            bools: vec![false; n],
+            stats: ExecStats::default(),
+            step_budget: None,
+        }
+    }
+
+    /// Limit the number of executed statements; exceeding the budget aborts
+    /// execution with [`RuntimeError::StepBudgetExceeded`].
+    pub fn with_step_budget(mut self, budget: u64) -> Self {
+        self.step_budget = Some(budget);
+        self
+    }
+
+    /// The work counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Reset the work counters and the register file.
+    pub fn reset(&mut self) {
+        self.stats = ExecStats::default();
+        self.tags.iter_mut().for_each(|t| *t = Tag::Unset);
+    }
+
+    /// Read the current value of a variable after execution (useful in
+    /// tests and for debugging generated code).
+    pub fn var_value(&self, var: Var) -> Option<Value> {
+        self.get(Reg(var.index() as u32))
+    }
+
+    #[inline]
+    fn get(&self, r: Reg) -> Option<Value> {
+        let i = r.index();
+        match self.tags[i] {
+            Tag::Unset => None,
+            Tag::Int => Some(Value::Int(self.ints[i])),
+            Tag::Float => Some(Value::Float(self.floats[i])),
+            Tag::Bool => Some(Value::Bool(self.bools[i])),
+            Tag::Missing => Some(Value::Missing),
+        }
+    }
+
+    #[inline]
+    fn value(&self, r: Reg, program: &Program) -> Result<Value, RuntimeError> {
+        self.get(r).ok_or_else(|| RuntimeError::UnboundVariable { name: program.reg_name(r) })
+    }
+
+    #[inline]
+    fn set(&mut self, r: Reg, v: Value) {
+        let i = r.index();
+        match v {
+            Value::Int(x) => {
+                self.tags[i] = Tag::Int;
+                self.ints[i] = x;
+            }
+            Value::Float(x) => {
+                self.tags[i] = Tag::Float;
+                self.floats[i] = x;
+            }
+            Value::Bool(b) => {
+                self.tags[i] = Tag::Bool;
+                self.bools[i] = b;
+            }
+            Value::Missing => self.tags[i] = Tag::Missing,
+        }
+    }
+
+    #[inline]
+    fn set_int(&mut self, r: Reg, x: i64) {
+        let i = r.index();
+        self.tags[i] = Tag::Int;
+        self.ints[i] = x;
+    }
+
+    #[inline]
+    fn set_float(&mut self, r: Reg, x: f64) {
+        let i = r.index();
+        self.tags[i] = Tag::Float;
+        self.floats[i] = x;
+    }
+
+    #[inline]
+    fn set_bool(&mut self, r: Reg, b: bool) {
+        let i = r.index();
+        self.tags[i] = Tag::Bool;
+        self.bools[i] = b;
+    }
+
+    /// Truthiness of a register, `None` when missing (strict callers turn
+    /// that into a type error, lenient callers into `false`).
+    #[inline]
+    fn truthy(&self, r: Reg, program: &Program) -> Result<Option<bool>, RuntimeError> {
+        let i = r.index();
+        Ok(match self.tags[i] {
+            Tag::Bool => Some(self.bools[i]),
+            Tag::Int => Some(self.ints[i] != 0),
+            Tag::Float => Some(self.floats[i] != 0.0),
+            Tag::Missing => None,
+            Tag::Unset => return Err(RuntimeError::UnboundVariable { name: program.reg_name(r) }),
+        })
+    }
+
+    fn check_bounds(buf: BufId, idx: i64, bufs: &BufferSet) -> Result<(), RuntimeError> {
+        let len = bufs.get(buf).len();
+        if idx < 0 || idx as usize >= len {
+            return Err(RuntimeError::OutOfBounds {
+                buffer: bufs.name(buf).to_string(),
+                index: idx,
+                len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Execute a compiled program against the given buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on out-of-bounds accesses, type errors, or
+    /// when the step budget is exceeded — the same faults, in the same
+    /// order, as the tree-walking interpreter.
+    pub fn run(&mut self, program: &Program, bufs: &mut BufferSet) -> Result<(), RuntimeError> {
+        let code = program.code();
+        let mut pc = 0usize;
+        while let Some(instr) = code.get(pc) {
+            match *instr {
+                Instr::BumpStmt => {
+                    self.stats.stmts += 1;
+                    if let Some(budget) = self.step_budget {
+                        if self.stats.stmts > budget {
+                            return Err(RuntimeError::StepBudgetExceeded { budget });
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::Const { dst, cidx } => {
+                    self.set(dst, program.consts()[cidx as usize]);
+                    pc += 1;
+                }
+                Instr::Mov { dst, src } => {
+                    let (d, s) = (dst.index(), src.index());
+                    if self.tags[s] == Tag::Unset {
+                        return Err(RuntimeError::UnboundVariable { name: program.reg_name(src) });
+                    }
+                    self.tags[d] = self.tags[s];
+                    self.ints[d] = self.ints[s];
+                    self.floats[d] = self.floats[s];
+                    self.bools[d] = self.bools[s];
+                    pc += 1;
+                }
+                Instr::BufLen { dst, buf } => {
+                    self.set_int(dst, bufs.get(buf).len() as i64);
+                    pc += 1;
+                }
+                Instr::Load { dst, buf, idx } => {
+                    let i = idx.index();
+                    match self.tags[i] {
+                        // `A[missing] = missing` (paper §8, `permit`).
+                        Tag::Missing => {
+                            self.tags[dst.index()] = Tag::Missing;
+                            pc += 1;
+                            continue;
+                        }
+                        Tag::Unset => {
+                            return Err(RuntimeError::UnboundVariable {
+                                name: program.reg_name(idx),
+                            })
+                        }
+                        _ => {}
+                    }
+                    let at = if self.tags[i] == Tag::Int {
+                        self.ints[i]
+                    } else {
+                        self.value(idx, program)?.as_int()?
+                    };
+                    Self::check_bounds(buf, at, bufs)?;
+                    self.stats.loads += 1;
+                    match bufs.get(buf) {
+                        Buffer::I64(v) => self.set_int(dst, v[at as usize]),
+                        Buffer::F64(v) => self.set_float(dst, v[at as usize]),
+                        Buffer::U8(v) => self.set_float(dst, v[at as usize] as f64),
+                        Buffer::Bool(v) => self.set_bool(dst, v[at as usize]),
+                    }
+                    pc += 1;
+                }
+                Instr::CoerceInt { reg } => {
+                    let i = reg.index();
+                    match self.tags[i] {
+                        Tag::Int => {}
+                        Tag::Bool => {
+                            self.ints[i] = self.bools[i] as i64;
+                            self.tags[i] = Tag::Int;
+                        }
+                        Tag::Float if self.floats[i].fract() == 0.0 => {
+                            self.ints[i] = self.floats[i] as i64;
+                            self.tags[i] = Tag::Int;
+                        }
+                        Tag::Float => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "integer",
+                                found: ValueKind::Float,
+                            })
+                        }
+                        Tag::Missing => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "integer",
+                                found: ValueKind::Missing,
+                            })
+                        }
+                        Tag::Unset => {
+                            return Err(RuntimeError::UnboundVariable {
+                                name: program.reg_name(reg),
+                            })
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::Store { buf, idx, val, reduce } => {
+                    let at = self.ints[idx.index()];
+                    Self::check_bounds(buf, at, bufs)?;
+                    self.stats.stores += 1;
+                    let vi = val.index();
+                    // Fast path: float value into a float buffer under an
+                    // arithmetic reduction — the common accumulator shape.
+                    let arith = matches!(
+                        reduce,
+                        None | Some(
+                            BinOp::Add
+                                | BinOp::Sub
+                                | BinOp::Mul
+                                | BinOp::Div
+                                | BinOp::Min
+                                | BinOp::Max
+                        )
+                    );
+                    if self.tags[vi] == Tag::Float && arith {
+                        if let Buffer::F64(data) = bufs.get_mut(buf) {
+                            let x = self.floats[vi];
+                            let slot = &mut data[at as usize];
+                            match reduce {
+                                None => *slot = x,
+                                Some(BinOp::Add) => *slot += x,
+                                Some(BinOp::Sub) => *slot -= x,
+                                Some(BinOp::Mul) => *slot *= x,
+                                Some(BinOp::Div) => *slot /= x,
+                                Some(BinOp::Min) => *slot = slot.min(x),
+                                Some(BinOp::Max) => *slot = slot.max(x),
+                                Some(_) => unreachable!("filtered by `arith`"),
+                            }
+                            pc += 1;
+                            continue;
+                        }
+                    }
+                    let v = self.value(val, program)?;
+                    bufs.get_mut(buf).store(at as usize, v, reduce)?;
+                    pc += 1;
+                }
+                Instr::Unary { op, dst, src } => {
+                    let a = self.value(src, program)?;
+                    self.set(dst, Value::unop(op, a)?);
+                    pc += 1;
+                }
+                Instr::Binary { op, dst, lhs, rhs } => {
+                    self.binary(op, dst, lhs, rhs, program)?;
+                    pc += 1;
+                }
+                Instr::Jump { target } => pc = target as usize,
+                Instr::JumpIfFalse { src, target, strict } => {
+                    match self.truthy(src, program)? {
+                        Some(true) => pc += 1,
+                        Some(false) => pc = target as usize,
+                        // A missing condition selects the else branch
+                        // (coalesce-style defaulting), unless the construct
+                        // demands a real boolean.
+                        None if strict => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "bool",
+                                found: ValueKind::Missing,
+                            })
+                        }
+                        None => pc = target as usize,
+                    }
+                }
+                Instr::JumpIfTrue { src, target } => match self.truthy(src, program)? {
+                    Some(true) => pc = target as usize,
+                    _ => pc += 1,
+                },
+                Instr::JumpIfMissing { src, target } => {
+                    if self.tags[src.index()] == Tag::Missing {
+                        pc = target as usize;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Instr::JumpIfNotMissing { src, target } => {
+                    if self.tags[src.index()] == Tag::Missing {
+                        pc += 1;
+                    } else {
+                        pc = target as usize;
+                    }
+                }
+                Instr::WhileTest { cond, end } => match self.truthy(cond, program)? {
+                    Some(true) => {
+                        self.stats.loop_iters += 1;
+                        pc += 1;
+                    }
+                    Some(false) => pc = end as usize,
+                    None => {
+                        return Err(RuntimeError::TypeMismatch {
+                            expected: "bool",
+                            found: ValueKind::Missing,
+                        })
+                    }
+                },
+                Instr::ForTest { counter, hi, var, end } => {
+                    let i = self.ints[counter.index()];
+                    if i <= self.ints[hi.index()] {
+                        self.stats.loop_iters += 1;
+                        self.set_int(var, i);
+                        pc += 1;
+                    } else {
+                        pc = end as usize;
+                    }
+                }
+                Instr::ForStep { counter, test } => {
+                    self.ints[counter.index()] = self.ints[counter.index()].wrapping_add(1);
+                    pc = test as usize;
+                }
+                Instr::Seek { dst, buf, lo, hi, key, on_abs } => {
+                    let lo = self.ints[lo.index()];
+                    let hi = self.ints[hi.index()];
+                    let key = self.ints[key.index()];
+                    self.stats.searches += 1;
+                    let pos = self.binary_search(buf, lo, hi, key, on_abs, bufs)?;
+                    self.set_int(dst, pos);
+                    pc += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `dst = lhs op rhs` with unboxed fast paths for the int/int and
+    /// float/float cases; every other combination defers to [`Value::binop`]
+    /// so the semantics (promotion, missing propagation, truthiness) stay
+    /// byte-for-byte those of the tree-walker.
+    #[inline]
+    fn binary(
+        &mut self,
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs: Reg,
+        program: &Program,
+    ) -> Result<(), RuntimeError> {
+        use BinOp::*;
+        let (li, ri) = (lhs.index(), rhs.index());
+        match (self.tags[li], self.tags[ri]) {
+            (Tag::Int, Tag::Int) => {
+                let (x, y) = (self.ints[li], self.ints[ri]);
+                match op {
+                    Add => self.set_int(dst, x.wrapping_add(y)),
+                    Sub => self.set_int(dst, x.wrapping_sub(y)),
+                    Mul => self.set_int(dst, x.wrapping_mul(y)),
+                    Div => {
+                        if y == 0 {
+                            return Err(RuntimeError::DivisionByZero);
+                        }
+                        self.set_int(dst, x / y);
+                    }
+                    Min => self.set_int(dst, x.min(y)),
+                    Max => self.set_int(dst, x.max(y)),
+                    Eq => self.set_bool(dst, x == y),
+                    Ne => self.set_bool(dst, x != y),
+                    // Value::binop compares through f64; mirror it exactly.
+                    Lt => self.set_bool(dst, (x as f64) < (y as f64)),
+                    Le => self.set_bool(dst, (x as f64) <= (y as f64)),
+                    Gt => self.set_bool(dst, (x as f64) > (y as f64)),
+                    Ge => self.set_bool(dst, (x as f64) >= (y as f64)),
+                    And | Or => self
+                        .set_bool(dst, if op == And { x != 0 && y != 0 } else { x != 0 || y != 0 }),
+                }
+            }
+            (Tag::Float, Tag::Float) => {
+                let (x, y) = (self.floats[li], self.floats[ri]);
+                match op {
+                    Add => self.set_float(dst, x + y),
+                    Sub => self.set_float(dst, x - y),
+                    Mul => self.set_float(dst, x * y),
+                    Div => self.set_float(dst, x / y),
+                    Min => self.set_float(dst, x.min(y)),
+                    Max => self.set_float(dst, x.max(y)),
+                    Eq => self.set_bool(dst, x == y),
+                    Ne => self.set_bool(dst, x != y),
+                    Lt => self.set_bool(dst, x < y),
+                    Le => self.set_bool(dst, x <= y),
+                    Gt => self.set_bool(dst, x > y),
+                    Ge => self.set_bool(dst, x >= y),
+                    And | Or => {
+                        let (a, b) = (x != 0.0, y != 0.0);
+                        self.set_bool(dst, if op == And { a && b } else { a || b });
+                    }
+                }
+            }
+            _ => {
+                let a = self.value(lhs, program)?;
+                let b = self.value(rhs, program)?;
+                self.set(dst, Value::binop(op, a, b)?);
+            }
+        }
+        Ok(())
+    }
+
+    /// Lower-bound binary search over `buf[lo..=hi]`, identical to the
+    /// interpreter's: one bounds check and one counted load per probe.
+    fn binary_search(
+        &mut self,
+        buf: BufId,
+        lo: i64,
+        hi: i64,
+        key: i64,
+        on_abs: bool,
+        bufs: &BufferSet,
+    ) -> Result<i64, RuntimeError> {
+        let mut lo = lo;
+        let mut hi = hi + 1; // exclusive
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            Self::check_bounds(buf, mid, bufs)?;
+            self.stats.loads += 1;
+            let mut v = bufs.get(buf).load(mid as usize).as_int()?;
+            if on_abs {
+                v = v.abs();
+            }
+            if v < key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::interp::Interpreter;
+    use crate::stmt::Stmt;
+    use crate::var::Names;
+
+    fn run_both(
+        stmts: &[Stmt],
+        names: &Names,
+        bufs: &BufferSet,
+    ) -> (
+        Result<(), RuntimeError>,
+        ExecStats,
+        Result<(), RuntimeError>,
+        ExecStats,
+        BufferSet,
+        BufferSet,
+    ) {
+        let mut bufs_interp = bufs.clone();
+        let mut interp = Interpreter::new(names);
+        let ri = interp.run(stmts, &mut bufs_interp);
+
+        let program = Program::compile(stmts, names);
+        program.validate().expect("program validates");
+        let mut bufs_vm = bufs.clone();
+        let mut vm = Vm::new(&program);
+        let rv = vm.run(&program, &mut bufs_vm);
+        (ri, interp.stats(), rv, vm.stats(), bufs_interp, bufs_vm)
+    }
+
+    /// Assert the two engines agree on success/failure, stats, and buffers.
+    fn assert_parity(stmts: &[Stmt], names: &Names, bufs: &BufferSet) {
+        let (ri, si, rv, sv, bi, bv) = run_both(stmts, names, bufs);
+        assert_eq!(ri.is_ok(), rv.is_ok(), "engines disagree on outcome: {ri:?} vs {rv:?}");
+        if ri.is_ok() {
+            assert_eq!(si, sv, "work counters diverge");
+            for (id, name, buf) in bi.iter() {
+                assert_eq!(buf, bv.get(id), "buffer {name} diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn for_loop_sums_a_buffer() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(3),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(x, Expr::Var(i)),
+                reduce: Some(BinOp::Add),
+            }],
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(bufs.get(out).load(0), Value::Float(10.0));
+        assert_eq!(vm.stats().loop_iters, 4);
+        assert_eq!(vm.stats().stores, 4);
+        assert_eq!(vm.stats().loads, 4);
+    }
+
+    #[test]
+    fn while_loop_matches_interpreter() {
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let p = names.fresh("p");
+        let acc = names.fresh("acc");
+        let prog = vec![
+            Stmt::Let { var: p, init: Expr::int(0) },
+            Stmt::Let { var: acc, init: Expr::int(0) },
+            Stmt::While {
+                cond: Expr::lt(Expr::Var(p), Expr::int(5)),
+                body: vec![
+                    Stmt::Assign { var: acc, value: Expr::add(Expr::Var(acc), Expr::Var(p)) },
+                    Stmt::Assign { var: p, value: Expr::add(Expr::Var(p), Expr::int(1)) },
+                ],
+            },
+        ];
+        assert_parity(&prog, &names, &bufs);
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(acc), Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn nested_control_flow_has_identical_stats() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let p = names.fresh("p");
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::Let { var: p, init: Expr::int(0) },
+            Stmt::While {
+                cond: Expr::lt(Expr::Var(p), Expr::int(4)),
+                body: vec![
+                    Stmt::If {
+                        cond: Expr::eq(Expr::Var(p), Expr::int(2)),
+                        then_branch: vec![Stmt::For {
+                            var: i,
+                            lo: Expr::int(0),
+                            hi: Expr::Var(p),
+                            body: vec![Stmt::Store {
+                                buf: out,
+                                index: Expr::int(0),
+                                value: Expr::Var(i),
+                                reduce: Some(BinOp::Add),
+                            }],
+                        }],
+                        else_branch: vec![Stmt::Comment("skip".into())],
+                    },
+                    Stmt::Assign { var: p, value: Expr::add(Expr::Var(p), Expr::int(1)) },
+                ],
+            },
+        ];
+        assert_parity(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn out_of_bounds_load_is_reported_with_buffer_name() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("vals", Buffer::F64(vec![1.0]));
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let { var: v, init: Expr::load(x, Expr::int(7)) }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        let err = vm.run(&program, &mut bufs).unwrap_err();
+        match err {
+            RuntimeError::OutOfBounds { buffer, index, len } => {
+                assert_eq!(buffer, "vals");
+                assert_eq!(index, 7);
+                assert_eq!(len, 1);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error_with_its_name() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let a = names.fresh("a");
+        let b = names.fresh("mystery");
+        let prog = vec![Stmt::Let { var: a, init: Expr::Var(b) }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        let err = vm.run(&program, &mut bufs).unwrap_err();
+        match err {
+            RuntimeError::UnboundVariable { name } => assert_eq!(name, "mystery"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_budget_catches_infinite_loops() {
+        let names = Names::new();
+        let mut bufs = BufferSet::new();
+        let prog =
+            vec![Stmt::While { cond: Expr::bool(true), body: vec![Stmt::Comment("spin".into())] }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program).with_step_budget(1000);
+        let err = vm.run(&program, &mut bufs).unwrap_err();
+        assert!(matches!(err, RuntimeError::StepBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn seek_counts_one_search_plus_one_load_per_probe() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12]));
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let {
+            var: v,
+            init: Expr::Search {
+                buf: idx,
+                lo: Box::new(Expr::int(0)),
+                hi: Box::new(Expr::int(4)),
+                key: Box::new(Expr::int(10)),
+                on_abs: false,
+            },
+        }];
+        let (ri, si, rv, sv, _, _) = run_both(&prog, &names, &bufs);
+        ri.unwrap();
+        rv.unwrap();
+        assert_eq!(si, sv);
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Int(4)));
+        assert_eq!(vm.stats().searches, 1);
+    }
+
+    #[test]
+    fn seek_on_abs_handles_negative_markers() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let idx = bufs.add("idx", Buffer::I64(vec![3, -6, 8, -11]));
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let {
+            var: v,
+            init: Expr::Search {
+                buf: idx,
+                lo: Box::new(Expr::int(0)),
+                hi: Box::new(Expr::int(3)),
+                key: Box::new(Expr::int(7)),
+                on_abs: true,
+            },
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn coalesce_returns_first_non_missing() {
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let {
+            var: v,
+            init: Expr::Coalesce(vec![Expr::missing(), Expr::float(5.0), Expr::float(7.0)]),
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Float(5.0)));
+        assert_parity(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn load_at_missing_index_is_missing() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0]));
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let { var: v, init: Expr::load(x, Expr::missing()) }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Missing));
+        assert_eq!(vm.stats().loads, 0, "a missing-index load is not counted");
+    }
+
+    #[test]
+    fn select_with_missing_condition_takes_else_branch() {
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let {
+            var: v,
+            init: Expr::select(Expr::missing(), Expr::int(1), Expr::int(2)),
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn short_circuit_does_not_evaluate_the_guarded_operand() {
+        // `q < 1 && x[q] == 3` with q = 5: the tree-walker never loads
+        // x[5]; the bytecode engine must not either (no out-of-bounds, no
+        // load counted).
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::I64(vec![3]));
+        let q = names.fresh("q");
+        let v = names.fresh("v");
+        let prog = vec![
+            Stmt::Let { var: q, init: Expr::int(5) },
+            Stmt::Let {
+                var: v,
+                init: Expr::binary(
+                    BinOp::And,
+                    Expr::lt(Expr::Var(q), Expr::int(1)),
+                    Expr::eq(Expr::load(x, Expr::Var(q)), Expr::int(3)),
+                ),
+            },
+        ];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Bool(false)));
+        assert_eq!(vm.stats().loads, 0);
+        assert_parity(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn missing_lhs_still_evaluates_rhs_of_and() {
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let {
+            var: v,
+            init: Expr::binary(BinOp::And, Expr::missing(), Expr::bool(true)),
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Missing));
+        assert_parity(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn self_referential_coalesce_assignment_does_not_clobber() {
+        // v = coalesce(missing, v + 1): the first argument must not wipe v
+        // before the second reads it.
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let v = names.fresh("v");
+        let prog = vec![
+            Stmt::Let { var: v, init: Expr::int(41) },
+            Stmt::Assign {
+                var: v,
+                value: Expr::Coalesce(vec![Expr::missing(), Expr::add(Expr::Var(v), Expr::int(1))]),
+            },
+        ];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Int(42)));
+        assert_parity(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn empty_for_loop_does_not_execute() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(5),
+            hi: Expr::int(2),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::int(1),
+                reduce: None,
+            }],
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(bufs.get(out).load(0), Value::Int(0));
+        assert_eq!(vm.stats().loop_iters, 0);
+        assert_eq!(vm.stats().stmts, 1, "just the for statement itself");
+    }
+
+    #[test]
+    fn reset_clears_stats_and_registers() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let a = names.fresh("a");
+        let prog = vec![Stmt::Let { var: a, init: Expr::int(1) }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert!(vm.stats().stmts > 0);
+        vm.reset();
+        assert_eq!(vm.stats(), ExecStats::default());
+        assert_eq!(vm.var_value(a), None);
+    }
+
+    #[test]
+    fn mixed_type_arithmetic_falls_back_to_value_semantics() {
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let v = names.fresh("v");
+        let prog = vec![Stmt::Let { var: v, init: Expr::mul(Expr::int(2), Expr::float(1.5)) }];
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs.clone()).unwrap();
+        assert_eq!(vm.var_value(v), Some(Value::Float(3.0)));
+    }
+}

@@ -239,15 +239,16 @@ impl<L: Leaf> Looplet<L> {
         let sub_stmts = |ss: &[Stmt]| Stmt::substitute_all(ss, var, replacement);
         match self {
             Looplet::Leaf(l) => Looplet::Leaf(l.substitute_var(var, replacement)),
-            Looplet::Run { body } => Looplet::Run { body: Box::new(body.substitute_var(var, replacement)) },
+            Looplet::Run { body } => {
+                Looplet::Run { body: Box::new(body.substitute_var(var, replacement)) }
+            }
             Looplet::Spike { body, tail } => Looplet::Spike {
                 body: Box::new(body.substitute_var(var, replacement)),
                 tail: Box::new(tail.substitute_var(var, replacement)),
             },
-            Looplet::Lookup { var: v, body } => Looplet::Lookup {
-                var: *v,
-                body: Box::new(body.substitute_var(var, replacement)),
-            },
+            Looplet::Lookup { var: v, body } => {
+                Looplet::Lookup { var: *v, body: Box::new(body.substitute_var(var, replacement)) }
+            }
             Looplet::Pipeline { phases } => Looplet::Pipeline {
                 phases: phases
                     .iter()
@@ -327,7 +328,10 @@ mod tests {
                     seek: None,
                     stride: Expr::Var(p),
                     body: Box::new(Looplet::spike(Expr::float(0.0), Expr::Var(p))),
-                    next: vec![Stmt::Assign { var: p, value: Expr::add(Expr::Var(p), Expr::int(1)) }],
+                    next: vec![Stmt::Assign {
+                        var: p,
+                        value: Expr::add(Expr::Var(p), Expr::int(1)),
+                    }],
                 }),
             },
             Phase { stride: None, body: Looplet::run(Expr::float(0.0)) },
@@ -355,7 +359,8 @@ mod tests {
                 Looplet::Run { body } | Looplet::Lookup { body, .. } => mentions(body, v),
                 Looplet::Spike { body, tail } => mentions(body, v) || mentions(tail, v),
                 Looplet::Pipeline { phases } => phases.iter().any(|ph| {
-                    ph.stride.as_ref().map(|s| s.mentions(v)).unwrap_or(false) || mentions(&ph.body, v)
+                    ph.stride.as_ref().map(|s| s.mentions(v)).unwrap_or(false)
+                        || mentions(&ph.body, v)
                 }),
                 Looplet::Stepper(s) | Looplet::Jumper(s) => {
                     s.stride.mentions(v)

@@ -44,7 +44,10 @@ impl<L: Clone> Looplet<L> {
                 } else {
                     Looplet::Switch {
                         cases: vec![
-                            Case { cond: Expr::eq(new.hi.clone(), old.hi.clone()), body: self.clone() },
+                            Case {
+                                cond: Expr::eq(new.hi.clone(), old.hi.clone()),
+                                body: self.clone(),
+                            },
                             // Without its tail the spike is just its repeated
                             // body (itself usually a run).
                             Case { cond: Expr::bool(true), body: (**body).clone() },
@@ -78,11 +81,9 @@ impl<L: Clone> Looplet<L> {
             // BindExtent keeps binding whatever region it is eventually
             // examined in, so it survives truncation unchanged apart from
             // its body.
-            Looplet::BindExtent { lo, hi, body } => Looplet::BindExtent {
-                lo: *lo,
-                hi: *hi,
-                body: Box::new(body.truncate(old, new)),
-            },
+            Looplet::BindExtent { lo, hi, body } => {
+                Looplet::BindExtent { lo: *lo, hi: *hi, body: Box::new(body.truncate(old, new)) }
+            }
         }
     }
 }
@@ -140,9 +141,10 @@ mod tests {
         let s = names.fresh("stop");
         let old = Extent::literal(0, 9);
         let new = Extent::new(Expr::int(0), Expr::Var(s));
-        let sw: Looplet<Expr> = Looplet::switch(vec![
-            Case { cond: Expr::bool(true), body: Looplet::spike(Expr::float(0.0), Expr::float(1.0)) },
-        ]);
+        let sw: Looplet<Expr> = Looplet::switch(vec![Case {
+            cond: Expr::bool(true),
+            body: Looplet::spike(Expr::float(0.0), Expr::float(1.0)),
+        }]);
         let t = sw.truncate(&old, &new);
         if let Looplet::Switch { cases } = &t {
             assert_eq!(cases[0].body.style(), Style::Switch, "inner spike became a switch");

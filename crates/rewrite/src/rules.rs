@@ -419,12 +419,8 @@ mod tests {
     fn invariant_loop_does_not_fire_when_the_body_depends_on_the_index() {
         let rw = Rewriter::with_default_rules();
         let i = idx("i");
-        let s = forall_in(
-            i.clone(),
-            lit_int(0),
-            lit_int(4),
-            add_assign(scalar("C"), access("x", [i])),
-        );
+        let s =
+            forall_in(i.clone(), lit_int(0), lit_int(4), add_assign(scalar("C"), access("x", [i])));
         // The loop must survive.
         assert!(matches!(rw.simplify_stmt(&s), CinStmt::Forall { .. }));
     }

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let got = compiled.output("C").unwrap();
     let expect = conv2d_dense_masked(size, size, &grid, ksize, &filter);
     let max_err = got.iter().zip(&expect).map(|(g, e)| (g - e).abs()).fold(0.0f64, f64::max);
-    println!("masked sparse convolution: total work {}, max |err| vs oracle {max_err:.2e}", stats.total_work());
+    println!(
+        "masked sparse convolution: total work {}, max |err| vs oracle {max_err:.2e}",
+        stats.total_work()
+    );
 
     // --- concatenation ------------------------------------------------------
     let a1 = Tensor::sparse_list_vector("P", &[1.0, 0.0, 2.0, 0.0]);

@@ -41,9 +41,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("alpha blending {size}x{size} images (density {:.2})", datagen::density(&fg));
     println!("{:28} {:>14} {:>12}", "format", "total work", "max |err|");
     for (name, b, c) in [
-        ("dense", Tensor::dense_matrix("B", size, size, &fg), Tensor::dense_matrix("Cimg", size, size, &bg)),
-        ("sparse list", Tensor::csr_matrix("B", size, size, &fg), Tensor::csr_matrix("Cimg", size, size, &bg)),
-        ("run-length", Tensor::rle_matrix("B", size, size, &fg), Tensor::rle_matrix("Cimg", size, size, &bg)),
+        (
+            "dense",
+            Tensor::dense_matrix("B", size, size, &fg),
+            Tensor::dense_matrix("Cimg", size, size, &bg),
+        ),
+        (
+            "sparse list",
+            Tensor::csr_matrix("B", size, size, &fg),
+            Tensor::csr_matrix("Cimg", size, size, &bg),
+        ),
+        (
+            "run-length",
+            Tensor::rle_matrix("B", size, size, &fg),
+            Tensor::rle_matrix("Cimg", size, size, &bg),
+        ),
     ] {
         let mut k = blend(&b, &c, alpha, beta);
         let stats = k.run()?;

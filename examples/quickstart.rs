@@ -27,10 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernel = Kernel::new();
     kernel.bind_input(&a).bind_input(&b).bind_output_scalar("C");
     let i = idx("i");
-    let program = forall(
-        i.clone(),
-        add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))),
-    );
+    let program =
+        forall(i.clone(), add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))));
     println!("concrete index notation:\n  {program}\n");
 
     let mut compiled = kernel.compile(&program)?;

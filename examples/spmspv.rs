@@ -43,9 +43,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let x = Tensor::sparse_list_vector("x", &xv);
     let strategies: Vec<(&str, Tensor, Protocol, Protocol)> = vec![
-        ("follower (walk/walk)", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Walk, Protocol::Walk),
-        ("leader (gallop/gallop)", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Gallop, Protocol::Gallop),
-        ("VBL (clustered blocks)", Tensor::vbl_matrix("A", n, n, &dense_a), Protocol::Walk, Protocol::Walk),
+        (
+            "follower (walk/walk)",
+            Tensor::csr_matrix("A", n, n, &dense_a),
+            Protocol::Walk,
+            Protocol::Walk,
+        ),
+        (
+            "leader (gallop/gallop)",
+            Tensor::csr_matrix("A", n, n, &dense_a),
+            Protocol::Gallop,
+            Protocol::Gallop,
+        ),
+        (
+            "VBL (clustered blocks)",
+            Tensor::vbl_matrix("A", n, n, &dense_a),
+            Protocol::Walk,
+            Protocol::Walk,
+        ),
     ];
 
     // The TACO stand-in: a native two-finger merge.
@@ -58,11 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut k = spmspv(&a, &x, pa, px);
         let stats = k.run()?;
         let y = k.output("y").unwrap();
-        let err = y
-            .iter()
-            .zip(&reference)
-            .map(|(g, e)| (g - e).abs())
-            .fold(0.0f64, f64::max);
+        let err = y.iter().zip(&reference).map(|(g, e)| (g - e).abs()).fold(0.0f64, f64::max);
         println!("{:28} {:>14} {:>12.2e}", name, stats.total_work(), err);
     }
     Ok(())

@@ -3,7 +3,30 @@
 #![allow(dead_code)]
 
 use looplets_repro::finch::build::*;
-use looplets_repro::finch::{CompiledKernel, IndexExpr, IndexVar, Kernel, Protocol, Tensor};
+use looplets_repro::finch::{
+    CompiledKernel, Engine, IndexExpr, IndexVar, Kernel, Protocol, Tensor,
+};
+
+/// Run a compiled kernel on both execution engines and panic unless the
+/// outputs **and** the `ExecStats` work counters are bit-identical (the
+/// bytecode VM is differential-tested against the tree-walking oracle).
+pub fn assert_engine_parity(kernel: &mut CompiledKernel, what: &str) {
+    let tw_stats = kernel.run_with(Engine::TreeWalk).expect("tree-walk runs");
+    let tw_outs: Vec<(String, Vec<u64>)> = kernel
+        .output_names()
+        .into_iter()
+        .map(|n| {
+            let bits = kernel.output(&n).unwrap().iter().map(|x| x.to_bits()).collect();
+            (n, bits)
+        })
+        .collect();
+    let bc_stats = kernel.run_with(Engine::Bytecode).expect("bytecode runs");
+    assert_eq!(tw_stats, bc_stats, "{what}: work counters diverge");
+    for (name, tw_bits) in tw_outs {
+        let bc_bits: Vec<u64> = kernel.output(&name).unwrap().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(tw_bits, bc_bits, "{what}: output {name} is not bit-identical");
+    }
+}
 
 /// Assert two float slices are element-wise equal within a small tolerance.
 pub fn assert_close(got: &[f64], expect: &[f64], what: &str) {
@@ -31,10 +54,7 @@ pub fn dot_kernel(a: &Tensor, b: &Tensor, pa: Protocol, pb: Protocol) -> Compile
         i.clone(),
         add_assign(
             scalar("C"),
-            mul(
-                access(a.name(), [with(pa, &i)]),
-                access(b.name(), [with(pb, &i)]),
-            ),
+            mul(access(a.name(), [with(pa, &i)]), access(b.name(), [with(pb, &i)])),
         ),
     );
     kernel.compile(&program).expect("dot kernel compiles")
@@ -59,10 +79,7 @@ pub fn spmspv_kernel(a: &Tensor, x: &Tensor, pa: Protocol, px: Protocol) -> Comp
             j.clone(),
             add_assign(
                 access("y", [i.clone()]),
-                mul(
-                    access(a.name(), [i.into(), with(pa, &j)]),
-                    access(x.name(), [with(px, &j)]),
-                ),
+                mul(access(a.name(), [i.into(), with(pa, &j)]), access(x.name(), [with(px, &j)])),
             ),
         ),
     );

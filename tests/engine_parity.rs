@@ -1,0 +1,117 @@
+//! Differential tests between the two execution engines: every kernel of
+//! the five `examples/` (and the remaining figure kernels) must produce
+//! bit-identical outputs **and** bit-identical `ExecStats` work counters on
+//! the tree-walking interpreter and the flat register bytecode VM.
+
+mod common;
+
+use common::assert_engine_parity;
+use looplets_repro::baseline::datagen;
+use looplets_repro::finch::Protocol;
+use looplets_repro::finch::{Engine, Tensor};
+
+/// The quickstart example: sparse list × sparse band dot product.
+#[test]
+fn quickstart_dot_list_x_band_parity() {
+    let a_data = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+    let b_data = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+    let a = Tensor::sparse_list_vector("A", &a_data);
+    let b = Tensor::band_vector("B", &b_data);
+    let mut k = common::dot_kernel(&a, &b, Protocol::Default, Protocol::Default);
+    assert_engine_parity(&mut k, "quickstart");
+}
+
+/// The galloping example: gallop × gallop sparse dot product (exercises the
+/// Seek instruction).
+#[test]
+fn galloping_dot_parity() {
+    let a_data = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+    let b_data = vec![0.0, 0.0, 0.0, 3.7, 0.0, 9.2, 0.0, 8.7, 0.0, 0.0, 5.0];
+    let a = Tensor::sparse_list_vector("A", &a_data);
+    let b = Tensor::sparse_list_vector("B", &b_data);
+    let mut k = common::dot_kernel(&a, &b, Protocol::Gallop, Protocol::Gallop);
+    let stats = k.run().unwrap();
+    assert!(stats.searches > 0, "galloping must binary search");
+    assert_engine_parity(&mut k, "galloping");
+}
+
+/// The spmspv example: CSR matrix times sparse vector, all protocol
+/// combinations of Figure 7.
+#[test]
+fn spmspv_parity_across_protocols() {
+    let n = 48;
+    let dense_a = datagen::scientific_matrix(n, 2, 4, 0.004, 42);
+    let xv = datagen::counted_sparse_vector(n, 6, 9);
+    let a = Tensor::csr_matrix("A", n, n, &dense_a);
+    let x = Tensor::sparse_list_vector("x", &xv);
+    for (pa, px) in [
+        (Protocol::Walk, Protocol::Walk),
+        (Protocol::Gallop, Protocol::Walk),
+        (Protocol::Walk, Protocol::Gallop),
+        (Protocol::Gallop, Protocol::Gallop),
+    ] {
+        let mut k = common::spmspv_kernel(&a, &x, pa, px);
+        assert_engine_parity(&mut k, &format!("spmspv {pa:?}/{px:?}"));
+    }
+}
+
+/// The convolution example: masked sparse convolution (exercises `permit`,
+/// missing propagation and `coalesce` on both engines).
+#[test]
+fn convolution_parity_dense_and_sparse() {
+    let size = 14;
+    let ksize = 3;
+    let grid = datagen::sparse_grid(size, size, 0.12, 77);
+    let filter: Vec<f64> = (0..ksize * ksize).map(|v| 0.5 + (v % 5) as f64 * 0.1).collect();
+    for sparse in [false, true] {
+        let mut k = finch_bench::conv_kernel(&grid, size, ksize, &filter, sparse);
+        assert_engine_parity(&mut k, if sparse { "conv sparse" } else { "conv dense" });
+    }
+}
+
+/// The image blend example: `A = round(αB + βC)` over dense, CSR and RLE
+/// formats (exercises the Round unary and plain stores).
+#[test]
+fn image_blend_parity_across_formats() {
+    let size = 16;
+    let fg = datagen::stroke_image(size, 3, 5);
+    let bg = datagen::stroke_image(size, 2, 6);
+    type MatrixBuilder = fn(&str, usize, usize, &[f64]) -> Tensor;
+    let builders: [(&str, MatrixBuilder); 3] = [
+        ("dense", |n, r, c, d| Tensor::dense_matrix(n, r, c, d)),
+        ("csr", |n, r, c, d| Tensor::csr_matrix(n, r, c, d)),
+        ("rle", |n, r, c, d| Tensor::rle_matrix(n, r, c, d)),
+    ];
+    for (fmt, build) in builders {
+        let b = build("B", size, size, &fg);
+        let c = build("Cimg", size, size, &bg);
+        let mut k = finch_bench::blend_kernel(&b, &c, 0.6, 0.4);
+        assert_engine_parity(&mut k, &format!("blend {fmt}"));
+    }
+}
+
+/// The remaining figure kernels: triangle counting and all-pairs image
+/// similarity (deep loop nests, `where`-bound temporaries, sqrt).
+#[test]
+fn triangle_and_all_pairs_parity() {
+    let adj = datagen::power_law_graph(24, 2, 3);
+    for gallop in [false, true] {
+        let mut k = finch_bench::triangle_kernel(&adj, 24, gallop);
+        assert_engine_parity(&mut k, if gallop { "triangles gallop" } else { "triangles walk" });
+    }
+    for mut v in finch_bench::fig11_variants(3, 8, "mnist") {
+        assert_engine_parity(&mut v.kernel, &format!("all-pairs {}", v.label));
+    }
+}
+
+/// A step budget interrupts both engines at the same statement count.
+#[test]
+fn step_budget_trips_identically_on_both_engines() {
+    let a = Tensor::dense_vector("A", &vec![1.0; 128]);
+    let b = Tensor::dense_vector("B", &vec![2.0; 128]);
+    let mut k =
+        common::dot_kernel(&a, &b, Protocol::Default, Protocol::Default).with_step_budget(50);
+    let tw = k.run_with(Engine::TreeWalk).unwrap_err();
+    let bc = k.run_with(Engine::Bytecode).unwrap_err();
+    assert_eq!(format!("{tw}"), format!("{bc}"));
+}

@@ -132,8 +132,11 @@ fn matrix_formats_spmv_matches_dense_reference() {
         Tensor::bitmap_matrix("A", nrows, ncols, &data),
         Tensor::ragged_matrix("A", nrows, ncols, &data),
     ];
-    let x_formats =
-        vec![Tensor::dense_vector("x", &xv), Tensor::sparse_list_vector("x", &xv), Tensor::rle_vector("x", &xv)];
+    let x_formats = vec![
+        Tensor::dense_vector("x", &xv),
+        Tensor::sparse_list_vector("x", &xv),
+        Tensor::rle_vector("x", &xv),
+    ];
     for a in &matrices {
         for x in &x_formats {
             let mut k = spmspv_kernel(a, x, Protocol::Default, Protocol::Default);

@@ -20,9 +20,19 @@ fn spmspv_all_strategies_match_the_dense_oracle() {
     let strategies: Vec<(&str, Tensor, Protocol, Protocol)> = vec![
         ("csr-follower", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Walk, Protocol::Walk),
         ("csr-leader", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Gallop, Protocol::Walk),
-        ("csr-gallop-both", Tensor::csr_matrix("A", n, n, &dense_a), Protocol::Gallop, Protocol::Gallop),
+        (
+            "csr-gallop-both",
+            Tensor::csr_matrix("A", n, n, &dense_a),
+            Protocol::Gallop,
+            Protocol::Gallop,
+        ),
         ("vbl", Tensor::vbl_matrix("A", n, n, &dense_a), Protocol::Walk, Protocol::Walk),
-        ("dense-locate", Tensor::dense_matrix("A", n, n, &dense_a), Protocol::Locate, Protocol::Walk),
+        (
+            "dense-locate",
+            Tensor::dense_matrix("A", n, n, &dense_a),
+            Protocol::Locate,
+            Protocol::Walk,
+        ),
     ];
     let x_sparse = Tensor::sparse_list_vector("x", &xv);
     for (name, a, pa, px) in strategies {

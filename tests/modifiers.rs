@@ -63,10 +63,7 @@ fn permit_reads_out_of_bounds_as_missing() {
         lit_int(3),
         assign(
             access("y", [i.clone()]),
-            coalesce(vec![
-                access("A", [i.walk().offset(lit_int(1)).permit()]).into(),
-                lit(-1.0),
-            ]),
+            coalesce(vec![access("A", [i.walk().offset(lit_int(1)).permit()]).into(), lit(-1.0)]),
         ),
     );
     let mut compiled = kernel.compile(&program).expect("permit kernel compiles");
@@ -125,10 +122,7 @@ fn one_dimensional_convolution_over_a_sparse_input() {
             lit_int(2),
             add_assign(
                 access("B", [i.clone()]),
-                mul(
-                    coalesce(vec![access("A", [a_index]).into(), lit(0.0)]),
-                    access("F", [j]),
-                ),
+                mul(coalesce(vec![access("A", [a_index]).into(), lit(0.0)]), access("F", [j])),
             ),
         ),
     );
@@ -211,7 +205,10 @@ fn sieve_statements_guard_scatter_like_updates() {
     let program = forall(
         i.clone(),
         sieve(
-            CinExpr::call(looplets_repro::finch::CinOp::Gt, vec![access("A", [i]).into(), lit(2.0)]),
+            CinExpr::call(
+                looplets_repro::finch::CinOp::Gt,
+                vec![access("A", [i]).into(), lit(2.0)],
+            ),
             add_assign(scalar("count"), lit(1.0)),
         ),
     );
@@ -254,7 +251,10 @@ fn convolution_work_scales_with_input_sparsity() {
                             access("C", [i.clone(), k.clone()]),
                             mul3(
                                 nonzero_mask(access("A", [i.clone(), k.clone()])),
-                                coalesce(vec![access("Aw", [row_index, col_index]).into(), lit(0.0)]),
+                                coalesce(vec![
+                                    access("Aw", [row_index, col_index]).into(),
+                                    lit(0.0),
+                                ]),
                                 access("F", [j, l]),
                             ),
                         ),

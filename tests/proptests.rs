@@ -3,7 +3,7 @@
 
 mod common;
 
-use common::{dot_kernel, spmspv_kernel};
+use common::{assert_engine_parity, dot_kernel, spmspv_kernel};
 use looplets_repro::baseline::kernels::{dot_dense, spmv_dense};
 use looplets_repro::finch::{Protocol, Tensor};
 use proptest::prelude::*;
@@ -119,6 +119,68 @@ proptest! {
                 (got - expect).abs() < 1e-6 * (1.0 + expect.abs()),
                 "protocols {pa:?} x {pb:?}: got {got}, expected {expect}"
             );
+        }
+    }
+
+    #[test]
+    fn engines_are_bit_identical_for_any_dot_kernel(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a_formats = vec![
+            Tensor::sparse_list_vector("A", a_data),
+            Tensor::rle_vector("A", a_data),
+            Tensor::packbits_vector("A", a_data),
+        ];
+        let b_formats = vec![
+            Tensor::band_vector("B", b_data),
+            Tensor::bitmap_vector("B", b_data),
+            Tensor::vbl_vector("B", b_data),
+        ];
+        for a in &a_formats {
+            for b in &b_formats {
+                for (pa, pb) in [
+                    (Protocol::Default, Protocol::Default),
+                    (Protocol::Gallop, Protocol::Walk),
+                ] {
+                    let mut k = dot_kernel(a, b, pa, pb);
+                    assert_engine_parity(
+                        &mut k,
+                        &format!(
+                            "dot {} x {} ({pa:?}/{pb:?})",
+                            a.levels()[0].format_name(),
+                            b.levels()[0].format_name()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_are_bit_identical_for_any_spmv_kernel(
+        data in structured_vector(72),
+        xseed in structured_vector(12),
+        ncols in 2usize..12,
+    ) {
+        let ncols = ncols.min(data.len());
+        let nrows = data.len() / ncols;
+        if nrows == 0 {
+            return Ok(());
+        }
+        let data = &data[..nrows * ncols];
+        let xv: Vec<f64> = (0..ncols).map(|c| xseed.get(c % xseed.len().max(1)).copied().unwrap_or(0.0)).collect();
+        let x = Tensor::sparse_list_vector("x", &xv);
+        for a in [
+            Tensor::csr_matrix("A", nrows, ncols, data),
+            Tensor::vbl_matrix("A", nrows, ncols, data),
+            Tensor::rle_matrix("A", nrows, ncols, data),
+            Tensor::bitmap_matrix("A", nrows, ncols, data),
+        ] {
+            let mut k = spmspv_kernel(&a, &x, Protocol::Default, Protocol::Default);
+            assert_engine_parity(&mut k, &format!("spmv over {}", a.levels()[1].format_name()));
         }
     }
 

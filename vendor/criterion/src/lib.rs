@@ -39,11 +39,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("group {name}");
-        BenchmarkGroup {
-            _criterion: self,
-            name,
-            sample_size: 10,
-        }
+        BenchmarkGroup { _criterion: self, name, sample_size: 10 }
     }
 }
 
@@ -99,11 +95,7 @@ impl BenchmarkGroup<'_> {
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
         let min = samples.iter().min().copied().unwrap_or_default();
-        println!(
-            "  {}/{id}: mean {mean:?}, min {min:?} over {} samples",
-            self.name,
-            samples.len()
-        );
+        println!("  {}/{id}: mean {mean:?}, min {min:?} over {} samples", self.name, samples.len());
     }
 
     /// Finish the group (prints nothing extra in the shim).
@@ -120,9 +112,7 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Build an id from a function label and a displayed parameter value.
     pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId {
-            label: format!("{}/{}", function.into(), parameter),
-        }
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
     }
 }
 

@@ -80,11 +80,10 @@ where
     // Deterministic per-test seed so failures are reproducible run-to-run.
     let seed = name
         .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
-        });
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x1000_0000_01b3));
     for i in 0..config.cases {
-        let mut rng = test_runner::TestRng::from_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            test_runner::TestRng::from_seed(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         if let Err(e) = case(&mut rng) {
             panic!("proptest `{name}` failed at case {i}/{}: {e}", config.cases);
         }

@@ -34,9 +34,7 @@ pub struct TestCaseError {
 impl TestCaseError {
     /// A failed assertion with the given message.
     pub fn fail(message: impl Into<String>) -> Self {
-        TestCaseError {
-            message: message.into(),
-        }
+        TestCaseError { message: message.into() }
     }
 
     // NOTE: real proptest also has `reject`, which *discards* the case

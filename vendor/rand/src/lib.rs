@@ -44,9 +44,7 @@ impl SeedableRng for StdRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        StdRng {
-            state: [next(), next(), next(), next()],
-        }
+        StdRng { state: [next(), next(), next(), next()] }
     }
 }
 
@@ -91,10 +89,7 @@ impl Rng for StdRng {
     fn next_u64(&mut self) -> u64 {
         // xoshiro256++
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
