@@ -16,6 +16,12 @@
 //! is also appended to a machine-readable JSON report
 //! (`BENCH_figures.json` by default) so the perf trajectory is trackable
 //! across commits; see EXPERIMENTS.md for the schema.
+//!
+//! Figure S (sparse output assembly) additionally smoke-checks assembly
+//! correctness before timing: the sparse-list output's stored-entry count
+//! must equal the dense oracle's nnz, its materialisation must equal the
+//! dense-output run, and its store counter must be strictly below the
+//! dense variant's — so CI (`--tiny`) checks correctness, not just timing.
 
 use finch::Engine;
 use finch_bench::report::{EngineReport, FigureGroup, Report, VariantReport};
@@ -185,6 +191,19 @@ fn main() {
         for dataset in datasets {
             header(&format!("{dataset}-like images ({count} images, {img}x{img})"));
             table("fig11", dataset, fig11_variants(count, img, dataset), reps, &mut report);
+        }
+    }
+
+    if wants("S") {
+        println!("\n#### Figure S — sparse output assembly (dense vs sparse-list result)");
+        let (n, density) = if tiny { (512, 0.02) } else { (20_000, 0.001) };
+        for g in finch_bench::figs_output_groups(n, density, 71) {
+            // Smoke-check assembly correctness before timing: stored-entry
+            // count equals the oracle's nnz, the materialisation equals the
+            // dense run, and the sparse store counter is strictly lower.
+            g.assert_assembly();
+            header(&format!("{} — {} stored entries", g.group, g.oracle_nnz));
+            table("figS", &g.group, g.variants, reps, &mut report);
         }
     }
 

@@ -19,7 +19,7 @@ pub mod report;
 
 use std::time::Instant;
 
-use finch::{CompiledKernel, Engine, Kernel, Tensor};
+use finch::{CompiledKernel, Engine, Kernel, LevelSpec, Tensor};
 use finch_baseline::datagen;
 use finch_cin::build::*;
 use finch_cin::{CinExpr, IndexVar, Protocol};
@@ -482,6 +482,142 @@ pub fn fig11_variants(count: usize, img: usize, dataset: &str) -> Vec<Variant> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Sparse output assembly (figS): elementwise multiply and threshold filter
+// ---------------------------------------------------------------------------
+
+/// The sparse·sparse elementwise multiply `C[i] = A[i] * B[i]`, with the
+/// result either written into a preallocated dense buffer (the baseline
+/// paying O(n) write traffic) or append-assembled as a sparse list (O(nnz)).
+pub fn ewise_mul_kernel(a: &Tensor, b: &Tensor, sparse_out: bool) -> CompiledKernel {
+    let n = a.shape()[0];
+    let mut kernel = Kernel::new();
+    kernel.bind_input(a).bind_input(b);
+    if sparse_out {
+        kernel.bind_output_format("C", &[LevelSpec::SparseList { size: n }]);
+    } else {
+        kernel.bind_output("C", &[n], 0.0);
+    }
+    let i = idx("i");
+    let program = forall(
+        i.clone(),
+        assign(access("C", [i.clone()]), mul(access(a.name(), [i.clone()]), access(b.name(), [i]))),
+    );
+    kernel.compile(&program).expect("elementwise multiply compiles")
+}
+
+/// The threshold filter `C[i] = A[i] where A[i] > t`, keeping only entries
+/// above the threshold; output format as in [`ewise_mul_kernel`].
+pub fn threshold_kernel(a: &Tensor, threshold: f64, sparse_out: bool) -> CompiledKernel {
+    let n = a.shape()[0];
+    let mut kernel = Kernel::new();
+    kernel.bind_input(a);
+    if sparse_out {
+        kernel.bind_output_format("C", &[LevelSpec::SparseList { size: n }]);
+    } else {
+        kernel.bind_output("C", &[n], 0.0);
+    }
+    let i = idx("i");
+    let program = forall(
+        i.clone(),
+        sieve(
+            gt(access(a.name(), [i.clone()]), lit(threshold)),
+            assign(access("C", [i.clone()]), access(a.name(), [i])),
+        ),
+    );
+    kernel.compile(&program).expect("threshold filter compiles")
+}
+
+/// One sparse-output workload group: its label, its dense-output baseline
+/// and sparse-output variants (in that order), and the stored-entry count
+/// the sparse assembly must produce (the dense oracle's nnz).
+pub struct OutputGroup {
+    /// Group label for the table and the JSON report.
+    pub group: String,
+    /// Dense-output baseline first, `SparseList`-output variant second.
+    pub variants: Vec<Variant>,
+    /// Expected stored entries of the sparse output, from the dense oracle.
+    pub oracle_nnz: usize,
+}
+
+impl OutputGroup {
+    /// Run both variants once (on clones, so the timed kernels are left
+    /// untouched) and assert the assembly contract: the sparse output
+    /// stores exactly the oracle's nnz, materialises to the dense
+    /// baseline's result, and writes strictly less than the dense variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any part of the contract is violated — used by both the
+    /// `figures` binary (before timing) and the unit tests, so the CI smoke
+    /// run checks correctness, not just timing.
+    pub fn assert_assembly(&self) {
+        let mut dense = self.variants[0].kernel.clone();
+        let mut sparse = self.variants[1].kernel.clone();
+        let dense_stats = dense.run().expect("dense baseline runs");
+        let sparse_stats = sparse.run().expect("sparse assembly runs");
+        let t = sparse.output_tensor("C").expect("sparse output finalizes");
+        assert_eq!(
+            t.stored(),
+            self.oracle_nnz,
+            "{}: sparse output stored-entry count diverges from the oracle",
+            self.group
+        );
+        assert_eq!(
+            t.to_dense(),
+            dense.output("C").expect("dense output reads"),
+            "{}: sparse output materialisation diverges from the dense run",
+            self.group
+        );
+        assert!(
+            sparse_stats.stores < dense_stats.stores,
+            "{}: sparse assembly must store strictly less ({} vs {})",
+            self.group,
+            sparse_stats.stores,
+            dense_stats.stores
+        );
+    }
+}
+
+/// The sparse-output assembly workloads (figS): a sparse·sparse elementwise
+/// multiply and a threshold filter over vectors of the given density.
+pub fn figs_output_groups(n: usize, density: f64, seed: u64) -> Vec<OutputGroup> {
+    let av = datagen::random_sparse_vector(n, density, seed);
+    // B shares roughly half of A's support (so the multiply's intersection
+    // is nonempty at any density) plus its own random scatter.
+    let mut bv = datagen::random_sparse_vector(n, density, seed + 1);
+    for (k, &v) in av.iter().enumerate() {
+        if v != 0.0 && k % 2 == 0 {
+            bv[k] = 0.25 + (k % 7) as f64;
+        }
+    }
+    let a = Tensor::sparse_list_vector("A", &av);
+    let b = Tensor::sparse_list_vector("B", &bv);
+
+    let mul_nnz = av.iter().zip(&bv).filter(|(x, y)| *x * *y != 0.0).count();
+    let threshold = 5.0; // datagen values are uniform in 0.5..10.0
+    let filter_nnz = av.iter().filter(|&&v| v > threshold).count();
+
+    vec![
+        OutputGroup {
+            group: format!("elementwise multiply (density {density})"),
+            variants: vec![
+                Variant::new("dense output", ewise_mul_kernel(&a, &b, false)),
+                Variant::new("sparse-list output", ewise_mul_kernel(&a, &b, true)),
+            ],
+            oracle_nnz: mul_nnz,
+        },
+        OutputGroup {
+            group: format!("threshold filter (density {density})"),
+            variants: vec![
+                Variant::new("dense output", threshold_kernel(&a, threshold, false)),
+                Variant::new("sparse-list output", threshold_kernel(&a, threshold, true)),
+            ],
+            oracle_nnz: filter_nnz,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +670,18 @@ mod tests {
         }
         for mut v in fig11_variants(3, 8, "mnist") {
             assert_engine_parity(&mut v, "fig11");
+        }
+        for g in figs_output_groups(128, 0.05, 5) {
+            for mut v in g.variants {
+                assert_engine_parity(&mut v, "figS");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_output_assembly_matches_the_dense_baseline() {
+        for g in figs_output_groups(200, 0.08, 11) {
+            g.assert_assembly();
         }
     }
 

@@ -104,6 +104,16 @@ pub fn eq(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
     CinExpr::call(CinOp::Eq, vec![a.into(), b.into()])
 }
 
+/// Strictly-greater comparison (e.g. the guard of a threshold filter).
+pub fn gt(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Gt, vec![a.into(), b.into()])
+}
+
+/// Strictly-less comparison.
+pub fn lt(a: impl Into<CinExpr>, b: impl Into<CinExpr>) -> CinExpr {
+    CinExpr::call(CinOp::Lt, vec![a.into(), b.into()])
+}
+
 /// `A[...] = rhs`.
 pub fn assign(lhs: Access, rhs: impl Into<CinExpr>) -> CinStmt {
     CinStmt::Assign { lhs, reduction: Reduction::Overwrite, rhs: rhs.into() }

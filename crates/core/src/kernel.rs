@@ -4,16 +4,14 @@
 use std::collections::HashMap;
 
 use finch_cin::CinStmt;
-use finch_formats::{BoundTensor, Tensor};
+use finch_formats::{BoundTensor, LevelSpec, OutputBuilder, Tensor};
 use finch_ir::pretty::Printer;
-use finch_ir::{
-    Buffer, BufferSet, ExecStats, Interpreter, Names, Program, RuntimeError, Stmt, Value, Vm,
-};
+use finch_ir::{Buffer, BufferSet, ExecStats, Interpreter, Names, Program, RuntimeError, Stmt, Vm};
 use finch_rewrite::Rewriter;
 
 use crate::error::CompileError;
-use crate::lower::statements::lower_stmt;
-use crate::lower::{Binding, LowerCtx, OutputBinding};
+use crate::lower::statements::{init_output, lower_stmt};
+use crate::lower::{Binding, LowerCtx, OutputBinding, OutputSink};
 
 /// The execution engine a [`CompiledKernel`] runs on.
 ///
@@ -65,7 +63,36 @@ impl Engine {
 /// let program = forall(i.clone(), add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))));
 /// let mut compiled = kernel.compile(&program)?;
 /// compiled.run()?;   // executes on the bytecode VM
-/// assert_eq!(compiled.output_scalar("C"), Some(2015.0));
+/// assert_eq!(compiled.output_scalar("C")?, 2015.0);
+/// // Non-scalar and unknown names are typed errors, not silent `None`s:
+/// assert!(compiled.output_scalar("missing").is_err());
+/// # Ok(()) }
+/// ```
+///
+/// Outputs are format-polymorphic: [`Kernel::bind_output_format`] selects a
+/// sparse list assembled by appending, and
+/// [`CompiledKernel::output_tensor`] finalizes it into a [`Tensor`] that can
+/// be re-bound as the input of a follow-up kernel:
+///
+/// ```
+/// use finch::build::*;
+/// use finch::{Kernel, LevelSpec, Tensor};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Tensor::sparse_list_vector("A", &[0.0, 1.5, 0.0, 2.0]);
+/// let b = Tensor::sparse_list_vector("B", &[0.0, 10.0, 5.0, 3.0]);
+/// let mut kernel = Kernel::new();
+/// kernel
+///     .bind_input(&a)
+///     .bind_input(&b)
+///     .bind_output_format("C", &[LevelSpec::SparseList { size: 4 }]);
+/// let i = idx("i");
+/// let program = forall(i.clone(), assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))));
+/// let mut compiled = kernel.compile(&program)?;
+/// compiled.run()?;   // does work proportional to the stored entries
+/// let c = compiled.output_tensor("C")?;
+/// assert_eq!(c.to_dense(), vec![0.0, 15.0, 0.0, 6.0]);
+/// assert_eq!(c.stored(), 2);   // only the intersection was materialised
 /// # Ok(()) }
 /// ```
 #[derive(Debug)]
@@ -100,14 +127,15 @@ impl Kernel {
         self
     }
 
-    /// Bind a dense output tensor of the given shape, re-initialised to
-    /// `init` before every run.
+    /// Bind a dense output tensor of the given shape, initialised to `init`
+    /// by the generated code at the start of every run.
     pub fn bind_output(&mut self, name: &str, shape: &[usize], init: f64) -> &mut Self {
         let len = shape.iter().product::<usize>().max(1);
         let buf = self.bufs.add(&format!("{name}_val"), Buffer::F64(vec![init; len]));
+        let specs = shape.iter().map(|&size| LevelSpec::Dense { size }).collect();
         self.bindings.insert(
             name.to_string(),
-            Binding::Output(OutputBinding { buf, shape: shape.to_vec(), init }),
+            Binding::Output(OutputBinding { specs, init, sink: OutputSink::Dense { buf } }),
         );
         self
     }
@@ -115,6 +143,58 @@ impl Kernel {
     /// Bind a scalar output, re-initialised to zero before every run.
     pub fn bind_output_scalar(&mut self, name: &str) -> &mut Self {
         self.bind_output(name, &[], 0.0)
+    }
+
+    /// Bind an output tensor with an explicit level stack (outermost
+    /// first), choosing how the generated code assembles the result.
+    ///
+    /// * An all-[`LevelSpec::Dense`] stack behaves exactly like
+    ///   [`Kernel::bind_output`] with `init = 0.0`.
+    /// * A stack whose **innermost** level is [`LevelSpec::SparseList`]
+    ///   (any dense levels above it) is assembled by appending: each
+    ///   executed store appends the coordinate and value, each fiber is
+    ///   closed with its `pos` boundary, and the result does work
+    ///   proportional to the number of stored entries instead of the dense
+    ///   size.  Only overwriting (`=`) assignments can target it, and the
+    ///   assembled result is read back with
+    ///   [`CompiledKernel::output_tensor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a [`LevelSpec::SparseList`] appears anywhere but the
+    /// innermost position (sparse-over-sparse output assembly is not
+    /// implemented).
+    pub fn bind_output_format(&mut self, name: &str, specs: &[LevelSpec]) -> &mut Self {
+        match specs.split_last() {
+            Some((LevelSpec::SparseList { .. }, outer)) => {
+                assert!(
+                    outer.iter().all(|s| matches!(s, LevelSpec::Dense { .. })),
+                    "sparse output levels are only supported in the innermost position \
+                     (output `{name}`)"
+                );
+                let pos = self.bufs.add(&format!("{name}_pos"), Buffer::I64(vec![0]));
+                let idx = self.bufs.add(&format!("{name}_idx"), Buffer::I64(Vec::new()));
+                let val = self.bufs.add(&format!("{name}_val"), Buffer::F64(Vec::new()));
+                self.bindings.insert(
+                    name.to_string(),
+                    Binding::Output(OutputBinding {
+                        specs: specs.to_vec(),
+                        init: 0.0,
+                        sink: OutputSink::SparseList { pos, idx, val },
+                    }),
+                );
+                self
+            }
+            _ => {
+                assert!(
+                    specs.iter().all(|s| matches!(s, LevelSpec::Dense { .. })),
+                    "sparse output levels are only supported in the innermost position \
+                     (output `{name}`)"
+                );
+                let shape: Vec<usize> = specs.iter().map(|s| s.size()).collect();
+                self.bind_output(name, &shape, 0.0)
+            }
+        }
     }
 
     /// Access the rewrite engine to register domain-specific rules before
@@ -140,7 +220,35 @@ impl Kernel {
             })
             .collect();
         let mut ctx = LowerCtx::new(names, bufs, bindings, rewriter);
-        let code = lower_stmt(program, &mut ctx)?;
+        // Result arrays are initialised as soon as they enter scope (paper
+        // §5.1): dense outputs get initialisation code at the top of the
+        // generated program, counted like every other store — so a
+        // dense-output kernel honestly pays its O(n) write traffic where a
+        // sparse-output kernel pays O(stored).  Sparse outputs start empty
+        // and are reset host-side before each run instead.  `where`
+        // producers enter scope at their `where`, which emits their
+        // (per-iteration) initialisation itself — initialising them here
+        // too would double-count the store traffic.
+        let mut where_results = std::collections::HashSet::new();
+        program.visit(&mut |s| {
+            if let CinStmt::Where { producer, .. } = s {
+                for r in producer.results() {
+                    where_results.insert(r.name().to_string());
+                }
+            }
+        });
+        let mut code = Vec::new();
+        let mut sorted: Vec<(&String, &OutputBinding)> = outputs.iter().collect();
+        sorted.sort_by_key(|(name, _)| name.as_str());
+        for (name, ob) in sorted {
+            if where_results.contains(name) {
+                continue;
+            }
+            if let OutputSink::Dense { buf } = ob.sink {
+                code.extend(init_output(buf, ob.len(), ob.init, &mut ctx));
+            }
+        }
+        code.extend(lower_stmt(program, &mut ctx)?);
         // Finch relies on Julia to hoist loop-invariant loads (run values,
         // fiber positions) out of inner loops; our interpreter needs the
         // same motion done explicitly.
@@ -287,8 +395,15 @@ impl CompiledKernel {
     /// Returns a [`RuntimeError`] under the same conditions as
     /// [`CompiledKernel::run`].
     pub fn run_with(&mut self, engine: Engine) -> Result<ExecStats, RuntimeError> {
+        // Dense outputs are initialised by the generated code itself; the
+        // growable arrays of sparse outputs are reset to their empty state
+        // here so re-runs assemble from scratch.
         for out in self.outputs.values() {
-            self.bufs.get_mut(out.buf).fill(Value::Float(out.init))?;
+            if let OutputSink::SparseList { pos, idx, val } = out.sink {
+                self.bufs.replace(pos, Buffer::I64(vec![0]));
+                self.bufs.replace(idx, Buffer::I64(Vec::new()));
+                self.bufs.replace(val, Buffer::F64(Vec::new()));
+            }
         }
         match engine {
             Engine::Bytecode => {
@@ -310,14 +425,85 @@ impl CompiledKernel {
         }
     }
 
-    /// The contents of a named output after the last run.
-    pub fn output(&self, name: &str) -> Option<Vec<f64>> {
-        self.outputs.get(name).map(|o| self.bufs.get(o.buf).to_f64_vec())
+    fn output_binding(&self, name: &str) -> Result<&OutputBinding, RuntimeError> {
+        self.outputs.get(name).ok_or_else(|| RuntimeError::BadOutputQuery {
+            name: name.to_string(),
+            detail: "no output was bound under this name".into(),
+        })
+    }
+
+    /// The dense (row-major) contents of a named output after the last run;
+    /// sparse outputs are materialised through their fill value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadOutputQuery`] when no output was bound
+    /// under `name`, or when a sparse output's assembly is incomplete (the
+    /// kernel has not run).
+    pub fn output(&self, name: &str) -> Result<Vec<f64>, RuntimeError> {
+        let ob = self.output_binding(name)?;
+        match ob.sink {
+            OutputSink::Dense { buf } => Ok(self.bufs.get(buf).to_f64_vec()),
+            OutputSink::SparseList { .. } => Ok(self.output_tensor(name)?.to_dense()),
+        }
     }
 
     /// The value of a scalar output after the last run.
-    pub fn output_scalar(&self, name: &str) -> Option<f64> {
-        self.output(name).and_then(|v| v.first().copied())
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadOutputQuery`] when no output was bound
+    /// under `name` or when the binding is not a scalar (use
+    /// [`CompiledKernel::output`] or [`CompiledKernel::output_tensor`] for
+    /// tensor outputs).
+    pub fn output_scalar(&self, name: &str) -> Result<f64, RuntimeError> {
+        let ob = self.output_binding(name)?;
+        match ob.sink {
+            OutputSink::Dense { buf } if ob.specs.is_empty() => {
+                Ok(self.bufs.get(buf).to_f64_vec()[0])
+            }
+            _ => Err(RuntimeError::BadOutputQuery {
+                name: name.to_string(),
+                detail: format!(
+                    "bound as a rank-{} {} output, not a scalar; read it with `output` \
+                     or `output_tensor`",
+                    ob.specs.len(),
+                    ob.specs.last().map_or("dense", |s| s.format_name()),
+                ),
+            }),
+        }
+    }
+
+    /// Finalize a named output into a first-class [`Tensor`] (named after
+    /// the output), so the result of one kernel can be re-bound as an input
+    /// of the next — kernel chaining.
+    ///
+    /// Dense outputs materialise as dense tensors; sparse outputs keep
+    /// their assembled `pos`/`idx`/`val` arrays, validated on the way out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadOutputQuery`] when no output was bound
+    /// under `name`, or when a sparse output's assembly is structurally
+    /// invalid — in particular before the kernel has run.
+    pub fn output_tensor(&self, name: &str) -> Result<Tensor, RuntimeError> {
+        let ob = self.output_binding(name)?;
+        let builder = OutputBuilder::new(name, ob.specs.clone());
+        let bad = |e: finch_formats::TensorError| RuntimeError::BadOutputQuery {
+            name: name.to_string(),
+            detail: format!("assembled output is not a valid tensor: {e}"),
+        };
+        match ob.sink {
+            OutputSink::Dense { buf } => {
+                builder.finalize_dense(self.bufs.get(buf).to_f64_vec(), ob.init).map_err(bad)
+            }
+            OutputSink::SparseList { pos, idx, val } => {
+                let pos = self.bufs.get(pos).as_i64().expect("pos is an i64 buffer").to_vec();
+                let idx = self.bufs.get(idx).as_i64().expect("idx is an i64 buffer").to_vec();
+                let val = self.bufs.get(val).as_f64().expect("val is an f64 buffer").to_vec();
+                builder.finalize_sparse_list(pos, idx, val, ob.init).map_err(bad)
+            }
+        }
     }
 
     /// Names of all outputs.
@@ -332,6 +518,7 @@ impl CompiledKernel {
 mod tests {
     use super::*;
     use finch_cin::build::*;
+    use finch_formats::Level;
 
     fn dot_product(a: &Tensor, b: &Tensor) -> CompiledKernel {
         let mut kernel = Kernel::new();
@@ -356,7 +543,7 @@ mod tests {
         let b = Tensor::dense_vector("B", &bv);
         let mut k = dot_product(&a, &b);
         k.run().unwrap();
-        assert_eq!(k.output_scalar("C"), Some(reference_dot(&av, &bv)));
+        assert_eq!(k.output_scalar("C").unwrap(), reference_dot(&av, &bv));
     }
 
     #[test]
@@ -527,7 +714,7 @@ mod tests {
         k.set_engine(Engine::TreeWalk);
         assert_eq!(k.engine(), Engine::TreeWalk);
         k.run().unwrap();
-        assert_eq!(k.output_scalar("C"), Some(11.0));
+        assert_eq!(k.output_scalar("C").unwrap(), 11.0);
         let k2 = k.clone().with_engine(Engine::Bytecode);
         assert_eq!(k2.engine(), Engine::Bytecode);
     }
@@ -554,6 +741,271 @@ mod tests {
         assert_eq!(Engine::Bytecode.label(), "bytecode");
         assert_eq!(Engine::TreeWalk.label(), "tree_walk");
         assert_eq!(Engine::default(), Engine::Bytecode);
+    }
+
+    fn sparse_mul_kernel(av: &[f64], bv: &[f64]) -> CompiledKernel {
+        let a = Tensor::sparse_list_vector("A", av);
+        let b = Tensor::sparse_list_vector("B", bv);
+        let mut kernel = Kernel::new();
+        kernel
+            .bind_input(&a)
+            .bind_input(&b)
+            .bind_output_format("C", &[LevelSpec::SparseList { size: av.len() }]);
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+        );
+        kernel.compile(&program).expect("sparse multiply compiles")
+    }
+
+    #[test]
+    fn sparse_output_assembles_only_the_intersection() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 2.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let mut k = sparse_mul_kernel(&av, &bv);
+        k.run().unwrap();
+        let c = k.output_tensor("C").unwrap();
+        let expect: Vec<f64> = av.iter().zip(&bv).map(|(x, y)| x * y).collect();
+        assert_eq!(c.to_dense(), expect);
+        // Coordinates 1, 3 and 6 are stored in both inputs.
+        assert_eq!(c.stored(), 3);
+        match &c.levels()[0] {
+            Level::SparseList { pos, idx, .. } => {
+                assert_eq!(pos, &vec![0, 3]);
+                assert_eq!(idx, &vec![1, 3, 6]);
+            }
+            other => panic!("expected a sparse list level, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_output_is_bit_identical_across_engines() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 2.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let mut k = sparse_mul_kernel(&av, &bv);
+        let fast = k.run_with(Engine::Bytecode).unwrap();
+        let fast_out = k.output_tensor("C").unwrap();
+        let oracle = k.run_with(Engine::TreeWalk).unwrap();
+        let oracle_out = k.output_tensor("C").unwrap();
+        assert_eq!(fast, oracle, "work counters must be identical");
+        assert_eq!(fast_out, oracle_out, "pos/idx/val arrays must be identical");
+        let bits = |t: &Tensor| -> Vec<u64> { t.values().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(bits(&fast_out), bits(&oracle_out), "values must be bit-identical");
+    }
+
+    #[test]
+    fn sparse_output_stores_strictly_less_than_the_dense_variant() {
+        let n = 1000;
+        let mut av = vec![0.0; n];
+        let mut bv = vec![0.0; n];
+        for k in (0..n).step_by(97) {
+            av[k] = 1.0 + k as f64;
+            bv[k] = 2.0;
+        }
+        let sparse_stats = {
+            let mut k = sparse_mul_kernel(&av, &bv);
+            k.run().unwrap()
+        };
+        let dense_stats = {
+            let a = Tensor::sparse_list_vector("A", &av);
+            let b = Tensor::sparse_list_vector("B", &bv);
+            let mut kernel = Kernel::new();
+            kernel.bind_input(&a).bind_input(&b).bind_output("C", &[n], 0.0);
+            let i = idx("i");
+            let program = forall(
+                i.clone(),
+                assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+            );
+            kernel.compile(&program).expect("dense multiply compiles").run().unwrap()
+        };
+        // The dense output pays O(n) initialisation; the sparse output pays
+        // O(stored) appends.
+        assert!(
+            sparse_stats.stores < dense_stats.stores,
+            "sparse assembly must store less: {} vs {}",
+            sparse_stats.stores,
+            dense_stats.stores
+        );
+    }
+
+    #[test]
+    fn sparse_output_chains_into_a_follow_up_kernel() {
+        let av = vec![0.0, 1.5, 0.0, 2.0, 0.0];
+        let bv = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut k = sparse_mul_kernel(&av, &[0.0, 1.0, 1.0, 1.0, 0.0]);
+        k.run().unwrap();
+        let c = k.output_tensor("C").unwrap();
+        // Re-bind the assembled sparse result as an input of a dot product.
+        let b = Tensor::dense_vector("B", &bv);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&c).bind_input(&b).bind_output_scalar("D");
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            add_assign(scalar("D"), mul(access("C", [i.clone()]), access("B", [i]))),
+        );
+        let mut chained = kernel.compile(&program).expect("chained kernel compiles");
+        chained.run().unwrap();
+        let expect: f64 = c.to_dense().iter().zip(&bv).map(|(x, y)| x * y).sum();
+        assert_eq!(chained.output_scalar("D").unwrap(), expect);
+    }
+
+    #[test]
+    fn threshold_filter_assembles_only_passing_entries() {
+        let av = vec![0.0, 5.0, 0.0, 1.0, 7.0, 0.0, 2.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_output_format("C", &[LevelSpec::SparseList { size: av.len() }]);
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            sieve(
+                gt(access("A", [i.clone()]), lit(3.0)),
+                assign(access("C", [i.clone()]), access("A", [i])),
+            ),
+        );
+        let mut k = kernel.compile(&program).expect("filter compiles");
+        k.run().unwrap();
+        let c = k.output_tensor("C").unwrap();
+        assert_eq!(c.to_dense(), vec![0.0, 5.0, 0.0, 0.0, 7.0, 0.0, 0.0]);
+        assert_eq!(c.stored(), 2);
+    }
+
+    #[test]
+    fn matrix_sparse_output_closes_one_fiber_per_row() {
+        let data = vec![
+            0.0, 1.0, 0.0, 2.0, //
+            0.0, 0.0, 0.0, 0.0, //
+            3.0, 0.0, 4.0, 0.0,
+        ];
+        let a = Tensor::csr_matrix("A", 3, 4, &data);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_output_format(
+            "C",
+            &[LevelSpec::Dense { size: 3 }, LevelSpec::SparseList { size: 4 }],
+        );
+        let (i, j) = (idx("i"), idx("j"));
+        let program = forall(
+            i.clone(),
+            forall(j.clone(), assign(access("C", [i.clone(), j.clone()]), access("A", [i, j]))),
+        );
+        let mut k = kernel.compile(&program).expect("copy compiles");
+        k.run().unwrap();
+        let c = k.output_tensor("C").unwrap();
+        assert_eq!(c.to_dense(), data);
+        match &c.levels()[1] {
+            Level::SparseList { pos, idx, .. } => {
+                assert_eq!(pos, &vec![0, 2, 2, 4], "one fiber per row, middle row empty");
+                assert_eq!(idx, &vec![1, 3, 0, 2]);
+            }
+            other => panic!("expected a sparse list level, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_queries_report_typed_errors() {
+        let a = Tensor::dense_vector("A", &[1.0, 2.0]);
+        let b = Tensor::dense_vector("B", &[3.0, 4.0]);
+        let k = dot_product(&a, &b);
+        let err = k.output_scalar("nope").unwrap_err();
+        assert!(matches!(err, RuntimeError::BadOutputQuery { .. }), "got {err:?}");
+        assert!(k.output("nope").is_err());
+        assert!(k.output_tensor("nope").is_err());
+
+        let x = Tensor::dense_vector("x", &[1.0, 2.0, 3.0]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&x).bind_output("y", &[3], 0.0);
+        let i = idx("i");
+        let program = forall(i.clone(), assign(access("y", [i.clone()]), access("x", [i])));
+        let k = kernel.compile(&program).expect("copy compiles");
+        let err = k.output_scalar("y").unwrap_err();
+        match err {
+            RuntimeError::BadOutputQuery { name, detail } => {
+                assert_eq!(name, "y");
+                assert!(detail.contains("rank-1"), "{detail}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_output_before_any_run_is_a_typed_error() {
+        let k = sparse_mul_kernel(&[0.0, 1.0], &[1.0, 1.0]);
+        let err = k.output_tensor("C").unwrap_err();
+        assert!(matches!(err, RuntimeError::BadOutputQuery { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn sparse_output_written_by_a_non_innermost_loop_is_rejected_at_compile_time() {
+        // forall i forall j C[i] = A[j] would append the same coordinate
+        // once per j; it must be a CompileError, not a late validity error.
+        let a = Tensor::dense_vector("A", &[1.0, 2.0, 3.0]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_output_format("C", &[LevelSpec::SparseList { size: 3 }]);
+        let (i, j) = (idx("i"), idx("j"));
+        let program = forall_in(
+            i.clone(),
+            lit_int(0),
+            lit_int(2),
+            forall(j.clone(), assign(access("C", [i]), access("A", [j]))),
+        );
+        let err = kernel.compile(&program).unwrap_err();
+        match err {
+            CompileError::Unsupported { detail } => {
+                assert!(detail.contains("innermost"), "{detail}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn where_producers_are_not_double_initialised() {
+        // The `where` lowering initialises its producer at scope entry; the
+        // top-of-program init must skip it or the store traffic is counted
+        // twice.
+        let a = Tensor::dense_vector("A", &[1.0, 2.0, 3.0]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_output_scalar("t").bind_output_scalar("S");
+        let i = idx("i");
+        let program = where_(
+            assign(scalar("S"), mul(lit(2.0), finch_cin::CinExpr::Access(scalar("t")))),
+            forall(i.clone(), add_assign(scalar("t"), access("A", [i]))),
+        );
+        let k = kernel.compile(&program).expect("where compiles");
+        // Exactly one init store for S and one (where-emitted) for t: the
+        // code must contain exactly two literal stores of 0 into the two
+        // scalar buffers before the loop.
+        let init_stores = Stmt::count_matching(k.stmts(), &|s| {
+            matches!(s, Stmt::Store { value: finch_ir::Expr::Lit(v), reduce: None, .. }
+                     if *v == finch_ir::Value::Float(0.0))
+        });
+        assert_eq!(init_stores, 2, "one init per scalar, no double init:\n{}", k.code());
+    }
+
+    #[test]
+    fn reductions_into_sparse_outputs_are_rejected() {
+        let a = Tensor::sparse_list_vector("A", &[0.0, 1.0]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&a).bind_output_format("C", &[LevelSpec::SparseList { size: 2 }]);
+        let i = idx("i");
+        let program = forall(i.clone(), add_assign(access("C", [i.clone()]), access("A", [i])));
+        let err = kernel.compile(&program).unwrap_err();
+        assert!(matches!(err, CompileError::Unsupported { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn bind_output_format_with_dense_specs_matches_bind_output() {
+        let x = Tensor::dense_vector("x", &[1.0, 2.0, 3.0]);
+        let mut kernel = Kernel::new();
+        kernel.bind_input(&x).bind_output_format("y", &[LevelSpec::Dense { size: 3 }]);
+        let i = idx("i");
+        let program = forall(i.clone(), assign(access("y", [i.clone()]), access("x", [i])));
+        let mut k = kernel.compile(&program).expect("copy compiles");
+        k.run().unwrap();
+        assert_eq!(k.output("y").unwrap(), vec![1.0, 2.0, 3.0]);
+        let t = k.output_tensor("y").unwrap();
+        assert_eq!(t.to_dense(), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

@@ -47,8 +47,12 @@ impl AccessState {
 /// Should this access be unfurled by a `forall` over `index`?
 ///
 /// True when the access has unconsumed indices, its first unconsumed index
-/// is driven by `index`, and its tensor is a structured input (dense output
-/// reads are resolved directly at expression-resolution time).
+/// is driven by `index`, and its tensor is a structured input.  Output
+/// accesses are never unfurled: dense output reads resolve directly at
+/// expression-resolution time, and output *writes* are handled by the
+/// output's [`OutputSink`](crate::lower::OutputSink) — a linearised store
+/// for dense sinks, appends (plus the loop lowerer's `FiberEnd`) for
+/// sparse-list sinks.
 pub(crate) fn driven_by(access: &Access, index: &IndexVar, ctx: &LowerCtx) -> bool {
     let Some(first) = access.indices.first() else { return false };
     if first.index_var() != index {

@@ -12,7 +12,7 @@ use crate::lower::access::{
     AccessState,
 };
 use crate::lower::statements::lower_stmt;
-use crate::lower::{FiberHandle, LowerCtx};
+use crate::lower::{Binding, FiberHandle, LowerCtx, OutputSink};
 
 /// The state of one loop region being lowered: its extent (in loop
 /// coordinates), the statement to execute, and the looplet state of every
@@ -32,6 +32,12 @@ pub(crate) fn lower_forall(
     body: &CinStmt,
     ctx: &mut LowerCtx,
 ) -> Result<Vec<Stmt>, CompileError> {
+    // Sparse output fibers driven by this loop are closed right after it:
+    // one `FiberEnd` per output whose innermost (sparse) dimension this
+    // forall iterates, emitted on every exit path so the fiber boundary is
+    // recorded even when the loop collapses to nothing.
+    let fiber_ends = sparse_fiber_ends(index, body, ctx);
+
     // 1. Find the read accesses driven by this loop.
     let mut driven: Vec<finch_cin::Access> = Vec::new();
     for a in body.read_accesses() {
@@ -47,7 +53,7 @@ pub(crate) fn lower_forall(
     };
     if let (Some(Value::Int(lo)), Some(Value::Int(hi))) = (ext.lo.as_lit(), ext.hi.as_lit()) {
         if lo > hi {
-            return Ok(Vec::new());
+            return Ok(fiber_ends);
         }
     }
 
@@ -62,7 +68,27 @@ pub(crate) fn lower_forall(
     let body = substitute_placeholders(body, &table);
 
     let state = LoopState { index: index.clone(), ext, body, accesses };
-    lower_loop(state, ctx)
+    let mut out = lower_loop(state, ctx)?;
+    out.extend(fiber_ends);
+    Ok(out)
+}
+
+/// The `FiberEnd` statements closing every sparse output fiber whose
+/// innermost dimension is driven by a `forall` over `index` (paper §5: the
+/// compressed level records its `pos` boundary when the fiber's loop ends).
+fn sparse_fiber_ends(index: &IndexVar, body: &CinStmt, ctx: &LowerCtx) -> Vec<Stmt> {
+    let mut ends: Vec<Stmt> = Vec::new();
+    for a in body.write_accesses() {
+        let Some(Binding::Output(ob)) = ctx.bindings.get(a.tensor.name()) else { continue };
+        let OutputSink::SparseList { pos, idx, .. } = ob.sink else { continue };
+        let drives =
+            matches!(a.indices.last(), Some(IndexExpr::Var { index: v, .. }) if v == index);
+        let seen = ends.iter().any(|s| matches!(s, Stmt::FiberEnd { pos: p, .. } if *p == pos));
+        if drives && !seen {
+            ends.push(Stmt::FiberEnd { pos, data: idx });
+        }
+    }
+    ends
 }
 
 /// Infer the extent of a loop from the dimensions of the tensors it
@@ -93,10 +119,8 @@ fn infer_extent(
     // Fall back to a write access whose coordinates use this index.
     for a in body.write_accesses() {
         let dims: Option<Vec<usize>> = match ctx.bindings.get(a.tensor.name()) {
-            Some(crate::lower::Binding::Output(out)) => Some(out.shape.clone()),
-            Some(crate::lower::Binding::Input(t)) => {
-                Some((0..t.ndim()).map(|k| t.dim(k)).collect())
-            }
+            Some(Binding::Output(out)) => Some(out.shape()),
+            Some(Binding::Input(t)) => Some((0..t.ndim()).map(|k| t.dim(k)).collect()),
             None => None,
         };
         if let Some(dims) = dims {
@@ -503,7 +527,9 @@ fn finalize(state: LoopState, ctx: &mut LowerCtx) -> Result<Vec<Stmt>, CompileEr
     }
 
     let saved = ctx.index_bindings.insert(index.clone(), index_expr);
+    ctx.loop_stack.push(index.clone());
     let inner = lower_stmt(&body, ctx);
+    ctx.loop_stack.pop();
     match saved {
         Some(prev) => {
             ctx.index_bindings.insert(index.clone(), prev);

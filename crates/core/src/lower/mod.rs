@@ -14,35 +14,67 @@ pub(crate) mod statements;
 use std::collections::HashMap;
 
 use finch_cin::{Access, CinExpr, CinOp, IndexVar};
-use finch_formats::BoundTensor;
+use finch_formats::{BoundTensor, LevelSpec};
 use finch_ir::{BinOp, BufId, BufferSet, Expr, Names, UnOp};
 use finch_rewrite::Rewriter;
 
 use crate::error::CompileError;
 
-/// A tensor bound into a kernel: either a structured input or a dense
-/// output.
+/// A tensor bound into a kernel: either a structured input or an output
+/// assembled through an [`OutputSink`].
 #[derive(Debug, Clone)]
 pub(crate) enum Binding {
     /// A read-only structured input.
     Input(BoundTensor),
-    /// A dense (or scalar) output buffer.
+    /// An output tensor under assembly.
     Output(OutputBinding),
 }
 
-/// A dense output tensor: its buffer, shape, and the value it is
-/// (re)initialised to.
+/// Where a kernel's writes land: the concrete output format.
+///
+/// The lowering compiler is format-polymorphic on the output side of an
+/// assignment; each sink knows which buffers the generated code writes and
+/// what per-store / per-fiber code the compiler must emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutputSink {
+    /// A preallocated dense buffer written in place at linearised
+    /// coordinates (the classic output; initialised by generated code).
+    Dense {
+        /// The values buffer.
+        buf: BufId,
+    },
+    /// An append-assembled sparse list on the innermost dimension: every
+    /// executed store appends the coordinate to `idx` and the value to
+    /// `val`, and the loop driving the sparse dimension is followed by a
+    /// `FiberEnd` that closes the fiber in `pos`.
+    SparseList {
+        /// Fiber boundaries (`nfibers + 1` entries once assembled).
+        pos: BufId,
+        /// Coordinates of stored entries, in visit order.
+        idx: BufId,
+        /// Values of stored entries, parallel to `idx`.
+        val: BufId,
+    },
+}
+
+/// An output tensor under assembly: its requested level stack, fill/init
+/// value, and the sink the generated code writes through.
 #[derive(Debug, Clone)]
 pub(crate) struct OutputBinding {
-    pub buf: BufId,
-    pub shape: Vec<usize>,
+    pub specs: Vec<LevelSpec>,
     pub init: f64,
+    pub sink: OutputSink,
 }
 
 impl OutputBinding {
-    /// Total number of elements.
+    /// The dimension sizes, outermost first.
+    pub fn shape(&self) -> Vec<usize> {
+        self.specs.iter().map(|s| s.size()).collect()
+    }
+
+    /// Total number of elements of the dense materialisation.
     pub fn len(&self) -> usize {
-        self.shape.iter().product::<usize>().max(1)
+        self.specs.iter().map(|s| s.size()).product::<usize>().max(1)
     }
 }
 
@@ -61,6 +93,10 @@ pub(crate) struct LowerCtx {
     pub bufs: BufferSet,
     pub bindings: HashMap<String, Binding>,
     pub index_bindings: HashMap<IndexVar, Expr>,
+    /// The indices of the loops enclosing the statement being lowered,
+    /// outermost first (used to check that a sparse output's innermost
+    /// dimension is driven by the innermost enclosing loop).
+    pub loop_stack: Vec<IndexVar>,
     pub fibers: HashMap<String, FiberHandle>,
     pub rewriter: Rewriter,
     next_acc: usize,
@@ -79,6 +115,7 @@ impl LowerCtx {
             bufs,
             bindings,
             index_bindings: HashMap::new(),
+            loop_stack: Vec::new(),
             fibers: HashMap::new(),
             rewriter,
             next_acc: 0,
@@ -155,10 +192,18 @@ impl LowerCtx {
         }
         match self.bindings.get(name) {
             None => Err(CompileError::UnknownTensor { name: name.to_string() }),
-            Some(Binding::Output(out)) => {
-                let pos = self.linearize(name, &out.shape, a)?;
-                Ok(Expr::load(out.buf, pos))
-            }
+            Some(Binding::Output(out)) => match out.sink {
+                OutputSink::Dense { buf } => {
+                    let pos = self.linearize(name, &out.shape(), a)?;
+                    Ok(Expr::load(buf, pos))
+                }
+                OutputSink::SparseList { .. } => Err(CompileError::Unsupported {
+                    detail: format!(
+                        "sparse output `{name}` cannot be read back inside the kernel; \
+                         finalize it with `output_tensor` and re-bind it as an input"
+                    ),
+                }),
+            },
             Some(Binding::Input(t)) => {
                 if t.ndim() == 0 && a.indices.is_empty() {
                     Ok(t.scalar_value())

@@ -70,7 +70,7 @@ fn dense_times_sparse_skips_nothing_but_visits_only_nonzeros_of_the_list() {
     let mut k = dot(&a, &b, Protocol::Walk, Protocol::Locate);
     let stats = k.run().expect("runs");
     let expect: f64 = a_data.iter().zip(&b_data).map(|(x, y)| x * y).sum();
-    assert_eq!(k.output_scalar("C"), Some(expect));
+    assert_eq!(k.output_scalar("C").unwrap(), expect);
     // Work is proportional to the number of stored nonzeros of A (11), not
     // to the dense dimension (1000).
     assert!(stats.loop_iters < 100, "iterations {}", stats.loop_iters);
@@ -115,7 +115,7 @@ fn zero_regions_are_deleted_not_executed() {
     let b = Tensor::band_vector("B", &[0.0, 0.0, 0.0, 0.0]);
     let mut k = dot(&a, &b, Protocol::Walk, Protocol::Default);
     let stats = k.run().expect("runs");
-    assert_eq!(k.output_scalar("C"), Some(0.0));
+    assert_eq!(k.output_scalar("C").unwrap(), 0.0);
     assert!(
         stats.loop_iters <= 1,
         "zero band should produce no iteration: {stats:?}\n{}",
@@ -130,7 +130,7 @@ fn bitmap_switch_specialises_the_zero_case() {
     let b = Tensor::dense_vector("B", &[1.0; 6]);
     let mut k = dot(&a, &b, Protocol::Locate, Protocol::Locate);
     k.run().expect("runs");
-    assert_eq!(k.output_scalar("C"), Some(10.0));
+    assert_eq!(k.output_scalar("C").unwrap(), 10.0);
     // The bitmap's zero check appears in the generated code.
     assert!(k.code().contains("A_tbl0["), "{}", k.code());
 }
@@ -159,7 +159,7 @@ fn generated_code_for_spmspv_nests_the_row_loop_outside_the_merge() {
     );
     let mut compiled = kernel.compile(&program).expect("spmspv compiles");
     compiled.run().expect("spmspv runs");
-    assert_eq!(compiled.output("y"), Some(vec![6.0, 3.0, 8.0]));
+    assert_eq!(compiled.output("y").unwrap(), vec![6.0, 3.0, 8.0]);
     let code = compiled.code();
     // The outer dense row loop is a for; the inner coiteration is a while.
     let for_pos = code.find("for i").expect("outer for loop");

@@ -35,9 +35,11 @@
 mod bound;
 mod convert;
 mod level;
+mod output;
 mod tensor;
 mod unfurl;
 
 pub use bound::{BoundLevel, BoundTensor, UnfurlLeaf};
 pub use level::Level;
+pub use output::{LevelSpec, OutputBuilder};
 pub use tensor::{Tensor, TensorError};

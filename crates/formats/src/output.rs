@@ -1,0 +1,180 @@
+//! Output-level assembly: turning the arrays a kernel assembled at run time
+//! into a first-class [`Tensor`].
+//!
+//! The paper's compiler is format-polymorphic on *both* sides of an
+//! assignment: an output can be a preallocated dense buffer, or a compressed
+//! level whose `pos`/`idx`/`val` arrays are appended to as the kernel visits
+//! stored coordinates.  A [`LevelSpec`] names the requested storage of one
+//! output dimension, and [`OutputBuilder`] finalizes the raw arrays into a
+//! validated [`Tensor`] — so a kernel's result can be re-bound as an input
+//! of a follow-up kernel (kernel chaining).
+
+use crate::level::Level;
+use crate::tensor::{Tensor, TensorError};
+
+/// The requested storage scheme of one output dimension.
+///
+/// This is the output-side counterpart of [`Level`]: a `Level` describes
+/// arrays that already exist, a `LevelSpec` describes the arrays a kernel
+/// must assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelSpec {
+    /// Every coordinate `0..size` is materialised (the classic preallocated
+    /// output buffer).
+    Dense {
+        /// The dimension size.
+        size: usize,
+    },
+    /// Only visited coordinates are materialised, appended in order to
+    /// `pos`/`idx`/`val` arrays (the paper's compressed level).
+    SparseList {
+        /// The dimension size.
+        size: usize,
+    },
+}
+
+impl LevelSpec {
+    /// The dimension size of the level.
+    pub fn size(&self) -> usize {
+        match self {
+            LevelSpec::Dense { size } | LevelSpec::SparseList { size } => *size,
+        }
+    }
+
+    /// A short name for the format (mirrors [`Level::format_name`]).
+    pub fn format_name(&self) -> &'static str {
+        match self {
+            LevelSpec::Dense { .. } => "dense",
+            LevelSpec::SparseList { .. } => "sparse-list",
+        }
+    }
+}
+
+/// Finalizes the arrays assembled by a kernel into a validated [`Tensor`].
+///
+/// ```
+/// use finch_formats::{LevelSpec, OutputBuilder};
+///
+/// // A length-6 sparse vector with entries at coordinates 1 and 4.
+/// let builder = OutputBuilder::new("C", vec![LevelSpec::SparseList { size: 6 }]);
+/// let t = builder.finalize_sparse_list(vec![0, 2], vec![1, 4], vec![2.5, 7.0], 0.0).unwrap();
+/// assert_eq!(t.to_dense(), vec![0.0, 2.5, 0.0, 0.0, 7.0, 0.0]);
+/// assert_eq!(t.stored(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OutputBuilder {
+    name: String,
+    specs: Vec<LevelSpec>,
+}
+
+impl OutputBuilder {
+    /// A builder for an output named `name` with the given level stack
+    /// (outermost first).
+    pub fn new(name: impl Into<String>, specs: Vec<LevelSpec>) -> Self {
+        OutputBuilder { name: name.into(), specs }
+    }
+
+    /// The level stack, outermost first.
+    pub fn specs(&self) -> &[LevelSpec] {
+        &self.specs
+    }
+
+    /// The dimension sizes, outermost first.
+    pub fn shape(&self) -> Vec<usize> {
+        self.specs.iter().map(|s| s.size()).collect()
+    }
+
+    /// Finalize an all-dense output: `values` holds one element per
+    /// coordinate in row-major order (a zero-dimensional stack holds the
+    /// single scalar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] when `values` does not match the shape.
+    pub fn finalize_dense(&self, values: Vec<f64>, fill: f64) -> Result<Tensor, TensorError> {
+        let levels = self.specs.iter().map(|s| Level::Dense { size: s.size() }).collect();
+        Tensor::new(self.name.clone(), levels, values, fill)
+    }
+
+    /// Finalize a stack whose innermost level is a sparse list assembled as
+    /// `pos`/`idx`/`val` (all outer levels dense): the shape the kernel-side
+    /// `Append`/`FiberEnd` assembly produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TensorError`] when the arrays are structurally invalid —
+    /// `pos` not monotonic from 0 or not covering every outer fiber
+    /// (e.g. the kernel never ran), coordinates unsorted or out of range,
+    /// or a value count that does not match the stored entries.
+    pub fn finalize_sparse_list(
+        &self,
+        pos: Vec<i64>,
+        idx: Vec<i64>,
+        values: Vec<f64>,
+        fill: f64,
+    ) -> Result<Tensor, TensorError> {
+        let (inner, outer) = self.specs.split_last().expect("a sparse stack has a level");
+        let mut levels: Vec<Level> =
+            outer.iter().map(|s| Level::Dense { size: s.size() }).collect();
+        levels.push(Level::SparseList { size: inner.size(), pos, idx });
+        Tensor::new(self.name.clone(), levels, values, fill)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_finalize_matches_dense_constructors() {
+        let b = OutputBuilder::new("C", vec![LevelSpec::Dense { size: 3 }]);
+        let t = b.finalize_dense(vec![1.0, 0.0, 2.0], 0.0).unwrap();
+        assert_eq!(t.to_dense(), vec![1.0, 0.0, 2.0]);
+        assert_eq!(t.name(), "C");
+        assert_eq!(b.shape(), vec![3]);
+    }
+
+    #[test]
+    fn scalar_finalize_is_zero_dimensional() {
+        let b = OutputBuilder::new("C", Vec::new());
+        let t = b.finalize_dense(vec![7.5], 0.0).unwrap();
+        assert_eq!(t.ndim(), 0);
+        assert_eq!(t.to_dense(), vec![7.5]);
+    }
+
+    #[test]
+    fn sparse_list_finalize_roundtrips_through_to_dense() {
+        let b = OutputBuilder::new("C", vec![LevelSpec::SparseList { size: 5 }]);
+        let t = b.finalize_sparse_list(vec![0, 2], vec![0, 3], vec![4.0, 9.0], 0.0).unwrap();
+        assert_eq!(t.to_dense(), vec![4.0, 0.0, 0.0, 9.0, 0.0]);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn csr_shaped_output_finalizes_with_dense_outer_levels() {
+        let b = OutputBuilder::new(
+            "C",
+            vec![LevelSpec::Dense { size: 2 }, LevelSpec::SparseList { size: 4 }],
+        );
+        let t = b.finalize_sparse_list(vec![0, 1, 3], vec![2, 0, 3], vec![5.0, 6.0, 7.0], 0.0);
+        let t = t.unwrap();
+        assert_eq!(t.to_dense(), vec![0.0, 0.0, 5.0, 0.0, 6.0, 0.0, 0.0, 7.0]);
+        assert_eq!(t.shape(), vec![2, 4]);
+    }
+
+    #[test]
+    fn malformed_assembly_is_rejected_not_panicking() {
+        let b = OutputBuilder::new("C", vec![LevelSpec::SparseList { size: 5 }]);
+        // pos never closed (kernel never ran): one entry instead of two.
+        assert!(b.finalize_sparse_list(vec![0], vec![], vec![], 0.0).is_err());
+        // Unsorted coordinates.
+        assert!(b.finalize_sparse_list(vec![0, 2], vec![3, 1], vec![1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn spec_accessors() {
+        assert_eq!(LevelSpec::Dense { size: 4 }.size(), 4);
+        assert_eq!(LevelSpec::SparseList { size: 4 }.format_name(), "sparse-list");
+        assert_eq!(LevelSpec::Dense { size: 4 }.format_name(), "dense");
+    }
+}

@@ -102,6 +102,30 @@ impl Buffer {
         Ok(())
     }
 
+    /// Append `value` at the end of the buffer, growing it by one element.
+    ///
+    /// This is the runtime primitive behind the IR's `Append` statement:
+    /// sparse output assembly builds its `pos`/`idx`/`val` arrays by
+    /// appending, so the buffer length is the number of entries assembled
+    /// so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value cannot be represented in the buffer's
+    /// element type (including appending `Missing`).
+    pub fn push(&mut self, value: Value) -> Result<(), RuntimeError> {
+        if value.is_missing() {
+            return Err(RuntimeError::UnexpectedMissing { context: "a buffer append".into() });
+        }
+        match self {
+            Buffer::I64(v) => v.push(value.as_int()?),
+            Buffer::F64(v) => v.push(value.as_float()?),
+            Buffer::U8(v) => v.push(value.as_float()?.clamp(0.0, 255.0).round() as u8),
+            Buffer::Bool(v) => v.push(value.as_bool()?),
+        }
+        Ok(())
+    }
+
     /// Fill every element with `value` (used to re-initialise outputs
     /// between benchmark repetitions).
     ///
@@ -263,6 +287,30 @@ mod tests {
         let mut buf = Buffer::F64(vec![0.0]);
         let err = buf.store(0, Value::Missing, None).unwrap_err();
         assert!(matches!(err, RuntimeError::UnexpectedMissing { .. }));
+    }
+
+    #[test]
+    fn push_grows_every_buffer_type() {
+        let mut i = Buffer::I64(vec![0]);
+        i.push(Value::Int(7)).unwrap();
+        assert_eq!(i.as_i64(), Some(&[0, 7][..]));
+        let mut f = Buffer::F64(vec![]);
+        f.push(Value::Float(2.5)).unwrap();
+        assert_eq!(f.as_f64(), Some(&[2.5][..]));
+        let mut u = Buffer::U8(vec![]);
+        u.push(Value::Float(300.0)).unwrap();
+        assert_eq!(u.load(0), Value::Float(255.0)); // clamped
+        let mut b = Buffer::Bool(vec![]);
+        b.push(Value::Bool(true)).unwrap();
+        assert_eq!(b.load(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn pushing_missing_is_an_error() {
+        let mut buf = Buffer::F64(vec![]);
+        let err = buf.push(Value::Missing).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnexpectedMissing { .. }));
+        assert!(buf.is_empty(), "a failed push must not grow the buffer");
     }
 
     #[test]

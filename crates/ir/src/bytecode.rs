@@ -215,6 +215,22 @@ pub enum Instr {
         /// Absolute index of the loop's [`Instr::ForTest`].
         test: u32,
     },
+    /// `buf.push(val)`: append one element at the end of a growable buffer
+    /// (sparse output assembly).  Counts one store, like [`Instr::Store`].
+    Append {
+        /// The buffer appended to.
+        buf: BufId,
+        /// Register holding the appended value.
+        val: Reg,
+    },
+    /// `pos.push(len(data))`: close one fiber of a sparse output level by
+    /// recording the current length of its entry array.  Counts one store.
+    FiberEnd {
+        /// The `pos` (fiber boundary) buffer appended to.
+        pos: BufId,
+        /// The entry array whose current length is recorded.
+        data: BufId,
+    },
     /// The looplet `seek`: lower-bound binary search for `key` over
     /// `buf[lo..=hi]` (bounds and key already integers), writing the first
     /// position with `buf[p] >= key` (or `hi + 1`) into `dst`.  Counts one
@@ -384,6 +400,8 @@ impl Program {
                     check_reg(pc, counter)?;
                     check_target(pc, test)?;
                 }
+                Instr::Append { val, .. } => check_reg(pc, val)?,
+                Instr::FiberEnd { .. } => {}
                 Instr::Seek { dst, lo, hi, key, .. } => {
                     check_reg(pc, dst)?;
                     check_reg(pc, lo)?;
@@ -564,6 +582,15 @@ impl Compiler {
                 let here = self.here();
                 self.patch(ft, here);
                 self.free(2);
+            }
+            Stmt::Append { buf, value } => {
+                let tv = self.alloc();
+                self.expr(value, tv);
+                self.emit(Instr::Append { buf: *buf, val: tv });
+                self.free(1);
+            }
+            Stmt::FiberEnd { pos, data } => {
+                self.emit(Instr::FiberEnd { pos: *pos, data: *data });
             }
             Stmt::Block(body) => {
                 for s in body {
@@ -905,6 +932,90 @@ mod tests {
         let program = compile(&prog, &names);
         assert_eq!(program.reg_name(Reg(0)), "acc");
         assert!(program.reg_name(Reg(1)).starts_with('t'));
+    }
+
+    /// Golden disassembly of the sparse-assembly statements: any change to
+    /// the instruction encoding of `Append`/`FiberEnd` (operand order,
+    /// emitted coercions, temp allocation) shows up as a diff here.
+    #[test]
+    fn golden_disasm_of_append_and_fiber_end() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let pos = bufs.add("C_pos", Buffer::I64(vec![0]));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::Let { var: i, init: Expr::int(3) },
+            Stmt::Append { buf: idx, value: Expr::Var(i) },
+            Stmt::FiberEnd { pos, data: idx },
+        ];
+        let program = compile(&prog, &names);
+        let expected = "   0: BumpStmt
+   1: Const { dst: Reg(0), cidx: 0 }
+   2: BumpStmt
+   3: Mov { dst: Reg(1), src: Reg(0) }
+   4: Append { buf: BufId(1), val: Reg(1) }
+   5: BumpStmt
+   6: FiberEnd { pos: BufId(0), data: BufId(1) }
+";
+        assert_eq!(program.disasm(), expected);
+    }
+
+    /// Golden disassembly of a representative existing kernel shape (a
+    /// reducing `for` loop over a buffer), guarding the encoding of the
+    /// loop, load and store instructions.
+    #[test]
+    fn golden_disasm_of_a_reducing_for_loop() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0; 3]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(2),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(x, Expr::Var(i)),
+                reduce: Some(BinOp::Add),
+            }],
+        }];
+        let program = compile(&prog, &names);
+        let expected = "   0: BumpStmt
+   1: Const { dst: Reg(1), cidx: 0 }
+   2: CoerceInt { reg: Reg(1) }
+   3: Const { dst: Reg(2), cidx: 1 }
+   4: CoerceInt { reg: Reg(2) }
+   5: ForTest { counter: Reg(1), hi: Reg(2), var: Reg(0), end: 13 }
+   6: BumpStmt
+   7: Const { dst: Reg(3), cidx: 0 }
+   8: CoerceInt { reg: Reg(3) }
+   9: Mov { dst: Reg(5), src: Reg(0) }
+  10: Load { dst: Reg(4), buf: BufId(0), idx: Reg(5) }
+  11: Store { buf: BufId(1), idx: Reg(3), val: Reg(4), reduce: Some(Add) }
+  12: ForStep { counter: Reg(1), test: 5 }
+";
+        assert_eq!(program.disasm(), expected);
+    }
+
+    #[test]
+    fn append_operand_registers_are_validated() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let pos = bufs.add("pos", Buffer::I64(vec![0]));
+        let v = names.fresh("v");
+        let prog = vec![
+            Stmt::Let { var: v, init: Expr::int(1) },
+            Stmt::Append { buf: idx, value: Expr::Var(v) },
+            Stmt::FiberEnd { pos, data: idx },
+        ];
+        let program = compile(&prog, &names);
+        let appends = program.code().iter().filter(|i| matches!(i, Instr::Append { .. })).count();
+        let ends = program.code().iter().filter(|i| matches!(i, Instr::FiberEnd { .. })).count();
+        assert_eq!((appends, ends), (1, 1));
     }
 
     #[test]

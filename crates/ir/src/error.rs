@@ -47,6 +47,15 @@ pub enum RuntimeError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// A kernel output was queried under a name or kind that does not match
+    /// its binding (an unknown name, a vector read through `output_scalar`,
+    /// a sparse output read before any run assembled it, ...).
+    BadOutputQuery {
+        /// The queried output name.
+        name: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -68,6 +77,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StepBudgetExceeded { budget } => {
                 write!(f, "interpreter exceeded step budget of {budget}")
             }
+            RuntimeError::BadOutputQuery { name, detail } => {
+                write!(f, "output `{name}` cannot be read: {detail}")
+            }
         }
     }
 }
@@ -87,6 +99,7 @@ mod tests {
             RuntimeError::UnboundVariable { name: "p".into() },
             RuntimeError::UnexpectedMissing { context: "a store".into() },
             RuntimeError::StepBudgetExceeded { budget: 10 },
+            RuntimeError::BadOutputQuery { name: "C".into(), detail: "not a scalar".into() },
         ];
         for e in errs {
             let msg = format!("{e}");

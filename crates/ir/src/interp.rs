@@ -119,6 +119,16 @@ impl Interpreter {
                 self.stats.stores += 1;
                 bufs.get_mut(*buf).store(idx as usize, val, *reduce)
             }
+            Stmt::Append { buf, value } => {
+                let val = self.eval(value, bufs)?;
+                self.stats.stores += 1;
+                bufs.get_mut(*buf).push(val)
+            }
+            Stmt::FiberEnd { pos, data } => {
+                let end = bufs.get(*data).len() as i64;
+                self.stats.stores += 1;
+                bufs.get_mut(*pos).push(Value::Int(end))
+            }
             Stmt::If { cond, then_branch, else_branch } => {
                 let c = self.eval(cond, bufs)?;
                 // A missing condition (possible under `permit`) selects the
@@ -366,6 +376,50 @@ mod tests {
         interp.run(&prog, &mut bufs).unwrap();
         assert_eq!(bufs.get(out).load(0), Value::Int(0));
         assert_eq!(interp.stats().loop_iters, 0);
+    }
+
+    #[test]
+    fn append_and_fiber_end_assemble_a_sparse_fiber() {
+        // for i in 0..=3 { if x[i] != 0 { idx.push(i); val.push(x[i]) } }
+        // pos.push(idx.len())
+        let (mut names, mut bufs) = setup();
+        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0]));
+        let pos = bufs.add("C_pos", Buffer::I64(vec![0]));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
+        let val = bufs.add("C_val", Buffer::F64(vec![]));
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::For {
+                var: i,
+                lo: Expr::int(0),
+                hi: Expr::int(3),
+                body: vec![Stmt::if_then(
+                    Expr::binary(BinOp::Ne, Expr::load(x, Expr::Var(i)), Expr::float(0.0)),
+                    vec![
+                        Stmt::Append { buf: idx, value: Expr::Var(i) },
+                        Stmt::Append { buf: val, value: Expr::load(x, Expr::Var(i)) },
+                    ],
+                )],
+            },
+            Stmt::FiberEnd { pos, data: idx },
+        ];
+        let mut interp = Interpreter::new(&names);
+        interp.run(&prog, &mut bufs).unwrap();
+        assert_eq!(bufs.get(pos).as_i64(), Some(&[0, 2][..]));
+        assert_eq!(bufs.get(idx).as_i64(), Some(&[1, 3][..]));
+        assert_eq!(bufs.get(val).as_f64(), Some(&[1.5, 2.0][..]));
+        // 2 idx appends + 2 val appends + 1 fiber end, each counted a store.
+        assert_eq!(interp.stats().stores, 5);
+    }
+
+    #[test]
+    fn appending_missing_is_an_error() {
+        let (names, mut bufs) = setup();
+        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let prog = vec![Stmt::Append { buf: idx, value: Expr::missing() }];
+        let mut interp = Interpreter::new(&names);
+        let err = interp.run(&prog, &mut bufs).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnexpectedMissing { .. }));
     }
 
     #[test]

@@ -76,8 +76,12 @@ fn hoist_loop_body(
             Stmt::Let { var, .. } | Stmt::Assign { var, .. } | Stmt::For { var, .. } => {
                 defined.insert(*var);
             }
-            Stmt::Store { buf, .. } => {
+            Stmt::Store { buf, .. } | Stmt::Append { buf, .. } => {
                 stored.insert(*buf);
+            }
+            Stmt::FiberEnd { pos, data } => {
+                stored.insert(*pos);
+                stored.insert(*data);
             }
             _ => {}
         });
@@ -135,6 +139,8 @@ fn hoist_loop_body(
                 consider(index);
                 consider(value);
             }
+            Stmt::Append { value, .. } => consider(value),
+            Stmt::FiberEnd { .. } => {}
             Stmt::If { cond, .. } | Stmt::While { cond, .. } => consider(cond),
             Stmt::For { lo, hi, .. } => {
                 consider(lo);

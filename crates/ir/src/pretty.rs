@@ -78,6 +78,19 @@ impl<'a> Printer<'a> {
                     self.expr(value)
                 );
             }
+            Stmt::Append { buf, value } => {
+                self.indent(depth, out);
+                let _ = writeln!(out, "{}.push({});", self.bufs.name(*buf), self.expr(value));
+            }
+            Stmt::FiberEnd { pos, data } => {
+                self.indent(depth, out);
+                let _ = writeln!(
+                    out,
+                    "{}.push({}.len());",
+                    self.bufs.name(*pos),
+                    self.bufs.name(*data)
+                );
+            }
             Stmt::If { cond, then_branch, else_branch } => {
                 self.indent(depth, out);
                 let _ = writeln!(out, "if {} {{", self.expr(cond));

@@ -134,6 +134,26 @@ pub enum Stmt {
         /// The statements executed in order.
         Vec<Stmt>,
     ),
+    /// `buf.push(value)`: append one element at the end of a growable
+    /// buffer.  Sparse output assembly stores each computed entry by
+    /// appending its coordinate to the output's `idx` array and its value
+    /// to the `val` array; counts as one store.
+    Append {
+        /// The buffer appended to.
+        buf: BufId,
+        /// The appended value.
+        value: Expr,
+    },
+    /// `pos.push(len(data))`: close one fiber of a sparse output level by
+    /// recording how many entries the `data` array holds so far.  Emitted
+    /// once after the loop that drives the sparse output dimension; counts
+    /// as one store.
+    FiberEnd {
+        /// The `pos` (fiber boundary) buffer appended to.
+        pos: BufId,
+        /// The entry array (`idx`) whose current length is recorded.
+        data: BufId,
+    },
     /// A comment carried through to the pretty-printer, used to annotate
     /// generated code with the looplet pass that produced each region.
     Comment(
@@ -182,7 +202,8 @@ impl Stmt {
     /// nested bodies) with `f`.
     pub fn map_exprs(&self, f: &mut dyn FnMut(&Expr) -> Expr) -> Stmt {
         match self {
-            Stmt::Comment(_) => self.clone(),
+            Stmt::Comment(_) | Stmt::FiberEnd { .. } => self.clone(),
+            Stmt::Append { buf, value } => Stmt::Append { buf: *buf, value: f(value) },
             Stmt::Let { var, init } => Stmt::Let { var: *var, init: f(init) },
             Stmt::Assign { var, value } => Stmt::Assign { var: *var, value: f(value) },
             Stmt::Store { buf, index, value, reduce } => {

@@ -314,6 +314,28 @@ impl Vm {
                     bufs.get_mut(buf).store(at as usize, v, reduce)?;
                     pc += 1;
                 }
+                Instr::Append { buf, val } => {
+                    self.stats.stores += 1;
+                    let vi = val.index();
+                    // Fast paths for the two lane types sparse assembly
+                    // appends (coordinates and values); everything else
+                    // defers to the boxed push for identical semantics.
+                    match (self.tags[vi], bufs.get_mut(buf)) {
+                        (Tag::Int, Buffer::I64(data)) => data.push(self.ints[vi]),
+                        (Tag::Float, Buffer::F64(data)) => data.push(self.floats[vi]),
+                        (_, other) => {
+                            let v = self.value(val, program)?;
+                            other.push(v)?;
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::FiberEnd { pos, data } => {
+                    self.stats.stores += 1;
+                    let end = bufs.get(data).len() as i64;
+                    bufs.get_mut(pos).push(Value::Int(end))?;
+                    pc += 1;
+                }
                 Instr::Unary { op, dst, src } => {
                     let a = self.value(src, program)?;
                     self.set(dst, Value::unop(op, a)?);
@@ -861,6 +883,59 @@ mod tests {
         assert_eq!(bufs.get(out).load(0), Value::Int(0));
         assert_eq!(vm.stats().loop_iters, 0);
         assert_eq!(vm.stats().stmts, 1, "just the for statement itself");
+    }
+
+    #[test]
+    fn append_and_fiber_end_match_the_interpreter() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0]));
+        let pos = bufs.add("C_pos", Buffer::I64(vec![0]));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
+        let val = bufs.add("C_val", Buffer::F64(vec![]));
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::For {
+                var: i,
+                lo: Expr::int(0),
+                hi: Expr::int(3),
+                body: vec![Stmt::if_then(
+                    Expr::binary(BinOp::Ne, Expr::load(x, Expr::Var(i)), Expr::float(0.0)),
+                    vec![
+                        Stmt::Append { buf: idx, value: Expr::Var(i) },
+                        Stmt::Append { buf: val, value: Expr::load(x, Expr::Var(i)) },
+                    ],
+                )],
+            },
+            Stmt::FiberEnd { pos, data: idx },
+        ];
+        assert_parity(&prog, &names, &bufs);
+        let program = Program::compile(&prog, &names);
+        program.validate().expect("program validates");
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(bufs.get(pos).as_i64(), Some(&[0, 2][..]));
+        assert_eq!(bufs.get(idx).as_i64(), Some(&[1, 3][..]));
+        assert_eq!(bufs.get(val).as_f64(), Some(&[1.5, 2.0][..]));
+        assert_eq!(vm.stats().stores, 5);
+    }
+
+    #[test]
+    fn append_of_a_mixed_type_value_defers_to_boxed_push() {
+        // A bool appended into an i64 buffer exercises the slow path.
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let v = names.fresh("v");
+        let prog = vec![
+            Stmt::Let { var: v, init: Expr::bool(true) },
+            Stmt::Append { buf: idx, value: Expr::Var(v) },
+        ];
+        assert_parity(&prog, &names, &bufs);
+        let program = Program::compile(&prog, &names);
+        let mut vm = Vm::new(&program);
+        vm.run(&program, &mut bufs).unwrap();
+        assert_eq!(bufs.get(idx).as_i64(), Some(&[1][..]));
     }
 
     #[test]

@@ -104,6 +104,34 @@ fn triangle_and_all_pairs_parity() {
     }
 }
 
+/// Sparse output assembly: both engines must append bit-identical
+/// `pos`/`idx`/`val` arrays with identical work counters, and the dense
+/// materialisation must equal the dense-output run of the same program.
+#[test]
+fn sparse_output_assembly_parity() {
+    for g in finch_bench::figs_output_groups(96, 0.08, 13) {
+        let mut dense_results = Vec::new();
+        for mut v in g.variants {
+            let tw_stats = v.kernel.run_with(Engine::TreeWalk).expect("tree-walk runs");
+            let tw_tensor = v.kernel.output_tensor("C").expect("tree-walk output finalizes");
+            let bc_stats = v.kernel.run_with(Engine::Bytecode).expect("bytecode runs");
+            let bc_tensor = v.kernel.output_tensor("C").expect("bytecode output finalizes");
+            assert_eq!(tw_stats, bc_stats, "{}: work counters diverge", v.label);
+            assert_eq!(tw_tensor, bc_tensor, "{}: assembled levels diverge", v.label);
+            let bits: Vec<(u64, u64)> = tw_tensor
+                .values()
+                .iter()
+                .zip(bc_tensor.values())
+                .map(|(a, b)| (a.to_bits(), b.to_bits()))
+                .collect();
+            assert!(bits.iter().all(|(a, b)| a == b), "{}: values are not bit-identical", v.label);
+            dense_results.push(bc_tensor.to_dense());
+        }
+        // The sparse-output variant materialises to the dense-output run.
+        assert_eq!(dense_results[0], dense_results[1], "{}: formats disagree", g.group);
+    }
+}
+
 /// A step budget interrupts both engines at the same statement count.
 #[test]
 fn step_budget_trips_identically_on_both_engines() {

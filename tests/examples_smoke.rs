@@ -12,6 +12,7 @@ const EXAMPLES: &[(&str, &str)] = &[
     ("spmspv", "two-finger merge (native)"),
     ("convolution", "masked sparse convolution"),
     ("image_blend", "all-pairs similarity"),
+    ("sparse_output", "chained reduction over the assembled output"),
 ];
 
 #[test]

@@ -26,7 +26,7 @@ fn window_sums_a_slice() {
     );
     let mut compiled = kernel.compile(&program).expect("window kernel compiles");
     compiled.run().expect("window kernel runs");
-    assert_eq!(compiled.output_scalar("S"), Some(3.0 + 4.0 + 5.0));
+    assert_eq!(compiled.output_scalar("S").unwrap(), 3.0 + 4.0 + 5.0);
 }
 
 #[test]
@@ -45,7 +45,7 @@ fn offset_shifts_the_coordinate_system() {
     );
     let mut compiled = kernel.compile(&program).expect("offset kernel compiles");
     compiled.run().expect("offset kernel runs");
-    assert_eq!(compiled.output("y"), Some(vec![30.0, 40.0]));
+    assert_eq!(compiled.output("y").unwrap(), vec![30.0, 40.0]);
 }
 
 #[test]
@@ -68,7 +68,7 @@ fn permit_reads_out_of_bounds_as_missing() {
     );
     let mut compiled = kernel.compile(&program).expect("permit kernel compiles");
     compiled.run().expect("permit kernel runs");
-    assert_eq!(compiled.output("y"), Some(vec![-1.0, 5.0, 7.0, -1.0]));
+    assert_eq!(compiled.output("y").unwrap(), vec![-1.0, 5.0, 7.0, -1.0]);
 }
 
 #[test]
@@ -98,7 +98,7 @@ fn concatenation_via_permit_and_offset() {
     let mut compiled = kernel.compile(&program).expect("concat kernel compiles");
     compiled.run().expect("concat kernel runs");
     let expect: Vec<f64> = a_data.iter().chain(b_data.iter()).copied().collect();
-    assert_eq!(compiled.output("C"), Some(expect));
+    assert_eq!(compiled.output("C").unwrap(), expect);
 }
 
 #[test]
@@ -214,7 +214,7 @@ fn sieve_statements_guard_scatter_like_updates() {
     );
     let mut compiled = kernel.compile(&program).expect("sieve kernel compiles");
     compiled.run().expect("sieve kernel runs");
-    assert_eq!(compiled.output_scalar("count"), Some(3.0));
+    assert_eq!(compiled.output_scalar("count").unwrap(), 3.0);
 }
 
 #[test]

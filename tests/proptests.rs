@@ -5,7 +5,8 @@ mod common;
 
 use common::{assert_engine_parity, dot_kernel, spmspv_kernel};
 use looplets_repro::baseline::kernels::{dot_dense, spmv_dense};
-use looplets_repro::finch::{Protocol, Tensor};
+use looplets_repro::finch::build::*;
+use looplets_repro::finch::{Kernel, LevelSpec, Protocol, Tensor};
 use proptest::prelude::*;
 
 /// A vector with a controlled mix of zeros, repeated values and arbitrary
@@ -157,6 +158,48 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Round-trip random sparse-output kernels: assemble a `SparseList`
+    /// output, re-bind the finalized tensor as the input of an
+    /// identity-copy kernel, and compare the copy against the dense oracle.
+    #[test]
+    fn sparse_outputs_roundtrip_through_an_identity_copy(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a = Tensor::sparse_list_vector("A", a_data);
+        let b = Tensor::sparse_list_vector("B", b_data);
+
+        // C[i] = A[i] * B[i], assembled as a sparse list.
+        let mut kernel = Kernel::new();
+        kernel
+            .bind_input(&a)
+            .bind_input(&b)
+            .bind_output_format("C", &[LevelSpec::SparseList { size: n }]);
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+        );
+        let mut k = kernel.compile(&program).expect("sparse multiply compiles");
+        assert_engine_parity(&mut k, "sparse-output multiply");
+        let c = k.output_tensor("C").expect("sparse output finalizes");
+
+        let oracle: Vec<f64> = a_data.iter().zip(b_data).map(|(x, y)| x * y).collect();
+        prop_assert_eq!(c.to_dense(), oracle.clone(), "assembled tensor");
+        prop_assert_eq!(c.stored(), oracle.iter().filter(|&&v| v != 0.0).count());
+
+        // Identity copy: re-bind the assembled tensor as an input.
+        let mut copy = Kernel::new();
+        copy.bind_input(&c).bind_output("D", &[n], 0.0);
+        let i = idx("i");
+        let program = forall(i.clone(), assign(access("D", [i.clone()]), access("C", [i])));
+        let mut ck = copy.compile(&program).expect("identity copy compiles");
+        assert_engine_parity(&mut ck, "identity copy of a sparse output");
+        prop_assert_eq!(ck.output("D").unwrap(), oracle, "copied result");
     }
 
     #[test]
