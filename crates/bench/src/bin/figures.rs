@@ -1,21 +1,29 @@
 //! Regenerate every figure of the paper's evaluation as a text table,
-//! timing each variant on **both** execution engines — the tree-walking
-//! interpreter and the flat register bytecode VM — side by side.
+//! timing each variant on both execution engines — the tree-walking
+//! interpreter and the flat register bytecode VM — and on the bytecode
+//! engine at `OptLevel::None`, so every run records the optimiser's
+//! wall-clock win next to the engine comparison.
 //!
 //! ```bash
-//! cargo run --release -p finch-bench --bin figures              # all figures
-//! cargo run --release -p finch-bench --bin figures -- --fig 8   # one figure
-//! cargo run --release -p finch-bench --bin figures -- --tiny    # CI smoke sizes
+//! cargo run --release -p finch-bench --bin figures                # all figures
+//! cargo run --release -p finch-bench --bin figures -- --fig 8     # one figure
+//! cargo run --release -p finch-bench --bin figures -- --tiny      # CI smoke sizes
 //! cargo run --release -p finch-bench --bin figures -- --json out.json
+//! # Re-run one engine/opt-level combination in isolation:
+//! cargo run --release -p finch-bench --bin figures -- --fig 1 --engine bytecode --opt none
+//! cargo run --release -p finch-bench --bin figures -- --engine tree_walk --opt aggressive
 //! ```
 //!
-//! Each table reports the median wall-clock of both engines, the
-//! machine-independent work counter (asserted identical across engines),
-//! and the speedup relative to the figure's baseline strategy measured on
-//! the bytecode engine (the quantity the paper plots).  Every measurement
-//! is also appended to a machine-readable JSON report
-//! (`BENCH_figures.json` by default) so the perf trajectory is trackable
-//! across commits; see EXPERIMENTS.md for the schema.
+//! With no `--engine`/`--opt` flags, each variant is measured three ways:
+//! tree-walk and bytecode at `OptLevel::Default` (the engine comparison,
+//! with identical work counters asserted), plus bytecode at
+//! `OptLevel::None` (the optimiser comparison).  Passing `--engine` and/or
+//! `--opt` restricts the measured combinations.  Every measurement is
+//! appended to a machine-readable JSON report (`BENCH_figures.json` by
+//! default) including instruction counts, per-pass optimiser counters, and
+//! the optimiser compile time per variant — which is also guarded by a
+//! hard assert so new passes cannot silently blow up compilation latency.
+//! See EXPERIMENTS.md for the schema.
 //!
 //! Figure S (sparse output assembly) additionally smoke-checks assembly
 //! correctness before timing: the sparse-list output's stored-entry count
@@ -23,9 +31,19 @@
 //! dense-output run, and its store counter must be strictly below the
 //! dense variant's — so CI (`--tiny`) checks correctness, not just timing.
 
-use finch::Engine;
-use finch_bench::report::{EngineReport, FigureGroup, Report, VariantReport};
+use std::time::Instant;
+
+use finch::{Engine, OptLevel};
+use finch_bench::report::{
+    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, VariantReport,
+};
 use finch_bench::*;
+
+/// Re-deriving a kernel at `OptLevel::Default` (IR pipeline + bytecode
+/// compile + peephole) must stay far below human-noticeable latency; the
+/// bound is generous so CI machines never flake, while still catching an
+/// accidentally quadratic pass.
+const COMPILE_BUDGET_SECONDS: f64 = 2.0;
 
 fn wants(figure: &str) -> bool {
     let args: Vec<String> = std::env::args().collect();
@@ -48,53 +66,164 @@ fn runs() -> usize {
     arg_after("--runs").and_then(|v| v.parse().ok()).unwrap_or(3)
 }
 
+/// The (engine, opt level) combinations to measure, from `--engine` and
+/// `--opt`:
+///
+/// * neither flag: tree-walk and bytecode at `Default`, plus bytecode at
+///   `None` (the standard report),
+/// * only `--engine E`: `E` at `Default` and `None`,
+/// * only `--opt O`: both engines at `O`,
+/// * both: exactly `(E, O)`.
+fn combos() -> Vec<(Engine, OptLevel)> {
+    let engine = arg_after("--engine").map(|v| match v.as_str() {
+        "bytecode" => Engine::Bytecode,
+        "tree_walk" | "tree-walk" | "treewalk" => Engine::TreeWalk,
+        other => {
+            eprintln!("unknown --engine `{other}` (expected bytecode|tree_walk)");
+            std::process::exit(2);
+        }
+    });
+    let opt = arg_after("--opt").map(|v| {
+        OptLevel::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --opt `{v}` (expected none|default|aggressive)");
+            std::process::exit(2);
+        })
+    });
+    match (engine, opt) {
+        (None, None) => vec![
+            (Engine::TreeWalk, OptLevel::Default),
+            (Engine::Bytecode, OptLevel::Default),
+            (Engine::Bytecode, OptLevel::None),
+        ],
+        (Some(e), None) => vec![(e, OptLevel::Default), (e, OptLevel::None)],
+        (None, Some(o)) => vec![(Engine::TreeWalk, o), (Engine::Bytecode, o)],
+        (Some(e), Some(o)) => vec![(e, o)],
+    }
+}
+
 fn header(title: &str) {
     println!("\n== {title} ==");
     println!(
-        "{:<28} {:>14} {:>13} {:>14} {:>10}",
-        "strategy", "tree-walk (ms)", "bytecode (ms)", "total work", "speedup"
+        "{:<28} {:>9} {:>10} {:>11} {:>12} {:>12}",
+        "strategy", "engine", "opt", "median (ms)", "total work", "speedup"
     );
 }
 
-/// Time a group of variants on both engines, print them with speedups
-/// relative to the first one (bytecode wall-clock), and record them in the
-/// JSON report.
-fn table(figure: &str, group: &str, variants: Vec<Variant>, reps: usize, report: &mut Report) {
-    let mut rows = Vec::new();
+/// Time a group of variants on every requested (engine, opt) combination,
+/// print them, and record them in the JSON report.  The printed `speedup`
+/// column is the figure's headline quantity: this variant's bytecode
+/// wall-clock at `Default` relative to the group's first (baseline)
+/// variant.  Ratios of `None`-vs-`Default` bytecode timings are collected
+/// into `opt_ratios` for the report-level median.
+fn table(
+    figure: &str,
+    group: &str,
+    variants: Vec<Variant>,
+    reps: usize,
+    report: &mut Report,
+    opt_ratios: &mut Vec<f64>,
+) {
+    let combos = combos();
     let mut records = Vec::new();
-    for mut v in variants {
-        let (tw_secs, tw_stats) = time_kernel_with(&mut v.kernel, reps, Engine::TreeWalk);
-        let (bc_secs, bc_stats) = time_kernel_with(&mut v.kernel, reps, Engine::Bytecode);
-        assert_eq!(
-            tw_stats, bc_stats,
-            "work counters diverge between engines for `{}` in {figure} ({group})",
+    for v in &variants {
+        // Compile-latency guard: re-deriving the kernel at the default
+        // level runs the full optimiser; it must stay fast.
+        let start = Instant::now();
+        let rederived = v.kernel.reoptimized(OptLevel::Default);
+        let compile_seconds = start.elapsed().as_secs_f64();
+        assert!(
+            compile_seconds < COMPILE_BUDGET_SECONDS,
+            "optimising `{}` took {compile_seconds:.3}s (budget {COMPILE_BUDGET_SECONDS}s)",
             v.label
         );
-        records.push(VariantReport {
-            label: v.label.clone(),
-            engines: vec![
-                EngineReport { engine: Engine::TreeWalk, median_seconds: tw_secs, stats: tw_stats },
-                EngineReport { engine: Engine::Bytecode, median_seconds: bc_secs, stats: bc_stats },
-            ],
-        });
-        rows.push((v.label, tw_secs, bc_secs, bc_stats.total_work()));
+        let opt = OptReport { compile_seconds, stats: rederived.opt_stats() };
+
+        let mut engines = Vec::new();
+        for &(engine, level) in &combos {
+            let mut kernel = if level == v.kernel.opt_level() {
+                v.kernel.clone()
+            } else {
+                v.kernel.reoptimized(level)
+            };
+            let (secs, stats) = time_kernel_with(&mut kernel, reps, engine);
+            engines.push(EngineReport {
+                engine,
+                opt_level: level,
+                median_seconds: secs,
+                instrs: kernel.bytecode().code().len(),
+                stats,
+            });
+        }
+        // Cross-engine parity at each measured level.
+        for a in &engines {
+            for b in &engines {
+                if a.opt_level == b.opt_level {
+                    assert_eq!(
+                        a.stats, b.stats,
+                        "work counters diverge between engines for `{}` in {figure} ({group})",
+                        v.label
+                    );
+                }
+            }
+        }
+        records.push(VariantReport { label: v.label.clone(), opt: Some(opt), engines });
     }
-    let base = rows[0].2;
-    for (label, tw_secs, bc_secs, work) in rows {
-        println!(
-            "{:<28} {:>14.3} {:>13.3} {:>14} {:>9.2}x",
-            label,
-            tw_secs * 1e3,
-            bc_secs * 1e3,
-            work,
-            base / bc_secs
-        );
+
+    let find = |r: &VariantReport, engine: Engine, level: OptLevel| {
+        r.engines
+            .iter()
+            .find(|e| e.engine == engine && e.opt_level == level)
+            .map(|e| e.median_seconds)
+    };
+    let baseline = records
+        .first()
+        .and_then(|r| find(r, Engine::Bytecode, OptLevel::Default))
+        .or_else(|| records.first().map(|r| r.engines[0].median_seconds));
+    for r in &records {
+        let none = find(r, Engine::Bytecode, OptLevel::None);
+        let default = find(r, Engine::Bytecode, OptLevel::Default);
+        if let (Some(n), Some(d)) = (none, default) {
+            if d > 0.0 {
+                opt_ratios.push(n / d);
+            }
+        }
+        for e in &r.engines {
+            // The headline column: baseline-variant bytecode@Default over
+            // this measurement (shown on matching rows only).
+            let speedup = match baseline {
+                Some(base)
+                    if e.engine == Engine::Bytecode
+                        && e.opt_level == OptLevel::Default
+                        && e.median_seconds > 0.0 =>
+                {
+                    format!("{:>11.2}x", base / e.median_seconds)
+                }
+                _ => format!("{:>12}", "-"),
+            };
+            println!(
+                "{:<28} {:>9} {:>10} {:>11.3} {:>12} {}",
+                r.label,
+                e.engine.label(),
+                e.opt_level.label(),
+                e.median_seconds * 1e3,
+                e.stats.total_work(),
+                speedup
+            );
+        }
     }
     report.figures.push(FigureGroup {
         figure: figure.to_string(),
         group: group.to_string(),
         variants: records,
     });
+}
+
+fn median(ratios: &mut [f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    Some(ratios[ratios.len() / 2])
 }
 
 fn main() {
@@ -104,6 +233,7 @@ fn main() {
     let tiny = flag("--tiny");
     let json_path = arg_after("--json").unwrap_or_else(|| "BENCH_figures.json".to_string());
     let mut report = Report::new();
+    let mut opt_ratios: Vec<f64> = Vec::new();
 
     if wants("1") {
         println!("\n#### Figure 1 — motivating dot product: sparse list x sparse band");
@@ -111,7 +241,14 @@ fn main() {
             if tiny { (200, 20, &[8]) } else { (20_000, 400, &[50, 400, 3_000]) };
         for (width, variants) in fig01_variants(n, nnz, widths) {
             header(&format!("band width {width}"));
-            table("fig01", &format!("band width {width}"), variants, reps, &mut report);
+            table(
+                "fig01",
+                &format!("band width {width}"),
+                variants,
+                reps,
+                &mut report,
+                &mut opt_ratios,
+            );
         }
     }
 
@@ -128,6 +265,7 @@ fn main() {
                 fig07_variants(n, &xv, seed),
                 reps,
                 &mut report,
+                &mut opt_ratios,
             );
         }
     }
@@ -145,6 +283,7 @@ fn main() {
                 fig07_variants(n, &xv, seed),
                 reps,
                 &mut report,
+                &mut opt_ratios,
             );
         }
     }
@@ -161,6 +300,7 @@ fn main() {
                 fig08_variants(n, epn, seed),
                 reps,
                 &mut report,
+                &mut opt_ratios,
             );
         }
     }
@@ -171,7 +311,14 @@ fn main() {
         let densities: &[f64] = if tiny { &[0.1] } else { &[0.002, 0.01, 0.05, 0.15, 0.40] };
         for (density, variants) in fig09_variants(size, ksize, densities) {
             header(&format!("grid {size}x{size}, filter {ksize}x{ksize}, density {density}"));
-            table("fig09", &format!("density {density}"), variants, reps, &mut report);
+            table(
+                "fig09",
+                &format!("density {density}"),
+                variants,
+                reps,
+                &mut report,
+                &mut opt_ratios,
+            );
         }
     }
 
@@ -179,9 +326,23 @@ fn main() {
         println!("\n#### Figure 10 — alpha blending (speedup vs dense)");
         let size = if tiny { 16 } else { 64 };
         header(&format!("Omniglot-like stroke images ({size}x{size})"));
-        table("fig10", "omniglot-like strokes", fig10_variants(size, false, 5), reps, &mut report);
+        table(
+            "fig10",
+            "omniglot-like strokes",
+            fig10_variants(size, false, 5),
+            reps,
+            &mut report,
+            &mut opt_ratios,
+        );
         header(&format!("Humansketches-like images ({size}x{size})"));
-        table("fig10", "humansketches-like", fig10_variants(size, true, 6), reps, &mut report);
+        table(
+            "fig10",
+            "humansketches-like",
+            fig10_variants(size, true, 6),
+            reps,
+            &mut report,
+            &mut opt_ratios,
+        );
     }
 
     if wants("11") {
@@ -190,7 +351,14 @@ fn main() {
         let datasets: &[&str] = if tiny { &["mnist"] } else { &["mnist", "emnist", "omniglot"] };
         for dataset in datasets {
             header(&format!("{dataset}-like images ({count} images, {img}x{img})"));
-            table("fig11", dataset, fig11_variants(count, img, dataset), reps, &mut report);
+            table(
+                "fig11",
+                dataset,
+                fig11_variants(count, img, dataset),
+                reps,
+                &mut report,
+                &mut opt_ratios,
+            );
         }
     }
 
@@ -203,8 +371,23 @@ fn main() {
             // dense run, and the sparse store counter is strictly lower.
             g.assert_assembly();
             header(&format!("{} — {} stored entries", g.group, g.oracle_nnz));
-            table("figS", &g.group, g.variants, reps, &mut report);
+            table("figS", &g.group, g.variants, reps, &mut report, &mut opt_ratios);
         }
+    }
+
+    if let Some(med) = median(&mut opt_ratios) {
+        println!(
+            "\noptimizer speedup (bytecode, OptLevel::None / OptLevel::Default): \
+             median {med:.2}x over {} variants",
+            opt_ratios.len()
+        );
+        report.opt_speedup = Some(OptSpeedup {
+            engine: Engine::Bytecode,
+            baseline: OptLevel::None,
+            optimized: OptLevel::Default,
+            median: med,
+            samples: opt_ratios.len(),
+        });
     }
 
     if let Err(e) = report.write(&json_path) {

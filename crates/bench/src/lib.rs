@@ -685,6 +685,67 @@ mod tests {
         }
     }
 
+    /// The compile-latency guard: a full `Kernel::compile` and a
+    /// re-optimisation at every level must stay well under the budget the
+    /// `figures` binary enforces, so new optimiser passes cannot silently
+    /// blow up compilation time.
+    #[test]
+    fn kernel_compile_stays_fast_at_every_opt_level() {
+        use finch::OptLevel;
+        use std::time::Instant;
+        const BUDGET: f64 = 2.0;
+
+        let n = 32;
+        let dense_a = datagen::scientific_matrix(n, 2, 4, 0.004, 7);
+        let x_data = fig07_vector(n, Some(0.2), None, 7);
+        let a = Tensor::csr_matrix("A", n, n, &dense_a);
+        let x = Tensor::sparse_list_vector("x", &x_data);
+
+        let start = Instant::now();
+        let kernel = spmspv_kernel(&a, &x, Protocol::Gallop, Protocol::Gallop);
+        let full_compile = start.elapsed().as_secs_f64();
+        assert!(full_compile < BUDGET, "Kernel::compile took {full_compile:.3}s");
+
+        for level in OptLevel::all() {
+            let start = Instant::now();
+            let k = kernel.reoptimized(level);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(elapsed < BUDGET, "reoptimize at {level} took {elapsed:.3}s");
+            assert_eq!(k.opt_level(), level);
+        }
+    }
+
+    /// The optimiser must actually shrink the executed program: fewer
+    /// bytecode instructions and less counted work at `Default` than at
+    /// `None`, with identical outputs.
+    #[test]
+    fn default_opt_level_shrinks_instructions_and_work() {
+        use finch::OptLevel;
+        let a_data = datagen::counted_sparse_vector(400, 40, 101);
+        let b_data = datagen::counted_sparse_vector(400, 40, 102);
+        let a = Tensor::sparse_list_vector("A", &a_data);
+        let b = Tensor::sparse_list_vector("B", &b_data);
+        let opt = dot_kernel(&a, &b, Protocol::Walk, Protocol::Walk);
+        let mut none = opt.reoptimized(OptLevel::None);
+        let mut opt = opt.reoptimized(OptLevel::Default);
+        assert!(
+            opt.bytecode().code().len() < none.bytecode().code().len(),
+            "default must emit fewer instructions: {} vs {}",
+            opt.bytecode().code().len(),
+            none.bytecode().code().len()
+        );
+        let stats = opt.opt_stats();
+        assert!(stats.movs_eliminated > 0 && stats.instrs_fused > 0, "{stats:?}");
+        let none_stats = none.run().expect("unoptimised kernel runs");
+        let opt_stats = opt.run().expect("optimised kernel runs");
+        assert!(
+            opt_stats.total_work() <= none_stats.total_work(),
+            "optimisation must not add work: {opt_stats:?} vs {none_stats:?}"
+        );
+        let (a, b) = (none.output_scalar("C").unwrap(), opt.output_scalar("C").unwrap());
+        assert_eq!(a.to_bits(), b.to_bits(), "outputs must be bit-identical");
+    }
+
     #[test]
     fn spmspv_strategies_agree_with_each_other() {
         let n = 48;

@@ -7,37 +7,60 @@
 //!
 //! ```json
 //! {
+//!   "opt_speedup": { "engine": "bytecode", "baseline": "none",
+//!                    "optimized": "default", "median": 1.62, "samples": 35 },
 //!   "figures": [
 //!     { "figure": "fig01", "group": "band width 50",
 //!       "variants": [
 //!         { "label": "looplets: list x band",
+//!           "opt": { "compile_seconds": 0.0004, "folds": 12, "...": 0 },
 //!           "engines": [
-//!             { "engine": "bytecode", "median_seconds": 0.0012,
+//!             { "engine": "bytecode", "opt_level": "default",
+//!               "median_seconds": 0.0012, "instrs": 74,
 //!               "stmts": 10, "loop_iters": 4, "loads": 8, "stores": 4,
 //!               "searches": 0, "total_work": 22 } ] } ] } ] }
 //! ```
 
 use std::io::Write as _;
 
-use finch::{Engine, ExecStats};
+use finch::{Engine, ExecStats, OptLevel, OptStats};
 
-/// One engine's measurement of one variant.
+/// One engine's measurement of one variant at one opt level.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
     /// The engine measured.
     pub engine: Engine,
+    /// The opt level the kernel was compiled at.
+    pub opt_level: OptLevel,
     /// Median wall-clock seconds across the configured repetitions.
     pub median_seconds: f64,
+    /// Bytecode instruction count of the kernel at this opt level.
+    pub instrs: usize,
     /// Machine-independent work counters of one run.
     pub stats: ExecStats,
 }
 
-/// One strategy/format variant of a figure, measured on every engine.
+/// The optimisation record of one variant: how long the optimiser took to
+/// re-derive the kernel at `OptLevel::Default`, and the per-pass counters
+/// of that compilation.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    /// Wall-clock seconds of one `reoptimized(OptLevel::Default)` call
+    /// (IR pipeline + bytecode compile + peephole).
+    pub compile_seconds: f64,
+    /// Per-pass optimisation counters at `OptLevel::Default`.
+    pub stats: OptStats,
+}
+
+/// One strategy/format variant of a figure, measured on every requested
+/// (engine, opt level) combination.
 #[derive(Debug, Clone)]
 pub struct VariantReport {
     /// Human-readable strategy/format label.
     pub label: String,
-    /// Per-engine measurements (tree-walk and bytecode).
+    /// The variant's optimisation record (when the default level was run).
+    pub opt: Option<OptReport>,
+    /// Per-(engine, opt level) measurements.
     pub engines: Vec<EngineReport>,
 }
 
@@ -53,9 +76,28 @@ pub struct FigureGroup {
     pub variants: Vec<VariantReport>,
 }
 
+/// The headline optimiser result: the median wall-clock speedup of the
+/// bytecode engine at `OptLevel::Default` over `OptLevel::None` across
+/// every measured variant.
+#[derive(Debug, Clone)]
+pub struct OptSpeedup {
+    /// The engine both levels were measured on.
+    pub engine: Engine,
+    /// The baseline opt level.
+    pub baseline: OptLevel,
+    /// The optimised level the speedup is for.
+    pub optimized: OptLevel,
+    /// Median of per-variant `baseline_seconds / optimized_seconds`.
+    pub median: f64,
+    /// Number of variants contributing ratios.
+    pub samples: usize,
+}
+
 /// The full report accumulated by one `figures` invocation.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
+    /// The headline optimiser speedup, when both levels were measured.
+    pub opt_speedup: Option<OptSpeedup>,
     /// Every figure table measured, in print order.
     pub figures: Vec<FigureGroup>,
 }
@@ -68,7 +110,19 @@ impl Report {
 
     /// Serialise the report as a JSON document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"figures\": [");
+        let mut out = String::from("{");
+        if let Some(s) = &self.opt_speedup {
+            out.push_str(&format!(
+                "\n  \"opt_speedup\": {{\"engine\": {}, \"baseline\": {}, \
+                 \"optimized\": {}, \"median\": {}, \"samples\": {}}},",
+                json_string(s.engine.label()),
+                json_string(s.baseline.label()),
+                json_string(s.optimized.label()),
+                json_number(s.median),
+                s.samples,
+            ));
+        }
+        out.push_str("\n  \"figures\": [");
         for (i, fig) in self.figures.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -83,17 +137,43 @@ impl Report {
                 }
                 out.push_str("\n      {");
                 out.push_str(&format!("\"label\": {},", json_string(&v.label)));
+                if let Some(opt) = &v.opt {
+                    let s = opt.stats;
+                    out.push_str(&format!(
+                        "\n       \"opt\": {{\"compile_seconds\": {}, \"folds\": {}, \
+                         \"copies_propagated\": {}, \"branches_pruned\": {}, \
+                         \"loops_removed\": {}, \"stmts_removed\": {}, \
+                         \"loads_hoisted\": {}, \"instrs_fused\": {}, \
+                         \"movs_eliminated\": {}, \"regs_saved\": {}, \
+                         \"ir_stmts_before\": {}, \"ir_stmts_after\": {}}},",
+                        json_number(opt.compile_seconds),
+                        s.folds,
+                        s.copies_propagated,
+                        s.branches_pruned,
+                        s.loops_removed,
+                        s.stmts_removed,
+                        s.loads_hoisted,
+                        s.instrs_fused,
+                        s.movs_eliminated,
+                        s.regs_saved,
+                        s.ir_stmts_before,
+                        s.ir_stmts_after,
+                    ));
+                }
                 out.push_str("\n       \"engines\": [");
                 for (k, e) in v.engines.iter().enumerate() {
                     if k > 0 {
                         out.push(',');
                     }
                     out.push_str(&format!(
-                        "\n        {{\"engine\": {}, \"median_seconds\": {}, \
+                        "\n        {{\"engine\": {}, \"opt_level\": {}, \
+                         \"median_seconds\": {}, \"instrs\": {}, \
                          \"stmts\": {}, \"loop_iters\": {}, \"loads\": {}, \
                          \"stores\": {}, \"searches\": {}, \"total_work\": {}}}",
                         json_string(e.engine.label()),
+                        json_string(e.opt_level.label()),
                         json_number(e.median_seconds),
+                        e.instrs,
                         e.stats.stmts,
                         e.stats.loop_iters,
                         e.stats.loads,
@@ -157,15 +237,28 @@ mod tests {
 
     fn sample() -> Report {
         Report {
+            opt_speedup: Some(OptSpeedup {
+                engine: Engine::Bytecode,
+                baseline: OptLevel::None,
+                optimized: OptLevel::Default,
+                median: 1.75,
+                samples: 4,
+            }),
             figures: vec![FigureGroup {
                 figure: "fig01".into(),
                 group: "band width \"8\"".into(),
                 variants: vec![VariantReport {
                     label: "looplets: list x band".into(),
+                    opt: Some(OptReport {
+                        compile_seconds: 0.0004,
+                        stats: OptStats { folds: 3, loads_hoisted: 2, ..OptStats::default() },
+                    }),
                     engines: vec![
                         EngineReport {
                             engine: Engine::TreeWalk,
+                            opt_level: OptLevel::Default,
                             median_seconds: 0.25,
+                            instrs: 90,
                             stats: ExecStats {
                                 stmts: 10,
                                 loop_iters: 4,
@@ -176,11 +269,13 @@ mod tests {
                         },
                         EngineReport {
                             engine: Engine::Bytecode,
+                            opt_level: OptLevel::None,
                             median_seconds: 0.125,
+                            instrs: 120,
                             stats: ExecStats {
-                                stmts: 10,
+                                stmts: 12,
                                 loop_iters: 4,
-                                loads: 8,
+                                loads: 9,
                                 stores: 4,
                                 searches: 1,
                             },
@@ -192,13 +287,19 @@ mod tests {
     }
 
     #[test]
-    fn json_has_both_engines_and_escaped_strings() {
+    fn json_has_engines_opt_levels_and_escaped_strings() {
         let j = sample().to_json();
         assert!(j.contains("\"tree_walk\""));
         assert!(j.contains("\"bytecode\""));
+        assert!(j.contains("\"opt_level\": \"default\""));
+        assert!(j.contains("\"opt_level\": \"none\""));
         assert!(j.contains("\"median_seconds\": 0.125"));
         assert!(j.contains("band width \\\"8\\\""), "{j}");
         assert!(j.contains("\"total_work\": 23"));
+        assert!(j.contains("\"opt_speedup\""));
+        assert!(j.contains("\"median\": 1.75"));
+        assert!(j.contains("\"loads_hoisted\": 2"));
+        assert!(j.contains("\"instrs\": 120"));
     }
 
     #[test]
@@ -211,6 +312,19 @@ mod tests {
         }
         // No trailing commas before a closer.
         assert!(!j.contains(",]") && !j.contains(",}"));
+    }
+
+    #[test]
+    fn report_without_opt_comparison_omits_the_key() {
+        let mut r = sample();
+        r.opt_speedup = None;
+        r.figures[0].variants[0].opt = None;
+        let j = r.to_json();
+        assert!(!j.contains("opt_speedup"));
+        assert!(!j.contains("compile_seconds"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(j.matches(open).count(), j.matches(close).count());
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@ use std::collections::HashMap;
 use finch_cin::CinStmt;
 use finch_formats::{BoundTensor, LevelSpec, OutputBuilder, Tensor};
 use finch_ir::pretty::Printer;
-use finch_ir::{Buffer, BufferSet, ExecStats, Interpreter, Names, Program, RuntimeError, Stmt, Vm};
+use finch_ir::{
+    Buffer, BufferSet, ExecStats, Interpreter, Names, OptLevel, OptStats, Program, RuntimeError,
+    Stmt, Vm,
+};
 use finch_rewrite::Rewriter;
 
 use crate::error::CompileError;
@@ -101,6 +104,7 @@ pub struct Kernel {
     bufs: BufferSet,
     bindings: HashMap<String, Binding>,
     rewriter: Rewriter,
+    opt_level: OptLevel,
 }
 
 impl Default for Kernel {
@@ -117,7 +121,26 @@ impl Kernel {
             bufs: BufferSet::new(),
             bindings: HashMap::new(),
             rewriter: Rewriter::with_default_rules(),
+            opt_level: OptLevel::default(),
         }
+    }
+
+    /// The optimisation level [`Kernel::compile`] will apply.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Select the optimisation level applied by [`Kernel::compile`]
+    /// (defaults to [`OptLevel::Default`]).
+    pub fn set_opt_level(&mut self, level: OptLevel) -> &mut Self {
+        self.opt_level = level;
+        self
+    }
+
+    /// Builder-style variant of [`Kernel::set_opt_level`].
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
     }
 
     /// Bind a structured input tensor under its own name.
@@ -211,7 +234,7 @@ impl Kernel {
     /// tensors, is not concordant with the tensors' level orders, or uses
     /// unsupported features.
     pub fn compile(self, program: &CinStmt) -> Result<CompiledKernel, CompileError> {
-        let Kernel { names, bufs, bindings, rewriter } = self;
+        let Kernel { names, bufs, bindings, rewriter, opt_level } = self;
         let outputs: HashMap<String, OutputBinding> = bindings
             .iter()
             .filter_map(|(name, b)| match b {
@@ -249,16 +272,18 @@ impl Kernel {
             }
         }
         code.extend(lower_stmt(program, &mut ctx)?);
-        // Finch relies on Julia to hoist loop-invariant loads (run values,
-        // fiber positions) out of inner loops; our interpreter needs the
-        // same motion done explicitly.
-        let code = finch_ir::opt::hoist_invariant_loads(&code, &mut ctx.names);
+        // Finch relies on Julia to clean up the lowered straight-line code
+        // (constant folding, copy propagation, invariant-load hoisting);
+        // our engines execute the IR as given, so the same clean-up runs
+        // here as an explicit staged pipeline, gated by the opt level.
+        let raw_code = code;
+        let raw_names = ctx.names.clone();
+        let (code, bytecode, opt_stats) = optimize_kernel(&raw_code, &mut ctx.names, opt_level);
         let source = Printer::new(&ctx.names, &ctx.bufs).program(&code);
-        // Compile the lowered tree once to flat register bytecode; the
-        // kernel carries both forms so either engine can run it.
-        let bytecode = Program::compile(&code, &ctx.names);
         Ok(CompiledKernel {
             code,
+            raw_code,
+            raw_names,
             bytecode,
             names: ctx.names,
             bufs: ctx.bufs,
@@ -267,8 +292,31 @@ impl Kernel {
             program: format!("{program}"),
             engine: Engine::default(),
             step_budget: None,
+            opt_level,
+            opt_stats,
         })
     }
+}
+
+/// Run the IR pipeline and the bytecode peephole at the given level,
+/// producing the artifacts both engines execute.  Used by
+/// [`Kernel::compile`] and [`CompiledKernel::reoptimized`].
+fn optimize_kernel(
+    raw_code: &[Stmt],
+    names: &mut Names,
+    level: OptLevel,
+) -> (Vec<Stmt>, Program, OptStats) {
+    let (code, mut opt_stats) = finch_ir::opt::optimize(raw_code, names, level);
+    let bytecode = Program::compile(&code, names);
+    let bytecode = match level {
+        OptLevel::None => bytecode,
+        _ => finch_ir::opt::peephole(&bytecode, &mut opt_stats),
+    };
+    // Every kernel the (debug-build) test suite compiles revalidates its
+    // bytecode, so a fusion or renumbering bug surfaces at compile time
+    // rather than as a runtime fault.
+    debug_assert_eq!(bytecode.validate(), Ok(()), "optimised bytecode must validate");
+    (code, bytecode, opt_stats)
 }
 
 /// A compiled kernel: generated code (both the IR tree and its bytecode)
@@ -300,6 +348,13 @@ impl Kernel {
 #[derive(Debug, Clone)]
 pub struct CompiledKernel {
     code: Vec<Stmt>,
+    /// The lowered IR before any optimisation pass ran, kept so the same
+    /// kernel can be re-derived at any [`OptLevel`] (see
+    /// [`CompiledKernel::reoptimized`]).
+    raw_code: Vec<Stmt>,
+    /// The name table as it stood before optimisation (LICM creates fresh
+    /// variables, so re-optimising must start from the pristine table).
+    raw_names: Names,
     bytecode: Program,
     names: Names,
     bufs: BufferSet,
@@ -308,6 +363,8 @@ pub struct CompiledKernel {
     program: String,
     engine: Engine,
     step_budget: Option<u64>,
+    opt_level: OptLevel,
+    opt_stats: OptStats,
 }
 
 impl CompiledKernel {
@@ -330,6 +387,43 @@ impl CompiledKernel {
     /// The compiled bytecode (for structural assertions and debugging).
     pub fn bytecode(&self) -> &Program {
         &self.bytecode
+    }
+
+    /// The optimisation level this kernel was compiled at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// Per-pass optimisation counters from this kernel's compilation (IR
+    /// folds, hoisted loads, fused bytecode pairs, ...).
+    pub fn opt_stats(&self) -> OptStats {
+        self.opt_stats
+    }
+
+    /// Re-derive this kernel at a different [`OptLevel`] from the kept
+    /// pre-optimisation IR.  Buffers, outputs, engine selection and step
+    /// budget carry over, so the result is directly comparable against
+    /// `self` — the benchmark harness uses this to time `OptLevel::None`
+    /// against `OptLevel::Default` on identical kernels.
+    pub fn reoptimized(&self, level: OptLevel) -> CompiledKernel {
+        let mut names = self.raw_names.clone();
+        let (code, bytecode, opt_stats) = optimize_kernel(&self.raw_code, &mut names, level);
+        let source = Printer::new(&names, &self.bufs).program(&code);
+        CompiledKernel {
+            code,
+            raw_code: self.raw_code.clone(),
+            raw_names: self.raw_names.clone(),
+            bytecode,
+            names,
+            bufs: self.bufs.clone(),
+            outputs: self.outputs.clone(),
+            source,
+            program: self.program.clone(),
+            engine: self.engine,
+            step_budget: self.step_budget,
+            opt_level: level,
+            opt_stats,
+        }
     }
 
     /// The engine [`CompiledKernel::run`] dispatches to.

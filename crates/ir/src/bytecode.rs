@@ -249,6 +249,97 @@ pub enum Instr {
         /// Compare against `abs(buf[p])` (PackBits stores negated markers).
         on_abs: bool,
     },
+    /// Superinstruction: `dst = lhs op consts[cidx]` — the peephole fusion
+    /// of a [`Instr::Const`] feeding the right operand of a
+    /// [`Instr::Binary`].  Semantics (promotion, missing propagation,
+    /// errors) and [`crate::interp::ExecStats`] are exactly those of the
+    /// unfused pair.
+    BinaryImm {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// Constant-pool index of the right operand.
+        cidx: u32,
+    },
+    /// Superinstruction: `dst = lhs op buf[idx]` — the peephole fusion of a
+    /// [`Instr::Load`] feeding the right operand of a [`Instr::Binary`].
+    /// The load half keeps its exact semantics (missing index yields a
+    /// missing operand, bounds are checked, one load is counted) before the
+    /// operator is applied.
+    LoadBinary {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand register.
+        lhs: Reg,
+        /// The buffer the right operand is loaded from.
+        buf: BufId,
+        /// Register holding the element index of the load.
+        idx: Reg,
+    },
+    /// Superinstruction: fused compare-and-branch — a comparison
+    /// [`Instr::Binary`] feeding a [`Instr::JumpIfFalse`].  Jumps when the
+    /// comparison is false; a missing comparison (a missing operand) jumps
+    /// when `strict` is false and raises a type error when `strict` is
+    /// true, exactly like the unfused pair.
+    CmpBranch {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Absolute target instruction index when the comparison fails.
+        target: u32,
+        /// Whether a missing comparison is a type error instead of false.
+        strict: bool,
+    },
+    /// Superinstruction: fused compare-immediate-and-branch — a
+    /// [`Instr::BinaryImm`] comparison feeding a [`Instr::JumpIfFalse`].
+    CmpBranchImm {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Constant-pool index of the right operand.
+        cidx: u32,
+        /// Absolute target instruction index when the comparison fails.
+        target: u32,
+        /// Whether a missing comparison is a type error instead of false.
+        strict: bool,
+    },
+    /// Superinstruction: fused `while` head — a comparison
+    /// [`Instr::Binary`] feeding a [`Instr::WhileTest`].  When the
+    /// comparison holds, counts one loop iteration and falls through;
+    /// otherwise jumps to `end`.  A missing comparison is a type error,
+    /// like [`Instr::WhileTest`] on a missing condition.
+    WhileCmp {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Right operand register.
+        rhs: Reg,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// Superinstruction: fused `while` head with an immediate right
+    /// operand — a [`Instr::BinaryImm`] comparison feeding a
+    /// [`Instr::WhileTest`].
+    WhileCmpImm {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register.
+        lhs: Reg,
+        /// Constant-pool index of the right operand.
+        cidx: u32,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
 }
 
 /// A compiled bytecode program: the instruction stream, its constant pool,
@@ -258,10 +349,10 @@ pub enum Instr {
 /// [`crate::vm::Vm`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Program {
-    code: Vec<Instr>,
-    consts: Vec<Value>,
-    var_names: Vec<String>,
-    num_regs: usize,
+    pub(crate) code: Vec<Instr>,
+    pub(crate) consts: Vec<Value>,
+    pub(crate) var_names: Vec<String>,
+    pub(crate) num_regs: usize,
 }
 
 impl Program {
@@ -408,19 +499,141 @@ impl Program {
                     check_reg(pc, hi)?;
                     check_reg(pc, key)?;
                 }
+                Instr::BinaryImm { dst, lhs, cidx, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    if cidx as usize >= self.consts.len() {
+                        return Err(format!("constant {cidx} at pc {pc} outside the pool"));
+                    }
+                }
+                Instr::LoadBinary { dst, lhs, idx, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, idx)?;
+                }
+                Instr::CmpBranch { lhs, rhs, target, .. } => {
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                    check_target(pc, target)?;
+                }
+                Instr::CmpBranchImm { lhs, cidx, target, .. } => {
+                    check_reg(pc, lhs)?;
+                    check_target(pc, target)?;
+                    if cidx as usize >= self.consts.len() {
+                        return Err(format!("constant {cidx} at pc {pc} outside the pool"));
+                    }
+                }
+                Instr::WhileCmp { lhs, rhs, end, .. } => {
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                    check_target(pc, end)?;
+                }
+                Instr::WhileCmpImm { lhs, cidx, end, .. } => {
+                    check_reg(pc, lhs)?;
+                    check_target(pc, end)?;
+                    if cidx as usize >= self.consts.len() {
+                        return Err(format!("constant {cidx} at pc {pc} outside the pool"));
+                    }
+                }
             }
         }
         Ok(())
     }
 
-    /// A one-instruction-per-line disassembly, for debugging and tests.
+    /// A one-instruction-per-line disassembly with full operand detail:
+    /// registers render under their variable (or `tN` temporary) names,
+    /// constant-pool operands show the resolved literal, buffers render as
+    /// `bK`, and every jump shows its absolute target.
     pub fn disasm(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (pc, instr) in self.code.iter().enumerate() {
-            let _ = writeln!(out, "{pc:4}: {instr:?}");
+            let _ = writeln!(out, "{pc:4}: {}", self.disasm_instr(*instr));
         }
         out
+    }
+
+    fn disasm_instr(&self, instr: Instr) -> String {
+        let r = |reg: Reg| self.reg_name(reg);
+        let c = |cidx: u32| format!("{}", self.consts[cidx as usize]);
+        let binop = |op: BinOp, a: String, b: String| {
+            if op.is_call_style() {
+                format!("{}({a}, {b})", op.symbol())
+            } else {
+                format!("{a} {} {b}", op.symbol())
+            }
+        };
+        let reduce_op = |reduce: Option<BinOp>| match reduce {
+            None => "=".to_string(),
+            Some(op) => format!("{}=", op.symbol()),
+        };
+        match instr {
+            Instr::BumpStmt => "stmt".to_string(),
+            Instr::Const { dst, cidx } => format!("{} = const {}", r(dst), c(cidx)),
+            Instr::Mov { dst, src } => format!("{} = {}", r(dst), r(src)),
+            Instr::BufLen { dst, buf } => format!("{} = len(b{})", r(dst), buf.index()),
+            Instr::Load { dst, buf, idx } => {
+                format!("{} = b{}[{}]", r(dst), buf.index(), r(idx))
+            }
+            Instr::CoerceInt { reg } => format!("coerce_int {}", r(reg)),
+            Instr::Store { buf, idx, val, reduce } => {
+                format!("b{}[{}] {} {}", buf.index(), r(idx), reduce_op(reduce), r(val))
+            }
+            Instr::Unary { op, dst, src } => {
+                format!("{} = {}({})", r(dst), op.symbol(), r(src))
+            }
+            Instr::Binary { op, dst, lhs, rhs } => {
+                format!("{} = {}", r(dst), binop(op, r(lhs), r(rhs)))
+            }
+            Instr::Jump { target } => format!("jump -> {target}"),
+            Instr::JumpIfFalse { src, target, strict } => {
+                let strictness = if strict { " (strict)" } else { "" };
+                format!("if_false {} -> {target}{strictness}", r(src))
+            }
+            Instr::JumpIfTrue { src, target } => format!("if_true {} -> {target}", r(src)),
+            Instr::JumpIfMissing { src, target } => {
+                format!("if_missing {} -> {target}", r(src))
+            }
+            Instr::JumpIfNotMissing { src, target } => {
+                format!("if_not_missing {} -> {target}", r(src))
+            }
+            Instr::WhileTest { cond, end } => format!("while {} else -> {end}", r(cond)),
+            Instr::ForTest { counter, hi, var, end } => {
+                format!("for {} = {} while <= {} else -> {end}", r(var), r(counter), r(hi))
+            }
+            Instr::ForStep { counter, test } => format!("step {} -> {test}", r(counter)),
+            Instr::Append { buf, val } => format!("b{}.push({})", buf.index(), r(val)),
+            Instr::FiberEnd { pos, data } => {
+                format!("b{}.push(len(b{}))", pos.index(), data.index())
+            }
+            Instr::Seek { dst, buf, lo, hi, key, on_abs } => {
+                let f = if on_abs { "seek_abs" } else { "seek" };
+                format!("{} = {f}(b{}, {}, {}, {})", r(dst), buf.index(), r(lo), r(hi), r(key))
+            }
+            Instr::BinaryImm { op, dst, lhs, cidx } => {
+                format!("{} = {}", r(dst), binop(op, r(lhs), format!("const {}", c(cidx))))
+            }
+            Instr::LoadBinary { op, dst, lhs, buf, idx } => {
+                let load = format!("b{}[{}]", buf.index(), r(idx));
+                format!("{} = {}", r(dst), binop(op, r(lhs), load))
+            }
+            Instr::CmpBranch { op, lhs, rhs, target, strict } => {
+                let strictness = if strict { " (strict)" } else { "" };
+                format!("if_false {} -> {target}{strictness}", binop(op, r(lhs), r(rhs)))
+            }
+            Instr::CmpBranchImm { op, lhs, cidx, target, strict } => {
+                let strictness = if strict { " (strict)" } else { "" };
+                let cmp = binop(op, r(lhs), format!("const {}", c(cidx)));
+                format!("if_false {cmp} -> {target}{strictness}")
+            }
+            Instr::WhileCmp { op, lhs, rhs, end } => {
+                format!("while {} else -> {end}", binop(op, r(lhs), r(rhs)))
+            }
+            Instr::WhileCmpImm { op, lhs, cidx, end } => {
+                let cmp = binop(op, r(lhs), format!("const {}", c(cidx)));
+                format!("while {cmp} else -> {end}")
+            }
+        }
     }
 }
 
@@ -950,13 +1163,13 @@ mod tests {
             Stmt::FiberEnd { pos, data: idx },
         ];
         let program = compile(&prog, &names);
-        let expected = "   0: BumpStmt
-   1: Const { dst: Reg(0), cidx: 0 }
-   2: BumpStmt
-   3: Mov { dst: Reg(1), src: Reg(0) }
-   4: Append { buf: BufId(1), val: Reg(1) }
-   5: BumpStmt
-   6: FiberEnd { pos: BufId(0), data: BufId(1) }
+        let expected = "   0: stmt
+   1: i = const 3
+   2: stmt
+   3: t0 = i
+   4: b1.push(t0)
+   5: stmt
+   6: b0.push(len(b1))
 ";
         assert_eq!(program.disasm(), expected);
     }
@@ -983,19 +1196,19 @@ mod tests {
             }],
         }];
         let program = compile(&prog, &names);
-        let expected = "   0: BumpStmt
-   1: Const { dst: Reg(1), cidx: 0 }
-   2: CoerceInt { reg: Reg(1) }
-   3: Const { dst: Reg(2), cidx: 1 }
-   4: CoerceInt { reg: Reg(2) }
-   5: ForTest { counter: Reg(1), hi: Reg(2), var: Reg(0), end: 13 }
-   6: BumpStmt
-   7: Const { dst: Reg(3), cidx: 0 }
-   8: CoerceInt { reg: Reg(3) }
-   9: Mov { dst: Reg(5), src: Reg(0) }
-  10: Load { dst: Reg(4), buf: BufId(0), idx: Reg(5) }
-  11: Store { buf: BufId(1), idx: Reg(3), val: Reg(4), reduce: Some(Add) }
-  12: ForStep { counter: Reg(1), test: 5 }
+        let expected = "   0: stmt
+   1: t0 = const 0
+   2: coerce_int t0
+   3: t1 = const 2
+   4: coerce_int t1
+   5: for i = t0 while <= t1 else -> 13
+   6: stmt
+   7: t2 = const 0
+   8: coerce_int t2
+   9: t4 = i
+  10: t3 = b0[t4]
+  11: b1[t2] += t3
+  12: step t0 -> 5
 ";
         assert_eq!(program.disasm(), expected);
     }

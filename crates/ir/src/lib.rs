@@ -72,6 +72,7 @@ pub use bytecode::{Instr, Program, Reg};
 pub use error::RuntimeError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use interp::{ExecStats, Interpreter};
+pub use opt::{OptLevel, OptStats};
 pub use stmt::{Extent, Stmt};
 pub use value::{Value, ValueKind};
 pub use var::{Names, Var};

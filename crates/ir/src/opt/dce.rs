@@ -1,0 +1,213 @@
+//! Dead-code and dead-store elimination.
+//!
+//! A `let` or variable assignment whose target is never read anywhere in
+//! the remaining program is a dead store: the value it computes is
+//! unobservable (expressions are pure), so the whole statement is removed.
+//! Removal can make further statements dead — a chain `a = b; b` unused —
+//! so the pass iterates to a fixpoint.  Control flow that becomes empty is
+//! removed too: an `if` with two empty branches, a `for` with an empty
+//! body, and empty blocks.  An *empty-bodied* `while` is deliberately kept:
+//! removing it would change the termination behaviour of a
+//! non-terminating program.
+//!
+//! Buffer stores ([`Stmt::Store`], [`Stmt::Append`], [`Stmt::FiberEnd`])
+//! are never removed — buffers are the program's observable output.
+//!
+//! Note that a removed statement's expressions can no longer *fault*: a
+//! dead `let x = buf[out_of_bounds]` disappears along with the
+//! out-of-bounds error it would have raised, so error behaviour is only
+//! preserved for programs that complete (see the module docs of
+//! [`crate::opt`]).
+
+use std::collections::HashSet;
+
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+use crate::var::Var;
+
+use super::OptStats;
+
+/// Remove dead variable stores and emptied control flow, iterating to a
+/// fixpoint.
+pub(super) fn eliminate_dead(stmts: &[Stmt], stats: &mut OptStats) -> Vec<Stmt> {
+    let mut cur = stmts.to_vec();
+    loop {
+        let read = read_vars(&cur);
+        let mut removed = 0u64;
+        let next = sweep(&cur, &read, &mut removed);
+        if removed == 0 {
+            return next;
+        }
+        stats.stmts_removed += removed;
+        cur = next;
+    }
+}
+
+/// Every variable read by any expression of the program.  Binder positions
+/// (`let` targets, loop variables) do not count as reads.
+fn read_vars(stmts: &[Stmt]) -> HashSet<Var> {
+    let mut read = HashSet::new();
+    let mut collect = |e: &Expr| {
+        e.visit(&mut |node| {
+            if let Expr::Var(v) = node {
+                read.insert(*v);
+            }
+        });
+    };
+    for s in stmts {
+        s.visit(&mut |node| match node {
+            Stmt::Let { init, .. } | Stmt::Assign { value: init, .. } => collect(init),
+            Stmt::Store { index, value, .. } => {
+                collect(index);
+                collect(value);
+            }
+            Stmt::Append { value, .. } => collect(value),
+            Stmt::If { cond, .. } | Stmt::While { cond, .. } => collect(cond),
+            Stmt::For { lo, hi, .. } => {
+                collect(lo);
+                collect(hi);
+            }
+            Stmt::FiberEnd { .. } | Stmt::Block(_) | Stmt::Comment(_) => {}
+        });
+    }
+    read
+}
+
+fn sweep(stmts: &[Stmt], read: &HashSet<Var>, removed: &mut u64) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Let { var, .. } | Stmt::Assign { var, .. } if !read.contains(var) => {
+                *removed += 1;
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let then_branch = sweep(then_branch, read, removed);
+                let else_branch = sweep(else_branch, read, removed);
+                if then_branch.is_empty() && else_branch.is_empty() {
+                    *removed += 1;
+                } else {
+                    out.push(Stmt::If { cond: cond.clone(), then_branch, else_branch });
+                }
+            }
+            Stmt::While { cond, body } => {
+                // Keep even when the body empties: dropping a spinning loop
+                // would change termination behaviour.
+                out.push(Stmt::While { cond: cond.clone(), body: sweep(body, read, removed) });
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let body = sweep(body, read, removed);
+                // An emptied loop is only removable when nothing later reads
+                // the loop variable (which the loop would have left bound to
+                // its last index).
+                if body.is_empty() && !read.contains(var) {
+                    *removed += 1;
+                } else {
+                    out.push(Stmt::For { var: *var, lo: lo.clone(), hi: hi.clone(), body });
+                }
+            }
+            Stmt::Block(body) => {
+                let body = sweep(body, read, removed);
+                if body.is_empty() {
+                    *removed += 1;
+                } else {
+                    out.push(Stmt::Block(body));
+                }
+            }
+            other => out.push(other.clone()),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, BufferSet};
+    use crate::interp::Interpreter;
+    use crate::value::Value;
+    use crate::var::Names;
+
+    #[test]
+    fn unread_lets_and_their_dependencies_are_removed() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let a = names.fresh("a");
+        let b = names.fresh("b");
+        let prog = vec![
+            Stmt::Let { var: a, init: Expr::int(1) },
+            // b reads a, but b itself is never read: removing b makes a
+            // dead too — the fixpoint catches the chain.
+            Stmt::Let { var: b, init: Expr::add(Expr::Var(a), Expr::int(1)) },
+            Stmt::Store { buf: out, index: Expr::int(0), value: Expr::int(9), reduce: None },
+        ];
+        let mut stats = OptStats::default();
+        let swept = eliminate_dead(&prog, &mut stats);
+        assert_eq!(swept.len(), 1, "only the store survives:\n{swept:?}");
+        assert_eq!(stats.stmts_removed, 2);
+        let mut interp = Interpreter::new(&names);
+        interp.run(&swept, &mut bufs).unwrap();
+        assert_eq!(bufs.get(out).load(0), Value::Int(9));
+    }
+
+    #[test]
+    fn live_assignments_survive() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let a = names.fresh("a");
+        let prog = vec![
+            Stmt::Let { var: a, init: Expr::int(4) },
+            Stmt::Store { buf: out, index: Expr::int(0), value: Expr::Var(a), reduce: None },
+        ];
+        let mut stats = OptStats::default();
+        let swept = eliminate_dead(&prog, &mut stats);
+        assert_eq!(swept, prog);
+        assert_eq!(stats.stmts_removed, 0);
+    }
+
+    #[test]
+    fn emptied_control_flow_is_removed_but_while_is_kept() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::If {
+                cond: Expr::bool(true),
+                then_branch: vec![Stmt::Let { var: a, init: Expr::int(1) }],
+                else_branch: vec![],
+            },
+            Stmt::For {
+                var: i,
+                lo: Expr::int(0),
+                hi: Expr::int(3),
+                body: vec![Stmt::Let { var: a, init: Expr::int(2) }],
+            },
+            Stmt::While {
+                cond: Expr::bool(false),
+                body: vec![Stmt::Let { var: a, init: Expr::int(3) }],
+            },
+        ];
+        let mut stats = OptStats::default();
+        let swept = eliminate_dead(&prog, &mut stats);
+        // The if and for empty out and disappear; the while's body empties
+        // but the loop head remains.
+        assert_eq!(swept.len(), 1, "{swept:?}");
+        assert!(matches!(&swept[0], Stmt::While { body, .. } if body.is_empty()));
+    }
+
+    #[test]
+    fn buffer_stores_are_never_removed() {
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let prog = vec![
+            Stmt::Store { buf: out, index: Expr::int(0), value: Expr::int(1), reduce: None },
+            Stmt::Append { buf: idx, value: Expr::int(5) },
+            Stmt::FiberEnd { pos: out, data: idx },
+        ];
+        let mut stats = OptStats::default();
+        let swept = eliminate_dead(&prog, &mut stats);
+        assert_eq!(swept, prog);
+    }
+}

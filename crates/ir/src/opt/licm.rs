@@ -1,5 +1,4 @@
-//! A small optimisation pass over the target IR: loop-invariant load
-//! hoisting.
+//! Loop-invariant code motion (LICM): loop-invariant load hoisting.
 //!
 //! The original Finch implementation emits Julia source, and Julia's
 //! compiler hoists loop-invariant buffer loads (such as the value of a run
@@ -21,16 +20,29 @@ use crate::expr::Expr;
 use crate::stmt::Stmt;
 use crate::var::{Names, Var};
 
+use super::OptStats;
+
 /// Hoist loop-invariant loads out of every loop in the program.
 pub fn hoist_invariant_loads(stmts: &[Stmt], names: &mut Names) -> Vec<Stmt> {
-    stmts.iter().map(|s| hoist_stmt(s, names)).collect()
+    let mut stats = OptStats::default();
+    hoist_with_stats(stmts, names, &mut stats)
 }
 
-fn hoist_stmt(stmt: &Stmt, names: &mut Names) -> Stmt {
+/// Hoist loop-invariant loads, counting each hoisted load in
+/// `stats.loads_hoisted`.
+pub(super) fn hoist_with_stats(
+    stmts: &[Stmt],
+    names: &mut Names,
+    stats: &mut OptStats,
+) -> Vec<Stmt> {
+    stmts.iter().map(|s| hoist_stmt(s, names, stats)).collect()
+}
+
+fn hoist_stmt(stmt: &Stmt, names: &mut Names, stats: &mut OptStats) -> Stmt {
     match stmt {
         Stmt::For { var, lo, hi, body } => {
-            let body: Vec<Stmt> = body.iter().map(|s| hoist_stmt(s, names)).collect();
-            let (pre, body) = hoist_loop_body(&body, Some(*var), names);
+            let body: Vec<Stmt> = body.iter().map(|s| hoist_stmt(s, names, stats)).collect();
+            let (pre, body) = hoist_loop_body(&body, Some(*var), names, stats);
             let rebuilt = Stmt::For { var: *var, lo: lo.clone(), hi: hi.clone(), body };
             if pre.is_empty() {
                 rebuilt
@@ -39,8 +51,8 @@ fn hoist_stmt(stmt: &Stmt, names: &mut Names) -> Stmt {
             }
         }
         Stmt::While { cond, body } => {
-            let body: Vec<Stmt> = body.iter().map(|s| hoist_stmt(s, names)).collect();
-            let (pre, body) = hoist_loop_body(&body, None, names);
+            let body: Vec<Stmt> = body.iter().map(|s| hoist_stmt(s, names, stats)).collect();
+            let (pre, body) = hoist_loop_body(&body, None, names, stats);
             let rebuilt = Stmt::While { cond: cond.clone(), body };
             if pre.is_empty() {
                 rebuilt
@@ -50,10 +62,12 @@ fn hoist_stmt(stmt: &Stmt, names: &mut Names) -> Stmt {
         }
         Stmt::If { cond, then_branch, else_branch } => Stmt::If {
             cond: cond.clone(),
-            then_branch: then_branch.iter().map(|s| hoist_stmt(s, names)).collect(),
-            else_branch: else_branch.iter().map(|s| hoist_stmt(s, names)).collect(),
+            then_branch: then_branch.iter().map(|s| hoist_stmt(s, names, stats)).collect(),
+            else_branch: else_branch.iter().map(|s| hoist_stmt(s, names, stats)).collect(),
         },
-        Stmt::Block(body) => Stmt::Block(body.iter().map(|s| hoist_stmt(s, names)).collect()),
+        Stmt::Block(body) => {
+            Stmt::Block(body.iter().map(|s| hoist_stmt(s, names, stats)).collect())
+        }
         other => other.clone(),
     }
 }
@@ -63,6 +77,7 @@ fn hoist_loop_body(
     body: &[Stmt],
     loop_var: Option<Var>,
     names: &mut Names,
+    stats: &mut OptStats,
 ) -> (Vec<Stmt>, Vec<Stmt>) {
     // Variables assigned anywhere in the body (plus the loop variable) make
     // an expression loop-variant.
@@ -87,6 +102,19 @@ fn hoist_loop_body(
         });
     }
 
+    // Every buffer an expression reads: the outer load's own buffer, plus
+    // any `Load`/`BufLen`/`Search` nested anywhere inside it (e.g. in the
+    // index).  A candidate is only invariant when *none* of those buffers
+    // is written by the loop — an index like `x[len(out)]` must not move
+    // above appends to `out`.
+    fn collect_read_bufs(e: &Expr, out: &mut Vec<BufId>) {
+        e.visit(&mut |node| match node {
+            Expr::Load { buf, .. } | Expr::Search { buf, .. } => out.push(*buf),
+            Expr::BufLen(buf) => out.push(*buf),
+            _ => {}
+        });
+    }
+
     // Collect candidate loads from unconditionally executed expressions.
     // The traversal stops at `select` branches and at all but the first
     // `coalesce` argument: those positions are only conditionally
@@ -97,10 +125,13 @@ fn hoist_loop_body(
         stored: &HashSet<BufId>,
         out: &mut Vec<Expr>,
     ) {
-        if let Expr::Load { buf, index } = e {
+        if let Expr::Load { index, .. } = e {
             let mut vars = Vec::new();
             index.collect_vars(&mut vars);
-            let invariant = !stored.contains(buf) && vars.iter().all(|v| !defined.contains(v));
+            let mut bufs = Vec::new();
+            collect_read_bufs(e, &mut bufs);
+            let invariant = bufs.iter().all(|b| !stored.contains(b))
+                && vars.iter().all(|v| !defined.contains(v));
             if invariant && !out.contains(e) {
                 out.push(e.clone());
             }
@@ -157,6 +188,7 @@ fn hoist_loop_body(
     let mut pre = Vec::new();
     let mut rewritten = body.to_vec();
     for load in candidates {
+        stats.loads_hoisted += 1;
         let var = names.fresh("hoisted");
         pre.push(Stmt::Let { var, init: load.clone() });
         rewritten = rewritten
@@ -265,6 +297,42 @@ mod tests {
         let mut interp = Interpreter::new(&names);
         interp.run(&optimised, &mut bufs).unwrap();
         assert_eq!(bufs.get(acc).load(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn loads_whose_index_reads_a_written_buffer_are_not_hoisted() {
+        // for i { out.push(i); s[0] = x[len(out)] }: the candidate load
+        // `x[len(out)]` has no loop-variant *variables*, but its index
+        // reads `out`, which the loop appends to — hoisting it would read
+        // the pre-loop length.  Same for an index that loads from a
+        // stored buffer.
+        let mut names = Names::new();
+        let mut bufs = crate::buffer::BufferSet::new();
+        let x = bufs.add("x", crate::buffer::Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bufs.add("out", crate::buffer::Buffer::I64(vec![]));
+        let s = bufs.add("s", crate::buffer::Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(2),
+            body: vec![
+                Stmt::Append { buf: out, value: Expr::Var(i) },
+                Stmt::Store {
+                    buf: s,
+                    index: Expr::int(0),
+                    value: Expr::load(x, Expr::BufLen(out)),
+                    reduce: None,
+                },
+            ],
+        }];
+        let optimised = hoist_invariant_loads(&prog, &mut names);
+        assert_eq!(optimised, prog, "index reads a written buffer; nothing may hoist");
+        let mut interp = crate::interp::Interpreter::new(&names);
+        let mut run_bufs = bufs.clone();
+        interp.run(&optimised, &mut run_bufs).unwrap();
+        // After 3 iterations `len(out)` is 3 at the last store.
+        assert_eq!(run_bufs.get(s).load(0), Value::Float(4.0));
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The staged optimisation pipeline over the target IR and its bytecode.
+//!
+//! The original Finch implementation emits Julia source and leans on the
+//! host compiler to clean up the straight-line code its lowering produces:
+//! constant folding, copy propagation, dead-branch pruning and
+//! loop-invariant code motion all come for free there.  Our pipeline
+//! executes the IR as lowered, so this module performs the same clean-up
+//! explicitly, staged behind an [`OptLevel`]:
+//!
+//! * [`fold`] — constant folding, constant/copy propagation, and pruning of
+//!   statically-decidable `if`/`while`/`for` statements,
+//! * [`licm`] — loop-invariant load hoisting (the original pass of this
+//!   module, still exported as [`hoist_invariant_loads`]),
+//! * [`dce`] — dead-code and dead-store elimination for variables that are
+//!   never read, plus removal of emptied control flow,
+//! * [`peephole`] — a pass over compiled [`crate::bytecode::Program`]s that
+//!   fuses hot instruction pairs into superinstructions and coalesces the
+//!   temp registers; every fused instruction maintains
+//!   [`crate::interp::ExecStats`] exactly like its unfused expansion, so
+//!   tree-walk vs bytecode parity stays bit-for-bit at every opt level.
+//!
+//! All IR-level passes are *value-exact* for programs that complete: an
+//! optimised program stores bit-identical results into every buffer.  The
+//! machine-independent work counters ([`crate::interp::ExecStats`]) may
+//! shrink across opt levels — that is the point — but remain identical
+//! between the two engines at any given level, because both execute the
+//! same optimised program.
+//!
+//! One standard compiler caveat applies to *faulting* programs:
+//! expressions are pure but can raise runtime errors (an out-of-bounds
+//! load, a division by zero), and removing a dead statement or a pruned
+//! branch also removes any error its expressions would have raised.  A
+//! program that faults at [`OptLevel::None`] can therefore complete at
+//! [`OptLevel::Default`] — exactly as a native compiler deletes a faulting
+//! dead load.  The compiler never emits such code (generated loads are
+//! guarded), so this is only observable on hand-built IR.
+
+mod dce;
+mod fold;
+mod licm;
+mod peephole;
+
+pub use licm::hoist_invariant_loads;
+pub use peephole::peephole;
+
+use crate::stmt::Stmt;
+use crate::var::Names;
+
+/// How aggressively the compiler optimises lowered code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Execute the IR exactly as lowered: no IR passes, no bytecode
+    /// peephole.  The baseline the benchmark harness measures speedups
+    /// against.
+    None,
+    /// The standard pipeline: constant folding/propagation, loop-invariant
+    /// load hoisting, dead-code elimination, and the bytecode peephole.
+    #[default]
+    Default,
+    /// The [`OptLevel::Default`] pipeline iterated to a fixpoint, plus
+    /// single-iteration (`lo == hi`) loop elimination.
+    Aggressive,
+}
+
+impl OptLevel {
+    /// A short stable label, used by the benchmark harness and its JSON
+    /// report (`none` / `default` / `aggressive`).
+    pub fn label(self) -> &'static str {
+        match self {
+            OptLevel::None => "none",
+            OptLevel::Default => "default",
+            OptLevel::Aggressive => "aggressive",
+        }
+    }
+
+    /// Parse a label produced by [`OptLevel::label`] (used by CLI flags).
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        match s {
+            "none" | "0" => Some(OptLevel::None),
+            "default" | "1" => Some(OptLevel::Default),
+            "aggressive" | "2" => Some(OptLevel::Aggressive),
+            _ => None,
+        }
+    }
+
+    /// All levels, in increasing aggressiveness.
+    pub fn all() -> [OptLevel; 3] {
+        [OptLevel::None, OptLevel::Default, OptLevel::Aggressive]
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-pass counters accumulated by one run of the optimisation pipeline,
+/// surfaced on compiled kernels and in the benchmark JSON report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Constant (sub)expressions folded to literals.
+    pub folds: u64,
+    /// Variable reads replaced by a propagated constant or copied variable.
+    pub copies_propagated: u64,
+    /// `if` statements whose condition was statically decided.
+    pub branches_pruned: u64,
+    /// `while`/`for` loops removed because they statically never run (or,
+    /// at [`OptLevel::Aggressive`], run exactly once and were unrolled).
+    pub loops_removed: u64,
+    /// Dead statements removed by DCE (never-read `let`/`assign` targets
+    /// and emptied control flow).
+    pub stmts_removed: u64,
+    /// Loop-invariant loads hoisted out of loops by LICM.
+    pub loads_hoisted: u64,
+    /// Bytecode instruction pairs fused into superinstructions.
+    pub instrs_fused: u64,
+    /// Register-to-register moves eliminated by operand forwarding.
+    pub movs_eliminated: u64,
+    /// Registers trimmed from the register file by temp coalescing.
+    pub regs_saved: u64,
+    /// IR statement count before the pipeline ran.
+    pub ir_stmts_before: u64,
+    /// IR statement count after the pipeline ran.
+    pub ir_stmts_after: u64,
+}
+
+fn count_stmts(stmts: &[Stmt]) -> u64 {
+    Stmt::count_matching(stmts, &|_| true) as u64
+}
+
+/// Run the IR-level optimisation pipeline at the given level.
+///
+/// `names` must be the table the program's variables were created from;
+/// LICM creates fresh variables for hoisted loads.  Returns the optimised
+/// program together with the per-pass [`OptStats`].  The bytecode-level
+/// [`peephole`] pass is applied separately, after
+/// [`crate::bytecode::Program::compile`].
+pub fn optimize(stmts: &[Stmt], names: &mut Names, level: OptLevel) -> (Vec<Stmt>, OptStats) {
+    let mut stats = OptStats { ir_stmts_before: count_stmts(stmts), ..OptStats::default() };
+    let code = match level {
+        OptLevel::None => stmts.to_vec(),
+        OptLevel::Default => run_round(stmts, names, false, &mut stats),
+        OptLevel::Aggressive => {
+            let mut code = stmts.to_vec();
+            // Iterate to a fixpoint: folding can expose new invariant
+            // loads, hoisting can expose new dead code, and so on.  The
+            // bound is a safety net; real kernels settle in 2-3 rounds.
+            for _ in 0..4 {
+                let next = run_round(&code, names, true, &mut stats);
+                let settled = next == code;
+                code = next;
+                if settled {
+                    break;
+                }
+            }
+            code
+        }
+    };
+    stats.ir_stmts_after = count_stmts(&code);
+    (code, stats)
+}
+
+fn run_round(
+    stmts: &[Stmt],
+    names: &mut Names,
+    unroll_point_loops: bool,
+    stats: &mut OptStats,
+) -> Vec<Stmt> {
+    let code = fold::fold_stmts(stmts, unroll_point_loops, stats);
+    let code = licm::hoist_with_stats(&code, names, stats);
+    dce::eliminate_dead(&code, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{Buffer, BufferSet};
+    use crate::expr::Expr;
+    use crate::interp::Interpreter;
+    use crate::value::Value;
+
+    /// Optimising at every level must leave buffer contents bit-identical.
+    fn assert_value_exact(prog: &[Stmt], names: &Names, bufs: &BufferSet) {
+        let mut reference: Option<BufferSet> = None;
+        for level in OptLevel::all() {
+            let mut names = names.clone();
+            let (code, _) = optimize(prog, &mut names, level);
+            let mut bufs = bufs.clone();
+            let mut interp = Interpreter::new(&names);
+            interp.run(&code, &mut bufs).expect("optimised program runs");
+            match &reference {
+                Option::None => reference = Some(bufs),
+                Some(r) => {
+                    for (id, name, buf) in r.iter() {
+                        assert_eq!(buf, bufs.get(id), "buffer {name} diverges at {level}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_folds_propagates_and_removes_dead_code() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let a = names.fresh("a");
+        let b = names.fresh("b");
+        let dead = names.fresh("dead");
+        let prog = vec![
+            // a = 2 + 3 folds to 5; b = a propagates; dead is never read.
+            Stmt::Let { var: a, init: Expr::add(Expr::int(2), Expr::int(3)) },
+            Stmt::Let { var: b, init: Expr::Var(a) },
+            Stmt::Let { var: dead, init: Expr::mul(Expr::Var(b), Expr::int(7)) },
+            Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::add(Expr::Var(b), Expr::int(1)),
+                reduce: Option::None,
+            },
+        ];
+        let (code, stats) = optimize(&prog, &mut names.clone(), OptLevel::Default);
+        assert!(stats.folds > 0, "constant folding ran: {stats:?}");
+        assert!(stats.copies_propagated > 0, "propagation ran: {stats:?}");
+        assert!(stats.stmts_removed > 0, "dead lets removed: {stats:?}");
+        assert!(stats.ir_stmts_after < stats.ir_stmts_before, "{stats:?}");
+        // The store's value folded all the way to the literal 6.
+        let folded = Stmt::count_matching(&code, &|s| {
+            matches!(s, Stmt::Store { value: Expr::Lit(Value::Int(6)), .. })
+        });
+        assert_eq!(folded, 1, "store value fully folded:\n{code:?}");
+        assert_value_exact(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn statically_false_branches_and_loops_are_pruned() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let i = names.fresh("i");
+        let prog = vec![
+            Stmt::If {
+                cond: Expr::bool(false),
+                then_branch: vec![Stmt::Store {
+                    buf: out,
+                    index: Expr::int(0),
+                    value: Expr::int(1),
+                    reduce: Option::None,
+                }],
+                else_branch: vec![Stmt::Store {
+                    buf: out,
+                    index: Expr::int(0),
+                    value: Expr::int(2),
+                    reduce: Option::None,
+                }],
+            },
+            Stmt::While { cond: Expr::bool(false), body: vec![Stmt::Comment("never".into())] },
+            Stmt::For {
+                var: i,
+                lo: Expr::int(5),
+                hi: Expr::int(2),
+                body: vec![Stmt::Comment("empty range".into())],
+            },
+        ];
+        let (code, stats) = optimize(&prog, &mut names.clone(), OptLevel::Default);
+        assert!(stats.branches_pruned >= 1, "{stats:?}");
+        assert!(stats.loops_removed >= 2, "{stats:?}");
+        assert_eq!(Stmt::count_matching(&code, &|s| matches!(s, Stmt::While { .. })), 0);
+        assert_eq!(Stmt::count_matching(&code, &|s| matches!(s, Stmt::For { .. })), 0);
+        assert_value_exact(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn aggressive_unrolls_single_iteration_loops() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(1),
+            hi: Expr::int(1),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(x, Expr::Var(i)),
+                reduce: Option::None,
+            }],
+        }];
+        let (default_code, _) = optimize(&prog, &mut names.clone(), OptLevel::Default);
+        assert_eq!(
+            Stmt::count_matching(&default_code, &|s| matches!(s, Stmt::For { .. })),
+            1,
+            "default keeps the loop"
+        );
+        let (aggr_code, stats) = optimize(&prog, &mut names.clone(), OptLevel::Aggressive);
+        assert_eq!(
+            Stmt::count_matching(&aggr_code, &|s| matches!(s, Stmt::For { .. })),
+            0,
+            "aggressive unrolls the point loop:\n{aggr_code:?}"
+        );
+        assert!(stats.loops_removed >= 1);
+        assert_value_exact(&prog, &names, &bufs);
+    }
+
+    #[test]
+    fn opt_level_none_is_the_identity() {
+        let mut names = Names::new();
+        let a = names.fresh("a");
+        let prog = vec![Stmt::Let { var: a, init: Expr::add(Expr::int(1), Expr::int(2)) }];
+        let (code, stats) = optimize(&prog, &mut names, OptLevel::None);
+        assert_eq!(code, prog);
+        assert_eq!(stats.folds, 0);
+        assert_eq!(stats.ir_stmts_before, stats.ir_stmts_after);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for level in OptLevel::all() {
+            assert_eq!(OptLevel::parse(level.label()), Some(level));
+            assert_eq!(format!("{level}"), level.label());
+        }
+        assert_eq!(OptLevel::parse("bogus"), Option::None);
+        assert_eq!(OptLevel::default(), OptLevel::Default);
+    }
+}

@@ -34,6 +34,18 @@ enum Tag {
     Missing,
 }
 
+/// The result of an unboxed fast-path binary operation, before it is
+/// written into a register lane.
+#[derive(Debug, Clone, Copy)]
+enum Computed {
+    /// Integer result.
+    Int(i64),
+    /// Float result.
+    Float(f64),
+    /// Boolean result (comparisons and logic).
+    Bool(bool),
+}
+
 /// A register virtual machine for compiled bytecode.
 ///
 /// The VM owns the register file; buffers are passed to [`Vm::run`] so the
@@ -212,34 +224,8 @@ impl Vm {
                     pc += 1;
                 }
                 Instr::Load { dst, buf, idx } => {
-                    let i = idx.index();
-                    match self.tags[i] {
-                        // `A[missing] = missing` (paper §8, `permit`).
-                        Tag::Missing => {
-                            self.tags[dst.index()] = Tag::Missing;
-                            pc += 1;
-                            continue;
-                        }
-                        Tag::Unset => {
-                            return Err(RuntimeError::UnboundVariable {
-                                name: program.reg_name(idx),
-                            })
-                        }
-                        _ => {}
-                    }
-                    let at = if self.tags[i] == Tag::Int {
-                        self.ints[i]
-                    } else {
-                        self.value(idx, program)?.as_int()?
-                    };
-                    Self::check_bounds(buf, at, bufs)?;
-                    self.stats.loads += 1;
-                    match bufs.get(buf) {
-                        Buffer::I64(v) => self.set_int(dst, v[at as usize]),
-                        Buffer::F64(v) => self.set_float(dst, v[at as usize]),
-                        Buffer::U8(v) => self.set_float(dst, v[at as usize] as f64),
-                        Buffer::Bool(v) => self.set_bool(dst, v[at as usize]),
-                    }
+                    let v = self.load_value(buf, idx, program, bufs)?;
+                    self.set(dst, v);
                     pc += 1;
                 }
                 Instr::CoerceInt { reg } => {
@@ -416,9 +402,279 @@ impl Vm {
                     self.set_int(dst, pos);
                     pc += 1;
                 }
+                Instr::BinaryImm { op, dst, lhs, cidx } => {
+                    let imm = program.consts()[cidx as usize];
+                    self.binary_imm(op, dst, lhs, imm, program)?;
+                    pc += 1;
+                }
+                Instr::LoadBinary { op, dst, lhs, buf, idx } => {
+                    // The load half first, with the exact semantics (and
+                    // error order) of a standalone `Load`.
+                    let loaded = self.load_value(buf, idx, program, bufs)?;
+                    self.binary_imm(op, dst, lhs, loaded, program)?;
+                    pc += 1;
+                }
+                Instr::CmpBranch { op, lhs, rhs, target, strict } => {
+                    match self.compare(op, lhs, rhs, program)? {
+                        Some(true) => pc += 1,
+                        Some(false) => pc = target as usize,
+                        None if strict => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "bool",
+                                found: ValueKind::Missing,
+                            })
+                        }
+                        None => pc = target as usize,
+                    }
+                }
+                Instr::CmpBranchImm { op, lhs, cidx, target, strict } => {
+                    let imm = program.consts()[cidx as usize];
+                    match self.compare_imm(op, lhs, imm, program)? {
+                        Some(true) => pc += 1,
+                        Some(false) => pc = target as usize,
+                        None if strict => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "bool",
+                                found: ValueKind::Missing,
+                            })
+                        }
+                        None => pc = target as usize,
+                    }
+                }
+                Instr::WhileCmp { op, lhs, rhs, end } => {
+                    match self.compare(op, lhs, rhs, program)? {
+                        Some(true) => {
+                            self.stats.loop_iters += 1;
+                            pc += 1;
+                        }
+                        Some(false) => pc = end as usize,
+                        None => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "bool",
+                                found: ValueKind::Missing,
+                            })
+                        }
+                    }
+                }
+                Instr::WhileCmpImm { op, lhs, cidx, end } => {
+                    let imm = program.consts()[cidx as usize];
+                    match self.compare_imm(op, lhs, imm, program)? {
+                        Some(true) => {
+                            self.stats.loop_iters += 1;
+                            pc += 1;
+                        }
+                        Some(false) => pc = end as usize,
+                        None => {
+                            return Err(RuntimeError::TypeMismatch {
+                                expected: "bool",
+                                found: ValueKind::Missing,
+                            })
+                        }
+                    }
+                }
             }
         }
         Ok(())
+    }
+
+    /// The single implementation of load semantics, shared by
+    /// [`Instr::Load`] and the load half of [`Instr::LoadBinary`]: a
+    /// missing index yields missing without counting a load (paper §8,
+    /// `permit`); otherwise the index is coerced, bounds are checked, and
+    /// one load is counted.
+    #[inline]
+    fn load_value(
+        &mut self,
+        buf: BufId,
+        idx: Reg,
+        program: &Program,
+        bufs: &BufferSet,
+    ) -> Result<Value, RuntimeError> {
+        let i = idx.index();
+        match self.tags[i] {
+            Tag::Missing => return Ok(Value::Missing),
+            Tag::Unset => {
+                return Err(RuntimeError::UnboundVariable { name: program.reg_name(idx) })
+            }
+            _ => {}
+        }
+        let at = if self.tags[i] == Tag::Int {
+            self.ints[i]
+        } else {
+            self.value(idx, program)?.as_int()?
+        };
+        Self::check_bounds(buf, at, bufs)?;
+        self.stats.loads += 1;
+        Ok(match bufs.get(buf) {
+            Buffer::I64(v) => Value::Int(v[at as usize]),
+            Buffer::F64(v) => Value::Float(v[at as usize]),
+            Buffer::U8(v) => Value::Float(v[at as usize] as f64),
+            Buffer::Bool(v) => Value::Bool(v[at as usize]),
+        })
+    }
+
+    /// `dst = lhs op imm` with the same unboxed fast paths and fallback as
+    /// [`Vm::binary`] — the register/immediate form used by
+    /// [`Instr::BinaryImm`] and the load half of [`Instr::LoadBinary`].
+    /// Shares the operator bodies ([`Vm::int_binop`]/[`Vm::float_binop`])
+    /// with the register/register form so fused and unfused execution
+    /// cannot drift apart.
+    #[inline]
+    fn binary_imm(
+        &mut self,
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        imm: Value,
+        program: &Program,
+    ) -> Result<(), RuntimeError> {
+        let li = lhs.index();
+        match (self.tags[li], imm) {
+            (Tag::Int, Value::Int(y)) => {
+                let c = Self::int_binop(op, self.ints[li], y)?;
+                self.set_computed(dst, c);
+            }
+            (Tag::Float, Value::Float(y)) => {
+                let c = Self::float_binop(op, self.floats[li], y);
+                self.set_computed(dst, c);
+            }
+            _ => {
+                let a = self.value(lhs, program)?;
+                self.set(dst, Value::binop(op, a, imm)?);
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn set_computed(&mut self, dst: Reg, c: Computed) {
+        match c {
+            Computed::Int(x) => self.set_int(dst, x),
+            Computed::Float(x) => self.set_float(dst, x),
+            Computed::Bool(b) => self.set_bool(dst, b),
+        }
+    }
+
+    /// The int/int fast path shared by [`Vm::binary`] and
+    /// [`Vm::binary_imm`]: integer arithmetic with wrapping, equality on
+    /// the integers, ordering through f64 — exactly [`Value::binop`].
+    #[inline]
+    fn int_binop(op: BinOp, x: i64, y: i64) -> Result<Computed, RuntimeError> {
+        use BinOp::*;
+        Ok(match op {
+            Add => Computed::Int(x.wrapping_add(y)),
+            Sub => Computed::Int(x.wrapping_sub(y)),
+            Mul => Computed::Int(x.wrapping_mul(y)),
+            Div => {
+                if y == 0 {
+                    return Err(RuntimeError::DivisionByZero);
+                }
+                Computed::Int(x / y)
+            }
+            Min => Computed::Int(x.min(y)),
+            Max => Computed::Int(x.max(y)),
+            Eq | Ne | Lt | Le | Gt | Ge => Computed::Bool(Self::cmp_int(op, x, y)),
+            And => Computed::Bool(x != 0 && y != 0),
+            Or => Computed::Bool(x != 0 || y != 0),
+        })
+    }
+
+    /// The float/float fast path shared by [`Vm::binary`] and
+    /// [`Vm::binary_imm`], exactly [`Value::binop`]'s float arm.
+    #[inline]
+    fn float_binop(op: BinOp, x: f64, y: f64) -> Computed {
+        use BinOp::*;
+        match op {
+            Add => Computed::Float(x + y),
+            Sub => Computed::Float(x - y),
+            Mul => Computed::Float(x * y),
+            Div => Computed::Float(x / y),
+            Min => Computed::Float(x.min(y)),
+            Max => Computed::Float(x.max(y)),
+            Eq | Ne | Lt | Le | Gt | Ge => Computed::Bool(Self::cmp_f64(op, x, y)),
+            And => Computed::Bool(x != 0.0 && y != 0.0),
+            Or => Computed::Bool(x != 0.0 || y != 0.0),
+        }
+    }
+
+    /// Evaluate a fused comparison to `Some(bool)`, or `None` when the
+    /// result is missing — exactly the truthiness the unfused
+    /// `Binary` + `JumpIfFalse`/`WhileTest` pair would observe.
+    #[inline]
+    fn compare(
+        &mut self,
+        op: BinOp,
+        lhs: Reg,
+        rhs: Reg,
+        program: &Program,
+    ) -> Result<Option<bool>, RuntimeError> {
+        let (li, ri) = (lhs.index(), rhs.index());
+        match (self.tags[li], self.tags[ri]) {
+            (Tag::Int, Tag::Int) => Ok(Some(Self::cmp_int(op, self.ints[li], self.ints[ri]))),
+            (Tag::Float, Tag::Float) => {
+                Ok(Some(Self::cmp_f64(op, self.floats[li], self.floats[ri])))
+            }
+            _ => {
+                let a = self.value(lhs, program)?;
+                let b = self.value(rhs, program)?;
+                match Value::binop(op, a, b)? {
+                    Value::Bool(r) => Ok(Some(r)),
+                    Value::Missing => Ok(None),
+                    other => unreachable!("comparison produced {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Register/immediate variant of [`Vm::compare`].
+    #[inline]
+    fn compare_imm(
+        &mut self,
+        op: BinOp,
+        lhs: Reg,
+        imm: Value,
+        program: &Program,
+    ) -> Result<Option<bool>, RuntimeError> {
+        let li = lhs.index();
+        match (self.tags[li], imm) {
+            (Tag::Int, Value::Int(y)) => Ok(Some(Self::cmp_int(op, self.ints[li], y))),
+            (Tag::Float, Value::Float(y)) => Ok(Some(Self::cmp_f64(op, self.floats[li], y))),
+            _ => {
+                let a = self.value(lhs, program)?;
+                match Value::binop(op, a, imm)? {
+                    Value::Bool(r) => Ok(Some(r)),
+                    Value::Missing => Ok(None),
+                    other => unreachable!("comparison produced {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Comparison through f64, exactly like [`Value::binop`] (and the
+    /// unfused float fast path).
+    #[inline]
+    fn cmp_f64(op: BinOp, x: f64, y: f64) -> bool {
+        match op {
+            BinOp::Eq => x == y,
+            BinOp::Ne => x != y,
+            BinOp::Lt => x < y,
+            BinOp::Le => x <= y,
+            BinOp::Gt => x > y,
+            BinOp::Ge => x >= y,
+            other => unreachable!("{other:?} is not a comparison"),
+        }
+    }
+
+    /// Int/int comparison, exactly like the unfused int fast path:
+    /// equality on the integers, ordering through f64 (mirroring
+    /// [`Value::binop`]).
+    #[inline]
+    fn cmp_int(op: BinOp, x: i64, y: i64) -> bool {
+        match op {
+            BinOp::Eq => x == y,
+            BinOp::Ne => x != y,
+            _ => Self::cmp_f64(op, x as f64, y as f64),
+        }
     }
 
     /// `dst = lhs op rhs` with unboxed fast paths for the int/int and
@@ -434,54 +690,15 @@ impl Vm {
         rhs: Reg,
         program: &Program,
     ) -> Result<(), RuntimeError> {
-        use BinOp::*;
         let (li, ri) = (lhs.index(), rhs.index());
         match (self.tags[li], self.tags[ri]) {
             (Tag::Int, Tag::Int) => {
-                let (x, y) = (self.ints[li], self.ints[ri]);
-                match op {
-                    Add => self.set_int(dst, x.wrapping_add(y)),
-                    Sub => self.set_int(dst, x.wrapping_sub(y)),
-                    Mul => self.set_int(dst, x.wrapping_mul(y)),
-                    Div => {
-                        if y == 0 {
-                            return Err(RuntimeError::DivisionByZero);
-                        }
-                        self.set_int(dst, x / y);
-                    }
-                    Min => self.set_int(dst, x.min(y)),
-                    Max => self.set_int(dst, x.max(y)),
-                    Eq => self.set_bool(dst, x == y),
-                    Ne => self.set_bool(dst, x != y),
-                    // Value::binop compares through f64; mirror it exactly.
-                    Lt => self.set_bool(dst, (x as f64) < (y as f64)),
-                    Le => self.set_bool(dst, (x as f64) <= (y as f64)),
-                    Gt => self.set_bool(dst, (x as f64) > (y as f64)),
-                    Ge => self.set_bool(dst, (x as f64) >= (y as f64)),
-                    And | Or => self
-                        .set_bool(dst, if op == And { x != 0 && y != 0 } else { x != 0 || y != 0 }),
-                }
+                let c = Self::int_binop(op, self.ints[li], self.ints[ri])?;
+                self.set_computed(dst, c);
             }
             (Tag::Float, Tag::Float) => {
-                let (x, y) = (self.floats[li], self.floats[ri]);
-                match op {
-                    Add => self.set_float(dst, x + y),
-                    Sub => self.set_float(dst, x - y),
-                    Mul => self.set_float(dst, x * y),
-                    Div => self.set_float(dst, x / y),
-                    Min => self.set_float(dst, x.min(y)),
-                    Max => self.set_float(dst, x.max(y)),
-                    Eq => self.set_bool(dst, x == y),
-                    Ne => self.set_bool(dst, x != y),
-                    Lt => self.set_bool(dst, x < y),
-                    Le => self.set_bool(dst, x <= y),
-                    Gt => self.set_bool(dst, x > y),
-                    Ge => self.set_bool(dst, x >= y),
-                    And | Or => {
-                        let (a, b) = (x != 0.0, y != 0.0);
-                        self.set_bool(dst, if op == And { a && b } else { a || b });
-                    }
-                }
+                let c = Self::float_binop(op, self.floats[li], self.floats[ri]);
+                self.set_computed(dst, c);
             }
             _ => {
                 let a = self.value(lhs, program)?;

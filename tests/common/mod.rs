@@ -4,7 +4,7 @@
 
 use looplets_repro::finch::build::*;
 use looplets_repro::finch::{
-    CompiledKernel, Engine, IndexExpr, IndexVar, Kernel, Protocol, Tensor,
+    CompiledKernel, Engine, IndexExpr, IndexVar, Kernel, OptLevel, Protocol, Tensor,
 };
 
 /// Run a compiled kernel on both execution engines and panic unless the
@@ -25,6 +25,35 @@ pub fn assert_engine_parity(kernel: &mut CompiledKernel, what: &str) {
     for (name, tw_bits) in tw_outs {
         let bc_bits: Vec<u64> = kernel.output(&name).unwrap().iter().map(|x| x.to_bits()).collect();
         assert_eq!(tw_bits, bc_bits, "{what}: output {name} is not bit-identical");
+    }
+}
+
+/// Differential-test a kernel across every [`OptLevel`] and both engines:
+/// outputs must be bit-identical for all six (level, engine) combinations,
+/// and at each level the two engines must agree on the `ExecStats` work
+/// counters exactly.  (The counters may legitimately *shrink* as the level
+/// rises — that is what the optimiser is for — so they are only compared
+/// across engines, never across levels.)
+pub fn assert_opt_level_parity(kernel: &CompiledKernel, what: &str) {
+    let mut reference: Option<Vec<(String, Vec<u64>)>> = None;
+    for level in OptLevel::all() {
+        let mut k = kernel.reoptimized(level);
+        assert_eq!(k.opt_level(), level);
+        assert_engine_parity(&mut k, &format!("{what} at {level}"));
+        let outs: Vec<(String, Vec<u64>)> = k
+            .output_names()
+            .into_iter()
+            .map(|n| {
+                let bits = k.output(&n).unwrap().iter().map(|x| x.to_bits()).collect();
+                (n, bits)
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(outs),
+            Some(r) => {
+                assert_eq!(r, &outs, "{what}: outputs diverge between opt levels at {level}");
+            }
+        }
     }
 }
 

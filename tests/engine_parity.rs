@@ -132,6 +132,75 @@ fn sparse_output_assembly_parity() {
     }
 }
 
+/// Every example kernel shape, differential-tested across every opt level
+/// and both engines: outputs bit-identical for all (level, engine)
+/// combinations, work counters identical across engines at each level.
+#[test]
+fn opt_levels_preserve_outputs_across_kernel_shapes() {
+    let a_data = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+    let b_data = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+    let a = Tensor::sparse_list_vector("A", &a_data);
+    let b = Tensor::band_vector("B", &b_data);
+    let k = common::dot_kernel(&a, &b, Protocol::Default, Protocol::Default);
+    common::assert_opt_level_parity(&k, "dot list x band");
+
+    let bl = Tensor::sparse_list_vector("B", &b_data);
+    let k = common::dot_kernel(&a, &bl, Protocol::Gallop, Protocol::Gallop);
+    common::assert_opt_level_parity(&k, "galloping dot");
+
+    let n = 32;
+    let dense_a = datagen::scientific_matrix(n, 2, 4, 0.004, 42);
+    let xv = datagen::counted_sparse_vector(n, 6, 9);
+    let am = Tensor::csr_matrix("A", n, n, &dense_a);
+    let x = Tensor::sparse_list_vector("x", &xv);
+    let k = common::spmspv_kernel(&am, &x, Protocol::Walk, Protocol::Walk);
+    common::assert_opt_level_parity(&k, "spmspv");
+
+    let size = 12;
+    let grid = datagen::sparse_grid(size, size, 0.12, 77);
+    let filter: Vec<f64> = (0..9).map(|v| 0.5 + (v % 5) as f64 * 0.1).collect();
+    let k = finch_bench::conv_kernel(&grid, size, 3, &filter, true);
+    common::assert_opt_level_parity(&k, "masked sparse convolution");
+
+    let fg = datagen::stroke_image(16, 3, 5);
+    let bg = datagen::stroke_image(16, 2, 6);
+    let k = finch_bench::blend_kernel(
+        &Tensor::rle_matrix("B", 16, 16, &fg),
+        &Tensor::rle_matrix("Cimg", 16, 16, &bg),
+        0.6,
+        0.4,
+    );
+    common::assert_opt_level_parity(&k, "RLE alpha blend");
+}
+
+/// Sparse output assembly across opt levels: the assembled `pos`/`idx`/
+/// `val` arrays (not just the dense materialisation) must be identical at
+/// every level on both engines.
+#[test]
+fn opt_levels_preserve_sparse_output_assembly() {
+    use looplets_repro::finch::OptLevel;
+    for g in finch_bench::figs_output_groups(96, 0.08, 13) {
+        for v in g.variants {
+            let mut reference = None;
+            for level in OptLevel::all() {
+                let mut k = v.kernel.reoptimized(level);
+                for engine in [Engine::TreeWalk, Engine::Bytecode] {
+                    k.run_with(engine).expect("kernel runs");
+                    let t = k.output_tensor("C").expect("output finalizes");
+                    match &reference {
+                        None => reference = Some(t),
+                        Some(r) => assert_eq!(
+                            r, &t,
+                            "{}: assembly diverges at {level} on {engine:?}",
+                            v.label
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A step budget interrupts both engines at the same statement count.
 #[test]
 fn step_budget_trips_identically_on_both_engines() {

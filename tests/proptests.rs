@@ -3,7 +3,7 @@
 
 mod common;
 
-use common::{assert_engine_parity, dot_kernel, spmspv_kernel};
+use common::{assert_engine_parity, assert_opt_level_parity, dot_kernel, spmspv_kernel};
 use looplets_repro::baseline::kernels::{dot_dense, spmv_dense};
 use looplets_repro::finch::build::*;
 use looplets_repro::finch::{Kernel, LevelSpec, Protocol, Tensor};
@@ -200,6 +200,95 @@ proptest! {
         let mut ck = copy.compile(&program).expect("identity copy compiles");
         assert_engine_parity(&mut ck, "identity copy of a sparse output");
         prop_assert_eq!(ck.output("D").unwrap(), oracle, "copied result");
+    }
+
+    /// For random kernels, outputs are bit-identical across
+    /// `OptLevel::None`, `Default` and `Aggressive` on both engines, and
+    /// the engines agree on `ExecStats` exactly at every level.
+    #[test]
+    fn opt_levels_are_bit_identical_for_any_dot_kernel(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a_formats = vec![
+            Tensor::sparse_list_vector("A", a_data),
+            Tensor::rle_vector("A", a_data),
+        ];
+        let b_formats = vec![
+            Tensor::band_vector("B", b_data),
+            Tensor::bitmap_vector("B", b_data),
+        ];
+        for a in &a_formats {
+            for b in &b_formats {
+                for (pa, pb) in [
+                    (Protocol::Default, Protocol::Default),
+                    (Protocol::Gallop, Protocol::Walk),
+                ] {
+                    let k = dot_kernel(a, b, pa, pb);
+                    assert_opt_level_parity(
+                        &k,
+                        &format!(
+                            "dot {} x {} ({pa:?}/{pb:?})",
+                            a.levels()[0].format_name(),
+                            b.levels()[0].format_name()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opt_levels_are_bit_identical_for_any_spmv_kernel(
+        data in structured_vector(72),
+        xseed in structured_vector(12),
+        ncols in 2usize..12,
+    ) {
+        let ncols = ncols.min(data.len());
+        let nrows = data.len() / ncols;
+        if nrows == 0 {
+            return Ok(());
+        }
+        let data = &data[..nrows * ncols];
+        let xv: Vec<f64> = (0..ncols).map(|c| xseed.get(c % xseed.len().max(1)).copied().unwrap_or(0.0)).collect();
+        let x = Tensor::sparse_list_vector("x", &xv);
+        for a in [
+            Tensor::csr_matrix("A", nrows, ncols, data),
+            Tensor::vbl_matrix("A", nrows, ncols, data),
+        ] {
+            let k = spmspv_kernel(&a, &x, Protocol::Default, Protocol::Default);
+            assert_opt_level_parity(
+                &k,
+                &format!("spmv over {}", a.levels()[1].format_name()),
+            );
+        }
+    }
+
+    /// Random sparse-output kernels keep bit-identical assembled tensors
+    /// across every opt level on both engines.
+    #[test]
+    fn opt_levels_preserve_random_sparse_outputs(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a = Tensor::sparse_list_vector("A", a_data);
+        let b = Tensor::sparse_list_vector("B", b_data);
+        let mut kernel = Kernel::new();
+        kernel
+            .bind_input(&a)
+            .bind_input(&b)
+            .bind_output_format("C", &[LevelSpec::SparseList { size: n }]);
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+        );
+        let k = kernel.compile(&program).expect("sparse multiply compiles");
+        assert_opt_level_parity(&k, "sparse-output multiply");
     }
 
     #[test]
