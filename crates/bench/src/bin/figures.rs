@@ -9,21 +9,26 @@
 //! cargo run --release -p finch-bench --bin figures -- --fig 8     # one figure
 //! cargo run --release -p finch-bench --bin figures -- --tiny      # CI smoke sizes
 //! cargo run --release -p finch-bench --bin figures -- --json out.json
-//! # Re-run one engine/opt-level combination in isolation:
+//! # Re-run one engine/opt-level/dispatch combination in isolation:
 //! cargo run --release -p finch-bench --bin figures -- --fig 1 --engine bytecode --opt none
-//! cargo run --release -p finch-bench --bin figures -- --engine tree_walk --opt aggressive
+//! cargo run --release -p finch-bench --bin figures -- --engine bytecode --opt default --typed off
 //! ```
 //!
-//! With no `--engine`/`--opt` flags, each variant is measured three ways:
-//! tree-walk and bytecode at `OptLevel::Default` (the engine comparison,
-//! with identical work counters asserted), plus bytecode at
-//! `OptLevel::None` (the optimiser comparison).  Passing `--engine` and/or
-//! `--opt` restricts the measured combinations.  Every measurement is
-//! appended to a machine-readable JSON report (`BENCH_figures.json` by
-//! default) including instruction counts, per-pass optimiser counters, and
-//! the optimiser compile time per variant — which is also guarded by a
-//! hard assert so new passes cannot silently blow up compilation latency.
-//! See EXPERIMENTS.md for the schema.
+//! With no `--engine`/`--opt`/`--typed` flags, each variant is measured
+//! four ways: tree-walk and bytecode at `OptLevel::Default` (the engine
+//! comparison, with identical work counters asserted), bytecode at
+//! `OptLevel::None` (the optimiser comparison), and bytecode at
+//! `OptLevel::Default` with the typed-dispatch stage off (the
+//! register-type-inference comparison).  Passing `--engine`, `--opt`
+//! and/or `--typed on|off` restricts the measured combinations.  Every
+//! measurement is appended to a machine-readable JSON report
+//! (`BENCH_figures.json` by default, schema v3) including instruction
+//! counts, per-pass optimiser counters, the executed
+//! `typed_instr_fraction` from one untimed profiled run per variant (plus
+//! a per-opcode execution histogram in debug builds), and the optimiser
+//! compile time per variant — which is also guarded by a hard assert so
+//! new passes cannot silently blow up compilation latency.  See
+//! EXPERIMENTS.md for the schema.
 //!
 //! Figure S (sparse output assembly) additionally smoke-checks assembly
 //! correctness before timing: the sparse-list output's stored-entry count
@@ -35,7 +40,7 @@ use std::time::Instant;
 
 use finch::{Engine, OptLevel};
 use finch_bench::report::{
-    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, VariantReport,
+    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, TypedSpeedup, VariantReport,
 };
 use finch_bench::*;
 
@@ -66,15 +71,18 @@ fn runs() -> usize {
     arg_after("--runs").and_then(|v| v.parse().ok()).unwrap_or(3)
 }
 
-/// The (engine, opt level) combinations to measure, from `--engine` and
-/// `--opt`:
+/// The (engine, opt level, typed dispatch) combinations to measure, from
+/// `--engine`, `--opt` and `--typed`:
 ///
-/// * neither flag: tree-walk and bytecode at `Default`, plus bytecode at
-///   `None` (the standard report),
+/// * no flags: tree-walk and bytecode at `Default`, bytecode at `None`
+///   (the optimiser comparison), and bytecode at `Default` with typed
+///   dispatch off (the typed-dispatch comparison),
+/// * `--typed on|off`: restrict every measured combination to that
+///   dispatch mode (dropping the automatic comparison leg),
 /// * only `--engine E`: `E` at `Default` and `None`,
 /// * only `--opt O`: both engines at `O`,
-/// * both: exactly `(E, O)`.
-fn combos() -> Vec<(Engine, OptLevel)> {
+/// * `--engine` and `--opt`: exactly `(E, O)`.
+fn combos() -> Vec<(Engine, OptLevel, bool)> {
     let engine = arg_after("--engine").map(|v| match v.as_str() {
         "bytecode" => Engine::Bytecode,
         "tree_walk" | "tree-walk" | "treewalk" => Engine::TreeWalk,
@@ -89,23 +97,40 @@ fn combos() -> Vec<(Engine, OptLevel)> {
             std::process::exit(2);
         })
     });
+    let typed = arg_after("--typed").map(|v| match v.as_str() {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => {
+            eprintln!("unknown --typed `{other}` (expected on|off)");
+            std::process::exit(2);
+        }
+    });
+    let t = typed.unwrap_or(true);
     match (engine, opt) {
-        (None, None) => vec![
-            (Engine::TreeWalk, OptLevel::Default),
-            (Engine::Bytecode, OptLevel::Default),
-            (Engine::Bytecode, OptLevel::None),
-        ],
-        (Some(e), None) => vec![(e, OptLevel::Default), (e, OptLevel::None)],
-        (None, Some(o)) => vec![(Engine::TreeWalk, o), (Engine::Bytecode, o)],
-        (Some(e), Some(o)) => vec![(e, o)],
+        (None, None) => {
+            let mut v = vec![
+                (Engine::TreeWalk, OptLevel::Default, t),
+                (Engine::Bytecode, OptLevel::Default, t),
+                (Engine::Bytecode, OptLevel::None, t),
+            ];
+            if typed.is_none() {
+                // The typed-dispatch comparison leg: same kernels, same
+                // level, inference stage off.
+                v.push((Engine::Bytecode, OptLevel::Default, false));
+            }
+            v
+        }
+        (Some(e), None) => vec![(e, OptLevel::Default, t), (e, OptLevel::None, t)],
+        (None, Some(o)) => vec![(Engine::TreeWalk, o, t), (Engine::Bytecode, o, t)],
+        (Some(e), Some(o)) => vec![(e, o, t)],
     }
 }
 
 fn header(title: &str) {
     println!("\n== {title} ==");
     println!(
-        "{:<28} {:>9} {:>10} {:>11} {:>12} {:>12}",
-        "strategy", "engine", "opt", "median (ms)", "total work", "speedup"
+        "{:<28} {:>9} {:>10} {:>5} {:>11} {:>12} {:>12}",
+        "strategy", "engine", "opt", "typed", "median (ms)", "total work", "speedup"
     );
 }
 
@@ -122,14 +147,16 @@ fn table(
     reps: usize,
     report: &mut Report,
     opt_ratios: &mut Vec<f64>,
+    typed_ratios: &mut Vec<f64>,
 ) {
     let combos = combos();
     let mut records = Vec::new();
     for v in &variants {
         // Compile-latency guard: re-deriving the kernel at the default
-        // level runs the full optimiser; it must stay fast.
+        // level runs the full optimiser (including the typing stage); it
+        // must stay fast.
         let start = Instant::now();
-        let rederived = v.kernel.reoptimized(OptLevel::Default);
+        let mut rederived = v.kernel.reoptimized_typed(OptLevel::Default, true);
         let compile_seconds = start.elapsed().as_secs_f64();
         assert!(
             compile_seconds < COMPILE_BUDGET_SECONDS,
@@ -138,53 +165,103 @@ fn table(
         );
         let opt = OptReport { compile_seconds, stats: rederived.opt_stats() };
 
+        // One untimed profiled run of the typed kernel: the fraction of
+        // executed instructions that are tag-free, and (in debug builds)
+        // the per-opcode execution histogram.
+        let counts = rederived.profile().expect("profiled run succeeds").1;
+        let code = rederived.bytecode().code();
+        let executed: u64 = counts.iter().sum();
+        let typed_executed: u64 =
+            counts.iter().zip(code).filter(|(_, i)| i.is_tag_free()).map(|(c, _)| *c).sum();
+        let typed_instr_fraction =
+            if executed > 0 { Some(typed_executed as f64 / executed as f64) } else { None };
+        let opcode_counts = if cfg!(debug_assertions) {
+            let mut by_op: std::collections::BTreeMap<&'static str, u64> =
+                std::collections::BTreeMap::new();
+            for (c, i) in counts.iter().zip(code) {
+                *by_op.entry(i.opcode()).or_default() += c;
+            }
+            let mut hist: Vec<(String, u64)> =
+                by_op.into_iter().map(|(k, c)| (k.to_string(), c)).collect();
+            hist.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            Some(hist)
+        } else {
+            None
+        };
+
         let mut engines = Vec::new();
-        for &(engine, level) in &combos {
-            let mut kernel = if level == v.kernel.opt_level() {
+        for &(engine, level, typed) in &combos {
+            let mut kernel = if level == v.kernel.opt_level() && typed == v.kernel.typed_dispatch()
+            {
                 v.kernel.clone()
             } else {
-                v.kernel.reoptimized(level)
+                v.kernel.reoptimized_typed(level, typed)
             };
             let (secs, stats) = time_kernel_with(&mut kernel, reps, engine);
             engines.push(EngineReport {
                 engine,
                 opt_level: level,
+                // Record the *effective* dispatch mode: the typing stage
+                // is gated off at OptLevel::None regardless of the flag.
+                typed: typed && level != OptLevel::None,
                 median_seconds: secs,
                 instrs: kernel.bytecode().code().len(),
                 stats,
             });
         }
-        // Cross-engine parity at each measured level.
+        // Cross-engine and cross-dispatch parity at each measured level:
+        // neither the engine nor the typing stage may change a counter.
         for a in &engines {
             for b in &engines {
                 if a.opt_level == b.opt_level {
                     assert_eq!(
                         a.stats, b.stats,
-                        "work counters diverge between engines for `{}` in {figure} ({group})",
+                        "work counters diverge between measurements for `{}` in {figure} ({group})",
                         v.label
                     );
                 }
             }
         }
-        records.push(VariantReport { label: v.label.clone(), opt: Some(opt), engines });
+        records.push(VariantReport {
+            label: v.label.clone(),
+            opt: Some(opt),
+            typed_instr_fraction,
+            opcode_counts,
+            engines,
+        });
     }
 
-    let find = |r: &VariantReport, engine: Engine, level: OptLevel| {
+    let find = |r: &VariantReport, engine: Engine, level: OptLevel, typed: bool| {
         r.engines
             .iter()
-            .find(|e| e.engine == engine && e.opt_level == level)
+            .find(|e| e.engine == engine && e.opt_level == level && e.typed == typed)
             .map(|e| e.median_seconds)
     };
+    // The dispatch mode of the measured bytecode@Default leg (false under
+    // `--typed off`): the optimiser comparison and the headline speedup
+    // column follow whichever mode was actually measured.
+    let primary_typed = combos
+        .iter()
+        .find(|&&(e, l, _)| e == Engine::Bytecode && l == OptLevel::Default)
+        .is_none_or(|&(_, _, t)| t);
     let baseline = records
         .first()
-        .and_then(|r| find(r, Engine::Bytecode, OptLevel::Default))
+        .and_then(|r| find(r, Engine::Bytecode, OptLevel::Default, primary_typed))
         .or_else(|| records.first().map(|r| r.engines[0].median_seconds));
     for r in &records {
-        let none = find(r, Engine::Bytecode, OptLevel::None);
-        let default = find(r, Engine::Bytecode, OptLevel::Default);
+        // OptLevel::None rows always record effective typed=false.
+        let none = find(r, Engine::Bytecode, OptLevel::None, false);
+        let default = find(r, Engine::Bytecode, OptLevel::Default, primary_typed);
+        let typed_on = find(r, Engine::Bytecode, OptLevel::Default, true);
+        let default_untyped = find(r, Engine::Bytecode, OptLevel::Default, false);
         if let (Some(n), Some(d)) = (none, default) {
             if d > 0.0 {
                 opt_ratios.push(n / d);
+            }
+        }
+        if let (Some(g), Some(d)) = (default_untyped, typed_on) {
+            if d > 0.0 {
+                typed_ratios.push(g / d);
             }
         }
         for e in &r.engines {
@@ -194,6 +271,7 @@ fn table(
                 Some(base)
                     if e.engine == Engine::Bytecode
                         && e.opt_level == OptLevel::Default
+                        && e.typed == primary_typed
                         && e.median_seconds > 0.0 =>
                 {
                     format!("{:>11.2}x", base / e.median_seconds)
@@ -201,10 +279,11 @@ fn table(
                 _ => format!("{:>12}", "-"),
             };
             println!(
-                "{:<28} {:>9} {:>10} {:>11.3} {:>12} {}",
+                "{:<28} {:>9} {:>10} {:>5} {:>11.3} {:>12} {}",
                 r.label,
                 e.engine.label(),
                 e.opt_level.label(),
+                if e.typed { "on" } else { "off" },
                 e.median_seconds * 1e3,
                 e.stats.total_work(),
                 speedup
@@ -234,6 +313,7 @@ fn main() {
     let json_path = arg_after("--json").unwrap_or_else(|| "BENCH_figures.json".to_string());
     let mut report = Report::new();
     let mut opt_ratios: Vec<f64> = Vec::new();
+    let mut typed_ratios: Vec<f64> = Vec::new();
 
     if wants("1") {
         println!("\n#### Figure 1 — motivating dot product: sparse list x sparse band");
@@ -248,6 +328,7 @@ fn main() {
                 reps,
                 &mut report,
                 &mut opt_ratios,
+                &mut typed_ratios,
             );
         }
     }
@@ -266,6 +347,7 @@ fn main() {
                 reps,
                 &mut report,
                 &mut opt_ratios,
+                &mut typed_ratios,
             );
         }
     }
@@ -284,6 +366,7 @@ fn main() {
                 reps,
                 &mut report,
                 &mut opt_ratios,
+                &mut typed_ratios,
             );
         }
     }
@@ -301,6 +384,7 @@ fn main() {
                 reps,
                 &mut report,
                 &mut opt_ratios,
+                &mut typed_ratios,
             );
         }
     }
@@ -318,6 +402,7 @@ fn main() {
                 reps,
                 &mut report,
                 &mut opt_ratios,
+                &mut typed_ratios,
             );
         }
     }
@@ -333,6 +418,7 @@ fn main() {
             reps,
             &mut report,
             &mut opt_ratios,
+            &mut typed_ratios,
         );
         header(&format!("Humansketches-like images ({size}x{size})"));
         table(
@@ -342,6 +428,7 @@ fn main() {
             reps,
             &mut report,
             &mut opt_ratios,
+            &mut typed_ratios,
         );
     }
 
@@ -358,6 +445,7 @@ fn main() {
                 reps,
                 &mut report,
                 &mut opt_ratios,
+                &mut typed_ratios,
             );
         }
     }
@@ -371,7 +459,15 @@ fn main() {
             // dense run, and the sparse store counter is strictly lower.
             g.assert_assembly();
             header(&format!("{} — {} stored entries", g.group, g.oracle_nnz));
-            table("figS", &g.group, g.variants, reps, &mut report, &mut opt_ratios);
+            table(
+                "figS",
+                &g.group,
+                g.variants,
+                reps,
+                &mut report,
+                &mut opt_ratios,
+                &mut typed_ratios,
+            );
         }
     }
 
@@ -388,6 +484,15 @@ fn main() {
             median: med,
             samples: opt_ratios.len(),
         });
+    }
+
+    if let Some(med) = median(&mut typed_ratios) {
+        println!(
+            "typed-dispatch speedup (bytecode at OptLevel::Default, generic / typed): \
+             median {med:.2}x over {} variants",
+            typed_ratios.len()
+        );
+        report.typed_speedup = Some(TypedSpeedup { median: med, samples: typed_ratios.len() });
     }
 
     if let Err(e) = report.write(&json_path) {

@@ -7,15 +7,19 @@
 //!
 //! ```json
 //! {
+//!   "schema_version": 3,
 //!   "opt_speedup": { "engine": "bytecode", "baseline": "none",
 //!                    "optimized": "default", "median": 1.62, "samples": 35 },
+//!   "typed_speedup": { "engine": "bytecode", "opt_level": "default",
+//!                      "median": 1.4, "samples": 35 },
 //!   "figures": [
 //!     { "figure": "fig01", "group": "band width 50",
 //!       "variants": [
 //!         { "label": "looplets: list x band",
 //!           "opt": { "compile_seconds": 0.0004, "folds": 12, "...": 0 },
+//!           "typed_instr_fraction": 0.93,
 //!           "engines": [
-//!             { "engine": "bytecode", "opt_level": "default",
+//!             { "engine": "bytecode", "opt_level": "default", "typed": true,
 //!               "median_seconds": 0.0012, "instrs": 74,
 //!               "stmts": 10, "loop_iters": 4, "loads": 8, "stores": 4,
 //!               "searches": 0, "total_work": 22 } ] } ] } ] }
@@ -25,13 +29,16 @@ use std::io::Write as _;
 
 use finch::{Engine, ExecStats, OptLevel, OptStats};
 
-/// One engine's measurement of one variant at one opt level.
+/// One engine's measurement of one variant at one opt level and dispatch
+/// mode.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
     /// The engine measured.
     pub engine: Engine,
     /// The opt level the kernel was compiled at.
     pub opt_level: OptLevel,
+    /// Whether the typed-dispatch (register-type inference) stage ran.
+    pub typed: bool,
     /// Median wall-clock seconds across the configured repetitions.
     pub median_seconds: f64,
     /// Bytecode instruction count of the kernel at this opt level.
@@ -53,14 +60,21 @@ pub struct OptReport {
 }
 
 /// One strategy/format variant of a figure, measured on every requested
-/// (engine, opt level) combination.
+/// (engine, opt level, dispatch mode) combination.
 #[derive(Debug, Clone)]
 pub struct VariantReport {
     /// Human-readable strategy/format label.
     pub label: String,
     /// The variant's optimisation record (when the default level was run).
     pub opt: Option<OptReport>,
-    /// Per-(engine, opt level) measurements.
+    /// Fraction of *executed* bytecode instructions that were tag-free
+    /// (typed or tag-neutral) in one profiled run of the typed kernel at
+    /// `OptLevel::Default` — the issue's `typed_instr_fraction`.
+    pub typed_instr_fraction: Option<f64>,
+    /// Per-opcode execution counts of the same profiled run (emitted in
+    /// debug builds to quantify the remaining dynamic dispatch).
+    pub opcode_counts: Option<Vec<(String, u64)>>,
+    /// Per-(engine, opt level, dispatch mode) measurements.
     pub engines: Vec<EngineReport>,
 }
 
@@ -93,11 +107,25 @@ pub struct OptSpeedup {
     pub samples: usize,
 }
 
+/// The headline typed-dispatch result: the median wall-clock speedup of
+/// the bytecode engine at `OptLevel::Default` with the typing stage on
+/// over the same kernels with it off.
+#[derive(Debug, Clone)]
+pub struct TypedSpeedup {
+    /// Median of per-variant `generic_seconds / typed_seconds`.
+    pub median: f64,
+    /// Number of variants contributing ratios.
+    pub samples: usize,
+}
+
 /// The full report accumulated by one `figures` invocation.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     /// The headline optimiser speedup, when both levels were measured.
     pub opt_speedup: Option<OptSpeedup>,
+    /// The headline typed-dispatch speedup, when both dispatch modes were
+    /// measured.
+    pub typed_speedup: Option<TypedSpeedup>,
     /// Every figure table measured, in print order.
     pub figures: Vec<FigureGroup>,
 }
@@ -108,9 +136,11 @@ impl Report {
         Report::default()
     }
 
-    /// Serialise the report as a JSON document.
+    /// Serialise the report as a JSON document (schema v3 — see
+    /// EXPERIMENTS.md).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
+        out.push_str("\n  \"schema_version\": 3,");
         if let Some(s) = &self.opt_speedup {
             out.push_str(&format!(
                 "\n  \"opt_speedup\": {{\"engine\": {}, \"baseline\": {}, \
@@ -118,6 +148,14 @@ impl Report {
                 json_string(s.engine.label()),
                 json_string(s.baseline.label()),
                 json_string(s.optimized.label()),
+                json_number(s.median),
+                s.samples,
+            ));
+        }
+        if let Some(s) = &self.typed_speedup {
+            out.push_str(&format!(
+                "\n  \"typed_speedup\": {{\"engine\": \"bytecode\", \"opt_level\": \"default\", \
+                 \"median\": {}, \"samples\": {}}},",
                 json_number(s.median),
                 s.samples,
             ));
@@ -145,6 +183,7 @@ impl Report {
                          \"loops_removed\": {}, \"stmts_removed\": {}, \
                          \"loads_hoisted\": {}, \"instrs_fused\": {}, \
                          \"movs_eliminated\": {}, \"regs_saved\": {}, \
+                         \"instrs_typed\": {}, \"regs_pretagged\": {}, \
                          \"ir_stmts_before\": {}, \"ir_stmts_after\": {}}},",
                         json_number(opt.compile_seconds),
                         s.folds,
@@ -156,9 +195,27 @@ impl Report {
                         s.instrs_fused,
                         s.movs_eliminated,
                         s.regs_saved,
+                        s.instrs_typed,
+                        s.regs_pretagged,
                         s.ir_stmts_before,
                         s.ir_stmts_after,
                     ));
+                }
+                if let Some(f) = v.typed_instr_fraction {
+                    out.push_str(&format!(
+                        "\n       \"typed_instr_fraction\": {},",
+                        json_number(f)
+                    ));
+                }
+                if let Some(counts) = &v.opcode_counts {
+                    out.push_str("\n       \"opcode_counts\": {");
+                    for (k, (name, count)) in counts.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("{}: {}", json_string(name), count));
+                    }
+                    out.push_str("},");
                 }
                 out.push_str("\n       \"engines\": [");
                 for (k, e) in v.engines.iter().enumerate() {
@@ -166,12 +223,13 @@ impl Report {
                         out.push(',');
                     }
                     out.push_str(&format!(
-                        "\n        {{\"engine\": {}, \"opt_level\": {}, \
+                        "\n        {{\"engine\": {}, \"opt_level\": {}, \"typed\": {}, \
                          \"median_seconds\": {}, \"instrs\": {}, \
                          \"stmts\": {}, \"loop_iters\": {}, \"loads\": {}, \
                          \"stores\": {}, \"searches\": {}, \"total_work\": {}}}",
                         json_string(e.engine.label()),
                         json_string(e.opt_level.label()),
+                        e.typed,
                         json_number(e.median_seconds),
                         e.instrs,
                         e.stats.stmts,
@@ -244,6 +302,7 @@ mod tests {
                 median: 1.75,
                 samples: 4,
             }),
+            typed_speedup: Some(TypedSpeedup { median: 1.4, samples: 4 }),
             figures: vec![FigureGroup {
                 figure: "fig01".into(),
                 group: "band width \"8\"".into(),
@@ -251,12 +310,21 @@ mod tests {
                     label: "looplets: list x band".into(),
                     opt: Some(OptReport {
                         compile_seconds: 0.0004,
-                        stats: OptStats { folds: 3, loads_hoisted: 2, ..OptStats::default() },
+                        stats: OptStats {
+                            folds: 3,
+                            loads_hoisted: 2,
+                            instrs_typed: 17,
+                            regs_pretagged: 5,
+                            ..OptStats::default()
+                        },
                     }),
+                    typed_instr_fraction: Some(0.9375),
+                    opcode_counts: Some(vec![("load_f64".into(), 100), ("store".into(), 4)]),
                     engines: vec![
                         EngineReport {
                             engine: Engine::TreeWalk,
                             opt_level: OptLevel::Default,
+                            typed: true,
                             median_seconds: 0.25,
                             instrs: 90,
                             stats: ExecStats {
@@ -270,6 +338,7 @@ mod tests {
                         EngineReport {
                             engine: Engine::Bytecode,
                             opt_level: OptLevel::None,
+                            typed: false,
                             median_seconds: 0.125,
                             instrs: 120,
                             stats: ExecStats {
@@ -289,16 +358,25 @@ mod tests {
     #[test]
     fn json_has_engines_opt_levels_and_escaped_strings() {
         let j = sample().to_json();
+        assert!(j.contains("\"schema_version\": 3"));
         assert!(j.contains("\"tree_walk\""));
         assert!(j.contains("\"bytecode\""));
         assert!(j.contains("\"opt_level\": \"default\""));
         assert!(j.contains("\"opt_level\": \"none\""));
+        assert!(j.contains("\"typed\": true"));
+        assert!(j.contains("\"typed\": false"));
         assert!(j.contains("\"median_seconds\": 0.125"));
         assert!(j.contains("band width \\\"8\\\""), "{j}");
         assert!(j.contains("\"total_work\": 23"));
         assert!(j.contains("\"opt_speedup\""));
+        assert!(j.contains("\"typed_speedup\""));
         assert!(j.contains("\"median\": 1.75"));
+        assert!(j.contains("\"median\": 1.4"));
         assert!(j.contains("\"loads_hoisted\": 2"));
+        assert!(j.contains("\"instrs_typed\": 17"));
+        assert!(j.contains("\"regs_pretagged\": 5"));
+        assert!(j.contains("\"typed_instr_fraction\": 0.9375"));
+        assert!(j.contains("\"opcode_counts\": {\"load_f64\": 100, \"store\": 4}"));
         assert!(j.contains("\"instrs\": 120"));
     }
 
@@ -318,10 +396,16 @@ mod tests {
     fn report_without_opt_comparison_omits_the_key() {
         let mut r = sample();
         r.opt_speedup = None;
+        r.typed_speedup = None;
         r.figures[0].variants[0].opt = None;
+        r.figures[0].variants[0].typed_instr_fraction = None;
+        r.figures[0].variants[0].opcode_counts = None;
         let j = r.to_json();
         assert!(!j.contains("opt_speedup"));
+        assert!(!j.contains("typed_speedup"));
         assert!(!j.contains("compile_seconds"));
+        assert!(!j.contains("typed_instr_fraction"));
+        assert!(!j.contains("opcode_counts"));
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(j.matches(open).count(), j.matches(close).count());
         }

@@ -105,6 +105,7 @@ pub struct Kernel {
     bindings: HashMap<String, Binding>,
     rewriter: Rewriter,
     opt_level: OptLevel,
+    typed_dispatch: bool,
 }
 
 impl Default for Kernel {
@@ -122,7 +123,29 @@ impl Kernel {
             bindings: HashMap::new(),
             rewriter: Rewriter::with_default_rules(),
             opt_level: OptLevel::default(),
+            typed_dispatch: true,
         }
+    }
+
+    /// Whether [`Kernel::compile`] will run the register-type inference
+    /// stage and emit monomorphic typed bytecode (the default at
+    /// [`OptLevel::Default`] and above; never applied at
+    /// [`OptLevel::None`]).
+    pub fn typed_dispatch(&self) -> bool {
+        self.typed_dispatch
+    }
+
+    /// Enable or disable the typed-dispatch stage (used by the benchmark
+    /// harness to measure the stage's wall-clock win in isolation).
+    pub fn set_typed_dispatch(&mut self, typed: bool) -> &mut Self {
+        self.typed_dispatch = typed;
+        self
+    }
+
+    /// Builder-style variant of [`Kernel::set_typed_dispatch`].
+    pub fn with_typed_dispatch(mut self, typed: bool) -> Self {
+        self.typed_dispatch = typed;
+        self
     }
 
     /// The optimisation level [`Kernel::compile`] will apply.
@@ -234,7 +257,7 @@ impl Kernel {
     /// tensors, is not concordant with the tensors' level orders, or uses
     /// unsupported features.
     pub fn compile(self, program: &CinStmt) -> Result<CompiledKernel, CompileError> {
-        let Kernel { names, bufs, bindings, rewriter, opt_level } = self;
+        let Kernel { names, bufs, bindings, rewriter, opt_level, typed_dispatch } = self;
         let outputs: HashMap<String, OutputBinding> = bindings
             .iter()
             .filter_map(|(name, b)| match b {
@@ -278,13 +301,16 @@ impl Kernel {
         // here as an explicit staged pipeline, gated by the opt level.
         let raw_code = code;
         let raw_names = ctx.names.clone();
-        let (code, bytecode, opt_stats) = optimize_kernel(&raw_code, &mut ctx.names, opt_level);
+        let (code, bytecode, opt_stats) =
+            optimize_kernel(&raw_code, &mut ctx.names, &ctx.bufs, opt_level, typed_dispatch);
         let source = Printer::new(&ctx.names, &ctx.bufs).program(&code);
+        let vm = Vm::new(&bytecode);
         Ok(CompiledKernel {
             code,
             raw_code,
             raw_names,
             bytecode,
+            vm,
             names: ctx.names,
             bufs: ctx.bufs,
             outputs,
@@ -294,23 +320,35 @@ impl Kernel {
             step_budget: None,
             opt_level,
             opt_stats,
+            typed_dispatch,
         })
     }
 }
 
-/// Run the IR pipeline and the bytecode peephole at the given level,
-/// producing the artifacts both engines execute.  Used by
-/// [`Kernel::compile`] and [`CompiledKernel::reoptimized`].
+/// Run the IR pipeline, the bytecode peephole and (when enabled) the
+/// register-type inference stage at the given level, producing the
+/// artifacts both engines execute.  Used by [`Kernel::compile`] and
+/// [`CompiledKernel::reoptimized`].  The typing stage needs the buffer
+/// set: buffer element types seed the inference.
 fn optimize_kernel(
     raw_code: &[Stmt],
     names: &mut Names,
+    bufs: &finch_ir::BufferSet,
     level: OptLevel,
+    typed: bool,
 ) -> (Vec<Stmt>, Program, OptStats) {
     let (code, mut opt_stats) = finch_ir::opt::optimize(raw_code, names, level);
     let bytecode = Program::compile(&code, names);
     let bytecode = match level {
         OptLevel::None => bytecode,
-        _ => finch_ir::opt::peephole(&bytecode, &mut opt_stats),
+        _ => {
+            let fused = finch_ir::opt::peephole(&bytecode, &mut opt_stats);
+            if typed {
+                finch_ir::opt::specialize(&fused, bufs, &mut opt_stats)
+            } else {
+                fused
+            }
+        }
     };
     // Every kernel the (debug-build) test suite compiles revalidates its
     // bytecode, so a fusion or renumbering bug surfaces at compile time
@@ -356,6 +394,9 @@ pub struct CompiledKernel {
     /// variables, so re-optimising must start from the pristine table).
     raw_names: Names,
     bytecode: Program,
+    /// The persistent register VM: re-runs reset it in place instead of
+    /// allocating a fresh register file per execution.
+    vm: Vm,
     names: Names,
     bufs: BufferSet,
     outputs: HashMap<String, OutputBinding>,
@@ -365,6 +406,7 @@ pub struct CompiledKernel {
     step_budget: Option<u64>,
     opt_level: OptLevel,
     opt_stats: OptStats,
+    typed_dispatch: bool,
 }
 
 impl CompiledKernel {
@@ -401,19 +443,30 @@ impl CompiledKernel {
     }
 
     /// Re-derive this kernel at a different [`OptLevel`] from the kept
-    /// pre-optimisation IR.  Buffers, outputs, engine selection and step
-    /// budget carry over, so the result is directly comparable against
-    /// `self` — the benchmark harness uses this to time `OptLevel::None`
-    /// against `OptLevel::Default` on identical kernels.
+    /// pre-optimisation IR.  Buffers, outputs, engine selection, typed
+    /// dispatch and step budget carry over, so the result is directly
+    /// comparable against `self` — the benchmark harness uses this to
+    /// time `OptLevel::None` against `OptLevel::Default` on identical
+    /// kernels.
     pub fn reoptimized(&self, level: OptLevel) -> CompiledKernel {
+        self.reoptimized_typed(level, self.typed_dispatch)
+    }
+
+    /// [`CompiledKernel::reoptimized`] with explicit control over the
+    /// typed-dispatch stage, so the benchmark harness can time the same
+    /// kernel with typed dispatch on and off at the same [`OptLevel`].
+    pub fn reoptimized_typed(&self, level: OptLevel, typed: bool) -> CompiledKernel {
         let mut names = self.raw_names.clone();
-        let (code, bytecode, opt_stats) = optimize_kernel(&self.raw_code, &mut names, level);
+        let (code, bytecode, opt_stats) =
+            optimize_kernel(&self.raw_code, &mut names, &self.bufs, level, typed);
         let source = Printer::new(&names, &self.bufs).program(&code);
+        let vm = Vm::new(&bytecode);
         CompiledKernel {
             code,
             raw_code: self.raw_code.clone(),
             raw_names: self.raw_names.clone(),
             bytecode,
+            vm,
             names,
             bufs: self.bufs.clone(),
             outputs: self.outputs.clone(),
@@ -423,7 +476,14 @@ impl CompiledKernel {
             step_budget: self.step_budget,
             opt_level: level,
             opt_stats,
+            typed_dispatch: typed,
         }
+    }
+
+    /// Whether this kernel's bytecode went through the typed-dispatch
+    /// (register-type inference) stage.
+    pub fn typed_dispatch(&self) -> bool {
+        self.typed_dispatch
     }
 
     /// The engine [`CompiledKernel::run`] dispatches to.
@@ -489,24 +549,15 @@ impl CompiledKernel {
     /// Returns a [`RuntimeError`] under the same conditions as
     /// [`CompiledKernel::run`].
     pub fn run_with(&mut self, engine: Engine) -> Result<ExecStats, RuntimeError> {
-        // Dense outputs are initialised by the generated code itself; the
-        // growable arrays of sparse outputs are reset to their empty state
-        // here so re-runs assemble from scratch.
-        for out in self.outputs.values() {
-            if let OutputSink::SparseList { pos, idx, val } = out.sink {
-                self.bufs.replace(pos, Buffer::I64(vec![0]));
-                self.bufs.replace(idx, Buffer::I64(Vec::new()));
-                self.bufs.replace(val, Buffer::F64(Vec::new()));
-            }
-        }
+        self.reset_outputs();
         match engine {
             Engine::Bytecode => {
-                let mut vm = Vm::new(&self.bytecode);
-                if let Some(budget) = self.step_budget {
-                    vm = vm.with_step_budget(budget);
-                }
-                vm.run(&self.bytecode, &mut self.bufs)?;
-                Ok(vm.stats())
+                // The persistent VM resets in place: re-runs allocate
+                // nothing (no register file, no stats, no output vecs).
+                self.vm.reset();
+                self.vm.set_step_budget(self.step_budget);
+                self.vm.run(&self.bytecode, &mut self.bufs)?;
+                Ok(self.vm.stats())
             }
             Engine::TreeWalk => {
                 let mut interp = Interpreter::new(&self.names);
@@ -515,6 +566,45 @@ impl CompiledKernel {
                 }
                 interp.run(&self.code, &mut self.bufs)?;
                 Ok(interp.stats())
+            }
+        }
+    }
+
+    /// Re-initialise the outputs and execute once on the bytecode VM
+    /// while collecting per-pc dispatch counts (untimed instrumentation;
+    /// semantics and [`ExecStats`] identical to [`CompiledKernel::run`]).
+    /// The benchmark harness derives the executed-typed-instruction
+    /// fraction and the per-opcode histogram from the counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] under the same conditions as
+    /// [`CompiledKernel::run`].
+    pub fn profile(&mut self) -> Result<(ExecStats, Vec<u64>), RuntimeError> {
+        self.reset_outputs();
+        self.vm.reset();
+        self.vm.set_step_budget(self.step_budget);
+        let counts = self.vm.run_profiled(&self.bytecode, &mut self.bufs)?;
+        Ok((self.vm.stats(), counts))
+    }
+
+    /// Reset sparse outputs to their empty state so re-runs assemble from
+    /// scratch.  Dense outputs are initialised by the generated code
+    /// itself.  The growable arrays are truncated in place — their
+    /// capacity (grown by earlier runs) is reused, so steady-state reruns
+    /// perform no output allocation.
+    fn reset_outputs(&mut self) {
+        for out in self.outputs.values() {
+            if let OutputSink::SparseList { pos, idx, val } = out.sink {
+                match self.bufs.get_mut(pos) {
+                    Buffer::I64(v) => {
+                        v.clear();
+                        v.push(0);
+                    }
+                    other => *other = Buffer::I64(vec![0]),
+                }
+                self.bufs.get_mut(idx).clear();
+                self.bufs.get_mut(val).clear();
             }
         }
     }
@@ -1100,6 +1190,82 @@ mod tests {
         assert_eq!(k.output("y").unwrap(), vec![1.0, 2.0, 3.0]);
         let t = k.output_tensor("y").unwrap();
         assert_eq!(t.to_dense(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn typed_dispatch_is_on_by_default_and_specializes_the_inner_loop() {
+        let a = Tensor::dense_vector("A", &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::dense_vector("B", &[0.5, 0.0, 2.0, 10.0]);
+        let k = dot_product(&a, &b);
+        assert!(k.typed_dispatch());
+        let stats = k.opt_stats();
+        assert!(stats.instrs_typed > 0, "typing ran: {stats:?}");
+        assert!(stats.regs_pretagged > 0, "registers pinned: {stats:?}");
+        assert!(!k.bytecode().pretags().is_empty());
+        // The stage is gated off at OptLevel::None.
+        let none = k.reoptimized(OptLevel::None);
+        assert_eq!(none.opt_stats().instrs_typed, 0);
+        assert!(none.bytecode().pretags().is_empty());
+    }
+
+    #[test]
+    fn typed_and_generic_dispatch_agree_bit_for_bit() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::band_vector("B", &bv);
+        let typed = dot_product(&a, &b);
+        let mut generic = typed.reoptimized_typed(OptLevel::Default, false);
+        let mut typed = typed;
+        assert!(!generic.typed_dispatch());
+        assert_eq!(generic.opt_stats().instrs_typed, 0);
+        let st = typed.run().unwrap();
+        let sg = generic.run().unwrap();
+        assert_eq!(st, sg, "typed dispatch must not change the work counters");
+        let (t, g) = (typed.output_scalar("C").unwrap(), generic.output_scalar("C").unwrap());
+        assert_eq!(t.to_bits(), g.to_bits(), "outputs must be bit-identical");
+    }
+
+    #[test]
+    fn reruns_reuse_sparse_output_capacity() {
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 2.7, 0.0, 5.5];
+        let bv = vec![1.0, 2.0, 0.0, 3.7, 4.7, 1.5, 8.7, 2.0];
+        let mut k = sparse_mul_kernel(&av, &bv);
+        k.run().unwrap();
+        let val = k.bufs.lookup("C_val").expect("val buffer exists");
+        let ptr_before = k.bufs.get(val).as_f64().unwrap().as_ptr();
+        for _ in 0..3 {
+            k.run().unwrap();
+            let ptr_after = k.bufs.get(val).as_f64().unwrap().as_ptr();
+            assert_eq!(ptr_before, ptr_after, "rerun must reuse the val allocation");
+        }
+        // The assembled result stays correct across the reuse.
+        let c = k.output_tensor("C").unwrap();
+        let expect: Vec<f64> = av.iter().zip(&bv).map(|(x, y)| x * y).collect();
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn profile_counts_match_run_semantics() {
+        let a = Tensor::dense_vector("A", &[1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::dense_vector("B", &[0.5, 0.0, 2.0, 10.0]);
+        let mut k = dot_product(&a, &b);
+        let run_stats = k.run().unwrap();
+        let (profile_stats, counts) = k.profile().unwrap();
+        assert_eq!(run_stats, profile_stats, "profiling must not change semantics");
+        assert_eq!(counts.len(), k.bytecode().code().len());
+        let executed: u64 = counts.iter().sum();
+        assert!(executed > 0);
+        // The dense dot inner loop is fully typed: the executed
+        // tag-free fraction must be overwhelming.
+        let typed_executed: u64 = counts
+            .iter()
+            .zip(k.bytecode().code())
+            .filter(|(_, i)| i.is_tag_free())
+            .map(|(c, _)| *c)
+            .sum();
+        let fraction = typed_executed as f64 / executed as f64;
+        assert!(fraction > 0.9, "dense loop should be ~fully typed, got {fraction}");
     }
 
     #[test]

@@ -126,6 +126,20 @@ impl Buffer {
         Ok(())
     }
 
+    /// Remove every element while keeping the allocated capacity.
+    ///
+    /// This is the zero-allocation reset for growable (sparse-output)
+    /// buffers: re-running a kernel truncates and refills the same
+    /// allocation instead of replacing it with a fresh `Vec`.
+    pub fn clear(&mut self) {
+        match self {
+            Buffer::I64(v) => v.clear(),
+            Buffer::F64(v) => v.clear(),
+            Buffer::U8(v) => v.clear(),
+            Buffer::Bool(v) => v.clear(),
+        }
+    }
+
     /// Fill every element with `value` (used to re-initialise outputs
     /// between benchmark repetitions).
     ///

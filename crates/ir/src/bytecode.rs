@@ -340,6 +340,464 @@ pub enum Instr {
         /// Absolute index of the first instruction after the loop.
         end: u32,
     },
+
+    // -----------------------------------------------------------------
+    // Monomorphic typed instructions, produced by the register-type
+    // inference pass in `crate::opt::typing`.  Each is the exact
+    // semantics of its generic counterpart restricted to operands whose
+    // runtime tag is statically proven, so the VM executes it directly
+    // on the unboxed `ints`/`floats` lanes with no tag reads or writes.
+    // They maintain `crate::interp::ExecStats` identically to their
+    // generic forms, and every register written by one is listed in
+    // [`Program::pretags`] so generic instructions can still read it.
+    // -----------------------------------------------------------------
+    /// No operation (a statically-discharged [`Instr::CoerceInt`], kept
+    /// so jump targets stay stable — the typing pass rewrites 1:1).
+    Nop,
+    /// `ints[dst] = imm` — a typed [`Instr::Const`] with the integer
+    /// inlined (no constant-pool read).
+    ConstI {
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// The inlined integer literal.
+        imm: i64,
+    },
+    /// `floats[dst] = imm` — a typed [`Instr::Const`] with the float
+    /// inlined bit-exactly.
+    ConstF {
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// The inlined float literal.
+        imm: f64,
+    },
+    /// `ints[dst] = ints[src]` — a typed [`Instr::Mov`].
+    IMov {
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// Source register (proven `Int` and assigned here).
+        src: Reg,
+    },
+    /// `floats[dst] = floats[src]` — a typed [`Instr::Mov`].
+    FMov {
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// Source register (proven `Float` and assigned here).
+        src: Reg,
+    },
+    /// `ints[dst] = len(buf)` — a typed [`Instr::BufLen`].
+    ILen {
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// The buffer whose length is taken.
+        buf: BufId,
+    },
+    /// `ints[dst] = i64buf[ints[idx]]` — a typed [`Instr::Load`] from an
+    /// I64 buffer.  Bounds are checked and one load is counted, exactly
+    /// like the generic form on an integer index.
+    LoadI64 {
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// The I64 buffer read from.
+        buf: BufId,
+        /// Register holding the element index (proven `Int`).
+        idx: Reg,
+    },
+    /// `floats[dst] = f64buf[ints[idx]]` — a typed [`Instr::Load`] from
+    /// an F64 buffer.
+    LoadF64 {
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// The F64 buffer read from.
+        buf: BufId,
+        /// Register holding the element index (proven `Int`).
+        idx: Reg,
+    },
+    /// `floats[dst] = u8buf[ints[idx]] as f64` — a typed [`Instr::Load`]
+    /// from a U8 buffer (which loads as a float, like the generic form).
+    LoadU8 {
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// The U8 buffer read from.
+        buf: BufId,
+        /// Register holding the element index (proven `Int`).
+        idx: Reg,
+    },
+    /// `floats[dst] = floats[lhs] * f64buf[ints[idx]]` — a typed
+    /// [`Instr::LoadBinary`] with a multiply (the inner-product hot
+    /// path).  One load is counted.
+    FMulLoad {
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// Left operand register (proven `Float`).
+        lhs: Reg,
+        /// The F64 buffer the right operand is loaded from.
+        buf: BufId,
+        /// Register holding the element index (proven `Int`).
+        idx: Reg,
+    },
+    /// `f64buf[ints[idx]] reduce= floats[val]` — a typed [`Instr::Store`]
+    /// into an F64 buffer under an arithmetic (infallible) reduction.
+    StoreF64 {
+        /// The F64 destination buffer.
+        buf: BufId,
+        /// Register holding the (already integer) element index.
+        idx: Reg,
+        /// Register holding the stored value (proven `Float`).
+        val: Reg,
+        /// Reduction operator (restricted to `Add`/`Sub`/`Mul`/`Div`/
+        /// `Min`/`Max` or plain assignment).
+        reduce: Option<BinOp>,
+    },
+    /// `u8buf[ints[idx]] reduce= clamp(round(x))` — a typed
+    /// [`Instr::Store`] into a U8 buffer: the reduction (if any) is
+    /// computed in f64 against the loaded element, then clamped to
+    /// `0..=255` and rounded exactly like [`crate::buffer::Buffer::store`].
+    StoreU8 {
+        /// The U8 destination buffer.
+        buf: BufId,
+        /// Register holding the (already integer) element index.
+        idx: Reg,
+        /// Register holding the stored value (proven `Float`).
+        val: Reg,
+        /// Reduction operator (restricted to the arithmetic set).
+        reduce: Option<BinOp>,
+    },
+    /// `i64buf.push(ints[val])` — a typed [`Instr::Append`] (sparse
+    /// coordinate assembly).  Counts one store.
+    IAppend {
+        /// The I64 buffer appended to.
+        buf: BufId,
+        /// Register holding the appended value (proven `Int`).
+        val: Reg,
+    },
+    /// `f64buf.push(floats[val])` — a typed [`Instr::Append`] (sparse
+    /// value assembly).  Counts one store.
+    FAppend {
+        /// The F64 buffer appended to.
+        buf: BufId,
+        /// Register holding the appended value (proven `Float`).
+        val: Reg,
+    },
+    /// `ints[dst] = ints[lhs] op ints[rhs]` for an infallible integer
+    /// arithmetic operator (wrapping `Add`/`Sub`/`Mul`, `Min`, `Max`) —
+    /// a typed [`Instr::Binary`].
+    IArith {
+        /// The operator (`Add`/`Sub`/`Mul`/`Min`/`Max`).
+        op: BinOp,
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// Left operand register (proven `Int`).
+        lhs: Reg,
+        /// Right operand register (proven `Int`).
+        rhs: Reg,
+    },
+    /// `floats[dst] = floats[lhs] op floats[rhs]` for a float arithmetic
+    /// operator (`Add`/`Sub`/`Mul`/`Div`/`Min`/`Max`) — a typed
+    /// [`Instr::Binary`].
+    FArith {
+        /// The operator (`Add`/`Sub`/`Mul`/`Div`/`Min`/`Max`).
+        op: BinOp,
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// Left operand register (proven `Float`).
+        lhs: Reg,
+        /// Right operand register (proven `Float`).
+        rhs: Reg,
+    },
+    /// `ints[dst] = ints[lhs] op imm` — a typed [`Instr::BinaryImm`]
+    /// with the integer immediate inlined.
+    IArithImm {
+        /// The operator (`Add`/`Sub`/`Mul`/`Min`/`Max`).
+        op: BinOp,
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// Left operand register (proven `Int`).
+        lhs: Reg,
+        /// The inlined integer immediate.
+        imm: i64,
+    },
+    /// `floats[dst] = floats[lhs] op imm` — a typed [`Instr::BinaryImm`]
+    /// with the float immediate inlined bit-exactly.
+    FArithImm {
+        /// The operator (`Add`/`Sub`/`Mul`/`Div`/`Min`/`Max`).
+        op: BinOp,
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// Left operand register (proven `Float`).
+        lhs: Reg,
+        /// The inlined float immediate.
+        imm: f64,
+    },
+    /// `floats[dst] = round(floats[src]).clamp(0, 255)` — a typed
+    /// [`Instr::Unary`] for `round_u8` (the alpha-blend hot path).
+    FRound {
+        /// Destination register (statically `Float`).
+        dst: Reg,
+        /// Operand register (proven `Float`).
+        src: Reg,
+    },
+    /// Typed [`Instr::CmpBranch`] on two integer registers: equality on
+    /// the integers, ordering through f64 (exactly the generic int/int
+    /// fast path).  The comparison cannot be missing, so there is no
+    /// strictness flag.
+    ICmpBranch {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Int`).
+        lhs: Reg,
+        /// Right operand register (proven `Int`).
+        rhs: Reg,
+        /// Absolute target instruction index when the comparison fails.
+        target: u32,
+    },
+    /// Typed [`Instr::CmpBranchImm`] with an inlined integer immediate.
+    ICmpBranchImm {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Int`).
+        lhs: Reg,
+        /// The inlined integer immediate.
+        imm: i64,
+        /// Absolute target instruction index when the comparison fails.
+        target: u32,
+    },
+    /// Typed [`Instr::CmpBranch`] on two float registers.
+    FCmpBranch {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Float`).
+        lhs: Reg,
+        /// Right operand register (proven `Float`).
+        rhs: Reg,
+        /// Absolute target instruction index when the comparison fails.
+        target: u32,
+    },
+    /// Typed [`Instr::CmpBranchImm`] with an inlined float immediate.
+    FCmpBranchImm {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Float`).
+        lhs: Reg,
+        /// The inlined float immediate.
+        imm: f64,
+        /// Absolute target instruction index when the comparison fails.
+        target: u32,
+    },
+    /// Typed [`Instr::WhileCmp`] on two integer registers: when the
+    /// comparison holds, count one loop iteration and fall through;
+    /// otherwise jump to `end`.
+    IWhileCmp {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Int`).
+        lhs: Reg,
+        /// Right operand register (proven `Int`).
+        rhs: Reg,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// Typed [`Instr::WhileCmpImm`] with an inlined integer immediate.
+    IWhileCmpImm {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Int`).
+        lhs: Reg,
+        /// The inlined integer immediate.
+        imm: i64,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// Typed [`Instr::WhileCmp`] on two float registers.
+    FWhileCmp {
+        /// The comparison operator (`Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge`).
+        op: BinOp,
+        /// Left operand register (proven `Float`).
+        lhs: Reg,
+        /// Right operand register (proven `Float`).
+        rhs: Reg,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// Typed [`Instr::ForTest`]: the loop variable is statically `Int`,
+    /// so publishing the counter writes only the int lane (no tag).
+    IForTest {
+        /// Register holding the hidden loop counter (proven `Int`).
+        counter: Reg,
+        /// Register holding the inclusive upper bound (proven `Int`).
+        hi: Reg,
+        /// The loop variable's register (statically `Int`).
+        var: Reg,
+        /// Absolute index of the first instruction after the loop.
+        end: u32,
+    },
+    /// Typed [`Instr::Seek`] over an I64 coordinate buffer, writing the
+    /// found position to the int lane only.  Counts one search plus one
+    /// load per probe, exactly like the generic form.
+    ISeek {
+        /// Destination register (statically `Int`).
+        dst: Reg,
+        /// The sorted I64 coordinate buffer searched.
+        buf: BufId,
+        /// Register holding the inclusive lower candidate position.
+        lo: Reg,
+        /// Register holding the inclusive upper candidate position.
+        hi: Reg,
+        /// Register holding the key searched for.
+        key: Reg,
+        /// Compare against `abs(buf[p])` (PackBits stores negated markers).
+        on_abs: bool,
+    },
+}
+
+/// The statically-inferred lane of a register, recorded in
+/// [`Program::pretags`] by the typing pass so the VM can pin the
+/// register's runtime tag before dispatch (typed instructions then skip
+/// the tag write entirely, and generic instructions reading the register
+/// still observe a correct tag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LaneTag {
+    /// The register always holds an `i64` (int lane).
+    Int,
+    /// The register always holds an `f64` (float lane).
+    Float,
+    /// The register always holds a `bool` (bool lane).
+    Bool,
+}
+
+/// Comparison operators eligible for the typed compare-branch forms.
+pub(crate) fn is_cmp_op(op: BinOp) -> bool {
+    matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+}
+
+/// Integer operators the typed [`Instr::IArith`] forms support: the
+/// infallible subset (wrapping arithmetic; no `Div`, which can fault).
+pub(crate) fn is_int_arith(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Min | BinOp::Max)
+}
+
+/// Float operators the typed [`Instr::FArith`] forms support (all total
+/// on f64, including `Div`).
+pub(crate) fn is_float_arith(op: BinOp) -> bool {
+    matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max)
+}
+
+/// Reductions the typed store forms support: plain assignment or an
+/// arithmetic combine (the same set the VM's unboxed store fast path
+/// accepts).
+pub(crate) fn is_arith_reduce(reduce: Option<BinOp>) -> bool {
+    match reduce {
+        None => true,
+        Some(op) => is_float_arith(op),
+    }
+}
+
+impl Instr {
+    /// Whether executing this instruction touches the VM's tag array at
+    /// all — `true` for the monomorphic typed forms *and* for the
+    /// tag-neutral control instructions (`BumpStmt`, `Jump`, `ForStep`,
+    /// `FiberEnd`, `Nop`), `false` for every generic instruction that
+    /// reads or writes a runtime tag.  The benchmark harness uses this to
+    /// compute the executed-typed-instruction fraction.
+    pub fn is_tag_free(&self) -> bool {
+        match self {
+            // Tag-neutral control flow: no register tags involved.
+            Instr::BumpStmt
+            | Instr::Jump { .. }
+            | Instr::ForStep { .. }
+            | Instr::FiberEnd { .. } => true,
+            // The typed forms.
+            Instr::Nop
+            | Instr::ConstI { .. }
+            | Instr::ConstF { .. }
+            | Instr::IMov { .. }
+            | Instr::FMov { .. }
+            | Instr::ILen { .. }
+            | Instr::LoadI64 { .. }
+            | Instr::LoadF64 { .. }
+            | Instr::LoadU8 { .. }
+            | Instr::FMulLoad { .. }
+            | Instr::StoreF64 { .. }
+            | Instr::StoreU8 { .. }
+            | Instr::IAppend { .. }
+            | Instr::FAppend { .. }
+            | Instr::IArith { .. }
+            | Instr::FArith { .. }
+            | Instr::IArithImm { .. }
+            | Instr::FArithImm { .. }
+            | Instr::FRound { .. }
+            | Instr::ICmpBranch { .. }
+            | Instr::ICmpBranchImm { .. }
+            | Instr::FCmpBranch { .. }
+            | Instr::FCmpBranchImm { .. }
+            | Instr::IWhileCmp { .. }
+            | Instr::IWhileCmpImm { .. }
+            | Instr::FWhileCmp { .. }
+            | Instr::IForTest { .. }
+            | Instr::ISeek { .. } => true,
+            _ => false,
+        }
+    }
+
+    /// A short stable mnemonic for this instruction's opcode, used by the
+    /// benchmark harness's per-opcode execution histogram.
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            Instr::BumpStmt => "bump_stmt",
+            Instr::Const { .. } => "const",
+            Instr::Mov { .. } => "mov",
+            Instr::BufLen { .. } => "buf_len",
+            Instr::Load { .. } => "load",
+            Instr::CoerceInt { .. } => "coerce_int",
+            Instr::Store { .. } => "store",
+            Instr::Unary { .. } => "unary",
+            Instr::Binary { .. } => "binary",
+            Instr::Jump { .. } => "jump",
+            Instr::JumpIfFalse { .. } => "jump_if_false",
+            Instr::JumpIfTrue { .. } => "jump_if_true",
+            Instr::JumpIfMissing { .. } => "jump_if_missing",
+            Instr::JumpIfNotMissing { .. } => "jump_if_not_missing",
+            Instr::WhileTest { .. } => "while_test",
+            Instr::ForTest { .. } => "for_test",
+            Instr::ForStep { .. } => "for_step",
+            Instr::Append { .. } => "append",
+            Instr::FiberEnd { .. } => "fiber_end",
+            Instr::Seek { .. } => "seek",
+            Instr::BinaryImm { .. } => "binary_imm",
+            Instr::LoadBinary { .. } => "load_binary",
+            Instr::CmpBranch { .. } => "cmp_branch",
+            Instr::CmpBranchImm { .. } => "cmp_branch_imm",
+            Instr::WhileCmp { .. } => "while_cmp",
+            Instr::WhileCmpImm { .. } => "while_cmp_imm",
+            Instr::Nop => "nop",
+            Instr::ConstI { .. } => "const_i",
+            Instr::ConstF { .. } => "const_f",
+            Instr::IMov { .. } => "i_mov",
+            Instr::FMov { .. } => "f_mov",
+            Instr::ILen { .. } => "i_len",
+            Instr::LoadI64 { .. } => "load_i64",
+            Instr::LoadF64 { .. } => "load_f64",
+            Instr::LoadU8 { .. } => "load_u8",
+            Instr::FMulLoad { .. } => "f_mul_load",
+            Instr::StoreF64 { .. } => "store_f64",
+            Instr::StoreU8 { .. } => "store_u8",
+            Instr::IAppend { .. } => "i_append",
+            Instr::FAppend { .. } => "f_append",
+            Instr::IArith { .. } => "i_arith",
+            Instr::FArith { .. } => "f_arith",
+            Instr::IArithImm { .. } => "i_arith_imm",
+            Instr::FArithImm { .. } => "f_arith_imm",
+            Instr::FRound { .. } => "f_round",
+            Instr::ICmpBranch { .. } => "i_cmp_branch",
+            Instr::ICmpBranchImm { .. } => "i_cmp_branch_imm",
+            Instr::FCmpBranch { .. } => "f_cmp_branch",
+            Instr::FCmpBranchImm { .. } => "f_cmp_branch_imm",
+            Instr::IWhileCmp { .. } => "i_while_cmp",
+            Instr::IWhileCmpImm { .. } => "i_while_cmp_imm",
+            Instr::FWhileCmp { .. } => "f_while_cmp",
+            Instr::IForTest { .. } => "i_for_test",
+            Instr::ISeek { .. } => "i_seek",
+        }
+    }
 }
 
 /// A compiled bytecode program: the instruction stream, its constant pool,
@@ -353,6 +811,11 @@ pub struct Program {
     pub(crate) consts: Vec<Value>,
     pub(crate) var_names: Vec<String>,
     pub(crate) num_regs: usize,
+    /// Registers whose runtime tag is statically known (set by the
+    /// typing pass in `crate::opt::typing`; empty until it runs).  The
+    /// VM pins these tags before dispatch so typed instructions never
+    /// touch the tag array.
+    pub(crate) pretags: Vec<(Reg, LaneTag)>,
 }
 
 impl Program {
@@ -378,6 +841,7 @@ impl Program {
             consts: c.consts,
             var_names: names.iter().map(|v| names.name(v).to_string()).collect(),
             num_regs: c.num_vars + c.max_temps as usize,
+            pretags: Vec::new(),
         }
     }
 
@@ -399,6 +863,12 @@ impl Program {
     /// Number of registers owned by IR variables (the low registers).
     pub fn num_vars(&self) -> usize {
         self.var_names.len()
+    }
+
+    /// Registers whose runtime tag was statically inferred by the typing
+    /// pass (empty for programs the pass has not run over).
+    pub fn pretags(&self) -> &[(Reg, LaneTag)] {
+        &self.pretags
     }
 
     /// The printed name of a register: the variable's name for variable
@@ -535,6 +1005,119 @@ impl Program {
                         return Err(format!("constant {cidx} at pc {pc} outside the pool"));
                     }
                 }
+                Instr::Nop => {}
+                Instr::ConstI { dst, .. } | Instr::ConstF { dst, .. } => check_reg(pc, dst)?,
+                Instr::IMov { dst, src } | Instr::FMov { dst, src } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, src)?;
+                }
+                Instr::ILen { dst, .. } => check_reg(pc, dst)?,
+                Instr::LoadI64 { dst, idx, .. }
+                | Instr::LoadF64 { dst, idx, .. }
+                | Instr::LoadU8 { dst, idx, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, idx)?;
+                }
+                Instr::FMulLoad { dst, lhs, idx, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, idx)?;
+                }
+                Instr::StoreF64 { idx, val, reduce, .. }
+                | Instr::StoreU8 { idx, val, reduce, .. } => {
+                    check_reg(pc, idx)?;
+                    check_reg(pc, val)?;
+                    if !is_arith_reduce(reduce) {
+                        return Err(format!("non-arithmetic typed store reduce at pc {pc}"));
+                    }
+                }
+                Instr::IAppend { val, .. } | Instr::FAppend { val, .. } => check_reg(pc, val)?,
+                Instr::IArith { op, dst, lhs, rhs } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                    if !is_int_arith(op) {
+                        return Err(format!("unsupported IArith op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::FArith { op, dst, lhs, rhs } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                    if !is_float_arith(op) {
+                        return Err(format!("unsupported FArith op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::IArithImm { op, dst, lhs, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    if !is_int_arith(op) {
+                        return Err(format!("unsupported IArithImm op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::FArithImm { op, dst, lhs, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lhs)?;
+                    if !is_float_arith(op) {
+                        return Err(format!("unsupported FArithImm op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::FRound { dst, src } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, src)?;
+                }
+                Instr::ICmpBranch { op, lhs, rhs, target }
+                | Instr::FCmpBranch { op, lhs, rhs, target } => {
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                    check_target(pc, target)?;
+                    if !is_cmp_op(op) {
+                        return Err(format!("non-comparison typed branch op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::ICmpBranchImm { op, lhs, target, .. }
+                | Instr::FCmpBranchImm { op, lhs, target, .. } => {
+                    check_reg(pc, lhs)?;
+                    check_target(pc, target)?;
+                    if !is_cmp_op(op) {
+                        return Err(format!("non-comparison typed branch op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::IWhileCmp { op, lhs, rhs, end } | Instr::FWhileCmp { op, lhs, rhs, end } => {
+                    check_reg(pc, lhs)?;
+                    check_reg(pc, rhs)?;
+                    check_target(pc, end)?;
+                    if !is_cmp_op(op) {
+                        return Err(format!("non-comparison typed while op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::IWhileCmpImm { op, lhs, end, .. } => {
+                    check_reg(pc, lhs)?;
+                    check_target(pc, end)?;
+                    if !is_cmp_op(op) {
+                        return Err(format!("non-comparison typed while op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::IForTest { counter, hi, var, end } => {
+                    check_reg(pc, counter)?;
+                    check_reg(pc, hi)?;
+                    check_reg(pc, var)?;
+                    check_target(pc, end)?;
+                }
+                Instr::ISeek { dst, lo, hi, key, .. } => {
+                    check_reg(pc, dst)?;
+                    check_reg(pc, lo)?;
+                    check_reg(pc, hi)?;
+                    check_reg(pc, key)?;
+                }
+            }
+        }
+        for &(r, _) in &self.pretags {
+            if r.index() >= self.num_regs {
+                return Err(format!(
+                    "pretag for register {r} outside the file of {}",
+                    self.num_regs
+                ));
             }
         }
         Ok(())
@@ -632,6 +1215,80 @@ impl Program {
             Instr::WhileCmpImm { op, lhs, cidx, end } => {
                 let cmp = binop(op, r(lhs), format!("const {}", c(cidx)));
                 format!("while {cmp} else -> {end}")
+            }
+            Instr::Nop => "nop".to_string(),
+            Instr::ConstI { dst, imm } => format!("{} = const.i {imm}", r(dst)),
+            Instr::ConstF { dst, imm } => {
+                format!("{} = const.f {}", r(dst), Value::Float(imm))
+            }
+            Instr::IMov { dst, src } => format!("{} = {} (i64)", r(dst), r(src)),
+            Instr::FMov { dst, src } => format!("{} = {} (f64)", r(dst), r(src)),
+            Instr::ILen { dst, buf } => format!("{} = len.i(b{})", r(dst), buf.index()),
+            Instr::LoadI64 { dst, buf, idx } => {
+                format!("{} = b{}[{}] (i64)", r(dst), buf.index(), r(idx))
+            }
+            Instr::LoadF64 { dst, buf, idx } => {
+                format!("{} = b{}[{}] (f64)", r(dst), buf.index(), r(idx))
+            }
+            Instr::LoadU8 { dst, buf, idx } => {
+                format!("{} = b{}[{}] (u8)", r(dst), buf.index(), r(idx))
+            }
+            Instr::FMulLoad { dst, lhs, buf, idx } => {
+                format!("{} = {} * b{}[{}] (f64)", r(dst), r(lhs), buf.index(), r(idx))
+            }
+            Instr::StoreF64 { buf, idx, val, reduce } => {
+                format!("b{}[{}] {} {} (f64)", buf.index(), r(idx), reduce_op(reduce), r(val))
+            }
+            Instr::StoreU8 { buf, idx, val, reduce } => {
+                format!("b{}[{}] {} {} (u8)", buf.index(), r(idx), reduce_op(reduce), r(val))
+            }
+            Instr::IAppend { buf, val } => format!("b{}.push({}) (i64)", buf.index(), r(val)),
+            Instr::FAppend { buf, val } => format!("b{}.push({}) (f64)", buf.index(), r(val)),
+            Instr::IArith { op, dst, lhs, rhs } => {
+                format!("{} = {} (i64)", r(dst), binop(op, r(lhs), r(rhs)))
+            }
+            Instr::FArith { op, dst, lhs, rhs } => {
+                format!("{} = {} (f64)", r(dst), binop(op, r(lhs), r(rhs)))
+            }
+            Instr::IArithImm { op, dst, lhs, imm } => {
+                format!("{} = {} (i64)", r(dst), binop(op, r(lhs), format!("{imm}")))
+            }
+            Instr::FArithImm { op, dst, lhs, imm } => {
+                format!(
+                    "{} = {} (f64)",
+                    r(dst),
+                    binop(op, r(lhs), format!("{}", Value::Float(imm)))
+                )
+            }
+            Instr::FRound { dst, src } => format!("{} = round_u8({}) (f64)", r(dst), r(src)),
+            Instr::ICmpBranch { op, lhs, rhs, target } => {
+                format!("if_false {} (i64) -> {target}", binop(op, r(lhs), r(rhs)))
+            }
+            Instr::ICmpBranchImm { op, lhs, imm, target } => {
+                format!("if_false {} (i64) -> {target}", binop(op, r(lhs), format!("{imm}")))
+            }
+            Instr::FCmpBranch { op, lhs, rhs, target } => {
+                format!("if_false {} (f64) -> {target}", binop(op, r(lhs), r(rhs)))
+            }
+            Instr::FCmpBranchImm { op, lhs, imm, target } => {
+                let cmp = binop(op, r(lhs), format!("{}", Value::Float(imm)));
+                format!("if_false {cmp} (f64) -> {target}")
+            }
+            Instr::IWhileCmp { op, lhs, rhs, end } => {
+                format!("while {} (i64) else -> {end}", binop(op, r(lhs), r(rhs)))
+            }
+            Instr::IWhileCmpImm { op, lhs, imm, end } => {
+                format!("while {} (i64) else -> {end}", binop(op, r(lhs), format!("{imm}")))
+            }
+            Instr::FWhileCmp { op, lhs, rhs, end } => {
+                format!("while {} (f64) else -> {end}", binop(op, r(lhs), r(rhs)))
+            }
+            Instr::IForTest { counter, hi, var, end } => {
+                format!("for {} = {} while <= {} (i64) else -> {end}", r(var), r(counter), r(hi))
+            }
+            Instr::ISeek { dst, buf, lo, hi, key, on_abs } => {
+                let f = if on_abs { "seek_abs.i" } else { "seek.i" };
+                format!("{} = {f}(b{}, {}, {}, {})", r(dst), buf.index(), r(lo), r(hi), r(key))
             }
         }
     }
@@ -1237,5 +1894,142 @@ mod tests {
         let prog = vec![Stmt::Comment("hi".into())];
         let program = compile(&prog, &names);
         assert_eq!(program.disasm().lines().count(), program.code().len());
+    }
+
+    /// Hand-build a program out of typed instructions and golden-check
+    /// the disassembly of every typed encoding (operand order, lane
+    /// suffixes, inlined immediates, jump targets).
+    #[test]
+    fn golden_disasm_of_typed_instruction_forms() {
+        let mut names = Names::new();
+        let p = names.fresh("p");
+        let x = names.fresh("x");
+        let program = Program {
+            code: vec![
+                Instr::Nop,
+                Instr::ConstI { dst: Reg(0), imm: 7 },
+                Instr::ConstF { dst: Reg(1), imm: 1.5 },
+                Instr::IMov { dst: Reg(0), src: Reg(0) },
+                Instr::FMov { dst: Reg(1), src: Reg(1) },
+                Instr::ILen { dst: Reg(0), buf: crate::buffer::BufId(0) },
+                Instr::LoadI64 { dst: Reg(0), buf: crate::buffer::BufId(0), idx: Reg(0) },
+                Instr::LoadF64 { dst: Reg(1), buf: crate::buffer::BufId(1), idx: Reg(0) },
+                Instr::LoadU8 { dst: Reg(1), buf: crate::buffer::BufId(2), idx: Reg(0) },
+                Instr::FMulLoad {
+                    dst: Reg(1),
+                    lhs: Reg(1),
+                    buf: crate::buffer::BufId(1),
+                    idx: Reg(0),
+                },
+                Instr::StoreF64 {
+                    buf: crate::buffer::BufId(1),
+                    idx: Reg(0),
+                    val: Reg(1),
+                    reduce: Some(BinOp::Add),
+                },
+                Instr::StoreU8 {
+                    buf: crate::buffer::BufId(2),
+                    idx: Reg(0),
+                    val: Reg(1),
+                    reduce: None,
+                },
+                Instr::IAppend { buf: crate::buffer::BufId(0), val: Reg(0) },
+                Instr::FAppend { buf: crate::buffer::BufId(1), val: Reg(1) },
+                Instr::IArith { op: BinOp::Add, dst: Reg(0), lhs: Reg(0), rhs: Reg(0) },
+                Instr::FArith { op: BinOp::Mul, dst: Reg(1), lhs: Reg(1), rhs: Reg(1) },
+                Instr::IArithImm { op: BinOp::Add, dst: Reg(0), lhs: Reg(0), imm: 1 },
+                Instr::FArithImm { op: BinOp::Mul, dst: Reg(1), lhs: Reg(1), imm: 0.5 },
+                Instr::FRound { dst: Reg(1), src: Reg(1) },
+                Instr::ICmpBranch { op: BinOp::Lt, lhs: Reg(0), rhs: Reg(0), target: 24 },
+                Instr::ICmpBranchImm { op: BinOp::Eq, lhs: Reg(0), imm: 3, target: 24 },
+                Instr::FCmpBranch { op: BinOp::Ne, lhs: Reg(1), rhs: Reg(1), target: 24 },
+                Instr::FCmpBranchImm { op: BinOp::Ne, lhs: Reg(1), imm: 0.0, target: 24 },
+                Instr::IWhileCmp { op: BinOp::Lt, lhs: Reg(0), rhs: Reg(0), end: 24 },
+                Instr::IWhileCmpImm { op: BinOp::Le, lhs: Reg(0), imm: 9, end: 25 },
+                Instr::FWhileCmp { op: BinOp::Lt, lhs: Reg(1), rhs: Reg(1), end: 26 },
+                Instr::IForTest { counter: Reg(0), hi: Reg(0), var: Reg(0), end: 27 },
+                Instr::ISeek {
+                    dst: Reg(0),
+                    buf: crate::buffer::BufId(0),
+                    lo: Reg(0),
+                    hi: Reg(0),
+                    key: Reg(0),
+                    on_abs: true,
+                },
+            ],
+            consts: Vec::new(),
+            var_names: names.iter().map(|v| names.name(v).to_string()).collect(),
+            num_regs: 2,
+            pretags: vec![(Reg(0), LaneTag::Int), (Reg(1), LaneTag::Float)],
+        };
+        let _ = (p, x);
+        program.validate().expect("typed forms validate");
+        let expected = "   0: nop
+   1: p = const.i 7
+   2: x = const.f 1.5
+   3: p = p (i64)
+   4: x = x (f64)
+   5: p = len.i(b0)
+   6: p = b0[p] (i64)
+   7: x = b1[p] (f64)
+   8: x = b2[p] (u8)
+   9: x = x * b1[p] (f64)
+  10: b1[p] += x (f64)
+  11: b2[p] = x (u8)
+  12: b0.push(p) (i64)
+  13: b1.push(x) (f64)
+  14: p = p + p (i64)
+  15: x = x * x (f64)
+  16: p = p + 1 (i64)
+  17: x = x * 0.5 (f64)
+  18: x = round_u8(x) (f64)
+  19: if_false p < p (i64) -> 24
+  20: if_false p == 3 (i64) -> 24
+  21: if_false x != x (f64) -> 24
+  22: if_false x != 0.0 (f64) -> 24
+  23: while p < p (i64) else -> 24
+  24: while p <= 9 (i64) else -> 25
+  25: while x < x (f64) else -> 26
+  26: for p = p while <= p (i64) else -> 27
+  27: p = seek_abs.i(b0, p, p, p)
+";
+        assert_eq!(program.disasm(), expected);
+    }
+
+    #[test]
+    fn typed_validate_rejects_bad_ops_and_pretags() {
+        let base = |code: Vec<Instr>, pretags: Vec<(Reg, LaneTag)>| Program {
+            code,
+            consts: Vec::new(),
+            var_names: vec!["a".into()],
+            num_regs: 1,
+            pretags,
+        };
+        // A non-comparison op in a typed branch is rejected.
+        let p = base(
+            vec![Instr::ICmpBranch { op: BinOp::Add, lhs: Reg(0), rhs: Reg(0), target: 1 }],
+            Vec::new(),
+        );
+        assert!(p.validate().is_err());
+        // Div is not an infallible integer arithmetic op.
+        let p = base(
+            vec![Instr::IArith { op: BinOp::Div, dst: Reg(0), lhs: Reg(0), rhs: Reg(0) }],
+            Vec::new(),
+        );
+        assert!(p.validate().is_err());
+        // A logical reduce cannot ride a typed store.
+        let p = base(
+            vec![Instr::StoreF64 {
+                buf: crate::buffer::BufId(0),
+                idx: Reg(0),
+                val: Reg(0),
+                reduce: Some(BinOp::And),
+            }],
+            Vec::new(),
+        );
+        assert!(p.validate().is_err());
+        // Pretags outside the register file are rejected.
+        let p = base(vec![Instr::Nop], vec![(Reg(9), LaneTag::Int)]);
+        assert!(p.validate().is_err());
     }
 }

@@ -264,8 +264,10 @@ impl Interpreter {
         })
     }
 
-    /// Lower-bound binary search over `buf[lo..=hi]`: the first position `p`
+    /// Lower-bound search over `buf[lo..=hi]`: the first position `p`
     /// with `buf[p] >= key`, or `hi + 1` when every element is smaller.
+    /// Delegates to the shared galloping search ([`crate::seek`]) so both
+    /// engines perform the identical (counted) probe sequence.
     fn binary_search(
         &mut self,
         buf: BufId,
@@ -275,23 +277,9 @@ impl Interpreter {
         on_abs: bool,
         bufs: &BufferSet,
     ) -> Result<Value, RuntimeError> {
-        let mut lo = lo;
-        let mut hi = hi + 1; // exclusive
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            self.check_bounds(buf, mid, bufs)?;
-            self.stats.loads += 1;
-            let mut v = bufs.get(buf).load(mid as usize).as_int()?;
-            if on_abs {
-                v = v.abs();
-            }
-            if v < key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        Ok(Value::Int(lo))
+        let (pos, probes) = crate::seek::lower_bound(bufs, buf, lo, hi, key, on_abs)?;
+        self.stats.loads += probes;
+        Ok(Value::Int(pos))
     }
 
     /// Read the current value of a variable after execution (useful in

@@ -62,13 +62,14 @@ pub mod expr;
 pub mod interp;
 pub mod opt;
 pub mod pretty;
+pub mod seek;
 pub mod stmt;
 pub mod value;
 pub mod var;
 pub mod vm;
 
 pub use buffer::{BufId, Buffer, BufferSet};
-pub use bytecode::{Instr, Program, Reg};
+pub use bytecode::{Instr, LaneTag, Program, Reg};
 pub use error::RuntimeError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use interp::{ExecStats, Interpreter};

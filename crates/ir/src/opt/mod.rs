@@ -17,7 +17,11 @@
 //!   fuses hot instruction pairs into superinstructions and coalesces the
 //!   temp registers; every fused instruction maintains
 //!   [`crate::interp::ExecStats`] exactly like its unfused expansion, so
-//!   tree-walk vs bytecode parity stays bit-for-bit at every opt level.
+//!   tree-walk vs bytecode parity stays bit-for-bit at every opt level,
+//! * [`typing`] — static register-type inference over the fused bytecode
+//!   (seeded from the buffer schema and the constant pool) followed by a
+//!   1:1 rewrite of proven-monomorphic instructions into typed forms the
+//!   VM dispatches without any tag reads or writes.
 //!
 //! All IR-level passes are *value-exact* for programs that complete: an
 //! optimised program stores bit-identical results into every buffer.  The
@@ -39,9 +43,11 @@ mod dce;
 mod fold;
 mod licm;
 mod peephole;
+pub mod typing;
 
 pub use licm::hoist_invariant_loads;
 pub use peephole::peephole;
+pub use typing::specialize;
 
 use crate::stmt::Stmt;
 use crate::var::Names;
@@ -119,6 +125,12 @@ pub struct OptStats {
     pub movs_eliminated: u64,
     /// Registers trimmed from the register file by temp coalescing.
     pub regs_saved: u64,
+    /// Bytecode instructions rewritten into monomorphic typed forms by
+    /// the register-type inference pass ([`typing`]).
+    pub instrs_typed: u64,
+    /// Registers whose runtime tag the typing pass proved static and
+    /// pinned ([`crate::bytecode::Program::pretags`]).
+    pub regs_pretagged: u64,
     /// IR statement count before the pipeline ran.
     pub ir_stmts_before: u64,
     /// IR statement count after the pipeline ran.

@@ -79,8 +79,18 @@ fn jump_targets(code: &[Instr]) -> HashSet<u32> {
             Instr::WhileTest { end, .. }
             | Instr::ForTest { end, .. }
             | Instr::WhileCmp { end, .. }
-            | Instr::WhileCmpImm { end, .. } => {
+            | Instr::WhileCmpImm { end, .. }
+            | Instr::IWhileCmp { end, .. }
+            | Instr::IWhileCmpImm { end, .. }
+            | Instr::FWhileCmp { end, .. }
+            | Instr::IForTest { end, .. } => {
                 targets.insert(end);
+            }
+            Instr::ICmpBranch { target, .. }
+            | Instr::ICmpBranchImm { target, .. }
+            | Instr::FCmpBranch { target, .. }
+            | Instr::FCmpBranchImm { target, .. } => {
+                targets.insert(target);
             }
             Instr::ForStep { test, .. } => {
                 targets.insert(test);
@@ -149,6 +159,58 @@ fn for_each_reg(instr: &mut Instr, f: &mut dyn FnMut(&mut Reg)) {
             f(rhs);
         }
         Instr::CmpBranchImm { lhs, .. } | Instr::WhileCmpImm { lhs, .. } => f(lhs),
+        Instr::Nop => {}
+        Instr::ConstI { dst, .. } | Instr::ConstF { dst, .. } | Instr::ILen { dst, .. } => f(dst),
+        Instr::IMov { dst, src } | Instr::FMov { dst, src } | Instr::FRound { dst, src } => {
+            f(dst);
+            f(src);
+        }
+        Instr::LoadI64 { dst, idx, .. }
+        | Instr::LoadF64 { dst, idx, .. }
+        | Instr::LoadU8 { dst, idx, .. } => {
+            f(dst);
+            f(idx);
+        }
+        Instr::FMulLoad { dst, lhs, idx, .. } => {
+            f(dst);
+            f(lhs);
+            f(idx);
+        }
+        Instr::StoreF64 { idx, val, .. } | Instr::StoreU8 { idx, val, .. } => {
+            f(idx);
+            f(val);
+        }
+        Instr::IAppend { val, .. } | Instr::FAppend { val, .. } => f(val),
+        Instr::IArith { dst, lhs, rhs, .. } | Instr::FArith { dst, lhs, rhs, .. } => {
+            f(dst);
+            f(lhs);
+            f(rhs);
+        }
+        Instr::IArithImm { dst, lhs, .. } | Instr::FArithImm { dst, lhs, .. } => {
+            f(dst);
+            f(lhs);
+        }
+        Instr::ICmpBranch { lhs, rhs, .. }
+        | Instr::FCmpBranch { lhs, rhs, .. }
+        | Instr::IWhileCmp { lhs, rhs, .. }
+        | Instr::FWhileCmp { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Instr::ICmpBranchImm { lhs, .. }
+        | Instr::FCmpBranchImm { lhs, .. }
+        | Instr::IWhileCmpImm { lhs, .. } => f(lhs),
+        Instr::IForTest { counter, hi, var, .. } => {
+            f(counter);
+            f(hi);
+            f(var);
+        }
+        Instr::ISeek { dst, lo, hi, key, .. } => {
+            f(dst);
+            f(lo);
+            f(hi);
+            f(key);
+        }
     }
 }
 
@@ -167,6 +229,22 @@ fn writes(instr: Instr) -> Option<Reg> {
         Instr::CoerceInt { reg } => Some(reg),
         Instr::ForTest { var, .. } => Some(var),
         Instr::ForStep { counter, .. } => Some(counter),
+        Instr::ConstI { dst, .. }
+        | Instr::ConstF { dst, .. }
+        | Instr::IMov { dst, .. }
+        | Instr::FMov { dst, .. }
+        | Instr::ILen { dst, .. }
+        | Instr::LoadI64 { dst, .. }
+        | Instr::LoadF64 { dst, .. }
+        | Instr::LoadU8 { dst, .. }
+        | Instr::FMulLoad { dst, .. }
+        | Instr::IArith { dst, .. }
+        | Instr::FArith { dst, .. }
+        | Instr::IArithImm { dst, .. }
+        | Instr::FArithImm { dst, .. }
+        | Instr::FRound { dst, .. }
+        | Instr::ISeek { dst, .. } => Some(dst),
+        Instr::IForTest { var, .. } => Some(var),
         _ => None,
     }
 }
@@ -201,6 +279,27 @@ fn reads_reg(instr: Instr, r: Reg) -> bool {
         | Instr::BufLen { .. }
         | Instr::Jump { .. }
         | Instr::FiberEnd { .. } => false,
+        Instr::IMov { src, .. } | Instr::FMov { src, .. } | Instr::FRound { src, .. } => src == r,
+        Instr::LoadI64 { idx, .. } | Instr::LoadF64 { idx, .. } | Instr::LoadU8 { idx, .. } => {
+            idx == r
+        }
+        Instr::FMulLoad { lhs, idx, .. } => lhs == r || idx == r,
+        Instr::StoreF64 { idx, val, .. } | Instr::StoreU8 { idx, val, .. } => idx == r || val == r,
+        Instr::IAppend { val, .. } | Instr::FAppend { val, .. } => val == r,
+        Instr::IArith { lhs, rhs, .. }
+        | Instr::FArith { lhs, rhs, .. }
+        | Instr::ICmpBranch { lhs, rhs, .. }
+        | Instr::FCmpBranch { lhs, rhs, .. }
+        | Instr::IWhileCmp { lhs, rhs, .. }
+        | Instr::FWhileCmp { lhs, rhs, .. } => lhs == r || rhs == r,
+        Instr::IArithImm { lhs, .. }
+        | Instr::FArithImm { lhs, .. }
+        | Instr::ICmpBranchImm { lhs, .. }
+        | Instr::FCmpBranchImm { lhs, .. }
+        | Instr::IWhileCmpImm { lhs, .. } => lhs == r,
+        Instr::IForTest { counter, hi, .. } => counter == r || hi == r,
+        Instr::ISeek { lo, hi, key, .. } => lo == r || hi == r || key == r,
+        Instr::Nop | Instr::ConstI { .. } | Instr::ConstF { .. } | Instr::ILen { .. } => false,
     }
 }
 
@@ -416,6 +515,7 @@ fn fuse_round(p: &Program, stats: &mut OptStats) -> (Program, bool) {
         consts: p.consts.clone(),
         var_names: p.var_names.clone(),
         num_regs: p.num_regs,
+        pretags: p.pretags.clone(),
     };
     (new_program, changed)
 }
@@ -428,11 +528,19 @@ fn retarget(instr: &mut Instr, map: &[u32]) {
         | Instr::JumpIfMissing { target, .. }
         | Instr::JumpIfNotMissing { target, .. }
         | Instr::CmpBranch { target, .. }
-        | Instr::CmpBranchImm { target, .. } => *target = map[*target as usize],
+        | Instr::CmpBranchImm { target, .. }
+        | Instr::ICmpBranch { target, .. }
+        | Instr::ICmpBranchImm { target, .. }
+        | Instr::FCmpBranch { target, .. }
+        | Instr::FCmpBranchImm { target, .. } => *target = map[*target as usize],
         Instr::WhileTest { end, .. }
         | Instr::ForTest { end, .. }
         | Instr::WhileCmp { end, .. }
-        | Instr::WhileCmpImm { end, .. } => *end = map[*end as usize],
+        | Instr::WhileCmpImm { end, .. }
+        | Instr::IWhileCmp { end, .. }
+        | Instr::IWhileCmpImm { end, .. }
+        | Instr::FWhileCmp { end, .. }
+        | Instr::IForTest { end, .. } => *end = map[*end as usize],
         Instr::ForStep { test, .. } => *test = map[*test as usize],
         _ => {}
     }
@@ -463,6 +571,14 @@ fn compact_registers(p: &mut Program, stats: &mut OptStats) {
                 *r = Reg(remap[&r.index()]);
             }
         });
+    }
+    // Pretags (if the typing pass ever ran before compaction) follow the
+    // same renumbering; pretags of dropped temps are dropped with them.
+    p.pretags.retain(|(r, _)| r.index() < num_vars || remap.contains_key(&r.index()));
+    for (r, _) in &mut p.pretags {
+        if r.index() >= num_vars {
+            *r = Reg(remap[&r.index()]);
+        }
     }
     p.num_regs = new_num_regs;
 }

@@ -1,0 +1,1215 @@
+//! Static register-type inference and monomorphic instruction selection.
+//!
+//! The register VM keeps a one-byte runtime tag per register and pays a
+//! tag dispatch on every operand of every instruction, even though almost
+//! every register in generated kernel code holds exactly one type for the
+//! whole program: positions and coordinates are `i64`, loaded values are
+//! `f64`, buffer element types are fixed at compile time.  This pass
+//! recovers that information statically and rewrites proven-monomorphic
+//! instructions into the typed forms of [`crate::bytecode::Instr`], which
+//! the VM executes directly on the unboxed lanes with **no tag reads or
+//! writes**.
+//!
+//! The pass is a forward abstract interpretation over the compiled
+//! [`Program`], seeded from the [`BufferSet`] schema (each buffer's
+//! element type) and the constant pool.  The abstract domain is a small
+//! powerset lattice over the runtime register states
+//!
+//! ```text
+//!   { Unset, Int, Float, Bool, Missing }
+//! ```
+//!
+//! joined by set union — a singleton `{Int}` is the issue's `Int`, a set
+//! containing `Missing` plus a value kind is `MaybeMissing`, and any
+//! other non-singleton is `Dyn`.  Branches refine: the fall-through edge
+//! of a comparison branch knows its operands were not missing, the
+//! missing-test jumps of the `coalesce`/`&&`/`||` lowerings split the
+//! `Missing` possibility between their edges (which is what lets the
+//! post-`coalesce` registers of the convolution kernels become statically
+//! `Float` again).
+//!
+//! Two facts license each rewrite:
+//!
+//! 1. **Point typing** — every register the instruction *reads* has a
+//!    singleton abstract state at that program point, so reading the lane
+//!    without consulting the tag is equivalent.
+//! 2. **Global typing** — every register the instruction *writes* is
+//!    written with this one type by every instruction in the program and
+//!    is never read while possibly unset.  Such registers are recorded in
+//!    [`Program::pretags`]; the VM pins their tags before dispatch, so
+//!    skipping the tag write is unobservable (generic instructions that
+//!    read the register still see the correct tag, and the
+//!    unbound-variable check can never have fired for it anyway).
+//!
+//! Wherever `Missing`/`coalesce`/`permit` semantics (or genuinely mixed
+//! types) keep a register dynamic, the instruction simply stays in its
+//! generic form — the typed and generic instruction sets interoperate
+//! freely within one program.  The rewrite is strictly 1:1 (a statically
+//! discharged `CoerceInt` becomes [`Instr::Nop`]), so jump targets,
+//! instruction counts and [`crate::interp::ExecStats`] are bit-identical
+//! to generic dispatch.
+
+use std::collections::VecDeque;
+
+use crate::buffer::{Buffer, BufferSet};
+use crate::bytecode::{is_arith_reduce, is_cmp_op, is_float_arith, is_int_arith};
+use crate::bytecode::{Instr, LaneTag, Program, Reg};
+use crate::expr::{BinOp, UnOp};
+use crate::value::Value;
+
+use super::OptStats;
+
+// The abstract domain: a bitset over possible runtime register states.
+const UNSET: u8 = 1 << 0;
+const INT: u8 = 1 << 1;
+const FLOAT: u8 = 1 << 2;
+const BOOL: u8 = 1 << 3;
+const MISSING: u8 = 1 << 4;
+const VALUE: u8 = INT | FLOAT | BOOL;
+const ANY: u8 = UNSET | VALUE | MISSING;
+
+/// One abstract state: a bitset per register.
+type State = Vec<u8>;
+
+fn const_bits(v: Value) -> u8 {
+    match v {
+        Value::Int(_) => INT,
+        Value::Float(_) => FLOAT,
+        Value::Bool(_) => BOOL,
+        Value::Missing => MISSING,
+    }
+}
+
+fn buf_bits(buf: &Buffer) -> u8 {
+    match buf {
+        Buffer::I64(_) => INT,
+        Buffer::F64(_) => FLOAT,
+        // U8 elements load as floats; Bool elements load as bools.
+        Buffer::U8(_) => FLOAT,
+        Buffer::Bool(_) => BOOL,
+    }
+}
+
+/// Abstract result of `Value::binop` given operand bitsets.
+fn binop_bits(op: BinOp, a: u8, b: u8) -> u8 {
+    let missing = ((a | b) & MISSING != 0) as u8 * MISSING;
+    if is_cmp_op(op) || matches!(op, BinOp::And | BinOp::Or) {
+        return BOOL | missing;
+    }
+    // Arithmetic: integral only when both operands are integral; any
+    // float or bool operand routes through the f64 path.
+    let (ak, bk) = (a & VALUE, b & VALUE);
+    let mut r = 0u8;
+    if ak & INT != 0 && bk & INT != 0 {
+        r |= INT;
+    }
+    if ak & (FLOAT | BOOL) != 0 || bk & (FLOAT | BOOL) != 0 {
+        r |= FLOAT;
+    }
+    if r == 0 {
+        // Operands with no known value kind (over-approximate).
+        r = INT | FLOAT;
+    }
+    r | missing
+}
+
+/// Abstract result of `Value::unop` given the operand bitset.
+fn unop_bits(op: UnOp, a: u8) -> u8 {
+    let missing = (a & MISSING != 0) as u8 * MISSING;
+    let k = a & VALUE;
+    let base = match op {
+        UnOp::Not => BOOL,
+        UnOp::Sqrt | UnOp::Round => FLOAT,
+        UnOp::Neg | UnOp::Abs | UnOp::Sign => {
+            let mut r = 0u8;
+            if k & INT != 0 {
+                r |= INT;
+            }
+            if k & (FLOAT | BOOL) != 0 {
+                r |= FLOAT;
+            }
+            if r == 0 {
+                r = INT | FLOAT;
+            }
+            r
+        }
+    };
+    base | missing
+}
+
+/// The register an instruction writes together with the abstract kind it
+/// writes, under the given in-state.  `None` for instructions without a
+/// register destination.  This is the single source of truth shared by
+/// the dataflow transfer and the global write-kind accumulation.
+fn write_effect(instr: Instr, s: &State, consts: &[Value], bufs: &BufferSet) -> Option<(Reg, u8)> {
+    let load_bits = |buf, idx: Reg| -> u8 {
+        let kind = buf_bits(bufs.get(buf));
+        let i = s[idx.index()];
+        let mut r = 0u8;
+        if i & VALUE != 0 || i & MISSING == 0 {
+            r |= kind;
+        }
+        if i & MISSING != 0 {
+            r |= MISSING;
+        }
+        r
+    };
+    Some(match instr {
+        Instr::Const { dst, cidx } => (dst, const_bits(consts[cidx as usize])),
+        Instr::Mov { dst, src } => {
+            let b = s[src.index()] & !UNSET;
+            (dst, if b == 0 { ANY & !UNSET } else { b })
+        }
+        Instr::BufLen { dst, .. } => (dst, INT),
+        Instr::Load { dst, buf, idx } => (dst, load_bits(buf, idx)),
+        Instr::CoerceInt { reg } => (reg, INT),
+        Instr::Unary { op, dst, src } => (dst, unop_bits(op, s[src.index()])),
+        Instr::Binary { op, dst, lhs, rhs } => {
+            (dst, binop_bits(op, s[lhs.index()], s[rhs.index()]))
+        }
+        Instr::BinaryImm { op, dst, lhs, cidx } => {
+            (dst, binop_bits(op, s[lhs.index()], const_bits(consts[cidx as usize])))
+        }
+        Instr::LoadBinary { op, dst, lhs, buf, idx } => {
+            (dst, binop_bits(op, s[lhs.index()], load_bits(buf, idx)))
+        }
+        Instr::ForTest { var, .. } | Instr::IForTest { var, .. } => (var, INT),
+        Instr::ForStep { counter, .. } => (counter, INT),
+        Instr::Seek { dst, .. } | Instr::ISeek { dst, .. } => (dst, INT),
+        // Typed forms (inputs to a re-run of the pass).
+        Instr::ConstI { dst, .. } | Instr::ILen { dst, .. } | Instr::LoadI64 { dst, .. } => {
+            (dst, INT)
+        }
+        Instr::ConstF { dst, .. }
+        | Instr::LoadF64 { dst, .. }
+        | Instr::LoadU8 { dst, .. }
+        | Instr::FMulLoad { dst, .. }
+        | Instr::FRound { dst, .. } => (dst, FLOAT),
+        Instr::IMov { dst, .. } | Instr::IArith { dst, .. } | Instr::IArithImm { dst, .. } => {
+            (dst, INT)
+        }
+        Instr::FMov { dst, .. } | Instr::FArith { dst, .. } | Instr::FArithImm { dst, .. } => {
+            (dst, FLOAT)
+        }
+        _ => return None,
+    })
+}
+
+/// Every register an instruction reads, in no particular order.
+fn for_each_read(instr: Instr, f: &mut dyn FnMut(Reg)) {
+    match instr {
+        Instr::Mov { src, .. } | Instr::Unary { src, .. } => f(src),
+        Instr::Load { idx, .. } => f(idx),
+        Instr::CoerceInt { reg } => f(reg),
+        Instr::Store { idx, val, .. }
+        | Instr::StoreF64 { idx, val, .. }
+        | Instr::StoreU8 { idx, val, .. } => {
+            f(idx);
+            f(val);
+        }
+        Instr::Binary { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Instr::JumpIfFalse { src, .. }
+        | Instr::JumpIfTrue { src, .. }
+        | Instr::JumpIfMissing { src, .. }
+        | Instr::JumpIfNotMissing { src, .. } => f(src),
+        Instr::WhileTest { cond, .. } => f(cond),
+        Instr::ForTest { counter, hi, .. } | Instr::IForTest { counter, hi, .. } => {
+            f(counter);
+            f(hi);
+        }
+        Instr::ForStep { counter, .. } => f(counter),
+        Instr::Append { val, .. } | Instr::IAppend { val, .. } | Instr::FAppend { val, .. } => {
+            f(val)
+        }
+        Instr::Seek { lo, hi, key, .. } | Instr::ISeek { lo, hi, key, .. } => {
+            f(lo);
+            f(hi);
+            f(key);
+        }
+        Instr::BinaryImm { lhs, .. } => f(lhs),
+        Instr::LoadBinary { lhs, idx, .. } => {
+            f(lhs);
+            f(idx);
+        }
+        Instr::CmpBranch { lhs, rhs, .. }
+        | Instr::WhileCmp { lhs, rhs, .. }
+        | Instr::ICmpBranch { lhs, rhs, .. }
+        | Instr::FCmpBranch { lhs, rhs, .. }
+        | Instr::IWhileCmp { lhs, rhs, .. }
+        | Instr::FWhileCmp { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Instr::CmpBranchImm { lhs, .. }
+        | Instr::WhileCmpImm { lhs, .. }
+        | Instr::ICmpBranchImm { lhs, .. }
+        | Instr::FCmpBranchImm { lhs, .. }
+        | Instr::IWhileCmpImm { lhs, .. } => f(lhs),
+        Instr::IMov { src, .. } | Instr::FMov { src, .. } | Instr::FRound { src, .. } => f(src),
+        Instr::LoadI64 { idx, .. } | Instr::LoadF64 { idx, .. } | Instr::LoadU8 { idx, .. } => {
+            f(idx)
+        }
+        Instr::FMulLoad { lhs, idx, .. } => {
+            f(lhs);
+            f(idx);
+        }
+        Instr::IArith { lhs, rhs, .. } | Instr::FArith { lhs, rhs, .. } => {
+            f(lhs);
+            f(rhs);
+        }
+        Instr::IArithImm { lhs, .. } | Instr::FArithImm { lhs, .. } => f(lhs),
+        Instr::BumpStmt
+        | Instr::Const { .. }
+        | Instr::BufLen { .. }
+        | Instr::Jump { .. }
+        | Instr::FiberEnd { .. }
+        | Instr::Nop
+        | Instr::ConstI { .. }
+        | Instr::ConstF { .. }
+        | Instr::ILen { .. } => {}
+    }
+}
+
+/// Compute the successor states of one instruction: `(succ_pc, state)`
+/// pairs, with per-edge refinement for the branch forms.  Edges whose
+/// refinement empties a register's state are provably never taken and
+/// are dropped.
+fn transfer(
+    pc: usize,
+    instr: Instr,
+    s: &State,
+    consts: &[Value],
+    bufs: &BufferSet,
+    out: &mut Vec<(usize, State)>,
+) {
+    let next = pc + 1;
+    // A branch edge: apply `mask` to `reg`, drop the edge if impossible.
+    let mut edge = |succ: usize, refine: &[(Reg, u8)]| {
+        let mut t = s.clone();
+        for &(r, mask) in refine {
+            t[r.index()] &= mask;
+            if t[r.index()] == 0 {
+                return; // this edge is provably never taken
+            }
+        }
+        out.push((succ, t));
+    };
+    match instr {
+        Instr::Jump { target } => edge(target as usize, &[]),
+        Instr::JumpIfFalse { src, target, strict } => {
+            // Fall-through: the condition was truthy (not missing, not
+            // unset).  Target: falsy — missing only allowed when lenient.
+            edge(next, &[(src, !(UNSET | MISSING))]);
+            let target_mask = if strict { !(UNSET | MISSING) } else { !UNSET };
+            edge(target as usize, &[(src, target_mask)]);
+        }
+        Instr::JumpIfTrue { src, target } => {
+            edge(target as usize, &[(src, !(UNSET | MISSING))]);
+            edge(next, &[(src, !UNSET)]);
+        }
+        Instr::JumpIfMissing { src, target } => {
+            // Reads the tag directly: unset falls through, only a true
+            // missing jumps.
+            edge(target as usize, &[(src, MISSING)]);
+            edge(next, &[(src, !MISSING)]);
+        }
+        Instr::JumpIfNotMissing { src, target } => {
+            edge(target as usize, &[(src, !MISSING)]);
+            edge(next, &[(src, MISSING)]);
+        }
+        Instr::WhileTest { cond, end } => {
+            // A missing condition is a type error on either path.
+            edge(next, &[(cond, !(UNSET | MISSING))]);
+            edge(end as usize, &[(cond, !(UNSET | MISSING))]);
+        }
+        Instr::CmpBranch { lhs, rhs, target, .. }
+        | Instr::ICmpBranch { lhs, rhs, target, .. }
+        | Instr::FCmpBranch { lhs, rhs, target, .. } => {
+            let strict = match instr {
+                Instr::CmpBranch { strict, .. } => strict,
+                _ => true, // typed operands cannot be missing anyway
+            };
+            edge(next, &[(lhs, !(UNSET | MISSING)), (rhs, !(UNSET | MISSING))]);
+            let m = if strict { !(UNSET | MISSING) } else { !UNSET };
+            edge(target as usize, &[(lhs, m), (rhs, m)]);
+        }
+        Instr::CmpBranchImm { lhs, target, strict, .. } => {
+            edge(next, &[(lhs, !(UNSET | MISSING))]);
+            let m = if strict { !(UNSET | MISSING) } else { !UNSET };
+            edge(target as usize, &[(lhs, m)]);
+        }
+        Instr::ICmpBranchImm { lhs, target, .. } | Instr::FCmpBranchImm { lhs, target, .. } => {
+            edge(next, &[(lhs, !(UNSET | MISSING))]);
+            edge(target as usize, &[(lhs, !(UNSET | MISSING))]);
+        }
+        Instr::WhileCmp { lhs, rhs, end, .. }
+        | Instr::IWhileCmp { lhs, rhs, end, .. }
+        | Instr::FWhileCmp { lhs, rhs, end, .. } => {
+            edge(next, &[(lhs, !(UNSET | MISSING)), (rhs, !(UNSET | MISSING))]);
+            edge(end as usize, &[(lhs, !(UNSET | MISSING)), (rhs, !(UNSET | MISSING))]);
+        }
+        Instr::WhileCmpImm { lhs, end, .. } | Instr::IWhileCmpImm { lhs, end, .. } => {
+            edge(next, &[(lhs, !(UNSET | MISSING))]);
+            edge(end as usize, &[(lhs, !(UNSET | MISSING))]);
+        }
+        Instr::ForTest { var, end, .. } | Instr::IForTest { var, end, .. } => {
+            // The loop variable is published only on the fall-through
+            // (loop-entered) edge.
+            let mut entered = s.clone();
+            entered[var.index()] = INT;
+            out.push((next, entered));
+            out.push((end as usize, s.clone()));
+        }
+        Instr::ForStep { counter, test } => {
+            let mut t = s.clone();
+            t[counter.index()] = INT;
+            out.push((test as usize, t));
+        }
+        _ => {
+            // Straight-line instructions: apply operand refinements that
+            // hold on the (only) success continuation, then the write.
+            let mut t = s.clone();
+            match instr {
+                Instr::Mov { src, .. } | Instr::Unary { src, .. } => {
+                    t[src.index()] &= !UNSET;
+                }
+                Instr::Load { idx, .. } | Instr::LoadBinary { idx, .. } => {
+                    t[idx.index()] &= !UNSET;
+                }
+                Instr::Binary { lhs, rhs, .. } => {
+                    t[lhs.index()] &= !UNSET;
+                    t[rhs.index()] &= !UNSET;
+                }
+                Instr::BinaryImm { lhs, .. } => {
+                    t[lhs.index()] &= !UNSET;
+                }
+                Instr::Store { val, .. } | Instr::Append { val, .. } => {
+                    // A successful store/append proves the value was a
+                    // real (non-missing) value.
+                    t[val.index()] &= !(UNSET | MISSING);
+                }
+                _ => {}
+            }
+            if let Some((dst, bits)) = write_effect(instr, s, consts, bufs) {
+                t[dst.index()] = bits;
+            }
+            out.push((next, t));
+        }
+    }
+}
+
+fn join(a: &mut State, b: &State) -> bool {
+    let mut changed = false;
+    for (x, &y) in a.iter_mut().zip(b) {
+        let j = *x | y;
+        if j != *x {
+            *x = j;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Run the forward dataflow to a fixpoint, returning the abstract state
+/// *before* each instruction (`None` for unreachable instructions).
+fn infer(program: &Program, bufs: &BufferSet) -> Vec<Option<State>> {
+    let code = program.code();
+    let consts = program.consts();
+    let n = code.len();
+    let mut states: Vec<Option<State>> = vec![None; n];
+    if n == 0 {
+        return states;
+    }
+    states[0] = Some(vec![UNSET; program.num_regs()]);
+    let mut worklist: VecDeque<usize> = VecDeque::from([0]);
+    let mut succs = Vec::with_capacity(2);
+    while let Some(pc) = worklist.pop_front() {
+        let s = states[pc].clone().expect("worklist entries are reached");
+        succs.clear();
+        transfer(pc, code[pc], &s, consts, bufs, &mut succs);
+        for (succ, out) in succs.drain(..) {
+            if succ >= n {
+                continue;
+            }
+            match &mut states[succ] {
+                None => {
+                    states[succ] = Some(out);
+                    worklist.push_back(succ);
+                }
+                Some(cur) => {
+                    if join(cur, &out) {
+                        worklist.push_back(succ);
+                    }
+                }
+            }
+        }
+    }
+    states
+}
+
+/// How an instruction operand uses its register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// The operand is read.
+    Read,
+    /// The operand is (unconditionally, on the relevant edge) written.
+    Write,
+    /// One field that is both read and written in place
+    /// ([`Instr::CoerceInt`]'s register, [`Instr::ForStep`]'s counter).
+    ReadWrite,
+}
+
+/// Visit every register operand mutably together with its [`Role`].
+/// Shared by the temp-splitting prepass, which must rename reads and
+/// writes of a register independently.
+fn for_each_reg_role(instr: &mut Instr, f: &mut dyn FnMut(&mut Reg, Role)) {
+    use Role::*;
+    match instr {
+        Instr::BumpStmt | Instr::Jump { .. } | Instr::FiberEnd { .. } | Instr::Nop => {}
+        Instr::Const { dst, .. }
+        | Instr::ConstI { dst, .. }
+        | Instr::ConstF { dst, .. }
+        | Instr::BufLen { dst, .. }
+        | Instr::ILen { dst, .. } => f(dst, Write),
+        Instr::Mov { dst, src }
+        | Instr::IMov { dst, src }
+        | Instr::FMov { dst, src }
+        | Instr::Unary { dst, src, .. }
+        | Instr::FRound { dst, src } => {
+            f(src, Read);
+            f(dst, Write);
+        }
+        Instr::Load { dst, idx, .. }
+        | Instr::LoadI64 { dst, idx, .. }
+        | Instr::LoadF64 { dst, idx, .. }
+        | Instr::LoadU8 { dst, idx, .. } => {
+            f(idx, Read);
+            f(dst, Write);
+        }
+        Instr::CoerceInt { reg } => f(reg, ReadWrite),
+        Instr::Store { idx, val, .. }
+        | Instr::StoreF64 { idx, val, .. }
+        | Instr::StoreU8 { idx, val, .. } => {
+            f(idx, Read);
+            f(val, Read);
+        }
+        Instr::Binary { dst, lhs, rhs, .. }
+        | Instr::IArith { dst, lhs, rhs, .. }
+        | Instr::FArith { dst, lhs, rhs, .. } => {
+            f(lhs, Read);
+            f(rhs, Read);
+            f(dst, Write);
+        }
+        Instr::BinaryImm { dst, lhs, .. }
+        | Instr::IArithImm { dst, lhs, .. }
+        | Instr::FArithImm { dst, lhs, .. } => {
+            f(lhs, Read);
+            f(dst, Write);
+        }
+        Instr::LoadBinary { dst, lhs, idx, .. } | Instr::FMulLoad { dst, lhs, idx, .. } => {
+            f(lhs, Read);
+            f(idx, Read);
+            f(dst, Write);
+        }
+        Instr::JumpIfFalse { src, .. }
+        | Instr::JumpIfTrue { src, .. }
+        | Instr::JumpIfMissing { src, .. }
+        | Instr::JumpIfNotMissing { src, .. } => f(src, Read),
+        Instr::WhileTest { cond, .. } => f(cond, Read),
+        Instr::ForTest { counter, hi, var, .. } | Instr::IForTest { counter, hi, var, .. } => {
+            f(counter, Read);
+            f(hi, Read);
+            f(var, Write);
+        }
+        Instr::ForStep { counter, .. } => f(counter, ReadWrite),
+        Instr::Append { val, .. } | Instr::IAppend { val, .. } | Instr::FAppend { val, .. } => {
+            f(val, Read)
+        }
+        Instr::Seek { dst, lo, hi, key, .. } | Instr::ISeek { dst, lo, hi, key, .. } => {
+            f(lo, Read);
+            f(hi, Read);
+            f(key, Read);
+            f(dst, Write);
+        }
+        Instr::CmpBranch { lhs, rhs, .. }
+        | Instr::ICmpBranch { lhs, rhs, .. }
+        | Instr::FCmpBranch { lhs, rhs, .. }
+        | Instr::WhileCmp { lhs, rhs, .. }
+        | Instr::IWhileCmp { lhs, rhs, .. }
+        | Instr::FWhileCmp { lhs, rhs, .. } => {
+            f(lhs, Read);
+            f(rhs, Read);
+        }
+        Instr::CmpBranchImm { lhs, .. }
+        | Instr::ICmpBranchImm { lhs, .. }
+        | Instr::FCmpBranchImm { lhs, .. }
+        | Instr::WhileCmpImm { lhs, .. }
+        | Instr::IWhileCmpImm { lhs, .. } => f(lhs, Read),
+    }
+}
+
+/// The in-place write kind of a [`Role::ReadWrite`] field (`CoerceInt`
+/// coerces to Int, `ForStep` increments an Int counter).
+const READWRITE_KIND: u8 = INT;
+
+/// Split expression-temp registers whose LIFO slot is reused with
+/// conflicting types (an `i64` index in one statement, an `f64` value in
+/// the next) into one register per type, so each half can be statically
+/// typed.  A temp is split only when *every* reachable access resolves to
+/// a single value kind — each read's reaching writes then all wrote that
+/// kind, so renaming reads and writes by kind preserves dataflow exactly.
+/// Returns `None` when nothing qualifies.
+fn split_conflicting_temps(
+    program: &Program,
+    bufs: &BufferSet,
+    states: &[Option<State>],
+) -> Option<Program> {
+    let num_vars = program.num_vars();
+    let n_regs = program.num_regs();
+    let singleton = |b: u8| matches!(b, INT | FLOAT | BOOL);
+    // Per-register: the set of access kinds seen, and disqualification.
+    let mut kinds: Vec<u8> = vec![0; n_regs];
+    let mut ok: Vec<bool> = vec![true; n_regs];
+    for (pc, instr) in program.code().iter().enumerate() {
+        let Some(s) = &states[pc] else { continue };
+        let we = write_effect(*instr, s, program.consts(), bufs);
+        let mut probe = *instr;
+        for_each_reg_role(&mut probe, &mut |r, role| {
+            let i = r.index();
+            if i < num_vars {
+                return;
+            }
+            let kind = match role {
+                Role::Read => s[i],
+                Role::Write => match we {
+                    Some((d, b)) if d.index() == i => b,
+                    _ => 0,
+                },
+                Role::ReadWrite => {
+                    if s[i] != READWRITE_KIND {
+                        ok[i] = false;
+                    }
+                    READWRITE_KIND
+                }
+            };
+            if singleton(kind) {
+                kinds[i] |= kind;
+            } else {
+                ok[i] = false;
+            }
+        });
+    }
+    // A register qualifies when every access was a singleton and at least
+    // two distinct kinds collide in the slot.
+    let mut remap: Vec<Option<[Option<Reg>; 3]>> = vec![None; n_regs];
+    let mut next = n_regs as u32;
+    let slot = |kind: u8| match kind {
+        INT => 0,
+        FLOAT => 1,
+        _ => 2,
+    };
+    let mut any = false;
+    for i in num_vars..n_regs {
+        if !ok[i] || kinds[i].count_ones() < 2 {
+            continue;
+        }
+        let mut m: [Option<Reg>; 3] = [None; 3];
+        let mut first = true;
+        for kind in [INT, FLOAT, BOOL] {
+            if kinds[i] & kind != 0 {
+                if first {
+                    // The first kind keeps the original slot.
+                    m[slot(kind)] = Some(Reg(i as u32));
+                    first = false;
+                } else {
+                    m[slot(kind)] = Some(Reg(next));
+                    next += 1;
+                }
+            }
+        }
+        remap[i] = Some(m);
+        any = true;
+    }
+    if !any {
+        return None;
+    }
+    let mut p = program.clone();
+    for (pc, instr) in p.code.iter_mut().enumerate() {
+        let Some(s) = &states[pc] else { continue };
+        let we = write_effect(*instr, s, program.consts(), bufs);
+        for_each_reg_role(instr, &mut |r, role| {
+            let i = r.index();
+            let Some(m) = remap.get(i).and_then(|m| m.as_ref()) else { return };
+            let kind = match role {
+                Role::Read => s[i],
+                Role::Write => match we {
+                    Some((d, b)) if d.index() == i => b,
+                    _ => unreachable!("write position without a write effect"),
+                },
+                Role::ReadWrite => READWRITE_KIND,
+            };
+            *r = m[slot(kind)].expect("every access kind was mapped");
+        });
+    }
+    p.num_regs = next as usize;
+    Some(p)
+}
+
+/// Rewrite proven-monomorphic instructions of a compiled (and typically
+/// already peephole-fused) program into their typed forms, recording the
+/// statically-typed destination registers in [`Program::pretags`].
+///
+/// Temps whose LIFO slot mixes types are first split per type (see
+/// [`split_conflicting_temps`]); the rewrite itself is 1:1 — same
+/// instruction count, same jump targets, same
+/// [`crate::interp::ExecStats`] — so typed and generic dispatch are
+/// differential-testable bit for bit.  `bufs` must be the buffer set the
+/// program was compiled against (it seeds the load/store element types).
+pub fn specialize(program: &Program, bufs: &BufferSet, stats: &mut OptStats) -> Program {
+    let states = infer(program, bufs);
+    let (split, states) = match split_conflicting_temps(program, bufs, &states) {
+        Some(p) => {
+            let st = infer(&p, bufs);
+            (p, st)
+        }
+        None => (program.clone(), states),
+    };
+    let program = &split;
+    let code = program.code();
+    let consts = program.consts();
+
+    // Global write kinds and possibly-unset reads, over reachable code.
+    let mut written: Vec<u8> = vec![0; program.num_regs()];
+    let mut unset_read: Vec<bool> = vec![false; program.num_regs()];
+    for (pc, instr) in code.iter().enumerate() {
+        let Some(s) = &states[pc] else { continue };
+        if let Some((dst, bits)) = write_effect(*instr, s, consts, bufs) {
+            written[dst.index()] |= bits;
+        }
+        for_each_read(*instr, &mut |r| {
+            if s[r.index()] & UNSET != 0 {
+                unset_read[r.index()] = true;
+            }
+        });
+    }
+    // A register is statically typed when every write gives it the same
+    // single value kind and no read can observe it unset.
+    let global: Vec<Option<LaneTag>> = written
+        .iter()
+        .zip(&unset_read)
+        .map(|(&bits, &unset)| match (bits, unset) {
+            (b, false) if b == INT => Some(LaneTag::Int),
+            (b, false) if b == FLOAT => Some(LaneTag::Float),
+            (b, false) if b == BOOL => Some(LaneTag::Bool),
+            _ => None,
+        })
+        .collect();
+    let dst_ok = |r: Reg, t: LaneTag| global[r.index()] == Some(t);
+
+    let mut new_code = Vec::with_capacity(code.len());
+    let mut typed_dsts: Vec<(Reg, LaneTag)> = Vec::new();
+    let mut typed = 0u64;
+    for (pc, &instr) in code.iter().enumerate() {
+        let Some(s) = &states[pc] else {
+            new_code.push(instr);
+            continue;
+        };
+        let exact = |r: Reg, bit: u8| s[r.index()] == bit;
+        let kind = |b| buf_bits(bufs.get(b));
+        let mut pin = |r: Reg, t: LaneTag| {
+            if !typed_dsts.contains(&(r, t)) {
+                typed_dsts.push((r, t));
+            }
+        };
+        let rewritten = match instr {
+            Instr::Const { dst, cidx } => match consts[cidx as usize] {
+                Value::Int(imm) if dst_ok(dst, LaneTag::Int) => {
+                    pin(dst, LaneTag::Int);
+                    Some(Instr::ConstI { dst, imm })
+                }
+                Value::Float(imm) if dst_ok(dst, LaneTag::Float) => {
+                    pin(dst, LaneTag::Float);
+                    Some(Instr::ConstF { dst, imm })
+                }
+                _ => None,
+            },
+            Instr::Mov { dst, src } if exact(src, INT) && dst_ok(dst, LaneTag::Int) => {
+                pin(dst, LaneTag::Int);
+                Some(Instr::IMov { dst, src })
+            }
+            Instr::Mov { dst, src } if exact(src, FLOAT) && dst_ok(dst, LaneTag::Float) => {
+                pin(dst, LaneTag::Float);
+                Some(Instr::FMov { dst, src })
+            }
+            Instr::BufLen { dst, buf } if dst_ok(dst, LaneTag::Int) => {
+                pin(dst, LaneTag::Int);
+                Some(Instr::ILen { dst, buf })
+            }
+            Instr::CoerceInt { reg } if exact(reg, INT) => Some(Instr::Nop),
+            Instr::Load { dst, buf, idx } if exact(idx, INT) => match bufs.get(buf) {
+                Buffer::I64(_) if dst_ok(dst, LaneTag::Int) => {
+                    pin(dst, LaneTag::Int);
+                    Some(Instr::LoadI64 { dst, buf, idx })
+                }
+                Buffer::F64(_) if dst_ok(dst, LaneTag::Float) => {
+                    pin(dst, LaneTag::Float);
+                    Some(Instr::LoadF64 { dst, buf, idx })
+                }
+                Buffer::U8(_) if dst_ok(dst, LaneTag::Float) => {
+                    pin(dst, LaneTag::Float);
+                    Some(Instr::LoadU8 { dst, buf, idx })
+                }
+                _ => None,
+            },
+            Instr::Store { buf, idx, val, reduce }
+                if exact(idx, INT) && exact(val, FLOAT) && is_arith_reduce(reduce) =>
+            {
+                match bufs.get(buf) {
+                    Buffer::F64(_) => Some(Instr::StoreF64 { buf, idx, val, reduce }),
+                    Buffer::U8(_) => Some(Instr::StoreU8 { buf, idx, val, reduce }),
+                    _ => None,
+                }
+            }
+            Instr::Append { buf, val } if exact(val, INT) && kind(buf) == INT => {
+                Some(Instr::IAppend { buf, val })
+            }
+            Instr::Append { buf, val } if exact(val, FLOAT) && kind(buf) == FLOAT => {
+                Some(Instr::FAppend { buf, val })
+            }
+            Instr::Unary { op: UnOp::Round, dst, src }
+                if exact(src, FLOAT) && dst_ok(dst, LaneTag::Float) =>
+            {
+                pin(dst, LaneTag::Float);
+                Some(Instr::FRound { dst, src })
+            }
+            Instr::Binary { op, dst, lhs, rhs }
+                if exact(lhs, INT)
+                    && exact(rhs, INT)
+                    && is_int_arith(op)
+                    && dst_ok(dst, LaneTag::Int) =>
+            {
+                pin(dst, LaneTag::Int);
+                Some(Instr::IArith { op, dst, lhs, rhs })
+            }
+            Instr::Binary { op, dst, lhs, rhs }
+                if exact(lhs, FLOAT)
+                    && exact(rhs, FLOAT)
+                    && is_float_arith(op)
+                    && dst_ok(dst, LaneTag::Float) =>
+            {
+                pin(dst, LaneTag::Float);
+                Some(Instr::FArith { op, dst, lhs, rhs })
+            }
+            Instr::BinaryImm { op, dst, lhs, cidx } => match consts[cidx as usize] {
+                Value::Int(imm)
+                    if exact(lhs, INT) && is_int_arith(op) && dst_ok(dst, LaneTag::Int) =>
+                {
+                    pin(dst, LaneTag::Int);
+                    Some(Instr::IArithImm { op, dst, lhs, imm })
+                }
+                Value::Float(imm)
+                    if exact(lhs, FLOAT) && is_float_arith(op) && dst_ok(dst, LaneTag::Float) =>
+                {
+                    pin(dst, LaneTag::Float);
+                    Some(Instr::FArithImm { op, dst, lhs, imm })
+                }
+                _ => None,
+            },
+            Instr::LoadBinary { op: BinOp::Mul, dst, lhs, buf, idx }
+                if exact(lhs, FLOAT)
+                    && exact(idx, INT)
+                    && matches!(bufs.get(buf), Buffer::F64(_))
+                    && dst_ok(dst, LaneTag::Float) =>
+            {
+                pin(dst, LaneTag::Float);
+                Some(Instr::FMulLoad { dst, lhs, buf, idx })
+            }
+            Instr::CmpBranch { op, lhs, rhs, target, .. } if exact(lhs, INT) && exact(rhs, INT) => {
+                Some(Instr::ICmpBranch { op, lhs, rhs, target })
+            }
+            Instr::CmpBranch { op, lhs, rhs, target, .. }
+                if exact(lhs, FLOAT) && exact(rhs, FLOAT) =>
+            {
+                Some(Instr::FCmpBranch { op, lhs, rhs, target })
+            }
+            Instr::CmpBranchImm { op, lhs, cidx, target, .. } => match consts[cidx as usize] {
+                Value::Int(imm) if exact(lhs, INT) => {
+                    Some(Instr::ICmpBranchImm { op, lhs, imm, target })
+                }
+                Value::Float(imm) if exact(lhs, FLOAT) => {
+                    Some(Instr::FCmpBranchImm { op, lhs, imm, target })
+                }
+                _ => None,
+            },
+            Instr::WhileCmp { op, lhs, rhs, end } if exact(lhs, INT) && exact(rhs, INT) => {
+                Some(Instr::IWhileCmp { op, lhs, rhs, end })
+            }
+            Instr::WhileCmp { op, lhs, rhs, end } if exact(lhs, FLOAT) && exact(rhs, FLOAT) => {
+                Some(Instr::FWhileCmp { op, lhs, rhs, end })
+            }
+            Instr::WhileCmpImm { op, lhs, cidx, end } => match consts[cidx as usize] {
+                Value::Int(imm) if exact(lhs, INT) => {
+                    Some(Instr::IWhileCmpImm { op, lhs, imm, end })
+                }
+                _ => None,
+            },
+            Instr::ForTest { counter, hi, var, end }
+                if exact(counter, INT) && exact(hi, INT) && dst_ok(var, LaneTag::Int) =>
+            {
+                pin(var, LaneTag::Int);
+                Some(Instr::IForTest { counter, hi, var, end })
+            }
+            Instr::Seek { dst, buf, lo, hi, key, on_abs }
+                if exact(lo, INT)
+                    && exact(hi, INT)
+                    && exact(key, INT)
+                    && matches!(bufs.get(buf), Buffer::I64(_))
+                    && dst_ok(dst, LaneTag::Int) =>
+            {
+                pin(dst, LaneTag::Int);
+                Some(Instr::ISeek { dst, buf, lo, hi, key, on_abs })
+            }
+            _ => None,
+        };
+        match rewritten {
+            Some(t) => {
+                typed += 1;
+                new_code.push(t);
+            }
+            None => new_code.push(instr),
+        }
+    }
+
+    stats.instrs_typed += typed;
+    stats.regs_pretagged += typed_dsts.len() as u64;
+    let mut p = program.clone();
+    p.code = new_code;
+    p.pretags = typed_dsts;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::interp::ExecStats;
+    use crate::stmt::Stmt;
+    use crate::var::Names;
+    use crate::vm::Vm;
+
+    fn specialize_checked(program: &Program, bufs: &BufferSet) -> (Program, OptStats) {
+        let mut stats = OptStats::default();
+        let typed = specialize(program, bufs, &mut stats);
+        typed.validate().expect("typed program validates");
+        assert_eq!(typed.code().len(), program.code().len(), "rewrite is 1:1");
+        (typed, stats)
+    }
+
+    /// Compile, peephole-fuse, specialize, then run generic and typed and
+    /// assert bit-identical buffers and work counters.
+    fn assert_typed_parity(prog: &[Stmt], names: &Names, bufs: &BufferSet) -> (Program, OptStats) {
+        let raw = Program::compile(prog, names);
+        let fused = crate::opt::peephole(&raw, &mut OptStats::default());
+        let (typed, stats) = specialize_checked(&fused, bufs);
+
+        let run = |p: &Program| -> (BufferSet, ExecStats) {
+            let mut bufs = bufs.clone();
+            let mut vm = Vm::new(p);
+            vm.run(p, &mut bufs).expect("program runs");
+            (bufs, vm.stats())
+        };
+        let (gen_bufs, gen_stats) = run(&fused);
+        let (typ_bufs, typ_stats) = run(&typed);
+        assert_eq!(gen_stats, typ_stats, "work counters diverge:\n{}", typed.disasm());
+        for (id, name, buf) in gen_bufs.iter() {
+            assert_eq!(buf, typ_bufs.get(id), "buffer {name} diverges:\n{}", typed.disasm());
+        }
+        (typed, stats)
+    }
+
+    /// The dense reducing loop: every hot instruction must go typed.
+    #[test]
+    fn dense_reduction_loop_is_fully_typed() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.5, 3.0, 4.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(3),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(x, Expr::Var(i)),
+                reduce: Some(BinOp::Add),
+            }],
+        }];
+        let (typed, stats) = assert_typed_parity(&prog, &names, &bufs);
+        assert!(stats.instrs_typed > 0, "{stats:?}");
+        assert!(stats.regs_pretagged > 0, "{stats:?}");
+        let has = |pred: &dyn Fn(&Instr) -> bool| typed.code().iter().any(pred);
+        assert!(has(&|i| matches!(i, Instr::IForTest { .. })), "\n{}", typed.disasm());
+        assert!(has(&|i| matches!(i, Instr::LoadF64 { .. })), "\n{}", typed.disasm());
+        assert!(has(&|i| matches!(i, Instr::StoreF64 { .. })), "\n{}", typed.disasm());
+        // Everything executed in the loop body is tag-free.
+        let dynamic: Vec<String> = typed
+            .code()
+            .iter()
+            .filter(|i| !i.is_tag_free())
+            .map(|i| i.opcode().to_string())
+            .collect();
+        assert!(dynamic.is_empty(), "dynamic leftovers {dynamic:?}:\n{}", typed.disasm());
+    }
+
+    /// The merge-loop shape: typed while heads, typed compares, typed
+    /// increments.
+    #[test]
+    fn merge_loop_types_the_while_head_and_increment() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let p = names.fresh("p");
+        let n = names.fresh("n");
+        let prog = vec![
+            Stmt::Let { var: p, init: Expr::int(0) },
+            Stmt::Let { var: n, init: Expr::int(4) },
+            Stmt::While {
+                cond: Expr::lt(Expr::Var(p), Expr::Var(n)),
+                body: vec![
+                    Stmt::Store {
+                        buf: out,
+                        index: Expr::int(0),
+                        value: Expr::load(x, Expr::Var(p)),
+                        reduce: Some(BinOp::Add),
+                    },
+                    Stmt::Assign { var: p, value: Expr::add(Expr::Var(p), Expr::int(1)) },
+                ],
+            },
+        ];
+        let (typed, _) = assert_typed_parity(&prog, &names, &bufs);
+        let has = |pred: &dyn Fn(&Instr) -> bool| typed.code().iter().any(pred);
+        assert!(has(&|i| matches!(i, Instr::IWhileCmp { .. })), "\n{}", typed.disasm());
+        assert!(
+            has(&|i| matches!(i, Instr::IArithImm { op: BinOp::Add, .. })),
+            "\n{}",
+            typed.disasm()
+        );
+    }
+
+    /// `coalesce(load@permit, 0.0)`-style code: the maybe-missing register
+    /// stays generic through the missing test, but the refined
+    /// post-coalesce value types again.
+    #[test]
+    fn coalesce_keeps_the_missing_path_generic() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let v = names.fresh("v");
+        let prog = vec![
+            Stmt::Let {
+                var: v,
+                init: Expr::Coalesce(vec![Expr::load(x, Expr::missing()), Expr::float(0.0)]),
+            },
+            Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::add(Expr::Var(v), Expr::float(1.0)),
+                reduce: None,
+            },
+        ];
+        let (typed, _) = assert_typed_parity(&prog, &names, &bufs);
+        // The load at a missing index stays generic...
+        assert!(typed.code().iter().any(|i| matches!(i, Instr::Load { .. })), "{}", typed.disasm());
+        // ...but v is Float on every path out of the coalesce, so the
+        // consumer arithmetic is typed.
+        assert!(
+            typed
+                .code()
+                .iter()
+                .any(|i| matches!(i, Instr::FArith { .. } | Instr::FArithImm { .. })),
+            "{}",
+            typed.disasm()
+        );
+    }
+
+    /// A register written with two different types must not be pretagged
+    /// or typed.
+    #[test]
+    fn mixed_type_register_stays_dynamic() {
+        let mut names = Names::new();
+        let bufs = BufferSet::new();
+        let v = names.fresh("v");
+        let w = names.fresh("w");
+        let prog = vec![
+            Stmt::Let { var: v, init: Expr::int(1) },
+            Stmt::Let { var: w, init: Expr::add(Expr::Var(v), Expr::int(1)) },
+            Stmt::Let { var: v, init: Expr::float(2.5) },
+            Stmt::Let { var: w, init: Expr::add(Expr::Var(v), Expr::float(1.0)) },
+        ];
+        let raw = Program::compile(&prog, &names);
+        let (typed, _) = specialize_checked(&raw, &bufs);
+        assert!(
+            typed.pretags().iter().all(|&(r, _)| r != Reg(0)),
+            "v must not be pretagged: {:?}\n{}",
+            typed.pretags(),
+            typed.disasm()
+        );
+        assert_typed_parity(&prog, &names, &bufs);
+    }
+
+    /// A LIFO temp slot reused with conflicting types (an index here, a
+    /// value there) is split into one register per type so both halves
+    /// specialize — the register file grows, the instruction count does
+    /// not, and semantics stay bit-identical.
+    #[test]
+    fn conflicting_temp_slots_are_split_and_fully_typed() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0, 0.0]));
+        let i = names.fresh("i");
+        // Two stores per iteration: each statement's temp tower reuses
+        // the same LIFO slots, alternating int (store index arithmetic)
+        // and float (loaded values) types in one slot.
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(3),
+            body: vec![
+                Stmt::Store {
+                    buf: out,
+                    index: Expr::int(0),
+                    value: Expr::load(x, Expr::Var(i)),
+                    reduce: Some(BinOp::Add),
+                },
+                Stmt::Store {
+                    buf: out,
+                    index: Expr::add(Expr::int(0), Expr::int(1)),
+                    value: Expr::mul(Expr::load(x, Expr::Var(i)), Expr::float(2.0)),
+                    reduce: Some(BinOp::Add),
+                },
+            ],
+        }];
+        let (typed, _) = assert_typed_parity(&prog, &names, &bufs);
+        let dynamic: Vec<String> = typed
+            .code()
+            .iter()
+            .filter(|i| !i.is_tag_free())
+            .map(|i| i.opcode().to_string())
+            .collect();
+        assert!(dynamic.is_empty(), "dynamic leftovers {dynamic:?}:\n{}", typed.disasm());
+    }
+
+    /// A register that could be read before its only write must not be
+    /// pretagged — the unbound-variable error must survive typing.
+    #[test]
+    fn possibly_unbound_reads_block_pretagging() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let flag = bufs.add("flag", Buffer::I64(vec![0]));
+        let v = names.fresh("v");
+        let w = names.fresh("w");
+        let prog = vec![
+            Stmt::If {
+                cond: Expr::eq(Expr::load(flag, Expr::int(0)), Expr::int(1)),
+                then_branch: vec![Stmt::Let { var: v, init: Expr::int(7) }],
+                else_branch: vec![],
+            },
+            // v is unset when the branch was not taken.
+            Stmt::Let { var: w, init: Expr::Var(v) },
+        ];
+        let raw = Program::compile(&prog, &names);
+        let (typed, _) = specialize_checked(&raw, &bufs);
+        assert!(
+            typed.pretags().iter().all(|&(r, _)| r != Reg(0)),
+            "v may be read unset and must not be pretagged: {:?}",
+            typed.pretags()
+        );
+        // Both programs still fault with the unbound-variable error.
+        for p in [&raw, &typed] {
+            let mut vm = Vm::new(p);
+            let err = vm.run(p, &mut bufs.clone()).unwrap_err();
+            assert!(
+                matches!(err, crate::error::RuntimeError::UnboundVariable { .. }),
+                "expected unbound error, got {err:?}"
+            );
+        }
+    }
+
+    /// Sparse assembly appends type to IAppend/FAppend and the seek of a
+    /// gallop kernel types to ISeek.
+    #[test]
+    fn appends_and_seeks_specialize() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let coords = bufs.add("coords", Buffer::I64(vec![1, 4, 9, 12]));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
+        let val = bufs.add("C_val", Buffer::F64(vec![]));
+        let p = names.fresh("p");
+        let prog = vec![
+            Stmt::Let {
+                var: p,
+                init: Expr::Search {
+                    buf: coords,
+                    lo: Box::new(Expr::int(0)),
+                    hi: Box::new(Expr::int(3)),
+                    key: Box::new(Expr::int(8)),
+                    on_abs: false,
+                },
+            },
+            Stmt::Append { buf: idx, value: Expr::Var(p) },
+            Stmt::Append { buf: val, value: Expr::float(1.5) },
+        ];
+        let (typed, _) = assert_typed_parity(&prog, &names, &bufs);
+        let has = |pred: &dyn Fn(&Instr) -> bool| typed.code().iter().any(pred);
+        assert!(has(&|i| matches!(i, Instr::ISeek { .. })), "\n{}", typed.disasm());
+        assert!(has(&|i| matches!(i, Instr::IAppend { .. })), "\n{}", typed.disasm());
+        assert!(has(&|i| matches!(i, Instr::FAppend { .. })), "\n{}", typed.disasm());
+    }
+
+    /// Golden disassembly of the typed dense loop: the full artifact the
+    /// specializer produces for the canonical reducing for-loop.
+    #[test]
+    fn golden_disasm_of_a_typed_reducing_for_loop() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0; 3]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(2),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(x, Expr::Var(i)),
+                reduce: Some(BinOp::Add),
+            }],
+        }];
+        let raw = Program::compile(&prog, &names);
+        let fused = crate::opt::peephole(&raw, &mut OptStats::default());
+        let (typed, _) = specialize_checked(&fused, &bufs);
+        let expected = "   0: stmt
+   1: t0 = const.i 0
+   2: nop
+   3: t1 = const.i 2
+   4: nop
+   5: for i = t0 while <= t1 (i64) else -> 12
+   6: stmt
+   7: t2 = const.i 0
+   8: nop
+   9: t3 = b0[i] (f64)
+  10: b1[t2] += t3 (f64)
+  11: step t0 -> 5
+";
+        assert_eq!(typed.disasm(), expected, "\ngeneric was:\n{}", fused.disasm());
+    }
+}

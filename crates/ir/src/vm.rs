@@ -12,7 +12,7 @@
 //! `tests/proptests.rs` at the workspace root).
 
 use crate::buffer::{BufId, Buffer, BufferSet};
-use crate::bytecode::{Instr, Program, Reg};
+use crate::bytecode::{Instr, LaneTag, Program, Reg};
 use crate::error::RuntimeError;
 use crate::expr::BinOp;
 use crate::interp::ExecStats;
@@ -80,6 +80,12 @@ impl Vm {
     pub fn with_step_budget(mut self, budget: u64) -> Self {
         self.step_budget = Some(budget);
         self
+    }
+
+    /// Set or clear the step budget in place (used by the persistent VM
+    /// that `finch`'s `CompiledKernel` keeps across reruns).
+    pub fn set_step_budget(&mut self, budget: Option<u64>) {
+        self.step_budget = budget;
     }
 
     /// The work counters accumulated so far.
@@ -191,9 +197,60 @@ impl Vm {
     /// when the step budget is exceeded — the same faults, in the same
     /// order, as the tree-walking interpreter.
     pub fn run(&mut self, program: &Program, bufs: &mut BufferSet) -> Result<(), RuntimeError> {
+        self.dispatch::<false>(program, bufs, &mut [])
+    }
+
+    /// Execute the program while counting how many times each instruction
+    /// (by its absolute pc) was dispatched.  The returned vector is
+    /// indexed by pc; the benchmark harness uses it to compute the
+    /// executed-typed-instruction fraction and the per-opcode histogram.
+    /// Semantics and [`ExecStats`] are identical to [`Vm::run`] — only
+    /// the (untimed) bookkeeping differs.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Vm::run`].
+    pub fn run_profiled(
+        &mut self,
+        program: &Program,
+        bufs: &mut BufferSet,
+    ) -> Result<Vec<u64>, RuntimeError> {
+        let mut counts = vec![0u64; program.code().len()];
+        self.dispatch::<true>(program, bufs, &mut counts)?;
+        Ok(counts)
+    }
+
+    /// Pin the tags of statically-typed registers ([`Program::pretags`])
+    /// so the typed instructions can skip tag maintenance entirely while
+    /// generic instructions reading those registers still observe a
+    /// correct tag.  Sound because the typing pass only pretags registers
+    /// that are written with this one type on every path and never read
+    /// while possibly unset.
+    fn apply_pretags(&mut self, program: &Program) {
+        for &(r, t) in program.pretags() {
+            self.tags[r.index()] = match t {
+                LaneTag::Int => Tag::Int,
+                LaneTag::Float => Tag::Float,
+                LaneTag::Bool => Tag::Bool,
+            };
+        }
+    }
+
+    /// The dispatch loop, monomorphised over whether per-pc execution
+    /// counts are collected (so the hot non-profiled path pays nothing).
+    fn dispatch<const PROFILE: bool>(
+        &mut self,
+        program: &Program,
+        bufs: &mut BufferSet,
+        counts: &mut [u64],
+    ) -> Result<(), RuntimeError> {
+        self.apply_pretags(program);
         let code = program.code();
         let mut pc = 0usize;
         while let Some(instr) = code.get(pc) {
+            if PROFILE {
+                counts[pc] += 1;
+            }
             match *instr {
                 Instr::BumpStmt => {
                     self.stats.stmts += 1;
@@ -284,13 +341,7 @@ impl Vm {
                             let slot = &mut data[at as usize];
                             match reduce {
                                 None => *slot = x,
-                                Some(BinOp::Add) => *slot += x,
-                                Some(BinOp::Sub) => *slot -= x,
-                                Some(BinOp::Mul) => *slot *= x,
-                                Some(BinOp::Div) => *slot /= x,
-                                Some(BinOp::Min) => *slot = slot.min(x),
-                                Some(BinOp::Max) => *slot = slot.max(x),
-                                Some(_) => unreachable!("filtered by `arith`"),
+                                Some(op) => *slot = Self::float_arith(op, *slot, x),
                             }
                             pc += 1;
                             continue;
@@ -472,9 +523,274 @@ impl Vm {
                         }
                     }
                 }
+
+                // ---- Monomorphic typed instructions: unboxed lanes, no
+                // ---- tag reads or writes (register tags are pinned by
+                // ---- `apply_pretags`), identical ExecStats.
+                Instr::Nop => pc += 1,
+                Instr::ConstI { dst, imm } => {
+                    self.ints[dst.index()] = imm;
+                    pc += 1;
+                }
+                Instr::ConstF { dst, imm } => {
+                    self.floats[dst.index()] = imm;
+                    pc += 1;
+                }
+                Instr::IMov { dst, src } => {
+                    self.ints[dst.index()] = self.ints[src.index()];
+                    pc += 1;
+                }
+                Instr::FMov { dst, src } => {
+                    self.floats[dst.index()] = self.floats[src.index()];
+                    pc += 1;
+                }
+                Instr::ILen { dst, buf } => {
+                    self.ints[dst.index()] = bufs.get(buf).len() as i64;
+                    pc += 1;
+                }
+                Instr::LoadI64 { dst, buf, idx } => {
+                    let at = self.ints[idx.index()];
+                    match bufs.get(buf) {
+                        Buffer::I64(data) if at >= 0 && (at as usize) < data.len() => {
+                            self.stats.loads += 1;
+                            self.ints[dst.index()] = data[at as usize];
+                        }
+                        _ => {
+                            Self::check_bounds(buf, at, bufs)?;
+                            // Kind drift (a rebound buffer): generic load.
+                            let v = self.load_value(buf, idx, program, bufs)?;
+                            self.set(dst, v);
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::LoadF64 { dst, buf, idx } => {
+                    let at = self.ints[idx.index()];
+                    match bufs.get(buf) {
+                        Buffer::F64(data) if at >= 0 && (at as usize) < data.len() => {
+                            self.stats.loads += 1;
+                            self.floats[dst.index()] = data[at as usize];
+                        }
+                        _ => {
+                            Self::check_bounds(buf, at, bufs)?;
+                            let v = self.load_value(buf, idx, program, bufs)?;
+                            self.set(dst, v);
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::LoadU8 { dst, buf, idx } => {
+                    let at = self.ints[idx.index()];
+                    match bufs.get(buf) {
+                        Buffer::U8(data) if at >= 0 && (at as usize) < data.len() => {
+                            self.stats.loads += 1;
+                            self.floats[dst.index()] = data[at as usize] as f64;
+                        }
+                        _ => {
+                            Self::check_bounds(buf, at, bufs)?;
+                            let v = self.load_value(buf, idx, program, bufs)?;
+                            self.set(dst, v);
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::FMulLoad { dst, lhs, buf, idx } => {
+                    let at = self.ints[idx.index()];
+                    match bufs.get(buf) {
+                        Buffer::F64(data) if at >= 0 && (at as usize) < data.len() => {
+                            self.stats.loads += 1;
+                            self.floats[dst.index()] = self.floats[lhs.index()] * data[at as usize];
+                        }
+                        _ => {
+                            let loaded = self.load_value(buf, idx, program, bufs)?;
+                            self.binary_imm(BinOp::Mul, dst, lhs, loaded, program)?;
+                        }
+                    }
+                    pc += 1;
+                }
+                Instr::StoreF64 { buf, idx, val, reduce } => {
+                    let at = self.ints[idx.index()];
+                    Self::check_bounds(buf, at, bufs)?;
+                    self.stats.stores += 1;
+                    let x = self.floats[val.index()];
+                    if let Buffer::F64(data) = bufs.get_mut(buf) {
+                        let slot = &mut data[at as usize];
+                        match reduce {
+                            None => *slot = x,
+                            Some(op) => *slot = Self::float_arith(op, *slot, x),
+                        }
+                    } else {
+                        // Kind drift: fall back to the boxed store.
+                        bufs.get_mut(buf).store(at as usize, Value::Float(x), reduce)?;
+                    }
+                    pc += 1;
+                }
+                Instr::StoreU8 { buf, idx, val, reduce } => {
+                    let at = self.ints[idx.index()];
+                    Self::check_bounds(buf, at, bufs)?;
+                    self.stats.stores += 1;
+                    let x = self.floats[val.index()];
+                    if let Buffer::U8(data) = bufs.get_mut(buf) {
+                        let slot = &mut data[at as usize];
+                        // Reductions combine in f64 against the loaded
+                        // element, then clamp-round — exactly
+                        // `Buffer::store` on a float value.
+                        let combined = match reduce {
+                            None => x,
+                            Some(op) => Self::float_arith(op, *slot as f64, x),
+                        };
+                        *slot = combined.clamp(0.0, 255.0).round() as u8;
+                    } else {
+                        bufs.get_mut(buf).store(at as usize, Value::Float(x), reduce)?;
+                    }
+                    pc += 1;
+                }
+                Instr::IAppend { buf, val } => {
+                    self.stats.stores += 1;
+                    let x = self.ints[val.index()];
+                    match bufs.get_mut(buf) {
+                        Buffer::I64(data) => data.push(x),
+                        other => other.push(Value::Int(x))?,
+                    }
+                    pc += 1;
+                }
+                Instr::FAppend { buf, val } => {
+                    self.stats.stores += 1;
+                    let x = self.floats[val.index()];
+                    match bufs.get_mut(buf) {
+                        Buffer::F64(data) => data.push(x),
+                        other => other.push(Value::Float(x))?,
+                    }
+                    pc += 1;
+                }
+                Instr::IArith { op, dst, lhs, rhs } => {
+                    let (x, y) = (self.ints[lhs.index()], self.ints[rhs.index()]);
+                    self.ints[dst.index()] = Self::int_arith(op, x, y);
+                    pc += 1;
+                }
+                Instr::FArith { op, dst, lhs, rhs } => {
+                    let (x, y) = (self.floats[lhs.index()], self.floats[rhs.index()]);
+                    self.floats[dst.index()] = Self::float_arith(op, x, y);
+                    pc += 1;
+                }
+                Instr::IArithImm { op, dst, lhs, imm } => {
+                    let x = self.ints[lhs.index()];
+                    self.ints[dst.index()] = Self::int_arith(op, x, imm);
+                    pc += 1;
+                }
+                Instr::FArithImm { op, dst, lhs, imm } => {
+                    let x = self.floats[lhs.index()];
+                    self.floats[dst.index()] = Self::float_arith(op, x, imm);
+                    pc += 1;
+                }
+                Instr::FRound { dst, src } => {
+                    // Exactly `Value::unop(UnOp::Round, _)` on a float.
+                    self.floats[dst.index()] = self.floats[src.index()].round().clamp(0.0, 255.0);
+                    pc += 1;
+                }
+                Instr::ICmpBranch { op, lhs, rhs, target } => {
+                    if Self::cmp_int(op, self.ints[lhs.index()], self.ints[rhs.index()]) {
+                        pc += 1;
+                    } else {
+                        pc = target as usize;
+                    }
+                }
+                Instr::ICmpBranchImm { op, lhs, imm, target } => {
+                    if Self::cmp_int(op, self.ints[lhs.index()], imm) {
+                        pc += 1;
+                    } else {
+                        pc = target as usize;
+                    }
+                }
+                Instr::FCmpBranch { op, lhs, rhs, target } => {
+                    if Self::cmp_f64(op, self.floats[lhs.index()], self.floats[rhs.index()]) {
+                        pc += 1;
+                    } else {
+                        pc = target as usize;
+                    }
+                }
+                Instr::FCmpBranchImm { op, lhs, imm, target } => {
+                    if Self::cmp_f64(op, self.floats[lhs.index()], imm) {
+                        pc += 1;
+                    } else {
+                        pc = target as usize;
+                    }
+                }
+                Instr::IWhileCmp { op, lhs, rhs, end } => {
+                    if Self::cmp_int(op, self.ints[lhs.index()], self.ints[rhs.index()]) {
+                        self.stats.loop_iters += 1;
+                        pc += 1;
+                    } else {
+                        pc = end as usize;
+                    }
+                }
+                Instr::IWhileCmpImm { op, lhs, imm, end } => {
+                    if Self::cmp_int(op, self.ints[lhs.index()], imm) {
+                        self.stats.loop_iters += 1;
+                        pc += 1;
+                    } else {
+                        pc = end as usize;
+                    }
+                }
+                Instr::FWhileCmp { op, lhs, rhs, end } => {
+                    if Self::cmp_f64(op, self.floats[lhs.index()], self.floats[rhs.index()]) {
+                        self.stats.loop_iters += 1;
+                        pc += 1;
+                    } else {
+                        pc = end as usize;
+                    }
+                }
+                Instr::IForTest { counter, hi, var, end } => {
+                    let i = self.ints[counter.index()];
+                    if i <= self.ints[hi.index()] {
+                        self.stats.loop_iters += 1;
+                        self.ints[var.index()] = i;
+                        pc += 1;
+                    } else {
+                        pc = end as usize;
+                    }
+                }
+                Instr::ISeek { dst, buf, lo, hi, key, on_abs } => {
+                    let lo = self.ints[lo.index()];
+                    let hi = self.ints[hi.index()];
+                    let key = self.ints[key.index()];
+                    self.stats.searches += 1;
+                    let pos = self.binary_search(buf, lo, hi, key, on_abs, bufs)?;
+                    self.ints[dst.index()] = pos;
+                    pc += 1;
+                }
             }
         }
         Ok(())
+    }
+
+    /// The infallible integer arithmetic subset the typed [`Instr::IArith`]
+    /// forms execute — exactly [`Vm::int_binop`]'s arms for these ops.
+    #[inline]
+    fn int_arith(op: BinOp, x: i64, y: i64) -> i64 {
+        match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            other => unreachable!("{other:?} is not a typed int arithmetic op"),
+        }
+    }
+
+    /// The float arithmetic subset the typed [`Instr::FArith`] forms
+    /// execute — exactly [`Vm::float_binop`]'s arms for these ops.
+    #[inline]
+    fn float_arith(op: BinOp, x: f64, y: f64) -> f64 {
+        match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            other => unreachable!("{other:?} is not a typed float arithmetic op"),
+        }
     }
 
     /// The single implementation of load semantics, shared by
@@ -709,8 +1025,9 @@ impl Vm {
         Ok(())
     }
 
-    /// Lower-bound binary search over `buf[lo..=hi]`, identical to the
-    /// interpreter's: one bounds check and one counted load per probe.
+    /// Lower-bound search over `buf[lo..=hi]`, identical to the
+    /// interpreter's: the shared galloping search ([`crate::seek`]), one
+    /// bounds check and one counted load per probe.
     fn binary_search(
         &mut self,
         buf: BufId,
@@ -720,23 +1037,9 @@ impl Vm {
         on_abs: bool,
         bufs: &BufferSet,
     ) -> Result<i64, RuntimeError> {
-        let mut lo = lo;
-        let mut hi = hi + 1; // exclusive
-        while lo < hi {
-            let mid = lo + (hi - lo) / 2;
-            Self::check_bounds(buf, mid, bufs)?;
-            self.stats.loads += 1;
-            let mut v = bufs.get(buf).load(mid as usize).as_int()?;
-            if on_abs {
-                v = v.abs();
-            }
-            if v < key {
-                lo = mid + 1;
-            } else {
-                hi = mid;
-            }
-        }
-        Ok(lo)
+        let (pos, probes) = crate::seek::lower_bound(bufs, buf, lo, hi, key, on_abs)?;
+        self.stats.loads += probes;
+        Ok(pos)
     }
 }
 
@@ -1168,6 +1471,47 @@ mod tests {
         vm.reset();
         assert_eq!(vm.stats(), ExecStats::default());
         assert_eq!(vm.var_value(a), None);
+    }
+
+    #[test]
+    fn run_profiled_counts_every_dispatch_with_identical_semantics() {
+        let mut names = Names::new();
+        let mut bufs = BufferSet::new();
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let i = names.fresh("i");
+        let prog = vec![Stmt::For {
+            var: i,
+            lo: Expr::int(0),
+            hi: Expr::int(3),
+            body: vec![Stmt::Store {
+                buf: out,
+                index: Expr::int(0),
+                value: Expr::load(x, Expr::Var(i)),
+                reduce: Some(BinOp::Add),
+            }],
+        }];
+        let program = Program::compile(&prog, &names);
+        let mut plain = Vm::new(&program);
+        plain.run(&program, &mut bufs.clone()).unwrap();
+        let mut profiled = Vm::new(&program);
+        let mut bufs2 = bufs.clone();
+        let counts = profiled.run_profiled(&program, &mut bufs2).unwrap();
+        assert_eq!(plain.stats(), profiled.stats(), "profiling must not change semantics");
+        assert_eq!(counts.len(), program.code().len());
+        assert_eq!(bufs2.get(out).load(0), Value::Float(10.0));
+        // The loop head runs 5 times (4 iterations + the failing test);
+        // the body store runs 4 times; the prologue once.
+        let total: u64 = counts.iter().sum();
+        assert!(total > 0);
+        for (pc, instr) in program.code().iter().enumerate() {
+            match instr {
+                Instr::ForTest { .. } => assert_eq!(counts[pc], 5),
+                Instr::Store { .. } => assert_eq!(counts[pc], 4),
+                Instr::Const { .. } if pc < 5 => assert_eq!(counts[pc], 1),
+                _ => {}
+            }
+        }
     }
 
     #[test]

@@ -28,30 +28,53 @@ pub fn assert_engine_parity(kernel: &mut CompiledKernel, what: &str) {
     }
 }
 
-/// Differential-test a kernel across every [`OptLevel`] and both engines:
-/// outputs must be bit-identical for all six (level, engine) combinations,
-/// and at each level the two engines must agree on the `ExecStats` work
-/// counters exactly.  (The counters may legitimately *shrink* as the level
-/// rises — that is what the optimiser is for — so they are only compared
-/// across engines, never across levels.)
+/// Differential-test a kernel across every [`OptLevel`], both engines,
+/// **and** both dispatch modes of the bytecode engine (typed and
+/// generic): outputs must be bit-identical for every combination, at each
+/// level the two engines must agree on the `ExecStats` work counters
+/// exactly, and at each level typed and generic dispatch must agree on
+/// both outputs and counters exactly (the typing stage is a 1:1 rewrite —
+/// it may not change any counter).  (The counters may legitimately
+/// *shrink* as the level rises — that is what the optimiser is for — so
+/// they are only compared across engines and dispatch modes, never across
+/// levels.)
 pub fn assert_opt_level_parity(kernel: &CompiledKernel, what: &str) {
-    let mut reference: Option<Vec<(String, Vec<u64>)>> = None;
+    /// Bit-patterns of every output, keyed by output name.
+    type OutputBits = Vec<(String, Vec<u64>)>;
+    let mut reference: Option<OutputBits> = None;
     for level in OptLevel::all() {
-        let mut k = kernel.reoptimized(level);
-        assert_eq!(k.opt_level(), level);
-        assert_engine_parity(&mut k, &format!("{what} at {level}"));
-        let outs: Vec<(String, Vec<u64>)> = k
-            .output_names()
-            .into_iter()
-            .map(|n| {
-                let bits = k.output(&n).unwrap().iter().map(|x| x.to_bits()).collect();
-                (n, bits)
-            })
-            .collect();
+        let mut per_dispatch: Vec<(bool, looplets_repro::finch::ExecStats, OutputBits)> =
+            Vec::new();
+        for typed in [true, false] {
+            let mut k = kernel.reoptimized_typed(level, typed);
+            assert_eq!(k.opt_level(), level);
+            assert_eq!(k.typed_dispatch(), typed);
+            assert_engine_parity(&mut k, &format!("{what} at {level} (typed={typed})"));
+            let stats = k.run_with(Engine::Bytecode).expect("bytecode runs");
+            let outs: Vec<(String, Vec<u64>)> = k
+                .output_names()
+                .into_iter()
+                .map(|n| {
+                    let bits = k.output(&n).unwrap().iter().map(|x| x.to_bits()).collect();
+                    (n, bits)
+                })
+                .collect();
+            per_dispatch.push((typed, stats, outs));
+        }
+        let (_, typed_stats, typed_outs) = &per_dispatch[0];
+        let (_, generic_stats, generic_outs) = &per_dispatch[1];
+        assert_eq!(
+            typed_stats, generic_stats,
+            "{what} at {level}: typed dispatch changed the work counters"
+        );
+        assert_eq!(
+            typed_outs, generic_outs,
+            "{what} at {level}: typed dispatch changed the outputs"
+        );
         match &reference {
-            None => reference = Some(outs),
+            None => reference = Some(typed_outs.clone()),
             Some(r) => {
-                assert_eq!(r, &outs, "{what}: outputs diverge between opt levels at {level}");
+                assert_eq!(r, typed_outs, "{what}: outputs diverge between opt levels at {level}");
             }
         }
     }

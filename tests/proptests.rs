@@ -291,6 +291,52 @@ proptest! {
         assert_opt_level_parity(&k, "sparse-output multiply");
     }
 
+    /// Typed vs generic dispatch on random sparse-output kernels: the raw
+    /// assembled `pos`/`idx`/`val` arrays and the `ExecStats` work
+    /// counters must be bit-identical at every opt level, on both engines
+    /// (tree-walk never sees typed bytecode, so it anchors both modes).
+    #[test]
+    fn typed_dispatch_preserves_assembled_sparse_outputs(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        use looplets_repro::finch::{Engine, Level, OptLevel};
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a = Tensor::sparse_list_vector("A", a_data);
+        let b = Tensor::sparse_list_vector("B", b_data);
+        let mut kernel = Kernel::new();
+        kernel
+            .bind_input(&a)
+            .bind_input(&b)
+            .bind_output_format("C", &[LevelSpec::SparseList { size: n }]);
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+        );
+        let k = kernel.compile(&program).expect("sparse multiply compiles");
+        let raw_level = |k: &mut looplets_repro::finch::CompiledKernel| {
+            let stats = k.run_with(Engine::Bytecode).expect("bytecode runs");
+            let t = k.output_tensor("C").expect("sparse output finalizes");
+            let (pos, idx, val) = match &t.levels()[0] {
+                Level::SparseList { pos, idx, .. } => {
+                    let bits: Vec<u64> = t.values().iter().map(|v| v.to_bits()).collect();
+                    (pos.clone(), idx.clone(), bits)
+                }
+                other => panic!("expected a sparse list level, got {other:?}"),
+            };
+            (stats, pos, idx, val)
+        };
+        for level in OptLevel::all() {
+            let mut typed = k.reoptimized_typed(level, true);
+            let mut generic = k.reoptimized_typed(level, false);
+            let t = raw_level(&mut typed);
+            let g = raw_level(&mut generic);
+            prop_assert_eq!(t, g, "typed vs generic diverge at {}", level);
+        }
+    }
+
     #[test]
     fn engines_are_bit_identical_for_any_spmv_kernel(
         data in structured_vector(72),
