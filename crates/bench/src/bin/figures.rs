@@ -9,6 +9,7 @@
 //! cargo run --release -p finch-bench --bin figures -- --fig 8     # one figure
 //! cargo run --release -p finch-bench --bin figures -- --tiny      # CI smoke sizes
 //! cargo run --release -p finch-bench --bin figures -- --json out.json
+//! cargo run --release -p finch-bench --bin figures -- --validate  # per-pass validation timings
 //! # Re-run one engine/opt-level/dispatch combination in isolation:
 //! cargo run --release -p finch-bench --bin figures -- --fig 1 --engine bytecode --opt none
 //! cargo run --release -p finch-bench --bin figures -- --engine bytecode --opt default --typed off
@@ -22,12 +23,17 @@
 //! register-type-inference comparison).  Passing `--engine`, `--opt`
 //! and/or `--typed on|off` restricts the measured combinations.  Every
 //! measurement is appended to a machine-readable JSON report
-//! (`BENCH_figures.json` by default, schema v3) including instruction
+//! (`BENCH_figures.json` by default, schema v4) including instruction
 //! counts, per-pass optimiser counters, the executed
 //! `typed_instr_fraction` from one untimed profiled run per variant (plus
 //! a per-opcode execution histogram in debug builds), and the optimiser
 //! compile time per variant — which is also guarded by a hard assert so
-//! new passes cannot silently blow up compilation latency.  See
+//! new passes cannot silently blow up compilation latency.  With
+//! `--validate`, each variant is additionally re-compiled under
+//! `ValidationLevel::Full` (post-pass verification plus witness-based
+//! translation validation), the per-pass transform/verify/validate
+//! wall-clock split is emitted under a `validation` key, and the
+//! compile-plus-validate time is held to the same latency budget.  See
 //! EXPERIMENTS.md for the schema.
 //!
 //! Figure S (sparse output assembly) additionally smoke-checks assembly
@@ -38,9 +44,10 @@
 
 use std::time::Instant;
 
-use finch::{Engine, OptLevel};
+use finch::{Engine, OptLevel, ValidationLevel};
 use finch_bench::report::{
-    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, TypedSpeedup, VariantReport,
+    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, TypedSpeedup, ValidationReport,
+    VariantReport,
 };
 use finch_bench::*;
 
@@ -165,6 +172,30 @@ fn table(
         );
         let opt = OptReport { compile_seconds, stats: rederived.opt_stats() };
 
+        // With `--validate`, re-derive the same kernel once more under
+        // full translation validation and record the per-pass wall-clock
+        // split.  The whole compile *including* validation must stay
+        // within the same latency budget.
+        let validation = if flag("--validate") {
+            let start = Instant::now();
+            let validated = rederived
+                .revalidated(ValidationLevel::Full)
+                .expect("validated re-compilation of a working kernel succeeds");
+            let validate_seconds = start.elapsed().as_secs_f64();
+            assert!(
+                validate_seconds < COMPILE_BUDGET_SECONDS,
+                "compiling `{}` with full validation took {validate_seconds:.3}s \
+                 (budget {COMPILE_BUDGET_SECONDS}s)",
+                v.label
+            );
+            Some(ValidationReport {
+                level: validated.validation().label().to_string(),
+                passes: validated.pass_reports().to_vec(),
+            })
+        } else {
+            None
+        };
+
         // One untimed profiled run of the typed kernel: the fraction of
         // executed instructions that are tag-free, and (in debug builds)
         // the per-opcode execution histogram.
@@ -225,6 +256,7 @@ fn table(
         records.push(VariantReport {
             label: v.label.clone(),
             opt: Some(opt),
+            validation,
             typed_instr_fraction,
             opcode_counts,
             engines,

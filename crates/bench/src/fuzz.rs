@@ -1,0 +1,488 @@
+//! Random-kernel differential fuzzing with a delta-debugging minimizer.
+//!
+//! [`gen_case`] draws a random CIN kernel — a handful of independent
+//! accumulation statements over two shared input vectors in random formats
+//! and protocols — and [`check_case`] executes it through **every**
+//! `(engine, opt level, typed dispatch)` combination, asserting bit-identical
+//! outputs everywhere plus engine-identical [`finch::ExecStats`] at each
+//! configuration.  Any divergence is a miscompile in some stage of the
+//! pipeline.  [`minimize`] then shrinks the offending case with greedy
+//! delta debugging over its statement list, and [`render_repro`] prints the
+//! minimized case as a runnable `#[test]` the bug can be replayed from.
+//!
+//! The `fuzz-kernels` binary drives this module from the command line (and
+//! from CI's smoke job); the unit tests below drive it with an injected
+//! bug to prove the minimizer converges.
+
+use finch::{CompileError, Engine, Kernel, LevelSpec, OptLevel, Tensor, ValidationLevel};
+use finch_baseline::datagen;
+use finch_cin::build::*;
+use finch_cin::{CinStmt, IndexVar, Protocol};
+use proptest::test_runner::TestRng;
+
+/// The storage format of one fuzzed input vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VecFormat {
+    /// A plain dense vector.
+    Dense,
+    /// A `pos`/`idx`/`val` sparse list.
+    SparseList,
+    /// A contiguous band from the first to the last nonzero.
+    Band,
+}
+
+impl VecFormat {
+    /// Materialise `data` as a tensor named `name` in this format.
+    pub fn build(self, name: &str, data: &[f64]) -> Tensor {
+        match self {
+            VecFormat::Dense => Tensor::dense_vector(name, data),
+            VecFormat::SparseList => Tensor::sparse_list_vector(name, data),
+            VecFormat::Band => Tensor::band_vector(name, data),
+        }
+    }
+
+    /// Rust source for the reproducer rendering.
+    fn src(self) -> &'static str {
+        match self {
+            VecFormat::Dense => "VecFormat::Dense",
+            VecFormat::SparseList => "VecFormat::SparseList",
+            VecFormat::Band => "VecFormat::Band",
+        }
+    }
+}
+
+/// One independent CIN statement of a fuzzed kernel.  Every variant
+/// accumulates into its own output (named after its position in the case),
+/// so statements can be deleted freely during minimization without
+/// invalidating the rest of the kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StmtSpec {
+    /// `C{k}[] += A[i] * B[i]` — a reduction to a scalar.
+    Dot {
+        /// Iteration protocol for `A`.
+        pa: Protocol,
+        /// Iteration protocol for `B`.
+        pb: Protocol,
+    },
+    /// `y{k}[i] += A[i] * s` — a scaled copy into a dense output.
+    Axpy {
+        /// Iteration protocol for `A`.
+        pa: Protocol,
+        /// The scale factor, in quarters (`s = quarters / 4`), kept
+        /// exactly representable.
+        quarters: i16,
+    },
+    /// `y{k}[i] += A[i] * B[i]` — an elementwise multiply into a dense
+    /// output.
+    EwiseMul {
+        /// Iteration protocol for `A`.
+        pa: Protocol,
+        /// Iteration protocol for `B`.
+        pb: Protocol,
+    },
+    /// `S{k}[i] = A[i] where A[i] > t` — a sieve appending into a
+    /// sparse-list output (`t = tenths / 10`).
+    Threshold {
+        /// The threshold, in tenths.
+        tenths: u8,
+    },
+    /// `y{k}[i] += 0.75·A[i] + 0.25·B[i]` — a blend into a dense output.
+    Blend,
+}
+
+impl StmtSpec {
+    fn src(self) -> String {
+        let p = |p: Protocol| match p {
+            Protocol::Default => "Protocol::Default",
+            Protocol::Walk => "Protocol::Walk",
+            Protocol::Gallop => "Protocol::Gallop",
+            Protocol::Locate => "Protocol::Locate",
+        };
+        match self {
+            StmtSpec::Dot { pa, pb } => format!("StmtSpec::Dot {{ pa: {}, pb: {} }}", p(pa), p(pb)),
+            StmtSpec::Axpy { pa, quarters } => {
+                format!("StmtSpec::Axpy {{ pa: {}, quarters: {quarters} }}", p(pa))
+            }
+            StmtSpec::EwiseMul { pa, pb } => {
+                format!("StmtSpec::EwiseMul {{ pa: {}, pb: {} }}", p(pa), p(pb))
+            }
+            StmtSpec::Threshold { tenths } => format!("StmtSpec::Threshold {{ tenths: {tenths} }}"),
+            StmtSpec::Blend => "StmtSpec::Blend".to_string(),
+        }
+    }
+}
+
+/// One fuzzed kernel: the data seed, the shared input vectors' length and
+/// formats, and the statement list the CIN program is assembled from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// Seed for the deterministic input data.
+    pub seed: u64,
+    /// Length of both input vectors.
+    pub n: usize,
+    /// Storage format of input `A`.
+    pub a_format: VecFormat,
+    /// Storage format of input `B`.
+    pub b_format: VecFormat,
+    /// The kernel's statements, each accumulating into its own output.
+    pub stmts: Vec<StmtSpec>,
+}
+
+/// A detected miscompile: which configuration diverged and how.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The `(engine, opt level, typed)` combination (or `compile`).
+    pub combo: String,
+    /// What diverged.
+    pub detail: String,
+}
+
+fn protocol_index(p: Protocol, v: &IndexVar) -> finch_cin::IndexExpr {
+    match p {
+        Protocol::Gallop => v.gallop(),
+        Protocol::Walk => v.walk(),
+        Protocol::Locate => v.locate(),
+        Protocol::Default => v.clone().into(),
+    }
+}
+
+fn build_stmt(spec: StmtSpec, k: usize) -> CinStmt {
+    let i = idx("i");
+    match spec {
+        StmtSpec::Dot { pa, pb } => forall(
+            i.clone(),
+            add_assign(
+                scalar(format!("C{k}").as_str()),
+                mul(access("A", [protocol_index(pa, &i)]), access("B", [protocol_index(pb, &i)])),
+            ),
+        ),
+        StmtSpec::Axpy { pa, quarters } => forall(
+            i.clone(),
+            add_assign(
+                access(format!("y{k}").as_str(), [i.clone()]),
+                mul(access("A", [protocol_index(pa, &i)]), lit(quarters as f64 * 0.25)),
+            ),
+        ),
+        StmtSpec::EwiseMul { pa, pb } => forall(
+            i.clone(),
+            add_assign(
+                access(format!("y{k}").as_str(), [i.clone()]),
+                mul(access("A", [protocol_index(pa, &i)]), access("B", [protocol_index(pb, &i)])),
+            ),
+        ),
+        StmtSpec::Threshold { tenths } => forall(
+            i.clone(),
+            sieve(
+                gt(access("A", [i.clone()]), lit(tenths as f64 * 0.1)),
+                assign(access(format!("S{k}").as_str(), [i.clone()]), access("A", [i])),
+            ),
+        ),
+        StmtSpec::Blend => forall(
+            i.clone(),
+            add_assign(
+                access(format!("y{k}").as_str(), [i.clone()]),
+                add(mul(lit(0.75), access("A", [i.clone()])), mul(lit(0.25), access("B", [i]))),
+            ),
+        ),
+    }
+}
+
+/// Compile one fuzz case at the given validation level (typed dispatch and
+/// opt level come from the kernel defaults; [`check_case`] re-derives every
+/// other combination from the result).
+///
+/// # Errors
+///
+/// Propagates the [`CompileError`] — under validation, a
+/// [`CompileError::ValidationFailed`] here is itself a caught miscompile.
+pub fn compile_case(
+    case: &FuzzCase,
+    validation: ValidationLevel,
+) -> Result<finch::CompiledKernel, CompileError> {
+    let a_data = datagen::counted_sparse_vector(case.n, (case.n / 6).max(2), case.seed);
+    let b_data =
+        datagen::counted_sparse_vector(case.n, (case.n / 4).max(2), case.seed ^ 0x9E3779B9);
+    let a = case.a_format.build("A", &a_data);
+    let b = case.b_format.build("B", &b_data);
+    let mut kernel = Kernel::new();
+    kernel.bind_input(&a).bind_input(&b).set_validation(validation);
+    for (k, spec) in case.stmts.iter().enumerate() {
+        match spec {
+            StmtSpec::Dot { .. } => {
+                kernel.bind_output_scalar(format!("C{k}").as_str());
+            }
+            StmtSpec::Axpy { .. } | StmtSpec::EwiseMul { .. } | StmtSpec::Blend => {
+                kernel.bind_output(&format!("y{k}"), &[case.n], 0.0);
+            }
+            StmtSpec::Threshold { .. } => {
+                kernel.bind_output_format(
+                    &format!("S{k}"),
+                    &[LevelSpec::SparseList { size: case.n }],
+                );
+            }
+        }
+    }
+    let program = multi(case.stmts.iter().enumerate().map(|(k, s)| build_stmt(*s, k)).collect());
+    kernel.compile(&program)
+}
+
+/// Execute one case through every `(engine, opt level, typed)` combination
+/// and return the first divergence, or `None` when all twelve agree.
+///
+/// The correctness contract checked here is the repository's core claim:
+/// outputs are bit-identical across every combination, and at any given
+/// `(opt level, typed)` configuration the two engines report identical
+/// work counters.
+pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Divergence> {
+    let compiled = match compile_case(case, validation) {
+        Ok(k) => k,
+        Err(e) => return Some(Divergence { combo: "compile".into(), detail: e.to_string() }),
+    };
+    let mut reference: Option<Vec<(String, Vec<u64>)>> = None;
+    for level in OptLevel::all() {
+        for typed in [false, true] {
+            let mut k = compiled.reoptimized_typed(level, typed);
+            let mut engine_stats = Vec::new();
+            for engine in [Engine::TreeWalk, Engine::Bytecode] {
+                let combo = format!("{engine:?}/{level}/typed={typed}");
+                let stats = match k.run_with(engine) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Some(Divergence { combo, detail: format!("runtime fault: {e}") })
+                    }
+                };
+                engine_stats.push((combo.clone(), stats));
+                let outputs: Vec<(String, Vec<u64>)> = k
+                    .output_names()
+                    .into_iter()
+                    .map(|name| {
+                        let out = k.output(&name).expect("output reads");
+                        (name, out.iter().map(|v| v.to_bits()).collect())
+                    })
+                    .collect();
+                match &reference {
+                    None => reference = Some(outputs),
+                    Some(r) => {
+                        for ((name, want), (_, got)) in r.iter().zip(&outputs) {
+                            if want != got {
+                                return Some(Divergence {
+                                    combo,
+                                    detail: format!(
+                                        "output `{name}` diverges from the reference run"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            let (c0, s0) = &engine_stats[0];
+            let (c1, s1) = &engine_stats[1];
+            if s0 != s1 {
+                return Some(Divergence {
+                    combo: format!("{c0} vs {c1}"),
+                    detail: format!("work counters diverge: {s0:?} vs {s1:?}"),
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Draw one random case.  `smoke` shrinks the problem size for the CI
+/// smoke job.
+pub fn gen_case(rng: &mut TestRng, smoke: bool) -> FuzzCase {
+    let formats = [VecFormat::Dense, VecFormat::SparseList, VecFormat::Band];
+    let n = if smoke { rng.below_in(16, 48) } else { rng.below_in(32, 128) };
+    let a_format = formats[rng.below_in(0, 3)];
+    let b_format = formats[rng.below_in(0, 3)];
+    // Protocol annotations are only meaningful on formats with a searchable
+    // coordinate list; everything else iterates with the default unfurl.
+    let proto = |rng: &mut TestRng, f: VecFormat| match f {
+        VecFormat::SparseList => {
+            [Protocol::Default, Protocol::Walk, Protocol::Gallop][rng.below_in(0, 3)]
+        }
+        _ => Protocol::Default,
+    };
+    let count = rng.below_in(1, 9);
+    let stmts = (0..count)
+        .map(|_| match rng.below_in(0, 5) {
+            0 => StmtSpec::Dot { pa: proto(rng, a_format), pb: proto(rng, b_format) },
+            1 => StmtSpec::Axpy {
+                pa: proto(rng, a_format),
+                quarters: rng.below_in(1, 17) as i16 - 8,
+            },
+            2 => StmtSpec::EwiseMul { pa: proto(rng, a_format), pb: proto(rng, b_format) },
+            3 => StmtSpec::Threshold { tenths: rng.below_in(10, 80) as u8 },
+            _ => StmtSpec::Blend,
+        })
+        .collect();
+    FuzzCase { seed: rng.next_u64(), n, a_format, b_format, stmts }
+}
+
+/// Greedy delta debugging over the case's statement list: repeatedly drop
+/// any statement whose removal keeps `diverges` true, until the case is
+/// 1-minimal (no single statement can be removed).  The oracle is a
+/// closure so tests can inject a synthetic bug.
+pub fn minimize(case: &FuzzCase, diverges: &dyn Fn(&FuzzCase) -> bool) -> FuzzCase {
+    let mut current = case.clone();
+    // First pass: binary chop — try dropping whole halves while the case
+    // is large, the classic ddmin fast path.
+    loop {
+        let len = current.stmts.len();
+        if len < 4 {
+            break;
+        }
+        let mut halved = false;
+        for keep_front in [false, true] {
+            let mut candidate = current.clone();
+            if keep_front {
+                candidate.stmts.truncate(len / 2);
+            } else {
+                candidate.stmts.drain(..len / 2);
+            }
+            if diverges(&candidate) {
+                current = candidate;
+                halved = true;
+                break;
+            }
+        }
+        if !halved {
+            break;
+        }
+    }
+    // Second pass: 1-minimality by single-statement removal.
+    let mut k = 0;
+    while current.stmts.len() > 1 && k < current.stmts.len() {
+        let mut candidate = current.clone();
+        candidate.stmts.remove(k);
+        if diverges(&candidate) {
+            current = candidate;
+            k = 0;
+        } else {
+            k += 1;
+        }
+    }
+    current
+}
+
+/// Render a minimized case as a runnable `#[test]` function (the
+/// reproducer artifact the `fuzz-kernels` binary prints and CI uploads).
+pub fn render_repro(case: &FuzzCase, divergence: &Divergence) -> String {
+    let mut stmts_src = String::new();
+    for s in &case.stmts {
+        stmts_src.push_str(&format!("            {},\n", s.src()));
+    }
+    format!(
+        "// Minimized fuzz-kernels reproducer ({} statement(s)).\n\
+         // Divergence: [{}] {}\n\
+         #[test]\n\
+         fn fuzz_divergence_seed_{}() {{\n\
+         \x20   use finch::ValidationLevel;\n\
+         \x20   use finch_bench::fuzz::{{check_case, FuzzCase, StmtSpec, VecFormat}};\n\
+         \x20   use finch_cin::Protocol;\n\
+         \x20   let case = FuzzCase {{\n\
+         \x20       seed: {},\n\
+         \x20       n: {},\n\
+         \x20       a_format: {},\n\
+         \x20       b_format: {},\n\
+         \x20       stmts: vec![\n{}\
+         \x20       ],\n\
+         \x20   }};\n\
+         \x20   let divergence = check_case(&case, ValidationLevel::Off);\n\
+         \x20   assert!(divergence.is_none(), \"kernel diverges: {{divergence:?}}\");\n\
+         }}\n",
+        case.stmts.len(),
+        divergence.combo,
+        divergence.detail,
+        case.seed,
+        case.seed,
+        case.n,
+        case.a_format.src(),
+        case.b_format.src(),
+        stmts_src,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cases_run_divergence_free() {
+        let mut rng = TestRng::from_seed(0xF1C4);
+        for _ in 0..12 {
+            let case = gen_case(&mut rng, true);
+            let verdict = check_case(&case, ValidationLevel::Full);
+            assert_eq!(verdict, None, "case {case:?} diverged");
+        }
+    }
+
+    /// The acceptance demonstration: inject a synthetic bug (the oracle
+    /// flags any case containing a `Dot` statement) into a 24-statement
+    /// case and check the minimizer converges to a reproducer of at most
+    /// 10 CIN statements — here exactly one.
+    #[test]
+    fn minimizer_shrinks_an_injected_bug_to_a_tiny_reproducer() {
+        let mut stmts = Vec::new();
+        for k in 0..24 {
+            stmts.push(match k % 4 {
+                0 => StmtSpec::Blend,
+                1 => StmtSpec::Axpy { pa: Protocol::Walk, quarters: 3 },
+                2 if k == 10 => StmtSpec::Dot { pa: Protocol::Walk, pb: Protocol::Default },
+                2 => StmtSpec::Threshold { tenths: 30 },
+                _ => StmtSpec::EwiseMul { pa: Protocol::Default, pb: Protocol::Default },
+            });
+        }
+        let case = FuzzCase {
+            seed: 7,
+            n: 32,
+            a_format: VecFormat::SparseList,
+            b_format: VecFormat::Dense,
+            stmts,
+        };
+        let buggy = |c: &FuzzCase| c.stmts.iter().any(|s| matches!(s, StmtSpec::Dot { .. }));
+        assert!(buggy(&case), "the injected bug must trigger on the full case");
+        let minimized = minimize(&case, &buggy);
+        assert!(
+            minimized.stmts.len() <= 10,
+            "minimizer must reach <= 10 statements, got {}",
+            minimized.stmts.len()
+        );
+        assert_eq!(minimized.stmts.len(), 1, "the bug depends on exactly one statement");
+        assert!(buggy(&minimized), "the reproducer must still trigger the bug");
+        let repro = render_repro(
+            &minimized,
+            &Divergence { combo: "injected".into(), detail: "synthetic".into() },
+        );
+        assert!(repro.contains("StmtSpec::Dot"), "reproducer lists the offending statement");
+        assert!(repro.contains("#[test]"), "reproducer is a runnable test");
+    }
+
+    /// A real end-to-end divergence: a case whose oracle is the actual
+    /// differential check, with the "bug" injected by corrupting the
+    /// case's own data seed comparison — here we instead assert the real
+    /// oracle is stable under minimization plumbing (a non-diverging case
+    /// minimizes to itself only via the injected-oracle path).
+    #[test]
+    fn reproducers_render_protocols_and_formats_verbatim() {
+        let case = FuzzCase {
+            seed: 99,
+            n: 40,
+            a_format: VecFormat::Band,
+            b_format: VecFormat::SparseList,
+            stmts: vec![
+                StmtSpec::Dot { pa: Protocol::Default, pb: Protocol::Gallop },
+                StmtSpec::Threshold { tenths: 55 },
+            ],
+        };
+        let repro = render_repro(
+            &case,
+            &Divergence { combo: "TreeWalk/default/typed=true".into(), detail: "x".into() },
+        );
+        assert!(repro.contains("VecFormat::Band"));
+        assert!(repro.contains("Protocol::Gallop"));
+        assert!(repro.contains("StmtSpec::Threshold { tenths: 55 }"));
+        assert!(repro.contains("fuzz_divergence_seed_99"));
+    }
+}

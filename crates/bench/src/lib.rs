@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fuzz;
 pub mod report;
 
 use std::time::Instant;

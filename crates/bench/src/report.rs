@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "opt_speedup": { "engine": "bytecode", "baseline": "none",
 //!                    "optimized": "default", "median": 1.62, "samples": 35 },
 //!   "typed_speedup": { "engine": "bytecode", "opt_level": "default",
@@ -17,6 +17,10 @@
 //!       "variants": [
 //!         { "label": "looplets: list x band",
 //!           "opt": { "compile_seconds": 0.0004, "folds": 12, "...": 0 },
+//!           "validation": { "level": "full", "verify_seconds": 0.0001,
+//!                           "validate_seconds": 0.002, "passes": [
+//!             { "pass": "fold", "transform_seconds": 0.0001,
+//!               "verify_seconds": 0.00002, "validate_seconds": 0.0004 } ] },
 //!           "typed_instr_fraction": 0.93,
 //!           "engines": [
 //!             { "engine": "bytecode", "opt_level": "default", "typed": true,
@@ -27,7 +31,7 @@
 
 use std::io::Write as _;
 
-use finch::{Engine, ExecStats, OptLevel, OptStats};
+use finch::{Engine, ExecStats, OptLevel, OptStats, PassReport};
 
 /// One engine's measurement of one variant at one opt level and dispatch
 /// mode.
@@ -59,6 +63,30 @@ pub struct OptReport {
     pub stats: OptStats,
 }
 
+/// The validation record of one variant: the level the kernel was
+/// re-compiled at and the per-pass wall-clock split between the
+/// transform, the static verifier, and witness-based translation
+/// validation.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// The [`finch::ValidationLevel`] label (`off`, `static`, `full`).
+    pub level: String,
+    /// Per-pass accounting, in pipeline execution order.
+    pub passes: Vec<PassReport>,
+}
+
+impl ValidationReport {
+    /// Total seconds spent in the static verifier across all passes.
+    pub fn verify_seconds(&self) -> f64 {
+        self.passes.iter().map(|p| p.verify_nanos as f64 * 1e-9).sum()
+    }
+
+    /// Total seconds spent executing and comparing witnesses.
+    pub fn validate_seconds(&self) -> f64 {
+        self.passes.iter().map(|p| p.validate_nanos as f64 * 1e-9).sum()
+    }
+}
+
 /// One strategy/format variant of a figure, measured on every requested
 /// (engine, opt level, dispatch mode) combination.
 #[derive(Debug, Clone)]
@@ -67,6 +95,8 @@ pub struct VariantReport {
     pub label: String,
     /// The variant's optimisation record (when the default level was run).
     pub opt: Option<OptReport>,
+    /// The variant's validation record (when `--validate` was requested).
+    pub validation: Option<ValidationReport>,
     /// Fraction of *executed* bytecode instructions that were tag-free
     /// (typed or tag-neutral) in one profiled run of the typed kernel at
     /// `OptLevel::Default` — the issue's `typed_instr_fraction`.
@@ -136,11 +166,11 @@ impl Report {
         Report::default()
     }
 
-    /// Serialise the report as a JSON document (schema v3 — see
+    /// Serialise the report as a JSON document (schema v4 — see
     /// EXPERIMENTS.md).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        out.push_str("\n  \"schema_version\": 3,");
+        out.push_str("\n  \"schema_version\": 4,");
         if let Some(s) = &self.opt_speedup {
             out.push_str(&format!(
                 "\n  \"opt_speedup\": {{\"engine\": {}, \"baseline\": {}, \
@@ -200,6 +230,29 @@ impl Report {
                         s.ir_stmts_before,
                         s.ir_stmts_after,
                     ));
+                }
+                if let Some(val) = &v.validation {
+                    out.push_str(&format!(
+                        "\n       \"validation\": {{\"level\": {}, \
+                         \"verify_seconds\": {}, \"validate_seconds\": {}, \"passes\": [",
+                        json_string(&val.level),
+                        json_number(val.verify_seconds()),
+                        json_number(val.validate_seconds()),
+                    ));
+                    for (k, p) in val.passes.iter().enumerate() {
+                        if k > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!(
+                            "{{\"pass\": {}, \"transform_seconds\": {}, \
+                             \"verify_seconds\": {}, \"validate_seconds\": {}}}",
+                            json_string(p.name),
+                            json_number(p.transform_nanos as f64 * 1e-9),
+                            json_number(p.verify_nanos as f64 * 1e-9),
+                            json_number(p.validate_nanos as f64 * 1e-9),
+                        ));
+                    }
+                    out.push_str("]},");
                 }
                 if let Some(f) = v.typed_instr_fraction {
                     out.push_str(&format!(
@@ -318,6 +371,23 @@ mod tests {
                             ..OptStats::default()
                         },
                     }),
+                    validation: Some(ValidationReport {
+                        level: "full".into(),
+                        passes: vec![
+                            PassReport {
+                                name: "fold",
+                                transform_nanos: 1_000,
+                                verify_nanos: 2_000,
+                                validate_nanos: 500_000,
+                            },
+                            PassReport {
+                                name: "lower",
+                                transform_nanos: 3_000,
+                                verify_nanos: 4_000,
+                                validate_nanos: 1_500_000,
+                            },
+                        ],
+                    }),
                     typed_instr_fraction: Some(0.9375),
                     opcode_counts: Some(vec![("load_f64".into(), 100), ("store".into(), 4)]),
                     engines: vec![
@@ -358,7 +428,7 @@ mod tests {
     #[test]
     fn json_has_engines_opt_levels_and_escaped_strings() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 3"));
+        assert!(j.contains("\"schema_version\": 4"));
         assert!(j.contains("\"tree_walk\""));
         assert!(j.contains("\"bytecode\""));
         assert!(j.contains("\"opt_level\": \"default\""));
@@ -375,6 +445,11 @@ mod tests {
         assert!(j.contains("\"loads_hoisted\": 2"));
         assert!(j.contains("\"instrs_typed\": 17"));
         assert!(j.contains("\"regs_pretagged\": 5"));
+        assert!(j.contains("\"validation\": {\"level\": \"full\""));
+        assert!(j.contains("\"verify_seconds\": 0.000006"));
+        assert!(j.contains("\"validate_seconds\": 0.002"));
+        assert!(j.contains("{\"pass\": \"fold\", \"transform_seconds\": 0.000001"));
+        assert!(j.contains("{\"pass\": \"lower\""));
         assert!(j.contains("\"typed_instr_fraction\": 0.9375"));
         assert!(j.contains("\"opcode_counts\": {\"load_f64\": 100, \"store\": 4}"));
         assert!(j.contains("\"instrs\": 120"));
@@ -398,12 +473,14 @@ mod tests {
         r.opt_speedup = None;
         r.typed_speedup = None;
         r.figures[0].variants[0].opt = None;
+        r.figures[0].variants[0].validation = None;
         r.figures[0].variants[0].typed_instr_fraction = None;
         r.figures[0].variants[0].opcode_counts = None;
         let j = r.to_json();
         assert!(!j.contains("opt_speedup"));
         assert!(!j.contains("typed_speedup"));
         assert!(!j.contains("compile_seconds"));
+        assert!(!j.contains("validation"));
         assert!(!j.contains("typed_instr_fraction"));
         assert!(!j.contains("opcode_counts"));
         for (open, close) in [('{', '}'), ('[', ']')] {

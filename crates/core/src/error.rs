@@ -57,6 +57,15 @@ pub enum CompileError {
         /// Description of the unsupported feature.
         detail: String,
     },
+    /// An optimisation pass failed post-pass verification or translation
+    /// validation (a miscompile caught by the pass manager; see
+    /// `finch_ir::opt::ValidationLevel`).
+    ValidationFailed {
+        /// The offending pass's name.
+        pass: String,
+        /// What the verifier or witness comparison found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -84,6 +93,9 @@ impl fmt::Display for CompileError {
                 write!(f, "cannot lower looplet arrangement: {detail}")
             }
             CompileError::Unsupported { detail } => write!(f, "unsupported program: {detail}"),
+            CompileError::ValidationFailed { pass, detail } => {
+                write!(f, "pass `{pass}` failed validation: {detail}")
+            }
         }
     }
 }
@@ -105,6 +117,7 @@ mod tests {
             CompileError::UnboundIndex { index: "i".into() },
             CompileError::UnsupportedLooplet { detail: "x".into() },
             CompileError::Unsupported { detail: "x".into() },
+            CompileError::ValidationFailed { pass: "fold".into(), detail: "x".into() },
         ];
         for e in errs {
             assert!(!format!("{e}").is_empty());

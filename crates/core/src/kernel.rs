@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use finch_cin::CinStmt;
 use finch_formats::{BoundTensor, LevelSpec, OutputBuilder, Tensor};
+use finch_ir::opt::{PassReport, ValidationLevel};
 use finch_ir::pretty::Printer;
 use finch_ir::{
     Buffer, BufferSet, ExecStats, Interpreter, Names, OptLevel, OptStats, Program, RuntimeError,
@@ -106,6 +107,7 @@ pub struct Kernel {
     rewriter: Rewriter,
     opt_level: OptLevel,
     typed_dispatch: bool,
+    validation: ValidationLevel,
 }
 
 impl Default for Kernel {
@@ -124,7 +126,28 @@ impl Kernel {
             rewriter: Rewriter::with_default_rules(),
             opt_level: OptLevel::default(),
             typed_dispatch: true,
+            validation: ValidationLevel::default(),
         }
+    }
+
+    /// How much post-pass checking [`Kernel::compile`]'s pass manager
+    /// performs: always-on translation validation in debug/test builds,
+    /// off in release unless opted back in (the figure harness's
+    /// `--validate`).
+    pub fn validation(&self) -> ValidationLevel {
+        self.validation
+    }
+
+    /// Select the [`ValidationLevel`] applied by [`Kernel::compile`].
+    pub fn set_validation(&mut self, validation: ValidationLevel) -> &mut Self {
+        self.validation = validation;
+        self
+    }
+
+    /// Builder-style variant of [`Kernel::set_validation`].
+    pub fn with_validation(mut self, validation: ValidationLevel) -> Self {
+        self.validation = validation;
+        self
     }
 
     /// Whether [`Kernel::compile`] will run the register-type inference
@@ -257,7 +280,8 @@ impl Kernel {
     /// tensors, is not concordant with the tensors' level orders, or uses
     /// unsupported features.
     pub fn compile(self, program: &CinStmt) -> Result<CompiledKernel, CompileError> {
-        let Kernel { names, bufs, bindings, rewriter, opt_level, typed_dispatch } = self;
+        let Kernel { names, bufs, bindings, rewriter, opt_level, typed_dispatch, validation } =
+            self;
         let outputs: HashMap<String, OutputBinding> = bindings
             .iter()
             .filter_map(|(name, b)| match b {
@@ -301,8 +325,14 @@ impl Kernel {
         // here as an explicit staged pipeline, gated by the opt level.
         let raw_code = code;
         let raw_names = ctx.names.clone();
-        let (code, bytecode, opt_stats) =
-            optimize_kernel(&raw_code, &mut ctx.names, &ctx.bufs, opt_level, typed_dispatch);
+        let (code, bytecode, opt_stats, pass_reports) = optimize_kernel(
+            &raw_code,
+            &mut ctx.names,
+            &ctx.bufs,
+            opt_level,
+            typed_dispatch,
+            validation,
+        )?;
         let source = Printer::new(&ctx.names, &ctx.bufs).program(&code);
         let vm = Vm::new(&bytecode);
         Ok(CompiledKernel {
@@ -321,40 +351,35 @@ impl Kernel {
             opt_level,
             opt_stats,
             typed_dispatch,
+            validation,
+            pass_reports,
         })
     }
 }
 
-/// Run the IR pipeline, the bytecode peephole and (when enabled) the
-/// register-type inference stage at the given level, producing the
+/// Run the full optimise-and-lower pipeline — the IR passes, the bytecode
+/// lowering, the peephole and (when enabled) the register-type inference
+/// stage — through the translation-validated pass manager, producing the
 /// artifacts both engines execute.  Used by [`Kernel::compile`] and
 /// [`CompiledKernel::reoptimized`].  The typing stage needs the buffer
-/// set: buffer element types seed the inference.
+/// set: buffer element types seed the inference; at
+/// [`ValidationLevel::Full`] the same buffers synthesize the witness
+/// inputs every pass is differentially checked on.
 fn optimize_kernel(
     raw_code: &[Stmt],
     names: &mut Names,
     bufs: &finch_ir::BufferSet,
     level: OptLevel,
     typed: bool,
-) -> (Vec<Stmt>, Program, OptStats) {
-    let (code, mut opt_stats) = finch_ir::opt::optimize(raw_code, names, level);
-    let bytecode = Program::compile(&code, names);
-    let bytecode = match level {
-        OptLevel::None => bytecode,
-        _ => {
-            let fused = finch_ir::opt::peephole(&bytecode, &mut opt_stats);
-            if typed {
-                finch_ir::opt::specialize(&fused, bufs, &mut opt_stats)
-            } else {
-                fused
-            }
-        }
-    };
-    // Every kernel the (debug-build) test suite compiles revalidates its
-    // bytecode, so a fusion or renumbering bug surfaces at compile time
-    // rather than as a runtime fault.
-    debug_assert_eq!(bytecode.validate(), Ok(()), "optimised bytecode must validate");
-    (code, bytecode, opt_stats)
+    validation: ValidationLevel,
+) -> Result<(Vec<Stmt>, Program, OptStats, Vec<PassReport>), CompileError> {
+    let lowered =
+        finch_ir::opt::optimize_and_lower(raw_code, names, bufs, level, typed, validation)
+            .map_err(|e| CompileError::ValidationFailed {
+                pass: e.pass.to_string(),
+                detail: e.detail,
+            })?;
+    Ok((lowered.code, lowered.program, lowered.stats, lowered.reports))
 }
 
 /// A compiled kernel: generated code (both the IR tree and its bytecode)
@@ -407,6 +432,12 @@ pub struct CompiledKernel {
     opt_level: OptLevel,
     opt_stats: OptStats,
     typed_dispatch: bool,
+    /// The validation level the pass manager ran at when this kernel was
+    /// compiled (re-optimisations run at the same level).
+    validation: ValidationLevel,
+    /// One report per optimisation pass that ran: transform, verifier and
+    /// translation-validation wall-clock in nanoseconds.
+    pass_reports: Vec<PassReport>,
 }
 
 impl CompiledKernel {
@@ -456,12 +487,37 @@ impl CompiledKernel {
     /// typed-dispatch stage, so the benchmark harness can time the same
     /// kernel with typed dispatch on and off at the same [`OptLevel`].
     pub fn reoptimized_typed(&self, level: OptLevel, typed: bool) -> CompiledKernel {
+        self.rederive(level, typed, self.validation)
+            .expect("re-optimisation of already-validated code must validate")
+    }
+
+    /// Re-derive this kernel at its current [`OptLevel`] and dispatch mode
+    /// under a different [`ValidationLevel`] — the benchmark harness uses
+    /// this (via `figures --validate`) to measure per-pass verification
+    /// and translation-validation cost on release builds, where the
+    /// default level is [`ValidationLevel::Off`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::ValidationFailed`] when a pass's output
+    /// fails the requested checks — which would be a compiler bug, not a
+    /// user error.
+    pub fn revalidated(&self, validation: ValidationLevel) -> Result<CompiledKernel, CompileError> {
+        self.rederive(self.opt_level, self.typed_dispatch, validation)
+    }
+
+    fn rederive(
+        &self,
+        level: OptLevel,
+        typed: bool,
+        validation: ValidationLevel,
+    ) -> Result<CompiledKernel, CompileError> {
         let mut names = self.raw_names.clone();
-        let (code, bytecode, opt_stats) =
-            optimize_kernel(&self.raw_code, &mut names, &self.bufs, level, typed);
+        let (code, bytecode, opt_stats, pass_reports) =
+            optimize_kernel(&self.raw_code, &mut names, &self.bufs, level, typed, validation)?;
         let source = Printer::new(&names, &self.bufs).program(&code);
         let vm = Vm::new(&bytecode);
-        CompiledKernel {
+        Ok(CompiledKernel {
             code,
             raw_code: self.raw_code.clone(),
             raw_names: self.raw_names.clone(),
@@ -477,7 +533,21 @@ impl CompiledKernel {
             opt_level: level,
             opt_stats,
             typed_dispatch: typed,
-        }
+            validation,
+            pass_reports,
+        })
+    }
+
+    /// The [`ValidationLevel`] the pass manager ran at when this kernel was
+    /// compiled.
+    pub fn validation(&self) -> ValidationLevel {
+        self.validation
+    }
+
+    /// Per-pass timing and validation reports from this kernel's
+    /// compilation, in the order the passes ran.
+    pub fn pass_reports(&self) -> &[PassReport] {
+        &self.pass_reports
     }
 
     /// Whether this kernel's bytecode went through the typed-dispatch

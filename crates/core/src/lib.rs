@@ -56,6 +56,7 @@ pub use finch_cin::{
     Access, CinExpr, CinOp, CinStmt, IndexExpr, IndexVar, Protocol, Reduction, TensorRef,
 };
 pub use finch_formats::{BoundTensor, Level, LevelSpec, OutputBuilder, Tensor, TensorError};
+pub use finch_ir::opt::{PassReport, ValidationLevel};
 pub use finch_ir::{ExecStats, OptLevel, OptStats, RuntimeError, Value};
 pub use finch_looplets as looplets;
 pub use finch_rewrite::Rewriter;

@@ -819,6 +819,12 @@ pub struct Program {
 }
 
 impl Program {
+    /// Upper bound on the register file a valid program may demand.  Real
+    /// kernels use a few dozen registers; a count beyond this is a
+    /// corrupted or hostile encoding, and rejecting it keeps the VM's
+    /// up-front register-file allocation bounded.
+    pub const REG_LIMIT: usize = 1 << 24;
+
     /// Compile a lowered IR program into bytecode.
     ///
     /// `names` must be the same table the program's variables were created
@@ -881,13 +887,21 @@ impl Program {
     }
 
     /// Check structural invariants: every jump target is resolved and in
-    /// range, every register index fits the register file, and every
-    /// constant index is in the pool.
+    /// range, every `for` back-edge lands on its loop head, every register
+    /// index fits the register file (which itself fits
+    /// [`Program::REG_LIMIT`]), and every constant index is in the pool.
     ///
     /// # Errors
     ///
     /// Returns a description of the first violated invariant.
     pub fn validate(&self) -> Result<(), String> {
+        if self.num_regs > Self::REG_LIMIT {
+            return Err(format!(
+                "register file of {} exceeds the limit of {}",
+                self.num_regs,
+                Self::REG_LIMIT
+            ));
+        }
         let len = self.code.len() as u32;
         let check_target = |pc: usize, t: u32| -> Result<(), String> {
             if t == PENDING {
@@ -960,6 +974,16 @@ impl Program {
                 Instr::ForStep { counter, test } => {
                     check_reg(pc, counter)?;
                     check_target(pc, test)?;
+                    // The back-edge must land on a loop head, never in the
+                    // middle of nowhere (jump-target alignment).
+                    match self.code.get(test as usize) {
+                        Some(Instr::ForTest { .. }) | Some(Instr::IForTest { .. }) => {}
+                        _ => {
+                            return Err(format!(
+                                "for back-edge at pc {pc} targets {test}, which is not a loop head"
+                            ));
+                        }
+                    }
                 }
                 Instr::Append { val, .. } => check_reg(pc, val)?,
                 Instr::FiberEnd { .. } => {}
@@ -2031,5 +2055,63 @@ mod tests {
         // Pretags outside the register file are rejected.
         let p = base(vec![Instr::Nop], vec![(Reg(9), LaneTag::Int)]);
         assert!(p.validate().is_err());
+    }
+
+    /// Hand-build one malformed program per structural invariant and check
+    /// that [`Program::validate`] names the violation: jumps past the end,
+    /// unresolved (PENDING) jumps, `for` back-edges that miss their loop
+    /// head, out-of-range registers and constant-pool indices, and a
+    /// register file past [`Program::REG_LIMIT`].
+    #[test]
+    fn validate_rejects_each_malformed_encoding() {
+        let base = |code: Vec<Instr>| Program {
+            code,
+            consts: vec![Value::Int(1)],
+            var_names: vec!["a".into()],
+            num_regs: 1,
+            pretags: Vec::new(),
+        };
+
+        // Jump past the end of the code (len is 1, so 2 is out of range;
+        // exactly len is the legal halt target).
+        let p = base(vec![Instr::Jump { target: 2 }]);
+        assert!(p.validate().unwrap_err().contains("past the end"));
+        let p = base(vec![Instr::Jump { target: 1 }]);
+        assert_eq!(p.validate(), Ok(()), "target == len is the halt address");
+
+        // An unresolved jump left over from compilation.
+        let p = base(vec![Instr::Jump { target: PENDING }]);
+        assert!(p.validate().unwrap_err().contains("unresolved jump"));
+
+        // A `for` back-edge that lands on something other than a loop head.
+        let p = base(vec![Instr::Nop, Instr::ForStep { counter: Reg(0), test: 0 }]);
+        assert!(p.validate().unwrap_err().contains("not a loop head"));
+
+        // Out-of-range registers, on an untyped and a typed encoding.
+        let p = base(vec![Instr::Mov { dst: Reg(3), src: Reg(0) }]);
+        assert!(p.validate().unwrap_err().contains("outside the file"));
+        let p = base(vec![Instr::IArith { op: BinOp::Add, dst: Reg(0), lhs: Reg(0), rhs: Reg(7) }]);
+        assert!(p.validate().unwrap_err().contains("outside the file"));
+
+        // Out-of-range constant-pool indices on every encoding that carries
+        // one (typed opcodes inline their immediates instead).
+        let oob = [
+            Instr::Const { dst: Reg(0), cidx: 5 },
+            Instr::BinaryImm { op: BinOp::Add, dst: Reg(0), lhs: Reg(0), cidx: 5 },
+            Instr::CmpBranchImm { op: BinOp::Lt, lhs: Reg(0), cidx: 5, target: 1, strict: false },
+            Instr::WhileCmpImm { op: BinOp::Lt, lhs: Reg(0), cidx: 5, end: 1 },
+        ];
+        for instr in oob {
+            let p = base(vec![instr]);
+            assert!(
+                p.validate().unwrap_err().contains("outside the pool"),
+                "{instr:?} must be rejected"
+            );
+        }
+
+        // A register file past the limit is rejected before any decode.
+        let mut p = base(vec![Instr::Nop]);
+        p.num_regs = Program::REG_LIMIT + 1;
+        assert!(p.validate().unwrap_err().contains("exceeds the limit"));
     }
 }

@@ -7,11 +7,11 @@
 //! executes the IR as lowered, so this module performs the same clean-up
 //! explicitly, staged behind an [`OptLevel`]:
 //!
-//! * [`fold`] — constant folding, constant/copy propagation, and pruning of
+//! * `fold` — constant folding, constant/copy propagation, and pruning of
 //!   statically-decidable `if`/`while`/`for` statements,
-//! * [`licm`] — loop-invariant load hoisting (the original pass of this
+//! * `licm` — loop-invariant load hoisting (the original pass of this
 //!   module, still exported as [`hoist_invariant_loads`]),
-//! * [`dce`] — dead-code and dead-store elimination for variables that are
+//! * `dce` — dead-code and dead-store elimination for variables that are
 //!   never read, plus removal of emptied control flow,
 //! * [`peephole`] — a pass over compiled [`crate::bytecode::Program`]s that
 //!   fuses hot instruction pairs into superinstructions and coalesces the
@@ -42,13 +42,23 @@
 mod dce;
 mod fold;
 mod licm;
+#[cfg(test)]
+mod mutation_tests;
+mod pass;
 mod peephole;
 pub mod typing;
+pub mod verify;
 
 pub use licm::hoist_invariant_loads;
+pub use pass::{
+    Pass, PassCtx, PassError, PassManager, PassReport, Repr, StatsContract, ValidationLevel,
+};
 pub use peephole::peephole;
 pub use typing::specialize;
+pub use verify::{verify_bytecode, verify_ir};
 
+use crate::buffer::BufferSet;
+use crate::bytecode::Program;
 use crate::stmt::Stmt;
 use crate::var::Names;
 
@@ -141,25 +151,210 @@ fn count_stmts(stmts: &[Stmt]) -> u64 {
     Stmt::count_matching(stmts, &|_| true) as u64
 }
 
-/// Run the IR-level optimisation pipeline at the given level.
+/// Constant folding, constant/copy propagation, and static control-flow
+/// pruning (`fold`) as a [`Pass`].  Honours
+/// [`PassCtx::unroll_point_loops`].
+pub struct FoldPass;
+
+impl Pass for FoldPass {
+    fn name(&self) -> &'static str {
+        "fold"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        Repr::Ir(fold::fold_stmts(&repr.into_ir(), ctx.unroll_point_loops, ctx.stats))
+    }
+    fn stats_contract(&self) -> StatsContract {
+        StatsContract::Shrinks
+    }
+}
+
+/// Loop-invariant load hoisting (`licm`) as a [`Pass`].  Creates fresh
+/// variables in [`PassCtx::names`].
+pub struct LicmPass;
+
+impl Pass for LicmPass {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        Repr::Ir(licm::hoist_with_stats(&repr.into_ir(), ctx.names, ctx.stats))
+    }
+    fn stats_contract(&self) -> StatsContract {
+        StatsContract::Hoisting
+    }
+}
+
+/// Dead-code and dead-store elimination (`dce`) as a [`Pass`].
+pub struct DcePass;
+
+impl Pass for DcePass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        Repr::Ir(dce::eliminate_dead(&repr.into_ir(), ctx.stats))
+    }
+    fn stats_contract(&self) -> StatsContract {
+        StatsContract::Shrinks
+    }
+}
+
+/// IR-to-bytecode lowering ([`Program::compile`]) as a [`Pass`]: under
+/// translation validation, this is the cross-engine differential check —
+/// the pre-pass witness runs on the tree-walking interpreter and the
+/// post-pass witness on the register VM.
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        Repr::Bytecode(Program::compile(&repr.into_ir(), ctx.names))
+    }
+}
+
+/// Bytecode superinstruction fusion and register coalescing
+/// ([`peephole`]) as a [`Pass`].
+pub struct PeepholePass;
+
+impl Pass for PeepholePass {
+    fn name(&self) -> &'static str {
+        "peephole"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        Repr::Bytecode(peephole::peephole(&repr.into_bytecode(), ctx.stats))
+    }
+}
+
+/// Static register-type inference and monomorphic rewriting
+/// ([`typing`]) as a [`Pass`].  Requires [`PassCtx::bufs`]: the buffer
+/// schema seeds the inference.
+pub struct TypingPass;
+
+impl Pass for TypingPass {
+    fn name(&self) -> &'static str {
+        "typing"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        let bufs = ctx.bufs.expect("the typing pass needs the kernel's buffer set");
+        Repr::Bytecode(typing::specialize(&repr.into_bytecode(), bufs, ctx.stats))
+    }
+}
+
+/// The artifacts of one full [`optimize_and_lower`] pipeline run.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The optimised IR — what the tree-walking engine executes.
+    pub code: Vec<Stmt>,
+    /// The compiled (fused and, when enabled, typed) bytecode — what the
+    /// register VM executes.
+    pub program: Program,
+    /// Accumulated per-pass counters.
+    pub stats: OptStats,
+    /// Per-pass wall-clock and validation timing, in execution order.
+    pub reports: Vec<PassReport>,
+}
+
+/// Run the complete optimise-and-lower pipeline — the IR passes at the
+/// given level, the bytecode lowering, and the bytecode passes — under a
+/// translation-validated [`PassManager`].
 ///
-/// `names` must be the table the program's variables were created from;
-/// LICM creates fresh variables for hoisted loads.  Returns the optimised
-/// program together with the per-pass [`OptStats`].  The bytecode-level
-/// [`peephole`] pass is applied separately, after
-/// [`crate::bytecode::Program::compile`].
-pub fn optimize(stmts: &[Stmt], names: &mut Names, level: OptLevel) -> (Vec<Stmt>, OptStats) {
+/// `names` must be the table the program's variables were created from
+/// (LICM creates fresh variables); `bufs` are the kernel's buffers, used
+/// to seed the typing pass, check buffer schemas, and synthesize witness
+/// inputs at [`ValidationLevel::Full`].
+///
+/// # Errors
+///
+/// Returns a [`PassError`] naming the offending pass when any pass's
+/// output fails post-pass verification or diverges from its input program
+/// on a witness run.
+pub fn optimize_and_lower(
+    stmts: &[Stmt],
+    names: &mut Names,
+    bufs: &BufferSet,
+    level: OptLevel,
+    typed: bool,
+    validation: ValidationLevel,
+) -> Result<Lowered, PassError> {
     let mut stats = OptStats { ir_stmts_before: count_stmts(stmts), ..OptStats::default() };
+    let mut manager = PassManager::new(validation);
+    let mut ctx = PassCtx {
+        names,
+        bufs: Some(bufs),
+        stats: &mut stats,
+        unroll_point_loops: level == OptLevel::Aggressive,
+    };
     let code = match level {
         OptLevel::None => stmts.to_vec(),
-        OptLevel::Default => run_round(stmts, names, false, &mut stats),
+        OptLevel::Default => run_ir_round(&mut manager, stmts.to_vec(), &mut ctx)?,
         OptLevel::Aggressive => {
             let mut code = stmts.to_vec();
             // Iterate to a fixpoint: folding can expose new invariant
             // loads, hoisting can expose new dead code, and so on.  The
             // bound is a safety net; real kernels settle in 2-3 rounds.
             for _ in 0..4 {
-                let next = run_round(&code, names, true, &mut stats);
+                let next = run_ir_round(&mut manager, code.clone(), &mut ctx)?;
+                let settled = next == code;
+                code = next;
+                if settled {
+                    break;
+                }
+            }
+            code
+        }
+    };
+    ctx.stats.ir_stmts_after = count_stmts(&code);
+    let program = manager.run_pass(&LowerPass, Repr::Ir(code.clone()), &mut ctx)?.into_bytecode();
+    let program = match level {
+        OptLevel::None => program,
+        _ => {
+            let fused =
+                manager.run_pass(&PeepholePass, Repr::Bytecode(program), &mut ctx)?.into_bytecode();
+            if typed {
+                manager.run_pass(&TypingPass, Repr::Bytecode(fused), &mut ctx)?.into_bytecode()
+            } else {
+                fused
+            }
+        }
+    };
+    Ok(Lowered { code, program, stats, reports: manager.into_reports() })
+}
+
+/// Run the IR-level optimisation pipeline at the given level.
+///
+/// `names` must be the table the program's variables were created from;
+/// LICM creates fresh variables for hoisted loads.  Returns the optimised
+/// program together with the per-pass [`OptStats`].  The bytecode-level
+/// passes are part of [`optimize_and_lower`], which also runs witness
+/// validation; this IR-only entry point verifies statically (no buffer
+/// set, so no witness runs) and panics on a verifier failure — its legacy
+/// callers treat the pipeline as infallible.
+pub fn optimize(stmts: &[Stmt], names: &mut Names, level: OptLevel) -> (Vec<Stmt>, OptStats) {
+    let mut stats = OptStats { ir_stmts_before: count_stmts(stmts), ..OptStats::default() };
+    let validation = match ValidationLevel::default() {
+        // Witness synthesis needs the buffer set; cap at static checks.
+        ValidationLevel::Full => ValidationLevel::Static,
+        other => other,
+    };
+    let mut manager = PassManager::new(validation);
+    let mut ctx = PassCtx {
+        names,
+        bufs: None,
+        stats: &mut stats,
+        unroll_point_loops: level == OptLevel::Aggressive,
+    };
+    let run = |manager: &mut PassManager, code: Vec<Stmt>, ctx: &mut PassCtx<'_>| {
+        run_ir_round(manager, code, ctx).expect("IR pipeline produced invalid code")
+    };
+    let code = match level {
+        OptLevel::None => stmts.to_vec(),
+        OptLevel::Default => run(&mut manager, stmts.to_vec(), &mut ctx),
+        OptLevel::Aggressive => {
+            let mut code = stmts.to_vec();
+            for _ in 0..4 {
+                let next = run(&mut manager, code.clone(), &mut ctx);
                 let settled = next == code;
                 code = next;
                 if settled {
@@ -173,15 +368,15 @@ pub fn optimize(stmts: &[Stmt], names: &mut Names, level: OptLevel) -> (Vec<Stmt
     (code, stats)
 }
 
-fn run_round(
-    stmts: &[Stmt],
-    names: &mut Names,
-    unroll_point_loops: bool,
-    stats: &mut OptStats,
-) -> Vec<Stmt> {
-    let code = fold::fold_stmts(stmts, unroll_point_loops, stats);
-    let code = licm::hoist_with_stats(&code, names, stats);
-    dce::eliminate_dead(&code, stats)
+/// One fold → licm → dce round through the pass manager.
+fn run_ir_round(
+    manager: &mut PassManager,
+    code: Vec<Stmt>,
+    ctx: &mut PassCtx<'_>,
+) -> Result<Vec<Stmt>, PassError> {
+    let code = manager.run_pass(&FoldPass, Repr::Ir(code), ctx)?.into_ir();
+    let code = manager.run_pass(&LicmPass, Repr::Ir(code), ctx)?.into_ir();
+    Ok(manager.run_pass(&DcePass, Repr::Ir(code), ctx)?.into_ir())
 }
 
 #[cfg(test)]

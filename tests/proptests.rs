@@ -337,6 +337,58 @@ proptest! {
         }
     }
 
+    /// The DCE safety net, end to end: compiled with **full translation
+    /// validation**, random sparse-output kernels keep bit-identical
+    /// assembled `pos`/`idx`/`val` arrays between `OptLevel::None` and
+    /// `OptLevel::Aggressive`.  Dead-code elimination may never delete an
+    /// effectful `Append`/`FiberEnd` — if it did, the per-pass validator
+    /// would already fail the compile naming `dce`, and this comparison
+    /// would catch anything that slipped past it.
+    #[test]
+    fn dce_never_deletes_effectful_statements_under_validation(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        use looplets_repro::finch::{Engine, Level, OptLevel, ValidationLevel};
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a = Tensor::sparse_list_vector("A", a_data);
+        let b = Tensor::sparse_list_vector("B", b_data);
+        for op in ["mul", "add"] {
+            let mut kernel = Kernel::new();
+            kernel
+                .set_validation(ValidationLevel::Full)
+                .bind_input(&a)
+                .bind_input(&b)
+                .bind_output_format("C", &[LevelSpec::SparseList { size: n }]);
+            let i = idx("i");
+            let lhs = access("A", [i.clone()]);
+            let rhs = access("B", [i.clone()]);
+            let body = if op == "mul" { mul(lhs, rhs) } else { add(lhs, rhs) };
+            let program = forall(i.clone(), assign(access("C", [i]), body));
+            let k = kernel.compile(&program).expect("validated compile succeeds");
+            let raw_level = |k: &mut looplets_repro::finch::CompiledKernel| {
+                k.run_with(Engine::Bytecode).expect("bytecode runs");
+                let t = k.output_tensor("C").expect("sparse output finalizes");
+                match &t.levels()[0] {
+                    Level::SparseList { pos, idx, .. } => {
+                        let bits: Vec<u64> = t.values().iter().map(|v| v.to_bits()).collect();
+                        (pos.clone(), idx.clone(), bits)
+                    }
+                    other => panic!("expected a sparse list level, got {other:?}"),
+                }
+            };
+            let mut unopt = k.reoptimized(OptLevel::None);
+            let mut aggressive = k.reoptimized(OptLevel::Aggressive);
+            prop_assert_eq!(unopt.validation(), ValidationLevel::Full);
+            prop_assert_eq!(
+                raw_level(&mut unopt),
+                raw_level(&mut aggressive),
+                "assembled pos/idx/val diverge between None and Aggressive ({op})"
+            );
+        }
+    }
+
     #[test]
     fn engines_are_bit_identical_for_any_spmv_kernel(
         data in structured_vector(72),
