@@ -13,22 +13,27 @@
 //! # Re-run one engine/opt-level/dispatch combination in isolation:
 //! cargo run --release -p finch-bench --bin figures -- --fig 1 --engine bytecode --opt none
 //! cargo run --release -p finch-bench --bin figures -- --engine bytecode --opt default --typed off
+//! cargo run --release -p finch-bench --bin figures -- --engine bytecode --opt default --simd off
 //! ```
 //!
-//! With no `--engine`/`--opt`/`--typed` flags, each variant is measured
-//! four ways: tree-walk and bytecode at `OptLevel::Default` (the engine
-//! comparison, with identical work counters asserted), bytecode at
-//! `OptLevel::None` (the optimiser comparison), and bytecode at
+//! With no `--engine`/`--opt`/`--typed`/`--simd` flags, each variant is
+//! measured five ways: tree-walk and bytecode at `OptLevel::Default` (the
+//! engine comparison, with identical work counters asserted), bytecode at
+//! `OptLevel::None` (the optimiser comparison), bytecode at
 //! `OptLevel::Default` with the typed-dispatch stage off (the
-//! register-type-inference comparison).  Passing `--engine`, `--opt`
-//! and/or `--typed on|off` restricts the measured combinations.  Every
+//! register-type-inference comparison), and bytecode at
+//! `OptLevel::Default` with the vectorize stage off (the SIMD kernel-op
+//! comparison).  Passing `--engine`, `--opt`, `--typed on|off` and/or
+//! `--simd on|off` restricts the measured combinations.  Every
 //! measurement is appended to a machine-readable JSON report
-//! (`BENCH_figures.json` by default, schema v4) including instruction
+//! (`BENCH_figures.json` by default, schema v5) including instruction
 //! counts, per-pass optimiser counters, the executed
 //! `typed_instr_fraction` from one untimed profiled run per variant (plus
-//! a per-opcode execution histogram in debug builds), and the optimiser
-//! compile time per variant — which is also guarded by a hard assert so
-//! new passes cannot silently blow up compilation latency.  With
+//! a per-opcode execution histogram in debug builds), the per-variant
+//! `simd_speedup` and `vectorized_fraction` of the kernel-op tier, and
+//! the optimiser compile time per variant — which is also guarded by a
+//! hard assert so new passes cannot silently blow up compilation
+//! latency.  With
 //! `--validate`, each variant is additionally re-compiled under
 //! `ValidationLevel::Full` (post-pass verification plus witness-based
 //! translation validation), the per-pass transform/verify/validate
@@ -46,8 +51,8 @@ use std::time::Instant;
 
 use finch::{Engine, OptLevel, ValidationLevel};
 use finch_bench::report::{
-    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, TypedSpeedup, ValidationReport,
-    VariantReport,
+    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, SimdSpeedup, TypedSpeedup,
+    ValidationReport, VariantReport,
 };
 use finch_bench::*;
 
@@ -75,21 +80,22 @@ fn arg_after(name: &str) -> Option<String> {
 }
 
 fn runs() -> usize {
-    arg_after("--runs").and_then(|v| v.parse().ok()).unwrap_or(3)
+    arg_after("--runs").and_then(|v| v.parse().ok()).unwrap_or(7)
 }
 
-/// The (engine, opt level, typed dispatch) combinations to measure, from
-/// `--engine`, `--opt` and `--typed`:
+/// The (engine, opt level, typed dispatch, simd) combinations to measure,
+/// from `--engine`, `--opt`, `--typed` and `--simd`:
 ///
 /// * no flags: tree-walk and bytecode at `Default`, bytecode at `None`
-///   (the optimiser comparison), and bytecode at `Default` with typed
-///   dispatch off (the typed-dispatch comparison),
-/// * `--typed on|off`: restrict every measured combination to that
-///   dispatch mode (dropping the automatic comparison leg),
+///   (the optimiser comparison), bytecode at `Default` with typed
+///   dispatch off (the typed-dispatch comparison), and bytecode at
+///   `Default` with the vectorize stage off (the SIMD comparison),
+/// * `--typed on|off` / `--simd on|off`: restrict every measured
+///   combination to that mode (dropping the automatic comparison leg),
 /// * only `--engine E`: `E` at `Default` and `None`,
 /// * only `--opt O`: both engines at `O`,
 /// * `--engine` and `--opt`: exactly `(E, O)`.
-fn combos() -> Vec<(Engine, OptLevel, bool)> {
+fn combos() -> Vec<(Engine, OptLevel, bool, bool)> {
     let engine = arg_after("--engine").map(|v| match v.as_str() {
         "bytecode" => Engine::Bytecode,
         "tree_walk" | "tree-walk" | "treewalk" => Engine::TreeWalk,
@@ -112,32 +118,46 @@ fn combos() -> Vec<(Engine, OptLevel, bool)> {
             std::process::exit(2);
         }
     });
+    let simd = arg_after("--simd").map(|v| match v.as_str() {
+        "on" | "true" | "1" => true,
+        "off" | "false" | "0" => false,
+        other => {
+            eprintln!("unknown --simd `{other}` (expected on|off)");
+            std::process::exit(2);
+        }
+    });
     let t = typed.unwrap_or(true);
+    let s = simd.unwrap_or(true);
     match (engine, opt) {
         (None, None) => {
             let mut v = vec![
-                (Engine::TreeWalk, OptLevel::Default, t),
-                (Engine::Bytecode, OptLevel::Default, t),
-                (Engine::Bytecode, OptLevel::None, t),
+                (Engine::TreeWalk, OptLevel::Default, t, s),
+                (Engine::Bytecode, OptLevel::Default, t, s),
+                (Engine::Bytecode, OptLevel::None, t, s),
             ];
             if typed.is_none() {
                 // The typed-dispatch comparison leg: same kernels, same
                 // level, inference stage off.
-                v.push((Engine::Bytecode, OptLevel::Default, false));
+                v.push((Engine::Bytecode, OptLevel::Default, false, s));
+            }
+            if simd.is_none() {
+                // The SIMD comparison leg: same kernels, same level,
+                // typed dispatch on, vectorize stage off.
+                v.push((Engine::Bytecode, OptLevel::Default, t, false));
             }
             v
         }
-        (Some(e), None) => vec![(e, OptLevel::Default, t), (e, OptLevel::None, t)],
-        (None, Some(o)) => vec![(Engine::TreeWalk, o, t), (Engine::Bytecode, o, t)],
-        (Some(e), Some(o)) => vec![(e, o, t)],
+        (Some(e), None) => vec![(e, OptLevel::Default, t, s), (e, OptLevel::None, t, s)],
+        (None, Some(o)) => vec![(Engine::TreeWalk, o, t, s), (Engine::Bytecode, o, t, s)],
+        (Some(e), Some(o)) => vec![(e, o, t, s)],
     }
 }
 
 fn header(title: &str) {
     println!("\n== {title} ==");
     println!(
-        "{:<28} {:>9} {:>10} {:>5} {:>11} {:>12} {:>12}",
-        "strategy", "engine", "opt", "typed", "median (ms)", "total work", "speedup"
+        "{:<28} {:>9} {:>10} {:>5} {:>4} {:>11} {:>12} {:>12}",
+        "strategy", "engine", "opt", "typed", "simd", "median (ms)", "total work", "speedup"
     );
 }
 
@@ -147,6 +167,7 @@ fn header(title: &str) {
 /// wall-clock at `Default` relative to the group's first (baseline)
 /// variant.  Ratios of `None`-vs-`Default` bytecode timings are collected
 /// into `opt_ratios` for the report-level median.
+#[allow(clippy::too_many_arguments)] // one accumulator per headline comparison
 fn table(
     figure: &str,
     group: &str,
@@ -155,6 +176,7 @@ fn table(
     report: &mut Report,
     opt_ratios: &mut Vec<f64>,
     typed_ratios: &mut Vec<f64>,
+    simd_ratios: &mut Vec<f64>,
 ) {
     let combos = combos();
     let mut records = Vec::new();
@@ -163,7 +185,7 @@ fn table(
         // level runs the full optimiser (including the typing stage); it
         // must stay fast.
         let start = Instant::now();
-        let mut rederived = v.kernel.reoptimized_typed(OptLevel::Default, true);
+        let mut rederived = v.kernel.reoptimized_simd(OptLevel::Default, true, true);
         let compile_seconds = start.elapsed().as_secs_f64();
         assert!(
             compile_seconds < COMPILE_BUDGET_SECONDS,
@@ -220,21 +242,33 @@ fn table(
             None
         };
 
+        // How much of the innermost typed counted-loop bodies the
+        // vectorize stage fused into kernel ops (None when the kernel has
+        // no such loops to examine).
+        let (vectorized, vectorizable) = rederived.instrs_vectorized();
+        let vectorized_fraction =
+            if vectorizable > 0 { Some(vectorized as f64 / vectorizable as f64) } else { None };
+
         let mut engines = Vec::new();
-        for &(engine, level, typed) in &combos {
-            let mut kernel = if level == v.kernel.opt_level() && typed == v.kernel.typed_dispatch()
+        for &(engine, level, typed, simd) in &combos {
+            let mut kernel = if level == v.kernel.opt_level()
+                && typed == v.kernel.typed_dispatch()
+                && simd == v.kernel.simd()
             {
                 v.kernel.clone()
             } else {
-                v.kernel.reoptimized_typed(level, typed)
+                v.kernel.reoptimized_simd(level, typed, simd)
             };
             let (secs, stats) = time_kernel_with(&mut kernel, reps, engine);
             engines.push(EngineReport {
                 engine,
                 opt_level: level,
                 // Record the *effective* dispatch mode: the typing stage
-                // is gated off at OptLevel::None regardless of the flag.
+                // is gated off at OptLevel::None regardless of the flag,
+                // and the vectorize stage additionally requires typed
+                // bytecode.
                 typed: typed && level != OptLevel::None,
+                simd: simd && typed && level != OptLevel::None,
                 median_seconds: secs,
                 instrs: kernel.bytecode().code().len(),
                 stats,
@@ -258,34 +292,42 @@ fn table(
             opt: Some(opt),
             validation,
             typed_instr_fraction,
+            simd_speedup: None,
+            vectorized_fraction,
             opcode_counts,
             engines,
         });
     }
 
-    let find = |r: &VariantReport, engine: Engine, level: OptLevel, typed: bool| {
+    let find = |r: &VariantReport, engine: Engine, level: OptLevel, typed: bool, simd: bool| {
         r.engines
             .iter()
-            .find(|e| e.engine == engine && e.opt_level == level && e.typed == typed)
+            .find(|e| {
+                e.engine == engine && e.opt_level == level && e.typed == typed && e.simd == simd
+            })
             .map(|e| e.median_seconds)
     };
-    // The dispatch mode of the measured bytecode@Default leg (false under
-    // `--typed off`): the optimiser comparison and the headline speedup
-    // column follow whichever mode was actually measured.
-    let primary_typed = combos
-        .iter()
-        .find(|&&(e, l, _)| e == Engine::Bytecode && l == OptLevel::Default)
-        .is_none_or(|&(_, _, t)| t);
+    // The effective dispatch/simd mode of the measured bytecode@Default
+    // leg (false under `--typed off` / `--simd off`): the optimiser
+    // comparison and the headline speedup column follow whichever mode
+    // was actually measured.
+    let primary =
+        combos.iter().find(|&&(e, l, _, _)| e == Engine::Bytecode && l == OptLevel::Default);
+    let primary_typed = primary.is_none_or(|&(_, _, t, _)| t);
+    let primary_simd = primary.is_none_or(|&(_, _, t, s)| t && s);
     let baseline = records
         .first()
-        .and_then(|r| find(r, Engine::Bytecode, OptLevel::Default, primary_typed))
+        .and_then(|r| find(r, Engine::Bytecode, OptLevel::Default, primary_typed, primary_simd))
         .or_else(|| records.first().map(|r| r.engines[0].median_seconds));
-    for r in &records {
-        // OptLevel::None rows always record effective typed=false.
-        let none = find(r, Engine::Bytecode, OptLevel::None, false);
-        let default = find(r, Engine::Bytecode, OptLevel::Default, primary_typed);
-        let typed_on = find(r, Engine::Bytecode, OptLevel::Default, true);
-        let default_untyped = find(r, Engine::Bytecode, OptLevel::Default, false);
+    for r in &mut records {
+        // OptLevel::None rows always record effective typed=false,
+        // simd=false.
+        let none = find(r, Engine::Bytecode, OptLevel::None, false, false);
+        let default = find(r, Engine::Bytecode, OptLevel::Default, primary_typed, primary_simd);
+        let typed_on = find(r, Engine::Bytecode, OptLevel::Default, true, primary_simd);
+        let default_untyped = find(r, Engine::Bytecode, OptLevel::Default, false, false);
+        let simd_on = find(r, Engine::Bytecode, OptLevel::Default, true, true);
+        let simd_off = find(r, Engine::Bytecode, OptLevel::Default, true, false);
         if let (Some(n), Some(d)) = (none, default) {
             if d > 0.0 {
                 opt_ratios.push(n / d);
@@ -296,6 +338,12 @@ fn table(
                 typed_ratios.push(g / d);
             }
         }
+        if let (Some(off), Some(on)) = (simd_off, simd_on) {
+            if on > 0.0 {
+                r.simd_speedup = Some(off / on);
+                simd_ratios.push(off / on);
+            }
+        }
         for e in &r.engines {
             // The headline column: baseline-variant bytecode@Default over
             // this measurement (shown on matching rows only).
@@ -304,6 +352,7 @@ fn table(
                     if e.engine == Engine::Bytecode
                         && e.opt_level == OptLevel::Default
                         && e.typed == primary_typed
+                        && e.simd == primary_simd
                         && e.median_seconds > 0.0 =>
                 {
                     format!("{:>11.2}x", base / e.median_seconds)
@@ -311,11 +360,12 @@ fn table(
                 _ => format!("{:>12}", "-"),
             };
             println!(
-                "{:<28} {:>9} {:>10} {:>5} {:>11.3} {:>12} {}",
+                "{:<28} {:>9} {:>10} {:>5} {:>4} {:>11.3} {:>12} {}",
                 r.label,
                 e.engine.label(),
                 e.opt_level.label(),
                 if e.typed { "on" } else { "off" },
+                if e.simd { "on" } else { "off" },
                 e.median_seconds * 1e3,
                 e.stats.total_work(),
                 speedup
@@ -346,6 +396,7 @@ fn main() {
     let mut report = Report::new();
     let mut opt_ratios: Vec<f64> = Vec::new();
     let mut typed_ratios: Vec<f64> = Vec::new();
+    let mut simd_ratios: Vec<f64> = Vec::new();
 
     if wants("1") {
         println!("\n#### Figure 1 — motivating dot product: sparse list x sparse band");
@@ -361,6 +412,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -380,6 +432,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -399,6 +452,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -417,6 +471,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -435,6 +490,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -451,6 +507,7 @@ fn main() {
             &mut report,
             &mut opt_ratios,
             &mut typed_ratios,
+            &mut simd_ratios,
         );
         header(&format!("Humansketches-like images ({size}x{size})"));
         table(
@@ -461,6 +518,7 @@ fn main() {
             &mut report,
             &mut opt_ratios,
             &mut typed_ratios,
+            &mut simd_ratios,
         );
     }
 
@@ -478,6 +536,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -499,6 +558,7 @@ fn main() {
                 &mut report,
                 &mut opt_ratios,
                 &mut typed_ratios,
+                &mut simd_ratios,
             );
         }
     }
@@ -525,6 +585,15 @@ fn main() {
             typed_ratios.len()
         );
         report.typed_speedup = Some(TypedSpeedup { median: med, samples: typed_ratios.len() });
+    }
+
+    if let Some(med) = median(&mut simd_ratios) {
+        println!(
+            "simd kernel-op speedup (bytecode at OptLevel::Default, typed, simd off / on): \
+             median {med:.2}x over {} variants",
+            simd_ratios.len()
+        );
+        report.simd_speedup = Some(SimdSpeedup { median: med, samples: simd_ratios.len() });
     }
 
     if let Err(e) = report.write(&json_path) {

@@ -1,6 +1,6 @@
 //! Differential kernel fuzzer: generate random CIN kernels, execute each
-//! through every `(engine, opt level, typed dispatch)` combination, and
-//! minimize any divergence to a runnable reproducer.
+//! through every `(engine, opt level, typed dispatch, simd)` combination,
+//! and minimize any divergence to a runnable reproducer.
 //!
 //! ```bash
 //! cargo run --release -p finch-bench --bin fuzz-kernels -- --cases 500
@@ -9,8 +9,10 @@
 //! ```
 //!
 //! Every case asserts the repository's correctness contract: bit-identical
-//! outputs across all twelve combinations and engine-identical work
-//! counters at each configuration.  With `--validate`, kernels compile at
+//! outputs across all eighteen combinations, engine-identical work
+//! counters at each configuration, and scalar-identical work counters
+//! between the SIMD kernel-op tier and the typed scalar run at every opt
+//! level.  With `--validate`, kernels compile at
 //! `ValidationLevel::Full`, so each optimisation pass is additionally
 //! translation-validated on witness inputs during compilation.
 //!

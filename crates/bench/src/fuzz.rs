@@ -3,9 +3,9 @@
 //! [`gen_case`] draws a random CIN kernel — a handful of independent
 //! accumulation statements over two shared input vectors in random formats
 //! and protocols — and [`check_case`] executes it through **every**
-//! `(engine, opt level, typed dispatch)` combination, asserting bit-identical
-//! outputs everywhere plus engine-identical [`finch::ExecStats`] at each
-//! configuration.  Any divergence is a miscompile in some stage of the
+//! `(engine, opt level, typed dispatch, simd)` combination, asserting
+//! bit-identical outputs everywhere plus engine-identical
+//! [`finch::ExecStats`] at each configuration.  Any divergence is a miscompile in some stage of the
 //! pipeline.  [`minimize`] then shrinks the offending case with greedy
 //! delta debugging over its statement list, and [`render_repro`] prints the
 //! minimized case as a runnable `#[test]` the bug can be replayed from.
@@ -131,7 +131,7 @@ pub struct FuzzCase {
 /// A detected miscompile: which configuration diverged and how.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Divergence {
-    /// The `(engine, opt level, typed)` combination (or `compile`).
+    /// The `(engine, opt level, typed, simd)` combination (or `compile`).
     pub combo: String,
     /// What diverged.
     pub detail: String,
@@ -226,13 +226,17 @@ pub fn compile_case(
     kernel.compile(&program)
 }
 
-/// Execute one case through every `(engine, opt level, typed)` combination
-/// and return the first divergence, or `None` when all twelve agree.
+/// Execute one case through every `(engine, opt level, typed, simd)`
+/// combination and return the first divergence, or `None` when all
+/// eighteen agree (simd without typed dispatch is skipped — the vectorize
+/// stage only runs over typed bytecode, so that combination compiles to
+/// the same program as plain generic dispatch).
 ///
 /// The correctness contract checked here is the repository's core claim:
 /// outputs are bit-identical across every combination, and at any given
-/// `(opt level, typed)` configuration the two engines report identical
-/// work counters.
+/// `(opt level, typed, simd)` configuration the two engines report
+/// identical work counters — the vectorize stage must also keep the
+/// counters scalar-equivalent, so the simd axis shares one reference.
 pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Divergence> {
     let compiled = match compile_case(case, validation) {
         Ok(k) => k,
@@ -240,11 +244,14 @@ pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Diverg
     };
     let mut reference: Option<Vec<(String, Vec<u64>)>> = None;
     for level in OptLevel::all() {
-        for typed in [false, true] {
-            let mut k = compiled.reoptimized_typed(level, typed);
+        // The typed scalar run's counters at this level: the vectorized
+        // run must report the exact same machine-independent work.
+        let mut scalar_stats: Option<finch::ExecStats> = None;
+        for (typed, simd) in [(false, false), (true, false), (true, true)] {
+            let mut k = compiled.reoptimized_simd(level, typed, simd);
             let mut engine_stats = Vec::new();
             for engine in [Engine::TreeWalk, Engine::Bytecode] {
-                let combo = format!("{engine:?}/{level}/typed={typed}");
+                let combo = format!("{engine:?}/{level}/typed={typed}/simd={simd}");
                 let stats = match k.run_with(engine) {
                     Ok(s) => s,
                     Err(e) => {
@@ -283,6 +290,21 @@ pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Diverg
                     combo: format!("{c0} vs {c1}"),
                     detail: format!("work counters diverge: {s0:?} vs {s1:?}"),
                 });
+            }
+            if typed && !simd {
+                scalar_stats = Some(*s0);
+            } else if typed && simd {
+                if let Some(scalar) = &scalar_stats {
+                    if scalar != s0 {
+                        return Some(Divergence {
+                            combo: c1.clone(),
+                            detail: format!(
+                                "vectorized work counters diverge from the scalar run: \
+                                 {s0:?} vs {scalar:?}"
+                            ),
+                        });
+                    }
+                }
             }
         }
     }

@@ -56,12 +56,23 @@ pub fn time_kernel_with(
     runs: usize,
     engine: Engine,
 ) -> (f64, finch::ExecStats) {
+    // One untimed warmup: the first run after a (re)compile allocates the
+    // persistent VM and faults the buffers in; timed runs see steady state.
+    let stats = kernel.run_with(engine).expect("benchmark kernel runs");
+    // Microsecond kernels are unmeasurable one run at a time (clock
+    // granularity and scheduler noise swamp the signal), so size each
+    // timed sample to span at least ~200µs and report per-run seconds.
+    let start = Instant::now();
+    kernel.run_with(engine).expect("benchmark kernel runs");
+    let estimate = start.elapsed().as_secs_f64();
+    let batch = ((2e-4 / estimate.max(1e-9)) as usize).clamp(1, 1024);
     let mut times = Vec::with_capacity(runs);
-    let mut stats = finch::ExecStats::default();
     for _ in 0..runs.max(1) {
         let start = Instant::now();
-        stats = kernel.run_with(engine).expect("benchmark kernel runs");
-        times.push(start.elapsed().as_secs_f64());
+        for _ in 0..batch {
+            kernel.run_with(engine).expect("benchmark kernel runs");
+        }
+        times.push(start.elapsed().as_secs_f64() / batch as f64);
     }
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     (times[times.len() / 2], stats)

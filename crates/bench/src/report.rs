@@ -7,11 +7,13 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "opt_speedup": { "engine": "bytecode", "baseline": "none",
 //!                    "optimized": "default", "median": 1.62, "samples": 35 },
 //!   "typed_speedup": { "engine": "bytecode", "opt_level": "default",
 //!                      "median": 1.4, "samples": 35 },
+//!   "simd_speedup": { "engine": "bytecode", "opt_level": "default",
+//!                     "median": 1.5, "samples": 35 },
 //!   "figures": [
 //!     { "figure": "fig01", "group": "band width 50",
 //!       "variants": [
@@ -22,9 +24,11 @@
 //!             { "pass": "fold", "transform_seconds": 0.0001,
 //!               "verify_seconds": 0.00002, "validate_seconds": 0.0004 } ] },
 //!           "typed_instr_fraction": 0.93,
+//!           "simd_speedup": 1.42,
+//!           "vectorized_fraction": 0.86,
 //!           "engines": [
 //!             { "engine": "bytecode", "opt_level": "default", "typed": true,
-//!               "median_seconds": 0.0012, "instrs": 74,
+//!               "simd": true, "median_seconds": 0.0012, "instrs": 74,
 //!               "stmts": 10, "loop_iters": 4, "loads": 8, "stores": 4,
 //!               "searches": 0, "total_work": 22 } ] } ] } ] }
 //! ```
@@ -43,6 +47,8 @@ pub struct EngineReport {
     pub opt_level: OptLevel,
     /// Whether the typed-dispatch (register-type inference) stage ran.
     pub typed: bool,
+    /// Whether the vectorize (SIMD kernel-op) stage ran.
+    pub simd: bool,
     /// Median wall-clock seconds across the configured repetitions.
     pub median_seconds: f64,
     /// Bytecode instruction count of the kernel at this opt level.
@@ -101,6 +107,15 @@ pub struct VariantReport {
     /// (typed or tag-neutral) in one profiled run of the typed kernel at
     /// `OptLevel::Default` — the issue's `typed_instr_fraction`.
     pub typed_instr_fraction: Option<f64>,
+    /// This variant's wall-clock speedup of the SIMD kernel-op tier:
+    /// `simd_off_seconds / simd_on_seconds` on the bytecode engine at
+    /// `OptLevel::Default` with typed dispatch on.
+    pub simd_speedup: Option<f64>,
+    /// Fraction of innermost typed counted-loop body instructions the
+    /// vectorize pass replaced with kernel ops
+    /// (`instrs_vectorized / instrs_vectorizable`; `None` when the
+    /// kernel has no such loops).
+    pub vectorized_fraction: Option<f64>,
     /// Per-opcode execution counts of the same profiled run (emitted in
     /// debug builds to quantify the remaining dynamic dispatch).
     pub opcode_counts: Option<Vec<(String, u64)>>,
@@ -148,6 +163,17 @@ pub struct TypedSpeedup {
     pub samples: usize,
 }
 
+/// The headline vectorization result: the median wall-clock speedup of
+/// the bytecode engine at `OptLevel::Default` with the SIMD kernel-op
+/// tier on over the same typed kernels with it off.
+#[derive(Debug, Clone)]
+pub struct SimdSpeedup {
+    /// Median of per-variant `simd_off_seconds / simd_on_seconds`.
+    pub median: f64,
+    /// Number of variants contributing ratios.
+    pub samples: usize,
+}
+
 /// The full report accumulated by one `figures` invocation.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
@@ -156,6 +182,9 @@ pub struct Report {
     /// The headline typed-dispatch speedup, when both dispatch modes were
     /// measured.
     pub typed_speedup: Option<TypedSpeedup>,
+    /// The headline SIMD kernel-op speedup, when both simd modes were
+    /// measured.
+    pub simd_speedup: Option<SimdSpeedup>,
     /// Every figure table measured, in print order.
     pub figures: Vec<FigureGroup>,
 }
@@ -166,11 +195,11 @@ impl Report {
         Report::default()
     }
 
-    /// Serialise the report as a JSON document (schema v4 — see
+    /// Serialise the report as a JSON document (schema v5 — see
     /// EXPERIMENTS.md).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
-        out.push_str("\n  \"schema_version\": 4,");
+        out.push_str("\n  \"schema_version\": 5,");
         if let Some(s) = &self.opt_speedup {
             out.push_str(&format!(
                 "\n  \"opt_speedup\": {{\"engine\": {}, \"baseline\": {}, \
@@ -185,6 +214,14 @@ impl Report {
         if let Some(s) = &self.typed_speedup {
             out.push_str(&format!(
                 "\n  \"typed_speedup\": {{\"engine\": \"bytecode\", \"opt_level\": \"default\", \
+                 \"median\": {}, \"samples\": {}}},",
+                json_number(s.median),
+                s.samples,
+            ));
+        }
+        if let Some(s) = &self.simd_speedup {
+            out.push_str(&format!(
+                "\n  \"simd_speedup\": {{\"engine\": \"bytecode\", \"opt_level\": \"default\", \
                  \"median\": {}, \"samples\": {}}},",
                 json_number(s.median),
                 s.samples,
@@ -214,6 +251,7 @@ impl Report {
                          \"loads_hoisted\": {}, \"instrs_fused\": {}, \
                          \"movs_eliminated\": {}, \"regs_saved\": {}, \
                          \"instrs_typed\": {}, \"regs_pretagged\": {}, \
+                         \"instrs_vectorized\": {}, \"instrs_vectorizable\": {}, \
                          \"ir_stmts_before\": {}, \"ir_stmts_after\": {}}},",
                         json_number(opt.compile_seconds),
                         s.folds,
@@ -227,6 +265,8 @@ impl Report {
                         s.regs_saved,
                         s.instrs_typed,
                         s.regs_pretagged,
+                        s.instrs_vectorized,
+                        s.instrs_vectorizable,
                         s.ir_stmts_before,
                         s.ir_stmts_after,
                     ));
@@ -260,6 +300,12 @@ impl Report {
                         json_number(f)
                     ));
                 }
+                if let Some(f) = v.simd_speedup {
+                    out.push_str(&format!("\n       \"simd_speedup\": {},", json_number(f)));
+                }
+                if let Some(f) = v.vectorized_fraction {
+                    out.push_str(&format!("\n       \"vectorized_fraction\": {},", json_number(f)));
+                }
                 if let Some(counts) = &v.opcode_counts {
                     out.push_str("\n       \"opcode_counts\": {");
                     for (k, (name, count)) in counts.iter().enumerate() {
@@ -277,12 +323,13 @@ impl Report {
                     }
                     out.push_str(&format!(
                         "\n        {{\"engine\": {}, \"opt_level\": {}, \"typed\": {}, \
-                         \"median_seconds\": {}, \"instrs\": {}, \
+                         \"simd\": {}, \"median_seconds\": {}, \"instrs\": {}, \
                          \"stmts\": {}, \"loop_iters\": {}, \"loads\": {}, \
                          \"stores\": {}, \"searches\": {}, \"total_work\": {}}}",
                         json_string(e.engine.label()),
                         json_string(e.opt_level.label()),
                         e.typed,
+                        e.simd,
                         json_number(e.median_seconds),
                         e.instrs,
                         e.stats.stmts,
@@ -356,6 +403,7 @@ mod tests {
                 samples: 4,
             }),
             typed_speedup: Some(TypedSpeedup { median: 1.4, samples: 4 }),
+            simd_speedup: Some(SimdSpeedup { median: 1.5, samples: 4 }),
             figures: vec![FigureGroup {
                 figure: "fig01".into(),
                 group: "band width \"8\"".into(),
@@ -368,6 +416,8 @@ mod tests {
                             loads_hoisted: 2,
                             instrs_typed: 17,
                             regs_pretagged: 5,
+                            instrs_vectorized: 12,
+                            instrs_vectorizable: 14,
                             ..OptStats::default()
                         },
                     }),
@@ -389,12 +439,15 @@ mod tests {
                         ],
                     }),
                     typed_instr_fraction: Some(0.9375),
+                    simd_speedup: Some(1.4375),
+                    vectorized_fraction: Some(0.875),
                     opcode_counts: Some(vec![("load_f64".into(), 100), ("store".into(), 4)]),
                     engines: vec![
                         EngineReport {
                             engine: Engine::TreeWalk,
                             opt_level: OptLevel::Default,
                             typed: true,
+                            simd: true,
                             median_seconds: 0.25,
                             instrs: 90,
                             stats: ExecStats {
@@ -409,6 +462,7 @@ mod tests {
                             engine: Engine::Bytecode,
                             opt_level: OptLevel::None,
                             typed: false,
+                            simd: false,
                             median_seconds: 0.125,
                             instrs: 120,
                             stats: ExecStats {
@@ -428,13 +482,15 @@ mod tests {
     #[test]
     fn json_has_engines_opt_levels_and_escaped_strings() {
         let j = sample().to_json();
-        assert!(j.contains("\"schema_version\": 4"));
+        assert!(j.contains("\"schema_version\": 5"));
         assert!(j.contains("\"tree_walk\""));
         assert!(j.contains("\"bytecode\""));
         assert!(j.contains("\"opt_level\": \"default\""));
         assert!(j.contains("\"opt_level\": \"none\""));
         assert!(j.contains("\"typed\": true"));
         assert!(j.contains("\"typed\": false"));
+        assert!(j.contains("\"simd\": true"));
+        assert!(j.contains("\"simd\": false"));
         assert!(j.contains("\"median_seconds\": 0.125"));
         assert!(j.contains("band width \\\"8\\\""), "{j}");
         assert!(j.contains("\"total_work\": 23"));
@@ -442,15 +498,21 @@ mod tests {
         assert!(j.contains("\"typed_speedup\""));
         assert!(j.contains("\"median\": 1.75"));
         assert!(j.contains("\"median\": 1.4"));
+        assert!(j.contains("\"simd_speedup\": {\"engine\": \"bytecode\""));
+        assert!(j.contains("\"median\": 1.5"));
         assert!(j.contains("\"loads_hoisted\": 2"));
         assert!(j.contains("\"instrs_typed\": 17"));
         assert!(j.contains("\"regs_pretagged\": 5"));
+        assert!(j.contains("\"instrs_vectorized\": 12"));
+        assert!(j.contains("\"instrs_vectorizable\": 14"));
         assert!(j.contains("\"validation\": {\"level\": \"full\""));
         assert!(j.contains("\"verify_seconds\": 0.000006"));
         assert!(j.contains("\"validate_seconds\": 0.002"));
         assert!(j.contains("{\"pass\": \"fold\", \"transform_seconds\": 0.000001"));
         assert!(j.contains("{\"pass\": \"lower\""));
         assert!(j.contains("\"typed_instr_fraction\": 0.9375"));
+        assert!(j.contains("\"simd_speedup\": 1.4375"));
+        assert!(j.contains("\"vectorized_fraction\": 0.875"));
         assert!(j.contains("\"opcode_counts\": {\"load_f64\": 100, \"store\": 4}"));
         assert!(j.contains("\"instrs\": 120"));
     }
@@ -472,13 +534,18 @@ mod tests {
         let mut r = sample();
         r.opt_speedup = None;
         r.typed_speedup = None;
+        r.simd_speedup = None;
         r.figures[0].variants[0].opt = None;
         r.figures[0].variants[0].validation = None;
         r.figures[0].variants[0].typed_instr_fraction = None;
+        r.figures[0].variants[0].simd_speedup = None;
+        r.figures[0].variants[0].vectorized_fraction = None;
         r.figures[0].variants[0].opcode_counts = None;
         let j = r.to_json();
         assert!(!j.contains("opt_speedup"));
         assert!(!j.contains("typed_speedup"));
+        assert!(!j.contains("simd_speedup"));
+        assert!(!j.contains("vectorized_fraction"));
         assert!(!j.contains("compile_seconds"));
         assert!(!j.contains("validation"));
         assert!(!j.contains("typed_instr_fraction"));

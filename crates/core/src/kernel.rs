@@ -107,6 +107,7 @@ pub struct Kernel {
     rewriter: Rewriter,
     opt_level: OptLevel,
     typed_dispatch: bool,
+    simd: bool,
     validation: ValidationLevel,
 }
 
@@ -126,6 +127,7 @@ impl Kernel {
             rewriter: Rewriter::with_default_rules(),
             opt_level: OptLevel::default(),
             typed_dispatch: true,
+            simd: true,
             validation: ValidationLevel::default(),
         }
     }
@@ -171,6 +173,28 @@ impl Kernel {
         self
     }
 
+    /// Whether [`Kernel::compile`] will run the vectorize stage over the
+    /// typed bytecode, fusing matching inner loops into SIMD-style kernel
+    /// ops (the default; requires typed dispatch and an [`OptLevel`]
+    /// above [`OptLevel::None`] to have any effect).
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// Enable or disable the vectorize stage (used by the benchmark
+    /// harness to measure the kernel-op tier's wall-clock win in
+    /// isolation).
+    pub fn set_simd(&mut self, simd: bool) -> &mut Self {
+        self.simd = simd;
+        self
+    }
+
+    /// Builder-style variant of [`Kernel::set_simd`].
+    pub fn with_simd(mut self, simd: bool) -> Self {
+        self.simd = simd;
+        self
+    }
+
     /// The optimisation level [`Kernel::compile`] will apply.
     pub fn opt_level(&self) -> OptLevel {
         self.opt_level
@@ -200,7 +224,7 @@ impl Kernel {
     /// by the generated code at the start of every run.
     pub fn bind_output(&mut self, name: &str, shape: &[usize], init: f64) -> &mut Self {
         let len = shape.iter().product::<usize>().max(1);
-        let buf = self.bufs.add(&format!("{name}_val"), Buffer::F64(vec![init; len]));
+        let buf = self.bufs.add(&format!("{name}_val"), Buffer::F64(vec![init; len].into()));
         let specs = shape.iter().map(|&size| LevelSpec::Dense { size }).collect();
         self.bindings.insert(
             name.to_string(),
@@ -241,9 +265,9 @@ impl Kernel {
                     "sparse output levels are only supported in the innermost position \
                      (output `{name}`)"
                 );
-                let pos = self.bufs.add(&format!("{name}_pos"), Buffer::I64(vec![0]));
-                let idx = self.bufs.add(&format!("{name}_idx"), Buffer::I64(Vec::new()));
-                let val = self.bufs.add(&format!("{name}_val"), Buffer::F64(Vec::new()));
+                let pos = self.bufs.add(&format!("{name}_pos"), Buffer::I64(vec![0].into()));
+                let idx = self.bufs.add(&format!("{name}_idx"), Buffer::I64(Vec::new().into()));
+                let val = self.bufs.add(&format!("{name}_val"), Buffer::F64(Vec::new().into()));
                 self.bindings.insert(
                     name.to_string(),
                     Binding::Output(OutputBinding {
@@ -280,7 +304,7 @@ impl Kernel {
     /// tensors, is not concordant with the tensors' level orders, or uses
     /// unsupported features.
     pub fn compile(self, program: &CinStmt) -> Result<CompiledKernel, CompileError> {
-        let Kernel { names, bufs, bindings, rewriter, opt_level, typed_dispatch, validation } =
+        let Kernel { names, bufs, bindings, rewriter, opt_level, typed_dispatch, simd, validation } =
             self;
         let outputs: HashMap<String, OutputBinding> = bindings
             .iter()
@@ -331,6 +355,7 @@ impl Kernel {
             &ctx.bufs,
             opt_level,
             typed_dispatch,
+            simd,
             validation,
         )?;
         let source = Printer::new(&ctx.names, &ctx.bufs).program(&code);
@@ -351,6 +376,7 @@ impl Kernel {
             opt_level,
             opt_stats,
             typed_dispatch,
+            simd,
             validation,
             pass_reports,
         })
@@ -371,10 +397,11 @@ fn optimize_kernel(
     bufs: &finch_ir::BufferSet,
     level: OptLevel,
     typed: bool,
+    simd: bool,
     validation: ValidationLevel,
 ) -> Result<(Vec<Stmt>, Program, OptStats, Vec<PassReport>), CompileError> {
     let lowered =
-        finch_ir::opt::optimize_and_lower(raw_code, names, bufs, level, typed, validation)
+        finch_ir::opt::optimize_and_lower(raw_code, names, bufs, level, typed, simd, validation)
             .map_err(|e| CompileError::ValidationFailed {
                 pass: e.pass.to_string(),
                 detail: e.detail,
@@ -432,6 +459,7 @@ pub struct CompiledKernel {
     opt_level: OptLevel,
     opt_stats: OptStats,
     typed_dispatch: bool,
+    simd: bool,
     /// The validation level the pass manager ran at when this kernel was
     /// compiled (re-optimisations run at the same level).
     validation: ValidationLevel,
@@ -487,7 +515,14 @@ impl CompiledKernel {
     /// typed-dispatch stage, so the benchmark harness can time the same
     /// kernel with typed dispatch on and off at the same [`OptLevel`].
     pub fn reoptimized_typed(&self, level: OptLevel, typed: bool) -> CompiledKernel {
-        self.rederive(level, typed, self.validation)
+        self.reoptimized_simd(level, typed, self.simd)
+    }
+
+    /// [`CompiledKernel::reoptimized_typed`] with explicit control over
+    /// the vectorize stage as well, so the benchmark harness can time the
+    /// same kernel with the SIMD kernel-op tier on and off.
+    pub fn reoptimized_simd(&self, level: OptLevel, typed: bool, simd: bool) -> CompiledKernel {
+        self.rederive(level, typed, simd, self.validation)
             .expect("re-optimisation of already-validated code must validate")
     }
 
@@ -503,18 +538,26 @@ impl CompiledKernel {
     /// fails the requested checks — which would be a compiler bug, not a
     /// user error.
     pub fn revalidated(&self, validation: ValidationLevel) -> Result<CompiledKernel, CompileError> {
-        self.rederive(self.opt_level, self.typed_dispatch, validation)
+        self.rederive(self.opt_level, self.typed_dispatch, self.simd, validation)
     }
 
     fn rederive(
         &self,
         level: OptLevel,
         typed: bool,
+        simd: bool,
         validation: ValidationLevel,
     ) -> Result<CompiledKernel, CompileError> {
         let mut names = self.raw_names.clone();
-        let (code, bytecode, opt_stats, pass_reports) =
-            optimize_kernel(&self.raw_code, &mut names, &self.bufs, level, typed, validation)?;
+        let (code, bytecode, opt_stats, pass_reports) = optimize_kernel(
+            &self.raw_code,
+            &mut names,
+            &self.bufs,
+            level,
+            typed,
+            simd,
+            validation,
+        )?;
         let source = Printer::new(&names, &self.bufs).program(&code);
         let vm = Vm::new(&bytecode);
         Ok(CompiledKernel {
@@ -533,6 +576,7 @@ impl CompiledKernel {
             opt_level: level,
             opt_stats,
             typed_dispatch: typed,
+            simd,
             validation,
             pass_reports,
         })
@@ -554,6 +598,21 @@ impl CompiledKernel {
     /// (register-type inference) stage.
     pub fn typed_dispatch(&self) -> bool {
         self.typed_dispatch
+    }
+
+    /// Whether this kernel's bytecode went through the vectorize stage
+    /// (which only has an effect on typed bytecode above
+    /// [`OptLevel::None`]).
+    pub fn simd(&self) -> bool {
+        self.simd
+    }
+
+    /// How many scalar inner-loop body instructions the vectorize stage
+    /// replaced with SIMD kernel ops, over how many it examined in
+    /// innermost typed counted loops — the vectorized fraction reported
+    /// by the benchmark harness.
+    pub fn instrs_vectorized(&self) -> (u64, u64) {
+        (self.opt_stats.instrs_vectorized, self.opt_stats.instrs_vectorizable)
     }
 
     /// The engine [`CompiledKernel::run`] dispatches to.
@@ -671,7 +730,7 @@ impl CompiledKernel {
                         v.clear();
                         v.push(0);
                     }
-                    other => *other = Buffer::I64(vec![0]),
+                    other => *other = Buffer::I64(vec![0].into()),
                 }
                 self.bufs.get_mut(idx).clear();
                 self.bufs.get_mut(val).clear();
@@ -1304,6 +1363,12 @@ mod tests {
         k.run().unwrap();
         let val = k.bufs.lookup("C_val").expect("val buffer exists");
         let ptr_before = k.bufs.get(val).as_f64().unwrap().as_ptr();
+        assert_eq!(
+            ptr_before as usize % finch_ir::buffer::LANE_ALIGN,
+            0,
+            "f64 lanes must start on a {}-byte boundary",
+            finch_ir::buffer::LANE_ALIGN
+        );
         for _ in 0..3 {
             k.run().unwrap();
             let ptr_after = k.bufs.get(val).as_f64().unwrap().as_ptr();

@@ -165,30 +165,30 @@ impl BoundTensor {
                 Level::Symmetric { size } => BoundLevel::Symmetric { size: *size },
                 Level::SparseList { size, pos, idx } => BoundLevel::SparseList {
                     size: *size,
-                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone())),
-                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone())),
+                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone().into())),
+                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone().into())),
                 },
                 Level::SparseBand { size, pos, start } => BoundLevel::SparseBand {
                     size: *size,
-                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone())),
-                    start: bufs.add(&format!("{name}_start{k}"), Buffer::I64(start.clone())),
+                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone().into())),
+                    start: bufs.add(&format!("{name}_start{k}"), Buffer::I64(start.clone().into())),
                 },
                 Level::SparseVbl { size, pos, idx, ofs } => BoundLevel::SparseVbl {
                     size: *size,
-                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone())),
-                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone())),
-                    ofs: bufs.add(&format!("{name}_ofs{k}"), Buffer::I64(ofs.clone())),
+                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone().into())),
+                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone().into())),
+                    ofs: bufs.add(&format!("{name}_ofs{k}"), Buffer::I64(ofs.clone().into())),
                 },
                 Level::RunLength { size, pos, idx } => BoundLevel::RunLength {
                     size: *size,
-                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone())),
-                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone())),
+                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone().into())),
+                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone().into())),
                 },
                 Level::PackBits { size, pos, idx, ofs } => BoundLevel::PackBits {
                     size: *size,
-                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone())),
-                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone())),
-                    ofs: bufs.add(&format!("{name}_ofs{k}"), Buffer::I64(ofs.clone())),
+                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone().into())),
+                    idx: bufs.add(&format!("{name}_idx{k}"), Buffer::I64(idx.clone().into())),
+                    ofs: bufs.add(&format!("{name}_ofs{k}"), Buffer::I64(ofs.clone().into())),
                 },
                 Level::Bitmap { size, tbl } => BoundLevel::Bitmap {
                     size: *size,
@@ -196,12 +196,12 @@ impl BoundTensor {
                 },
                 Level::Ragged { size, pos } => BoundLevel::Ragged {
                     size: *size,
-                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone())),
+                    pos: bufs.add(&format!("{name}_pos{k}"), Buffer::I64(pos.clone().into())),
                 },
             };
             levels.push(bl);
         }
-        let values = bufs.add(&format!("{name}_val"), Buffer::F64(tensor.values().to_vec()));
+        let values = bufs.add(&format!("{name}_val"), Buffer::F64(tensor.values().to_vec().into()));
         BoundTensor { name, fill: tensor.fill(), levels, values }
     }
 

@@ -29,13 +29,212 @@ impl fmt::Display for BufId {
     }
 }
 
+/// The byte alignment guaranteed for the first element of every
+/// [`AlignedVec`] (and therefore of every `i64`/`f64` buffer lane):
+/// one full cache line / AVX-512 vector.
+pub const LANE_ALIGN: usize = 64;
+
+/// A growable array whose live elements always start on a
+/// [`LANE_ALIGN`]-byte boundary, so the vectorized kernel ops (and any
+/// SIMD the compiler emits for them) operate on aligned, contiguous
+/// slices.
+///
+/// Implemented without `unsafe`: the backing `Vec<T>` is over-allocated
+/// by up to one cache line and the live range `offset..` starts at the
+/// first aligned element.  Every operation that can move the allocation
+/// re-anchors the live range, so the alignment guarantee holds across
+/// pushes, reserves, and conversions.  `T` must be sized such that
+/// `size_of::<T>()` divides [`LANE_ALIGN`] (both lane types, `i64` and
+/// `f64`, are 8 bytes).
+pub struct AlignedVec<T> {
+    /// Backing storage; `data[offset..]` is live, `data[..offset]` is
+    /// alignment padding.
+    data: Vec<T>,
+    /// Index of the first live element.
+    offset: usize,
+}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    /// The worst-case padding in elements.
+    fn pad_max() -> usize {
+        LANE_ALIGN / std::mem::size_of::<T>()
+    }
+
+    /// Create an empty aligned vector (no allocation yet).
+    pub fn new() -> Self {
+        Self { data: Vec::new(), offset: 0 }
+    }
+
+    /// Create an empty aligned vector with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut v = Self::new();
+        v.grow_for(cap);
+        v
+    }
+
+    /// The padding the current allocation needs in front of the live
+    /// range for it to start on a [`LANE_ALIGN`] boundary.
+    fn want_offset(&self) -> usize {
+        if self.data.capacity() == 0 {
+            return 0;
+        }
+        let mis = self.data.as_ptr() as usize % LANE_ALIGN;
+        if mis == 0 {
+            0
+        } else {
+            debug_assert_eq!((LANE_ALIGN - mis) % std::mem::size_of::<T>(), 0);
+            (LANE_ALIGN - mis) / std::mem::size_of::<T>()
+        }
+    }
+
+    /// Make room for `additional` more live elements and restore the
+    /// alignment invariant.  Afterwards the backing capacity always has
+    /// worst-case-padding slack, so the in-place append the caller does
+    /// next cannot reallocate (which would move the anchor again).
+    fn grow_for(&mut self, additional: usize) {
+        let need = self.data.len() + additional + Self::pad_max();
+        if need > self.data.capacity() {
+            self.data.reserve(need - self.data.len());
+        }
+        let want = self.want_offset();
+        if want != self.offset {
+            let old = self.offset;
+            let n = self.data.len() - old;
+            if want > old {
+                self.data.resize(want + n, T::default());
+                self.data.copy_within(old..old + n, want);
+            } else {
+                self.data.copy_within(old..old + n, want);
+                self.data.truncate(want + n);
+            }
+            self.offset = want;
+        }
+    }
+
+    /// Append one element, keeping the live range aligned.
+    pub fn push(&mut self, x: T) {
+        self.grow_for(1);
+        self.data.push(x);
+    }
+
+    /// Append every element of `xs`, keeping the live range aligned.
+    pub fn extend_from_slice(&mut self, xs: &[T]) {
+        self.grow_for(xs.len());
+        self.data.extend_from_slice(xs);
+    }
+
+    /// Reserve room for at least `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) {
+        self.grow_for(additional);
+    }
+
+    /// Remove every element while keeping the allocated capacity (and
+    /// its alignment anchor).
+    pub fn clear(&mut self) {
+        self.data.truncate(self.offset);
+    }
+
+    /// Shorten to `len` elements (no-op when already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        let keep = self.offset.saturating_add(len);
+        if keep < self.data.len() {
+            self.data.truncate(keep);
+        }
+    }
+
+    /// Resize to `len` elements, filling new space with `value`.
+    pub fn resize(&mut self, len: usize, value: T) {
+        if len > self.len() {
+            self.grow_for(len - self.len());
+        }
+        let target = self.offset + len;
+        self.data.resize(target, value);
+    }
+}
+
+impl<T> AlignedVec<T> {
+    /// The live elements as a contiguous slice (64-byte-aligned when
+    /// non-empty).
+    pub fn as_slice(&self) -> &[T] {
+        &self.data[self.offset..]
+    }
+
+    /// The live elements as a contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data[self.offset..]
+    }
+}
+
+impl<T> std::ops::Deref for AlignedVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> std::ops::DerefMut for AlignedVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default> From<Vec<T>> for AlignedVec<T> {
+    fn from(data: Vec<T>) -> Self {
+        let mut v = Self { data, offset: 0 };
+        v.grow_for(0);
+        v
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for AlignedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::from(iter.into_iter().collect::<Vec<T>>())
+    }
+}
+
+impl<'a, T> IntoIterator for &'a AlignedVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default> Default for AlignedVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        // Re-anchor rather than copying the padding: the clone's
+        // allocation lands at its own address.
+        Self::from(self.as_slice().to_vec())
+    }
+}
+
+impl<T: PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// A typed, flat runtime array.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Buffer {
-    /// Signed 64-bit integers (positions, coordinates, run boundaries).
-    I64(Vec<i64>),
-    /// 64-bit floats (most values arrays).
-    F64(Vec<f64>),
+    /// Signed 64-bit integers (positions, coordinates, run boundaries);
+    /// the lane is 64-byte-aligned and contiguous.
+    I64(AlignedVec<i64>),
+    /// 64-bit floats (most values arrays); the lane is 64-byte-aligned
+    /// and contiguous.
+    F64(AlignedVec<f64>),
     /// Unsigned bytes (image data).
     U8(Vec<u8>),
     /// Booleans (bitmaps / bytemaps).
@@ -175,24 +374,44 @@ impl Buffer {
     pub fn to_f64_vec(&self) -> Vec<f64> {
         match self {
             Buffer::I64(v) => v.iter().map(|&x| x as f64).collect(),
-            Buffer::F64(v) => v.clone(),
+            Buffer::F64(v) => v.to_vec(),
             Buffer::U8(v) => v.iter().map(|&x| x as f64).collect(),
             Buffer::Bool(v) => v.iter().map(|&x| if x { 1.0 } else { 0.0 }).collect(),
         }
     }
 
-    /// Borrow the underlying `i64` data, if this is an integer buffer.
+    /// Borrow the underlying `i64` data as a contiguous (64-byte-aligned)
+    /// slice, if this is an integer buffer.
     pub fn as_i64(&self) -> Option<&[i64]> {
         match self {
-            Buffer::I64(v) => Some(v),
+            Buffer::I64(v) => Some(v.as_slice()),
             _ => None,
         }
     }
 
-    /// Borrow the underlying `f64` data, if this is a float buffer.
+    /// Borrow the underlying `f64` data as a contiguous (64-byte-aligned)
+    /// slice, if this is a float buffer.
     pub fn as_f64(&self) -> Option<&[f64]> {
         match self {
-            Buffer::F64(v) => Some(v),
+            Buffer::F64(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the underlying `i64` data as a contiguous slice,
+    /// if this is an integer buffer.
+    pub fn as_i64_mut(&mut self) -> Option<&mut [i64]> {
+        match self {
+            Buffer::I64(v) => Some(v.as_mut_slice()),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the underlying `f64` data as a contiguous slice,
+    /// if this is a float buffer.
+    pub fn as_f64_mut(&mut self) -> Option<&mut [f64]> {
+        match self {
+            Buffer::F64(v) => Some(v.as_mut_slice()),
             _ => None,
         }
     }
@@ -272,8 +491,8 @@ mod tests {
     #[test]
     fn load_store_roundtrip_all_types() {
         let mut bufs = BufferSet::new();
-        let a = bufs.add("a", Buffer::I64(vec![0; 3]));
-        let b = bufs.add("b", Buffer::F64(vec![0.0; 3]));
+        let a = bufs.add("a", Buffer::I64(vec![0; 3].into()));
+        let b = bufs.add("b", Buffer::F64(vec![0.0; 3].into()));
         let c = bufs.add("c", Buffer::U8(vec![0; 3]));
         let d = bufs.add("d", Buffer::Bool(vec![false; 3]));
 
@@ -290,7 +509,7 @@ mod tests {
 
     #[test]
     fn reducing_store_accumulates() {
-        let mut buf = Buffer::F64(vec![1.0]);
+        let mut buf = Buffer::F64(vec![1.0].into());
         buf.store(0, Value::Float(2.0), Some(BinOp::Add)).unwrap();
         buf.store(0, Value::Float(4.0), Some(BinOp::Max)).unwrap();
         assert_eq!(buf.load(0), Value::Float(4.0));
@@ -298,17 +517,17 @@ mod tests {
 
     #[test]
     fn storing_missing_is_an_error() {
-        let mut buf = Buffer::F64(vec![0.0]);
+        let mut buf = Buffer::F64(vec![0.0].into());
         let err = buf.store(0, Value::Missing, None).unwrap_err();
         assert!(matches!(err, RuntimeError::UnexpectedMissing { .. }));
     }
 
     #[test]
     fn push_grows_every_buffer_type() {
-        let mut i = Buffer::I64(vec![0]);
+        let mut i = Buffer::I64(vec![0].into());
         i.push(Value::Int(7)).unwrap();
         assert_eq!(i.as_i64(), Some(&[0, 7][..]));
-        let mut f = Buffer::F64(vec![]);
+        let mut f = Buffer::F64(vec![].into());
         f.push(Value::Float(2.5)).unwrap();
         assert_eq!(f.as_f64(), Some(&[2.5][..]));
         let mut u = Buffer::U8(vec![]);
@@ -321,7 +540,7 @@ mod tests {
 
     #[test]
     fn pushing_missing_is_an_error() {
-        let mut buf = Buffer::F64(vec![]);
+        let mut buf = Buffer::F64(vec![].into());
         let err = buf.push(Value::Missing).unwrap_err();
         assert!(matches!(err, RuntimeError::UnexpectedMissing { .. }));
         assert!(buf.is_empty(), "a failed push must not grow the buffer");
@@ -330,7 +549,7 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         let mut bufs = BufferSet::new();
-        let a = bufs.add("A_pos", Buffer::I64(vec![]));
+        let a = bufs.add("A_pos", Buffer::I64(vec![].into()));
         assert_eq!(bufs.lookup("A_pos"), Some(a));
         assert_eq!(bufs.lookup("nope"), None);
         assert_eq!(bufs.name(a), "A_pos");
@@ -338,23 +557,99 @@ mod tests {
 
     #[test]
     fn fill_resets_contents() {
-        let mut buf = Buffer::F64(vec![1.0, 2.0, 3.0]);
+        let mut buf = Buffer::F64(vec![1.0, 2.0, 3.0].into());
         buf.fill(Value::Float(0.0)).unwrap();
         assert_eq!(buf.to_f64_vec(), vec![0.0, 0.0, 0.0]);
     }
 
     #[test]
     fn to_f64_vec_converts_all_types() {
-        assert_eq!(Buffer::I64(vec![1, 2]).to_f64_vec(), vec![1.0, 2.0]);
+        assert_eq!(Buffer::I64(vec![1, 2].into()).to_f64_vec(), vec![1.0, 2.0]);
         assert_eq!(Buffer::U8(vec![3]).to_f64_vec(), vec![3.0]);
         assert_eq!(Buffer::Bool(vec![true, false]).to_f64_vec(), vec![1.0, 0.0]);
+    }
+
+    fn assert_aligned<T>(v: &AlignedVec<T>) {
+        if !v.is_empty() {
+            assert_eq!(
+                v.as_slice().as_ptr() as usize % LANE_ALIGN,
+                0,
+                "live range must start on a {LANE_ALIGN}-byte boundary"
+            );
+        }
+    }
+
+    #[test]
+    fn aligned_vec_from_vec_is_lane_aligned() {
+        let v: AlignedVec<f64> = vec![1.0, 2.0, 3.0].into();
+        assert_aligned(&v);
+        assert_eq!(v.as_slice(), &[1.0, 2.0, 3.0]);
+        let w: AlignedVec<i64> = (0..17).collect();
+        assert_aligned(&w);
+        assert_eq!(w.len(), 17);
+    }
+
+    #[test]
+    fn aligned_vec_stays_aligned_across_growth() {
+        let mut v: AlignedVec<f64> = AlignedVec::new();
+        for i in 0..1000 {
+            v.push(i as f64);
+            assert_aligned(&v);
+        }
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as f64));
+
+        v.clear();
+        assert!(v.is_empty());
+        v.extend_from_slice(&[7.0; 100]);
+        assert_aligned(&v);
+        assert_eq!(v.len(), 100);
+
+        v.reserve(4096);
+        assert_aligned(&v);
+        v.resize(513, 0.5);
+        assert_aligned(&v);
+        assert_eq!(v[512], 0.5);
+        assert_eq!(v[99], 7.0);
+        v.truncate(3);
+        assert_eq!(v.as_slice(), &[7.0, 7.0, 7.0]);
+        assert_aligned(&v);
+    }
+
+    #[test]
+    fn aligned_vec_clone_reanchors() {
+        let mut v: AlignedVec<i64> = AlignedVec::new();
+        for i in 0..100 {
+            v.push(i);
+        }
+        let c = v.clone();
+        assert_aligned(&c);
+        assert_eq!(c, v);
+    }
+
+    #[test]
+    fn buffer_lanes_are_aligned_and_mutable() {
+        let mut f = Buffer::F64(vec![1.0, 2.0].into());
+        let lanes = f.as_f64_mut().expect("f64 lanes");
+        assert_eq!(lanes.as_ptr() as usize % LANE_ALIGN, 0);
+        lanes[0] = 9.0;
+        assert_eq!(f.as_f64(), Some(&[9.0, 2.0][..]));
+
+        let mut i = Buffer::I64(vec![3, 4].into());
+        let lanes = i.as_i64_mut().expect("i64 lanes");
+        assert_eq!(lanes.as_ptr() as usize % LANE_ALIGN, 0);
+        lanes[1] = -1;
+        assert_eq!(i.as_i64(), Some(&[3, -1][..]));
+
+        assert!(Buffer::U8(vec![0]).clone().as_f64_mut().is_none());
+        assert!(Buffer::Bool(vec![true]).clone().as_i64_mut().is_none());
     }
 
     #[test]
     fn iter_yields_all_buffers() {
         let mut bufs = BufferSet::new();
-        bufs.add("x", Buffer::I64(vec![1]));
-        bufs.add("y", Buffer::F64(vec![2.0]));
+        bufs.add("x", Buffer::I64(vec![1].into()));
+        bufs.add("y", Buffer::F64(vec![2.0].into()));
         let names: Vec<_> = bufs.iter().map(|(_, n, _)| n.to_string()).collect();
         assert_eq!(names, vec!["x", "y"]);
         assert_eq!(bufs.len(), 2);

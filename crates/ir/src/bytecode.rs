@@ -647,6 +647,260 @@ pub enum Instr {
         /// Compare against `abs(buf[p])` (PackBits stores negated markers).
         on_abs: bool,
     },
+
+    // -----------------------------------------------------------------
+    // Vectorized kernel ops, produced by the vectorize pass in
+    // `crate::opt::vectorize`.  Each one sits immediately *before* a
+    // typed counted loop (an [`Instr::IForTest`] head) and executes all
+    // but the last of the loop's iterations over whole buffer slices —
+    // unrolled, with no per-element dispatch — then advances the loop
+    // counter so the untouched scalar loop runs exactly the final
+    // iteration (which doubles as the remainder handler and restores
+    // every temporary register bit-for-bit).  When any precondition
+    // fails at runtime (rebound buffer kind, an out-of-range access
+    // anywhere in the slice, aliasing between source and destination,
+    // or a step budget that the bulk could overrun), the kernel op does
+    // *nothing* and the scalar loop runs all iterations — the fallback
+    // is the original code.  Each op bumps `ExecStats` by its
+    // scalar-equivalent `cost` per bulk iteration, so work counters are
+    // identical with and without vectorization.
+    // -----------------------------------------------------------------
+    /// Fill: `f64buf[base + v] = imm` for each bulk iteration `v` (the
+    /// dense-output initialisation loop).
+    VFillStoreF64 {
+        /// The F64 destination buffer.
+        buf: BufId,
+        /// Per-iteration element index shape.
+        base: VBase,
+        /// The fill value, inlined bit-exactly.
+        imm: f64,
+        /// Register holding the loop counter (read, then set to the hi
+        /// bound, leaving one iteration for the scalar loop).
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// Scalar-equivalent work per bulk iteration.
+        cost: VCost,
+        /// Unroll width (4 or 8).
+        lanes: u8,
+    },
+    /// Elementwise map: `f64dst[..] reduce= post(pre(a[..]) rhs)` for
+    /// each bulk iteration (the axpy / elementwise-multiply / alpha-blend
+    /// hot paths).  Evaluation order and operand orientation reproduce
+    /// the scalar body bit-for-bit.
+    VMapF64 {
+        /// The F64 destination buffer (must not alias the sources).
+        dst: BufId,
+        /// Destination index shape.
+        dst_base: VBase,
+        /// Store reduction (`Some(Add)` is `+=`).
+        reduce: Option<BinOp>,
+        /// Apply `round_u8` clamping to the value before the store.
+        round: bool,
+        /// The first F64 source buffer.
+        a: BufId,
+        /// First source index shape.
+        a_base: VBase,
+        /// Pre-scale applied to the first loaded operand.
+        a_pre: VScale,
+        /// The second operand (absent, immediate, or a second load).
+        rhs: VRhs,
+        /// Register holding the loop counter.
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// Scalar-equivalent work per bulk iteration.
+        cost: VCost,
+        /// Unroll width (4 or 8).
+        lanes: u8,
+    },
+    /// Inner product: `f64acc[acc_idx] op= a[..] * b[..]` for each bulk
+    /// iteration, folded strictly in order (FP reassociation would break
+    /// bit-exactness with the scalar loop).  `a` and `b` may be the same
+    /// buffer; neither may alias `acc`.
+    VMulAddF64 {
+        /// The F64 accumulator buffer.
+        acc: BufId,
+        /// The accumulator's constant element index (non-negative).
+        acc_idx: i64,
+        /// The first F64 source buffer.
+        a: BufId,
+        /// First source index shape.
+        a_base: VBase,
+        /// The second F64 source buffer.
+        b: BufId,
+        /// Second source index shape.
+        b_base: VBase,
+        /// The reduction operator combining into the accumulator.
+        op: BinOp,
+        /// Register holding the loop counter.
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// Scalar-equivalent work per bulk iteration.
+        cost: VCost,
+        /// Unroll width (4 or 8).
+        lanes: u8,
+    },
+    /// Reduction: `f64acc[acc_idx] op= pre(src[..])` for each bulk
+    /// iteration, folded strictly in order.
+    VReduceF64 {
+        /// The F64 accumulator buffer.
+        acc: BufId,
+        /// The accumulator's constant element index (non-negative).
+        acc_idx: i64,
+        /// The F64 source buffer (must not alias `acc`).
+        src: BufId,
+        /// Source index shape.
+        base: VBase,
+        /// Pre-scale applied to the loaded operand.
+        pre: VScale,
+        /// The reduction operator (`Add`/`Max`/`Min`/...).
+        op: BinOp,
+        /// Register holding the loop counter.
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// Scalar-equivalent work per bulk iteration.
+        cost: VCost,
+        /// Unroll width (4 or 8).
+        lanes: u8,
+    },
+    /// Sparse-output assembly stream: `i64idx_out.push(v)` and
+    /// `f64val_out.push(src[..v])` for each bulk iteration, optionally
+    /// only where `src[..v] cmp guard_imm` holds (the threshold sieve).
+    VAppendRangeF64 {
+        /// The I64 coordinate output buffer.
+        idx_out: BufId,
+        /// The F64 value output buffer.
+        val_out: BufId,
+        /// The F64 source buffer.
+        src: BufId,
+        /// Source index shape.
+        base: VBase,
+        /// Optional filter: append only where `src[..] op imm`.
+        guard: Option<(BinOp, f64)>,
+        /// Register holding the loop counter.
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// Scalar-equivalent work per bulk iteration (always incurred).
+        cost: VCost,
+        /// Additional scalar-equivalent work per *passing* iteration.
+        pass_cost: VCost,
+        /// Unroll width (4 or 8).
+        lanes: u8,
+    },
+    /// Masked constant store into a U8 buffer: `u8dst[..v] = set` where
+    /// `src[..v] cmp imm` holds (image binarization), with the stored
+    /// value rounded and clamped to `0..=255` exactly like
+    /// [`Instr::StoreU8`].
+    VCmpSelectU8 {
+        /// The U8 destination buffer.
+        dst: BufId,
+        /// Destination index shape.
+        dst_base: VBase,
+        /// The F64 source buffer tested.
+        src: BufId,
+        /// Source index shape.
+        src_base: VBase,
+        /// The comparison operator of the mask.
+        cmp: BinOp,
+        /// The comparison immediate.
+        cmp_imm: f64,
+        /// The value stored where the mask holds.
+        set: f64,
+        /// Register holding the loop counter.
+        counter: Reg,
+        /// Register holding the inclusive upper bound.
+        hi: Reg,
+        /// Scalar-equivalent work per bulk iteration (always incurred).
+        cost: VCost,
+        /// Additional scalar-equivalent work per *passing* iteration.
+        pass_cost: VCost,
+        /// Unroll width (4 or 8).
+        lanes: u8,
+    },
+}
+
+/// Per-iteration element index shape of a vectorized kernel op: either
+/// the loop counter itself (a dense 1-D walk) or `ints[reg] * stride + v`
+/// (a row-major inner loop whose row base is loop-invariant; the base
+/// register must never be written inside the loop body).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VBase {
+    /// The element index is the bulk iteration counter `v` itself.
+    Var,
+    /// The element index is `ints[reg] * stride + v` with `stride >= 1`.
+    Scaled {
+        /// Register holding the loop-invariant row coordinate.
+        reg: Reg,
+        /// The row stride (elements per row), at least 1.
+        stride: i64,
+    },
+}
+
+/// Pre-scale applied to a loaded operand of a vectorized kernel op,
+/// preserving the scalar body's operand orientation bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VScale {
+    /// The operand is used as loaded.
+    None,
+    /// `imm op x` — the [`Instr::FMulLoad`]-shaped `const * load`.
+    Left {
+        /// The operator.
+        op: BinOp,
+        /// The left immediate, inlined bit-exactly.
+        imm: f64,
+    },
+    /// `x op imm` — the [`Instr::FArithImm`]-shaped `load * const`.
+    Right {
+        /// The operator.
+        op: BinOp,
+        /// The right immediate, inlined bit-exactly.
+        imm: f64,
+    },
+}
+
+/// The second operand of a [`Instr::VMapF64`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VRhs {
+    /// No second operand: the map stores the (pre-scaled) first load.
+    None,
+    /// `x op imm` with an inlined immediate.
+    Imm {
+        /// The operator.
+        op: BinOp,
+        /// The immediate, inlined bit-exactly.
+        imm: f64,
+    },
+    /// `x op pre(b[..])` — a second load, with its own index shape and
+    /// pre-scale.
+    Buf {
+        /// The operator combining the two operands.
+        op: BinOp,
+        /// The second F64 source buffer.
+        buf: BufId,
+        /// Second source index shape.
+        base: VBase,
+        /// Pre-scale applied to the second loaded operand.
+        pre: VScale,
+    },
+}
+
+/// Scalar-equivalent [`crate::interp::ExecStats`] deltas one bulk
+/// iteration of a vectorized kernel op accounts for — exactly what the
+/// replaced scalar loop body would have counted, so work counters stay
+/// bit-identical with vectorization on or off.  (`loop_iters` is always
+/// one per bulk iteration and is not encoded.)
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VCost {
+    /// Executed statements ([`Instr::BumpStmt`]s) per iteration.
+    pub stmts: u8,
+    /// Counted loads per iteration.
+    pub loads: u8,
+    /// Counted stores per iteration.
+    pub stores: u8,
 }
 
 /// The statically-inferred lane of a register, recorded in
@@ -734,6 +988,13 @@ impl Instr {
             | Instr::FWhileCmp { .. }
             | Instr::IForTest { .. }
             | Instr::ISeek { .. } => true,
+            // The vectorized kernel ops: whole typed loops, no tags.
+            Instr::VFillStoreF64 { .. }
+            | Instr::VMapF64 { .. }
+            | Instr::VMulAddF64 { .. }
+            | Instr::VReduceF64 { .. }
+            | Instr::VAppendRangeF64 { .. }
+            | Instr::VCmpSelectU8 { .. } => true,
             _ => false,
         }
     }
@@ -796,6 +1057,12 @@ impl Instr {
             Instr::FWhileCmp { .. } => "f_while_cmp",
             Instr::IForTest { .. } => "i_for_test",
             Instr::ISeek { .. } => "i_seek",
+            Instr::VFillStoreF64 { .. } => "v_fill_store_f64",
+            Instr::VMapF64 { .. } => "v_map_f64",
+            Instr::VMulAddF64 { .. } => "v_mul_add_f64",
+            Instr::VReduceF64 { .. } => "v_reduce_f64",
+            Instr::VAppendRangeF64 { .. } => "v_append_range_f64",
+            Instr::VCmpSelectU8 { .. } => "v_cmp_select_u8",
         }
     }
 }
@@ -920,6 +1187,50 @@ impl Program {
                 ));
             }
             Ok(())
+        };
+        // Shared checks for the vectorized kernel ops.
+        let check_vloop = |pc: usize, counter: Reg, hi: Reg, lanes: u8| -> Result<(), String> {
+            check_reg(pc, counter)?;
+            check_reg(pc, hi)?;
+            if lanes != 4 && lanes != 8 {
+                return Err(format!(
+                    "vector op at pc {pc} has a misaligned lane count {lanes} (must be 4 or 8)"
+                ));
+            }
+            Ok(())
+        };
+        let check_vbase = |pc: usize, base: VBase| -> Result<(), String> {
+            match base {
+                VBase::Var => Ok(()),
+                VBase::Scaled { reg, stride } => {
+                    check_reg(pc, reg)?;
+                    if stride < 1 {
+                        return Err(format!(
+                            "vector op at pc {pc} has a bad slice range (stride {stride})"
+                        ));
+                    }
+                    Ok(())
+                }
+            }
+        };
+        let check_vidx = |pc: usize, idx: i64| -> Result<(), String> {
+            if idx < 0 {
+                return Err(format!(
+                    "vector op at pc {pc} has a bad slice range (accumulator index {idx})"
+                ));
+            }
+            Ok(())
+        };
+        let check_vscale = |pc: usize, pre: VScale| -> Result<(), String> {
+            match pre {
+                VScale::None => Ok(()),
+                VScale::Left { op, .. } | VScale::Right { op, .. } => {
+                    if !is_float_arith(op) {
+                        return Err(format!("unsupported vector pre-scale op {op:?} at pc {pc}"));
+                    }
+                    Ok(())
+                }
+            }
         };
         for (pc, instr) in self.code.iter().enumerate() {
             match *instr {
@@ -1134,6 +1445,74 @@ impl Program {
                     check_reg(pc, hi)?;
                     check_reg(pc, key)?;
                 }
+                Instr::VFillStoreF64 { base, counter, hi, cost, lanes, .. } => {
+                    check_vloop(pc, counter, hi, lanes)?;
+                    check_vbase(pc, base)?;
+                    let _ = cost;
+                }
+                Instr::VMapF64 {
+                    dst_base, reduce, a_base, a_pre, rhs, counter, hi, lanes, ..
+                } => {
+                    check_vloop(pc, counter, hi, lanes)?;
+                    check_vbase(pc, dst_base)?;
+                    check_vbase(pc, a_base)?;
+                    check_vscale(pc, a_pre)?;
+                    if !is_arith_reduce(reduce) {
+                        return Err(format!("non-arithmetic vector store reduce at pc {pc}"));
+                    }
+                    match rhs {
+                        VRhs::None => {}
+                        VRhs::Imm { op, .. } => {
+                            if !is_float_arith(op) {
+                                return Err(format!("unsupported vector map op {op:?} at pc {pc}"));
+                            }
+                        }
+                        VRhs::Buf { op, base, pre, .. } => {
+                            if !is_float_arith(op) {
+                                return Err(format!("unsupported vector map op {op:?} at pc {pc}"));
+                            }
+                            check_vbase(pc, base)?;
+                            check_vscale(pc, pre)?;
+                        }
+                    }
+                }
+                Instr::VMulAddF64 { acc_idx, a_base, b_base, op, counter, hi, lanes, .. } => {
+                    check_vloop(pc, counter, hi, lanes)?;
+                    check_vidx(pc, acc_idx)?;
+                    check_vbase(pc, a_base)?;
+                    check_vbase(pc, b_base)?;
+                    if !is_float_arith(op) {
+                        return Err(format!("unsupported vector reduce op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::VReduceF64 { acc_idx, base, pre, op, counter, hi, lanes, .. } => {
+                    check_vloop(pc, counter, hi, lanes)?;
+                    check_vidx(pc, acc_idx)?;
+                    check_vbase(pc, base)?;
+                    check_vscale(pc, pre)?;
+                    if !is_float_arith(op) {
+                        return Err(format!("unsupported vector reduce op {op:?} at pc {pc}"));
+                    }
+                }
+                Instr::VAppendRangeF64 { base, guard, counter, hi, lanes, .. } => {
+                    check_vloop(pc, counter, hi, lanes)?;
+                    check_vbase(pc, base)?;
+                    if let Some((op, _)) = guard {
+                        if !is_cmp_op(op) {
+                            return Err(format!(
+                                "non-comparison vector guard op {op:?} at pc {pc}"
+                            ));
+                        }
+                    }
+                }
+                Instr::VCmpSelectU8 { dst_base, src_base, cmp, counter, hi, lanes, .. } => {
+                    check_vloop(pc, counter, hi, lanes)?;
+                    check_vbase(pc, dst_base)?;
+                    check_vbase(pc, src_base)?;
+                    if !is_cmp_op(cmp) {
+                        return Err(format!("non-comparison vector guard op {cmp:?} at pc {pc}"));
+                    }
+                }
             }
         }
         for &(r, _) in &self.pretags {
@@ -1173,6 +1552,15 @@ impl Program {
         let reduce_op = |reduce: Option<BinOp>| match reduce {
             None => "=".to_string(),
             Some(op) => format!("{}=", op.symbol()),
+        };
+        let vbase = |base: VBase| match base {
+            VBase::Var => "v".to_string(),
+            VBase::Scaled { reg, stride } => format!("{}*{stride}+v", r(reg)),
+        };
+        let vscaled = |pre: VScale, x: String| match pre {
+            VScale::None => x,
+            VScale::Left { op, imm } => binop(op, format!("{}", Value::Float(imm)), x),
+            VScale::Right { op, imm } => binop(op, x, format!("{}", Value::Float(imm))),
         };
         match instr {
             Instr::BumpStmt => "stmt".to_string(),
@@ -1313,6 +1701,139 @@ impl Program {
             Instr::ISeek { dst, buf, lo, hi, key, on_abs } => {
                 let f = if on_abs { "seek_abs.i" } else { "seek.i" };
                 format!("{} = {f}(b{}, {}, {}, {})", r(dst), buf.index(), r(lo), r(hi), r(key))
+            }
+            Instr::VFillStoreF64 { buf, base, imm, counter, hi, lanes, .. } => {
+                format!(
+                    "vfill.f64 b{}[{}] = {} for v in [{}, {}) (x{lanes})",
+                    buf.index(),
+                    vbase(base),
+                    Value::Float(imm),
+                    r(counter),
+                    r(hi)
+                )
+            }
+            Instr::VMapF64 {
+                dst,
+                dst_base,
+                reduce,
+                round,
+                a,
+                a_base,
+                a_pre,
+                rhs,
+                counter,
+                hi,
+                lanes,
+                ..
+            } => {
+                let x = vscaled(a_pre, format!("b{}[{}]", a.index(), vbase(a_base)));
+                let val = match rhs {
+                    VRhs::None => x,
+                    VRhs::Imm { op, imm } => binop(op, x, format!("{}", Value::Float(imm))),
+                    VRhs::Buf { op, buf, base, pre } => {
+                        let y = vscaled(pre, format!("b{}[{}]", buf.index(), vbase(base)));
+                        binop(op, x, y)
+                    }
+                };
+                let val = if round { format!("round_u8({val})") } else { val };
+                format!(
+                    "vmap.f64 b{}[{}] {} {val} for v in [{}, {}) (x{lanes})",
+                    dst.index(),
+                    vbase(dst_base),
+                    reduce_op(reduce),
+                    r(counter),
+                    r(hi)
+                )
+            }
+            Instr::VMulAddF64 {
+                acc,
+                acc_idx,
+                a,
+                a_base,
+                b,
+                b_base,
+                op,
+                counter,
+                hi,
+                lanes,
+                ..
+            } => {
+                let x = format!("b{}[{}]", a.index(), vbase(a_base));
+                let y = format!("b{}[{}]", b.index(), vbase(b_base));
+                format!(
+                    "vmuladd.f64 b{}[{acc_idx}] {} {} for v in [{}, {}) (x{lanes})",
+                    acc.index(),
+                    reduce_op(Some(op)),
+                    binop(BinOp::Mul, x, y),
+                    r(counter),
+                    r(hi)
+                )
+            }
+            Instr::VReduceF64 { acc, acc_idx, src, base, pre, op, counter, hi, lanes, .. } => {
+                let x = vscaled(pre, format!("b{}[{}]", src.index(), vbase(base)));
+                format!(
+                    "vreduce.f64 b{}[{acc_idx}] {} {x} for v in [{}, {}) (x{lanes})",
+                    acc.index(),
+                    reduce_op(Some(op)),
+                    r(counter),
+                    r(hi)
+                )
+            }
+            Instr::VAppendRangeF64 {
+                idx_out,
+                val_out,
+                src,
+                base,
+                guard,
+                counter,
+                hi,
+                lanes,
+                ..
+            } => {
+                let load = format!("b{}[{}]", src.index(), vbase(base));
+                let filter = match guard {
+                    None => String::new(),
+                    Some((op, imm)) => {
+                        format!(
+                            " where {}",
+                            binop(op, load.clone(), format!("{}", Value::Float(imm)))
+                        )
+                    }
+                };
+                format!(
+                    "vappend.f64 b{}.push(v), b{}.push({load}){filter} for v in [{}, {}) (x{lanes})",
+                    idx_out.index(),
+                    val_out.index(),
+                    r(counter),
+                    r(hi)
+                )
+            }
+            Instr::VCmpSelectU8 {
+                dst,
+                dst_base,
+                src,
+                src_base,
+                cmp,
+                cmp_imm,
+                set,
+                counter,
+                hi,
+                lanes,
+                ..
+            } => {
+                let test = binop(
+                    cmp,
+                    format!("b{}[{}]", src.index(), vbase(src_base)),
+                    format!("{}", Value::Float(cmp_imm)),
+                );
+                format!(
+                    "vselect.u8 b{}[{}] = {} where {test} for v in [{}, {}) (x{lanes})",
+                    dst.index(),
+                    vbase(dst_base),
+                    Value::Float(set),
+                    r(counter),
+                    r(hi)
+                )
             }
         }
     }
@@ -1643,7 +2164,7 @@ mod tests {
     fn jump_resolution_on_nested_if_while_for() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let p = names.fresh("p");
         let i = names.fresh("i");
         let prog = vec![
@@ -1748,7 +2269,7 @@ mod tests {
     fn search_compiles_to_seek_with_coerced_operands() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![1, 3, 5]));
+        let idx = bufs.add("idx", Buffer::I64(vec![1, 3, 5].into()));
         let a = names.fresh("a");
         let prog = vec![Stmt::Let {
             var: a,
@@ -1835,8 +2356,8 @@ mod tests {
     fn golden_disasm_of_append_and_fiber_end() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let pos = bufs.add("C_pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
+        let pos = bufs.add("C_pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![].into()));
         let i = names.fresh("i");
         let prog = vec![
             Stmt::Let { var: i, init: Expr::int(3) },
@@ -1862,8 +2383,8 @@ mod tests {
     fn golden_disasm_of_a_reducing_for_loop() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0; 3]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0; 3].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -1898,8 +2419,8 @@ mod tests {
     fn append_operand_registers_are_validated() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![]));
-        let pos = bufs.add("pos", Buffer::I64(vec![0]));
+        let idx = bufs.add("idx", Buffer::I64(vec![].into()));
+        let pos = bufs.add("pos", Buffer::I64(vec![0].into()));
         let v = names.fresh("v");
         let prog = vec![
             Stmt::Let { var: v, init: Expr::int(1) },
@@ -2113,5 +2634,303 @@ mod tests {
         let mut p = base(vec![Instr::Nop]);
         p.num_regs = Program::REG_LIMIT + 1;
         assert!(p.validate().unwrap_err().contains("exceeds the limit"));
+    }
+
+    /// One hand-built instance of every vectorized kernel-op encoding,
+    /// pinned against its exact disassembly.
+    #[test]
+    fn golden_disasm_of_vector_kernel_ops() {
+        let mut names = Names::new();
+        let i = names.fresh("i");
+        let n = names.fresh("n");
+        let k = names.fresh("k");
+        let _ = (i, n, k);
+        let b = crate::buffer::BufId;
+        let cost = VCost { stmts: 1, loads: 1, stores: 1 };
+        let program = Program {
+            code: vec![
+                Instr::VFillStoreF64 {
+                    buf: b(0),
+                    base: VBase::Var,
+                    imm: 0.0,
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    lanes: 8,
+                },
+                Instr::VMapF64 {
+                    dst: b(2),
+                    dst_base: VBase::Var,
+                    reduce: Some(BinOp::Add),
+                    round: false,
+                    a: b(0),
+                    a_base: VBase::Var,
+                    a_pre: VScale::Right { op: BinOp::Mul, imm: 0.75 },
+                    rhs: VRhs::None,
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    lanes: 8,
+                },
+                Instr::VMapF64 {
+                    dst: b(2),
+                    dst_base: VBase::Scaled { reg: Reg(2), stride: 4 },
+                    reduce: None,
+                    round: true,
+                    a: b(0),
+                    a_base: VBase::Scaled { reg: Reg(2), stride: 4 },
+                    a_pre: VScale::Left { op: BinOp::Mul, imm: 0.6 },
+                    rhs: VRhs::Buf {
+                        op: BinOp::Add,
+                        buf: b(1),
+                        base: VBase::Scaled { reg: Reg(2), stride: 4 },
+                        pre: VScale::Left { op: BinOp::Mul, imm: 0.4 },
+                    },
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    lanes: 8,
+                },
+                Instr::VMulAddF64 {
+                    acc: b(2),
+                    acc_idx: 0,
+                    a: b(0),
+                    a_base: VBase::Var,
+                    b: b(1),
+                    b_base: VBase::Var,
+                    op: BinOp::Add,
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    lanes: 8,
+                },
+                Instr::VReduceF64 {
+                    acc: b(2),
+                    acc_idx: 0,
+                    src: b(0),
+                    base: VBase::Var,
+                    pre: VScale::None,
+                    op: BinOp::Max,
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    lanes: 8,
+                },
+                Instr::VAppendRangeF64 {
+                    idx_out: b(3),
+                    val_out: b(4),
+                    src: b(0),
+                    base: VBase::Var,
+                    guard: Some((BinOp::Gt, 0.3)),
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    pass_cost: VCost { stmts: 2, loads: 1, stores: 2 },
+                    lanes: 4,
+                },
+                Instr::VCmpSelectU8 {
+                    dst: b(5),
+                    dst_base: VBase::Var,
+                    src: b(0),
+                    src_base: VBase::Var,
+                    cmp: BinOp::Gt,
+                    cmp_imm: 0.5,
+                    set: 255.0,
+                    counter: Reg(0),
+                    hi: Reg(1),
+                    cost,
+                    pass_cost: VCost { stmts: 1, loads: 0, stores: 1 },
+                    lanes: 4,
+                },
+            ],
+            consts: Vec::new(),
+            var_names: names.iter().map(|v| names.name(v).to_string()).collect(),
+            num_regs: 3,
+            pretags: vec![(Reg(0), LaneTag::Int), (Reg(1), LaneTag::Int), (Reg(2), LaneTag::Int)],
+        };
+        program.validate().expect("vector kernel ops validate");
+        let expected = "   0: vfill.f64 b0[v] = 0.0 for v in [i, n) (x8)
+   1: vmap.f64 b2[v] += b0[v] * 0.75 for v in [i, n) (x8)
+   2: vmap.f64 b2[k*4+v] = round_u8(0.6 * b0[k*4+v] + 0.4 * b1[k*4+v]) for v in [i, n) (x8)
+   3: vmuladd.f64 b2[0] += b0[v] * b1[v] for v in [i, n) (x8)
+   4: vreduce.f64 b2[0] max= b0[v] for v in [i, n) (x8)
+   5: vappend.f64 b3.push(v), b4.push(b0[v]) where b0[v] > 0.3 for v in [i, n) (x4)
+   6: vselect.u8 b5[v] = 255.0 where b0[v] > 0.5 for v in [i, n) (x4)
+";
+        assert_eq!(program.disasm(), expected);
+    }
+
+    /// Every vectorized kernel op rejects a bad slice range, a misaligned
+    /// lane count, and an out-of-range register through [`Program::validate`].
+    #[test]
+    fn vector_validate_rejects_each_malformed_encoding() {
+        let base = |code: Vec<Instr>| Program {
+            code,
+            consts: Vec::new(),
+            var_names: vec!["a".into()],
+            num_regs: 1,
+            pretags: Vec::new(),
+        };
+        let b = crate::buffer::BufId;
+        let cost = VCost { stmts: 1, loads: 1, stores: 1 };
+        // A well-formed instance of each op, parameterised over the loop
+        // registers, index shape, and lane width so each malformation can
+        // be injected per op.
+        type Mk = Box<dyn Fn(Reg, VBase, u8) -> Instr>;
+        let mk_ops: Vec<Mk> = vec![
+            Box::new(move |r, base, lanes| Instr::VFillStoreF64 {
+                buf: b(0),
+                base,
+                imm: 0.0,
+                counter: r,
+                hi: r,
+                cost,
+                lanes,
+            }),
+            Box::new(move |r, base, lanes| Instr::VMapF64 {
+                dst: b(1),
+                dst_base: base,
+                reduce: None,
+                round: false,
+                a: b(0),
+                a_base: base,
+                a_pre: VScale::None,
+                rhs: VRhs::None,
+                counter: r,
+                hi: r,
+                cost,
+                lanes,
+            }),
+            Box::new(move |r, base, lanes| Instr::VMulAddF64 {
+                acc: b(2),
+                acc_idx: 0,
+                a: b(0),
+                a_base: base,
+                b: b(1),
+                b_base: base,
+                op: BinOp::Add,
+                counter: r,
+                hi: r,
+                cost,
+                lanes,
+            }),
+            Box::new(move |r, base, lanes| Instr::VReduceF64 {
+                acc: b(1),
+                acc_idx: 0,
+                src: b(0),
+                base,
+                pre: VScale::None,
+                op: BinOp::Add,
+                counter: r,
+                hi: r,
+                cost,
+                lanes,
+            }),
+            Box::new(move |r, base, lanes| Instr::VAppendRangeF64 {
+                idx_out: b(1),
+                val_out: b(2),
+                src: b(0),
+                base,
+                guard: None,
+                counter: r,
+                hi: r,
+                cost,
+                pass_cost: cost,
+                lanes,
+            }),
+            Box::new(move |r, base, lanes| Instr::VCmpSelectU8 {
+                dst: b(1),
+                dst_base: base,
+                src: b(0),
+                src_base: base,
+                cmp: BinOp::Gt,
+                cmp_imm: 0.5,
+                set: 255.0,
+                counter: r,
+                hi: r,
+                cost,
+                pass_cost: cost,
+                lanes,
+            }),
+        ];
+        for mk in &mk_ops {
+            // The well-formed baseline passes.
+            let p = base(vec![mk(Reg(0), VBase::Var, 8)]);
+            assert_eq!(p.validate(), Ok(()));
+            // Bad slice range: a scaled index shape with stride < 1.
+            let p = base(vec![mk(Reg(0), VBase::Scaled { reg: Reg(0), stride: 0 }, 8)]);
+            assert!(p.validate().unwrap_err().contains("bad slice range"));
+            // Misaligned lane count (must be 4 or 8).
+            for lanes in [0, 3, 5, 16] {
+                let p = base(vec![mk(Reg(0), VBase::Var, lanes)]);
+                assert!(p.validate().unwrap_err().contains("misaligned lane count"));
+            }
+            // Out-of-range loop registers and index-shape base register.
+            let p = base(vec![mk(Reg(9), VBase::Var, 8)]);
+            assert!(p.validate().unwrap_err().contains("outside the file"));
+            let p = base(vec![mk(Reg(0), VBase::Scaled { reg: Reg(9), stride: 1 }, 8)]);
+            assert!(p.validate().unwrap_err().contains("outside the file"));
+        }
+
+        // A negative accumulator element index is a bad slice range.
+        let p = base(vec![Instr::VMulAddF64 {
+            acc: b(0),
+            acc_idx: -1,
+            a: b(1),
+            a_base: VBase::Var,
+            b: b(2),
+            b_base: VBase::Var,
+            op: BinOp::Add,
+            counter: Reg(0),
+            hi: Reg(0),
+            cost,
+            lanes: 8,
+        }]);
+        assert!(p.validate().unwrap_err().contains("bad slice range"));
+
+        // Operator whitelists: a logical map reduce, a comparison where
+        // arithmetic is required, and arithmetic where a comparison is
+        // required are all rejected.
+        let p = base(vec![Instr::VMapF64 {
+            dst: b(0),
+            dst_base: VBase::Var,
+            reduce: Some(BinOp::And),
+            round: false,
+            a: b(1),
+            a_base: VBase::Var,
+            a_pre: VScale::None,
+            rhs: VRhs::None,
+            counter: Reg(0),
+            hi: Reg(0),
+            cost,
+            lanes: 8,
+        }]);
+        assert!(p.validate().unwrap_err().contains("non-arithmetic vector store reduce"));
+        let p = base(vec![Instr::VReduceF64 {
+            acc: b(0),
+            acc_idx: 0,
+            src: b(1),
+            base: VBase::Var,
+            pre: VScale::None,
+            op: BinOp::Lt,
+            counter: Reg(0),
+            hi: Reg(0),
+            cost,
+            lanes: 8,
+        }]);
+        assert!(p.validate().unwrap_err().contains("unsupported vector reduce op"));
+        let p = base(vec![Instr::VAppendRangeF64 {
+            idx_out: b(0),
+            val_out: b(1),
+            src: b(2),
+            base: VBase::Var,
+            guard: Some((BinOp::Add, 0.0)),
+            counter: Reg(0),
+            hi: Reg(0),
+            cost,
+            pass_cost: cost,
+            lanes: 4,
+        }]);
+        assert!(p.validate().unwrap_err().contains("non-comparison vector guard op"));
     }
 }

@@ -302,8 +302,8 @@ mod tests {
     #[test]
     fn for_loop_sums_a_buffer() {
         let (mut names, mut bufs) = setup();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -347,7 +347,7 @@ mod tests {
     #[test]
     fn empty_for_loop_does_not_execute() {
         let (mut names, mut bufs) = setup();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -371,10 +371,10 @@ mod tests {
         // for i in 0..=3 { if x[i] != 0 { idx.push(i); val.push(x[i]) } }
         // pos.push(idx.len())
         let (mut names, mut bufs) = setup();
-        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0]));
-        let pos = bufs.add("C_pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
-        let val = bufs.add("C_val", Buffer::F64(vec![]));
+        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0].into()));
+        let pos = bufs.add("C_pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![].into()));
+        let val = bufs.add("C_val", Buffer::F64(vec![].into()));
         let i = names.fresh("i");
         let prog = vec![
             Stmt::For {
@@ -403,7 +403,7 @@ mod tests {
     #[test]
     fn appending_missing_is_an_error() {
         let (names, mut bufs) = setup();
-        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let idx = bufs.add("idx", Buffer::I64(vec![].into()));
         let prog = vec![Stmt::Append { buf: idx, value: Expr::missing() }];
         let mut interp = Interpreter::new(&names);
         let err = interp.run(&prog, &mut bufs).unwrap_err();
@@ -413,7 +413,7 @@ mod tests {
     #[test]
     fn out_of_bounds_load_is_reported_with_buffer_name() {
         let (mut names, mut bufs) = setup();
-        let x = bufs.add("vals", Buffer::F64(vec![1.0]));
+        let x = bufs.add("vals", Buffer::F64(vec![1.0].into()));
         let v = names.fresh("v");
         let prog = vec![Stmt::Let { var: v, init: Expr::load(x, Expr::int(7)) }];
         let mut interp = Interpreter::new(&names);
@@ -452,7 +452,7 @@ mod tests {
     #[test]
     fn binary_search_finds_lower_bound() {
         let (names, mut bufs) = setup();
-        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12]));
+        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12].into()));
         let mut interp = Interpreter::new(&names);
         let search = |interp: &mut Interpreter, bufs: &BufferSet, key: i64| {
             interp
@@ -483,7 +483,7 @@ mod tests {
     fn binary_search_on_abs_handles_negative_markers() {
         // PackBits stores literal-region boundaries as negative coordinates.
         let (names, mut bufs) = setup();
-        let idx = bufs.add("idx", Buffer::I64(vec![3, -6, 8, -11]));
+        let idx = bufs.add("idx", Buffer::I64(vec![3, -6, 8, -11].into()));
         let mut interp = Interpreter::new(&names);
         let v = interp
             .eval(
@@ -513,7 +513,7 @@ mod tests {
     #[test]
     fn load_at_missing_index_is_missing() {
         let (names, mut bufs) = setup();
-        let x = bufs.add("x", Buffer::F64(vec![1.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0].into()));
         let mut interp = Interpreter::new(&names);
         let e = Expr::load(x, Expr::missing());
         assert!(interp.eval(&e, &bufs).unwrap().is_missing());

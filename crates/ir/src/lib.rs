@@ -29,8 +29,8 @@
 //! # fn main() -> Result<(), finch_ir::RuntimeError> {
 //! let mut names = Names::new();
 //! let mut bufs = BufferSet::new();
-//! let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0]));
-//! let out = bufs.add("out", Buffer::F64(vec![0.0]));
+//! let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0].into()));
+//! let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
 //! let i = names.fresh("i");
 //!
 //! // for i in 0..=2 { out[0] += x[i] }

@@ -131,7 +131,7 @@ mod tests {
     fn unread_lets_and_their_dependencies_are_removed() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let a = names.fresh("a");
         let b = names.fresh("b");
         let prog = vec![
@@ -154,7 +154,7 @@ mod tests {
     fn live_assignments_survive() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let a = names.fresh("a");
         let prog = vec![
             Stmt::Let { var: a, init: Expr::int(4) },
@@ -199,8 +199,8 @@ mod tests {
     #[test]
     fn buffer_stores_are_never_removed() {
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
-        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("idx", Buffer::I64(vec![].into()));
         let prog = vec![
             Stmt::Store { buf: out, index: Expr::int(0), value: Expr::int(1), reduce: None },
             Stmt::Append { buf: idx, value: Expr::int(5) },

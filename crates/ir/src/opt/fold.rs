@@ -311,7 +311,7 @@ mod tests {
     fn propagation_respects_reassignment() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let a = names.fresh("a");
         let prog = vec![
             Stmt::Let { var: a, init: Expr::int(1) },
@@ -330,7 +330,7 @@ mod tests {
     fn loop_body_assignments_kill_facts() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let p = names.fresh("p");
         let prog = vec![
             Stmt::Let { var: p, init: Expr::int(0) },
@@ -354,8 +354,8 @@ mod tests {
     fn branch_facts_are_killed_at_the_join() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::I64(vec![7]));
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let x = bufs.add("x", Buffer::I64(vec![7].into()));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let a = names.fresh("a");
         let prog = vec![
             Stmt::Let { var: a, init: Expr::int(1) },

@@ -218,9 +218,9 @@ mod tests {
     fn invariant_load_is_hoisted_and_result_unchanged() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let vals = bufs.add("vals", Buffer::F64(vec![2.0, 3.0]));
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0; 4]));
+        let vals = bufs.add("vals", Buffer::F64(vec![2.0, 3.0].into()));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0; 4].into()));
         let p = names.fresh("p");
         let i = names.fresh("i");
         let prog = vec![
@@ -257,8 +257,8 @@ mod tests {
     fn loads_depending_on_loop_state_are_not_hoisted() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let vals = bufs.add("vals", Buffer::F64(vec![1.0, 2.0, 3.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let vals = bufs.add("vals", Buffer::F64(vec![1.0, 2.0, 3.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -279,7 +279,7 @@ mod tests {
     fn loads_from_stored_buffers_are_not_hoisted() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let acc = bufs.add("acc", Buffer::F64(vec![0.0]));
+        let acc = bufs.add("acc", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -308,9 +308,9 @@ mod tests {
         // stored buffer.
         let mut names = Names::new();
         let mut bufs = crate::buffer::BufferSet::new();
-        let x = bufs.add("x", crate::buffer::Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", crate::buffer::Buffer::I64(vec![]));
-        let s = bufs.add("s", crate::buffer::Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", crate::buffer::Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", crate::buffer::Buffer::I64(vec![].into()));
+        let s = bufs.add("s", crate::buffer::Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -339,8 +339,8 @@ mod tests {
     fn guarded_loads_inside_branches_are_left_alone() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![5]));
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let idx = bufs.add("idx", Buffer::I64(vec![5].into()));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let i = names.fresh("i");
         // The load idx[9] would fault; it is guarded by `false` and must not
         // be hoisted out of the branch.

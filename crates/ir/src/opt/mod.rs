@@ -21,7 +21,12 @@
 //! * [`typing`] — static register-type inference over the fused bytecode
 //!   (seeded from the buffer schema and the constant pool) followed by a
 //!   1:1 rewrite of proven-monomorphic instructions into typed forms the
-//!   VM dispatches without any tag reads or writes.
+//!   VM dispatches without any tag reads or writes,
+//! * [`vectorize`] — kernel-op selection over the typed bytecode: each
+//!   innermost typed counted loop whose body matches a canonical dense
+//!   shape gains one vectorized superinstruction executing all but the
+//!   final iteration over whole buffer slices, with the untouched scalar
+//!   loop as both remainder handler and runtime fallback.
 //!
 //! All IR-level passes are *value-exact* for programs that complete: an
 //! optimised program stores bit-identical results into every buffer.  The
@@ -47,6 +52,7 @@ mod mutation_tests;
 mod pass;
 mod peephole;
 pub mod typing;
+pub mod vectorize;
 pub mod verify;
 
 pub use licm::hoist_invariant_loads;
@@ -55,6 +61,7 @@ pub use pass::{
 };
 pub use peephole::peephole;
 pub use typing::specialize;
+pub use vectorize::vectorize;
 pub use verify::{verify_bytecode, verify_ir};
 
 use crate::buffer::BufferSet;
@@ -141,6 +148,13 @@ pub struct OptStats {
     /// Registers whose runtime tag the typing pass proved static and
     /// pinned ([`crate::bytecode::Program::pretags`]).
     pub regs_pretagged: u64,
+    /// Scalar body instructions of innermost typed counted loops that the
+    /// vectorize pass replaced with kernel ops ([`vectorize`]).
+    pub instrs_vectorized: u64,
+    /// Scalar body instructions of all innermost typed counted loops the
+    /// vectorize pass examined (the denominator of the vectorized
+    /// fraction).
+    pub instrs_vectorizable: u64,
     /// IR statement count before the pipeline ran.
     pub ir_stmts_before: u64,
     /// IR statement count after the pipeline ran.
@@ -242,6 +256,22 @@ impl Pass for TypingPass {
     }
 }
 
+/// Vectorized kernel-op selection over typed bytecode ([`vectorize`])
+/// as a [`Pass`].  Runs after [`TypingPass`] — only typed counted loops
+/// match — and keeps [`crate::interp::ExecStats`] bit-identical (each
+/// kernel op carries its scalar-equivalent per-iteration cost), so the
+/// default [`StatsContract::Exact`] applies.
+pub struct VectorizePass;
+
+impl Pass for VectorizePass {
+    fn name(&self) -> &'static str {
+        "vectorize"
+    }
+    fn run(&self, repr: Repr, ctx: &mut PassCtx<'_>) -> Repr {
+        Repr::Bytecode(vectorize::vectorize(&repr.into_bytecode(), ctx.stats))
+    }
+}
+
 /// The artifacts of one full [`optimize_and_lower`] pipeline run.
 #[derive(Debug, Clone)]
 pub struct Lowered {
@@ -276,6 +306,7 @@ pub fn optimize_and_lower(
     bufs: &BufferSet,
     level: OptLevel,
     typed: bool,
+    simd: bool,
     validation: ValidationLevel,
 ) -> Result<Lowered, PassError> {
     let mut stats = OptStats { ir_stmts_before: count_stmts(stmts), ..OptStats::default() };
@@ -313,7 +344,15 @@ pub fn optimize_and_lower(
             let fused =
                 manager.run_pass(&PeepholePass, Repr::Bytecode(program), &mut ctx)?.into_bytecode();
             if typed {
-                manager.run_pass(&TypingPass, Repr::Bytecode(fused), &mut ctx)?.into_bytecode()
+                let typed_prog =
+                    manager.run_pass(&TypingPass, Repr::Bytecode(fused), &mut ctx)?.into_bytecode();
+                if simd {
+                    manager
+                        .run_pass(&VectorizePass, Repr::Bytecode(typed_prog), &mut ctx)?
+                        .into_bytecode()
+                } else {
+                    typed_prog
+                }
             } else {
                 fused
             }
@@ -411,7 +450,7 @@ mod tests {
     fn pipeline_folds_propagates_and_removes_dead_code() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let a = names.fresh("a");
         let b = names.fresh("b");
         let dead = names.fresh("dead");
@@ -444,7 +483,7 @@ mod tests {
     fn statically_false_branches_and_loops_are_pruned() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let i = names.fresh("i");
         let prog = vec![
             Stmt::If {
@@ -482,8 +521,8 @@ mod tests {
     fn aggressive_unrolls_single_iteration_loops() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,

@@ -8,7 +8,7 @@
 
 use super::*;
 use crate::buffer::{Buffer, BufferSet};
-use crate::bytecode::Instr;
+use crate::bytecode::{Instr, VRhs, VScale};
 use crate::expr::Expr;
 use crate::value::Value;
 
@@ -34,12 +34,12 @@ impl Pass for SeededMutation {
 fn known_good_kernel() -> (Vec<Stmt>, Names, BufferSet) {
     let mut names = Names::new();
     let mut bufs = BufferSet::new();
-    let x = bufs.add("x", Buffer::F64(vec![1.0, 0.5, 2.0, 0.25]));
-    let acc = bufs.add("acc", Buffer::F64(vec![0.0]));
-    let pos_idx = bufs.add("pos_idx", Buffer::I64(vec![0]));
-    let pos_val = bufs.add("pos_val", Buffer::I64(vec![0]));
-    let out_idx = bufs.add("out_idx", Buffer::I64(vec![]));
-    let out_val = bufs.add("out_val", Buffer::F64(vec![]));
+    let x = bufs.add("x", Buffer::F64(vec![1.0, 0.5, 2.0, 0.25].into()));
+    let acc = bufs.add("acc", Buffer::F64(vec![0.0].into()));
+    let pos_idx = bufs.add("pos_idx", Buffer::I64(vec![0].into()));
+    let pos_val = bufs.add("pos_val", Buffer::I64(vec![0].into()));
+    let out_idx = bufs.add("out_idx", Buffer::I64(vec![].into()));
+    let out_val = bufs.add("out_val", Buffer::F64(vec![].into()));
     let i = names.fresh("i");
     let v = names.fresh("v");
     let stmts = vec![
@@ -85,6 +85,50 @@ fn run_ir_mutation(mutation: &SeededMutation) -> Result<Repr, PassError> {
 fn run_bytecode_mutation(mutation: &SeededMutation) -> Result<Repr, PassError> {
     let (stmts, mut names, bufs) = known_good_kernel();
     let program = Program::compile(&stmts, &names);
+    let mut stats = OptStats::default();
+    let mut ctx = PassCtx {
+        names: &mut names,
+        bufs: Some(&bufs),
+        stats: &mut stats,
+        unroll_point_loops: false,
+    };
+    let mut manager = PassManager::new(ValidationLevel::Full);
+    manager.run_pass(mutation, Repr::Bytecode(program), &mut ctx)
+}
+
+/// A known-good *typed* dense kernel whose counted inner loop the real
+/// vectorize pass fuses into a kernel op: `y[i] = x[i] * 2.0` over the
+/// whole input.  Used by the bad-vectorization mutation tests below.
+fn known_good_typed_kernel() -> (Program, Names, BufferSet) {
+    let mut names = Names::new();
+    let mut bufs = BufferSet::new();
+    // Twelve elements so the kernel op's bulk path actually executes on
+    // the validation witnesses (it declines trips under its runtime
+    // minimum, falling back to the scalar loop).
+    let data: Vec<f64> = (0..12).map(|k| 2.0_f64.powi(3 - k)).collect();
+    let x = bufs.add("x", Buffer::F64(data.into()));
+    let y = bufs.add("y", Buffer::F64(vec![0.0; 12].into()));
+    let i = names.fresh("i");
+    let stmts = vec![Stmt::For {
+        var: i,
+        lo: Expr::int(0),
+        hi: Expr::int(11),
+        body: vec![Stmt::Store {
+            buf: y,
+            index: Expr::Var(i),
+            value: Expr::mul(Expr::load(x, Expr::Var(i)), Expr::float(2.0)),
+            reduce: None,
+        }],
+    }];
+    let raw = Program::compile(&stmts, &names);
+    let fused = peephole(&raw, &mut OptStats::default());
+    let typed = typing::specialize(&fused, &bufs, &mut OptStats::default());
+    (typed, names, bufs)
+}
+
+/// Run one seeded mutation over the typed dense kernel's bytecode.
+fn run_typed_bytecode_mutation(mutation: &SeededMutation) -> Result<Repr, PassError> {
+    let (program, mut names, bufs) = known_good_typed_kernel();
     let mut stats = OptStats::default();
     let mut ctx = PassCtx {
         names: &mut names,
@@ -304,6 +348,53 @@ fn a_jump_past_the_end_is_caught() {
         },
     };
     assert_caught(run_bytecode_mutation(&m), "wild-jump", "past the end");
+}
+
+#[test]
+fn the_real_vectorize_pass_validates_cleanly_on_a_fusable_loop() {
+    // Control for the bad-vectorization case below: the actual pass
+    // inserts a kernel op here and must survive full witness validation
+    // (bit-identical buffers, exact work counters).
+    let m = SeededMutation {
+        name: "vectorize",
+        mutate: |r| {
+            let p = r.into_bytecode();
+            Repr::Bytecode(vectorize(&p, &mut OptStats::default()))
+        },
+    };
+    let out = run_typed_bytecode_mutation(&m).expect("the real pass is value- and stats-exact");
+    let fused = out.into_bytecode();
+    assert!(
+        fused.code().iter().any(|i| matches!(i, Instr::VMapF64 { .. })),
+        "the fusable loop must actually produce a kernel op:\n{}",
+        fused.disasm()
+    );
+}
+
+#[test]
+fn a_bad_vectorization_is_caught_and_attributed() {
+    // Simulates a vectorizer bug: the loop is fused correctly, but the
+    // kernel op's inlined scale immediate is off — the kind of semantic
+    // slip (wrong constant, wrong trip count, dropped remainder) only the
+    // witness comparison can see, since the encoding stays well-formed.
+    let m = SeededMutation {
+        name: "vectorize",
+        mutate: |r| {
+            let mut p = vectorize(&r.into_bytecode(), &mut OptStats::default());
+            for instr in p.code.iter_mut() {
+                if let Instr::VMapF64 { a_pre, rhs, round, .. } = instr {
+                    match (a_pre, rhs) {
+                        (VScale::Left { imm, .. } | VScale::Right { imm, .. }, _)
+                        | (_, VRhs::Imm { imm, .. }) => *imm += 0.5,
+                        _ => *round = true,
+                    }
+                    break;
+                }
+            }
+            Repr::Bytecode(p)
+        },
+    };
+    assert_caught(run_typed_bytecode_mutation(&m), "vectorize", "diverge");
 }
 
 #[test]

@@ -36,7 +36,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use crate::bytecode::{Instr, Program, Reg};
+use crate::bytecode::{Instr, Program, Reg, VBase, VRhs};
 use crate::expr::BinOp;
 
 use super::OptStats;
@@ -211,7 +211,58 @@ fn for_each_reg(instr: &mut Instr, f: &mut dyn FnMut(&mut Reg)) {
             f(hi);
             f(key);
         }
+        // Vectorized kernel ops (inserted after this pass runs, but the
+        // operand enumeration stays authoritative): the loop counter and
+        // bound registers, plus every row-base register.
+        Instr::VFillStoreF64 { base, counter, hi, .. } => {
+            vbase_reg(base, f);
+            f(counter);
+            f(hi);
+        }
+        Instr::VMapF64 { dst_base, a_base, rhs, counter, hi, .. } => {
+            vbase_reg(dst_base, f);
+            vbase_reg(a_base, f);
+            if let VRhs::Buf { base, .. } = rhs {
+                vbase_reg(base, f);
+            }
+            f(counter);
+            f(hi);
+        }
+        Instr::VMulAddF64 { a_base, b_base, counter, hi, .. } => {
+            vbase_reg(a_base, f);
+            vbase_reg(b_base, f);
+            f(counter);
+            f(hi);
+        }
+        Instr::VReduceF64 { base, counter, hi, .. } => {
+            vbase_reg(base, f);
+            f(counter);
+            f(hi);
+        }
+        Instr::VAppendRangeF64 { base, counter, hi, .. } => {
+            vbase_reg(base, f);
+            f(counter);
+            f(hi);
+        }
+        Instr::VCmpSelectU8 { dst_base, src_base, counter, hi, .. } => {
+            vbase_reg(dst_base, f);
+            vbase_reg(src_base, f);
+            f(counter);
+            f(hi);
+        }
     }
+}
+
+/// Visit the register of a [`VBase::Scaled`] index shape, if any.
+fn vbase_reg(base: &mut VBase, f: &mut dyn FnMut(&mut Reg)) {
+    if let VBase::Scaled { reg, .. } = base {
+        f(reg);
+    }
+}
+
+/// Whether a [`VBase`] reads the given register.
+fn vbase_reads(base: VBase, r: Reg) -> bool {
+    matches!(base, VBase::Scaled { reg, .. } if reg == r)
 }
 
 /// The register an instruction writes, if any.
@@ -245,6 +296,13 @@ fn writes(instr: Instr) -> Option<Reg> {
         | Instr::FRound { dst, .. }
         | Instr::ISeek { dst, .. } => Some(dst),
         Instr::IForTest { var, .. } => Some(var),
+        // The vectorized kernel ops advance the loop counter.
+        Instr::VFillStoreF64 { counter, .. }
+        | Instr::VMapF64 { counter, .. }
+        | Instr::VMulAddF64 { counter, .. }
+        | Instr::VReduceF64 { counter, .. }
+        | Instr::VAppendRangeF64 { counter, .. }
+        | Instr::VCmpSelectU8 { counter, .. } => Some(counter),
         _ => None,
     }
 }
@@ -300,6 +358,29 @@ fn reads_reg(instr: Instr, r: Reg) -> bool {
         Instr::IForTest { counter, hi, .. } => counter == r || hi == r,
         Instr::ISeek { lo, hi, key, .. } => lo == r || hi == r || key == r,
         Instr::Nop | Instr::ConstI { .. } | Instr::ConstF { .. } | Instr::ILen { .. } => false,
+        Instr::VFillStoreF64 { base, counter, hi, .. } => {
+            vbase_reads(base, r) || counter == r || hi == r
+        }
+        Instr::VMapF64 { dst_base, a_base, rhs, counter, hi, .. } => {
+            let rhs_reads = matches!(rhs, VRhs::Buf { base, .. } if vbase_reads(base, r));
+            vbase_reads(dst_base, r)
+                || vbase_reads(a_base, r)
+                || rhs_reads
+                || counter == r
+                || hi == r
+        }
+        Instr::VMulAddF64 { a_base, b_base, counter, hi, .. } => {
+            vbase_reads(a_base, r) || vbase_reads(b_base, r) || counter == r || hi == r
+        }
+        Instr::VReduceF64 { base, counter, hi, .. } => {
+            vbase_reads(base, r) || counter == r || hi == r
+        }
+        Instr::VAppendRangeF64 { base, counter, hi, .. } => {
+            vbase_reads(base, r) || counter == r || hi == r
+        }
+        Instr::VCmpSelectU8 { dst_base, src_base, counter, hi, .. } => {
+            vbase_reads(dst_base, r) || vbase_reads(src_base, r) || counter == r || hi == r
+        }
     }
 }
 
@@ -629,8 +710,8 @@ mod tests {
     fn merge_loop_shape_fuses_and_stays_bit_identical() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let p = names.fresh("p");
         let n = names.fresh("n");
         let prog = vec![
@@ -669,8 +750,8 @@ mod tests {
     fn guarded_load_fuses_with_exact_load_counts() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -697,7 +778,7 @@ mod tests {
         // else-path Mov.
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let a = names.fresh("a");
         let b = names.fresh("b");
         let prog = vec![
@@ -724,8 +805,8 @@ mod tests {
     fn seek_heavy_code_survives_fusion() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12]));
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12].into()));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let v = names.fresh("v");
         let prog = vec![
             Stmt::Let {
@@ -747,8 +828,8 @@ mod tests {
     fn short_circuit_and_coalesce_survive_fusion() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::I64(vec![3]));
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let x = bufs.add("x", Buffer::I64(vec![3].into()));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let q = names.fresh("q");
         let prog = vec![
             Stmt::Let { var: q, init: Expr::int(5) },

@@ -53,7 +53,7 @@ use std::collections::VecDeque;
 
 use crate::buffer::{Buffer, BufferSet};
 use crate::bytecode::{is_arith_reduce, is_cmp_op, is_float_arith, is_int_arith};
-use crate::bytecode::{Instr, LaneTag, Program, Reg};
+use crate::bytecode::{Instr, LaneTag, Program, Reg, VBase, VRhs};
 use crate::expr::{BinOp, UnOp};
 use crate::value::Value;
 
@@ -270,6 +270,43 @@ fn for_each_read(instr: Instr, f: &mut dyn FnMut(Reg)) {
         | Instr::ConstI { .. }
         | Instr::ConstF { .. }
         | Instr::ILen { .. } => {}
+        // Vectorized kernel ops (inserted after this pass runs): the
+        // loop counter and bound registers, plus any row-base register.
+        Instr::VFillStoreF64 { base, counter, hi, .. }
+        | Instr::VReduceF64 { base, counter, hi, .. }
+        | Instr::VAppendRangeF64 { base, counter, hi, .. } => {
+            vbase_read(base, f);
+            f(counter);
+            f(hi);
+        }
+        Instr::VMapF64 { dst_base, a_base, rhs, counter, hi, .. } => {
+            vbase_read(dst_base, f);
+            vbase_read(a_base, f);
+            if let VRhs::Buf { base, .. } = rhs {
+                vbase_read(base, f);
+            }
+            f(counter);
+            f(hi);
+        }
+        Instr::VMulAddF64 { a_base, b_base, counter, hi, .. } => {
+            vbase_read(a_base, f);
+            vbase_read(b_base, f);
+            f(counter);
+            f(hi);
+        }
+        Instr::VCmpSelectU8 { dst_base, src_base, counter, hi, .. } => {
+            vbase_read(dst_base, f);
+            vbase_read(src_base, f);
+            f(counter);
+            f(hi);
+        }
+    }
+}
+
+/// Visit the register a [`VBase::Scaled`] index shape reads, if any.
+fn vbase_read(base: VBase, f: &mut dyn FnMut(Reg)) {
+    if let VBase::Scaled { reg, .. } = base {
+        f(reg);
     }
 }
 
@@ -548,6 +585,43 @@ fn for_each_reg_role(instr: &mut Instr, f: &mut dyn FnMut(&mut Reg, Role)) {
         | Instr::FCmpBranchImm { lhs, .. }
         | Instr::WhileCmpImm { lhs, .. }
         | Instr::IWhileCmpImm { lhs, .. } => f(lhs, Read),
+        // Vectorized kernel ops (inserted after this pass runs): read
+        // the bound and any row bases, read-write the loop counter.
+        Instr::VFillStoreF64 { base, counter, hi, .. }
+        | Instr::VReduceF64 { base, counter, hi, .. }
+        | Instr::VAppendRangeF64 { base, counter, hi, .. } => {
+            vbase_role(base, f);
+            f(hi, Read);
+            f(counter, ReadWrite);
+        }
+        Instr::VMapF64 { dst_base, a_base, rhs, counter, hi, .. } => {
+            vbase_role(dst_base, f);
+            vbase_role(a_base, f);
+            if let VRhs::Buf { base, .. } = rhs {
+                vbase_role(base, f);
+            }
+            f(hi, Read);
+            f(counter, ReadWrite);
+        }
+        Instr::VMulAddF64 { a_base, b_base, counter, hi, .. } => {
+            vbase_role(a_base, f);
+            vbase_role(b_base, f);
+            f(hi, Read);
+            f(counter, ReadWrite);
+        }
+        Instr::VCmpSelectU8 { dst_base, src_base, counter, hi, .. } => {
+            vbase_role(dst_base, f);
+            vbase_role(src_base, f);
+            f(hi, Read);
+            f(counter, ReadWrite);
+        }
+    }
+}
+
+/// Visit the register of a [`VBase::Scaled`] index shape as a read.
+fn vbase_role(base: &mut VBase, f: &mut dyn FnMut(&mut Reg, Role)) {
+    if let VBase::Scaled { reg, .. } = base {
+        f(reg, Role::Read);
     }
 }
 
@@ -935,8 +1009,8 @@ mod tests {
     fn dense_reduction_loop_is_fully_typed() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.5, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.5, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -972,8 +1046,8 @@ mod tests {
     fn merge_loop_types_the_while_head_and_increment() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let p = names.fresh("p");
         let n = names.fresh("n");
         let prog = vec![
@@ -1009,8 +1083,8 @@ mod tests {
     fn coalesce_keeps_the_missing_path_generic() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let v = names.fresh("v");
         let prog = vec![
             Stmt::Let {
@@ -1072,8 +1146,8 @@ mod tests {
     fn conflicting_temp_slots_are_split_and_fully_typed() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0, 0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0, 0.0].into()));
         let i = names.fresh("i");
         // Two stores per iteration: each statement's temp tower reuses
         // the same LIFO slots, alternating int (store index arithmetic)
@@ -1113,7 +1187,7 @@ mod tests {
     fn possibly_unbound_reads_block_pretagging() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let flag = bufs.add("flag", Buffer::I64(vec![0]));
+        let flag = bufs.add("flag", Buffer::I64(vec![0].into()));
         let v = names.fresh("v");
         let w = names.fresh("w");
         let prog = vec![
@@ -1149,9 +1223,9 @@ mod tests {
     fn appends_and_seeks_specialize() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let coords = bufs.add("coords", Buffer::I64(vec![1, 4, 9, 12]));
-        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
-        let val = bufs.add("C_val", Buffer::F64(vec![]));
+        let coords = bufs.add("coords", Buffer::I64(vec![1, 4, 9, 12].into()));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![].into()));
+        let val = bufs.add("C_val", Buffer::F64(vec![].into()));
         let p = names.fresh("p");
         let prog = vec![
             Stmt::Let {
@@ -1180,8 +1254,8 @@ mod tests {
     fn golden_disasm_of_a_typed_reducing_for_loop() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0; 3]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0; 3].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,

@@ -22,7 +22,7 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::buffer::{BufId, Buffer, BufferSet};
-use crate::bytecode::{Instr, LaneTag, Program};
+use crate::bytecode::{Instr, LaneTag, Program, VRhs};
 use crate::expr::Expr;
 use crate::stmt::Stmt;
 use crate::var::{Names, Var};
@@ -327,6 +327,10 @@ pub fn verify_bytecode(program: &Program, bufs: &BufferSet) -> Result<(), String
         }
         Ok(())
     };
+    let rhs_buf = |rhs: VRhs| match rhs {
+        VRhs::Buf { buf, .. } => Some(buf),
+        VRhs::None | VRhs::Imm { .. } => None,
+    };
     for (pc, instr) in program.code().iter().enumerate() {
         match *instr {
             Instr::BufLen { buf, .. }
@@ -356,6 +360,42 @@ pub fn verify_bytecode(program: &Program, bufs: &BufferSet) -> Result<(), String
                 check_buf(pc, buf)?;
                 expect(pc, buf, "u8", matches!(bufs.get(buf), Buffer::U8(_)))?;
             }
+            Instr::VFillStoreF64 { buf, .. } => {
+                check_buf(pc, buf)?;
+                expect(pc, buf, "f64", matches!(bufs.get(buf), Buffer::F64(_)))?;
+            }
+            Instr::VMapF64 { dst, a, rhs, .. } => {
+                for buf in [Some(dst), Some(a), rhs_buf(rhs)].into_iter().flatten() {
+                    check_buf(pc, buf)?;
+                    expect(pc, buf, "f64", matches!(bufs.get(buf), Buffer::F64(_)))?;
+                }
+            }
+            Instr::VMulAddF64 { acc, a, b, .. } => {
+                for buf in [acc, a, b] {
+                    check_buf(pc, buf)?;
+                    expect(pc, buf, "f64", matches!(bufs.get(buf), Buffer::F64(_)))?;
+                }
+            }
+            Instr::VReduceF64 { acc, src, .. } => {
+                for buf in [acc, src] {
+                    check_buf(pc, buf)?;
+                    expect(pc, buf, "f64", matches!(bufs.get(buf), Buffer::F64(_)))?;
+                }
+            }
+            Instr::VAppendRangeF64 { idx_out, val_out, src, .. } => {
+                for buf in [idx_out, val_out, src] {
+                    check_buf(pc, buf)?;
+                }
+                expect(pc, idx_out, "i64", matches!(bufs.get(idx_out), Buffer::I64(_)))?;
+                expect(pc, val_out, "f64", matches!(bufs.get(val_out), Buffer::F64(_)))?;
+                expect(pc, src, "f64", matches!(bufs.get(src), Buffer::F64(_)))?;
+            }
+            Instr::VCmpSelectU8 { dst, src, .. } => {
+                check_buf(pc, dst)?;
+                check_buf(pc, src)?;
+                expect(pc, dst, "u8", matches!(bufs.get(dst), Buffer::U8(_)))?;
+                expect(pc, src, "f64", matches!(bufs.get(src), Buffer::F64(_)))?;
+            }
             _ => {}
         }
     }
@@ -380,8 +420,8 @@ mod tests {
         let mut names = Names::new();
         let _ = names.fresh("seed");
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         (names, bufs, x, out)
     }
 
@@ -484,8 +524,8 @@ mod tests {
     fn append_after_fiber_end_is_flagged() {
         let names = Names::new();
         let mut bufs = BufferSet::new();
-        let pos = bufs.add("pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("idx", Buffer::I64(Vec::new()));
+        let pos = bufs.add("pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("idx", Buffer::I64(Vec::new().into()));
         let good =
             vec![Stmt::Append { buf: idx, value: Expr::int(3) }, Stmt::FiberEnd { pos, data: idx }];
         verify_ir(&good, &names, Some(&bufs)).expect("append-then-close verifies");
@@ -502,8 +542,8 @@ mod tests {
         // must not be flagged.
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let pos = bufs.add("pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("idx", Buffer::I64(Vec::new()));
+        let pos = bufs.add("pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("idx", Buffer::I64(Vec::new().into()));
         let (i, j) = (names.fresh("i"), names.fresh("j"));
         let prog = vec![Stmt::For {
             var: i,
@@ -526,8 +566,8 @@ mod tests {
     fn stores_into_pos_buffers_are_flagged() {
         let names = Names::new();
         let mut bufs = BufferSet::new();
-        let pos = bufs.add("pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("idx", Buffer::I64(Vec::new()));
+        let pos = bufs.add("pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("idx", Buffer::I64(Vec::new().into()));
         let prog =
             vec![Stmt::Append { buf: pos, value: Expr::int(0) }, Stmt::FiberEnd { pos, data: idx }];
         let err = verify_ir(&prog, &names, Some(&bufs)).unwrap_err();
@@ -538,9 +578,9 @@ mod tests {
     fn inconsistent_fiber_pairing_is_flagged() {
         let names = Names::new();
         let mut bufs = BufferSet::new();
-        let pos = bufs.add("pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("idx", Buffer::I64(Vec::new()));
-        let val = bufs.add("val", Buffer::F64(Vec::new()));
+        let pos = bufs.add("pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("idx", Buffer::I64(Vec::new().into()));
+        let val = bufs.add("val", Buffer::F64(Vec::new().into()));
         let prog = vec![Stmt::FiberEnd { pos, data: idx }, Stmt::FiberEnd { pos, data: val }];
         let err = verify_ir(&prog, &names, Some(&bufs)).unwrap_err();
         assert!(err.contains("two different data buffers"), "{err}");
@@ -550,8 +590,8 @@ mod tests {
     fn fiber_end_into_non_i64_pos_is_flagged() {
         let names = Names::new();
         let mut bufs = BufferSet::new();
-        let posf = bufs.add("posf", Buffer::F64(vec![0.0]));
-        let idx = bufs.add("idx", Buffer::I64(Vec::new()));
+        let posf = bufs.add("posf", Buffer::F64(vec![0.0].into()));
+        let idx = bufs.add("idx", Buffer::I64(Vec::new().into()));
         let prog = vec![Stmt::FiberEnd { pos: posf, data: idx }];
         let err = verify_ir(&prog, &names, Some(&bufs)).unwrap_err();
         assert!(err.contains("not an i64 buffer"), "{err}");
@@ -562,7 +602,7 @@ mod tests {
         use crate::var::Names;
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0].into()));
         let a = names.fresh("a");
         let i = names.fresh("i");
         let prog = vec![

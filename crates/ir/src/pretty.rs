@@ -223,8 +223,8 @@ mod tests {
     fn renders_a_small_loop_nest() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![0.0; 4]));
-        let out = bufs.add("C", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![0.0; 4].into()));
+        let out = bufs.add("C", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -247,7 +247,7 @@ mod tests {
     fn renders_while_if_and_search() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("A_idx", Buffer::I64(vec![1, 2, 3]));
+        let idx = bufs.add("A_idx", Buffer::I64(vec![1, 2, 3].into()));
         let p = names.fresh("p");
         let prog = vec![
             Stmt::Let {
@@ -283,7 +283,7 @@ mod tests {
     fn expression_rendering_covers_all_constructors() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let b = bufs.add("v", Buffer::F64(vec![]));
+        let b = bufs.add("v", Buffer::F64(vec![].into()));
         let x = names.fresh("x");
         let p = Printer::new(&names, &bufs);
         assert_eq!(p.expr(&Expr::min(Expr::Var(x), Expr::int(3))), "min(x, 3)");

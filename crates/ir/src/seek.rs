@@ -131,7 +131,7 @@ mod tests {
             let mut data: Vec<i64> = (0..n).map(|_| (rng.next() % 100) as i64).collect();
             data.sort_unstable();
             let mut bufs = BufferSet::new();
-            let id = bufs.add("idx", Buffer::I64(data.clone()));
+            let id = bufs.add("idx", Buffer::I64(data.clone().into()));
             for _ in 0..16 {
                 let lo = (rng.next() % n as u64) as i64;
                 let hi = lo + (rng.next() % (n as u64 - lo as u64)) as i64;
@@ -156,7 +156,7 @@ mod tests {
             let data: Vec<i64> =
                 mags.iter().map(|&v| if rng.next().is_multiple_of(3) { -v } else { v }).collect();
             let mut bufs = BufferSet::new();
-            let id = bufs.add("idx", Buffer::I64(data.clone()));
+            let id = bufs.add("idx", Buffer::I64(data.clone().into()));
             let key = (rng.next() % 55) as i64;
             let expect = plain_binary_search(&data, 0, n as i64 - 1, key, true);
             let (got, _) = lower_bound(&bufs, id, 0, n as i64 - 1, key, true).unwrap();
@@ -167,7 +167,7 @@ mod tests {
     #[test]
     fn empty_window_returns_lo_with_zero_probes() {
         let mut bufs = BufferSet::new();
-        let id = bufs.add("idx", Buffer::I64(vec![1, 2, 3]));
+        let id = bufs.add("idx", Buffer::I64(vec![1, 2, 3].into()));
         let (pos, probes) = lower_bound(&bufs, id, 2, 1, 5, false).unwrap();
         assert_eq!((pos, probes), (2, 0));
     }
@@ -179,7 +179,7 @@ mod tests {
         // plain bisection would pay ~log2(1000).
         let data: Vec<i64> = (0..1000).collect();
         let mut bufs = BufferSet::new();
-        let id = bufs.add("idx", Buffer::I64(data));
+        let id = bufs.add("idx", Buffer::I64(data.into()));
         let (pos, probes) = lower_bound(&bufs, id, 100, 999, 102, false).unwrap();
         assert_eq!(pos, 102);
         assert!(probes <= 4, "short seek probed {probes} times");
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn out_of_bounds_probe_reports_the_buffer_name() {
         let mut bufs = BufferSet::new();
-        let id = bufs.add("coords", Buffer::I64(vec![1, 2]));
+        let id = bufs.add("coords", Buffer::I64(vec![1, 2].into()));
         let err = lower_bound(&bufs, id, 0, 7, 9, false).unwrap_err();
         match err {
             RuntimeError::OutOfBounds { buffer, .. } => assert_eq!(buffer, "coords"),

@@ -12,7 +12,7 @@
 //! `tests/proptests.rs` at the workspace root).
 
 use crate::buffer::{BufId, Buffer, BufferSet};
-use crate::bytecode::{Instr, LaneTag, Program, Reg};
+use crate::bytecode::{Instr, LaneTag, Program, Reg, VBase, VCost, VRhs, VScale};
 use crate::error::RuntimeError;
 use crate::expr::BinOp;
 use crate::interp::ExecStats;
@@ -759,6 +759,118 @@ impl Vm {
                     self.ints[dst.index()] = pos;
                     pc += 1;
                 }
+
+                // ---- Vectorized kernel ops: each sits immediately before
+                // ---- an `IForTest` head and executes all but the last of
+                // ---- that loop's iterations over whole slices, then
+                // ---- advances the counter.  On any failed precondition
+                // ---- the op does *nothing* and the scalar loop runs every
+                // ---- iteration, so none of these can fault.
+                Instr::VFillStoreF64 { buf, base, imm, counter, hi, cost, lanes } => {
+                    self.v_fill(bufs, buf, base, imm, counter, hi, cost, lanes);
+                    pc += 1;
+                }
+                Instr::VMapF64 {
+                    dst,
+                    dst_base,
+                    reduce,
+                    round,
+                    a,
+                    a_base,
+                    a_pre,
+                    rhs,
+                    counter,
+                    hi,
+                    cost,
+                    lanes,
+                } => {
+                    self.v_map(
+                        bufs,
+                        VMapArgs { dst, dst_base, reduce, round, a, a_base, a_pre, rhs },
+                        counter,
+                        hi,
+                        cost,
+                        lanes,
+                    );
+                    pc += 1;
+                }
+                Instr::VMulAddF64 {
+                    acc,
+                    acc_idx,
+                    a,
+                    a_base,
+                    b,
+                    b_base,
+                    op,
+                    counter,
+                    hi,
+                    cost,
+                    ..
+                } => {
+                    self.v_mul_add(
+                        bufs,
+                        acc,
+                        acc_idx,
+                        (a, a_base),
+                        (b, b_base),
+                        op,
+                        counter,
+                        hi,
+                        cost,
+                    );
+                    pc += 1;
+                }
+                Instr::VReduceF64 {
+                    acc, acc_idx, src, base, pre, op, counter, hi, cost, ..
+                } => {
+                    self.v_reduce(bufs, acc, acc_idx, src, base, pre, op, counter, hi, cost);
+                    pc += 1;
+                }
+                Instr::VAppendRangeF64 {
+                    idx_out,
+                    val_out,
+                    src,
+                    base,
+                    guard,
+                    counter,
+                    hi,
+                    cost,
+                    pass_cost,
+                    ..
+                } => {
+                    self.v_append_range(
+                        bufs, idx_out, val_out, src, base, guard, counter, hi, cost, pass_cost,
+                    );
+                    pc += 1;
+                }
+                Instr::VCmpSelectU8 {
+                    dst,
+                    dst_base,
+                    src,
+                    src_base,
+                    cmp,
+                    cmp_imm,
+                    set,
+                    counter,
+                    hi,
+                    cost,
+                    pass_cost,
+                    ..
+                } => {
+                    self.v_cmp_select(
+                        bufs,
+                        (dst, dst_base),
+                        (src, src_base),
+                        cmp,
+                        cmp_imm,
+                        set,
+                        counter,
+                        hi,
+                        cost,
+                        pass_cost,
+                    );
+                    pc += 1;
+                }
             }
         }
         Ok(())
@@ -1041,6 +1153,550 @@ impl Vm {
         self.stats.loads += probes;
         Ok(pos)
     }
+
+    // -----------------------------------------------------------------
+    // Vectorized kernel-op execution.  Shared contract: read the loop
+    // bounds, check every precondition (trip count, step budget, buffer
+    // kinds, full-slice bounds, aliasing) *before* touching any state;
+    // on failure return without doing anything — the scalar loop that
+    // follows is the fallback.  On success execute iterations
+    // `[lo, hi)` over slices, bump `ExecStats` by the scalar-equivalent
+    // per-iteration cost, and advance the counter to `hi` so the scalar
+    // loop runs exactly the final iteration (which restores every
+    // temporary register and doubles as the remainder handler).
+    // -----------------------------------------------------------------
+
+    /// Minimum bulk trip count worth taking: below this, the bulk path's
+    /// precondition checks and slice setup cost more than the per-element
+    /// dispatch it saves (short trips dominate the merge-driven kernels,
+    /// e.g. galloped intersections and variable-block formats), so the op
+    /// declines and the scalar loop runs the whole trip.
+    const VMIN_TRIP: i64 = 8;
+
+    /// Bulk trip count `hi - lo` when enough bulk iterations remain to
+    /// amortize the setup (plus the scalar-loop final iteration).
+    #[inline]
+    fn vbulk_iters(lo: i64, hiv: i64) -> Option<u64> {
+        if hiv.checked_sub(lo).is_some_and(|n| n >= Self::VMIN_TRIP) {
+            Some(hiv.wrapping_sub(lo) as u64)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the bulk's statement count provably fits under the step
+    /// budget.  When it might not, the op backs off so the scalar loop
+    /// faults (or not) at exactly the scalar point.
+    #[inline]
+    fn vbudget_ok(&self, n: u64, stmts_per_iter: u64) -> bool {
+        match self.step_budget {
+            None => true,
+            Some(budget) => n
+                .checked_mul(stmts_per_iter)
+                .and_then(|s| self.stats.stmts.checked_add(s))
+                .is_some_and(|total| total <= budget),
+        }
+    }
+
+    /// The loop-invariant element offset of an index shape, computed in
+    /// `i128` so overflow anywhere simply fails the span check below.
+    #[inline]
+    fn vbase_off(&self, base: VBase) -> i128 {
+        match base {
+            VBase::Var => 0,
+            VBase::Scaled { reg, stride } => self.ints[reg.index()] as i128 * stride as i128,
+        }
+    }
+
+    /// The in-bounds element range `[off+lo, off+hi)` of an F64 buffer,
+    /// or `None` when the buffer has another kind or any index of the
+    /// bulk would be out of bounds.
+    #[inline]
+    fn vf64_span(
+        bufs: &BufferSet,
+        buf: BufId,
+        off: i128,
+        lo: i64,
+        hiv: i64,
+    ) -> Option<std::ops::Range<usize>> {
+        match bufs.get(buf) {
+            Buffer::F64(d) => vspan(off, lo, hiv, d.len()),
+            _ => None,
+        }
+    }
+
+    /// Bump the work counters by `n` iterations of `cost` (the
+    /// scalar-equivalent accounting; `loop_iters` is bumped separately).
+    #[inline]
+    fn vbump(&mut self, n: u64, cost: VCost) {
+        self.stats.stmts += n * cost.stmts as u64;
+        self.stats.loads += n * cost.loads as u64;
+        self.stats.stores += n * cost.stores as u64;
+    }
+
+    /// A loaded operand's pre-scale, preserving the scalar body's
+    /// operand orientation bit-for-bit.
+    #[inline]
+    fn vscale(pre: VScale, x: f64) -> f64 {
+        match pre {
+            VScale::None => x,
+            VScale::Left { op, imm } => Self::float_arith(op, imm, x),
+            VScale::Right { op, imm } => Self::float_arith(op, x, imm),
+        }
+    }
+
+    /// The optional rounding tail of a vector map — round then clamp,
+    /// exactly [`Instr::FRound`].
+    #[inline]
+    fn vpost(round: bool, x: f64) -> f64 {
+        if round {
+            x.round().clamp(0.0, 255.0)
+        } else {
+            x
+        }
+    }
+
+    /// [`Instr::VFillStoreF64`]: `buf[base + v] = imm` for the bulk.
+    #[allow(clippy::too_many_arguments)]
+    fn v_fill(
+        &mut self,
+        bufs: &mut BufferSet,
+        buf: BufId,
+        base: VBase,
+        imm: f64,
+        counter: Reg,
+        hi: Reg,
+        cost: VCost,
+        lanes: u8,
+    ) {
+        let (lo, hiv) = (self.ints[counter.index()], self.ints[hi.index()]);
+        let Some(n) = Self::vbulk_iters(lo, hiv) else { return };
+        if !self.vbudget_ok(n, cost.stmts as u64) {
+            return;
+        }
+        let off = self.vbase_off(base);
+        let Buffer::F64(data) = bufs.get_mut(buf) else { return };
+        let Some(span) = vspan(off, lo, hiv, data.len()) else { return };
+        vfill_f64(&mut data[span], imm, lanes);
+        self.stats.loop_iters += n;
+        self.vbump(n, cost);
+        self.ints[counter.index()] = hiv;
+    }
+
+    /// [`Instr::VMapF64`]: `dst[..] reduce= post(pre(a[..]) rhs)` for the
+    /// bulk.  The destination is lifted out of the set for the duration
+    /// so the sources can be read while it is written (it aliases
+    /// neither source — checked; the two sources may alias each other).
+    fn v_map(
+        &mut self,
+        bufs: &mut BufferSet,
+        m: VMapArgs,
+        counter: Reg,
+        hi: Reg,
+        cost: VCost,
+        lanes: u8,
+    ) {
+        let (lo, hiv) = (self.ints[counter.index()], self.ints[hi.index()]);
+        let Some(n) = Self::vbulk_iters(lo, hiv) else { return };
+        if !self.vbudget_ok(n, cost.stmts as u64) || m.dst == m.a {
+            return;
+        }
+        let Some(dspan) = Self::vf64_span(bufs, m.dst, self.vbase_off(m.dst_base), lo, hiv) else {
+            return;
+        };
+        let Some(aspan) = Self::vf64_span(bufs, m.a, self.vbase_off(m.a_base), lo, hiv) else {
+            return;
+        };
+        let bspan = match m.rhs {
+            VRhs::Buf { buf, base, .. } => {
+                if m.dst == buf {
+                    return;
+                }
+                match Self::vf64_span(bufs, buf, self.vbase_off(base), lo, hiv) {
+                    Some(s) => Some(s),
+                    None => return,
+                }
+            }
+            _ => None,
+        };
+        let mut lifted = std::mem::replace(bufs.get_mut(m.dst), Buffer::F64(Vec::new().into()));
+        {
+            let Buffer::F64(ddata) = &mut lifted else { unreachable!() };
+            let Buffer::F64(adata) = bufs.get(m.a) else { unreachable!() };
+            let dslice = &mut ddata[dspan];
+            let aslice = &adata[aspan];
+            let (a_pre, round, reduce) = (m.a_pre, m.round, m.reduce);
+            match (m.rhs, bspan) {
+                (VRhs::None, _) => {
+                    vmap2_f64(dslice, aslice, reduce, lanes, |x| {
+                        Self::vpost(round, Self::vscale(a_pre, x))
+                    });
+                }
+                (VRhs::Imm { op, imm }, _) => {
+                    vmap2_f64(dslice, aslice, reduce, lanes, |x| {
+                        Self::vpost(round, Self::float_arith(op, Self::vscale(a_pre, x), imm))
+                    });
+                }
+                (VRhs::Buf { op, buf, pre, .. }, Some(bspan)) => {
+                    let Buffer::F64(bdata) = bufs.get(buf) else { unreachable!() };
+                    let bslice = &bdata[bspan];
+                    vmap3_f64(dslice, aslice, bslice, reduce, lanes, |x, y| {
+                        Self::vpost(
+                            round,
+                            Self::float_arith(op, Self::vscale(a_pre, x), Self::vscale(pre, y)),
+                        )
+                    });
+                }
+                (VRhs::Buf { .. }, None) => unreachable!(),
+            }
+        }
+        *bufs.get_mut(m.dst) = lifted;
+        self.stats.loop_iters += n;
+        self.vbump(n, cost);
+        self.ints[counter.index()] = hiv;
+    }
+
+    /// [`Instr::VMulAddF64`]: `acc[acc_idx] op= a[..] * b[..]` folded
+    /// strictly in order (bit-exact with the scalar loop because the
+    /// accumulator aliases neither source — checked; `a` and `b` may be
+    /// the same buffer).
+    #[allow(clippy::too_many_arguments)]
+    fn v_mul_add(
+        &mut self,
+        bufs: &mut BufferSet,
+        acc: BufId,
+        acc_idx: i64,
+        a: (BufId, VBase),
+        b: (BufId, VBase),
+        op: BinOp,
+        counter: Reg,
+        hi: Reg,
+        cost: VCost,
+    ) {
+        let (lo, hiv) = (self.ints[counter.index()], self.ints[hi.index()]);
+        let Some(n) = Self::vbulk_iters(lo, hiv) else { return };
+        if !self.vbudget_ok(n, cost.stmts as u64) || acc == a.0 || acc == b.0 {
+            return;
+        }
+        let Buffer::F64(accd) = bufs.get(acc) else { return };
+        if acc_idx < 0 || acc_idx as usize >= accd.len() {
+            return;
+        }
+        let mut t = accd[acc_idx as usize];
+        let Some(aspan) = Self::vf64_span(bufs, a.0, self.vbase_off(a.1), lo, hiv) else {
+            return;
+        };
+        let Some(bspan) = Self::vf64_span(bufs, b.0, self.vbase_off(b.1), lo, hiv) else {
+            return;
+        };
+        let (Buffer::F64(adata), Buffer::F64(bdata)) = (bufs.get(a.0), bufs.get(b.0)) else {
+            unreachable!()
+        };
+        for (&x, &y) in adata[aspan].iter().zip(&bdata[bspan]) {
+            t = Self::float_arith(op, t, x * y);
+        }
+        match bufs.get_mut(acc) {
+            Buffer::F64(d) => d[acc_idx as usize] = t,
+            _ => unreachable!(),
+        }
+        self.stats.loop_iters += n;
+        self.vbump(n, cost);
+        self.ints[counter.index()] = hiv;
+    }
+
+    /// [`Instr::VReduceF64`]: `acc[acc_idx] op= pre(src[..])` folded
+    /// strictly in order.
+    #[allow(clippy::too_many_arguments)]
+    fn v_reduce(
+        &mut self,
+        bufs: &mut BufferSet,
+        acc: BufId,
+        acc_idx: i64,
+        src: BufId,
+        base: VBase,
+        pre: VScale,
+        op: BinOp,
+        counter: Reg,
+        hi: Reg,
+        cost: VCost,
+    ) {
+        let (lo, hiv) = (self.ints[counter.index()], self.ints[hi.index()]);
+        let Some(n) = Self::vbulk_iters(lo, hiv) else { return };
+        if !self.vbudget_ok(n, cost.stmts as u64) || acc == src {
+            return;
+        }
+        let Buffer::F64(accd) = bufs.get(acc) else { return };
+        if acc_idx < 0 || acc_idx as usize >= accd.len() {
+            return;
+        }
+        let mut t = accd[acc_idx as usize];
+        let Some(span) = Self::vf64_span(bufs, src, self.vbase_off(base), lo, hiv) else {
+            return;
+        };
+        let Buffer::F64(sdata) = bufs.get(src) else { unreachable!() };
+        for &x in &sdata[span] {
+            t = Self::float_arith(op, t, Self::vscale(pre, x));
+        }
+        match bufs.get_mut(acc) {
+            Buffer::F64(d) => d[acc_idx as usize] = t,
+            _ => unreachable!(),
+        }
+        self.stats.loop_iters += n;
+        self.vbump(n, cost);
+        self.ints[counter.index()] = hiv;
+    }
+
+    /// [`Instr::VAppendRangeF64`]: `idx_out.push(v)` / `val_out.push(
+    /// src[base + v])` for each (passing) bulk iteration.
+    #[allow(clippy::too_many_arguments)]
+    fn v_append_range(
+        &mut self,
+        bufs: &mut BufferSet,
+        idx_out: BufId,
+        val_out: BufId,
+        src: BufId,
+        base: VBase,
+        guard: Option<(BinOp, f64)>,
+        counter: Reg,
+        hi: Reg,
+        cost: VCost,
+        pass_cost: VCost,
+    ) {
+        let (lo, hiv) = (self.ints[counter.index()], self.ints[hi.index()]);
+        let Some(n) = Self::vbulk_iters(lo, hiv) else { return };
+        // Worst case every iteration passes the guard.
+        if !self.vbudget_ok(n, cost.stmts as u64 + pass_cost.stmts as u64) {
+            return;
+        }
+        if src == idx_out || src == val_out || idx_out == val_out {
+            return;
+        }
+        if !matches!(bufs.get(idx_out), Buffer::I64(_))
+            || !matches!(bufs.get(val_out), Buffer::F64(_))
+        {
+            return;
+        }
+        let Some(span) = Self::vf64_span(bufs, src, self.vbase_off(base), lo, hiv) else {
+            return;
+        };
+        let mut ilifted = std::mem::replace(bufs.get_mut(idx_out), Buffer::I64(Vec::new().into()));
+        let mut vlifted = std::mem::replace(bufs.get_mut(val_out), Buffer::F64(Vec::new().into()));
+        let passes;
+        {
+            let Buffer::I64(ivec) = &mut ilifted else { unreachable!() };
+            let Buffer::F64(vvec) = &mut vlifted else { unreachable!() };
+            let Buffer::F64(sdata) = bufs.get(src) else { unreachable!() };
+            passes = vappend_f64(ivec, vvec, &sdata[span], lo, guard);
+        }
+        *bufs.get_mut(idx_out) = ilifted;
+        *bufs.get_mut(val_out) = vlifted;
+        self.stats.loop_iters += n;
+        self.vbump(n, cost);
+        self.vbump(passes, pass_cost);
+        self.ints[counter.index()] = hiv;
+    }
+
+    /// [`Instr::VCmpSelectU8`]: `dst[..v] = set` where `src[..v] cmp imm`
+    /// holds, with the stored value clamped then rounded exactly like
+    /// [`Instr::StoreU8`].
+    #[allow(clippy::too_many_arguments)]
+    fn v_cmp_select(
+        &mut self,
+        bufs: &mut BufferSet,
+        dst: (BufId, VBase),
+        src: (BufId, VBase),
+        cmp: BinOp,
+        cmp_imm: f64,
+        set: f64,
+        counter: Reg,
+        hi: Reg,
+        cost: VCost,
+        pass_cost: VCost,
+    ) {
+        let (lo, hiv) = (self.ints[counter.index()], self.ints[hi.index()]);
+        let Some(n) = Self::vbulk_iters(lo, hiv) else { return };
+        if !self.vbudget_ok(n, cost.stmts as u64 + pass_cost.stmts as u64) || dst.0 == src.0 {
+            return;
+        }
+        let Some(sspan) = Self::vf64_span(bufs, src.0, self.vbase_off(src.1), lo, hiv) else {
+            return;
+        };
+        let dst_off = self.vbase_off(dst.1);
+        let Buffer::U8(ddata) = bufs.get(dst.0) else { return };
+        let Some(dspan) = vspan(dst_off, lo, hiv, ddata.len()) else { return };
+        let mut lifted = std::mem::replace(bufs.get_mut(dst.0), Buffer::U8(Vec::new()));
+        let passes;
+        {
+            let Buffer::U8(dd) = &mut lifted else { unreachable!() };
+            let Buffer::F64(sd) = bufs.get(src.0) else { unreachable!() };
+            let byte = set.clamp(0.0, 255.0).round() as u8;
+            let mut p = 0u64;
+            for (d, &x) in dd[dspan].iter_mut().zip(&sd[sspan]) {
+                if Self::cmp_f64(cmp, x, cmp_imm) {
+                    *d = byte;
+                    p += 1;
+                }
+            }
+            passes = p;
+        }
+        *bufs.get_mut(dst.0) = lifted;
+        self.stats.loop_iters += n;
+        self.vbump(n, cost);
+        self.vbump(passes, pass_cost);
+        self.ints[counter.index()] = hiv;
+    }
+}
+
+/// The map-shape operands of [`Instr::VMapF64`], bundled so the executor
+/// signature stays readable.
+#[derive(Clone, Copy)]
+struct VMapArgs {
+    dst: BufId,
+    dst_base: VBase,
+    reduce: Option<BinOp>,
+    round: bool,
+    a: BufId,
+    a_base: VBase,
+    a_pre: VScale,
+    rhs: VRhs,
+}
+
+/// The element range `[off+lo, off+hi)` of a buffer of `len` elements,
+/// or `None` when any index of the bulk would fall out of bounds (the
+/// offset is exact `i128` arithmetic, so index overflow lands here too).
+#[inline]
+fn vspan(off: i128, lo: i64, hiv: i64, len: usize) -> Option<std::ops::Range<usize>> {
+    let start = off + lo as i128;
+    let end = off + hiv as i128;
+    if start < 0 || end > len as i128 {
+        return None;
+    }
+    Some(start as usize..end as usize)
+}
+
+/// Unrolled fill over a pre-checked slice.
+fn vfill_f64(dst: &mut [f64], imm: f64, lanes: u8) {
+    if lanes == 8 {
+        vfill_lanes::<8>(dst, imm);
+    } else {
+        vfill_lanes::<4>(dst, imm);
+    }
+}
+
+fn vfill_lanes<const L: usize>(dst: &mut [f64], imm: f64) {
+    let (chunks, rest) = dst.as_chunks_mut::<L>();
+    for c in chunks {
+        *c = [imm; L];
+    }
+    for s in rest {
+        *s = imm;
+    }
+}
+
+/// Unrolled one-source map over pre-checked, equal-length slices.
+fn vmap2_f64(dst: &mut [f64], a: &[f64], reduce: Option<BinOp>, lanes: u8, f: impl Fn(f64) -> f64) {
+    if lanes == 8 {
+        vmap2_lanes::<8>(dst, a, reduce, &f);
+    } else {
+        vmap2_lanes::<4>(dst, a, reduce, &f);
+    }
+}
+
+fn vmap2_lanes<const L: usize>(
+    dst: &mut [f64],
+    a: &[f64],
+    reduce: Option<BinOp>,
+    f: &impl Fn(f64) -> f64,
+) {
+    let (dc, dr) = dst.as_chunks_mut::<L>();
+    let (ac, ar) = a.as_chunks::<L>();
+    for (d, s) in dc.iter_mut().zip(ac) {
+        for k in 0..L {
+            d[k] = vcombine(reduce, d[k], f(s[k]));
+        }
+    }
+    for (d, &x) in dr.iter_mut().zip(ar) {
+        *d = vcombine(reduce, *d, f(x));
+    }
+}
+
+/// Unrolled two-source map over pre-checked, equal-length slices.
+fn vmap3_f64(
+    dst: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    reduce: Option<BinOp>,
+    lanes: u8,
+    f: impl Fn(f64, f64) -> f64,
+) {
+    if lanes == 8 {
+        vmap3_lanes::<8>(dst, a, b, reduce, &f);
+    } else {
+        vmap3_lanes::<4>(dst, a, b, reduce, &f);
+    }
+}
+
+fn vmap3_lanes<const L: usize>(
+    dst: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    reduce: Option<BinOp>,
+    f: &impl Fn(f64, f64) -> f64,
+) {
+    let (dc, dr) = dst.as_chunks_mut::<L>();
+    let (ac, ar) = a.as_chunks::<L>();
+    let (bc, br) = b.as_chunks::<L>();
+    for ((d, s), t) in dc.iter_mut().zip(ac).zip(bc) {
+        for k in 0..L {
+            d[k] = vcombine(reduce, d[k], f(s[k], t[k]));
+        }
+    }
+    for ((d, &x), &y) in dr.iter_mut().zip(ar).zip(br) {
+        *d = vcombine(reduce, *d, f(x, y));
+    }
+}
+
+/// A map's store step: plain write or reduce-combine, exactly
+/// [`Instr::StoreF64`]'s float fast path.
+#[inline]
+fn vcombine(reduce: Option<BinOp>, old: f64, new: f64) -> f64 {
+    match reduce {
+        None => new,
+        Some(op) => Vm::float_arith(op, old, new),
+    }
+}
+
+/// The (optionally guarded) append stream of [`Instr::VAppendRangeF64`];
+/// returns how many iterations passed the guard.
+fn vappend_f64(
+    idx: &mut crate::buffer::AlignedVec<i64>,
+    val: &mut crate::buffer::AlignedVec<f64>,
+    src: &[f64],
+    lo: i64,
+    guard: Option<(BinOp, f64)>,
+) -> u64 {
+    match guard {
+        None => {
+            idx.reserve(src.len());
+            val.reserve(src.len());
+            for (k, &x) in src.iter().enumerate() {
+                idx.push(lo + k as i64);
+                val.push(x);
+            }
+            src.len() as u64
+        }
+        Some((op, imm)) => {
+            let mut passes = 0u64;
+            for (k, &x) in src.iter().enumerate() {
+                if Vm::cmp_f64(op, x, imm) {
+                    idx.push(lo + k as i64);
+                    val.push(x);
+                    passes += 1;
+                }
+            }
+            passes
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1091,8 +1747,8 @@ mod tests {
     fn for_loop_sums_a_buffer() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -1142,7 +1798,7 @@ mod tests {
     fn nested_control_flow_has_identical_stats() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let p = names.fresh("p");
         let i = names.fresh("i");
         let prog = vec![
@@ -1176,7 +1832,7 @@ mod tests {
     fn out_of_bounds_load_is_reported_with_buffer_name() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("vals", Buffer::F64(vec![1.0]));
+        let x = bufs.add("vals", Buffer::F64(vec![1.0].into()));
         let v = names.fresh("v");
         let prog = vec![Stmt::Let { var: v, init: Expr::load(x, Expr::int(7)) }];
         let program = Program::compile(&prog, &names);
@@ -1224,7 +1880,7 @@ mod tests {
     fn seek_counts_one_search_plus_one_load_per_probe() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12]));
+        let idx = bufs.add("idx", Buffer::I64(vec![1, 4, 4, 9, 12].into()));
         let v = names.fresh("v");
         let prog = vec![Stmt::Let {
             var: v,
@@ -1251,7 +1907,7 @@ mod tests {
     fn seek_on_abs_handles_negative_markers() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![3, -6, 8, -11]));
+        let idx = bufs.add("idx", Buffer::I64(vec![3, -6, 8, -11].into()));
         let v = names.fresh("v");
         let prog = vec![Stmt::Let {
             var: v,
@@ -1289,7 +1945,7 @@ mod tests {
     fn load_at_missing_index_is_missing() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0].into()));
         let v = names.fresh("v");
         let prog = vec![Stmt::Let { var: v, init: Expr::load(x, Expr::missing()) }];
         let program = Program::compile(&prog, &names);
@@ -1321,7 +1977,7 @@ mod tests {
         // load counted).
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::I64(vec![3]));
+        let x = bufs.add("x", Buffer::I64(vec![3].into()));
         let q = names.fresh("q");
         let v = names.fresh("v");
         let prog = vec![
@@ -1384,7 +2040,7 @@ mod tests {
     fn empty_for_loop_does_not_execute() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let out = bufs.add("out", Buffer::I64(vec![0]));
+        let out = bufs.add("out", Buffer::I64(vec![0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,
@@ -1409,10 +2065,10 @@ mod tests {
     fn append_and_fiber_end_match_the_interpreter() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0]));
-        let pos = bufs.add("C_pos", Buffer::I64(vec![0]));
-        let idx = bufs.add("C_idx", Buffer::I64(vec![]));
-        let val = bufs.add("C_val", Buffer::F64(vec![]));
+        let x = bufs.add("x", Buffer::F64(vec![0.0, 1.5, 0.0, 2.0].into()));
+        let pos = bufs.add("C_pos", Buffer::I64(vec![0].into()));
+        let idx = bufs.add("C_idx", Buffer::I64(vec![].into()));
+        let val = bufs.add("C_val", Buffer::F64(vec![].into()));
         let i = names.fresh("i");
         let prog = vec![
             Stmt::For {
@@ -1445,7 +2101,7 @@ mod tests {
         // A bool appended into an i64 buffer exercises the slow path.
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let idx = bufs.add("idx", Buffer::I64(vec![]));
+        let idx = bufs.add("idx", Buffer::I64(vec![].into()));
         let v = names.fresh("v");
         let prog = vec![
             Stmt::Let { var: v, init: Expr::bool(true) },
@@ -1477,8 +2133,8 @@ mod tests {
     fn run_profiled_counts_every_dispatch_with_identical_semantics() {
         let mut names = Names::new();
         let mut bufs = BufferSet::new();
-        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0]));
-        let out = bufs.add("out", Buffer::F64(vec![0.0]));
+        let x = bufs.add("x", Buffer::F64(vec![1.0, 2.0, 3.0, 4.0].into()));
+        let out = bufs.add("out", Buffer::F64(vec![0.0].into()));
         let i = names.fresh("i");
         let prog = vec![Stmt::For {
             var: i,

@@ -337,6 +337,92 @@ proptest! {
         }
     }
 
+    /// The SIMD kernel-op tier, end to end: compiled with **full
+    /// translation validation**, random kernels mixing a dense map, a
+    /// scalar reduction and a guarded sparse-output append produce
+    /// bit-identical dense outputs, bit-identical assembled
+    /// `pos`/`idx`/`val` arrays, and **exactly** equal `ExecStats` with
+    /// the vectorize stage on and off, at every opt level.
+    #[test]
+    fn simd_kernel_ops_preserve_outputs_and_stats_under_validation(
+        a_data in structured_vector(48),
+        b_data in structured_vector(48),
+    ) {
+        use looplets_repro::finch::{Engine, Level, OptLevel, ValidationLevel};
+        let n = a_data.len().min(b_data.len());
+        let (a_data, b_data) = (&a_data[..n], &b_data[..n]);
+        let a = Tensor::dense_vector("A", a_data);
+        let b = Tensor::dense_vector("B", b_data);
+        let mut kernel = Kernel::new();
+        kernel
+            .set_validation(ValidationLevel::Full)
+            .bind_input(&a)
+            .bind_input(&b)
+            .bind_output("Y", &[n], 0.0)
+            .bind_output_scalar("D")
+            .bind_output_format("S", &[LevelSpec::SparseList { size: n }]);
+        let i = idx("i");
+        let program = multi(vec![
+            // A dense scaled map (fuses to a bulk map kernel op).
+            forall(
+                i.clone(),
+                add_assign(access("Y", [i.clone()]), mul(lit(0.75), access("A", [i.clone()]))),
+            ),
+            // A scalar dot reduction (fuses to a bulk multiply-add).
+            forall(
+                i.clone(),
+                add_assign(scalar("D"), mul(access("A", [i.clone()]), access("B", [i.clone()]))),
+            ),
+            // A guarded sparse append (fuses to a guarded append range).
+            forall(
+                i.clone(),
+                sieve(
+                    gt(access("B", [i.clone()]), lit(0.5)),
+                    assign(access("S", [i.clone()]), access("B", [i])),
+                ),
+            ),
+        ]);
+        let k = kernel.compile(&program).expect("validated compile succeeds");
+        // Point loops unroll away entirely, so only multi-element inputs
+        // are guaranteed to leave counted loops for the pass to fuse.
+        if n >= 4 {
+            let (vectorized, vectorizable) = k.instrs_vectorized();
+            prop_assert!(vectorizable > 0, "the kernel has fusable counted loops");
+            prop_assert!(vectorized > 0, "the vectorize stage fused at least one loop");
+        }
+        let snapshot = |k: &mut looplets_repro::finch::CompiledKernel| {
+            let stats = k.run_with(Engine::Bytecode).expect("bytecode runs");
+            let outputs: Vec<(String, Vec<u64>)> = k
+                .output_names()
+                .into_iter()
+                .map(|name| {
+                    let out = k.output(&name).expect("output reads");
+                    (name, out.iter().map(|v| v.to_bits()).collect())
+                })
+                .collect();
+            let t = k.output_tensor("S").expect("sparse output finalizes");
+            let raw = match &t.levels()[0] {
+                Level::SparseList { pos, idx, .. } => {
+                    let bits: Vec<u64> = t.values().iter().map(|v| v.to_bits()).collect();
+                    (pos.clone(), idx.clone(), bits)
+                }
+                other => panic!("expected a sparse list level, got {other:?}"),
+            };
+            (stats, outputs, raw)
+        };
+        for level in OptLevel::all() {
+            let mut on = k.reoptimized_simd(level, true, true);
+            let mut off = k.reoptimized_simd(level, true, false);
+            prop_assert_eq!(on.validation(), ValidationLevel::Full);
+            prop_assert_eq!(
+                snapshot(&mut on),
+                snapshot(&mut off),
+                "simd on vs off diverge at {}",
+                level
+            );
+        }
+    }
+
     /// The DCE safety net, end to end: compiled with **full translation
     /// validation**, random sparse-output kernels keep bit-identical
     /// assembled `pos`/`idx`/`val` arrays between `OptLevel::None` and
