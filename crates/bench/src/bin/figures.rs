@@ -14,6 +14,8 @@
 //! cargo run --release -p finch-bench --bin figures -- --fig 1 --engine bytecode --opt none
 //! cargo run --release -p finch-bench --bin figures -- --engine bytecode --opt default --typed off
 //! cargo run --release -p finch-bench --bin figures -- --engine bytecode --opt default --simd off
+//! # Time the sharded parallel tier at one worker count only:
+//! cargo run --release -p finch-bench --bin figures -- --threads 2
 //! ```
 //!
 //! With no `--engine`/`--opt`/`--typed`/`--simd` flags, each variant is
@@ -26,14 +28,27 @@
 //! comparison).  Passing `--engine`, `--opt`, `--typed on|off` and/or
 //! `--simd on|off` restricts the measured combinations.  Every
 //! measurement is appended to a machine-readable JSON report
-//! (`BENCH_figures.json` by default, schema v5) including instruction
+//! (`BENCH_figures.json` by default, schema v6) including instruction
 //! counts, per-pass optimiser counters, the executed
 //! `typed_instr_fraction` from one untimed profiled run per variant (plus
 //! a per-opcode execution histogram in debug builds), the per-variant
 //! `simd_speedup` and `vectorized_fraction` of the kernel-op tier, and
 //! the optimiser compile time per variant — which is also guarded by a
 //! hard assert so new passes cannot silently blow up compilation
-//! latency.  With
+//! latency.
+//!
+//! The parallel scaling leg: with no restricting flags, every variant the
+//! shard analysis proved splittable is additionally timed on the bytecode
+//! engine at `OptLevel::Default` (typed + simd) at 2, 4 and 8 worker
+//! threads — together with the serial leg, the 1/2/4/8 scaling curve.
+//! Before any parallel wall-clock number is recorded, the sharded run's
+//! outputs (dense materialisation *and* assembled sparse `pos`/`idx`/
+//! `val`) and summed work counters are asserted bit-identical to the
+//! serial kernel.  Engine rows carry a `threads` key, variants carry
+//! `sharded` and a `parallel_speedup` (serial over the 4-thread leg), and
+//! the report gains a headline `parallel_speedup` median.  `--threads N`
+//! replaces the 2/4/8 curve with the single worker count `N` (`--threads
+//! 1` disables the leg).  With
 //! `--validate`, each variant is additionally re-compiled under
 //! `ValidationLevel::Full` (post-pass verification plus witness-based
 //! translation validation), the per-pass transform/verify/validate
@@ -51,8 +66,8 @@ use std::time::Instant;
 
 use finch::{Engine, OptLevel, ValidationLevel};
 use finch_bench::report::{
-    EngineReport, FigureGroup, OptReport, OptSpeedup, Report, SimdSpeedup, TypedSpeedup,
-    ValidationReport, VariantReport,
+    EngineReport, FigureGroup, OptReport, OptSpeedup, ParallelSpeedup, Report, SimdSpeedup,
+    TypedSpeedup, ValidationReport, VariantReport,
 };
 use finch_bench::*;
 
@@ -81,6 +96,49 @@ fn arg_after(name: &str) -> Option<String> {
 
 fn runs() -> usize {
     arg_after("--runs").and_then(|v| v.parse().ok()).unwrap_or(7)
+}
+
+/// Worker counts for the parallel scaling leg: `--threads N` pins the leg
+/// to that single count (1 = leg disabled); with no flag the default full
+/// run measures the 2/4/8 curve, while restricted runs (`--engine`,
+/// `--opt`, `--typed`, `--simd`) skip the leg.
+fn scaling_threads() -> Vec<usize> {
+    match arg_after("--threads").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("bad --threads `{v}` (expected a positive integer)");
+            std::process::exit(2);
+        })
+    }) {
+        Some(n) if n > 1 => vec![n],
+        Some(_) => vec![],
+        None => {
+            let restricted = ["--engine", "--opt", "--typed", "--simd"]
+                .iter()
+                .any(|f| std::env::args().any(|a| a == *f));
+            if restricted {
+                vec![]
+            } else {
+                vec![2, 4, 8]
+            }
+        }
+    }
+}
+
+/// A run's observable outcome, rendered comparison-ready: the work
+/// counters plus, per output, the dense materialisation as exact f64 bit
+/// patterns and (where the output finalises) the assembled tensor —
+/// including sparse `pos`/`idx`/`val` — via its `Debug` form, which
+/// round-trips f64 exactly.
+fn outcome_fingerprint(kernel: &mut finch::CompiledKernel) -> (finch::ExecStats, Vec<String>) {
+    let stats = kernel.run().expect("kernel runs");
+    let mut outputs = Vec::new();
+    for name in kernel.output_names() {
+        let bits: Vec<u64> =
+            kernel.output(&name).expect("output reads").iter().map(|x| x.to_bits()).collect();
+        let tensor = kernel.output_tensor(&name).ok().map(|t| format!("{t:?}"));
+        outputs.push(format!("{name}: bits {bits:?}, tensor {tensor:?}"));
+    }
+    (stats, outputs)
 }
 
 /// The (engine, opt level, typed dispatch, simd) combinations to measure,
@@ -156,8 +214,8 @@ fn combos() -> Vec<(Engine, OptLevel, bool, bool)> {
 fn header(title: &str) {
     println!("\n== {title} ==");
     println!(
-        "{:<28} {:>9} {:>10} {:>5} {:>4} {:>11} {:>12} {:>12}",
-        "strategy", "engine", "opt", "typed", "simd", "median (ms)", "total work", "speedup"
+        "{:<28} {:>9} {:>10} {:>5} {:>4} {:>3} {:>11} {:>12} {:>12}",
+        "strategy", "engine", "opt", "typed", "simd", "thr", "median (ms)", "total work", "speedup"
     );
 }
 
@@ -177,8 +235,10 @@ fn table(
     opt_ratios: &mut Vec<f64>,
     typed_ratios: &mut Vec<f64>,
     simd_ratios: &mut Vec<f64>,
+    parallel_ratios: &mut Vec<f64>,
 ) {
     let combos = combos();
+    let scaling = scaling_threads();
     let mut records = Vec::new();
     for v in &variants {
         // Compile-latency guard: re-deriving the kernel at the default
@@ -269,10 +329,43 @@ fn table(
                 // bytecode.
                 typed: typed && level != OptLevel::None,
                 simd: simd && typed && level != OptLevel::None,
+                threads: 1,
                 median_seconds: secs,
                 instrs: kernel.bytecode().code().len(),
                 stats,
             });
+        }
+
+        // The parallel scaling leg: the same kernel on the bytecode
+        // engine at `Default` (typed + simd), re-run at each requested
+        // worker count.  Kernels the shard analysis left serial skip the
+        // leg — thread counts above 1 are a no-op there.
+        let sharded = rederived.sharded();
+        if sharded && !scaling.is_empty() {
+            // Parity gate before any timing: the sharded run must be
+            // bit-identical to serial — dense output bits, assembled
+            // sparse levels, and summed work counters.
+            let serial = outcome_fingerprint(&mut rederived.clone());
+            for &t in &scaling {
+                let mut kernel = rederived.clone().with_threads(t);
+                let parallel = outcome_fingerprint(&mut kernel);
+                assert_eq!(
+                    serial, parallel,
+                    "sharded run at {t} threads diverges from serial for `{}` in {figure} ({group})",
+                    v.label
+                );
+                let (secs, stats) = time_kernel_with(&mut kernel, reps, Engine::Bytecode);
+                engines.push(EngineReport {
+                    engine: Engine::Bytecode,
+                    opt_level: OptLevel::Default,
+                    typed: true,
+                    simd: true,
+                    threads: t,
+                    median_seconds: secs,
+                    instrs: kernel.bytecode().code().len(),
+                    stats,
+                });
+            }
         }
         // Cross-engine and cross-dispatch parity at each measured level:
         // neither the engine nor the typing stage may change a counter.
@@ -294,6 +387,8 @@ fn table(
             typed_instr_fraction,
             simd_speedup: None,
             vectorized_fraction,
+            sharded,
+            parallel_speedup: None,
             opcode_counts,
             engines,
         });
@@ -303,7 +398,11 @@ fn table(
         r.engines
             .iter()
             .find(|e| {
-                e.engine == engine && e.opt_level == level && e.typed == typed && e.simd == simd
+                e.engine == engine
+                    && e.opt_level == level
+                    && e.typed == typed
+                    && e.simd == simd
+                    && e.threads == 1
             })
             .map(|e| e.median_seconds)
     };
@@ -344,6 +443,20 @@ fn table(
                 simd_ratios.push(off / on);
             }
         }
+        // The parallel ratio: serial over the 4-thread leg (or, when
+        // `--threads N` pinned a different count, that leg).
+        let top = r
+            .engines
+            .iter()
+            .filter(|e| e.threads > 1)
+            .min_by_key(|e| if e.threads == 4 { 0 } else { usize::MAX - e.threads })
+            .map(|e| (e.threads, e.median_seconds));
+        if let (Some(serial), Some((_, par))) = (simd_on.or(default), top) {
+            if par > 0.0 {
+                r.parallel_speedup = Some(serial / par);
+                parallel_ratios.push(serial / par);
+            }
+        }
         for e in &r.engines {
             // The headline column: baseline-variant bytecode@Default over
             // this measurement (shown on matching rows only).
@@ -353,6 +466,7 @@ fn table(
                         && e.opt_level == OptLevel::Default
                         && e.typed == primary_typed
                         && e.simd == primary_simd
+                        && e.threads == 1
                         && e.median_seconds > 0.0 =>
                 {
                     format!("{:>11.2}x", base / e.median_seconds)
@@ -360,12 +474,13 @@ fn table(
                 _ => format!("{:>12}", "-"),
             };
             println!(
-                "{:<28} {:>9} {:>10} {:>5} {:>4} {:>11.3} {:>12} {}",
+                "{:<28} {:>9} {:>10} {:>5} {:>4} {:>3} {:>11.3} {:>12} {}",
                 r.label,
                 e.engine.label(),
                 e.opt_level.label(),
                 if e.typed { "on" } else { "off" },
                 if e.simd { "on" } else { "off" },
+                e.threads,
                 e.median_seconds * 1e3,
                 e.stats.total_work(),
                 speedup
@@ -397,6 +512,7 @@ fn main() {
     let mut opt_ratios: Vec<f64> = Vec::new();
     let mut typed_ratios: Vec<f64> = Vec::new();
     let mut simd_ratios: Vec<f64> = Vec::new();
+    let mut parallel_ratios: Vec<f64> = Vec::new();
 
     if wants("1") {
         println!("\n#### Figure 1 — motivating dot product: sparse list x sparse band");
@@ -413,6 +529,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -433,6 +550,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -453,6 +571,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -472,6 +591,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -491,6 +611,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -508,6 +629,7 @@ fn main() {
             &mut opt_ratios,
             &mut typed_ratios,
             &mut simd_ratios,
+            &mut parallel_ratios,
         );
         header(&format!("Humansketches-like images ({size}x{size})"));
         table(
@@ -519,6 +641,7 @@ fn main() {
             &mut opt_ratios,
             &mut typed_ratios,
             &mut simd_ratios,
+            &mut parallel_ratios,
         );
     }
 
@@ -537,6 +660,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -559,6 +683,7 @@ fn main() {
                 &mut opt_ratios,
                 &mut typed_ratios,
                 &mut simd_ratios,
+                &mut parallel_ratios,
             );
         }
     }
@@ -594,6 +719,23 @@ fn main() {
             simd_ratios.len()
         );
         report.simd_speedup = Some(SimdSpeedup { median: med, samples: simd_ratios.len() });
+    }
+
+    if let Some(med) = median(&mut parallel_ratios) {
+        let threads = scaling_threads()
+            .iter()
+            .copied()
+            .find(|&t| t == 4)
+            .or_else(|| scaling_threads().into_iter().max());
+        if let Some(threads) = threads {
+            println!(
+                "parallel sharded speedup (bytecode at OptLevel::Default, typed+simd, \
+                 1 thread / {threads} threads): median {med:.2}x over {} shardable variants",
+                parallel_ratios.len()
+            );
+            report.parallel_speedup =
+                Some(ParallelSpeedup { threads, median: med, samples: parallel_ratios.len() });
+        }
     }
 
     if let Err(e) = report.write(&json_path) {

@@ -10,9 +10,12 @@
 //!
 //! Every case asserts the repository's correctness contract: bit-identical
 //! outputs across all eighteen combinations, engine-identical work
-//! counters at each configuration, and scalar-identical work counters
+//! counters at each configuration, scalar-identical work counters
 //! between the SIMD kernel-op tier and the typed scalar run at every opt
-//! level.  With `--validate`, kernels compile at
+//! level, and — the thread axis — every bytecode configuration re-run
+//! sharded at 2 and 4 worker threads reproducing the serial outputs
+//! (dense bits and assembled sparse `pos`/`idx`/`val`) and work counters
+//! exactly.  With `--validate`, kernels compile at
 //! `ValidationLevel::Full`, so each optimisation pass is additionally
 //! translation-validated on witness inputs during compilation.
 //!

@@ -5,7 +5,12 @@
 //! and protocols — and [`check_case`] executes it through **every**
 //! `(engine, opt level, typed dispatch, simd)` combination, asserting
 //! bit-identical outputs everywhere plus engine-identical
-//! [`finch::ExecStats`] at each configuration.  Any divergence is a miscompile in some stage of the
+//! [`finch::ExecStats`] at each configuration.  Every bytecode
+//! configuration is additionally re-run sharded at 2 and 4 worker threads
+//! (the thread axis: 1/2/4); the parallel runs must reproduce the serial
+//! outputs bit-for-bit — dense buffers *and* assembled sparse
+//! `pos`/`idx`/`val` — with exactly the serial work counters.  Any
+//! divergence is a miscompile in some stage of the
 //! pipeline.  [`minimize`] then shrinks the offending case with greedy
 //! delta debugging over its statement list, and [`render_repro`] prints the
 //! minimized case as a runnable `#[test]` the bug can be replayed from.
@@ -237,6 +242,13 @@ pub fn compile_case(
 /// `(opt level, typed, simd)` configuration the two engines report
 /// identical work counters — the vectorize stage must also keep the
 /// counters scalar-equivalent, so the simd axis shares one reference.
+///
+/// The thread axis: every bytecode configuration is re-run sharded at 2
+/// and 4 worker threads and must match its own serial run exactly —
+/// output bits, assembled sparse `pos`/`idx`/`val` (compared through the
+/// finalized tensors), and summed work counters.  Kernels the shard
+/// analysis left serial still run (thread counts above 1 are a no-op
+/// there), so the axis also proves the serial fallback is clean.
 pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Divergence> {
     let compiled = match compile_case(case, validation) {
         Ok(k) => k,
@@ -283,6 +295,44 @@ pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Diverg
                     }
                 }
             }
+            // The thread axis: `k` just ran serially on the bytecode
+            // engine, so its buffers hold the serial outcome — capture it,
+            // then re-run sharded at 2 and 4 workers and require an exact
+            // match.
+            let serial_fp = output_fingerprint(&k);
+            let serial_stats = engine_stats[1].1;
+            for threads in [2usize, 4] {
+                let combo = format!("Bytecode/{level}/typed={typed}/simd={simd}/threads={threads}");
+                let mut kp = k.clone().with_threads(threads);
+                let stats = match kp.run_with(Engine::Bytecode) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Some(Divergence { combo, detail: format!("runtime fault: {e}") })
+                    }
+                };
+                if stats != serial_stats {
+                    return Some(Divergence {
+                        combo,
+                        detail: format!(
+                            "sharded work counters diverge from serial: {stats:?} vs \
+                             {serial_stats:?}"
+                        ),
+                    });
+                }
+                let fp = output_fingerprint(&kp);
+                if fp != serial_fp {
+                    let name = serial_fp
+                        .iter()
+                        .zip(&fp)
+                        .find(|(a, b)| a != b)
+                        .map(|(a, _)| a.0.as_str())
+                        .unwrap_or("<outputs>");
+                    return Some(Divergence {
+                        combo,
+                        detail: format!("sharded output `{name}` diverges from serial"),
+                    });
+                }
+            }
             let (c0, s0) = &engine_stats[0];
             let (c1, s1) = &engine_stats[1];
             if s0 != s1 {
@@ -309,6 +359,21 @@ pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Diverg
         }
     }
     None
+}
+
+/// Per-output comparison key of a kernel's last run: the dense
+/// materialisation as exact f64 bit patterns plus, where the output
+/// finalises into a tensor, its `Debug` rendering — which includes the
+/// assembled sparse `pos`/`idx`/`val` arrays and round-trips f64 exactly.
+fn output_fingerprint(k: &finch::CompiledKernel) -> Vec<(String, Vec<u64>, Option<String>)> {
+    k.output_names()
+        .into_iter()
+        .map(|name| {
+            let bits = k.output(&name).expect("output reads").iter().map(|v| v.to_bits()).collect();
+            let tensor = k.output_tensor(&name).ok().map(|t| format!("{t:?}"));
+            (name, bits, tensor)
+        })
+        .collect()
 }
 
 /// Draw one random case.  `smoke` shrinks the problem size for the CI

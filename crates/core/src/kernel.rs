@@ -8,8 +8,8 @@ use finch_formats::{BoundTensor, LevelSpec, OutputBuilder, Tensor};
 use finch_ir::opt::{PassReport, ValidationLevel};
 use finch_ir::pretty::Printer;
 use finch_ir::{
-    Buffer, BufferSet, ExecStats, Interpreter, Names, OptLevel, OptStats, Program, RuntimeError,
-    Stmt, Vm,
+    run_sharded, Buffer, BufferSet, ExecStats, Interpreter, Names, OptLevel, OptStats, Program,
+    RuntimeError, ShardPlan, Stmt, Vm,
 };
 use finch_rewrite::Rewriter;
 
@@ -109,6 +109,7 @@ pub struct Kernel {
     typed_dispatch: bool,
     simd: bool,
     validation: ValidationLevel,
+    threads: usize,
 }
 
 impl Default for Kernel {
@@ -129,7 +130,30 @@ impl Kernel {
             typed_dispatch: true,
             simd: true,
             validation: ValidationLevel::default(),
+            threads: 1,
         }
+    }
+
+    /// The worker-thread count [`CompiledKernel::run`] will use for loops
+    /// the shard analysis proved splittable (default 1 = the serial path,
+    /// exactly as before the parallel tier existed).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Select the worker-thread count used by the compiled kernel.  Values
+    /// `<= 1` select the serial path.  Parallel runs are bit-identical to
+    /// serial ones — kernels the analysis cannot prove shardable simply
+    /// stay serial.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style variant of [`Kernel::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     /// How much post-pass checking [`Kernel::compile`]'s pass manager
@@ -304,8 +328,17 @@ impl Kernel {
     /// tensors, is not concordant with the tensors' level orders, or uses
     /// unsupported features.
     pub fn compile(self, program: &CinStmt) -> Result<CompiledKernel, CompileError> {
-        let Kernel { names, bufs, bindings, rewriter, opt_level, typed_dispatch, simd, validation } =
-            self;
+        let Kernel {
+            names,
+            bufs,
+            bindings,
+            rewriter,
+            opt_level,
+            typed_dispatch,
+            simd,
+            validation,
+            threads,
+        } = self;
         let outputs: HashMap<String, OutputBinding> = bindings
             .iter()
             .filter_map(|(name, b)| match b {
@@ -378,6 +411,7 @@ impl Kernel {
             typed_dispatch,
             simd,
             validation,
+            threads,
             pass_reports,
         })
     }
@@ -463,6 +497,10 @@ pub struct CompiledKernel {
     /// The validation level the pass manager ran at when this kernel was
     /// compiled (re-optimisations run at the same level).
     validation: ValidationLevel,
+    /// Worker threads [`CompiledKernel::run`] uses on the bytecode engine
+    /// when the compiled program carries a non-empty shard plan (1 = the
+    /// serial path).
+    threads: usize,
     /// One report per optimisation pass that ran: transform, verifier and
     /// translation-validation wall-clock in nanoseconds.
     pass_reports: Vec<PassReport>,
@@ -578,6 +616,7 @@ impl CompiledKernel {
             typed_dispatch: typed,
             simd,
             validation,
+            threads: self.threads,
             pass_reports,
         })
     }
@@ -613,6 +652,42 @@ impl CompiledKernel {
     /// by the benchmark harness.
     pub fn instrs_vectorized(&self) -> (u64, u64) {
         (self.opt_stats.instrs_vectorized, self.opt_stats.instrs_vectorizable)
+    }
+
+    /// The worker-thread count [`CompiledKernel::run`] uses on the
+    /// bytecode engine (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Select the worker-thread count for subsequent runs.  Values `<= 1`
+    /// select the serial path.  Threads only take effect on the bytecode
+    /// engine and only over loops the shard analysis proved splittable
+    /// (see [`CompiledKernel::sharded`]); everything else runs serial, so
+    /// a parallel run is never incorrect, merely sometimes not parallel.
+    pub fn set_threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Builder-style variant of [`CompiledKernel::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether the shard analysis proved at least one top-level counted
+    /// loop of this kernel splittable across worker threads.  When this is
+    /// `false`, [`CompiledKernel::set_threads`] has no effect on execution.
+    pub fn sharded(&self) -> bool {
+        !self.bytecode.shard_plan().is_empty()
+    }
+
+    /// The shard plan the compiler recorded on the bytecode: the loop
+    /// regions the parallel driver may split, with per-buffer roles.
+    /// Empty when nothing was proved shardable.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        self.bytecode.shard_plan()
     }
 
     /// The engine [`CompiledKernel::run`] dispatches to.
@@ -685,7 +760,11 @@ impl CompiledKernel {
                 // nothing (no register file, no stats, no output vecs).
                 self.vm.reset();
                 self.vm.set_step_budget(self.step_budget);
-                self.vm.run(&self.bytecode, &mut self.bufs)?;
+                if self.threads > 1 {
+                    run_sharded(&mut self.vm, &self.bytecode, &mut self.bufs, self.threads)?;
+                } else {
+                    self.vm.run(&self.bytecode, &mut self.bufs)?;
+                }
                 Ok(self.vm.stats())
             }
             Engine::TreeWalk => {
@@ -1401,6 +1480,94 @@ mod tests {
             .sum();
         let fraction = typed_executed as f64 / executed as f64;
         assert!(fraction > 0.9, "dense loop should be ~fully typed, got {fraction}");
+    }
+
+    #[test]
+    fn compiled_kernels_cross_thread_boundaries() {
+        // The parallel tier hands kernels and their buffers to worker
+        // threads; the public types must stay Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Kernel>();
+        assert_send_sync::<CompiledKernel>();
+        assert_send_sync::<finch_ir::Program>();
+        assert_send_sync::<finch_ir::BufferSet>();
+    }
+
+    fn spmv_kernel(threads: usize) -> CompiledKernel {
+        let nrows = 17;
+        let ncols = 13;
+        let data: Vec<f64> = (0..nrows * ncols)
+            .map(|k| if k % 3 == 0 { (k % 11) as f64 - 4.0 } else { 0.0 })
+            .collect();
+        let xv: Vec<f64> = (0..ncols).map(|k| (k as f64) * 0.25 - 1.5).collect();
+        let a = Tensor::csr_matrix("A", nrows, ncols, &data);
+        let x = Tensor::dense_vector("x", &xv);
+        let mut kernel = Kernel::new().with_threads(threads);
+        kernel.bind_input(&a).bind_input(&x).bind_output("y", &[nrows], 0.0);
+        let (i, j) = (idx("i"), idx("j"));
+        let program = forall(
+            i.clone(),
+            forall(
+                j.clone(),
+                add_assign(
+                    access("y", [i.clone()]),
+                    mul(access("A", [i, j.clone()]), access("x", [j])),
+                ),
+            ),
+        );
+        kernel.compile(&program).expect("spmv compiles")
+    }
+
+    #[test]
+    fn parallel_runs_are_bit_identical_to_serial() {
+        let mut serial = spmv_kernel(1);
+        assert_eq!(serial.threads(), 1);
+        let s_stats = serial.run().unwrap();
+        let s_out = serial.output("y").unwrap();
+        assert!(serial.sharded(), "the dense outer row loop shards:\n{}", serial.code());
+        for threads in [2, 3, 4, 8, 64] {
+            let mut par = spmv_kernel(threads);
+            assert_eq!(par.threads(), threads);
+            let p_stats = par.run().unwrap();
+            let p_out = par.output("y").unwrap();
+            assert_eq!(s_stats, p_stats, "{threads} threads: work counters diverge");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&s_out), bits(&p_out), "{threads} threads: outputs diverge");
+        }
+    }
+
+    #[test]
+    fn non_shardable_kernels_run_serial_at_any_thread_count() {
+        // The sparse-sparse dot product is a while-loop merge with a float
+        // reduction: not shardable, so threads must be a silent no-op.
+        let av = vec![0.0, 1.9, 0.0, 3.0, 0.0, 0.0, 2.7, 0.0, 5.5, 0.0, 0.0];
+        let bv = vec![0.0, 0.0, 0.0, 3.7, 4.7, 9.2, 1.5, 8.7, 0.0, 0.0, 0.0];
+        let a = Tensor::sparse_list_vector("A", &av);
+        let b = Tensor::sparse_list_vector("B", &bv);
+        let mut serial = dot_product(&a, &b);
+        let s_stats = serial.run().unwrap();
+        let s_out = serial.output_scalar("C").unwrap();
+        let mut par = dot_product(&a, &b);
+        par.set_threads(4);
+        assert!(!par.sharded(), "a float-reduction merge must not shard");
+        assert!(par.shard_plan().is_empty());
+        let p_stats = par.run().unwrap();
+        let p_out = par.output_scalar("C").unwrap();
+        assert_eq!(s_stats, p_stats);
+        assert_eq!(s_out.to_bits(), p_out.to_bits());
+    }
+
+    #[test]
+    fn threads_clamp_to_one_and_carry_through_reoptimize() {
+        let a = Tensor::dense_vector("A", &[1.0, 2.0]);
+        let b = Tensor::dense_vector("B", &[3.0, 4.0]);
+        let mut k = dot_product(&a, &b);
+        k.set_threads(0);
+        assert_eq!(k.threads(), 1);
+        k.set_threads(4);
+        let re = k.reoptimized(OptLevel::None);
+        assert_eq!(re.threads(), 4, "reoptimize must carry the thread count");
+        assert_eq!(Kernel::new().with_threads(0).threads(), 1);
     }
 
     #[test]

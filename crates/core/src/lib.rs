@@ -57,6 +57,8 @@ pub use finch_cin::{
 };
 pub use finch_formats::{BoundTensor, Level, LevelSpec, OutputBuilder, Tensor, TensorError};
 pub use finch_ir::opt::{PassReport, ValidationLevel};
-pub use finch_ir::{ExecStats, OptLevel, OptStats, RuntimeError, Value};
+pub use finch_ir::{
+    ExecStats, OptLevel, OptStats, RuntimeError, ShardPlan, ShardRegion, ShardRole, Value,
+};
 pub use finch_looplets as looplets;
 pub use finch_rewrite::Rewriter;

@@ -484,6 +484,34 @@ impl BufferSet {
     }
 }
 
+/// The buffer-access surface the VM dispatch loop needs, abstracted so
+/// the parallel runtime (`crate::par`) can substitute a sharded view —
+/// shared reads from the master set, private per-shard copies for the
+/// buffers a sharded loop writes — without duplicating the dispatch loop.
+pub(crate) trait VmBufs {
+    /// Borrow a buffer for reading.
+    fn get(&self, id: BufId) -> &Buffer;
+    /// Borrow a buffer for writing.
+    fn get_mut(&mut self, id: BufId) -> &mut Buffer;
+    /// The registered name of a buffer (for error messages).
+    fn name(&self, id: BufId) -> &str;
+}
+
+impl VmBufs for BufferSet {
+    #[inline]
+    fn get(&self, id: BufId) -> &Buffer {
+        BufferSet::get(self, id)
+    }
+    #[inline]
+    fn get_mut(&mut self, id: BufId) -> &mut Buffer {
+        BufferSet::get_mut(self, id)
+    }
+    #[inline]
+    fn name(&self, id: BufId) -> &str {
+        BufferSet::name(self, id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,6 +61,7 @@ pub mod error;
 pub mod expr;
 pub mod interp;
 pub mod opt;
+pub mod par;
 pub mod pretty;
 pub mod seek;
 pub mod stmt;
@@ -69,11 +70,12 @@ pub mod var;
 pub mod vm;
 
 pub use buffer::{BufId, Buffer, BufferSet};
-pub use bytecode::{Instr, LaneTag, Program, Reg};
+pub use bytecode::{Instr, LaneTag, Program, Reg, ShardPlan, ShardRegion, ShardRole};
 pub use error::RuntimeError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use interp::{ExecStats, Interpreter};
 pub use opt::{OptLevel, OptStats};
+pub use par::run_sharded;
 pub use stmt::{Extent, Stmt};
 pub use value::{Value, ValueKind};
 pub use var::{Names, Var};

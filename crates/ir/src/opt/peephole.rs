@@ -597,6 +597,7 @@ fn fuse_round(p: &Program, stats: &mut OptStats) -> (Program, bool) {
         var_names: p.var_names.clone(),
         num_regs: p.num_regs,
         pretags: p.pretags.clone(),
+        shard_plan: p.shard_plan.clone(),
     };
     (new_program, changed)
 }

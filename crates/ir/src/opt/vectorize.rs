@@ -107,6 +107,7 @@ pub fn vectorize(p: &Program, stats: &mut OptStats) -> Program {
         var_names: p.var_names.clone(),
         num_regs: p.num_regs,
         pretags: p.pretags.clone(),
+        shard_plan: p.shard_plan.clone(),
     }
 }
 

@@ -407,6 +407,36 @@ pub fn verify_bytecode(program: &Program, bufs: &BufferSet) -> Result<(), String
             }
         }
     }
+    for (r, region) in program.shard_plan().regions.iter().enumerate() {
+        for &(buf, role) in &region.roles {
+            if buf.index() >= bufs.len() {
+                return Err(format!(
+                    "shard region #{r} assigns a role to buffer #{} outside the set of {}",
+                    buf.index(),
+                    bufs.len()
+                ));
+            }
+            if let crate::bytecode::ShardRole::SegmentPos { data } = role {
+                if data.index() >= bufs.len() {
+                    return Err(format!(
+                        "shard region #{r} pos buffer `{}` pairs with data buffer #{} \
+                         outside the set of {}",
+                        bufs.name(buf),
+                        data.index(),
+                        bufs.len()
+                    ));
+                }
+            }
+            if matches!(role, crate::bytecode::ShardRole::Reduction { .. })
+                && !matches!(bufs.get(buf), Buffer::I64(_))
+            {
+                return Err(format!(
+                    "shard region #{r} marks non-i64 buffer `{}` as a reduction",
+                    bufs.name(buf)
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -631,6 +661,7 @@ mod tests {
             var_names: Vec::new(),
             num_regs: 0,
             pretags: Vec::new(),
+            shard_plan: crate::bytecode::ShardPlan::default(),
         };
         let _ = names;
         let err = verify_bytecode(&program, &bufs).unwrap_err();

@@ -17,7 +17,7 @@
 //! `searches` counter semantics are unchanged: callers count one search
 //! per seek, as before.
 
-use crate::buffer::{BufId, BufferSet};
+use crate::buffer::{BufId, VmBufs};
 use crate::error::RuntimeError;
 
 /// Lower-bound search over `buf[lo..=hi]` for `key`: the first position
@@ -32,8 +32,8 @@ use crate::error::RuntimeError;
 /// outside the buffer, and a type error when a probed element is not an
 /// integer — the same faults, in the same order, as the historical plain
 /// binary search probing the same positions.
-pub fn lower_bound(
-    bufs: &BufferSet,
+pub(crate) fn lower_bound<B: VmBufs>(
+    bufs: &B,
     buf: BufId,
     lo: i64,
     hi: i64,
@@ -92,7 +92,7 @@ pub fn lower_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::buffer::Buffer;
+    use crate::buffer::{Buffer, BufferSet};
 
     /// The pre-gallop implementation, kept as the oracle: plain
     /// lower-bound bisection over the whole window.

@@ -11,7 +11,7 @@
 //! differential-tested for bit-identical outputs *and* work counters (see
 //! `tests/proptests.rs` at the workspace root).
 
-use crate::buffer::{BufId, Buffer, BufferSet};
+use crate::buffer::{BufId, Buffer, BufferSet, VmBufs};
 use crate::bytecode::{Instr, LaneTag, Program, Reg, VBase, VCost, VRhs, VScale};
 use crate::error::RuntimeError;
 use crate::expr::BinOp;
@@ -21,7 +21,7 @@ use crate::var::Var;
 
 /// The runtime type tag of a register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Tag {
+pub(crate) enum Tag {
     /// Never written (reading it is an unbound-variable error).
     Unset,
     /// The int lane holds the value.
@@ -53,12 +53,12 @@ enum Computed {
 /// [`crate::interp::Interpreter`]'s API.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    tags: Vec<Tag>,
-    ints: Vec<i64>,
-    floats: Vec<f64>,
-    bools: Vec<bool>,
-    stats: ExecStats,
-    step_budget: Option<u64>,
+    pub(crate) tags: Vec<Tag>,
+    pub(crate) ints: Vec<i64>,
+    pub(crate) floats: Vec<f64>,
+    pub(crate) bools: Vec<bool>,
+    pub(crate) stats: ExecStats,
+    pub(crate) step_budget: Option<u64>,
 }
 
 impl Vm {
@@ -177,7 +177,7 @@ impl Vm {
         })
     }
 
-    fn check_bounds(buf: BufId, idx: i64, bufs: &BufferSet) -> Result<(), RuntimeError> {
+    fn check_bounds<B: VmBufs>(buf: BufId, idx: i64, bufs: &B) -> Result<(), RuntimeError> {
         let len = bufs.get(buf).len();
         if idx < 0 || idx as usize >= len {
             return Err(RuntimeError::OutOfBounds {
@@ -197,7 +197,27 @@ impl Vm {
     /// when the step budget is exceeded — the same faults, in the same
     /// order, as the tree-walking interpreter.
     pub fn run(&mut self, program: &Program, bufs: &mut BufferSet) -> Result<(), RuntimeError> {
-        self.dispatch::<false>(program, bufs, &mut [])
+        self.run_span(program, bufs, 0, program.code().len()).map(|_| ())
+    }
+
+    /// Execute instructions starting at `start` until the pc leaves
+    /// `[start, stop)` — either by reaching `stop` (the common fallthrough)
+    /// or by a jump past it — and return the final pc.  The parallel
+    /// runtime (`crate::par`) drives a program region-by-region with this;
+    /// `stop = code.len()` recovers a full [`Vm::run`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Vm::run`].
+    pub(crate) fn run_span<B: VmBufs>(
+        &mut self,
+        program: &Program,
+        bufs: &mut B,
+        start: usize,
+        stop: usize,
+    ) -> Result<usize, RuntimeError> {
+        self.apply_pretags(program);
+        self.dispatch::<false, B>(program, bufs, &mut [], start, stop)
     }
 
     /// Execute the program while counting how many times each instruction
@@ -216,7 +236,8 @@ impl Vm {
         bufs: &mut BufferSet,
     ) -> Result<Vec<u64>, RuntimeError> {
         let mut counts = vec![0u64; program.code().len()];
-        self.dispatch::<true>(program, bufs, &mut counts)?;
+        self.apply_pretags(program);
+        self.dispatch::<true, BufferSet>(program, bufs, &mut counts, 0, program.code().len())?;
         Ok(counts)
     }
 
@@ -237,17 +258,22 @@ impl Vm {
     }
 
     /// The dispatch loop, monomorphised over whether per-pc execution
-    /// counts are collected (so the hot non-profiled path pays nothing).
-    fn dispatch<const PROFILE: bool>(
+    /// counts are collected (so the hot non-profiled path pays nothing)
+    /// and over the buffer view (the plain [`BufferSet`], or the sharded
+    /// view the parallel runtime substitutes).  Runs over the span
+    /// `[start, stop)` and returns the pc at which control left it.
+    fn dispatch<const PROFILE: bool, B: VmBufs>(
         &mut self,
         program: &Program,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         counts: &mut [u64],
-    ) -> Result<(), RuntimeError> {
-        self.apply_pretags(program);
+        start: usize,
+        stop: usize,
+    ) -> Result<usize, RuntimeError> {
         let code = program.code();
-        let mut pc = 0usize;
-        while let Some(instr) = code.get(pc) {
+        let mut pc = start;
+        while pc < stop {
+            let instr = &code[pc];
             if PROFILE {
                 counts[pc] += 1;
             }
@@ -873,13 +899,15 @@ impl Vm {
                 }
             }
         }
-        Ok(())
+        Ok(pc)
     }
 
     /// The infallible integer arithmetic subset the typed [`Instr::IArith`]
     /// forms execute — exactly [`Vm::int_binop`]'s arms for these ops.
+    /// `pub(crate)` so the parallel runtime combines shard-partial integer
+    /// reductions with the identical operator bodies.
     #[inline]
-    fn int_arith(op: BinOp, x: i64, y: i64) -> i64 {
+    pub(crate) fn int_arith(op: BinOp, x: i64, y: i64) -> i64 {
         match op {
             BinOp::Add => x.wrapping_add(y),
             BinOp::Sub => x.wrapping_sub(y),
@@ -911,12 +939,12 @@ impl Vm {
     /// `permit`); otherwise the index is coerced, bounds are checked, and
     /// one load is counted.
     #[inline]
-    fn load_value(
+    fn load_value<B: VmBufs>(
         &mut self,
         buf: BufId,
         idx: Reg,
         program: &Program,
-        bufs: &BufferSet,
+        bufs: &B,
     ) -> Result<Value, RuntimeError> {
         let i = idx.index();
         match self.tags[i] {
@@ -1140,14 +1168,14 @@ impl Vm {
     /// Lower-bound search over `buf[lo..=hi]`, identical to the
     /// interpreter's: the shared galloping search ([`crate::seek`]), one
     /// bounds check and one counted load per probe.
-    fn binary_search(
+    fn binary_search<B: VmBufs>(
         &mut self,
         buf: BufId,
         lo: i64,
         hi: i64,
         key: i64,
         on_abs: bool,
-        bufs: &BufferSet,
+        bufs: &B,
     ) -> Result<i64, RuntimeError> {
         let (pos, probes) = crate::seek::lower_bound(bufs, buf, lo, hi, key, on_abs)?;
         self.stats.loads += probes;
@@ -1212,8 +1240,8 @@ impl Vm {
     /// or `None` when the buffer has another kind or any index of the
     /// bulk would be out of bounds.
     #[inline]
-    fn vf64_span(
-        bufs: &BufferSet,
+    fn vf64_span<B: VmBufs>(
+        bufs: &B,
         buf: BufId,
         off: i128,
         lo: i64,
@@ -1258,9 +1286,9 @@ impl Vm {
 
     /// [`Instr::VFillStoreF64`]: `buf[base + v] = imm` for the bulk.
     #[allow(clippy::too_many_arguments)]
-    fn v_fill(
+    fn v_fill<B: VmBufs>(
         &mut self,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         buf: BufId,
         base: VBase,
         imm: f64,
@@ -1287,9 +1315,9 @@ impl Vm {
     /// bulk.  The destination is lifted out of the set for the duration
     /// so the sources can be read while it is written (it aliases
     /// neither source — checked; the two sources may alias each other).
-    fn v_map(
+    fn v_map<B: VmBufs>(
         &mut self,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         m: VMapArgs,
         counter: Reg,
         hi: Reg,
@@ -1361,9 +1389,9 @@ impl Vm {
     /// accumulator aliases neither source — checked; `a` and `b` may be
     /// the same buffer).
     #[allow(clippy::too_many_arguments)]
-    fn v_mul_add(
+    fn v_mul_add<B: VmBufs>(
         &mut self,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         acc: BufId,
         acc_idx: i64,
         a: (BufId, VBase),
@@ -1407,9 +1435,9 @@ impl Vm {
     /// [`Instr::VReduceF64`]: `acc[acc_idx] op= pre(src[..])` folded
     /// strictly in order.
     #[allow(clippy::too_many_arguments)]
-    fn v_reduce(
+    fn v_reduce<B: VmBufs>(
         &mut self,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         acc: BufId,
         acc_idx: i64,
         src: BufId,
@@ -1449,9 +1477,9 @@ impl Vm {
     /// [`Instr::VAppendRangeF64`]: `idx_out.push(v)` / `val_out.push(
     /// src[base + v])` for each (passing) bulk iteration.
     #[allow(clippy::too_many_arguments)]
-    fn v_append_range(
+    fn v_append_range<B: VmBufs>(
         &mut self,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         idx_out: BufId,
         val_out: BufId,
         src: BufId,
@@ -1500,9 +1528,9 @@ impl Vm {
     /// holds, with the stored value clamped then rounded exactly like
     /// [`Instr::StoreU8`].
     #[allow(clippy::too_many_arguments)]
-    fn v_cmp_select(
+    fn v_cmp_select<B: VmBufs>(
         &mut self,
-        bufs: &mut BufferSet,
+        bufs: &mut B,
         dst: (BufId, VBase),
         src: (BufId, VBase),
         cmp: BinOp,
