@@ -1,0 +1,273 @@
+//! The kernel-service bench: replay a Zipf-skewed trace of kernel requests
+//! against a long-lived [`KernelService`] from concurrent clients, and emit
+//! `BENCH_serve.json` with throughput (QPS), latency quantiles (p50/p99),
+//! cache hit rate, and the service's resilience counters.
+//!
+//! ```bash
+//! cargo run --release -p finch-bench --bin serve
+//! cargo run --release -p finch-bench --bin serve -- --tiny
+//! cargo run --release -p finch-bench --bin serve -- --tiny --faults 250 --verify
+//! ```
+//!
+//! With `--faults N`, a seeded [`FaultPlan`] injects panics, budget
+//! exhaustion, poisoned entries, and deadline expiry into N‰ of requests;
+//! with `--verify`, every successful response — including degraded ones —
+//! is checked bit-for-bit against an independently computed tree-walk
+//! reference, and the process exits nonzero on any divergence.  Together
+//! they are the acceptance check that every injected fault ends in either a
+//! bit-identical degraded result or a typed error.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use finch::{FaultPlan, KernelService, ServiceConfig, ServiceError, Tier};
+use finch_bench::report::ServeReport;
+use finch_bench::trace::{self, TraceConfig};
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn arg_after(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|k| args.get(k + 1).cloned())
+}
+
+fn num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    arg_after(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct ClientTally {
+    latencies_ns: Vec<u64>,
+    ok: u64,
+    degraded: u64,
+    typed_errors: u64,
+    verified: u64,
+    divergences: u64,
+}
+
+fn main() {
+    let tiny = flag("--tiny");
+    let requests: usize = num("--requests", if tiny { 240 } else { 3000 });
+    let clients: usize = num("--clients", if tiny { 2 } else { 4 });
+    let kernels: usize = num("--kernels", if tiny { 6 } else { 12 });
+    let instances: usize = num("--instances", 4);
+    let cache: usize = num("--cache", if tiny { 4 } else { 8 });
+    let deadline_ms: u64 = num("--deadline-ms", 200);
+    let threads: usize = num("--threads", 1);
+    let faults: u32 = num("--faults", 0);
+    let seed: u64 = num("--seed", 0x5E21);
+    let skew: f64 = num("--zipf", 1.1);
+    let verify = flag("--verify");
+    let json_path = arg_after("--json").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let tcfg =
+        TraceConfig { kernels, instances, requests, skew, seed, scale: if tiny { 2 } else { 4 } };
+    let schedule = trace::generate(&tcfg);
+
+    let svc = KernelService::new(ServiceConfig {
+        capacity: cache,
+        deadline: if deadline_ms == 0 { None } else { Some(Duration::from_millis(deadline_ms)) },
+        threads,
+        ..ServiceConfig::default()
+    });
+    if faults > 0 {
+        svc.install_faults(FaultPlan::seeded(seed, requests as u64, faults));
+        // Injected panics are caught by the service; keep the default hook's
+        // backtrace spam out of the bench output (real panics still print).
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("");
+            if !msg.starts_with("injected fault") {
+                default_hook(info);
+            }
+        }));
+    }
+
+    // Independently computed references for --verify: one per distinct
+    // (kernel, instance), via the tree-walk oracle.
+    let references: HashMap<(usize, usize), Vec<u64>> = if verify {
+        let mut refs = HashMap::new();
+        for r in &schedule.requests {
+            refs.entry((r.kernel, r.instance)).or_insert_with(|| {
+                trace::reference_values(&tcfg, r.kernel, r.instance)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect()
+            });
+        }
+        refs
+    } else {
+        HashMap::new()
+    };
+
+    println!(
+        "serve: {requests} requests, {clients} clients, {kernels} kernels x {instances} \
+         instances, cache {cache}, deadline {deadline_ms}ms, faults {faults}/1000{}",
+        if verify { ", verifying" } else { "" }
+    );
+
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients.max(1));
+        for c in 0..clients.max(1) {
+            let svc = &svc;
+            let schedule = &schedule;
+            let tcfg = &tcfg;
+            let references = &references;
+            handles.push(scope.spawn(move || {
+                let mut tally = ClientTally {
+                    latencies_ns: Vec::new(),
+                    ok: 0,
+                    degraded: 0,
+                    typed_errors: 0,
+                    verified: 0,
+                    divergences: 0,
+                };
+                // Round-robin split of the schedule across clients.
+                for r in schedule.requests.iter().skip(c).step_by(clients.max(1)) {
+                    let req = trace::build_request(tcfg, r.kernel, r.instance);
+                    let t0 = Instant::now();
+                    let out = svc.submit(&req);
+                    tally.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    match out {
+                        Ok(resp) => {
+                            tally.ok += 1;
+                            if resp.tier != Tier::Fast {
+                                tally.degraded += 1;
+                            }
+                            if verify {
+                                let got: Vec<u64> = trace::response_values(&resp)
+                                    .iter()
+                                    .map(|x| x.to_bits())
+                                    .collect();
+                                let want = &references[&(r.kernel, r.instance)];
+                                if got == *want {
+                                    tally.verified += 1;
+                                } else {
+                                    tally.divergences += 1;
+                                    eprintln!(
+                                        "DIVERGENCE kernel {} instance {} tier {}: \
+                                         {} values vs {} reference",
+                                        r.kernel,
+                                        r.instance,
+                                        resp.tier.label(),
+                                        got.len(),
+                                        want.len()
+                                    );
+                                }
+                            }
+                        }
+                        Err(ServiceError::Compile(e)) => {
+                            // Trace templates always compile; a compile error
+                            // is a bench bug, not a service fault.
+                            panic!("unexpected compile error in trace: {e}");
+                        }
+                        Err(_) => tally.typed_errors += 1,
+                    }
+                }
+                tally
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(requests);
+    let (mut ok, mut degraded, mut typed_errors, mut verified, mut divergences) = (0, 0, 0, 0, 0);
+    for t in tallies {
+        latencies.extend(t.latencies_ns);
+        ok += t.ok;
+        degraded += t.degraded;
+        typed_errors += t.typed_errors;
+        verified += t.verified;
+        divergences += t.divergences;
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let k = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[k] as f64 / 1000.0
+    };
+    let mean_us = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1000.0
+    };
+    let stats = svc.stats();
+    let hit_rate = if stats.hits + stats.misses == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / (stats.hits + stats.misses) as f64
+    };
+
+    let report = ServeReport {
+        requests: requests as u64,
+        clients: clients as u64,
+        kernels: kernels as u64,
+        instances: instances as u64,
+        cache_capacity: cache as u64,
+        deadline_ms,
+        faults_permille: u64::from(faults),
+        seed,
+        zipf_skew: skew,
+        elapsed_seconds: elapsed,
+        qps: if elapsed > 0.0 { latencies.len() as f64 / elapsed } else { 0.0 },
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        mean_us,
+        hit_rate,
+        ok,
+        degraded,
+        typed_errors,
+        verified,
+        divergences,
+        stats,
+    };
+
+    println!(
+        "  {:.0} req/s, p50 {:.1}us, p99 {:.1}us, hit rate {:.1}%",
+        report.qps,
+        report.p50_us,
+        report.p99_us,
+        100.0 * report.hit_rate
+    );
+    println!(
+        "  ok {ok} (degraded {degraded}), typed errors {typed_errors}, served by tier {:?}, \
+         faults by tier {:?}",
+        stats.served_by_tier, stats.faults_by_tier
+    );
+    if faults > 0 {
+        println!(
+            "  resilience: {} quarantined, {} recompiles, {} evictions, {} panics caught, \
+             {} fault rules unfired",
+            stats.quarantined,
+            stats.recompiles,
+            stats.evictions,
+            stats.panics,
+            svc.pending_faults()
+        );
+    }
+    if verify {
+        println!("  verified {verified} responses bit-identical, {divergences} divergences");
+    }
+
+    match report.write(&json_path) {
+        Ok(()) => println!("  wrote {json_path}"),
+        Err(e) => {
+            eprintln!("error: could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if divergences > 0 {
+        eprintln!("FAIL: {divergences} degraded/served responses diverged from the reference");
+        std::process::exit(2);
+    }
+}

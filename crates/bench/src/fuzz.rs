@@ -19,7 +19,9 @@
 //! from CI's smoke job); the unit tests below drive it with an injected
 //! bug to prove the minimizer converges.
 
-use finch::{CompileError, Engine, Kernel, LevelSpec, OptLevel, Tensor, ValidationLevel};
+use finch::{
+    CompileError, Engine, Kernel, LevelSpec, OptLevel, RuntimeError, Tensor, ValidationLevel,
+};
 use finch_baseline::datagen;
 use finch_cin::build::*;
 use finch_cin::{CinStmt, IndexVar, Protocol};
@@ -249,12 +251,19 @@ pub fn compile_case(
 /// finalized tensors), and summed work counters.  Kernels the shard
 /// analysis left serial still run (thread counts above 1 are a no-op
 /// there), so the axis also proves the serial fallback is clean.
+///
+/// The error-parity axis: when the case is big enough, every combination
+/// is re-run under a step budget set strictly below the cheapest
+/// configuration's statement count, and must fail with the identical
+/// typed [`RuntimeError::StepBudgetExceeded`] — resource faults degrade
+/// identically everywhere, never divergently.
 pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Divergence> {
     let compiled = match compile_case(case, validation) {
         Ok(k) => k,
         Err(e) => return Some(Divergence { combo: "compile".into(), detail: e.to_string() }),
     };
     let mut reference: Option<Vec<(String, Vec<u64>)>> = None;
+    let mut min_stmts = u64::MAX;
     for level in OptLevel::all() {
         // The typed scalar run's counters at this level: the vectorized
         // run must report the exact same machine-independent work.
@@ -271,6 +280,7 @@ pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Diverg
                     }
                 };
                 engine_stats.push((combo.clone(), stats));
+                min_stmts = min_stmts.min(stats.stmts);
                 let outputs: Vec<(String, Vec<u64>)> = k
                     .output_names()
                     .into_iter()
@@ -353,6 +363,69 @@ pub fn check_case(case: &FuzzCase, validation: ValidationLevel) -> Option<Diverg
                                  {s0:?} vs {scalar:?}"
                             ),
                         });
+                    }
+                }
+            }
+        }
+    }
+    // The error-parity axis: a step budget strictly below every
+    // configuration's statement count must abort *every* combination —
+    // engines, opt levels, typed/simd, and sharded thread counts — with
+    // the exact same typed error.  A combination that runs to completion,
+    // or faults with a different error, is a divergence like any other.
+    if (4..u64::MAX).contains(&min_stmts) {
+        let budget = min_stmts / 2;
+        let want = RuntimeError::StepBudgetExceeded { budget };
+        for level in OptLevel::all() {
+            for (typed, simd) in [(false, false), (true, false), (true, true)] {
+                let mut k = compiled.reoptimized_simd(level, typed, simd).with_step_budget(budget);
+                for engine in [Engine::TreeWalk, Engine::Bytecode] {
+                    let combo =
+                        format!("{engine:?}/{level}/typed={typed}/simd={simd}/budget={budget}");
+                    match k.run_with(engine) {
+                        Err(ref e) if *e == want => {}
+                        Ok(_) => {
+                            return Some(Divergence {
+                                combo,
+                                detail: format!(
+                                    "ran to completion under a step budget of {budget}"
+                                ),
+                            })
+                        }
+                        Err(e) => {
+                            return Some(Divergence {
+                                combo,
+                                detail: format!(
+                                    "wrong typed error under budget {budget}: {e} (want {want})"
+                                ),
+                            })
+                        }
+                    }
+                }
+                for threads in [2usize, 4] {
+                    let combo = format!(
+                        "Bytecode/{level}/typed={typed}/simd={simd}/threads={threads}/\
+                         budget={budget}"
+                    );
+                    let mut kp = k.clone().with_threads(threads);
+                    match kp.run_with(Engine::Bytecode) {
+                        Err(ref e) if *e == want => {}
+                        Ok(_) => {
+                            return Some(Divergence {
+                                combo,
+                                detail: format!(
+                                    "ran to completion under a step budget of {budget}"
+                                ),
+                            })
+                        }
+                        Err(e) => {
+                            return Some(Divergence {
+                                combo,
+                                detail: format!(
+                                    "wrong typed error under budget {budget}: {e} (want {want})"
+                                ),
+                            })
+                        }
                     }
                 }
             }

@@ -17,6 +17,7 @@
 
 pub mod fuzz;
 pub mod report;
+pub mod trace;
 
 use std::time::Instant;
 

@@ -406,6 +406,121 @@ impl Report {
     }
 }
 
+/// The machine-readable result of one `serve` bench run
+/// (`BENCH_serve.json`): throughput, latency quantiles, cache behaviour, and
+/// the resilience counters of the kernel service.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Requests submitted by the driver.
+    pub requests: u64,
+    /// Concurrent client threads.
+    pub clients: u64,
+    /// Distinct kernel structures in the trace.
+    pub kernels: u64,
+    /// Data instances per kernel.
+    pub instances: u64,
+    /// Service cache capacity.
+    pub cache_capacity: u64,
+    /// Per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: u64,
+    /// Injected-fault rate in permille (0 = fault-free).
+    pub faults_permille: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Zipf skew of the trace.
+    pub zipf_skew: f64,
+    /// Wall-clock duration of the request phase, seconds.
+    pub elapsed_seconds: f64,
+    /// Completed requests per second (successes and typed errors).
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Mean request latency, microseconds.
+    pub mean_us: f64,
+    /// Cache hits / (hits + misses).
+    pub hit_rate: f64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Responses served below the fast tier.
+    pub degraded: u64,
+    /// Requests that ended in a typed error (deadline, budget, shed, ...).
+    pub typed_errors: u64,
+    /// Responses verified bit-identical against the tree-walk reference.
+    pub verified: u64,
+    /// Verified responses that diverged from the reference (must be 0).
+    pub divergences: u64,
+    /// The service's own counters at the end of the run.
+    pub stats: finch::ServiceStats,
+}
+
+impl ServeReport {
+    /// Render the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let tiers = |xs: &[u64; 4]| format!("[{}, {}, {}, {}]", xs[0], xs[1], xs[2], xs[3]);
+        let s = &self.stats;
+        format!(
+            "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve\",\n  \
+             \"requests\": {},\n  \"clients\": {},\n  \"kernels\": {},\n  \
+             \"instances\": {},\n  \"cache_capacity\": {},\n  \"deadline_ms\": {},\n  \
+             \"faults_permille\": {},\n  \"seed\": {},\n  \"zipf_skew\": {},\n  \
+             \"elapsed_seconds\": {},\n  \"qps\": {},\n  \"p50_us\": {},\n  \
+             \"p99_us\": {},\n  \"mean_us\": {},\n  \"hit_rate\": {},\n  \
+             \"ok\": {},\n  \"degraded\": {},\n  \"typed_errors\": {},\n  \
+             \"verified\": {},\n  \"divergences\": {},\n  \"service\": {{\n    \
+             \"hits\": {},\n    \"misses\": {},\n    \"compiles\": {},\n    \
+             \"recompiles\": {},\n    \"quarantined\": {},\n    \"evictions\": {},\n    \
+             \"shed\": {},\n    \"panics\": {},\n    \"deadline_errors\": {},\n    \
+             \"budget_errors\": {},\n    \"alloc_errors\": {},\n    \
+             \"served_by_tier\": {},\n    \"faults_by_tier\": {}\n  }}\n}}\n",
+            self.requests,
+            self.clients,
+            self.kernels,
+            self.instances,
+            self.cache_capacity,
+            self.deadline_ms,
+            self.faults_permille,
+            self.seed,
+            json_number(self.zipf_skew),
+            json_number(self.elapsed_seconds),
+            json_number(self.qps),
+            json_number(self.p50_us),
+            json_number(self.p99_us),
+            json_number(self.mean_us),
+            json_number(self.hit_rate),
+            self.ok,
+            self.degraded,
+            self.typed_errors,
+            self.verified,
+            self.divergences,
+            s.hits,
+            s.misses,
+            s.compiles,
+            s.recompiles,
+            s.quarantined,
+            s.evictions,
+            s.shed,
+            s.panics,
+            s.deadline_errors,
+            s.budget_errors,
+            s.alloc_errors,
+            tiers(&s.served_by_tier),
+            tiers(&s.faults_by_tier),
+        )
+    }
+
+    /// Write the JSON report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
 /// Escape a string for JSON (the labels are plain ASCII, but quotes and
 /// backslashes must not corrupt the document).
 fn json_string(s: &str) -> String {

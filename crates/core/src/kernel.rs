@@ -4,12 +4,12 @@
 use std::collections::HashMap;
 
 use finch_cin::CinStmt;
-use finch_formats::{BoundTensor, LevelSpec, OutputBuilder, Tensor};
+use finch_formats::{BoundLevel, BoundTensor, Level, LevelSpec, OutputBuilder, Tensor};
 use finch_ir::opt::{PassReport, ValidationLevel};
 use finch_ir::pretty::Printer;
 use finch_ir::{
     run_sharded, Buffer, BufferSet, ExecStats, Interpreter, Names, OptLevel, OptStats, Program,
-    RuntimeError, ShardPlan, Stmt, Vm,
+    RuntimeError, ShardPlan, Stmt, Vm, Watch,
 };
 use finch_rewrite::Rewriter;
 
@@ -32,6 +32,30 @@ pub enum Engine {
     /// The tree-walking interpreter (`finch_ir::interp`), retained as the
     /// semantics oracle for differential testing.
     TreeWalk,
+}
+
+/// Resolve a requested worker-thread count: `0` means "auto" — the
+/// machine's [`std::thread::available_parallelism`] — and anything else is
+/// clamped to at least 1 (the serial path).
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Copy an `i64` array into an existing buffer in place, reusing its
+/// capacity (the rebind fast path; replaces the buffer only if a kind
+/// mismatch somehow slipped past binding).
+fn copy_i64(bufs: &mut BufferSet, id: finch_ir::BufId, src: &[i64]) {
+    match bufs.get_mut(id) {
+        Buffer::I64(d) => {
+            d.clear();
+            d.extend_from_slice(src);
+        }
+        other => *other = Buffer::I64(src.to_vec().into()),
+    }
 }
 
 impl Engine {
@@ -141,18 +165,19 @@ impl Kernel {
         self.threads
     }
 
-    /// Select the worker-thread count used by the compiled kernel.  Values
-    /// `<= 1` select the serial path.  Parallel runs are bit-identical to
-    /// serial ones — kernels the analysis cannot prove shardable simply
-    /// stay serial.
+    /// Select the worker-thread count used by the compiled kernel.  `0`
+    /// resolves to the machine's [`std::thread::available_parallelism`]
+    /// ("auto"); `1` selects the serial path.  Parallel runs are
+    /// bit-identical to serial ones — kernels the analysis cannot prove
+    /// shardable simply stay serial.
     pub fn set_threads(&mut self, threads: usize) -> &mut Self {
-        self.threads = threads.max(1);
+        self.threads = resolve_threads(threads);
         self
     }
 
     /// Builder-style variant of [`Kernel::set_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = resolve_threads(threads);
         self
     }
 
@@ -346,6 +371,13 @@ impl Kernel {
                 Binding::Input(_) => None,
             })
             .collect();
+        let inputs: HashMap<String, BoundTensor> = bindings
+            .iter()
+            .filter_map(|(name, b)| match b {
+                Binding::Input(t) => Some((name.clone(), t.clone())),
+                Binding::Output(_) => None,
+            })
+            .collect();
         let mut ctx = LowerCtx::new(names, bufs, bindings, rewriter);
         // Result arrays are initialised as soon as they enter scope (paper
         // §5.1): dense outputs get initialisation code at the top of the
@@ -402,10 +434,13 @@ impl Kernel {
             names: ctx.names,
             bufs: ctx.bufs,
             outputs,
+            inputs,
             source,
             program: format!("{program}"),
             engine: Engine::default(),
             step_budget: None,
+            watch: None,
+            alloc_budget: None,
             opt_level,
             opt_stats,
             typed_dispatch,
@@ -486,10 +521,20 @@ pub struct CompiledKernel {
     names: Names,
     bufs: BufferSet,
     outputs: HashMap<String, OutputBinding>,
+    /// The bound input tensors, kept so later runs can swap in fresh data
+    /// of the same structure without recompiling (and so the rebind can be
+    /// validated against the structure the code was generated for).
+    inputs: HashMap<String, BoundTensor>,
     source: String,
     program: String,
     engine: Engine,
     step_budget: Option<u64>,
+    /// Cooperative deadline / cancellation applied to every run on either
+    /// engine (the service arms this per request).
+    watch: Option<Watch>,
+    /// Output-allocation element budget applied to every run on either
+    /// engine, alongside the step budget.
+    alloc_budget: Option<u64>,
     opt_level: OptLevel,
     opt_stats: OptStats,
     typed_dispatch: bool,
@@ -607,10 +652,13 @@ impl CompiledKernel {
             names,
             bufs: self.bufs.clone(),
             outputs: self.outputs.clone(),
+            inputs: self.inputs.clone(),
             source,
             program: self.program.clone(),
             engine: self.engine,
             step_budget: self.step_budget,
+            watch: self.watch.clone(),
+            alloc_budget: self.alloc_budget,
             opt_level: level,
             opt_stats,
             typed_dispatch: typed,
@@ -660,19 +708,21 @@ impl CompiledKernel {
         self.threads
     }
 
-    /// Select the worker-thread count for subsequent runs.  Values `<= 1`
-    /// select the serial path.  Threads only take effect on the bytecode
-    /// engine and only over loops the shard analysis proved splittable
-    /// (see [`CompiledKernel::sharded`]); everything else runs serial, so
-    /// a parallel run is never incorrect, merely sometimes not parallel.
+    /// Select the worker-thread count for subsequent runs.  `0` resolves
+    /// to the machine's [`std::thread::available_parallelism`] ("auto");
+    /// `1` selects the serial path.  Threads only take effect on the
+    /// bytecode engine and only over loops the shard analysis proved
+    /// splittable (see [`CompiledKernel::sharded`]); everything else runs
+    /// serial, so a parallel run is never incorrect, merely sometimes not
+    /// parallel.
     pub fn set_threads(&mut self, threads: usize) -> &mut Self {
-        self.threads = threads.max(1);
+        self.threads = resolve_threads(threads);
         self
     }
 
     /// Builder-style variant of [`CompiledKernel::set_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.threads = resolve_threads(threads);
         self
     }
 
@@ -733,6 +783,194 @@ impl CompiledKernel {
         self
     }
 
+    /// The configured cooperative watch (deadline / cancellation), if any.
+    pub fn watch(&self) -> Option<&Watch> {
+        self.watch.as_ref()
+    }
+
+    /// Set or clear a cooperative [`Watch`] applied to every run on either
+    /// engine: a run whose deadline expires (or whose cancellation flag is
+    /// raised) aborts with [`RuntimeError::Deadline`], checked on the same
+    /// statement path as the step budget.  Buffers stay reusable — the
+    /// next run resets them in place exactly as after a budget abort.
+    pub fn set_watch(&mut self, watch: Option<Watch>) -> &mut Self {
+        self.watch = watch;
+        self
+    }
+
+    /// Builder-style variant of [`CompiledKernel::set_watch`].
+    pub fn with_watch(mut self, watch: Watch) -> Self {
+        self.watch = Some(watch);
+        self
+    }
+
+    /// The configured output-allocation element budget, if any.
+    pub fn alloc_budget(&self) -> Option<u64> {
+        self.alloc_budget
+    }
+
+    /// Bound the number of elements a run may append to growable (sparse)
+    /// outputs on either engine; exceeding it aborts with
+    /// [`RuntimeError::AllocBudgetExceeded`].  The admission-control
+    /// companion of the step budget.
+    pub fn set_alloc_budget(&mut self, budget: Option<u64>) -> &mut Self {
+        self.alloc_budget = budget;
+        self
+    }
+
+    /// Builder-style variant of [`CompiledKernel::set_alloc_budget`].
+    pub fn with_alloc_budget(mut self, budget: u64) -> Self {
+        self.alloc_budget = Some(budget);
+        self
+    }
+
+    /// Replace the data of a bound input tensor in place, without
+    /// recompiling: the tensor's arrays are copied into the kernel's
+    /// existing buffers (reusing their capacity, so steady-state rebinds
+    /// of same-sized instances allocate nothing).
+    ///
+    /// The new tensor must match the structure the kernel was compiled
+    /// against — same name, same level kinds and dimension sizes, same
+    /// fill value (the fill is baked into the generated code) — but its
+    /// stored entries (coordinates and values) are free to differ.  This
+    /// is what lets a kernel cache serve many tensor instances of one
+    /// structural shape from a single compilation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadInputRebind`] (and leaves every buffer
+    /// untouched) when the structure does not match.
+    pub fn rebind_input(&mut self, tensor: &Tensor) -> Result<(), RuntimeError> {
+        let mismatch = |detail: String| RuntimeError::BadInputRebind {
+            name: tensor.name().to_string(),
+            detail,
+        };
+        let bound = self.inputs.get(tensor.name()).ok_or_else(|| {
+            mismatch("no input tensor was bound under this name at compile time".into())
+        })?;
+        if tensor.fill().to_bits() != bound.fill().to_bits() {
+            return Err(mismatch(format!(
+                "fill value {} differs from the compiled fill {}",
+                tensor.fill(),
+                bound.fill()
+            )));
+        }
+        if tensor.ndim() != bound.ndim() {
+            return Err(mismatch(format!(
+                "rank {} differs from the compiled rank {}",
+                tensor.ndim(),
+                bound.ndim()
+            )));
+        }
+        // Validate every level before touching any buffer, so a failed
+        // rebind is atomic.
+        for (k, (level, blevel)) in tensor.levels().iter().zip(bound.levels()).enumerate() {
+            let ok = matches!(
+                (level, blevel),
+                (Level::Dense { .. }, BoundLevel::Dense { .. })
+                    | (Level::SparseList { .. }, BoundLevel::SparseList { .. })
+                    | (Level::SparseBand { .. }, BoundLevel::SparseBand { .. })
+                    | (Level::SparseVbl { .. }, BoundLevel::SparseVbl { .. })
+                    | (Level::RunLength { .. }, BoundLevel::RunLength { .. })
+                    | (Level::PackBits { .. }, BoundLevel::PackBits { .. })
+                    | (Level::Bitmap { .. }, BoundLevel::Bitmap { .. })
+                    | (Level::Triangular { .. }, BoundLevel::Triangular { .. })
+                    | (Level::Symmetric { .. }, BoundLevel::Symmetric { .. })
+                    | (Level::Ragged { .. }, BoundLevel::Ragged { .. })
+            );
+            if !ok {
+                return Err(mismatch(format!(
+                    "level {k} is {}, but the kernel was compiled for a different level kind",
+                    level.format_name()
+                )));
+            }
+            if level.size() != blevel.size() {
+                return Err(mismatch(format!(
+                    "level {k} has size {}, but the kernel was compiled for size {}",
+                    level.size(),
+                    blevel.size()
+                )));
+            }
+        }
+        // Copy the arrays into the existing buffers in place.  Levels are
+        // re-fetched by index (a `BoundLevel` clone is heap-free) so the
+        // cache-hit rebind path performs no allocation of its own.
+        let values_id = bound.values();
+        let nlevels = bound.ndim();
+        for k in 0..nlevels {
+            let blevel = self.inputs[tensor.name()].levels()[k].clone();
+            let level = &tensor.levels()[k];
+            match (level, blevel) {
+                (
+                    Level::SparseList { pos, idx, .. },
+                    BoundLevel::SparseList { pos: bp, idx: bi, .. },
+                )
+                | (
+                    Level::RunLength { pos, idx, .. },
+                    BoundLevel::RunLength { pos: bp, idx: bi, .. },
+                ) => {
+                    copy_i64(&mut self.bufs, bp, pos);
+                    copy_i64(&mut self.bufs, bi, idx);
+                }
+                (
+                    Level::SparseBand { pos, start, .. },
+                    BoundLevel::SparseBand { pos: bp, start: bs, .. },
+                ) => {
+                    copy_i64(&mut self.bufs, bp, pos);
+                    copy_i64(&mut self.bufs, bs, start);
+                }
+                (
+                    Level::SparseVbl { pos, idx, ofs, .. },
+                    BoundLevel::SparseVbl { pos: bp, idx: bi, ofs: bo, .. },
+                )
+                | (
+                    Level::PackBits { pos, idx, ofs, .. },
+                    BoundLevel::PackBits { pos: bp, idx: bi, ofs: bo, .. },
+                ) => {
+                    copy_i64(&mut self.bufs, bp, pos);
+                    copy_i64(&mut self.bufs, bi, idx);
+                    copy_i64(&mut self.bufs, bo, ofs);
+                }
+                (Level::Bitmap { tbl, .. }, BoundLevel::Bitmap { tbl: bt, .. }) => {
+                    match self.bufs.get_mut(bt) {
+                        Buffer::Bool(d) => {
+                            d.clear();
+                            d.extend_from_slice(tbl);
+                        }
+                        other => *other = Buffer::Bool(tbl.clone()),
+                    }
+                }
+                (Level::Ragged { pos, .. }, BoundLevel::Ragged { pos: bp, .. }) => {
+                    copy_i64(&mut self.bufs, bp, pos);
+                }
+                // Dense / Triangular / Symmetric levels carry no arrays.
+                _ => {}
+            }
+        }
+        match self.bufs.get_mut(values_id) {
+            Buffer::F64(d) => {
+                d.clear();
+                d.extend_from_slice(tensor.values());
+            }
+            other => *other = Buffer::F64(tensor.values().to_vec().into()),
+        }
+        Ok(())
+    }
+
+    /// The names of the bound input tensors (rebind targets), sorted.
+    pub fn input_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inputs.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The kernel's buffer set (crate-internal: the service's tests probe
+    /// pointer stability of cache-hit reruns through this).
+    #[cfg(test)]
+    pub(crate) fn buffers(&self) -> &BufferSet {
+        &self.bufs
+    }
+
     /// Re-initialise the outputs and execute the kernel on the selected
     /// engine (the bytecode VM unless changed), returning the engine's work
     /// counters.
@@ -760,6 +998,8 @@ impl CompiledKernel {
                 // nothing (no register file, no stats, no output vecs).
                 self.vm.reset();
                 self.vm.set_step_budget(self.step_budget);
+                self.vm.set_watch(self.watch.clone());
+                self.vm.set_alloc_budget(self.alloc_budget);
                 if self.threads > 1 {
                     run_sharded(&mut self.vm, &self.bytecode, &mut self.bufs, self.threads)?;
                 } else {
@@ -772,6 +1012,8 @@ impl CompiledKernel {
                 if let Some(budget) = self.step_budget {
                     interp = interp.with_step_budget(budget);
                 }
+                interp.set_watch(self.watch.clone());
+                interp.set_alloc_budget(self.alloc_budget);
                 interp.run(&self.code, &mut self.bufs)?;
                 Ok(interp.stats())
             }
@@ -792,6 +1034,8 @@ impl CompiledKernel {
         self.reset_outputs();
         self.vm.reset();
         self.vm.set_step_budget(self.step_budget);
+        self.vm.set_watch(self.watch.clone());
+        self.vm.set_alloc_budget(self.alloc_budget);
         let counts = self.vm.run_profiled(&self.bytecode, &mut self.bufs)?;
         Ok((self.vm.stats(), counts))
     }
@@ -851,9 +1095,12 @@ impl CompiledKernel {
     pub fn output_scalar(&self, name: &str) -> Result<f64, RuntimeError> {
         let ob = self.output_binding(name)?;
         match ob.sink {
-            OutputSink::Dense { buf } if ob.specs.is_empty() => {
-                Ok(self.bufs.get(buf).to_f64_vec()[0])
-            }
+            // Read the scalar lane directly — no intermediate vec, so the
+            // cache-hit request path performs no read-back allocation.
+            OutputSink::Dense { buf } if ob.specs.is_empty() => match self.bufs.get(buf) {
+                Buffer::F64(v) => Ok(v[0]),
+                other => Ok(other.to_f64_vec()[0]),
+            },
             _ => Err(RuntimeError::BadOutputQuery {
                 name: name.to_string(),
                 detail: format!(

@@ -46,9 +46,14 @@
 mod error;
 mod kernel;
 mod lower;
+mod service;
 
 pub use error::CompileError;
 pub use kernel::{CompiledKernel, Engine, Kernel};
+pub use service::{
+    FaultKind, FaultPlan, FaultRule, InjectPoint, KernelService, ReadBack, Request, Response,
+    ServiceConfig, ServiceError, ServiceStats, Tier,
+};
 
 // Re-export the surface language, formats and runtime types.
 pub use finch_cin::build;
@@ -58,7 +63,7 @@ pub use finch_cin::{
 pub use finch_formats::{BoundTensor, Level, LevelSpec, OutputBuilder, Tensor, TensorError};
 pub use finch_ir::opt::{PassReport, ValidationLevel};
 pub use finch_ir::{
-    ExecStats, OptLevel, OptStats, RuntimeError, ShardPlan, ShardRegion, ShardRole, Value,
+    ExecStats, OptLevel, OptStats, RuntimeError, ShardPlan, ShardRegion, ShardRole, Value, Watch,
 };
 pub use finch_looplets as looplets;
 pub use finch_rewrite::Rewriter;

@@ -1,0 +1,1489 @@
+//! A resilient, long-lived kernel service.
+//!
+//! [`KernelService`] owns a bounded LRU cache of [`CompiledKernel`]s keyed by
+//! kernel *structure* — the CIN program text, every input's level formats and
+//! sizes (not its data), the requested output formats, and the optimisation
+//! configuration.  Requests whose structure matches a cached entry skip
+//! compilation entirely: the entry's input buffers are overwritten in place
+//! ([`CompiledKernel::rebind_input`]) and the persistent VM re-runs without
+//! allocating.
+//!
+//! The service is hardened along four axes:
+//!
+//! 1. **Deadlines** — each request may carry a wall-clock deadline, enforced
+//!    cooperatively by a [`Watch`] on the VM's step-budget path and while
+//!    queueing on a busy cache slot.  Expiry surfaces as the typed
+//!    [`RuntimeError::Deadline`], never as a stuck worker.
+//! 2. **Panic isolation** — every compile and run is wrapped in
+//!    `catch_unwind`.  A panicking entry is quarantined (poisoned), recompiled
+//!    once after a short backoff, and evicted if the retry also faults.
+//! 3. **Degradation ladder** — a faulting kernel falls back through
+//!    progressively simpler execution tiers ([`Tier`]): SIMD/parallel
+//!    bytecode → typed serial bytecode → untyped bytecode → the tree-walk
+//!    oracle.  All tiers run at the same [`OptLevel`], so a degraded response
+//!    is bit-identical to the fast path's.
+//! 4. **Admission control** — a bounded in-flight limit sheds excess load
+//!    with the typed [`ServiceError::Overloaded`], and an optional output
+//!    allocation budget bounds memory per request.
+//!
+//! A deterministic [`FaultPlan`] injects panics, budget exhaustion, poisoned
+//! entries, and deadline expiry at chosen points so tests (and the `serve`
+//! bench's `--faults` mode) can prove that *every* injected fault ends in
+//! either a bit-identical degraded result or a typed error.
+
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use finch_cin::CinStmt;
+use finch_formats::{LevelSpec, Tensor};
+use finch_ir::opt::ValidationLevel;
+use finch_ir::{ExecStats, OptLevel, RuntimeError, Watch};
+
+use crate::error::CompileError;
+use crate::kernel::{CompiledKernel, Engine, Kernel};
+
+/// Configuration for a [`KernelService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of cached compiled kernels (LRU-evicted beyond this).
+    pub capacity: usize,
+    /// Maximum number of requests admitted concurrently; excess requests are
+    /// shed with [`ServiceError::Overloaded`].
+    pub max_in_flight: usize,
+    /// Per-request wall-clock deadline.  `None` disables deadlines.
+    pub deadline: Option<Duration>,
+    /// Per-request VM step budget.  `None` disables the budget.
+    pub step_budget: Option<u64>,
+    /// Per-request output allocation budget in elements.  `None` disables it.
+    pub alloc_budget: Option<u64>,
+    /// Optimisation level kernels are compiled at (a request may override it
+    /// with [`Request::with_opt_level`]).
+    pub opt_level: OptLevel,
+    /// Whether the fast tier uses typed dispatch.
+    pub typed_dispatch: bool,
+    /// Whether the fast tier uses vectorized superinstructions.
+    pub simd: bool,
+    /// Worker threads for the fast tier (`0` = one per available core).
+    pub threads: usize,
+    /// Pass-manager validation level used when compiling.
+    pub validation: ValidationLevel,
+    /// Backoff slept before recompiling a quarantined entry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            capacity: 64,
+            max_in_flight: 32,
+            deadline: None,
+            step_budget: None,
+            alloc_budget: None,
+            opt_level: OptLevel::Default,
+            typed_dispatch: true,
+            simd: true,
+            threads: 1,
+            validation: ValidationLevel::Off,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// What a [`Request`] wants read back out of the kernel after it runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadBack {
+    /// Only execution statistics; no output value is materialised.
+    Stats,
+    /// The named scalar output (read without allocating).
+    Scalar(String),
+    /// The named tensor output, assembled into a [`Tensor`].
+    Tensor(String),
+}
+
+/// One unit of work for a [`KernelService`]: a CIN program plus bound inputs
+/// and requested outputs.
+///
+/// Structurally identical requests — same program text, same input formats
+/// and sizes (data may differ), same output formats, same optimisation
+/// configuration — share one cached compiled kernel.
+#[derive(Debug, Clone)]
+pub struct Request {
+    program: CinStmt,
+    inputs: Vec<Tensor>,
+    outputs: Vec<(String, Vec<LevelSpec>)>,
+    read: ReadBack,
+    opt_level: Option<OptLevel>,
+}
+
+impl Request {
+    /// A request executing `program`, with no inputs or outputs bound yet.
+    pub fn new(program: CinStmt) -> Self {
+        Request {
+            program,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            read: ReadBack::Stats,
+            opt_level: None,
+        }
+    }
+
+    /// Bind an input tensor (cloned into the request).
+    pub fn input(mut self, tensor: &Tensor) -> Self {
+        self.inputs.push(tensor.clone());
+        self
+    }
+
+    /// Bind a scalar output and read it back after the run.
+    pub fn output_scalar(mut self, name: &str) -> Self {
+        self.outputs.push((name.to_string(), Vec::new()));
+        self.read = ReadBack::Scalar(name.to_string());
+        self
+    }
+
+    /// Bind a tensor output with the given per-level storage formats and read
+    /// it back after the run.
+    pub fn output(mut self, name: &str, specs: &[LevelSpec]) -> Self {
+        self.outputs.push((name.to_string(), specs.to_vec()));
+        self.read = ReadBack::Tensor(name.to_string());
+        self
+    }
+
+    /// Read back only execution statistics (no output value), regardless of
+    /// which outputs are bound.
+    pub fn read_stats(mut self) -> Self {
+        self.read = ReadBack::Stats;
+        self
+    }
+
+    /// Override the service's optimisation level for this request.  Requests
+    /// at different levels key to different cache entries.
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = Some(level);
+        self
+    }
+}
+
+/// The execution tier a response was served from.  Tiers descend in order
+/// when the tier above faults; all tiers run at the same [`OptLevel`], so
+/// their outputs and [`ExecStats`] are bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Bytecode VM with the configured typed dispatch, SIMD, and threads.
+    Fast,
+    /// Typed bytecode VM, no SIMD, single-threaded.
+    TypedSerial,
+    /// Untyped bytecode VM, single-threaded.
+    Untyped,
+    /// The tree-walking reference interpreter.
+    Oracle,
+}
+
+impl Tier {
+    /// All tiers, fastest first — the order the degradation ladder descends.
+    pub const ALL: [Tier; 4] = [Tier::Fast, Tier::TypedSerial, Tier::Untyped, Tier::Oracle];
+
+    /// The tier's position on the ladder (0 = fastest).
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Fast => 0,
+            Tier::TypedSerial => 1,
+            Tier::Untyped => 2,
+            Tier::Oracle => 3,
+        }
+    }
+
+    /// A short stable label (`fast` / `typed_serial` / `untyped` / `oracle`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Fast => "fast",
+            Tier::TypedSerial => "typed_serial",
+            Tier::Untyped => "untyped",
+            Tier::Oracle => "oracle",
+        }
+    }
+}
+
+/// A successful service response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Execution statistics of the run that produced the result.
+    pub stats: ExecStats,
+    /// The tier that served the request ([`Tier::Fast`] unless the request
+    /// was degraded by faults).
+    pub tier: Tier,
+    /// Whether the request was served from a cached compiled kernel.
+    pub cache_hit: bool,
+    /// The scalar output, when the request asked for [`ReadBack::Scalar`].
+    pub scalar: Option<f64>,
+    /// The tensor output, when the request asked for [`ReadBack::Tensor`].
+    pub tensor: Option<Tensor>,
+}
+
+/// A typed service failure.  Every failure mode the service can hit — shed
+/// load, compile errors, resource exhaustion, and kernels that fault at every
+/// tier — surfaces as one of these; the service never aborts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: too many in flight.
+    Overloaded {
+        /// Requests in flight when this one arrived.
+        in_flight: usize,
+        /// The configured admission limit.
+        limit: usize,
+    },
+    /// The program failed to compile.
+    Compile(CompileError),
+    /// The run failed with a typed runtime error (deadline, step budget,
+    /// allocation budget, rebind mismatch, ...).  Resource errors are final:
+    /// they do not trigger the degradation ladder.
+    Runtime(RuntimeError),
+    /// The kernel faulted at every tier of the degradation ladder.
+    Faulted {
+        /// Number of execution attempts made (including the fast-tier retry).
+        attempts: u32,
+        /// Description of the last fault.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { in_flight, limit } => {
+                write!(f, "service overloaded: {in_flight} requests in flight (limit {limit})")
+            }
+            ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ServiceError::Runtime(e) => write!(f, "{e}"),
+            ServiceError::Faulted { attempts, detail } => {
+                write!(f, "kernel faulted at every tier after {attempts} attempts: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Where a [`FaultRule`] strikes in the request lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectPoint {
+    /// At cache lookup, before the entry runs (pairs with
+    /// [`FaultKind::PoisonEntry`]).
+    Lookup,
+    /// After inputs are rebound, immediately before execution.
+    PreRun,
+    /// Mid-execution, with output buffers mid-append (via
+    /// [`Watch::with_fault_at_stmt`]).
+    MidRun,
+    /// After a successful run, before outputs are read back.
+    PostRun,
+}
+
+/// What kind of fault a [`FaultRule`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A genuine `panic!`, exercising `catch_unwind` isolation and the
+    /// degradation ladder.
+    Panic,
+    /// Step-budget exhaustion: the attempt runs with a budget of 1.
+    BudgetExhaustion,
+    /// Deadline expiry: the attempt runs with its cancellation flag already
+    /// raised.
+    DeadlineExpiry,
+    /// Mark the cache entry poisoned, exercising quarantine + recompile.
+    PoisonEntry,
+}
+
+/// One injected fault: strikes the `request`-th request (by admission order,
+/// starting at 0) at the given point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Which request (0-based admission index) the fault strikes.
+    pub request: u64,
+    /// Where in the lifecycle it strikes.
+    pub point: InjectPoint,
+    /// What kind of fault it is.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection plan.  Rules are consumed (removed) as
+/// they fire: at most one non-lookup rule per execution attempt, so stacking
+/// several rules on one request walks it down the degradation ladder.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a rule.
+    pub fn push(&mut self, rule: FaultRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Number of rules not yet fired.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether no rules remain.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// A reproducible plan: each of the first `requests` requests is faulted
+    /// with probability `permille`/1000, with the point and kind drawn from a
+    /// seeded LCG.  The same `(seed, requests, permille)` always produces the
+    /// same plan.
+    pub fn seeded(seed: u64, requests: u64, permille: u32) -> Self {
+        let mut plan = FaultPlan::new();
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for request in 0..requests {
+            let x = next();
+            if (x >> 33) % 1000 >= u64::from(permille.min(1000)) {
+                continue;
+            }
+            let point = match (x >> 13) % 4 {
+                0 => InjectPoint::Lookup,
+                1 => InjectPoint::PreRun,
+                2 => InjectPoint::MidRun,
+                _ => InjectPoint::PostRun,
+            };
+            let kind = if point == InjectPoint::Lookup {
+                FaultKind::PoisonEntry
+            } else {
+                match (x >> 23) % 3 {
+                    0 => FaultKind::Panic,
+                    1 => FaultKind::BudgetExhaustion,
+                    _ => FaultKind::DeadlineExpiry,
+                }
+            };
+            plan.push(FaultRule { request, point, kind });
+            // Occasionally stack a second panic on the same request so the
+            // fast-tier retry also faults and the request degrades down the
+            // ladder (a single rule is always absorbed by the retry).
+            if kind == FaultKind::Panic && next() % 4 == 0 {
+                plan.push(FaultRule {
+                    request,
+                    point: InjectPoint::PreRun,
+                    kind: FaultKind::Panic,
+                });
+            }
+        }
+        plan
+    }
+
+    /// Remove and return the first rule for `request`, filtered to lookup
+    /// rules (`lookup == true`) or execution rules (`lookup == false`).
+    fn take(&mut self, request: u64, lookup: bool) -> Option<FaultRule> {
+        let pos = self
+            .rules
+            .iter()
+            .position(|r| r.request == request && (r.point == InjectPoint::Lookup) == lookup)?;
+        Some(self.rules.remove(pos))
+    }
+}
+
+/// A snapshot of the service's counters (see [`KernelService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests submitted (including shed ones).
+    pub requests: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Requests served from a cached compiled kernel.
+    pub hits: u64,
+    /// Requests that required compilation.
+    pub misses: u64,
+    /// Kernel compilations performed.
+    pub compiles: u64,
+    /// Recompilations of quarantined entries.
+    pub recompiles: u64,
+    /// Times an entry was quarantined (poisoned) pending recompile.
+    pub quarantined: u64,
+    /// Cache entries evicted (LRU pressure or condemned after faults).
+    pub evictions: u64,
+    /// Panics caught (compile- or run-time).
+    pub panics: u64,
+    /// Requests that failed with [`RuntimeError::Deadline`].
+    pub deadline_errors: u64,
+    /// Requests that failed with [`RuntimeError::StepBudgetExceeded`].
+    pub budget_errors: u64,
+    /// Requests that failed with [`RuntimeError::AllocBudgetExceeded`].
+    pub alloc_errors: u64,
+    /// Successful responses per tier, indexed by [`Tier::index`].
+    pub served_by_tier: [u64; 4],
+    /// Faults observed per tier, indexed by [`Tier::index`].
+    pub faults_by_tier: [u64; 4],
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    requests: AtomicU64,
+    shed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    compiles: AtomicU64,
+    recompiles: AtomicU64,
+    quarantined: AtomicU64,
+    evictions: AtomicU64,
+    panics: AtomicU64,
+    deadline_errors: AtomicU64,
+    budget_errors: AtomicU64,
+    alloc_errors: AtomicU64,
+    served_by_tier: [AtomicU64; 4],
+    faults_by_tier: [AtomicU64; 4],
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServiceStats {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        ServiceStats {
+            requests: get(&self.requests),
+            shed: get(&self.shed),
+            hits: get(&self.hits),
+            misses: get(&self.misses),
+            compiles: get(&self.compiles),
+            recompiles: get(&self.recompiles),
+            quarantined: get(&self.quarantined),
+            evictions: get(&self.evictions),
+            panics: get(&self.panics),
+            deadline_errors: get(&self.deadline_errors),
+            budget_errors: get(&self.budget_errors),
+            alloc_errors: get(&self.alloc_errors),
+            served_by_tier: std::array::from_fn(|i| get(&self.served_by_tier[i])),
+            faults_by_tier: std::array::from_fn(|i| get(&self.faults_by_tier[i])),
+        }
+    }
+}
+
+/// Two-lane FNV-style streaming hasher: 128 bits of key material make
+/// accidental collisions negligible, and a full structural check on every hit
+/// makes even a deliberate collision harmless (it falls back to an uncached
+/// compile).
+struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    fn new() -> Self {
+        KeyHasher { a: 0xcbf2_9ce4_8422_2325, b: 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_01b3);
+        self.b = (self.b ^ u64::from(x)).wrapping_mul(0xc2b2_ae3d_27d4_eb4f).rotate_left(27);
+    }
+
+    fn bytes(&mut self, s: &[u8]) {
+        for &x in s {
+            self.byte(x);
+        }
+    }
+
+    fn word(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn finish(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+}
+
+impl fmt::Write for KeyHasher {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.bytes(s.as_bytes());
+        Ok(())
+    }
+}
+
+/// The structural identity of an input, kept for hit verification.
+struct InputSig {
+    name: String,
+    levels: Vec<(&'static str, usize)>,
+    fill_bits: u64,
+}
+
+/// Everything a cache key hashes, stored in full so hits can be verified
+/// structurally (a hash collision must not serve the wrong kernel).
+struct KeyCheck {
+    program: String,
+    inputs: Vec<InputSig>,
+    outputs: Vec<(String, Vec<LevelSpec>)>,
+    opt: OptLevel,
+}
+
+impl KeyCheck {
+    fn of(req: &Request, opt: OptLevel) -> Self {
+        let mut program = String::new();
+        let _ = write!(program, "{}", req.program);
+        KeyCheck {
+            program,
+            inputs: req
+                .inputs
+                .iter()
+                .map(|t| InputSig {
+                    name: t.name().to_string(),
+                    levels: t.levels().iter().map(|l| (l.format_name(), l.size())).collect(),
+                    fill_bits: t.fill().to_bits(),
+                })
+                .collect(),
+            outputs: req.outputs.clone(),
+            opt,
+        }
+    }
+
+    /// Whether `req` (whose program renders to `program`) is structurally the
+    /// kernel this entry was compiled for.
+    fn matches(&self, program: &str, req: &Request, opt: OptLevel) -> bool {
+        if self.opt != opt || self.program != program {
+            return false;
+        }
+        if self.inputs.len() != req.inputs.len() || self.outputs.len() != req.outputs.len() {
+            return false;
+        }
+        for (sig, t) in self.inputs.iter().zip(&req.inputs) {
+            if sig.name != t.name()
+                || sig.fill_bits != t.fill().to_bits()
+                || sig.levels.len() != t.levels().len()
+            {
+                return false;
+            }
+            for (&(fmt_name, size), level) in sig.levels.iter().zip(t.levels()) {
+                if fmt_name != level.format_name() || size != level.size() {
+                    return false;
+                }
+            }
+        }
+        self.outputs.iter().zip(&req.outputs).all(|((n, s), (rn, rs))| n == rn && s == rs)
+    }
+}
+
+/// One cached kernel: the fast-tier compiled kernel plus lazily-derived
+/// degraded variants, quarantine state, and LRU bookkeeping.
+struct Entry {
+    base: CompiledKernel,
+    typed_serial: Option<CompiledKernel>,
+    untyped: Option<CompiledKernel>,
+    oracle: Option<CompiledKernel>,
+    check: KeyCheck,
+    poisoned: bool,
+    last_used: u64,
+}
+
+enum SlotState {
+    /// The entry is checked out by a request (or still compiling); other
+    /// requests for the same key wait on the service condvar.
+    Busy,
+    /// The entry is available.
+    Ready(Box<Entry>),
+}
+
+struct CacheInner {
+    slots: HashMap<(u64, u64), SlotState>,
+    tick: u64,
+    /// Reusable render buffer for hit verification, so steady-state cache
+    /// hits do not allocate.
+    scratch: String,
+}
+
+enum AttemptOutcome {
+    Ok(Response),
+    Typed(RuntimeError),
+    Fault(String),
+}
+
+/// A long-lived, fault-isolated compiled-kernel cache (see the module docs).
+///
+/// The service is `Sync`: submit requests from many threads through a shared
+/// reference.  Requests for *different* kernels run concurrently; requests
+/// for the *same* kernel serialise on its cache slot.
+pub struct KernelService {
+    cfg: ServiceConfig,
+    inner: Mutex<CacheInner>,
+    cond: Condvar,
+    in_flight: AtomicUsize,
+    next_request: AtomicU64,
+    faults: Mutex<FaultPlan>,
+    stats: AtomicStats,
+}
+
+impl Default for KernelService {
+    fn default() -> Self {
+        KernelService::new(ServiceConfig::default())
+    }
+}
+
+impl KernelService {
+    /// A service with the given configuration and an empty cache.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        KernelService {
+            cfg,
+            inner: Mutex::new(CacheInner {
+                slots: HashMap::new(),
+                tick: 0,
+                scratch: String::new(),
+            }),
+            cond: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            next_request: AtomicU64::new(0),
+            faults: Mutex::new(FaultPlan::new()),
+            stats: AtomicStats::default(),
+        }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of ready (cached, not checked-out) kernels.
+    pub fn cached(&self) -> usize {
+        let inner = self.lock_inner();
+        inner.slots.values().filter(|s| matches!(s, SlotState::Ready(_))).count()
+    }
+
+    /// Install a fault-injection plan, replacing any previous one.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.faults.lock().unwrap_or_else(|e| e.into_inner()) = plan;
+    }
+
+    /// Number of installed fault rules that have not fired yet.
+    pub fn pending_faults(&self) -> usize {
+        self.faults.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Execute a request: admit, look up or compile the kernel, rebind the
+    /// inputs, run (descending the degradation ladder on faults), and read
+    /// back the requested output.
+    pub fn submit(&self, req: &Request) -> Result<Response, ServiceError> {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let prev = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if prev >= self.cfg.max_in_flight {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded {
+                in_flight: prev,
+                limit: self.cfg.max_in_flight,
+            });
+        }
+        let _guard = InFlightGuard(&self.in_flight);
+
+        let rid = self.next_request.fetch_add(1, Ordering::SeqCst);
+        let deadline =
+            self.cfg.deadline.map(|d| (Instant::now() + d, (d.as_millis() as u64).max(1)));
+        let opt = req.opt_level.unwrap_or(self.cfg.opt_level);
+        let key = self.key_of(req, opt);
+
+        let (mut entry, cache_hit, cached) = self.checkout(key, req, opt, deadline)?;
+        let (result, evict) = self.execute(&mut entry, req, deadline, rid, cache_hit);
+        if cached {
+            self.checkin(key, entry, evict);
+        }
+        result
+    }
+
+    fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn key_of(&self, req: &Request, opt: OptLevel) -> (u64, u64) {
+        let mut h = KeyHasher::new();
+        let _ = write!(h, "{}", req.program);
+        h.byte(0xfe);
+        for t in &req.inputs {
+            h.bytes(t.name().as_bytes());
+            h.byte(0);
+            for level in t.levels() {
+                h.bytes(level.format_name().as_bytes());
+                h.word(level.size() as u64);
+            }
+            h.word(t.fill().to_bits());
+            h.byte(1);
+        }
+        for (name, specs) in &req.outputs {
+            h.bytes(name.as_bytes());
+            h.byte(0);
+            for spec in specs {
+                h.bytes(spec.format_name().as_bytes());
+                h.word(spec.size() as u64);
+            }
+            h.byte(2);
+        }
+        h.bytes(opt.label().as_bytes());
+        h.byte(u8::from(self.cfg.typed_dispatch));
+        h.byte(u8::from(self.cfg.simd));
+        h.word(self.cfg.threads as u64);
+        h.finish()
+    }
+
+    /// Obtain the entry for `key`: a verified cached entry, a freshly
+    /// compiled one (inserted as `Busy` while compiling), or — on a verified
+    /// hash collision — an uncached one-shot compile.  Returns the entry plus
+    /// `(cache_hit, cached)` flags; `cached == false` means the entry does
+    /// not own the slot and must not be checked back in.
+    fn checkout(
+        &self,
+        key: (u64, u64),
+        req: &Request,
+        opt: OptLevel,
+        deadline: Option<(Instant, u64)>,
+    ) -> Result<(Box<Entry>, bool, bool), ServiceError> {
+        let mut inner = self.lock_inner();
+        loop {
+            if let Some((dl, ms)) = deadline {
+                if Instant::now() >= dl {
+                    self.stats.deadline_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::Runtime(RuntimeError::Deadline { ms }));
+                }
+            }
+            match inner.slots.get(&key) {
+                None => {
+                    inner.slots.insert(key, SlotState::Busy);
+                    drop(inner);
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return match self.compile_entry(req, opt) {
+                        Ok(entry) => Ok((Box::new(entry), false, true)),
+                        Err(err) => {
+                            self.lock_inner().slots.remove(&key);
+                            self.cond.notify_all();
+                            Err(err)
+                        }
+                    };
+                }
+                Some(SlotState::Busy) => {
+                    inner = match deadline {
+                        Some((dl, _)) => {
+                            let wait = dl.saturating_duration_since(Instant::now());
+                            self.cond.wait_timeout(inner, wait).unwrap_or_else(|e| e.into_inner()).0
+                        }
+                        None => self.cond.wait(inner).unwrap_or_else(|e| e.into_inner()),
+                    };
+                }
+                Some(SlotState::Ready(_)) => {
+                    let mut scratch = std::mem::take(&mut inner.scratch);
+                    scratch.clear();
+                    let _ = write!(scratch, "{}", req.program);
+                    let matched = match inner.slots.get(&key) {
+                        Some(SlotState::Ready(entry)) => entry.check.matches(&scratch, req, opt),
+                        _ => false,
+                    };
+                    inner.scratch = scratch;
+                    if matched {
+                        let Some(SlotState::Ready(entry)) =
+                            inner.slots.insert(key, SlotState::Busy)
+                        else {
+                            unreachable!("slot was Ready above");
+                        };
+                        drop(inner);
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((entry, true, true));
+                    }
+                    // Hash collision with a structurally different kernel:
+                    // serve this request from a one-shot uncached compile.
+                    drop(inner);
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return self.compile_entry(req, opt).map(|e| (Box::new(e), false, false));
+                }
+            }
+        }
+    }
+
+    fn compile_entry(&self, req: &Request, opt: OptLevel) -> Result<Entry, ServiceError> {
+        self.stats.compiles.fetch_add(1, Ordering::Relaxed);
+        let built = catch_unwind(AssertUnwindSafe(|| self.build_kernel(req, opt)));
+        let base = match built {
+            Ok(Ok(kernel)) => kernel,
+            Ok(Err(err)) => return Err(ServiceError::Compile(err)),
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Faulted {
+                    attempts: 0,
+                    detail: format!("panic during compilation: {}", panic_message(&payload)),
+                });
+            }
+        };
+        Ok(Entry {
+            base,
+            typed_serial: None,
+            untyped: None,
+            oracle: None,
+            check: KeyCheck::of(req, opt),
+            poisoned: false,
+            last_used: 0,
+        })
+    }
+
+    fn build_kernel(&self, req: &Request, opt: OptLevel) -> Result<CompiledKernel, CompileError> {
+        let mut kernel = Kernel::new()
+            .with_opt_level(opt)
+            .with_typed_dispatch(self.cfg.typed_dispatch)
+            .with_simd(self.cfg.simd)
+            .with_threads(self.cfg.threads)
+            .with_validation(self.cfg.validation);
+        for tensor in &req.inputs {
+            kernel.bind_input(tensor);
+        }
+        for (name, specs) in &req.outputs {
+            if specs.is_empty() {
+                kernel.bind_output_scalar(name);
+            } else {
+                kernel.bind_output_format(name, specs);
+            }
+        }
+        kernel.compile(&req.program)
+    }
+
+    /// Run the entry for `req`, descending the degradation ladder on faults.
+    /// Returns the outcome plus whether the entry is condemned (must be
+    /// evicted instead of checked back in).
+    fn execute(
+        &self,
+        entry: &mut Entry,
+        req: &Request,
+        deadline: Option<(Instant, u64)>,
+        rid: u64,
+        cache_hit: bool,
+    ) -> (Result<Response, ServiceError>, bool) {
+        // Lookup-point faults poison the entry before it serves.
+        if let Some(rule) = self.take_fault(rid, true) {
+            if rule.kind == FaultKind::PoisonEntry {
+                entry.poisoned = true;
+            }
+        }
+        if entry.poisoned {
+            self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.cfg.retry_backoff);
+            match self.recompile_base(entry) {
+                Ok(()) => entry.poisoned = false,
+                Err(detail) => {
+                    return (Err(ServiceError::Faulted { attempts: 1, detail }), true);
+                }
+            }
+        }
+
+        let mut attempts = 0u32;
+        let mut last_fault = String::new();
+        let mut tier0_retried = false;
+        let mut evict = false;
+        let mut tier_idx = 0usize;
+        while tier_idx < Tier::ALL.len() {
+            let tier = Tier::ALL[tier_idx];
+            attempts += 1;
+            let injected = self.take_fault(rid, false);
+            match self.attempt(entry, tier, req, deadline, injected, cache_hit) {
+                AttemptOutcome::Ok(resp) => {
+                    self.stats.served_by_tier[tier_idx].fetch_add(1, Ordering::Relaxed);
+                    return (Ok(resp), evict);
+                }
+                AttemptOutcome::Typed(err) => {
+                    self.count_runtime(&err);
+                    return (Err(ServiceError::Runtime(err)), evict);
+                }
+                AttemptOutcome::Fault(detail) => {
+                    self.stats.faults_by_tier[tier_idx].fetch_add(1, Ordering::Relaxed);
+                    self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    last_fault = detail;
+                    if tier == Tier::Fast && !tier0_retried {
+                        // Quarantine: recompile once with backoff, retry the
+                        // fast tier.
+                        tier0_retried = true;
+                        entry.poisoned = true;
+                        self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(self.cfg.retry_backoff);
+                        match self.recompile_base(entry) {
+                            Ok(()) => {
+                                entry.poisoned = false;
+                                continue;
+                            }
+                            Err(detail) => {
+                                last_fault = detail;
+                                evict = true;
+                                tier_idx += 1;
+                            }
+                        }
+                    } else {
+                        if tier == Tier::Fast {
+                            // The retry faulted too: condemn the entry.
+                            evict = true;
+                        }
+                        tier_idx += 1;
+                    }
+                }
+            }
+        }
+        (Err(ServiceError::Faulted { attempts, detail: last_fault }), true)
+    }
+
+    fn recompile_base(&self, entry: &mut Entry) -> Result<(), String> {
+        self.stats.recompiles.fetch_add(1, Ordering::Relaxed);
+        let (opt, typed, simd, threads) = (
+            entry.base.opt_level(),
+            entry.base.typed_dispatch(),
+            entry.base.simd(),
+            entry.base.threads(),
+        );
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+            entry.base.reoptimized_simd(opt, typed, simd).with_threads(threads)
+        }));
+        match rebuilt {
+            Ok(kernel) => {
+                entry.base = kernel;
+                Ok(())
+            }
+            Err(payload) => {
+                self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                Err(format!("panic during recompilation: {}", panic_message(&payload)))
+            }
+        }
+    }
+
+    /// The kernel variant for a tier, derived lazily from the fast-tier
+    /// kernel at the same [`OptLevel`] (so results stay bit-identical).
+    fn tier_kernel(entry: &mut Entry, tier: Tier) -> &mut CompiledKernel {
+        let opt = entry.base.opt_level();
+        match tier {
+            Tier::Fast => &mut entry.base,
+            Tier::TypedSerial => {
+                if entry.typed_serial.is_none() {
+                    entry.typed_serial =
+                        Some(entry.base.reoptimized_simd(opt, true, false).with_threads(1));
+                }
+                entry.typed_serial.as_mut().expect("just built")
+            }
+            Tier::Untyped => {
+                if entry.untyped.is_none() {
+                    entry.untyped =
+                        Some(entry.base.reoptimized_simd(opt, false, false).with_threads(1));
+                }
+                entry.untyped.as_mut().expect("just built")
+            }
+            Tier::Oracle => {
+                if entry.oracle.is_none() {
+                    entry.oracle = Some(
+                        entry
+                            .base
+                            .reoptimized_simd(opt, false, false)
+                            .with_threads(1)
+                            .with_engine(Engine::TreeWalk),
+                    );
+                }
+                entry.oracle.as_mut().expect("just built")
+            }
+        }
+    }
+
+    /// One execution attempt at one tier, with any injected fault applied.
+    /// Everything — variant derivation, rebinding, the run itself, readback —
+    /// happens inside `catch_unwind`, so a panic anywhere degrades instead of
+    /// crashing the service.
+    fn attempt(
+        &self,
+        entry: &mut Entry,
+        tier: Tier,
+        req: &Request,
+        deadline: Option<(Instant, u64)>,
+        injected: Option<FaultRule>,
+        cache_hit: bool,
+    ) -> AttemptOutcome {
+        let mut step_budget = self.cfg.step_budget;
+        let mut fault_stmt = None;
+        let mut pre_panic = false;
+        let mut post_panic = false;
+        let mut cancelled = false;
+        if let Some(rule) = injected {
+            match rule.kind {
+                FaultKind::Panic => match rule.point {
+                    InjectPoint::PreRun => pre_panic = true,
+                    InjectPoint::PostRun => post_panic = true,
+                    _ => fault_stmt = Some(2),
+                },
+                FaultKind::BudgetExhaustion => {
+                    step_budget = Some(step_budget.map_or(1, |b| b.min(1)))
+                }
+                FaultKind::DeadlineExpiry => cancelled = true,
+                FaultKind::PoisonEntry => {} // handled at lookup
+            }
+        }
+        let ms = deadline.map_or(0, |(_, ms)| ms);
+        let mut watch = deadline.map(|(dl, ms)| Watch::until(dl, ms));
+        if cancelled {
+            let flag = Arc::new(AtomicBool::new(true));
+            watch = Some(match watch {
+                Some(w) => w.with_cancel(flag),
+                None => Watch::cancelled_by(flag, ms),
+            });
+        }
+        if let Some(at) = fault_stmt {
+            watch = Some(watch.unwrap_or_default().with_fault_at_stmt(at));
+        }
+        let alloc_budget = self.cfg.alloc_budget;
+
+        let ran = catch_unwind(AssertUnwindSafe(
+            || -> Result<(ExecStats, Option<f64>, Option<Tensor>), RuntimeError> {
+                let kernel = Self::tier_kernel(entry, tier);
+                for tensor in &req.inputs {
+                    kernel.rebind_input(tensor)?;
+                }
+                match step_budget {
+                    Some(b) => kernel.set_step_budget(b),
+                    None => kernel.clear_step_budget(),
+                };
+                kernel.set_watch(watch.clone());
+                kernel.set_alloc_budget(alloc_budget);
+                if pre_panic {
+                    panic!("injected fault: panic before execution");
+                }
+                let stats = kernel.run()?;
+                if post_panic {
+                    panic!("injected fault: panic after execution");
+                }
+                let (scalar, tensor) = match &req.read {
+                    ReadBack::Stats => (None, None),
+                    ReadBack::Scalar(name) => (Some(kernel.output_scalar(name)?), None),
+                    ReadBack::Tensor(name) => (None, Some(kernel.output_tensor(name)?)),
+                };
+                Ok((stats, scalar, tensor))
+            },
+        ));
+        match ran {
+            Ok(Ok((stats, scalar, tensor))) => {
+                AttemptOutcome::Ok(Response { stats, tier, cache_hit, scalar, tensor })
+            }
+            Ok(Err(err)) => AttemptOutcome::Typed(err),
+            Err(payload) => {
+                AttemptOutcome::Fault(format!("{} tier: {}", tier.label(), panic_message(&payload)))
+            }
+        }
+    }
+
+    fn take_fault(&self, rid: u64, lookup: bool) -> Option<FaultRule> {
+        self.faults.lock().unwrap_or_else(|e| e.into_inner()).take(rid, lookup)
+    }
+
+    fn count_runtime(&self, err: &RuntimeError) {
+        match err {
+            RuntimeError::Deadline { .. } => {
+                self.stats.deadline_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            RuntimeError::StepBudgetExceeded { .. } => {
+                self.stats.budget_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            RuntimeError::AllocBudgetExceeded { .. } => {
+                self.stats.alloc_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Return a checked-out entry to the cache (or evict it), then apply LRU
+    /// pressure and wake slot waiters.
+    fn checkin(&self, key: (u64, u64), mut entry: Box<Entry>, evict: bool) {
+        let mut inner = self.lock_inner();
+        if evict {
+            inner.slots.remove(&key);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            inner.tick += 1;
+            entry.last_used = inner.tick;
+            inner.slots.insert(key, SlotState::Ready(entry));
+            let capacity = self.cfg.capacity.max(1);
+            loop {
+                let ready =
+                    inner.slots.values().filter(|s| matches!(s, SlotState::Ready(_))).count();
+                if ready <= capacity {
+                    break;
+                }
+                let victim = inner
+                    .slots
+                    .iter()
+                    .filter_map(|(k, s)| match s {
+                        SlotState::Ready(e) if *k != key => Some((*k, e.last_used)),
+                        _ => None,
+                    })
+                    .min_by_key(|&(_, used)| used)
+                    .map(|(k, _)| k);
+                match victim {
+                    Some(vk) => {
+                        inner.slots.remove(&vk);
+                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        drop(inner);
+        self.cond.notify_all();
+    }
+}
+
+struct InFlightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use finch_cin::build::*;
+
+    fn dot_request(a: &Tensor, b: &Tensor) -> Request {
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            add_assign(scalar("C"), mul(access(a.name(), [i.clone()]), access(b.name(), [i]))),
+        );
+        Request::new(program).input(a).input(b).output_scalar("C")
+    }
+
+    fn dense_pair(n: usize, scale: f64) -> (Tensor, Tensor) {
+        let av: Vec<f64> = (0..n).map(|k| scale * (k as f64 + 1.0)).collect();
+        let bv: Vec<f64> = (0..n).map(|k| 0.5 * (k as f64) - 1.0).collect();
+        (Tensor::dense_vector("A", &av), Tensor::dense_vector("B", &bv))
+    }
+
+    fn sparse_pair(n: usize) -> (Tensor, Tensor) {
+        let av: Vec<f64> = (0..n).map(|k| if k % 3 == 0 { k as f64 + 1.0 } else { 0.0 }).collect();
+        let bv: Vec<f64> = (0..n).map(|k| if k % 2 == 0 { 2.0 } else { 0.0 }).collect();
+        (Tensor::sparse_list_vector("A", &av), Tensor::sparse_list_vector("B", &bv))
+    }
+
+    #[test]
+    fn structurally_identical_requests_share_one_kernel() {
+        let svc = KernelService::default();
+        let (a1, b1) = dense_pair(16, 1.0);
+        let r1 = svc.submit(&dot_request(&a1, &b1)).unwrap();
+        assert!(!r1.cache_hit);
+
+        // Independently rebuilt program, same structure, different data.
+        let (a2, b2) = dense_pair(16, -3.0);
+        let r2 = svc.submit(&dot_request(&a2, &b2)).unwrap();
+        assert!(r2.cache_hit);
+        let expected: f64 = a2.values().iter().zip(b2.values()).map(|(x, y)| x * y).sum();
+        assert_eq!(r2.scalar.unwrap().to_bits(), expected.to_bits());
+
+        let stats = svc.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(svc.cached(), 1);
+    }
+
+    #[test]
+    fn differing_structure_or_flags_miss() {
+        let svc = KernelService::default();
+        let (a, b) = dense_pair(16, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap();
+
+        // Same program, sparse input formats: a different kernel.
+        let (sa, sb) = sparse_pair(16);
+        svc.submit(&dot_request(&sa, &sb)).unwrap();
+
+        // Same everything but a different requested opt level.
+        svc.submit(&dot_request(&a, &b).with_opt_level(OptLevel::None)).unwrap();
+
+        // Same inputs, different output format request.
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+        );
+        svc.submit(
+            &Request::new(program)
+                .input(&a)
+                .input(&b)
+                .output("C", &[LevelSpec::Dense { size: 16 }]),
+        )
+        .unwrap();
+
+        let stats = svc.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.compiles, 4);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cfg = ServiceConfig { capacity: 2, ..ServiceConfig::default() };
+        let svc = KernelService::new(cfg);
+        let (da, db) = dense_pair(8, 1.0);
+        let (sa, sb) = sparse_pair(8);
+        let (wa, wb) = dense_pair(24, 1.0);
+
+        svc.submit(&dot_request(&da, &db)).unwrap(); // dense in cache
+        svc.submit(&dot_request(&sa, &sb)).unwrap(); // sparse in cache
+        svc.submit(&dot_request(&da, &db)).unwrap(); // dense now most recent
+        svc.submit(&dot_request(&wa, &wb)).unwrap(); // evicts sparse (LRU)
+        assert_eq!(svc.cached(), 2);
+        assert_eq!(svc.stats().evictions, 1);
+
+        let r = svc.submit(&dot_request(&da, &db)).unwrap();
+        assert!(r.cache_hit, "dense survived eviction");
+        let r = svc.submit(&dot_request(&sa, &sb)).unwrap();
+        assert!(!r.cache_hit, "sparse was evicted");
+    }
+
+    #[test]
+    fn cache_hits_are_pointer_stable() {
+        let svc = KernelService::default();
+        let (a, b) = dense_pair(32, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap();
+
+        let ptrs = |svc: &KernelService| -> (*const f64, *const f64) {
+            let inner = svc.lock_inner();
+            let entry = inner
+                .slots
+                .values()
+                .find_map(|s| match s {
+                    SlotState::Ready(e) => Some(e),
+                    SlotState::Busy => None,
+                })
+                .expect("one cached entry");
+            let bufs = entry.base.buffers();
+            let a_val = bufs.lookup("A_val").expect("input values buffer");
+            let c_val = bufs.lookup("C_val").expect("output values buffer");
+            (bufs.get(a_val).as_f64().unwrap().as_ptr(), bufs.get(c_val).as_f64().unwrap().as_ptr())
+        };
+        let before = ptrs(&svc);
+        for scale in [2.0, -7.0, 0.25] {
+            let (a2, b2) = dense_pair(32, scale);
+            let r = svc.submit(&dot_request(&a2, &b2)).unwrap();
+            assert!(r.cache_hit);
+        }
+        let after = ptrs(&svc);
+        assert_eq!(before, after, "cache-hit reruns must not reallocate buffers");
+    }
+
+    #[test]
+    fn fault_ladder_degrades_with_bit_identical_results() {
+        let (a, b) = sparse_pair(64);
+        let expected = {
+            let svc = KernelService::default();
+            svc.submit(&dot_request(&a, &b)).unwrap().scalar.unwrap()
+        };
+
+        // k injected panics walk the ladder: 1 → fast (after quarantine +
+        // recompile), 2 → typed serial, 3 → untyped, 4 → oracle, 5 → typed
+        // Faulted error.  Every served tier returns the identical scalar.
+        let expect_tier = [Tier::Fast, Tier::TypedSerial, Tier::Untyped, Tier::Oracle];
+        let points = [
+            InjectPoint::PreRun,
+            InjectPoint::MidRun,
+            InjectPoint::PostRun,
+            InjectPoint::PreRun,
+            InjectPoint::MidRun,
+        ];
+        for k in 1..=5u64 {
+            let svc = KernelService::default();
+            svc.submit(&dot_request(&a, &b)).unwrap(); // warm: rid 0
+            let mut plan = FaultPlan::new();
+            for p in 0..k {
+                plan.push(FaultRule {
+                    request: 1,
+                    point: points[p as usize],
+                    kind: FaultKind::Panic,
+                });
+            }
+            svc.install_faults(plan);
+            let result = svc.submit(&dot_request(&a, &b));
+            let stats = svc.stats();
+            if k <= 4 {
+                let resp = result.unwrap();
+                assert_eq!(resp.tier, expect_tier[k as usize - 1], "k = {k}");
+                assert_eq!(
+                    resp.scalar.unwrap().to_bits(),
+                    expected.to_bits(),
+                    "degraded result must be bit-identical (k = {k})"
+                );
+            } else {
+                match result {
+                    Err(ServiceError::Faulted { attempts, .. }) => assert_eq!(attempts, 5),
+                    other => panic!("expected Faulted, got {other:?}"),
+                }
+            }
+            assert_eq!(svc.pending_faults(), 0, "all {k} rules fired");
+            assert_eq!(stats.panics, k, "every injected panic was caught");
+            let faults: u64 = stats.faults_by_tier.iter().sum();
+            assert_eq!(faults, k);
+            // One quarantine + recompile as soon as the fast tier faults.
+            if k >= 1 {
+                assert_eq!(stats.quarantined, 1);
+                assert_eq!(stats.recompiles, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_entry_is_quarantined_and_recompiled() {
+        let svc = KernelService::default();
+        let (a, b) = dense_pair(16, 1.0);
+        let baseline = svc.submit(&dot_request(&a, &b)).unwrap().scalar.unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.push(FaultRule {
+            request: 1,
+            point: InjectPoint::Lookup,
+            kind: FaultKind::PoisonEntry,
+        });
+        svc.install_faults(plan);
+        let resp = svc.submit(&dot_request(&a, &b)).unwrap();
+        assert_eq!(resp.scalar.unwrap().to_bits(), baseline.to_bits());
+        assert_eq!(resp.tier, Tier::Fast);
+        let stats = svc.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.recompiles, 1);
+    }
+
+    #[test]
+    fn injected_resource_faults_yield_typed_errors() {
+        let svc = KernelService::default();
+        let (a, b) = dense_pair(16, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap();
+
+        let mut plan = FaultPlan::new();
+        plan.push(FaultRule {
+            request: 1,
+            point: InjectPoint::MidRun,
+            kind: FaultKind::BudgetExhaustion,
+        });
+        plan.push(FaultRule {
+            request: 2,
+            point: InjectPoint::PreRun,
+            kind: FaultKind::DeadlineExpiry,
+        });
+        svc.install_faults(plan);
+
+        match svc.submit(&dot_request(&a, &b)) {
+            Err(ServiceError::Runtime(RuntimeError::StepBudgetExceeded { budget: 1 })) => {}
+            other => panic!("expected step-budget error, got {other:?}"),
+        }
+        match svc.submit(&dot_request(&a, &b)) {
+            Err(ServiceError::Runtime(RuntimeError::Deadline { .. })) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.budget_errors, 1);
+        assert_eq!(stats.deadline_errors, 1);
+        // Resource errors don't poison the entry: the next plain request
+        // still hits and succeeds.
+        let resp = svc.submit(&dot_request(&a, &b)).unwrap();
+        assert!(resp.cache_hit);
+        assert_eq!(resp.tier, Tier::Fast);
+    }
+
+    #[test]
+    fn admission_control_sheds_typed_overload() {
+        let cfg = ServiceConfig { max_in_flight: 0, ..ServiceConfig::default() };
+        let svc = KernelService::new(cfg);
+        let (a, b) = dense_pair(8, 1.0);
+        match svc.submit(&dot_request(&a, &b)) {
+            Err(ServiceError::Overloaded { limit: 0, .. }) => {}
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(svc.stats().shed, 1);
+    }
+
+    #[test]
+    fn compile_errors_are_typed_and_do_not_wedge_the_slot() {
+        let svc = KernelService::default();
+        let (a, _) = dense_pair(8, 1.0);
+        let i = idx("i");
+        // References an unbound tensor "Z".
+        let program = forall(
+            i.clone(),
+            add_assign(scalar("C"), mul(access("A", [i.clone()]), access("Z", [i]))),
+        );
+        let req = Request::new(program).input(&a).output_scalar("C");
+        assert!(matches!(svc.submit(&req), Err(ServiceError::Compile(_))));
+        // The Busy marker was removed: resubmitting fails the same way
+        // instead of deadlocking on the slot.
+        assert!(matches!(svc.submit(&req), Err(ServiceError::Compile(_))));
+        assert_eq!(svc.cached(), 0);
+    }
+
+    #[test]
+    fn seeded_fault_plans_are_reproducible() {
+        let p1 = FaultPlan::seeded(42, 500, 250);
+        let p2 = FaultPlan::seeded(42, 500, 250);
+        assert_eq!(p1.rules, p2.rules);
+        assert!(!p1.is_empty());
+        // Roughly a quarter of requests faulted; exact count is seeded.
+        assert!(p1.len() > 50 && p1.len() < 250, "got {}", p1.len());
+        let p3 = FaultPlan::seeded(43, 500, 250);
+        assert_ne!(p1.rules, p3.rules);
+        assert_eq!(FaultPlan::seeded(7, 100, 0).len(), 0);
+        // At full rate every request gets at least one rule (panics may
+        // stack a second).
+        assert!(FaultPlan::seeded(7, 100, 1000).len() >= 100);
+    }
+
+    #[test]
+    fn deadline_covers_queueing_on_a_busy_slot() {
+        use std::sync::atomic::AtomicBool;
+
+        let cfg =
+            ServiceConfig { deadline: Some(Duration::from_millis(30)), ..ServiceConfig::default() };
+        let svc = Arc::new(KernelService::new(cfg));
+        let (a, b) = dense_pair(8, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap();
+
+        // Check out the only entry by hand so the slot stays Busy, then
+        // submit from another thread: it must time out with Deadline rather
+        // than wait forever.
+        let opt = svc.cfg.opt_level;
+        let req = dot_request(&a, &b);
+        let key = svc.key_of(&req, opt);
+        let (entry, hit, cached) = svc.checkout(key, &req, opt, None).unwrap();
+        assert!(hit && cached);
+
+        let done = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let svc = Arc::clone(&svc);
+            let done = Arc::clone(&done);
+            let req = dot_request(&a, &b);
+            std::thread::spawn(move || {
+                let out = svc.submit(&req);
+                done.store(true, Ordering::SeqCst);
+                out
+            })
+        };
+        let out = waiter.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        match out {
+            Err(ServiceError::Runtime(RuntimeError::Deadline { .. })) => {}
+            other => panic!("expected Deadline while queued, got {other:?}"),
+        }
+        svc.checkin(key, entry, false);
+        // Slot is usable again.
+        assert!(svc.submit(&dot_request(&a, &b)).unwrap().cache_hit);
+    }
+}

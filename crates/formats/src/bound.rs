@@ -230,6 +230,12 @@ impl BoundTensor {
         self.values
     }
 
+    /// The fill value this tensor was bound with (baked into the generated
+    /// code by [`BoundTensor::fill_expr`], so a rebind must match it).
+    pub fn fill(&self) -> f64 {
+        self.fill
+    }
+
     /// The fill value as an expression.
     pub fn fill_expr(&self) -> Expr {
         Expr::float(self.fill)

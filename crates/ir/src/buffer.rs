@@ -34,6 +34,89 @@ impl fmt::Display for BufId {
 /// one full cache line / AVX-512 vector.
 pub const LANE_ALIGN: usize = 64;
 
+/// Meters growable-output appends against an optional element budget — the
+/// allocation-side companion of the step budget.  Both engines charge one
+/// unit per appended element (coordinate, value, or fiber boundary) at the
+/// append itself, so a budget overrun faults at the same logical element on
+/// the tree-walker, the scalar VM, the vectorized tier (which declines a
+/// bulk that might not fit and lets the scalar loop fault exactly), and the
+/// sharded tier (which re-checks the stitched total).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocMeter {
+    budget: Option<u64>,
+    used: u64,
+}
+
+impl AllocMeter {
+    /// Set or clear the element budget (`None` = unlimited).
+    pub fn set_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// The configured element budget, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Elements charged since the last [`AllocMeter::reset`].
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Zero the usage counter (run-to-run reset; the budget persists).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Charge `n` appended elements, failing once the budget is exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::AllocBudgetExceeded`] when the running total
+    /// passes the configured budget.
+    #[inline]
+    pub fn charge(&mut self, n: u64) -> Result<(), RuntimeError> {
+        self.used += n;
+        match self.budget {
+            Some(budget) if self.used > budget => Err(RuntimeError::AllocBudgetExceeded { budget }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether a worst-case bulk of `n` elements provably fits under the
+    /// budget (the vectorized tier's decline check, mirroring the step
+    /// budget's `vbudget_ok`).
+    #[inline]
+    pub fn fits(&self, n: u64) -> bool {
+        match self.budget {
+            None => true,
+            Some(budget) => self.used.checked_add(n).is_some_and(|total| total <= budget),
+        }
+    }
+
+    /// Add already-validated usage without a budget check (bulk paths that
+    /// pre-checked with [`AllocMeter::fits`], and shard-delta stitching).
+    #[inline]
+    pub fn add_used(&mut self, n: u64) {
+        self.used += n;
+    }
+
+    /// Re-check the running total against the budget (the sharded tier's
+    /// post-stitch check).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::AllocBudgetExceeded`] when the total is
+    /// already past the budget.
+    #[inline]
+    pub fn check(&self) -> Result<(), RuntimeError> {
+        match self.budget {
+            Some(budget) if self.used > budget => Err(RuntimeError::AllocBudgetExceeded { budget }),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// A growable array whose live elements always start on a
 /// [`LANE_ALIGN`]-byte boundary, so the vectorized kernel ops (and any
 /// SIMD the compiler emits for them) operate on aligned, contiguous

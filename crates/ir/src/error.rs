@@ -47,6 +47,22 @@ pub enum RuntimeError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// The execution exceeded its per-request deadline (or its cooperative
+    /// cancellation flag was raised), detected on the same statement path
+    /// that checks the step budget.  Buffers are left reusable: the next
+    /// run resets them in place exactly as after a step-budget abort.
+    Deadline {
+        /// The configured deadline in milliseconds (0 when cancellation was
+        /// requested without a wall-clock deadline).
+        ms: u64,
+    },
+    /// The execution appended more output elements than its configured
+    /// allocation budget allows (admission control for growable sparse
+    /// outputs, alongside the step budget).
+    AllocBudgetExceeded {
+        /// The element budget that was exceeded.
+        budget: u64,
+    },
     /// A kernel output was queried under a name or kind that does not match
     /// its binding (an unknown name, a vector read through `output_scalar`,
     /// a sparse output read before any run assembled it, ...).
@@ -54,6 +70,16 @@ pub enum RuntimeError {
         /// The queried output name.
         name: String,
         /// What went wrong.
+        detail: String,
+    },
+    /// An input rebind did not match the structure the kernel was compiled
+    /// against (unknown tensor name, different level kinds or sizes, or a
+    /// different fill value — all of which are baked into the generated
+    /// code).
+    BadInputRebind {
+        /// The tensor name the rebind was attempted under.
+        name: String,
+        /// What did not match.
         detail: String,
     },
 }
@@ -77,8 +103,17 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StepBudgetExceeded { budget } => {
                 write!(f, "interpreter exceeded step budget of {budget}")
             }
+            RuntimeError::Deadline { ms } => {
+                write!(f, "execution cancelled: deadline of {ms}ms expired")
+            }
+            RuntimeError::AllocBudgetExceeded { budget } => {
+                write!(f, "execution exceeded output allocation budget of {budget} elements")
+            }
             RuntimeError::BadOutputQuery { name, detail } => {
                 write!(f, "output `{name}` cannot be read: {detail}")
+            }
+            RuntimeError::BadInputRebind { name, detail } => {
+                write!(f, "input `{name}` cannot be rebound: {detail}")
             }
         }
     }
@@ -99,7 +134,10 @@ mod tests {
             RuntimeError::UnboundVariable { name: "p".into() },
             RuntimeError::UnexpectedMissing { context: "a store".into() },
             RuntimeError::StepBudgetExceeded { budget: 10 },
+            RuntimeError::Deadline { ms: 25 },
+            RuntimeError::AllocBudgetExceeded { budget: 64 },
             RuntimeError::BadOutputQuery { name: "C".into(), detail: "not a scalar".into() },
+            RuntimeError::BadInputRebind { name: "A".into(), detail: "level 0 differs".into() },
         ];
         for e in errs {
             let msg = format!("{e}");

@@ -8,12 +8,13 @@
 //! skips to the start of the block") can be verified exactly in unit tests
 //! instead of only being inferred from wall-clock time.
 
-use crate::buffer::{BufId, BufferSet};
+use crate::buffer::{AllocMeter, BufId, BufferSet};
 use crate::error::RuntimeError;
 use crate::expr::Expr;
 use crate::stmt::Stmt;
 use crate::value::Value;
 use crate::var::{Names, Var};
+use crate::vm::Watch;
 
 /// Machine-independent work counters accumulated during execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +49,8 @@ pub struct Interpreter {
     var_names: Vec<String>,
     stats: ExecStats,
     step_budget: Option<u64>,
+    watch: Option<Watch>,
+    alloc: AllocMeter,
 }
 
 impl Interpreter {
@@ -58,6 +61,8 @@ impl Interpreter {
             var_names: names.iter().map(|v| names.name(v).to_string()).collect(),
             stats: ExecStats::default(),
             step_budget: None,
+            watch: None,
+            alloc: AllocMeter::default(),
         }
     }
 
@@ -69,14 +74,34 @@ impl Interpreter {
         self
     }
 
+    /// Set or clear the cooperative [`Watch`] (deadline / cancellation),
+    /// checked on the same statement path as the step budget — mirroring
+    /// [`crate::vm::Vm::set_watch`] so both engines fault identically.
+    pub fn set_watch(&mut self, watch: Option<Watch>) {
+        self.watch = watch;
+    }
+
+    /// Set or clear the output-allocation element budget, charged one unit
+    /// per appended element exactly like the VM.
+    pub fn set_alloc_budget(&mut self, budget: Option<u64>) {
+        self.alloc.set_budget(budget);
+    }
+
+    /// Elements appended to growable outputs since the last reset.
+    pub fn allocs(&self) -> u64 {
+        self.alloc.used()
+    }
+
     /// The work counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
     }
 
-    /// Reset the work counters and the variable environment.
+    /// Reset the work counters, the allocation meter, and the variable
+    /// environment.
     pub fn reset(&mut self) {
         self.stats = ExecStats::default();
+        self.alloc.reset();
         self.env.iter_mut().for_each(|v| *v = None);
     }
 
@@ -100,6 +125,9 @@ impl Interpreter {
                 return Err(RuntimeError::StepBudgetExceeded { budget });
             }
         }
+        if let Some(watch) = &self.watch {
+            watch.check(self.stats.stmts)?;
+        }
         Ok(())
     }
 
@@ -122,11 +150,13 @@ impl Interpreter {
             Stmt::Append { buf, value } => {
                 let val = self.eval(value, bufs)?;
                 self.stats.stores += 1;
+                self.alloc.charge(1)?;
                 bufs.get_mut(*buf).push(val)
             }
             Stmt::FiberEnd { pos, data } => {
                 let end = bufs.get(*data).len() as i64;
                 self.stats.stores += 1;
+                self.alloc.charge(1)?;
                 bufs.get_mut(*pos).push(Value::Int(end))
             }
             Stmt::If { cond, then_branch, else_branch } => {

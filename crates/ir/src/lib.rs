@@ -69,14 +69,14 @@ pub mod value;
 pub mod var;
 pub mod vm;
 
-pub use buffer::{BufId, Buffer, BufferSet};
+pub use buffer::{AllocMeter, BufId, Buffer, BufferSet};
 pub use bytecode::{Instr, LaneTag, Program, Reg, ShardPlan, ShardRegion, ShardRole};
 pub use error::RuntimeError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use interp::{ExecStats, Interpreter};
 pub use opt::{OptLevel, OptStats};
-pub use par::run_sharded;
+pub use par::{pool_run, run_sharded};
 pub use stmt::{Extent, Stmt};
 pub use value::{Value, ValueKind};
 pub use var::{Names, Var};
-pub use vm::Vm;
+pub use vm::{Vm, Watch};

@@ -106,6 +106,40 @@ fn pool_submit(want: usize, jobs: Vec<Job>) {
     }
 }
 
+/// Run `jobs` on the process-wide worker pool, blocking until every job
+/// has completed (panicking jobs count as completed; the panic is
+/// contained so it cannot take a pool worker down).  The pool is grown
+/// to at least `workers` threads first.  This is the same pool the
+/// sharded execution tier uses — long-lived services (and the `serve`
+/// bench driver) replay concurrent request streams over it without
+/// paying per-request thread spawns.
+///
+/// Callers whose jobs themselves run sharded kernels should use
+/// dedicated threads instead: a job blocking on shard results while
+/// every pool worker is occupied by other jobs can deadlock the pool.
+pub fn pool_run(workers: usize, jobs: Vec<Box<dyn FnOnce() + Send + 'static>>) {
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    let (tx, rx) = mpsc::channel::<()>();
+    let wrapped: Vec<Job> = jobs
+        .into_iter()
+        .map(|job| {
+            let tx = tx.clone();
+            let wrapped: Job = Box::new(move || {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+                let _ = tx.send(());
+            });
+            wrapped
+        })
+        .collect();
+    pool_submit(workers.max(1), wrapped);
+    for _ in 0..n {
+        let _ = rx.recv();
+    }
+}
+
 /// A `Send`-able raw pointer to data the master thread keeps alive (and
 /// unmodified) while it blocks on the per-region done channel.  The
 /// channel receive provides the happens-before edge back to the master.
@@ -473,13 +507,15 @@ fn run_region(
     let outs: Vec<ShardOut> = outs.into_iter().map(|o| o.expect("checked above")).collect();
     stitch(vm, bufs, region, &ranges, outs);
 
-    // The serial run checks the step budget as it counts; the stitched
-    // totals are bit-identical, so re-check them once here.
+    // The serial run checks the step and allocation budgets as it
+    // counts; the stitched totals are bit-identical, so re-check them
+    // once here.
     if let Some(budget) = vm.step_budget {
         if vm.stats.stmts > budget {
             return Err(RuntimeError::StepBudgetExceeded { budget });
         }
     }
+    vm.alloc.check()?;
     Ok(end)
 }
 
@@ -495,12 +531,14 @@ fn stitch(
     // delta is its own work; regrouping iterations cannot change the
     // per-iteration accounting, so the sum is the serial total.
     let s0 = vm.stats;
+    let a0 = vm.alloc.used();
     for out in &outs {
         vm.stats.stmts += out.vm.stats.stmts - s0.stmts;
         vm.stats.loop_iters += out.vm.stats.loop_iters - s0.loop_iters;
         vm.stats.loads += out.vm.stats.loads - s0.loads;
         vm.stats.stores += out.vm.stats.stores - s0.stores;
         vm.stats.searches += out.vm.stats.searches - s0.searches;
+        vm.alloc.add_used(out.vm.alloc.used() - a0);
     }
 
     // Buffers, role by role.

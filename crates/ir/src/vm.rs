@@ -11,13 +11,94 @@
 //! differential-tested for bit-identical outputs *and* work counters (see
 //! `tests/proptests.rs` at the workspace root).
 
-use crate::buffer::{BufId, Buffer, BufferSet, VmBufs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::buffer::{AllocMeter, BufId, Buffer, BufferSet, VmBufs};
 use crate::bytecode::{Instr, LaneTag, Program, Reg, VBase, VCost, VRhs, VScale};
 use crate::error::RuntimeError;
 use crate::expr::BinOp;
 use crate::interp::ExecStats;
 use crate::value::{Value, ValueKind};
 use crate::var::Var;
+
+/// Cooperative interruption, checked on the same statement path as the
+/// step budget: an externally-armed cancellation flag, an absolute
+/// wall-clock deadline, or both.  Tripping either aborts the run with the
+/// typed [`RuntimeError::Deadline`]; buffers stay reusable exactly as
+/// after a step-budget abort (the next run truncates them in place).
+///
+/// The flag is shared (`Arc`), so cloning a VM for a shard carries the
+/// same cancellation source, and a service can arm one flag to stop a
+/// request wherever it is executing.  The wall clock is only consulted
+/// every [`Watch::TIME_CHECK_PERIOD`] statements to keep the hot path at
+/// one relaxed atomic load.
+#[derive(Debug, Clone, Default)]
+pub struct Watch {
+    cancel: Option<Arc<AtomicBool>>,
+    deadline: Option<Instant>,
+    ms: u64,
+    /// Fault-injection hook: panic once execution reaches this statement
+    /// count — lets a test harness provoke a genuine mid-execution panic
+    /// (buffers mid-append) without instrumenting generated code.
+    fault_stmt: Option<u64>,
+}
+
+impl Watch {
+    /// Statements between wall-clock deadline checks (a power of two so
+    /// the check compiles to a mask).
+    pub const TIME_CHECK_PERIOD: u64 = 1024;
+
+    /// A watch that trips when `cancel` is set; `ms` is reported in the
+    /// resulting [`RuntimeError::Deadline`].
+    pub fn cancelled_by(cancel: Arc<AtomicBool>, ms: u64) -> Self {
+        Watch { cancel: Some(cancel), deadline: None, ms, fault_stmt: None }
+    }
+
+    /// A watch that trips once the wall clock reaches `deadline`; `ms` is
+    /// reported in the resulting [`RuntimeError::Deadline`].
+    pub fn until(deadline: Instant, ms: u64) -> Self {
+        Watch { cancel: None, deadline: Some(deadline), ms, fault_stmt: None }
+    }
+
+    /// Attach a cancellation flag to an existing watch.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Arm the fault-injection hook: the run panics at the first statement
+    /// check at or past `stmt` (test harness use only).
+    pub fn with_fault_at_stmt(mut self, stmt: u64) -> Self {
+        self.fault_stmt = Some(stmt);
+        self
+    }
+
+    /// The statement-path check both engines call: panics at an armed
+    /// injection point, otherwise trips [`RuntimeError::Deadline`] on
+    /// cancellation (every statement) or deadline expiry (every
+    /// [`Watch::TIME_CHECK_PERIOD`] statements).
+    #[inline]
+    pub(crate) fn check(&self, stmts: u64) -> Result<(), RuntimeError> {
+        if let Some(at) = self.fault_stmt {
+            if stmts >= at {
+                panic!("injected fault: panic at statement {at}");
+            }
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.load(Ordering::Relaxed) {
+                return Err(RuntimeError::Deadline { ms: self.ms });
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if stmts.is_multiple_of(Self::TIME_CHECK_PERIOD) && Instant::now() >= deadline {
+                return Err(RuntimeError::Deadline { ms: self.ms });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// The runtime type tag of a register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +140,8 @@ pub struct Vm {
     pub(crate) bools: Vec<bool>,
     pub(crate) stats: ExecStats,
     pub(crate) step_budget: Option<u64>,
+    pub(crate) watch: Option<Watch>,
+    pub(crate) alloc: AllocMeter,
 }
 
 impl Vm {
@@ -72,6 +155,8 @@ impl Vm {
             bools: vec![false; n],
             stats: ExecStats::default(),
             step_budget: None,
+            watch: None,
+            alloc: AllocMeter::default(),
         }
     }
 
@@ -88,14 +173,33 @@ impl Vm {
         self.step_budget = budget;
     }
 
+    /// Set or clear the cooperative [`Watch`] (deadline / cancellation),
+    /// checked on the same statement path as the step budget.
+    pub fn set_watch(&mut self, watch: Option<Watch>) {
+        self.watch = watch;
+    }
+
+    /// Set or clear the output-allocation element budget; exceeding it
+    /// aborts execution with [`RuntimeError::AllocBudgetExceeded`].
+    pub fn set_alloc_budget(&mut self, budget: Option<u64>) {
+        self.alloc.set_budget(budget);
+    }
+
+    /// Elements appended to growable outputs since the last reset.
+    pub fn allocs(&self) -> u64 {
+        self.alloc.used()
+    }
+
     /// The work counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
     }
 
-    /// Reset the work counters and the register file.
+    /// Reset the work counters, the allocation meter, and the register
+    /// file.
     pub fn reset(&mut self) {
         self.stats = ExecStats::default();
+        self.alloc.reset();
         self.tags.iter_mut().for_each(|t| *t = Tag::Unset);
     }
 
@@ -285,6 +389,9 @@ impl Vm {
                             return Err(RuntimeError::StepBudgetExceeded { budget });
                         }
                     }
+                    if let Some(watch) = &self.watch {
+                        watch.check(self.stats.stmts)?;
+                    }
                     pc += 1;
                 }
                 Instr::Const { dst, cidx } => {
@@ -379,6 +486,7 @@ impl Vm {
                 }
                 Instr::Append { buf, val } => {
                     self.stats.stores += 1;
+                    self.alloc.charge(1)?;
                     let vi = val.index();
                     // Fast paths for the two lane types sparse assembly
                     // appends (coordinates and values); everything else
@@ -395,6 +503,7 @@ impl Vm {
                 }
                 Instr::FiberEnd { pos, data } => {
                     self.stats.stores += 1;
+                    self.alloc.charge(1)?;
                     let end = bufs.get(data).len() as i64;
                     bufs.get_mut(pos).push(Value::Int(end))?;
                     pc += 1;
@@ -673,6 +782,7 @@ impl Vm {
                 }
                 Instr::IAppend { buf, val } => {
                     self.stats.stores += 1;
+                    self.alloc.charge(1)?;
                     let x = self.ints[val.index()];
                     match bufs.get_mut(buf) {
                         Buffer::I64(data) => data.push(x),
@@ -682,6 +792,7 @@ impl Vm {
                 }
                 Instr::FAppend { buf, val } => {
                     self.stats.stores += 1;
+                    self.alloc.charge(1)?;
                     let x = self.floats[val.index()];
                     match bufs.get_mut(buf) {
                         Buffer::F64(data) => data.push(x),
@@ -1496,6 +1607,12 @@ impl Vm {
         if !self.vbudget_ok(n, cost.stmts as u64 + pass_cost.stmts as u64) {
             return;
         }
+        // Worst case every iteration appends a coordinate and a value; when
+        // that might not fit the allocation budget, back off so the scalar
+        // loop faults (or not) at exactly the scalar element.
+        if !self.alloc.fits(n.saturating_mul(2)) {
+            return;
+        }
         if src == idx_out || src == val_out || idx_out == val_out {
             return;
         }
@@ -1518,6 +1635,8 @@ impl Vm {
         }
         *bufs.get_mut(idx_out) = ilifted;
         *bufs.get_mut(val_out) = vlifted;
+        // Pre-checked against the worst case above, so this cannot overrun.
+        self.alloc.add_used(passes.saturating_mul(2));
         self.stats.loop_iters += n;
         self.vbump(n, cost);
         self.vbump(passes, pass_cost);

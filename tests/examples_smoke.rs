@@ -13,6 +13,7 @@ const EXAMPLES: &[(&str, &str)] = &[
     ("convolution", "masked sparse convolution"),
     ("image_blend", "all-pairs similarity"),
     ("sparse_output", "chained reduction over the assembled output"),
+    ("serve", "service stats:"),
 ];
 
 #[test]

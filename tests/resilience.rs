@@ -1,0 +1,236 @@
+//! Resilience regression tests: aborted executions must leave the
+//! persistent VM reusable (the next rerun is bit-identical to a fresh
+//! compile), and the kernel service must stay correct under concurrency
+//! and injected faults.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use looplets_repro::finch::build::*;
+use looplets_repro::finch::{
+    CompiledKernel, Engine, FaultKind, FaultPlan, FaultRule, InjectPoint, Kernel, KernelService,
+    LevelSpec, RuntimeError, ServiceConfig, ServiceError, Tensor, Watch,
+};
+
+/// A kernel with a sparse (assembled) output: the abort paths must leave
+/// its `pos`/`idx`/`val` buffers mid-append, the worst case for reuse.
+fn sparse_mul_kernel(av: &[f64], bv: &[f64]) -> CompiledKernel {
+    let a = Tensor::sparse_list_vector("A", av);
+    let b = Tensor::sparse_list_vector("B", bv);
+    let mut kernel = Kernel::new();
+    kernel
+        .bind_input(&a)
+        .bind_input(&b)
+        .bind_output_format("C", &[LevelSpec::SparseList { size: av.len() }]);
+    let i = idx("i");
+    let program = forall(
+        i.clone(),
+        assign(access("C", [i.clone()]), mul(access("A", [i.clone()]), access("B", [i]))),
+    );
+    kernel.compile(&program).expect("sparse mul compiles")
+}
+
+fn test_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let av: Vec<f64> = (0..n).map(|k| if k % 3 != 1 { k as f64 + 0.5 } else { 0.0 }).collect();
+    let bv: Vec<f64> = (0..n).map(|k| if k % 2 == 0 { 2.0 - k as f64 } else { 0.0 }).collect();
+    (av, bv)
+}
+
+/// The rerun-after-abort contract, shared by the abort-path tests: after
+/// `abort` has driven the kernel into a mid-execution typed error, clearing
+/// the limit and re-running must reproduce a fresh compile bit-for-bit.
+fn assert_reusable_after(
+    engine: Engine,
+    abort: impl FnOnce(&mut CompiledKernel) -> RuntimeError,
+    what: &str,
+) {
+    let (av, bv) = test_data(24);
+    let mut k = sparse_mul_kernel(&av, &bv);
+    k.set_engine(engine);
+    let err = abort(&mut k);
+    match err {
+        RuntimeError::StepBudgetExceeded { .. }
+        | RuntimeError::Deadline { .. }
+        | RuntimeError::AllocBudgetExceeded { .. } => {}
+        other => panic!("{what}: expected a resource abort, got {other}"),
+    }
+
+    // Clear every limit and rerun on the same VM and buffers.
+    k.clear_step_budget();
+    k.set_watch(None);
+    k.set_alloc_budget(None);
+    let stats = k.run().unwrap_or_else(|e| panic!("{what}: rerun after abort failed: {e}"));
+    let rerun = k.output_tensor("C").expect("rerun output");
+
+    // A fresh compile of the same kernel is the reference.
+    let mut fresh = sparse_mul_kernel(&av, &bv);
+    fresh.set_engine(engine);
+    let fresh_stats = fresh.run().expect("fresh run");
+    let reference = fresh.output_tensor("C").expect("fresh output");
+
+    assert_eq!(stats, fresh_stats, "{what}: work counters diverge after abort");
+    assert_eq!(
+        format!("{rerun:?}"),
+        format!("{reference:?}"),
+        "{what}: assembled sparse output diverges after abort"
+    );
+    let rerun_bits: Vec<u64> = rerun.values().iter().map(|v| v.to_bits()).collect();
+    let fresh_bits: Vec<u64> = reference.values().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(rerun_bits, fresh_bits, "{what}: value bits diverge after abort");
+}
+
+#[test]
+fn budget_abort_mid_sparse_append_leaves_vm_reusable() {
+    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+        assert_reusable_after(
+            engine,
+            |k| {
+                k.set_step_budget(7);
+                k.run().expect_err("budget must trip")
+            },
+            &format!("step budget ({engine:?})"),
+        );
+    }
+}
+
+#[test]
+fn cancellation_mid_sparse_append_leaves_vm_reusable() {
+    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+        assert_reusable_after(
+            engine,
+            |k| {
+                // A pre-raised cancel flag aborts on the first statement.
+                k.set_watch(Some(Watch::cancelled_by(Arc::new(AtomicBool::new(true)), 7)));
+                k.run().expect_err("cancellation must trip")
+            },
+            &format!("cancellation ({engine:?})"),
+        );
+    }
+}
+
+#[test]
+fn alloc_budget_abort_mid_sparse_append_leaves_vm_reusable() {
+    for engine in [Engine::Bytecode, Engine::TreeWalk] {
+        assert_reusable_after(
+            engine,
+            |k| {
+                k.set_alloc_budget(Some(2));
+                k.run().expect_err("allocation budget must trip")
+            },
+            &format!("alloc budget ({engine:?})"),
+        );
+    }
+}
+
+#[test]
+fn kernel_service_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KernelService>();
+    assert_send_sync::<looplets_repro::finch::Request>();
+    assert_send_sync::<looplets_repro::finch::Response>();
+    assert_send_sync::<ServiceError>();
+    assert_send_sync::<FaultPlan>();
+}
+
+#[test]
+fn concurrent_clients_share_the_cache_and_agree_with_references() {
+    use finch_bench::trace::{self, TraceConfig};
+
+    let tcfg =
+        TraceConfig { kernels: 3, instances: 2, requests: 0, scale: 2, ..Default::default() };
+    let svc = KernelService::new(ServiceConfig {
+        capacity: 8,
+        deadline: Some(Duration::from_secs(5)),
+        ..ServiceConfig::default()
+    });
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let svc = &svc;
+            let tcfg = &tcfg;
+            scope.spawn(move || {
+                for round in 0..6usize {
+                    let kernel = (c + round) % 3;
+                    let instance = round % 2;
+                    let resp = svc
+                        .submit(&trace::build_request(tcfg, kernel, instance))
+                        .unwrap_or_else(|e| panic!("client {c} round {round}: {e}"));
+                    let got: Vec<u64> =
+                        trace::response_values(&resp).iter().map(|v| v.to_bits()).collect();
+                    let want: Vec<u64> = trace::reference_values(tcfg, kernel, instance)
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect();
+                    assert_eq!(got, want, "client {c} round {round} diverged");
+                }
+            });
+        }
+    });
+    let stats = svc.stats();
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.compiles, 3, "three structures, each compiled once");
+    assert_eq!(stats.hits, 21);
+}
+
+#[test]
+fn service_survives_a_full_fault_barrage_with_typed_outcomes_only() {
+    use finch_bench::trace::{self, TraceConfig};
+
+    let tcfg =
+        TraceConfig { kernels: 3, instances: 2, requests: 0, scale: 2, ..Default::default() };
+    let svc = KernelService::new(ServiceConfig { capacity: 4, ..ServiceConfig::default() });
+
+    // Every fault kind at every injection point, all on a warm cache.
+    let mut rid = 0u64;
+    for kernel in 0..3usize {
+        svc.submit(&trace::build_request(&tcfg, kernel, 0)).expect("warm-up");
+        rid += 1;
+    }
+    let mut plan = FaultPlan::new();
+    let mut expected: Vec<(u64, usize, bool)> = Vec::new(); // (rid, kernel, must_succeed)
+    let points =
+        [InjectPoint::Lookup, InjectPoint::PreRun, InjectPoint::MidRun, InjectPoint::PostRun];
+    let kinds = [
+        FaultKind::PoisonEntry,
+        FaultKind::Panic,
+        FaultKind::BudgetExhaustion,
+        FaultKind::DeadlineExpiry,
+    ];
+    for (pi, point) in points.iter().enumerate() {
+        for (ki, kind) in kinds.iter().enumerate() {
+            // PoisonEntry pairs with the lookup point and the other kinds
+            // with the execution points; mismatched pairs are no-ops.
+            if (*point == InjectPoint::Lookup) != (*kind == FaultKind::PoisonEntry) {
+                continue;
+            }
+            plan.push(FaultRule { request: rid, point: *point, kind: *kind });
+            let succeeds = matches!(kind, FaultKind::Panic | FaultKind::PoisonEntry);
+            expected.push((rid, (pi + ki) % 3, succeeds));
+            rid += 1;
+        }
+    }
+    svc.install_faults(plan);
+
+    for (req_id, kernel, must_succeed) in expected {
+        let result = svc.submit(&trace::build_request(&tcfg, kernel, 1));
+        match result {
+            Ok(resp) => {
+                assert!(must_succeed, "request {req_id} should have hit a resource error");
+                let got: Vec<u64> =
+                    trace::response_values(&resp).iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> =
+                    trace::reference_values(&tcfg, kernel, 1).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "request {req_id} served a wrong result");
+            }
+            Err(ServiceError::Runtime(
+                RuntimeError::StepBudgetExceeded { .. } | RuntimeError::Deadline { .. },
+            )) => {
+                assert!(!must_succeed, "request {req_id} should have been served");
+            }
+            Err(other) => panic!("request {req_id}: unexpected outcome {other:?}"),
+        }
+    }
+    assert_eq!(svc.pending_faults(), 0, "every injected fault fired");
+    let stats = svc.stats();
+    assert!(stats.panics > 0 && stats.quarantined > 0);
+}
