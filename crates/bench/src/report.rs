@@ -425,6 +425,9 @@ pub struct ServeReport {
     pub deadline_ms: u64,
     /// Injected-fault rate in permille (0 = fault-free).
     pub faults_permille: u64,
+    /// Whether the run was the chaos soak (overload + faults + mid-run
+    /// drain/restart) rather than the plain serve bench.
+    pub soak: bool,
     /// Trace seed.
     pub seed: u64,
     /// Zipf skew of the trace.
@@ -439,6 +442,12 @@ pub struct ServeReport {
     pub p99_us: f64,
     /// Mean request latency, microseconds.
     pub mean_us: f64,
+    /// Median admission-queue wait of successful requests, microseconds.
+    pub queue_wait_p50_us: f64,
+    /// 99th-percentile admission-queue wait, microseconds.
+    pub queue_wait_p99_us: f64,
+    /// Deepest admission-queue depth sampled during the run.
+    pub max_queue_depth: u64,
     /// Cache hits / (hits + misses).
     pub hit_rate: f64,
     /// Successful responses.
@@ -451,6 +460,12 @@ pub struct ServeReport {
     pub verified: u64,
     /// Verified responses that diverged from the reference (must be 0).
     pub divergences: u64,
+    /// Number of mid-run drain/restart cycles performed (soak mode).
+    pub drained: u64,
+    /// Wall-clock milliseconds the slowest drain took to settle.
+    pub drain_latency_ms: f64,
+    /// Whether any drain overran its deadline and cancelled in-flight work.
+    pub drain_cancelled: bool,
     /// The service's own counters at the end of the run.
     pub stats: finch::ServiceStats,
 }
@@ -461,17 +476,21 @@ impl ServeReport {
         let tiers = |xs: &[u64; 4]| format!("[{}, {}, {}, {}]", xs[0], xs[1], xs[2], xs[3]);
         let s = &self.stats;
         format!(
-            "{{\n  \"schema_version\": 1,\n  \"bench\": \"serve\",\n  \
+            "{{\n  \"schema_version\": 2,\n  \"bench\": \"serve\",\n  \
              \"requests\": {},\n  \"clients\": {},\n  \"kernels\": {},\n  \
              \"instances\": {},\n  \"cache_capacity\": {},\n  \"deadline_ms\": {},\n  \
-             \"faults_permille\": {},\n  \"seed\": {},\n  \"zipf_skew\": {},\n  \
+             \"faults_permille\": {},\n  \"soak\": {},\n  \"seed\": {},\n  \"zipf_skew\": {},\n  \
              \"elapsed_seconds\": {},\n  \"qps\": {},\n  \"p50_us\": {},\n  \
-             \"p99_us\": {},\n  \"mean_us\": {},\n  \"hit_rate\": {},\n  \
+             \"p99_us\": {},\n  \"mean_us\": {},\n  \"queue_wait_p50_us\": {},\n  \
+             \"queue_wait_p99_us\": {},\n  \"max_queue_depth\": {},\n  \"hit_rate\": {},\n  \
              \"ok\": {},\n  \"degraded\": {},\n  \"typed_errors\": {},\n  \
-             \"verified\": {},\n  \"divergences\": {},\n  \"service\": {{\n    \
+             \"verified\": {},\n  \"divergences\": {},\n  \"drained\": {},\n  \
+             \"drain_latency_ms\": {},\n  \"drain_cancelled\": {},\n  \"service\": {{\n    \
              \"hits\": {},\n    \"misses\": {},\n    \"compiles\": {},\n    \
              \"recompiles\": {},\n    \"quarantined\": {},\n    \"evictions\": {},\n    \
-             \"shed\": {},\n    \"panics\": {},\n    \"deadline_errors\": {},\n    \
+             \"shed\": {},\n    \"queued\": {},\n    \"queue_timeouts\": {},\n    \
+             \"breaker_opens\": {},\n    \"breaker_short_circuits\": {},\n    \
+             \"batch_groups\": {},\n    \"panics\": {},\n    \"deadline_errors\": {},\n    \
              \"budget_errors\": {},\n    \"alloc_errors\": {},\n    \
              \"served_by_tier\": {},\n    \"faults_by_tier\": {}\n  }}\n}}\n",
             self.requests,
@@ -481,6 +500,7 @@ impl ServeReport {
             self.cache_capacity,
             self.deadline_ms,
             self.faults_permille,
+            self.soak,
             self.seed,
             json_number(self.zipf_skew),
             json_number(self.elapsed_seconds),
@@ -488,12 +508,18 @@ impl ServeReport {
             json_number(self.p50_us),
             json_number(self.p99_us),
             json_number(self.mean_us),
+            json_number(self.queue_wait_p50_us),
+            json_number(self.queue_wait_p99_us),
+            self.max_queue_depth,
             json_number(self.hit_rate),
             self.ok,
             self.degraded,
             self.typed_errors,
             self.verified,
             self.divergences,
+            self.drained,
+            json_number(self.drain_latency_ms),
+            self.drain_cancelled,
             s.hits,
             s.misses,
             s.compiles,
@@ -501,6 +527,11 @@ impl ServeReport {
             s.quarantined,
             s.evictions,
             s.shed,
+            s.queued,
+            s.queue_timeouts,
+            s.breaker_opens,
+            s.breaker_short_circuits,
+            s.batch_groups,
             s.panics,
             s.deadline_errors,
             s.budget_errors,
@@ -728,6 +759,51 @@ mod tests {
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(j.matches(open).count(), j.matches(close).count());
         }
+    }
+
+    #[test]
+    fn serve_report_emits_schema_v2_with_front_end_counters() {
+        let stats = finch::ServiceStats {
+            queued: 7,
+            queue_timeouts: 3,
+            breaker_opens: 2,
+            breaker_short_circuits: 5,
+            batch_groups: 4,
+            served_by_tier: [10, 1, 0, 2],
+            ..Default::default()
+        };
+        let r = ServeReport {
+            requests: 16,
+            clients: 8,
+            soak: true,
+            queue_wait_p50_us: 120.5,
+            queue_wait_p99_us: 950.0,
+            max_queue_depth: 6,
+            drained: 2,
+            drain_latency_ms: 12.25,
+            drain_cancelled: false,
+            stats,
+            ..ServeReport::default()
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"schema_version\": 2"));
+        assert!(j.contains("\"soak\": true"));
+        assert!(j.contains("\"queue_wait_p50_us\": 120.5"));
+        assert!(j.contains("\"queue_wait_p99_us\": 950"));
+        assert!(j.contains("\"max_queue_depth\": 6"));
+        assert!(j.contains("\"drained\": 2"));
+        assert!(j.contains("\"drain_latency_ms\": 12.25"));
+        assert!(j.contains("\"drain_cancelled\": false"));
+        assert!(j.contains("\"queued\": 7"));
+        assert!(j.contains("\"queue_timeouts\": 3"));
+        assert!(j.contains("\"breaker_opens\": 2"));
+        assert!(j.contains("\"breaker_short_circuits\": 5"));
+        assert!(j.contains("\"batch_groups\": 4"));
+        assert!(j.contains("\"served_by_tier\": [10, 1, 0, 2]"));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(j.matches(open).count(), j.matches(close).count());
+        }
+        assert!(!j.contains(",]") && !j.contains(",}"));
     }
 
     #[test]

@@ -1,7 +1,12 @@
-//! Compile-time errors.
+//! Typed error surfaces: compile-time errors and the kernel service's
+//! request-level failure modes.
 
 use std::error::Error;
 use std::fmt;
+
+use finch_ir::RuntimeError;
+
+use crate::queue::ServiceState;
 
 /// Errors reported while compiling a concrete-index-notation program.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +107,100 @@ impl fmt::Display for CompileError {
 
 impl Error for CompileError {}
 
+/// A typed service failure.  Every failure mode the service can hit — shed
+/// load, queue timeouts, shutdown rejections, open breakers, invalid
+/// inputs, compile errors, resource exhaustion, and kernels that fault at
+/// every tier — surfaces as one of these; the service never aborts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Admission control rejected the request: the in-flight limit and the
+    /// wait queue are both full (or the limit is zero).
+    Overloaded {
+        /// Requests in flight when this one arrived.
+        in_flight: usize,
+        /// The configured admission limit.
+        limit: usize,
+        /// Requests already waiting in the admission queue.
+        queued: usize,
+    },
+    /// The request queued for admission but its deadline expired before an
+    /// execution slot freed.  Distinct from [`RuntimeError::Deadline`],
+    /// which attributes the expiry to *execution*.
+    QueueTimeout {
+        /// How long the request waited in the queue, milliseconds.
+        waited_ms: u64,
+        /// Waiters still queued when this one gave up.
+        depth: usize,
+    },
+    /// The service is draining or stopped; no new work is accepted until
+    /// [`KernelService::resume`](crate::KernelService::resume).
+    ShuttingDown {
+        /// The lifecycle state that rejected the request.
+        state: ServiceState,
+    },
+    /// The structure's circuit breaker is open and the service is
+    /// configured to reject (rather than degrade) short-circuited requests.
+    CircuitOpen {
+        /// Consecutive tier-faults recorded when the breaker opened.
+        consecutive_faults: u32,
+        /// The configured cooldown before a half-open probe, milliseconds.
+        cooldown_ms: u64,
+    },
+    /// An input tensor failed boundary validation (non-monotonic `pos`,
+    /// unsorted or out-of-range `idx`, wrong value count).
+    InvalidInput {
+        /// The offending tensor's name.
+        name: String,
+        /// What the validator found.
+        detail: String,
+    },
+    /// The program failed to compile.
+    Compile(CompileError),
+    /// The run failed with a typed runtime error (deadline, step budget,
+    /// allocation budget, rebind mismatch, ...).  Resource errors are final:
+    /// they do not trigger the degradation ladder.
+    Runtime(RuntimeError),
+    /// The kernel faulted at every tier of the degradation ladder.
+    Faulted {
+        /// Number of execution attempts made (including the fast-tier retry).
+        attempts: u32,
+        /// Description of the last fault.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { in_flight, limit, queued } => write!(
+                f,
+                "service overloaded: {in_flight} requests in flight (limit {limit}), {queued} queued"
+            ),
+            ServiceError::QueueTimeout { waited_ms, depth } => write!(
+                f,
+                "deadline expired after {waited_ms}ms in the admission queue ({depth} still waiting)"
+            ),
+            ServiceError::ShuttingDown { state } => {
+                write!(f, "service is {state}: not accepting new requests")
+            }
+            ServiceError::CircuitOpen { consecutive_faults, cooldown_ms } => write!(
+                f,
+                "circuit breaker open after {consecutive_faults} consecutive faults (cooldown {cooldown_ms}ms)"
+            ),
+            ServiceError::InvalidInput { name, detail } => {
+                write!(f, "input tensor `{name}` failed validation: {detail}")
+            }
+            ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
+            ServiceError::Runtime(e) => write!(f, "{e}"),
+            ServiceError::Faulted { attempts, detail } => {
+                write!(f, "kernel faulted at every tier after {attempts} attempts: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for ServiceError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,5 +227,23 @@ mod tests {
     fn error_implements_std_error() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<CompileError>();
+        assert_err::<ServiceError>();
+    }
+
+    #[test]
+    fn service_errors_display_useful_messages() {
+        let errs = vec![
+            ServiceError::Overloaded { in_flight: 4, limit: 4, queued: 16 },
+            ServiceError::QueueTimeout { waited_ms: 25, depth: 3 },
+            ServiceError::ShuttingDown { state: ServiceState::Draining },
+            ServiceError::CircuitOpen { consecutive_faults: 5, cooldown_ms: 10 },
+            ServiceError::InvalidInput { name: "A".into(), detail: "bad pos".into() },
+            ServiceError::Compile(CompileError::UnknownTensor { name: "Z".into() }),
+            ServiceError::Runtime(RuntimeError::Deadline { ms: 40 }),
+            ServiceError::Faulted { attempts: 5, detail: "panic".into() },
+        ];
+        for e in errs {
+            assert!(!format!("{e}").is_empty());
+        }
     }
 }

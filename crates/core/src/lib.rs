@@ -43,16 +43,20 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod breaker;
 mod error;
 mod kernel;
 mod lower;
+mod queue;
 mod service;
 
-pub use error::CompileError;
+pub use breaker::{BreakerPolicy, BreakerState};
+pub use error::{CompileError, ServiceError};
 pub use kernel::{CompiledKernel, Engine, Kernel};
+pub use queue::ServiceState;
 pub use service::{
-    FaultKind, FaultPlan, FaultRule, InjectPoint, KernelService, ReadBack, Request, Response,
-    ServiceConfig, ServiceError, ServiceStats, Tier,
+    DrainReport, FaultKind, FaultPlan, FaultRule, HealthSnapshot, InjectPoint, KernelService,
+    ReadBack, Request, Response, ServiceConfig, ServiceStats, Tier,
 };
 
 // Re-export the surface language, formats and runtime types.

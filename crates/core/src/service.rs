@@ -22,19 +22,44 @@
 //!    bytecode → typed serial bytecode → untyped bytecode → the tree-walk
 //!    oracle.  All tiers run at the same [`OptLevel`], so a degraded response
 //!    is bit-identical to the fast path's.
-//! 4. **Admission control** — a bounded in-flight limit sheds excess load
-//!    with the typed [`ServiceError::Overloaded`], and an optional output
-//!    allocation budget bounds memory per request.
+//! 4. **Deadline-aware admission** — past the in-flight limit, requests
+//!    queue FIFO-fairly up to their remaining deadline instead of shedding
+//!    instantly; behind the bounded queue the typed
+//!    [`ServiceError::Overloaded`] still applies, and a waiter whose
+//!    deadline expires leaves with the distinct
+//!    [`ServiceError::QueueTimeout`].  An optional output allocation budget
+//!    bounds memory per request.
+//! 5. **Per-structure circuit breakers** — a structure that keeps faulting
+//!    trips its breaker ([`crate::BreakerState`]): requests short-circuit
+//!    straight to the oracle tier (or a typed
+//!    [`ServiceError::CircuitOpen`], per [`BreakerPolicy`]) until a
+//!    half-open probe proves the structure healthy again.
+//! 6. **Graceful drain** — [`KernelService::drain`] rejects new work with
+//!    the typed [`ServiceError::ShuttingDown`], completes (or
+//!    deadline-cancels, through every run's cooperative watch) the work in
+//!    flight, and leaves the service inspectable via
+//!    [`KernelService::health`] and resumable via
+//!    [`KernelService::resume`].
+//! 7. **Boundary validation** — every [`Request::input`] tensor is
+//!    structurally validated; corrupt level arrays surface as the typed
+//!    [`ServiceError::InvalidInput`] instead of a downstream panic or a
+//!    wrong result.
+//!
+//! [`KernelService::submit_batch`] amortises the front-end: a slice of
+//! requests is admitted under one queue permit, grouped by structural hash,
+//! compiled (or looked up) once per group, and rebound serially against one
+//! cache entry — with per-request typed outcomes in submission order.
 //!
 //! A deterministic [`FaultPlan`] injects panics, budget exhaustion, poisoned
-//! entries, and deadline expiry at chosen points so tests (and the `serve`
-//! bench's `--faults` mode) can prove that *every* injected fault ends in
-//! either a bit-identical degraded result or a typed error.
+//! entries, deadline expiry, and execution stalls at chosen points so tests
+//! (and the `serve` bench's `--faults`/`--soak` modes) can prove that
+//! *every* injected fault ends in either a bit-identical degraded result or
+//! a typed error.
 
 use std::collections::HashMap;
 use std::fmt::{self, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -43,17 +68,32 @@ use finch_formats::{LevelSpec, Tensor};
 use finch_ir::opt::ValidationLevel;
 use finch_ir::{ExecStats, OptLevel, RuntimeError, Watch};
 
-use crate::error::CompileError;
+use crate::breaker::{BreakerBoard, BreakerDecision, BreakerPolicy};
+use crate::error::{CompileError, ServiceError};
 use crate::kernel::{CompiledKernel, Engine, Kernel};
+use crate::queue::{AdmissionQueue, AdmitError, Permit, ServiceState};
 
 /// Configuration for a [`KernelService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Maximum number of cached compiled kernels (LRU-evicted beyond this).
     pub capacity: usize,
-    /// Maximum number of requests admitted concurrently; excess requests are
-    /// shed with [`ServiceError::Overloaded`].
+    /// Maximum number of requests admitted concurrently; excess requests
+    /// queue (up to [`ServiceConfig::queue_depth`]) until a slot frees or
+    /// their deadline expires.
     pub max_in_flight: usize,
+    /// Maximum number of requests waiting for admission; arrivals behind a
+    /// full queue are shed with [`ServiceError::Overloaded`].
+    pub queue_depth: usize,
+    /// Consecutive tier-faults on one structure before its circuit breaker
+    /// opens.  `0` disables the breakers.
+    pub breaker_threshold: u32,
+    /// How long an open breaker short-circuits before admitting a half-open
+    /// probe.
+    pub breaker_cooldown: Duration,
+    /// What an open breaker does to requests: degrade to the oracle tier or
+    /// reject with [`ServiceError::CircuitOpen`].
+    pub breaker_policy: BreakerPolicy,
     /// Per-request wall-clock deadline.  `None` disables deadlines.
     pub deadline: Option<Duration>,
     /// Per-request VM step budget.  `None` disables the budget.
@@ -80,6 +120,10 @@ impl Default for ServiceConfig {
         ServiceConfig {
             capacity: 64,
             max_in_flight: 32,
+            queue_depth: 32,
+            breaker_threshold: 0,
+            breaker_cooldown: Duration::from_millis(25),
+            breaker_policy: BreakerPolicy::Degrade,
             deadline: None,
             step_budget: None,
             alloc_budget: None,
@@ -117,6 +161,9 @@ pub struct Request {
     outputs: Vec<(String, Vec<LevelSpec>)>,
     read: ReadBack,
     opt_level: Option<OptLevel>,
+    /// First boundary-validation failure among the inputs, recorded at bind
+    /// time and surfaced by `submit` as [`ServiceError::InvalidInput`].
+    invalid: Option<(String, String)>,
 }
 
 impl Request {
@@ -128,11 +175,22 @@ impl Request {
             outputs: Vec::new(),
             read: ReadBack::Stats,
             opt_level: None,
+            invalid: None,
         }
     }
 
     /// Bind an input tensor (cloned into the request).
+    ///
+    /// The tensor is structurally validated ([`Tensor::validate`]): inputs
+    /// cross the service's trust boundary here, and a corrupt level array
+    /// must surface as the typed [`ServiceError::InvalidInput`] at submit
+    /// time, never as a downstream panic or a silently wrong result.
     pub fn input(mut self, tensor: &Tensor) -> Self {
+        if self.invalid.is_none() {
+            if let Err(e) = tensor.validate() {
+                self.invalid = Some((tensor.name().to_string(), e.to_string()));
+            }
+        }
         self.inputs.push(tensor.clone());
         self
     }
@@ -221,51 +279,10 @@ pub struct Response {
     pub scalar: Option<f64>,
     /// The tensor output, when the request asked for [`ReadBack::Tensor`].
     pub tensor: Option<Tensor>,
+    /// How long the request waited in the admission queue before an
+    /// execution slot freed ([`Duration::ZERO`] on fast-path admission).
+    pub queue_wait: Duration,
 }
-
-/// A typed service failure.  Every failure mode the service can hit — shed
-/// load, compile errors, resource exhaustion, and kernels that fault at every
-/// tier — surfaces as one of these; the service never aborts.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ServiceError {
-    /// Admission control rejected the request: too many in flight.
-    Overloaded {
-        /// Requests in flight when this one arrived.
-        in_flight: usize,
-        /// The configured admission limit.
-        limit: usize,
-    },
-    /// The program failed to compile.
-    Compile(CompileError),
-    /// The run failed with a typed runtime error (deadline, step budget,
-    /// allocation budget, rebind mismatch, ...).  Resource errors are final:
-    /// they do not trigger the degradation ladder.
-    Runtime(RuntimeError),
-    /// The kernel faulted at every tier of the degradation ladder.
-    Faulted {
-        /// Number of execution attempts made (including the fast-tier retry).
-        attempts: u32,
-        /// Description of the last fault.
-        detail: String,
-    },
-}
-
-impl fmt::Display for ServiceError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ServiceError::Overloaded { in_flight, limit } => {
-                write!(f, "service overloaded: {in_flight} requests in flight (limit {limit})")
-            }
-            ServiceError::Compile(e) => write!(f, "compilation failed: {e}"),
-            ServiceError::Runtime(e) => write!(f, "{e}"),
-            ServiceError::Faulted { attempts, detail } => {
-                write!(f, "kernel faulted at every tier after {attempts} attempts: {detail}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ServiceError {}
 
 /// Where a [`FaultRule`] strikes in the request lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -295,6 +312,11 @@ pub enum FaultKind {
     DeadlineExpiry,
     /// Mark the cache entry poisoned, exercising quarantine + recompile.
     PoisonEntry,
+    /// Deterministically hold the execution slot: the attempt blocks on the
+    /// service's stall gate until [`KernelService::release_stalls`], the
+    /// request's deadline, or a drain cancellation.  The sleep-free way for
+    /// tests to pin `in_flight` while exercising queueing and drain.
+    Stall,
 }
 
 /// One injected fault: strikes the `request`-th request (by admission order,
@@ -399,10 +421,24 @@ impl FaultPlan {
 /// A snapshot of the service's counters (see [`KernelService::stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
-    /// Requests submitted (including shed ones).
+    /// Requests submitted (including shed and invalid ones).
     pub requests: u64,
-    /// Requests rejected by admission control.
+    /// Requests rejected by admission control (in-flight limit and queue
+    /// both full).
     pub shed: u64,
+    /// Requests that had to wait in the admission queue before admission.
+    pub queued: u64,
+    /// Requests whose deadline expired while waiting in the admission queue.
+    pub queue_timeouts: u64,
+    /// Times a circuit breaker opened (threshold crossings and failed
+    /// half-open probes).
+    pub breaker_opens: u64,
+    /// Requests short-circuited by an open breaker (degraded to the oracle
+    /// tier or rejected, per [`BreakerPolicy`]).
+    pub breaker_short_circuits: u64,
+    /// Structural groups formed by [`KernelService::submit_batch`] (each
+    /// group checks out its cache entry once).
+    pub batch_groups: u64,
     /// Requests served from a cached compiled kernel.
     pub hits: u64,
     /// Requests that required compilation.
@@ -433,6 +469,11 @@ pub struct ServiceStats {
 struct AtomicStats {
     requests: AtomicU64,
     shed: AtomicU64,
+    queued: AtomicU64,
+    queue_timeouts: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_short_circuits: AtomicU64,
+    batch_groups: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     compiles: AtomicU64,
@@ -453,6 +494,11 @@ impl AtomicStats {
         ServiceStats {
             requests: get(&self.requests),
             shed: get(&self.shed),
+            queued: get(&self.queued),
+            queue_timeouts: get(&self.queue_timeouts),
+            breaker_opens: get(&self.breaker_opens),
+            breaker_short_circuits: get(&self.breaker_short_circuits),
+            batch_groups: get(&self.batch_groups),
             hits: get(&self.hits),
             misses: get(&self.misses),
             compiles: get(&self.compiles),
@@ -615,10 +661,58 @@ pub struct KernelService {
     cfg: ServiceConfig,
     inner: Mutex<CacheInner>,
     cond: Condvar,
-    in_flight: AtomicUsize,
+    queue: AdmissionQueue,
+    breakers: BreakerBoard,
+    /// Raised by an overrun [`KernelService::drain`]; threaded into every
+    /// run's cooperative watch so in-flight work aborts with a typed error.
+    drain_cancel: Arc<AtomicBool>,
+    /// The gate [`FaultKind::Stall`] attempts block on.
+    stall: Mutex<StallGate>,
+    stall_cond: Condvar,
     next_request: AtomicU64,
     faults: Mutex<FaultPlan>,
     stats: AtomicStats,
+}
+
+#[derive(Default)]
+struct StallGate {
+    released: bool,
+    stalled: usize,
+}
+
+/// The outcome of a [`KernelService::drain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// How long the drain took from call to completion.
+    pub waited: Duration,
+    /// Whether the drain deadline passed and in-flight work was cancelled
+    /// through its cooperative watch.
+    pub cancelled: bool,
+    /// The service state after the drain (always [`ServiceState::Stopped`]).
+    pub state: ServiceState,
+}
+
+/// A point-in-time health snapshot (see [`KernelService::health`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// The lifecycle state.
+    pub state: ServiceState,
+    /// Requests waiting in the admission queue.
+    pub queued: usize,
+    /// Requests admitted and executing.
+    pub in_flight: usize,
+    /// Ready (cached, not checked-out) kernels.
+    pub cached: usize,
+    /// Circuit breakers in the closed state.
+    pub breakers_closed: usize,
+    /// Circuit breakers in the open state.
+    pub breakers_open: usize,
+    /// Circuit breakers half-open (a probe in flight).
+    pub breakers_half_open: usize,
+    /// Successful responses per tier, indexed by [`Tier::index`].
+    pub served_by_tier: [u64; 4],
+    /// Faults observed per tier, indexed by [`Tier::index`].
+    pub faults_by_tier: [u64; 4],
 }
 
 impl Default for KernelService {
@@ -630,6 +724,8 @@ impl Default for KernelService {
 impl KernelService {
     /// A service with the given configuration and an empty cache.
     pub fn new(cfg: ServiceConfig) -> Self {
+        let queue = AdmissionQueue::new(cfg.max_in_flight, cfg.queue_depth);
+        let breakers = BreakerBoard::new(cfg.breaker_threshold, cfg.breaker_cooldown);
         KernelService {
             cfg,
             inner: Mutex::new(CacheInner {
@@ -638,7 +734,11 @@ impl KernelService {
                 scratch: String::new(),
             }),
             cond: Condvar::new(),
-            in_flight: AtomicUsize::new(0),
+            queue,
+            breakers,
+            drain_cancel: Arc::new(AtomicBool::new(false)),
+            stall: Mutex::new(StallGate::default()),
+            stall_cond: Condvar::new(),
             next_request: AtomicU64::new(0),
             faults: Mutex::new(FaultPlan::new()),
             stats: AtomicStats::default(),
@@ -671,34 +771,295 @@ impl KernelService {
         self.faults.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// Execute a request: admit, look up or compile the kernel, rebind the
-    /// inputs, run (descending the degradation ladder on faults), and read
-    /// back the requested output.
+    /// Execute a request: validate its inputs, admit it (queueing up to its
+    /// deadline when saturated), consult the structure's circuit breaker,
+    /// look up or compile the kernel, rebind the inputs, run (descending
+    /// the degradation ladder on faults), and read back the requested
+    /// output.
     pub fn submit(&self, req: &Request) -> Result<Response, ServiceError> {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
-        let prev = self.in_flight.fetch_add(1, Ordering::SeqCst);
-        if prev >= self.cfg.max_in_flight {
-            self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            self.stats.shed.fetch_add(1, Ordering::Relaxed);
-            return Err(ServiceError::Overloaded {
-                in_flight: prev,
-                limit: self.cfg.max_in_flight,
-            });
+        if let Some((name, detail)) = &req.invalid {
+            return Err(ServiceError::InvalidInput { name: name.clone(), detail: detail.clone() });
         }
-        let _guard = InFlightGuard(&self.in_flight);
-
+        let deadline = self.request_deadline();
+        let permit = self.admit(deadline)?;
         let rid = self.next_request.fetch_add(1, Ordering::SeqCst);
-        let deadline =
-            self.cfg.deadline.map(|d| (Instant::now() + d, (d.as_millis() as u64).max(1)));
         let opt = req.opt_level.unwrap_or(self.cfg.opt_level);
         let key = self.key_of(req, opt);
+        let mut result = self.serve_one(req, key, opt, rid, deadline);
+        if let Ok(resp) = &mut result {
+            resp.queue_wait = permit.waited;
+        }
+        result
+    }
 
-        let (mut entry, cache_hit, cached) = self.checkout(key, req, opt, deadline)?;
-        let (result, evict) = self.execute(&mut entry, req, deadline, rid, cache_hit);
+    /// Execute a slice of requests under **one** admission permit, grouped
+    /// by structural hash: each group checks its cache entry out once and
+    /// rebinds the member requests serially against it, amortising the
+    /// lookup (and any compile) across the group.
+    ///
+    /// Outcomes are per-request and order-preserving: `result[i]` belongs
+    /// to `reqs[i]`.  An admission rejection (overload, queue timeout,
+    /// shutdown) applies to the whole batch — every slot gets the same
+    /// typed error.
+    pub fn submit_batch(&self, reqs: &[Request]) -> Vec<Result<Response, ServiceError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        self.stats.requests.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let deadline = self.request_deadline();
+        let permit = match self.admit(deadline) {
+            Ok(p) => p,
+            Err(err) => return reqs.iter().map(|_| Err(err.clone())).collect(),
+        };
+
+        // Group indices by (key, opt level), preserving first-seen order.
+        let mut results: Vec<Option<Result<Response, ServiceError>>> = vec![None; reqs.len()];
+        let mut groups: Vec<((u64, u64), Vec<usize>)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            if let Some((name, detail)) = &req.invalid {
+                results[i] = Some(Err(ServiceError::InvalidInput {
+                    name: name.clone(),
+                    detail: detail.clone(),
+                }));
+                continue;
+            }
+            let opt = req.opt_level.unwrap_or(self.cfg.opt_level);
+            let key = self.key_of(req, opt);
+            match groups.iter_mut().find(|(k, idxs)| {
+                *k == key && reqs[idxs[0]].opt_level.unwrap_or(self.cfg.opt_level) == opt
+            }) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+        self.stats.batch_groups.fetch_add(groups.len() as u64, Ordering::Relaxed);
+
+        for (key, idxs) in groups {
+            self.serve_group(reqs, key, &idxs, deadline, &permit, &mut results);
+        }
+        drop(permit);
+        results.into_iter().map(|r| r.expect("every request resolved")).collect()
+    }
+
+    /// Serve one structural group of a batch against a single checkout.
+    fn serve_group(
+        &self,
+        reqs: &[Request],
+        key: (u64, u64),
+        idxs: &[usize],
+        deadline: Option<(Instant, u64)>,
+        permit: &Permit<'_>,
+        results: &mut [Option<Result<Response, ServiceError>>],
+    ) {
+        let first = idxs[0];
+        let opt = reqs[first].opt_level.unwrap_or(self.cfg.opt_level);
+        let (tier_start, probe, short_circuited) = match self.breaker_gate(key) {
+            Ok(gate) => gate,
+            Err(err) => {
+                for &i in idxs {
+                    results[i] = Some(Err(err.clone()));
+                }
+                return;
+            }
+        };
+        let (mut entry, cache_hit, cached) = match self.checkout(key, &reqs[first], opt, deadline) {
+            Ok(x) => x,
+            Err(err) => {
+                if probe {
+                    self.breakers.abort_probe(key);
+                }
+                for &i in idxs {
+                    results[i] = Some(Err(err.clone()));
+                }
+                return;
+            }
+        };
+        let mut evict_any = false;
+        let mut group_faults = 0u32;
+        for &i in idxs {
+            let rid = self.next_request.fetch_add(1, Ordering::SeqCst);
+            // Members after the first rebind against the group's entry: a
+            // cache hit whatever the checkout was.
+            let hit = cache_hit || i != first;
+            if i != first {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            let (result, evict, faults) =
+                self.execute(&mut entry, &reqs[i], deadline, rid, hit, tier_start);
+            evict_any |= evict;
+            group_faults += faults;
+            results[i] = Some(result.map(|mut resp| {
+                resp.queue_wait = permit.waited;
+                resp
+            }));
+        }
+        if cached {
+            self.checkin(key, entry, evict_any);
+        }
+        if !short_circuited && self.breakers.record(key, group_faults, probe) {
+            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The admission + breaker + cache + ladder path shared by `submit`,
+    /// after the request holds a permit and a request id.
+    fn serve_one(
+        &self,
+        req: &Request,
+        key: (u64, u64),
+        opt: OptLevel,
+        rid: u64,
+        deadline: Option<(Instant, u64)>,
+    ) -> Result<Response, ServiceError> {
+        let (tier_start, probe, short_circuited) = self.breaker_gate(key)?;
+        let (mut entry, cache_hit, cached) = match self.checkout(key, req, opt, deadline) {
+            Ok(x) => x,
+            Err(err) => {
+                if probe {
+                    self.breakers.abort_probe(key);
+                }
+                return Err(err);
+            }
+        };
+        let (result, evict, faults) =
+            self.execute(&mut entry, req, deadline, rid, cache_hit, tier_start);
         if cached {
             self.checkin(key, entry, evict);
         }
+        if !short_circuited && self.breakers.record(key, faults, probe) {
+            self.stats.breaker_opens.fetch_add(1, Ordering::Relaxed);
+        }
         result
+    }
+
+    /// Consult `key`'s circuit breaker.  Returns the starting tier index,
+    /// whether this request is the half-open probe, and whether it was
+    /// short-circuited (skip breaker recording); or the typed rejection
+    /// under [`BreakerPolicy::Reject`].
+    fn breaker_gate(&self, key: (u64, u64)) -> Result<(usize, bool, bool), ServiceError> {
+        match self.breakers.admit(key) {
+            BreakerDecision::Allow { probe } => Ok((0, probe, false)),
+            BreakerDecision::ShortCircuit { consecutive_faults, cooldown_ms } => {
+                self.stats.breaker_short_circuits.fetch_add(1, Ordering::Relaxed);
+                match self.cfg.breaker_policy {
+                    BreakerPolicy::Reject => {
+                        Err(ServiceError::CircuitOpen { consecutive_faults, cooldown_ms })
+                    }
+                    BreakerPolicy::Degrade => Ok((Tier::Oracle.index(), false, true)),
+                }
+            }
+        }
+    }
+
+    fn request_deadline(&self) -> Option<(Instant, u64)> {
+        self.cfg.deadline.map(|d| (Instant::now() + d, (d.as_millis() as u64).max(1)))
+    }
+
+    /// Acquire an admission permit, mapping queue rejections to their typed
+    /// service errors and keeping the queue counters.
+    fn admit(&self, deadline: Option<(Instant, u64)>) -> Result<Permit<'_>, ServiceError> {
+        match self.queue.acquire(deadline.map(|(dl, _)| dl)) {
+            Ok(permit) => {
+                if permit.was_queued {
+                    self.stats.queued.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(permit)
+            }
+            Err(AdmitError::Overloaded { in_flight, limit, queued }) => {
+                self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::Overloaded { in_flight, limit, queued })
+            }
+            Err(AdmitError::QueueTimeout { waited_ms, depth }) => {
+                self.stats.queue_timeouts.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::QueueTimeout { waited_ms, depth })
+            }
+            Err(AdmitError::ShuttingDown { state }) => Err(ServiceError::ShuttingDown { state }),
+        }
+    }
+
+    /// The service's lifecycle state.
+    pub fn state(&self) -> ServiceState {
+        self.queue.snapshot().0
+    }
+
+    /// Gracefully drain the service: stop admitting work (new submissions
+    /// fail with [`ServiceError::ShuttingDown`], queued waiters are woken
+    /// out the same way) and wait for in-flight requests to resolve.  Once
+    /// `deadline` passes, the remaining runs are cancelled through their
+    /// cooperative watch — they resolve with a typed deadline error, never
+    /// a stuck thread.  The service ends [`ServiceState::Stopped`];
+    /// [`KernelService::resume`] re-opens it.
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        let (waited, cancelled) = self.queue.drain(deadline, &self.drain_cancel);
+        DrainReport { waited, cancelled, state: self.state() }
+    }
+
+    /// Accept work again after a [`KernelService::drain`].
+    pub fn resume(&self) {
+        self.drain_cancel.store(false, Ordering::SeqCst);
+        self.queue.resume();
+    }
+
+    /// A point-in-time health snapshot: lifecycle state, queue depth,
+    /// in-flight count, cache size, breaker states, and per-tier counters.
+    pub fn health(&self) -> HealthSnapshot {
+        let (state, queued, in_flight) = self.queue.snapshot();
+        let (breakers_closed, breakers_open, breakers_half_open) = self.breakers.counts();
+        let stats = self.stats.snapshot();
+        HealthSnapshot {
+            state,
+            queued,
+            in_flight,
+            cached: self.cached(),
+            breakers_closed,
+            breakers_open,
+            breakers_half_open,
+            served_by_tier: stats.served_by_tier,
+            faults_by_tier: stats.faults_by_tier,
+        }
+    }
+
+    /// Release every attempt blocked on [`FaultKind::Stall`], now and in
+    /// the future (the gate stays open for the service's lifetime).
+    pub fn release_stalls(&self) {
+        let mut gate = self.stall.lock().unwrap_or_else(|e| e.into_inner());
+        gate.released = true;
+        drop(gate);
+        self.stall_cond.notify_all();
+    }
+
+    /// Number of attempts currently blocked on [`FaultKind::Stall`].
+    pub fn stalled(&self) -> usize {
+        self.stall.lock().unwrap_or_else(|e| e.into_inner()).stalled
+    }
+
+    /// Block a [`FaultKind::Stall`] attempt until the gate opens, the
+    /// request's deadline passes, or a drain cancels it (the latter two
+    /// resolve the attempt with the typed deadline error).
+    fn stall_until_released(&self, deadline: Option<(Instant, u64)>) -> Option<RuntimeError> {
+        let mut gate = self.stall.lock().unwrap_or_else(|e| e.into_inner());
+        gate.stalled += 1;
+        let outcome = loop {
+            if gate.released {
+                break None;
+            }
+            if self.drain_cancel.load(Ordering::SeqCst) {
+                break Some(RuntimeError::Deadline { ms: deadline.map_or(0, |(_, ms)| ms) });
+            }
+            if let Some((dl, ms)) = deadline {
+                if Instant::now() >= dl {
+                    break Some(RuntimeError::Deadline { ms });
+                }
+            }
+            gate = self
+                .stall_cond
+                .wait_timeout(gate, Duration::from_millis(5))
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        };
+        gate.stalled -= 1;
+        outcome
     }
 
     fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
@@ -852,9 +1213,11 @@ impl KernelService {
         kernel.compile(&req.program)
     }
 
-    /// Run the entry for `req`, descending the degradation ladder on faults.
-    /// Returns the outcome plus whether the entry is condemned (must be
-    /// evicted instead of checked back in).
+    /// Run the entry for `req`, descending the degradation ladder on faults
+    /// starting at tier `tier_start` (0, or the oracle tier when the
+    /// structure's breaker short-circuits).  Returns the outcome, whether
+    /// the entry is condemned (must be evicted instead of checked back in),
+    /// and the number of tier-faults observed (the breaker's input).
     fn execute(
         &self,
         entry: &mut Entry,
@@ -862,7 +1225,9 @@ impl KernelService {
         deadline: Option<(Instant, u64)>,
         rid: u64,
         cache_hit: bool,
-    ) -> (Result<Response, ServiceError>, bool) {
+        tier_start: usize,
+    ) -> (Result<Response, ServiceError>, bool, u32) {
+        let mut faults = 0u32;
         // Lookup-point faults poison the entry before it serves.
         if let Some(rule) = self.take_fault(rid, true) {
             if rule.kind == FaultKind::PoisonEntry {
@@ -871,11 +1236,16 @@ impl KernelService {
         }
         if entry.poisoned {
             self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(self.cfg.retry_backoff);
+            if let Err(err) = self.backoff(rid, deadline) {
+                // Out of deadline before the quarantine retry: leave the
+                // entry poisoned for the next request to recompile.
+                self.count_runtime(&err);
+                return (Err(ServiceError::Runtime(err)), false, faults);
+            }
             match self.recompile_base(entry) {
                 Ok(()) => entry.poisoned = false,
                 Err(detail) => {
-                    return (Err(ServiceError::Faulted { attempts: 1, detail }), true);
+                    return (Err(ServiceError::Faulted { attempts: 1, detail }), true, 1);
                 }
             }
         }
@@ -884,7 +1254,7 @@ impl KernelService {
         let mut last_fault = String::new();
         let mut tier0_retried = false;
         let mut evict = false;
-        let mut tier_idx = 0usize;
+        let mut tier_idx = tier_start.min(Tier::ALL.len() - 1);
         while tier_idx < Tier::ALL.len() {
             let tier = Tier::ALL[tier_idx];
             attempts += 1;
@@ -892,15 +1262,16 @@ impl KernelService {
             match self.attempt(entry, tier, req, deadline, injected, cache_hit) {
                 AttemptOutcome::Ok(resp) => {
                     self.stats.served_by_tier[tier_idx].fetch_add(1, Ordering::Relaxed);
-                    return (Ok(resp), evict);
+                    return (Ok(resp), evict, faults);
                 }
                 AttemptOutcome::Typed(err) => {
                     self.count_runtime(&err);
-                    return (Err(ServiceError::Runtime(err)), evict);
+                    return (Err(ServiceError::Runtime(err)), evict, faults);
                 }
                 AttemptOutcome::Fault(detail) => {
                     self.stats.faults_by_tier[tier_idx].fetch_add(1, Ordering::Relaxed);
                     self.stats.panics.fetch_add(1, Ordering::Relaxed);
+                    faults += 1;
                     last_fault = detail;
                     if tier == Tier::Fast && !tier0_retried {
                         // Quarantine: recompile once with backoff, retry the
@@ -908,7 +1279,10 @@ impl KernelService {
                         tier0_retried = true;
                         entry.poisoned = true;
                         self.stats.quarantined.fetch_add(1, Ordering::Relaxed);
-                        std::thread::sleep(self.cfg.retry_backoff);
+                        if let Err(err) = self.backoff(rid, deadline) {
+                            self.count_runtime(&err);
+                            return (Err(ServiceError::Runtime(err)), false, faults);
+                        }
                         match self.recompile_base(entry) {
                             Ok(()) => {
                                 entry.poisoned = false;
@@ -916,6 +1290,7 @@ impl KernelService {
                             }
                             Err(detail) => {
                                 last_fault = detail;
+                                faults += 1;
                                 evict = true;
                                 tier_idx += 1;
                             }
@@ -930,7 +1305,41 @@ impl KernelService {
                 }
             }
         }
-        (Err(ServiceError::Faulted { attempts, detail: last_fault }), true)
+        (Err(ServiceError::Faulted { attempts, detail: last_fault }), true, faults)
+    }
+
+    /// The quarantine backoff, capped by the request's remaining deadline
+    /// and jittered by a seeded per-request LCG draw so concurrent retries
+    /// do not stampede the recompile path in lockstep.
+    ///
+    /// Sleeps somewhere in `[retry_backoff / 2, retry_backoff]`, never past
+    /// the deadline; a request already past its deadline gets the typed
+    /// error back immediately instead of sleeping through it.
+    fn backoff(&self, rid: u64, deadline: Option<(Instant, u64)>) -> Result<(), RuntimeError> {
+        let base = self.cfg.retry_backoff;
+        let mut wait = if base.is_zero() {
+            Duration::ZERO
+        } else {
+            // One LCG step over the request id: deterministic per request,
+            // decorrelated across requests.  Same constants as the seeded
+            // fault plan.
+            let draw = (rid ^ 0x9e37_79b9_7f4a_7c15)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let frac = (draw >> 33) as f64 / (1u64 << 31) as f64;
+            Duration::from_nanos((base.as_nanos() as f64 * (0.5 + 0.5 * frac)) as u64)
+        };
+        if let Some((dl, ms)) = deadline {
+            let remaining = dl.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RuntimeError::Deadline { ms });
+            }
+            wait = wait.min(remaining);
+        }
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        Ok(())
     }
 
     fn recompile_base(&self, entry: &mut Entry) -> Result<(), String> {
@@ -1021,20 +1430,33 @@ impl KernelService {
                 }
                 FaultKind::DeadlineExpiry => cancelled = true,
                 FaultKind::PoisonEntry => {} // handled at lookup
+                FaultKind::Stall => {
+                    // Park on the stall gate before running.  Released by
+                    // `release_stalls`, or converted into the typed deadline
+                    // error when the request's deadline (or a drain cancel)
+                    // fires first.
+                    if let Some(err) = self.stall_until_released(deadline) {
+                        return AttemptOutcome::Typed(err);
+                    }
+                }
             }
         }
-        let ms = deadline.map_or(0, |(_, ms)| ms);
-        let mut watch = deadline.map(|(dl, ms)| Watch::until(dl, ms));
+        // Every run carries a watch wired to the drain-cancel flag, so a
+        // drain past its deadline can cut in-flight work off at the next
+        // statement boundary with a typed error.
+        let mut watch = match deadline {
+            Some((dl, dl_ms)) => Watch::until(dl, dl_ms).with_cancel(self.drain_cancel.clone()),
+            None => Watch::cancelled_by(self.drain_cancel.clone(), 0),
+        };
         if cancelled {
-            let flag = Arc::new(AtomicBool::new(true));
-            watch = Some(match watch {
-                Some(w) => w.with_cancel(flag),
-                None => Watch::cancelled_by(flag, ms),
-            });
+            // An injected expiry pre-raises a private cancel flag (replacing
+            // the drain flag) so only this request trips.
+            watch = watch.with_cancel(Arc::new(AtomicBool::new(true)));
         }
         if let Some(at) = fault_stmt {
-            watch = Some(watch.unwrap_or_default().with_fault_at_stmt(at));
+            watch = watch.with_fault_at_stmt(at);
         }
+        let watch = Some(watch);
         let alloc_budget = self.cfg.alloc_budget;
 
         let ran = catch_unwind(AssertUnwindSafe(
@@ -1065,9 +1487,14 @@ impl KernelService {
             },
         ));
         match ran {
-            Ok(Ok((stats, scalar, tensor))) => {
-                AttemptOutcome::Ok(Response { stats, tier, cache_hit, scalar, tensor })
-            }
+            Ok(Ok((stats, scalar, tensor))) => AttemptOutcome::Ok(Response {
+                stats,
+                tier,
+                cache_hit,
+                queue_wait: Duration::ZERO,
+                scalar,
+                tensor,
+            }),
             Ok(Err(err)) => AttemptOutcome::Typed(err),
             Err(payload) => {
                 AttemptOutcome::Fault(format!("{} tier: {}", tier.label(), panic_message(&payload)))
@@ -1135,14 +1562,6 @@ impl KernelService {
     }
 }
 
-struct InFlightGuard<'a>(&'a AtomicUsize);
-
-impl Drop for InFlightGuard<'_> {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
-    }
-}
-
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     payload
         .downcast_ref::<&'static str>()
@@ -1155,6 +1574,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 mod tests {
     use super::*;
     use finch_cin::build::*;
+    use finch_formats::Level;
 
     fn dot_request(a: &Tensor, b: &Tensor) -> Request {
         let i = idx("i");
@@ -1485,5 +1905,192 @@ mod tests {
         svc.checkin(key, entry, false);
         // Slot is usable again.
         assert!(svc.submit(&dot_request(&a, &b)).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn batches_group_by_structure_and_preserve_order() {
+        let svc = KernelService::default();
+        let (da, db) = dense_pair(16, 1.0);
+        let (da2, db2) = dense_pair(16, -2.0);
+        let (sa, sb) = sparse_pair(16);
+        let bad = Tensor::from_raw_parts(
+            "A",
+            vec![
+                Level::Dense { size: 2 },
+                Level::SparseList { size: 5, pos: vec![0, 3, 1], idx: vec![1, 2, 4] },
+            ],
+            vec![1.0, 2.0, 3.0],
+            0.0,
+        );
+        let i = idx("i");
+        let j = idx("j");
+        let bad_req = Request::new(forall(
+            i.clone(),
+            forall(j.clone(), add_assign(scalar("C"), access("A", [i, j]))),
+        ))
+        .input(&bad)
+        .output_scalar("C");
+
+        let reqs = vec![
+            dot_request(&da, &db),   // dense group, compiles
+            dot_request(&sa, &sb),   // sparse group, compiles
+            dot_request(&da2, &db2), // dense group, rebinds
+            bad_req,                 // rejected at the boundary
+        ];
+        let results = svc.submit_batch(&reqs);
+        assert_eq!(results.len(), 4);
+        let expect_dense = |scale: f64| -> f64 {
+            (0..16).map(|k| scale * (k as f64 + 1.0) * (0.5 * k as f64 - 1.0)).sum()
+        };
+        assert_eq!(results[0].as_ref().unwrap().scalar.unwrap().to_bits(), {
+            expect_dense(1.0).to_bits()
+        });
+        assert!(!results[0].as_ref().unwrap().cache_hit);
+        assert!(!results[1].as_ref().unwrap().cache_hit);
+        assert_eq!(results[2].as_ref().unwrap().scalar.unwrap().to_bits(), {
+            expect_dense(-2.0).to_bits()
+        });
+        assert!(results[2].as_ref().unwrap().cache_hit, "group member rebinds the shared entry");
+        match &results[3] {
+            Err(ServiceError::InvalidInput { name, .. }) => assert_eq!(name, "A"),
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.batch_groups, 2, "dense and sparse structures form two groups");
+        assert_eq!(stats.compiles, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn an_empty_batch_is_a_no_op() {
+        let svc = KernelService::default();
+        assert!(svc.submit_batch(&[]).is_empty());
+        assert_eq!(svc.stats().requests, 0);
+    }
+
+    #[test]
+    fn saturated_admission_queues_instead_of_shedding() {
+        let cfg = ServiceConfig { max_in_flight: 1, queue_depth: 8, ..ServiceConfig::default() };
+        let svc = Arc::new(KernelService::new(cfg));
+        let (a, b) = dense_pair(8, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap(); // warm: rid 0
+
+        // rid 1 stalls inside its slot, keeping the service saturated.
+        let mut plan = FaultPlan::new();
+        plan.push(FaultRule { request: 1, point: InjectPoint::PreRun, kind: FaultKind::Stall });
+        svc.install_faults(plan);
+        let stalled = {
+            let svc = Arc::clone(&svc);
+            let req = dot_request(&a, &b);
+            std::thread::spawn(move || svc.submit(&req))
+        };
+        while svc.stalled() == 0 {
+            std::thread::yield_now();
+        }
+
+        // The next request queues behind the stalled one instead of being
+        // shed, and completes once the stall releases.
+        let queued = {
+            let svc = Arc::clone(&svc);
+            let req = dot_request(&a, &b);
+            std::thread::spawn(move || svc.submit(&req))
+        };
+        while svc.health().queued == 0 {
+            std::thread::yield_now();
+        }
+        svc.release_stalls();
+        assert!(stalled.join().unwrap().is_ok());
+        assert!(queued.join().unwrap().is_ok());
+        let stats = svc.stats();
+        assert_eq!(stats.shed, 0, "saturation queued rather than shed");
+        assert_eq!(stats.queued, 1);
+        assert_eq!(stats.queue_timeouts, 0);
+    }
+
+    #[test]
+    fn quarantine_backoff_is_capped_by_the_deadline() {
+        // A huge retry backoff with a tiny deadline: the quarantine path
+        // must not sleep through the deadline.
+        let cfg = ServiceConfig {
+            retry_backoff: Duration::from_secs(10),
+            deadline: Some(Duration::from_millis(50)),
+            ..ServiceConfig::default()
+        };
+        let svc = KernelService::new(cfg);
+        let (a, b) = dense_pair(8, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap(); // warm: rid 0
+
+        let mut plan = FaultPlan::new();
+        plan.push(FaultRule { request: 1, point: InjectPoint::PreRun, kind: FaultKind::Panic });
+        svc.install_faults(plan);
+        let started = Instant::now();
+        let result = svc.submit(&dot_request(&a, &b));
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "backoff slept {elapsed:?}, ignoring the 50ms deadline"
+        );
+        // The retry may finish inside the deadline's last statement-check
+        // window or trip it; both are typed, neither hangs.
+        match result {
+            Ok(resp) => assert_eq!(resp.tier, Tier::Fast),
+            Err(ServiceError::Runtime(RuntimeError::Deadline { .. })) => {}
+            other => panic!("expected Ok or Deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_timeout_is_attributed_to_the_queue_not_execution() {
+        let cfg = ServiceConfig {
+            max_in_flight: 1,
+            queue_depth: 4,
+            deadline: Some(Duration::from_millis(20)),
+            ..ServiceConfig::default()
+        };
+        let svc = KernelService::new(cfg);
+        let (a, b) = dense_pair(8, 1.0);
+        svc.submit(&dot_request(&a, &b)).unwrap();
+
+        // Hold the only execution slot directly: the next submit spends its
+        // entire deadline in the admission queue and must say so.
+        let slot = svc.queue.acquire(None).unwrap();
+        match svc.submit(&dot_request(&a, &b)) {
+            Err(ServiceError::QueueTimeout { waited_ms, .. }) => assert!(waited_ms >= 15),
+            other => panic!("expected QueueTimeout, got {other:?}"),
+        }
+        drop(slot);
+        let stats = svc.stats();
+        assert_eq!(stats.queue_timeouts, 1);
+        assert_eq!(stats.deadline_errors, 0, "the expiry was queue-, not execution-attributed");
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected_at_the_boundary() {
+        let svc = KernelService::default();
+        let bad = Tensor::from_raw_parts(
+            "A",
+            vec![Level::SparseList { size: 4, pos: vec![0, 3], idx: vec![2, 1, 3] }],
+            vec![1.0, 2.0, 3.0],
+            0.0,
+        );
+        let i = idx("i");
+        let req = Request::new(forall(i.clone(), add_assign(scalar("C"), access("A", [i]))))
+            .input(&bad)
+            .output_scalar("C");
+        match svc.submit(&req) {
+            Err(ServiceError::InvalidInput { name, detail }) => {
+                assert_eq!(name, "A");
+                assert!(!detail.is_empty());
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // Nothing was admitted, compiled, or cached for the bad request.
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.compiles, 0);
+        assert_eq!(svc.cached(), 0);
     }
 }

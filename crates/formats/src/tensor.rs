@@ -94,6 +94,20 @@ impl Tensor {
         Ok(t)
     }
 
+    /// Construct a tensor from its parts **without validating** them — the
+    /// untrusted-boundary constructor.  Use it to carry possibly-corrupt
+    /// wire data up to a service boundary that calls [`Tensor::validate`]
+    /// itself and surfaces failures as typed errors; [`Tensor::new`] is the
+    /// eager-validating constructor for trusted callers.
+    pub fn from_raw_parts(
+        name: impl Into<String>,
+        levels: Vec<Level>,
+        values: Vec<f64>,
+        fill: f64,
+    ) -> Self {
+        Tensor { name: name.into(), levels, values, fill }
+    }
+
     /// A zero-dimensional tensor holding a single value.
     pub fn scalar(name: impl Into<String>, value: f64) -> Self {
         Tensor { name: name.into(), levels: Vec::new(), values: vec![value], fill: 0.0 }
@@ -220,7 +234,17 @@ impl Tensor {
         self.values.len()
     }
 
-    fn validate(&self) -> Result<(), TensorError> {
+    /// Check the level arrays for structural soundness: monotone `pos`
+    /// arrays starting at 0 that never point past their data, sorted
+    /// in-range coordinates per fiber, and a values array matching the
+    /// innermost level's span.  [`Tensor::new`] runs this eagerly; callers
+    /// holding a [`Tensor::from_raw_parts`] tensor (untrusted wire data)
+    /// should run it at their trust boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TensorError`] found, outermost level first.
+    pub fn validate(&self) -> Result<(), TensorError> {
         let mut nfibers = 1usize;
         for (k, level) in self.levels.iter().enumerate() {
             match level {
@@ -470,6 +494,32 @@ mod tests {
     fn validation_rejects_wrong_value_count() {
         let err = Tensor::new("x", vec![Level::Dense { size: 3 }], vec![1.0], 0.0).unwrap_err();
         assert!(matches!(err, TensorError::BadValues { expected: 3, actual: 1 }));
+    }
+
+    #[test]
+    fn from_raw_parts_defers_validation() {
+        // A corrupted CSR: pos is not monotonic.  Construction succeeds
+        // (no panic, no eager check); validate() reports the corruption.
+        let t = Tensor::from_raw_parts(
+            "A",
+            vec![
+                Level::Dense { size: 2 },
+                Level::SparseList { size: 5, pos: vec![0, 3, 1], idx: vec![1, 2, 4] },
+            ],
+            vec![1.0, 2.0, 3.0],
+            0.0,
+        );
+        assert!(matches!(t.validate(), Err(TensorError::BadPositions { .. })));
+
+        // Well-formed raw parts validate cleanly and behave like new().
+        let ok = Tensor::from_raw_parts(
+            "B",
+            vec![Level::SparseList { size: 4, pos: vec![0, 2], idx: vec![0, 3] }],
+            vec![7.0, 8.0],
+            0.0,
+        );
+        ok.validate().unwrap();
+        assert_eq!(ok.to_dense(), vec![7.0, 0.0, 0.0, 8.0]);
     }
 
     #[test]

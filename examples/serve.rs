@@ -17,8 +17,8 @@ use std::time::Duration;
 
 use looplets_repro::finch::build::*;
 use looplets_repro::finch::{
-    FaultKind, FaultPlan, FaultRule, InjectPoint, KernelService, Request, ServiceConfig, Tensor,
-    Tier,
+    FaultKind, FaultPlan, FaultRule, InjectPoint, KernelService, Request, ServiceConfig,
+    ServiceError, ServiceState, Tensor, Tier,
 };
 
 fn dot_request(a: &Tensor, b: &Tensor) -> Request {
@@ -83,6 +83,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         degraded.scalar.unwrap().to_bits() == baseline.to_bits(),
     );
     assert_eq!(degraded.scalar.unwrap().to_bits(), baseline.to_bits());
+
+    // 3. Batched submission: requests sharing a structure are grouped so a
+    //    cold structure compiles once for the whole batch, then each request
+    //    rebinds its own data.  Outcomes come back in submission order.
+    let sq = |scale: f64| {
+        let (a, _) = mk(scale);
+        let i = idx("i");
+        let program = forall(
+            i.clone(),
+            add_assign(scalar("S"), mul(access("A", [i.clone()]), access("A", [i]))),
+        );
+        Request::new(program).input(&a).output_scalar("S")
+    };
+    let batch = [sq(1.0), dot_request(&a, &b), sq(2.0), sq(3.0)];
+    let before = svc.stats().compiles;
+    let outcomes = svc.submit_batch(&batch);
+    let ok = outcomes.iter().filter(|o| o.is_ok()).count();
+    println!(
+        "batch of {}:     {} ok in {} structural groups, {} new compile(s)",
+        batch.len(),
+        ok,
+        svc.stats().batch_groups,
+        svc.stats().compiles - before,
+    );
+
+    // 4. Health, drain, resume: `drain` stops admitting (new work gets a
+    //    typed `ShuttingDown`), lets in-flight requests finish up to its
+    //    deadline, and leaves the service `Stopped`; `resume` reopens it with
+    //    the kernel cache intact.
+    let h = svc.health();
+    println!(
+        "health:         {:?}, {} queued / {} in flight, {} cached kernels, \
+         breakers {}c/{}o/{}h",
+        h.state,
+        h.queued,
+        h.in_flight,
+        h.cached,
+        h.breakers_closed,
+        h.breakers_open,
+        h.breakers_half_open,
+    );
+    let report = svc.drain(Duration::from_millis(250));
+    let refused = svc.submit(&dot_request(&a, &b));
+    println!(
+        "drained:        in {:?} (cancelled: {}), state {:?}, new work: {}",
+        report.waited,
+        report.cancelled,
+        report.state,
+        match refused {
+            Err(ServiceError::ShuttingDown { state }) => format!("ShuttingDown({state:?})"),
+            other => format!("{other:?}"),
+        },
+    );
+    svc.resume();
+    let back = svc.submit(&dot_request(&a, &b))?;
+    assert_eq!(svc.health().state, ServiceState::Running);
+    println!("resumed:        cache hit: {} (warm cache survives a drain)", back.cache_hit);
 
     let stats = svc.stats();
     println!(

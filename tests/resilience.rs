@@ -9,8 +9,9 @@ use std::time::Duration;
 
 use looplets_repro::finch::build::*;
 use looplets_repro::finch::{
-    CompiledKernel, Engine, FaultKind, FaultPlan, FaultRule, InjectPoint, Kernel, KernelService,
-    LevelSpec, RuntimeError, ServiceConfig, ServiceError, Tensor, Watch,
+    BreakerPolicy, CompiledKernel, DrainReport, Engine, FaultKind, FaultPlan, FaultRule,
+    HealthSnapshot, InjectPoint, Kernel, KernelService, LevelSpec, Request, RuntimeError,
+    ServiceConfig, ServiceError, ServiceState, Tensor, Tier, Watch,
 };
 
 /// A kernel with a sparse (assembled) output: the abort paths must leave
@@ -131,6 +132,282 @@ fn kernel_service_is_send_and_sync() {
     assert_send_sync::<looplets_repro::finch::Response>();
     assert_send_sync::<ServiceError>();
     assert_send_sync::<FaultPlan>();
+    assert_send_sync::<ServiceState>();
+    assert_send_sync::<DrainReport>();
+    assert_send_sync::<HealthSnapshot>();
+    assert_send_sync::<BreakerPolicy>();
+}
+
+/// A dense dot-product request plus its expected scalar; every `scale`
+/// shares one structure (and therefore one cache entry and one breaker).
+fn dense_dot_request(scale: f64) -> (Request, f64) {
+    let n = 12;
+    let av: Vec<f64> = (0..n).map(|k| scale * (k as f64 + 1.0)).collect();
+    let bv: Vec<f64> = (0..n).map(|k| 0.25 * k as f64 - 1.0).collect();
+    let expected = av.iter().zip(&bv).map(|(x, y)| x * y).sum();
+    let a = Tensor::dense_vector("A", &av);
+    let b = Tensor::dense_vector("B", &bv);
+    let i = idx("i");
+    let program =
+        forall(i.clone(), add_assign(scalar("C"), mul(access("A", [i.clone()]), access("B", [i]))));
+    (Request::new(program).input(&a).input(&b).output_scalar("C"), expected)
+}
+
+fn stall_rule(request: u64) -> FaultRule {
+    FaultRule { request, point: InjectPoint::PreRun, kind: FaultKind::Stall }
+}
+
+#[test]
+fn draining_rejects_new_work_and_completes_in_flight_requests() {
+    let svc = Arc::new(KernelService::new(ServiceConfig {
+        max_in_flight: 2,
+        queue_depth: 4,
+        ..ServiceConfig::default()
+    }));
+    let (req, _) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap(); // rid 0 warms the cache
+
+    // rid 1 stalls in flight: the drain must wait for it.
+    let mut plan = FaultPlan::new();
+    plan.push(stall_rule(1));
+    svc.install_faults(plan);
+    let (in_flight_req, in_flight_expected) = dense_dot_request(2.0);
+    let in_flight = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || svc.submit(&in_flight_req))
+    };
+    while svc.stalled() == 0 {
+        std::thread::yield_now();
+    }
+
+    let drainer = {
+        let svc = Arc::clone(&svc);
+        std::thread::spawn(move || svc.drain(Duration::from_secs(10)))
+    };
+    while svc.state() == ServiceState::Running {
+        std::thread::yield_now();
+    }
+
+    // While draining, new work is rejected with the typed shutdown error.
+    let (rejected, _) = dense_dot_request(3.0);
+    match svc.submit(&rejected) {
+        Err(ServiceError::ShuttingDown { state: ServiceState::Draining }) => {}
+        other => panic!("expected ShuttingDown while draining, got {other:?}"),
+    }
+
+    // Releasing the stall lets the in-flight request complete cleanly and
+    // the drain finish without cancelling anything.
+    svc.release_stalls();
+    let resp = in_flight.join().unwrap().expect("in-flight request completes during drain");
+    assert_eq!(resp.scalar.unwrap().to_bits(), in_flight_expected.to_bits());
+    let report = drainer.join().unwrap();
+    assert!(!report.cancelled, "nothing overran the drain deadline");
+    assert_eq!(report.state, ServiceState::Stopped);
+
+    // Resume re-opens admission and the cache survived.
+    svc.resume();
+    assert_eq!(svc.state(), ServiceState::Running);
+    let (after, after_expected) = dense_dot_request(-1.5);
+    let resp = svc.submit(&after).unwrap();
+    assert!(resp.cache_hit, "the drain kept the compiled cache");
+    assert_eq!(resp.scalar.unwrap().to_bits(), after_expected.to_bits());
+}
+
+#[test]
+fn an_overrun_drain_cancels_stuck_work_with_a_typed_error() {
+    let svc = Arc::new(KernelService::new(ServiceConfig {
+        max_in_flight: 2,
+        queue_depth: 4,
+        ..ServiceConfig::default()
+    }));
+    let (req, _) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap();
+
+    // rid 1 stalls with no deadline: only the drain's cancel cuts it loose.
+    let mut plan = FaultPlan::new();
+    plan.push(stall_rule(1));
+    svc.install_faults(plan);
+    let stuck = {
+        let svc = Arc::clone(&svc);
+        let (req, _) = dense_dot_request(2.0);
+        std::thread::spawn(move || svc.submit(&req))
+    };
+    while svc.stalled() == 0 {
+        std::thread::yield_now();
+    }
+
+    let report = svc.drain(Duration::from_millis(40));
+    assert!(report.cancelled, "the stalled request overran the drain deadline");
+    assert_eq!(report.state, ServiceState::Stopped);
+    match stuck.join().unwrap() {
+        Err(ServiceError::Runtime(RuntimeError::Deadline { .. })) => {}
+        other => panic!("expected the drain to cancel the stalled request, got {other:?}"),
+    }
+    assert_eq!(svc.stalled(), 0, "no thread left parked on the stall gate");
+
+    // A stopped service keeps rejecting until resumed.
+    match svc.submit(&req) {
+        Err(ServiceError::ShuttingDown { state: ServiceState::Stopped }) => {}
+        other => panic!("expected ShuttingDown when stopped, got {other:?}"),
+    }
+    svc.resume();
+    assert!(svc.submit(&req).unwrap().cache_hit);
+}
+
+#[test]
+fn breaker_opens_after_threshold_and_degrades_to_the_oracle() {
+    let svc = KernelService::new(ServiceConfig {
+        breaker_threshold: 2,
+        breaker_cooldown: Duration::from_secs(3600),
+        breaker_policy: BreakerPolicy::Degrade,
+        retry_backoff: Duration::ZERO,
+        ..ServiceConfig::default()
+    });
+    let (req, expected) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap(); // rid 0: clean, breaker stays closed
+
+    // rid 1 faults twice (the fast attempt and its quarantine retry):
+    // crosses the threshold inside one request.
+    let mut plan = FaultPlan::new();
+    plan.push(FaultRule { request: 1, point: InjectPoint::PreRun, kind: FaultKind::Panic });
+    plan.push(FaultRule { request: 1, point: InjectPoint::PostRun, kind: FaultKind::Panic });
+    svc.install_faults(plan);
+    let resp = svc.submit(&req).unwrap();
+    assert_eq!(resp.tier, Tier::TypedSerial, "two fast-tier faults degrade one tier");
+    assert_eq!(resp.scalar.unwrap().to_bits(), expected.to_bits());
+    assert_eq!(svc.health().breakers_open, 1);
+
+    // Within the cooldown the structure short-circuits straight to the
+    // oracle tier — still bit-identical, no wasted fast-tier attempts.
+    let resp = svc.submit(&req).unwrap();
+    assert_eq!(resp.tier, Tier::Oracle);
+    assert_eq!(resp.scalar.unwrap().to_bits(), expected.to_bits());
+    let stats = svc.stats();
+    assert_eq!(stats.breaker_opens, 1);
+    assert_eq!(stats.breaker_short_circuits, 1);
+}
+
+#[test]
+fn a_clean_half_open_probe_closes_the_breaker() {
+    let svc = KernelService::new(ServiceConfig {
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::ZERO,
+        breaker_policy: BreakerPolicy::Degrade,
+        retry_backoff: Duration::ZERO,
+        ..ServiceConfig::default()
+    });
+    let (req, expected) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap(); // rid 0
+    let mut plan = FaultPlan::new();
+    plan.push(FaultRule { request: 1, point: InjectPoint::PreRun, kind: FaultKind::Panic });
+    svc.install_faults(plan);
+    svc.submit(&req).unwrap(); // rid 1: one fault opens the breaker
+    assert_eq!(svc.health().breakers_open, 1);
+
+    // Zero cooldown: the next request is the half-open probe.  It runs the
+    // full ladder cleanly and closes the breaker.
+    let resp = svc.submit(&req).unwrap();
+    assert_eq!(resp.tier, Tier::Fast);
+    assert_eq!(resp.scalar.unwrap().to_bits(), expected.to_bits());
+    let health = svc.health();
+    assert_eq!(
+        (health.breakers_closed, health.breakers_open, health.breakers_half_open),
+        (1, 0, 0)
+    );
+    assert_eq!(svc.stats().breaker_short_circuits, 0, "the probe was admitted, not shed");
+}
+
+#[test]
+fn a_faulting_probe_reopens_the_breaker() {
+    let svc = KernelService::new(ServiceConfig {
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::ZERO,
+        breaker_policy: BreakerPolicy::Degrade,
+        retry_backoff: Duration::ZERO,
+        ..ServiceConfig::default()
+    });
+    let (req, expected) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap(); // rid 0
+    let mut plan = FaultPlan::new();
+    plan.push(FaultRule { request: 1, point: InjectPoint::PreRun, kind: FaultKind::Panic });
+    plan.push(FaultRule { request: 2, point: InjectPoint::PreRun, kind: FaultKind::Panic });
+    svc.install_faults(plan);
+    svc.submit(&req).unwrap(); // rid 1: opens
+    let resp = svc.submit(&req).unwrap(); // rid 2: the probe itself faults
+    assert_eq!(resp.scalar.unwrap().to_bits(), expected.to_bits());
+    let stats = svc.stats();
+    assert_eq!(stats.breaker_opens, 2, "the faulting probe re-opened the breaker");
+    assert_eq!(svc.health().breakers_open, 1);
+}
+
+#[test]
+fn an_open_breaker_rejects_when_configured() {
+    let svc = KernelService::new(ServiceConfig {
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_secs(3600),
+        breaker_policy: BreakerPolicy::Reject,
+        retry_backoff: Duration::ZERO,
+        ..ServiceConfig::default()
+    });
+    let (req, _) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap();
+    let mut plan = FaultPlan::new();
+    plan.push(FaultRule { request: 1, point: InjectPoint::PreRun, kind: FaultKind::Panic });
+    svc.install_faults(plan);
+    svc.submit(&req).unwrap(); // rid 1 opens the breaker
+    match svc.submit(&req) {
+        Err(ServiceError::CircuitOpen { consecutive_faults: 1, .. }) => {}
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    assert_eq!(svc.stats().breaker_short_circuits, 1);
+}
+
+#[test]
+fn deadline_expiry_is_attributed_to_queue_or_execution_never_lost() {
+    let svc = Arc::new(KernelService::new(ServiceConfig {
+        max_in_flight: 1,
+        queue_depth: 4,
+        deadline: Some(Duration::from_millis(30)),
+        ..ServiceConfig::default()
+    }));
+    let (req, _) = dense_dot_request(1.0);
+    svc.submit(&req).unwrap(); // rid 0
+
+    // Both followers stall: the first holds the only slot until its
+    // deadline, the second spends most (or all) of its budget queued.
+    let mut plan = FaultPlan::new();
+    plan.push(stall_rule(1));
+    plan.push(stall_rule(2));
+    svc.install_faults(plan);
+    let holder = {
+        let svc = Arc::clone(&svc);
+        let (req, _) = dense_dot_request(2.0);
+        std::thread::spawn(move || svc.submit(&req))
+    };
+    while svc.stalled() == 0 {
+        std::thread::yield_now();
+    }
+    let queued_result = svc.submit(&req);
+
+    // The slot holder's expiry is execution-attributed: it was admitted.
+    match holder.join().unwrap() {
+        Err(ServiceError::Runtime(RuntimeError::Deadline { .. })) => {}
+        other => panic!("expected the stalled holder to hit its deadline, got {other:?}"),
+    }
+    // The queued request's expiry is typed either way — as a queue timeout
+    // if it was never admitted, or as an execution deadline if it got the
+    // slot with too little budget left.  Never shed, never lost.
+    let stats = svc.stats();
+    match queued_result {
+        Err(ServiceError::QueueTimeout { .. }) => {
+            assert_eq!(stats.queue_timeouts, 1, "queue expiry counted as a queue timeout");
+        }
+        Err(ServiceError::Runtime(RuntimeError::Deadline { .. })) => {
+            assert!(stats.deadline_errors >= 2, "execution expiry counted as a deadline");
+        }
+        other => panic!("expected a typed deadline-family error, got {other:?}"),
+    }
+    assert_eq!(stats.shed, 0, "a bounded queue waits instead of shedding");
 }
 
 #[test]
